@@ -1,0 +1,158 @@
+//! The carbon-unaware cost minimizer.
+//!
+//! Minimizes the instantaneous cost `g(t) = e(t) + β·d(t)` every slot with
+//! no long-term constraint — the `V → ∞` limit of COCA (paper Sec. 5.2.1).
+//! The paper uses this policy's annual electricity consumption
+//! (1.55×10⁵ MWh in their setup) as the normalization for all energy
+//! budgets; [`CarbonUnaware::annual_consumption`] computes the same
+//! reference quantity for a trace.
+
+use coca_core::solver::P3Solver;
+use coca_dcsim::dispatch::SlotProblem;
+use coca_dcsim::{
+    Cluster, CostParams, Decision, Policy, SimOutcome, SlotObservation, SlotSimulator,
+};
+use coca_traces::EnvironmentTrace;
+
+/// Per-slot cost minimizer without carbon awareness.
+pub struct CarbonUnaware<'a, S> {
+    cluster: &'a Cluster,
+    cost: CostParams,
+    solver: S,
+}
+
+impl<'a, S: P3Solver> CarbonUnaware<'a, S> {
+    /// Creates the policy.
+    pub fn new(cluster: &'a Cluster, cost: CostParams, solver: S) -> Self {
+        cost.validate().expect("valid CostParams");
+        Self { cluster, cost, solver }
+    }
+
+    /// Runs the policy over a trace and returns the full outcome. The
+    /// `rec_total` only affects deficit reporting, not decisions.
+    pub fn simulate(
+        cluster: &'a Cluster,
+        cost: CostParams,
+        trace: &EnvironmentTrace,
+        solver: S,
+        rec_total: f64,
+    ) -> coca_dcsim::Result<SimOutcome> {
+        let mut policy = Self::new(cluster, cost, solver);
+        SlotSimulator::new(cluster, trace, cost, rec_total).run(&mut policy)
+    }
+
+    /// Total brown energy (kWh) the carbon-unaware policy consumes over the
+    /// trace — the paper's budget-normalization reference.
+    pub fn annual_consumption(
+        cluster: &'a Cluster,
+        cost: CostParams,
+        trace: &EnvironmentTrace,
+        solver: S,
+    ) -> coca_dcsim::Result<f64> {
+        Ok(Self::simulate(cluster, cost, trace, solver, 0.0)?.total_brown_energy())
+    }
+}
+
+impl<S: P3Solver> Policy for CarbonUnaware<'_, S> {
+    fn name(&self) -> &str {
+        "carbon-unaware"
+    }
+
+    fn decide(&mut self, obs: &SlotObservation) -> coca_dcsim::Result<Decision> {
+        let problem = SlotProblem {
+            cluster: self.cluster,
+            arrival_rate: obs.arrival_rate,
+            onsite: obs.onsite,
+            energy_weight: obs.price,
+            delay_weight: self.cost.beta,
+            gamma: self.cost.gamma,
+            pue: self.cost.pue,
+        };
+        let sol = self.solver.solve(&problem)?;
+        Ok(Decision { levels: sol.levels, loads: sol.loads })
+    }
+
+    fn reset(&mut self) {
+        self.solver.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coca_core::symmetric::SymmetricSolver;
+    use coca_traces::TraceConfig;
+
+    fn setup() -> (Cluster, EnvironmentTrace) {
+        let cluster = Cluster::homogeneous(4, 20);
+        let trace = TraceConfig {
+            hours: 96,
+            peak_arrival_rate: 400.0,
+            onsite_energy_kwh: 30.0,
+            offsite_energy_kwh: 60.0,
+            ..Default::default()
+        }
+        .generate();
+        (cluster, trace)
+    }
+
+    #[test]
+    fn simulates_cleanly() {
+        let (cluster, trace) = setup();
+        let out = CarbonUnaware::simulate(
+            &cluster,
+            CostParams::default(),
+            &trace,
+            SymmetricSolver::new(),
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 96);
+        assert!(out.avg_hourly_cost() > 0.0);
+        assert_eq!(out.policy, "carbon-unaware");
+    }
+
+    #[test]
+    fn annual_consumption_positive_and_stable() {
+        let (cluster, trace) = setup();
+        let a = CarbonUnaware::annual_consumption(
+            &cluster,
+            CostParams::default(),
+            &trace,
+            SymmetricSolver::new(),
+        )
+        .unwrap();
+        let b = CarbonUnaware::annual_consumption(
+            &cluster,
+            CostParams::default(),
+            &trace,
+            SymmetricSolver::new(),
+        )
+        .unwrap();
+        assert!(a > 0.0);
+        assert!((a - b).abs() < 1e-9, "deterministic");
+    }
+
+    #[test]
+    fn ignores_rec_total_for_decisions() {
+        let (cluster, trace) = setup();
+        let lo = CarbonUnaware::simulate(
+            &cluster,
+            CostParams::default(),
+            &trace,
+            SymmetricSolver::new(),
+            0.0,
+        )
+        .unwrap();
+        let hi = CarbonUnaware::simulate(
+            &cluster,
+            CostParams::default(),
+            &trace,
+            SymmetricSolver::new(),
+            1e9,
+        )
+        .unwrap();
+        assert_eq!(lo.cost_series(), hi.cost_series());
+        assert!(lo.avg_hourly_deficit() > hi.avg_hourly_deficit(), "only reporting differs");
+    }
+}

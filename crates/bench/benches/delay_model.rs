@@ -1,0 +1,87 @@
+//! Delay-model granularity ablation (DESIGN.md §4/§7): pooled group queues
+//! vs per-server queues. Both are expressible in the same model — a
+//! "group" of one server *is* a per-server queue — so the ablation compares
+//! a fleet of 50 pooled groups × 100 servers against the same 5 000 servers
+//! as singleton groups, measuring both the dispatch cost and the resulting
+//! delay numbers (pooling lower-bounds per-server delay).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coca_dcsim::dispatch::{optimal_dispatch, SlotProblem};
+use coca_dcsim::{Cluster, ServerClass};
+
+fn problem(cluster: &Cluster) -> SlotProblem<'_> {
+    SlotProblem {
+        cluster,
+        arrival_rate: 0.5 * cluster.max_capacity(),
+        onsite: 0.0,
+        energy_weight: 300.0,
+        delay_weight: 1000.0,
+        gamma: 0.95,
+        pue: 1.0,
+    }
+}
+
+fn bench_pooled_vs_per_server(c: &mut Criterion) {
+    let pooled = Cluster::homogeneous(50, 100);
+    let per_server = Cluster::homogeneous(5000, 1);
+    assert_eq!(pooled.num_servers(), per_server.num_servers());
+
+    let mut group = c.benchmark_group("delay_model");
+    group.sample_size(10);
+    {
+        let p = problem(&pooled);
+        let levels = pooled.full_speed_vector();
+        group.bench_function("dispatch_pooled_50x100", |b| {
+            b.iter(|| black_box(optimal_dispatch(&p, &levels).expect("dispatch")))
+        });
+    }
+    {
+        let p = problem(&per_server);
+        let levels = per_server.full_speed_vector();
+        group.bench_function("dispatch_per_server_5000x1", |b| {
+            b.iter(|| black_box(optimal_dispatch(&p, &levels).expect("dispatch")))
+        });
+    }
+    group.finish();
+
+    // Report the modeling difference once (not a timing): pooling is a
+    // delay lower bound.
+    let dp = optimal_dispatch(&problem(&pooled), &pooled.full_speed_vector()).unwrap();
+    let ds = optimal_dispatch(&problem(&per_server), &per_server.full_speed_vector()).unwrap();
+    eprintln!(
+        "[delay_model] pooled delay = {:.2} jobs, per-server delay = {:.2} jobs (pooling lower-bounds)",
+        dp.delay, ds.delay
+    );
+    assert!(dp.delay <= ds.delay * 1.001);
+}
+
+fn bench_heterogeneous_compression(c: &mut Criterion) {
+    // Many classes defeat the identical-queue compression; quantify the
+    // dispatch cost as heterogeneity grows.
+    let mut group = c.benchmark_group("delay_model_heterogeneity");
+    group.sample_size(10);
+    for classes in [1usize, 4, 16] {
+        let base = ServerClass::amd_opteron_2380();
+        let mut builder = coca_dcsim::ClusterBuilder::new();
+        for k in 0..classes {
+            let class = base.derived(
+                &format!("c{k}"),
+                0.85 + 0.02 * k as f64,
+                0.9 + 0.015 * k as f64,
+            );
+            builder = builder.add_groups(class, 48 / classes, 100);
+        }
+        let cluster = builder.build().expect("cluster");
+        let p = problem(&cluster);
+        let levels = cluster.full_speed_vector();
+        group.bench_function(format!("dispatch_48groups_{classes}classes"), |b| {
+            b.iter(|| black_box(optimal_dispatch(&p, &levels).expect("dispatch")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pooled_vs_per_server, bench_heterogeneous_compression);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Discrete-event M/G/1/PS simulator throughput (completions per second)
+//! across utilizations — the cost of the validation path relative to the
+//! closed-form delay model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use coca_dcsim::eventsim::{PsQueueSim, ServiceDist};
+
+fn bench_throughput_by_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eventsim");
+    group.sample_size(10);
+    for rho in [0.3f64, 0.7, 0.9] {
+        group.bench_with_input(BenchmarkId::new("mm1ps_10k_completions", rho), &rho, |b, &rho| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                let sim = PsQueueSim::new(rho * 10.0, 1.0, ServiceDist::Exponential { mean: 0.1 });
+                black_box(sim.run(10_000, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_service_distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eventsim_dists");
+    group.sample_size(10);
+    for (name, dist) in [
+        ("exponential", ServiceDist::Exponential { mean: 0.1 }),
+        ("deterministic", ServiceDist::Deterministic { size: 0.1 }),
+        ("bursty_scv4", ServiceDist::bursty(0.1)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+                let sim = PsQueueSim::new(7.0, 1.0, dist);
+                black_box(sim.run(10_000, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput_by_load, bench_service_distributions);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! P3 solver comparison: the per-slot decision latency of each engine at
+//! the paper's fleet scale — the number that determines whether COCA can
+//! run "once every time slot" with amortized complexity (Sec. 4.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coca_core::gsd::{GsdOptions, GsdSolver};
+use coca_core::solver::{ExhaustiveSolver, P3Solver};
+use coca_core::symmetric::SymmetricSolver;
+use coca_dcsim::dispatch::{optimal_dispatch, SlotProblem};
+use coca_dcsim::Cluster;
+use coca_opt::schedule::TemperatureSchedule;
+
+fn problem(cluster: &Cluster) -> SlotProblem<'_> {
+    SlotProblem {
+        cluster,
+        arrival_rate: 0.5 * cluster.max_capacity(),
+        onsite: 0.05 * cluster.peak_power(),
+        energy_weight: 300.0,
+        delay_weight: 1000.0,
+        gamma: 0.95,
+        pue: 1.0,
+    }
+}
+
+fn bench_slot_decision(c: &mut Criterion) {
+    let cluster = Cluster::paper_datacenter();
+    let p = problem(&cluster);
+    let mut group = c.benchmark_group("p3_paper_scale");
+    group.sample_size(10);
+    group.bench_function("symmetric_cold", |b| {
+        b.iter(|| {
+            let mut s = SymmetricSolver::new();
+            black_box(s.solve(&p).expect("solve"))
+        })
+    });
+    group.bench_function("symmetric_warm", |b| {
+        let mut s = SymmetricSolver::new();
+        s.solve(&p).expect("warm-up");
+        b.iter(|| black_box(s.solve(&p).expect("solve")))
+    });
+    group.bench_function("gsd_100iters_warm", |b| {
+        let mut s = GsdSolver::new(GsdOptions {
+            iterations: 100,
+            schedule: TemperatureSchedule::Constant(1e6),
+            ..Default::default()
+        });
+        s.solve(&p).expect("warm-up");
+        b.iter(|| black_box(s.solve(&p).expect("solve")))
+    });
+    group.bench_function("dispatch_only_fixed_speeds", |b| {
+        let levels = cluster.full_speed_vector();
+        b.iter(|| black_box(optimal_dispatch(&p, &levels).expect("dispatch")))
+    });
+    group.finish();
+}
+
+fn bench_exhaustive_reference(c: &mut Criterion) {
+    // Tiny fleet where the ground-truth enumeration is feasible: shows why
+    // exhaustive search cannot be the production path (5^6 states).
+    let cluster = Cluster::homogeneous(6, 20);
+    let p = problem(&cluster);
+    let mut group = c.benchmark_group("p3_small_scale");
+    group.sample_size(10);
+    group.bench_function("exhaustive_6groups", |b| {
+        b.iter(|| black_box(ExhaustiveSolver.solve(&p).expect("solve")))
+    });
+    group.bench_function("symmetric_6groups", |b| {
+        b.iter(|| {
+            let mut s = SymmetricSolver::new();
+            black_box(s.solve(&p).expect("solve"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_slot_decision, bench_exhaustive_reference);
+criterion_main!(benches);

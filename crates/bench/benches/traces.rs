@@ -1,0 +1,43 @@
+//! Trace-generation throughput: a full synthetic year (workload +
+//! renewables + prices) must be negligible next to the simulation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coca_traces::{TraceConfig, WorkloadKind, WorkloadTrace, HOURS_PER_YEAR};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traces");
+    group.bench_function("fiu_workload_year", |b| {
+        b.iter(|| black_box(WorkloadTrace::generate(WorkloadKind::Fiu, HOURS_PER_YEAR, 1.1e6, 7)))
+    });
+    group.bench_function("msr_workload_year", |b| {
+        b.iter(|| black_box(WorkloadTrace::generate(WorkloadKind::Msr, HOURS_PER_YEAR, 1.1e6, 7)))
+    });
+    group.bench_function("full_environment_year", |b| {
+        let cfg = TraceConfig { hours: HOURS_PER_YEAR, ..Default::default() };
+        b.iter(|| black_box(cfg.generate()))
+    });
+    group.finish();
+}
+
+fn bench_csv_roundtrip(c: &mut Criterion) {
+    let trace = TraceConfig { hours: HOURS_PER_YEAR, ..Default::default() }.generate();
+    let mut buf = Vec::new();
+    coca_traces::csv::write_trace(&trace, &mut buf).expect("write");
+    let mut group = c.benchmark_group("traces_csv");
+    group.bench_function("write_year", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            coca_traces::csv::write_trace(&trace, &mut out).expect("write");
+            black_box(out)
+        })
+    });
+    group.bench_function("read_year", |b| {
+        b.iter(|| black_box(coca_traces::csv::read_trace(buf.as_slice()).expect("read")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_csv_roundtrip);
+criterion_main!(benches);

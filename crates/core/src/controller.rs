@@ -1,0 +1,330 @@
+//! COCA — Algorithm 1 of the paper.
+//!
+//! Per slot `t`, with carbon-deficit queue length `q(t)` and frame parameter
+//! `V_r`:
+//!
+//! 1. at frame boundaries (`t ≡ 0 mod T`), reset `q` and switch to `V_r`
+//!    (lines 2–4);
+//! 2. solve **P3**: minimize `V·g(λ⃗, x⃗) + q(t)·[p(λ⃗, x⃗) − r(t)]⁺`
+//!    subject to (7)(8)(9) — equivalently a water-filled speed search with
+//!    electricity weight `A = V·w(t) + q(t)` and delay weight `W = V·β`
+//!    (line 5);
+//! 3. after the slot, update the queue with the realized brown energy and
+//!    the revealed off-site supply `f(t)` (line 6 / eq. 17).
+//!
+//! The controller is generic over the [`P3Solver`]: GSD (sequential or
+//! distributed) for fidelity, the symmetric solver for speed.
+
+use coca_dcsim::dispatch::SlotProblem;
+use coca_dcsim::{Cluster, CostParams, Decision, Policy, SlotFeedback, SlotObservation};
+use serde::{Deserialize, Serialize};
+
+use crate::deficit::DeficitQueue;
+use crate::solver::P3Solver;
+use crate::vschedule::VSchedule;
+
+/// Configuration of the COCA controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CocaConfig {
+    /// Cost-carbon parameter schedule (one value per frame).
+    pub v: VSchedule,
+    /// Frame length T in slots; the deficit queue resets every T slots.
+    /// Use `horizon` for a single frame (constant V, never reset).
+    pub frame_length: usize,
+    /// Budgeting-period length J in slots.
+    pub horizon: usize,
+    /// Capping aggressiveness α (paper eq. 10); α = 1 targets exactly the
+    /// off-site renewables + RECs.
+    pub alpha: f64,
+    /// Total RECs Z purchased for the period (kWh).
+    pub rec_total: f64,
+}
+
+impl CocaConfig {
+    /// Validates ranges and divisibility (J = R·T).
+    pub fn validate(&self) -> Result<(), String> {
+        self.v.validate()?;
+        if self.horizon == 0 {
+            return Err("horizon must be positive".into());
+        }
+        if self.frame_length == 0 || self.frame_length > self.horizon {
+            return Err(format!(
+                "frame length {} must be in 1..={}",
+                self.frame_length, self.horizon
+            ));
+        }
+        if !self.horizon.is_multiple_of(self.frame_length) {
+            return Err(format!(
+                "horizon {} must be a multiple of the frame length {} (J = R·T)",
+                self.horizon, self.frame_length
+            ));
+        }
+        if !(self.alpha > 0.0 && self.alpha.is_finite()) {
+            return Err(format!("alpha {} must be positive", self.alpha));
+        }
+        if !(self.rec_total >= 0.0 && self.rec_total.is_finite()) {
+            return Err(format!("rec_total {} must be non-negative", self.rec_total));
+        }
+        Ok(())
+    }
+
+    /// Number of frames R = J/T.
+    pub fn num_frames(&self) -> usize {
+        self.horizon / self.frame_length
+    }
+}
+
+/// The COCA online controller (implements [`Policy`]).
+pub struct CocaController<'a, S> {
+    cluster: &'a Cluster,
+    cost: CostParams,
+    cfg: CocaConfig,
+    solver: S,
+    deficit: DeficitQueue,
+    /// q(t) observed at each decision epoch (diagnostics; Theorem 2 relates
+    /// its peak to the neutrality deviation).
+    pub q_history: Vec<f64>,
+}
+
+impl<'a, S: P3Solver> CocaController<'a, S> {
+    /// Creates a controller. Panics on invalid configuration (constructing
+    /// a controller is a programming-time decision; use
+    /// [`CocaConfig::validate`] for user-supplied configs).
+    pub fn new(cluster: &'a Cluster, cost: CostParams, cfg: CocaConfig, solver: S) -> Self {
+        cfg.validate().expect("valid CocaConfig");
+        cost.validate().expect("valid CostParams");
+        let deficit = DeficitQueue::new(cfg.alpha, cfg.rec_total, cfg.horizon);
+        Self { cluster, cost, cfg, solver, deficit, q_history: Vec::new() }
+    }
+
+    /// Current carbon-deficit queue length.
+    pub fn deficit_len(&self) -> f64 {
+        self.deficit.len()
+    }
+
+    /// Largest deficit observed so far.
+    pub fn max_deficit(&self) -> f64 {
+        self.deficit.max_len()
+    }
+
+    /// The V in effect for slot `t`.
+    pub fn v_at(&self, t: usize) -> f64 {
+        self.cfg.v.v_for_frame(t / self.cfg.frame_length)
+    }
+
+    /// Borrow the underlying solver (e.g. to read GSD traces).
+    pub fn solver(&self) -> &S {
+        &self.solver
+    }
+
+    /// Configuration accessor.
+    pub fn config(&self) -> &CocaConfig {
+        &self.cfg
+    }
+}
+
+impl<S: P3Solver> Policy for CocaController<'_, S> {
+    fn name(&self) -> &str {
+        "coca"
+    }
+
+    fn decide(&mut self, obs: &SlotObservation) -> coca_dcsim::Result<Decision> {
+        // Frame boundary: reset the queue so V can be retuned without the
+        // previous frame's deficit bleeding over (Algorithm 1 lines 2–4).
+        if obs.t.is_multiple_of(self.cfg.frame_length) {
+            self.deficit.reset();
+        }
+        let v = self.v_at(obs.t);
+        let q = self.deficit.len();
+        self.q_history.push(q);
+
+        let problem = SlotProblem {
+            cluster: self.cluster,
+            arrival_rate: obs.arrival_rate,
+            onsite: obs.onsite,
+            energy_weight: v * obs.price + q,
+            delay_weight: v * self.cost.beta,
+            gamma: self.cost.gamma,
+            pue: self.cost.pue,
+        };
+        let sol = self.solver.solve(&problem)?;
+        Ok(Decision { levels: sol.levels, loads: sol.loads })
+    }
+
+    fn feedback(&mut self, fb: &SlotFeedback) {
+        self.deficit.update(fb.brown_energy, fb.offsite);
+    }
+
+    fn reset(&mut self) {
+        self.deficit = DeficitQueue::new(self.cfg.alpha, self.cfg.rec_total, self.cfg.horizon);
+        self.q_history.clear();
+        self.solver.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symmetric::SymmetricSolver;
+    use coca_dcsim::SlotSimulator;
+    use coca_traces::{TraceConfig, WorkloadKind};
+
+    fn config(horizon: usize, v: f64, rec: f64) -> CocaConfig {
+        CocaConfig {
+            v: VSchedule::Constant(v),
+            frame_length: horizon,
+            horizon,
+            alpha: 1.0,
+            rec_total: rec,
+        }
+    }
+
+    fn small_trace(hours: usize) -> coca_traces::EnvironmentTrace {
+        TraceConfig {
+            hours,
+            workload_kind: WorkloadKind::Fiu,
+            peak_arrival_rate: 400.0,
+            onsite_energy_kwh: 20.0 * hours as f64 / 100.0,
+            offsite_energy_kwh: 100.0 * hours as f64 / 100.0,
+            ..Default::default()
+        }
+        .generate()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(config(100, 240.0, 0.0).validate().is_ok());
+        let mut c = config(100, 240.0, 0.0);
+        c.frame_length = 33; // 100 % 33 != 0
+        assert!(c.validate().is_err());
+        c.frame_length = 0;
+        assert!(c.validate().is_err());
+        let mut c = config(100, 240.0, 0.0);
+        c.alpha = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = config(100, 240.0, 0.0);
+        c.rec_total = -1.0;
+        assert!(c.validate().is_err());
+        assert_eq!(config(100, 1.0, 0.0).num_frames(), 1);
+    }
+
+    #[test]
+    fn runs_over_a_trace_and_tracks_deficit() {
+        let cluster = Cluster::homogeneous(4, 20);
+        let trace = small_trace(72);
+        let cost = CostParams::default();
+        let cfg = config(72, 100.0, 50.0);
+        let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+        let sim = SlotSimulator::new(&cluster, &trace, cost, 50.0);
+        let out = sim.run(&mut coca).unwrap();
+        assert_eq!(out.len(), 72);
+        assert_eq!(coca.q_history.len(), 72);
+        assert!(coca.q_history[0] == 0.0, "queue starts empty");
+        assert!(out.records.iter().all(|r| r.total_cost.is_finite()));
+    }
+
+    #[test]
+    fn frame_reset_zeroes_queue() {
+        let cluster = Cluster::homogeneous(4, 20);
+        let trace = small_trace(48);
+        let cost = CostParams::default();
+        // Two frames of 24 slots; near-zero allowance to force a deficit.
+        let cfg = CocaConfig {
+            v: VSchedule::PerFrame(vec![50.0, 200.0]),
+            frame_length: 24,
+            horizon: 48,
+            alpha: 1.0,
+            rec_total: 0.0,
+        };
+        let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+        let sim = SlotSimulator::new(&cluster, &trace, cost, 0.0);
+        let _ = sim.run(&mut coca).unwrap();
+        // The queue accumulated during frame 0 (tiny allowance)…
+        assert!(coca.q_history[1..24].iter().any(|&q| q > 0.0));
+        // …and was reset at the frame boundary (slot 24 decision sees q=0).
+        assert_eq!(coca.q_history[24], 0.0);
+        // V switches per frame.
+        assert_eq!(coca.v_at(0), 50.0);
+        assert_eq!(coca.v_at(24), 200.0);
+    }
+
+    #[test]
+    fn larger_v_uses_more_electricity() {
+        // Fig. 2 qualitative check at small scale: larger V → less weight on
+        // the deficit queue → (weakly) more brown energy, lower cost.
+        let cluster = Cluster::homogeneous(4, 20);
+        let trace = small_trace(96);
+        let cost = CostParams::default();
+        let run = |v: f64| {
+            let cfg = config(96, v, 10.0);
+            let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+            let sim = SlotSimulator::new(&cluster, &trace, cost, 10.0);
+            sim.run(&mut coca).unwrap()
+        };
+        let small_v = run(0.05);
+        let large_v = run(5000.0);
+        assert!(
+            large_v.total_brown_energy() >= small_v.total_brown_energy() - 1e-6,
+            "V=5000 brown {} < V=0.05 brown {}",
+            large_v.total_brown_energy(),
+            small_v.total_brown_energy()
+        );
+        assert!(
+            large_v.avg_hourly_cost() <= small_v.avg_hourly_cost() + 1e-9,
+            "V=5000 cost {} > V=0.05 cost {}",
+            large_v.avg_hourly_cost(),
+            small_v.avg_hourly_cost()
+        );
+    }
+
+    #[test]
+    fn gsd_backed_controller_tracks_symmetric_quality() {
+        // The controller is solver-generic: a GSD-backed run over a short
+        // trace must land within a few percent of the symmetric solver.
+        use crate::gsd::{GsdOptions, GsdSolver};
+        use coca_opt::schedule::TemperatureSchedule;
+        let cluster = Cluster::homogeneous(4, 20);
+        let trace = small_trace(36);
+        let cost = CostParams::default();
+        let run_with = |use_gsd: bool| -> f64 {
+            let cfg = config(36, 200.0, 20.0);
+            let sim = SlotSimulator::new(&cluster, &trace, cost, 20.0);
+            if use_gsd {
+                let solver = GsdSolver::new(GsdOptions {
+                    iterations: 600,
+                    schedule: TemperatureSchedule::Constant(1e7),
+                    seed: 3,
+                    ..Default::default()
+                });
+                let mut coca = CocaController::new(&cluster, cost, cfg, solver);
+                sim.run(&mut coca).unwrap().avg_hourly_cost()
+            } else {
+                let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+                sim.run(&mut coca).unwrap().avg_hourly_cost()
+            }
+        };
+        let gsd_cost = run_with(true);
+        let sym_cost = run_with(false);
+        let rel = (gsd_cost - sym_cost).abs() / sym_cost;
+        assert!(rel < 0.05, "gsd {gsd_cost} vs symmetric {sym_cost}");
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let cluster = Cluster::homogeneous(2, 10);
+        let cost = CostParams::default();
+        let cfg = config(24, 100.0, 5.0);
+        let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+        coca.feedback(&SlotFeedback {
+            t: 0,
+            offsite: 0.0,
+            brown_energy: 50.0,
+            facility_energy: 50.0,
+            cost: 1.0,
+        });
+        assert!(coca.deficit_len() > 0.0);
+        Policy::reset(&mut coca);
+        assert_eq!(coca.deficit_len(), 0.0);
+        assert!(coca.q_history.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! The virtual carbon-deficit queue (paper eq. 17).
+//!
+//! ```text
+//! q(t+1) = [ q(t) + y(t) − α·f(t) − z ]⁺,     z = α·Z/J
+//! ```
+//!
+//! `q(t)` measures how far the realized brown-energy usage has run ahead of
+//! the carbon allowance; COCA adds `q(t)·[p − r]⁺` to the per-slot
+//! objective, so a growing deficit makes electricity progressively more
+//! "expensive" to the optimizer — the paper's *"if violate neutrality, then
+//! use less electricity"* feedback law. The queue is reset at frame
+//! boundaries so the cost-carbon parameter `V` can be retuned per frame
+//! without the previous frame's deficit bleeding across (Sec. 4.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Carbon-deficit queue state.
+///
+/// ```
+/// use coca_core::DeficitQueue;
+/// // α = 1, Z = 8760 kWh over a year → z = 1 kWh per hour.
+/// let mut q = DeficitQueue::new(1.0, 8760.0, 8760);
+/// // A slot that used 5 kWh of brown energy against 2 kWh of off-site
+/// // renewables grows the deficit by 5 − 2 − 1 = 2 kWh.
+/// assert_eq!(q.update(5.0, 2.0), 2.0);
+/// // A renewable-rich slot drains it (clamped at zero).
+/// assert_eq!(q.update(0.0, 10.0), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeficitQueue {
+    /// Current queue length q(t) (kWh of over-budget brown energy).
+    q: f64,
+    /// Electricity-capping aggressiveness α (paper eq. 10; α = 1 means the
+    /// budget is exactly the off-site renewables + RECs).
+    alpha: f64,
+    /// Per-slot REC allowance `z = α·Z/J` (kWh).
+    z: f64,
+    /// Largest queue length ever observed (for Theorem-2 diagnostics).
+    max_q: f64,
+    /// Number of updates applied since the last reset.
+    updates_since_reset: usize,
+}
+
+impl DeficitQueue {
+    /// Creates an empty queue. `rec_total` is the total RECs `Z` for the
+    /// whole budgeting period of `horizon` slots.
+    pub fn new(alpha: f64, rec_total: f64, horizon: usize) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(rec_total >= 0.0, "RECs cannot be negative");
+        assert!(horizon > 0, "horizon must be positive");
+        Self { q: 0.0, alpha, z: alpha * rec_total / horizon as f64, max_q: 0.0, updates_since_reset: 0 }
+    }
+
+    /// Current queue length q(t).
+    pub fn len(&self) -> f64 {
+        self.q
+    }
+
+    /// True when the queue is at zero.
+    pub fn is_empty(&self) -> bool {
+        self.q == 0.0
+    }
+
+    /// Largest queue length observed over the lifetime of this queue
+    /// (across resets).
+    pub fn max_len(&self) -> f64 {
+        self.max_q
+    }
+
+    /// Per-slot REC allowance `z`.
+    pub fn per_slot_allowance(&self) -> f64 {
+        self.z
+    }
+
+    /// Updates after a slot with realized brown energy `y` (kWh) and
+    /// realized off-site renewable supply `f` (kWh). Returns the new length.
+    pub fn update(&mut self, brown_energy: f64, offsite: f64) -> f64 {
+        debug_assert!(brown_energy >= 0.0 && offsite >= 0.0);
+        self.q = (self.q + brown_energy - self.alpha * offsite - self.z).max(0.0);
+        self.max_q = self.max_q.max(self.q);
+        self.updates_since_reset += 1;
+        self.q
+    }
+
+    /// Resets the queue at a frame boundary (Algorithm 1 lines 2–4).
+    pub fn reset(&mut self) {
+        self.q = 0.0;
+        self.updates_since_reset = 0;
+    }
+
+    /// Updates applied since the last reset (slot-in-frame counter).
+    pub fn updates_since_reset(&self) -> usize {
+        self.updates_since_reset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn follows_the_recursion() {
+        // z = 1·100/100 = 1 per slot.
+        let mut q = DeficitQueue::new(1.0, 100.0, 100);
+        assert_eq!(q.per_slot_allowance(), 1.0);
+        // y=5, f=2 → q = [0 + 5 − 2 − 1]⁺ = 2.
+        assert_eq!(q.update(5.0, 2.0), 2.0);
+        // y=0, f=4 → q = [2 + 0 − 4 − 1]⁺ = 0.
+        assert_eq!(q.update(0.0, 4.0), 0.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn alpha_scales_the_allowance() {
+        let mut q = DeficitQueue::new(0.5, 100.0, 100);
+        assert_eq!(q.per_slot_allowance(), 0.5);
+        // y=5, f=2 → q = [5 − 0.5·2 − 0.5]⁺ = 3.5.
+        assert_eq!(q.update(5.0, 2.0), 3.5);
+    }
+
+    #[test]
+    fn queue_never_negative() {
+        let mut q = DeficitQueue::new(1.0, 1000.0, 10);
+        for _ in 0..50 {
+            q.update(0.0, 10.0);
+            assert!(q.len() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_max() {
+        let mut q = DeficitQueue::new(1.0, 0.0, 10);
+        q.update(7.0, 0.0);
+        assert_eq!(q.len(), 7.0);
+        assert_eq!(q.updates_since_reset(), 1);
+        q.reset();
+        assert_eq!(q.len(), 0.0);
+        assert_eq!(q.updates_since_reset(), 0);
+        assert_eq!(q.max_len(), 7.0, "max survives reset for diagnostics");
+    }
+
+    #[test]
+    fn max_tracks_peak() {
+        let mut q = DeficitQueue::new(1.0, 0.0, 10);
+        q.update(3.0, 0.0);
+        q.update(5.0, 0.0);
+        q.update(0.0, 100.0);
+        assert_eq!(q.max_len(), 8.0);
+        assert_eq!(q.len(), 0.0);
+    }
+
+    #[test]
+    fn telescoping_bound_holds() {
+        // Over any window, Σy − Σ(αf + z) ≤ q(end) − q(start) is the
+        // inequality behind eq. (27); verify on random-ish data.
+        let mut q = DeficitQueue::new(1.0, 50.0, 50);
+        let start = q.len();
+        let ys = [3.0, 0.5, 9.0, 0.0, 4.0, 2.0];
+        let fs = [1.0, 2.0, 0.0, 5.0, 1.0, 0.0];
+        let mut used = 0.0;
+        let mut allowed = 0.0;
+        for (&y, &f) in ys.iter().zip(&fs) {
+            q.update(y, f);
+            used += y;
+            allowed += f + q.per_slot_allowance();
+        }
+        assert!(used - allowed <= q.len() - start + 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_horizon() {
+        let _ = DeficitQueue::new(1.0, 10.0, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_positive_alpha() {
+        let _ = DeficitQueue::new(0.0, 10.0, 10);
+    }
+}

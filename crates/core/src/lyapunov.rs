@@ -1,0 +1,163 @@
+//! Theorem-2 machinery: drift constants and performance bounds.
+//!
+//! The proof of Theorem 2 (paper Appendix B) introduces finite constants
+//!
+//! * `B ≥ ½·(y(t) − z(t))²` for all `t`, where `y(t) = [p−r]⁺` and
+//!   `z(t) = α·f(t) + αZ/J`;
+//! * `D ≥ ½·q_diff·max{y(t), r(t)}` with `q_diff = max_t max{y(t), z(t)}`;
+//! * `C(T) = B + D·(T − 1)`.
+//!
+//! With those, COCA satisfies (for frames `r = 0..R−1` with parameters
+//! `V_r` and the optimal T-step lookahead costs `G_r*`):
+//!
+//! * **cost bound (20)**: `ḡ ≤ (1/R)·Σ G_r* + (C(T)/R)·Σ 1/V_r`;
+//! * **neutrality bound (19)**: average brown energy exceeds the allowance
+//!   by at most `Σ_r √(C(T) + V_r·(G_r* − g_min)) / (R·√T)`.
+//!
+//! These are *checkable* statements: the experiment harness computes the
+//! constants from trace maxima and verifies both inequalities against the
+//! simulated COCA run (see `tests/theorem2.rs`).
+
+use serde::{Deserialize, Serialize};
+
+/// Bounds on the per-slot quantities, measured from a trace/fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnvBounds {
+    /// Maximum possible brown-energy draw per slot, `y_max` (kWh) — e.g.
+    /// the fleet's peak facility power.
+    pub y_max: f64,
+    /// Maximum per-slot allowance `z_max = α·f_max + α·Z/J` (kWh).
+    pub z_max: f64,
+    /// Maximum on-site renewable supply `r_max` (kWh).
+    pub r_max: f64,
+}
+
+/// The drift constants of Theorem 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConstants {
+    /// One-slot drift constant `B`.
+    pub b: f64,
+    /// Cross-slot drift constant `D`.
+    pub d: f64,
+}
+
+impl DriftConstants {
+    /// Computes the (tightest generic) constants from environment bounds:
+    /// `B = ½·max(y_max, z_max)²` dominates `½(y−z)²` for `y, z ≥ 0`, and
+    /// `D = ½·q_diff·max(y_max, r_max)` with `q_diff = max(y_max, z_max)`.
+    pub fn from_bounds(env: &EnvBounds) -> Self {
+        assert!(env.y_max >= 0.0 && env.z_max >= 0.0 && env.r_max >= 0.0);
+        let q_diff = env.y_max.max(env.z_max);
+        Self { b: 0.5 * q_diff * q_diff, d: 0.5 * q_diff * env.y_max.max(env.r_max) }
+    }
+
+    /// `C(T) = B + D·(T − 1)`.
+    pub fn c_of(&self, t: usize) -> f64 {
+        assert!(t >= 1, "frame length must be at least one slot");
+        self.b + self.d * (t - 1) as f64
+    }
+}
+
+/// Right-hand side of the cost bound (20):
+/// `(1/R)·Σ G_r* + (C(T)/R)·Σ 1/V_r`.
+pub fn cost_upper_bound(c_t: f64, g_stars: &[f64], vs: &[f64]) -> f64 {
+    assert_eq!(g_stars.len(), vs.len(), "one G_r* and one V_r per frame");
+    assert!(!vs.is_empty());
+    let r = vs.len() as f64;
+    let avg_g: f64 = g_stars.iter().sum::<f64>() / r;
+    let inv_v: f64 = vs.iter().map(|v| 1.0 / v).sum::<f64>();
+    avg_g + c_t / r * inv_v
+}
+
+/// The neutrality "fudge factor" of bound (19):
+/// `Σ_r √(C(T) + V_r·(G_r* − g_min)) / (R·√T)`.
+pub fn neutrality_slack_bound(c_t: f64, g_stars: &[f64], vs: &[f64], g_min: f64, t: usize) -> f64 {
+    assert_eq!(g_stars.len(), vs.len());
+    assert!(!vs.is_empty() && t >= 1);
+    let r = vs.len() as f64;
+    let sum: f64 = g_stars
+        .iter()
+        .zip(vs)
+        .map(|(&g, &v)| (c_t + v * (g - g_min).max(0.0)).sqrt())
+        .sum();
+    sum / (r * (t as f64).sqrt())
+}
+
+/// Bound (31) on the end-of-frame queue length:
+/// `q(rT+T) ≤ √T·√(B + D(T−1) + V_r(G_r* − g_min))`.
+pub fn queue_length_bound(consts: &DriftConstants, v_r: f64, g_star: f64, g_min: f64, t: usize) -> f64 {
+    ((t as f64) * (consts.c_of(t) + v_r * (g_star - g_min).max(0.0))).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consts() -> DriftConstants {
+        DriftConstants::from_bounds(&EnvBounds { y_max: 10.0, z_max: 4.0, r_max: 6.0 })
+    }
+
+    #[test]
+    fn constants_from_bounds() {
+        let c = consts();
+        // q_diff = 10 → B = 50, D = ½·10·10 = 50.
+        assert_eq!(c.b, 50.0);
+        assert_eq!(c.d, 50.0);
+        assert_eq!(c.c_of(1), 50.0);
+        assert_eq!(c.c_of(5), 50.0 + 4.0 * 50.0);
+    }
+
+    #[test]
+    fn b_dominates_one_slot_drift() {
+        let c = consts();
+        // For any y ∈ [0, 10], z ∈ [0, 4]: ½(y−z)² ≤ B.
+        for y in 0..=10 {
+            for z in 0..=4 {
+                let drift = 0.5 * ((y as f64) - (z as f64)).powi(2);
+                assert!(drift <= c.b + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_bound_decreases_with_v() {
+        let g_stars = [100.0, 120.0];
+        let lo = cost_upper_bound(50.0, &g_stars, &[10.0, 10.0]);
+        let hi = cost_upper_bound(50.0, &g_stars, &[1000.0, 1000.0]);
+        assert!(hi < lo, "bigger V tightens the cost bound");
+        // As V → ∞ the bound approaches the lookahead optimum average.
+        let limit = cost_upper_bound(50.0, &g_stars, &[1e12, 1e12]);
+        assert!((limit - 110.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn neutrality_bound_grows_with_v() {
+        let g_stars = [100.0];
+        let lo = neutrality_slack_bound(50.0, &g_stars, &[10.0], 20.0, 24);
+        let hi = neutrality_slack_bound(50.0, &g_stars, &[1000.0], 20.0, 24);
+        assert!(hi > lo, "bigger V loosens neutrality — the V trade-off");
+    }
+
+    #[test]
+    fn neutrality_bound_shrinks_with_frame_length() {
+        // For fixed C(T) the 1/√T factor dominates: pass c_t explicitly.
+        let g_stars = [100.0];
+        let short = neutrality_slack_bound(50.0, &g_stars, &[100.0], 20.0, 4);
+        let long = neutrality_slack_bound(50.0, &g_stars, &[100.0], 20.0, 400);
+        assert!(long < short);
+    }
+
+    #[test]
+    fn queue_bound_matches_formula() {
+        let c = consts();
+        let q = queue_length_bound(&c, 100.0, 120.0, 20.0, 24);
+        let expect = (24.0_f64 * (c.c_of(24) + 100.0 * 100.0)).sqrt();
+        assert!((q - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_frames_panic() {
+        let _ = cost_upper_bound(1.0, &[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,182 @@
+//! The per-slot problem **P3** and its solver abstraction.
+//!
+//! P3 (paper eq. 16) is a mixed-integer program: choose one speed per
+//! server group (discrete) and a load distribution (continuous) minimizing
+//! `A·[p − r]⁺ + W·d` where `A = V·w + q` and `W = V·β`. The continuous
+//! part is solved exactly by water-filling
+//! ([`coca_dcsim::dispatch::optimal_dispatch`]); what varies between
+//! solvers is the search over speed vectors:
+//!
+//! * [`GsdSolver`](crate::gsd::GsdSolver) — the paper's Algorithm 2.
+//! * [`DistributedGsdSolver`](crate::gsd_distributed::DistributedGsdSolver)
+//!   — the same chain as a message-passing system.
+//! * [`SymmetricSolver`](crate::symmetric::SymmetricSolver) — deterministic
+//!   coordinate descent over per-class (level, active-count) pairs.
+//! * [`ExhaustiveSolver`] — ground truth by enumeration (tiny fleets only).
+
+use coca_dcsim::dispatch::{optimal_dispatch, DispatchOutcome, SlotProblem};
+use coca_dcsim::SimError;
+
+/// A solved P3 instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P3Solution {
+    /// Chosen per-group speed indices (0 = off).
+    pub levels: Vec<usize>,
+    /// Optimal per-group loads for those speeds.
+    pub loads: Vec<f64>,
+    /// Decomposed cost/power/delay of the solution.
+    pub outcome: DispatchOutcome,
+}
+
+/// A solver for the per-slot problem P3.
+pub trait P3Solver {
+    /// Solves the instance. Implementations must return a feasible solution
+    /// whenever `problem.arrival_rate ≤ γ·(max capacity)`.
+    fn solve(&mut self, problem: &SlotProblem<'_>) -> Result<P3Solution, SimError>;
+
+    /// Clears warm-start state (e.g. between independent runs).
+    fn reset(&mut self) {}
+
+    /// Short identifier for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl<S: P3Solver + ?Sized> P3Solver for Box<S> {
+    fn solve(&mut self, problem: &SlotProblem<'_>) -> Result<P3Solution, SimError> {
+        (**self).solve(problem)
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Exhaustive enumeration over all speed vectors — exponential in the
+/// number of groups, usable only as ground truth on tiny fleets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExhaustiveSolver;
+
+impl P3Solver for ExhaustiveSolver {
+    fn solve(&mut self, problem: &SlotProblem<'_>) -> Result<P3Solution, SimError> {
+        let counts = problem.cluster.choice_counts();
+        let size = coca_opt::grid::space_size(&counts);
+        if size == 0 {
+            return Err(SimError::InvalidConfig("empty decision space".into()));
+        }
+        if size > 2_000_000 {
+            return Err(SimError::InvalidConfig(format!(
+                "exhaustive search over {size} states is intractable; use GSD or the symmetric solver"
+            )));
+        }
+        let mut best: Option<P3Solution> = None;
+        for levels in coca_opt::grid::CartesianIter::new(&counts) {
+            if !problem.is_feasible(&levels) {
+                continue;
+            }
+            let outcome = optimal_dispatch(problem, &levels)?;
+            let better = match &best {
+                Some(b) => outcome.objective < b.outcome.objective,
+                None => true,
+            };
+            if better {
+                best = Some(P3Solution { loads: outcome.loads.clone(), levels, outcome });
+            }
+        }
+        best.ok_or_else(|| SimError::Overload {
+            slot: 0,
+            arrival_rate: problem.arrival_rate,
+            max_capacity: problem.gamma * problem.cluster.max_capacity(),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coca_dcsim::Cluster;
+
+    fn problem(cluster: &Cluster, lam: f64, a: f64, w: f64) -> SlotProblem<'_> {
+        SlotProblem {
+            cluster,
+            arrival_rate: lam,
+            onsite: 0.0,
+            energy_weight: a,
+            delay_weight: w,
+            gamma: 0.95,
+            pue: 1.0,
+        }
+    }
+
+    #[test]
+    fn exhaustive_finds_zero_cost_for_zero_load() {
+        let cluster = Cluster::homogeneous(2, 4);
+        let p = problem(&cluster, 0.0, 1.0, 1.0);
+        let sol = ExhaustiveSolver.solve(&p).unwrap();
+        // All off is optimal: zero power, zero delay.
+        assert_eq!(sol.levels, vec![0, 0]);
+        assert_eq!(sol.outcome.objective, 0.0);
+    }
+
+    #[test]
+    fn exhaustive_turns_on_capacity_under_load() {
+        let cluster = Cluster::homogeneous(2, 4);
+        let p = problem(&cluster, 30.0, 1.0, 1.0);
+        let sol = ExhaustiveSolver.solve(&p).unwrap();
+        assert!(p.is_feasible(&sol.levels));
+        assert!(sol.levels.iter().any(|&c| c > 0));
+        let total: f64 = sol.loads.iter().sum();
+        assert!((total - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn strong_energy_weight_prefers_fewer_servers() {
+        let cluster = Cluster::homogeneous(2, 4);
+        // Very expensive electricity: should consolidate onto the minimum
+        // feasible configuration despite the delay penalty.
+        let costly = ExhaustiveSolver.solve(&problem(&cluster, 20.0, 1e4, 1.0)).unwrap();
+        let cheap = ExhaustiveSolver.solve(&problem(&cluster, 20.0, 1e-4, 1.0)).unwrap();
+        let power_costly = costly.outcome.it_power;
+        let power_cheap = cheap.outcome.it_power;
+        assert!(
+            power_costly <= power_cheap + 1e-9,
+            "expensive electricity must not use more power ({power_costly} vs {power_cheap})"
+        );
+    }
+
+    #[test]
+    fn overload_reported() {
+        let cluster = Cluster::homogeneous(1, 1);
+        let p = problem(&cluster, 100.0, 1.0, 1.0);
+        assert!(matches!(
+            ExhaustiveSolver.solve(&p),
+            Err(SimError::Overload { .. })
+        ));
+    }
+
+    #[test]
+    fn refuses_huge_spaces() {
+        let cluster = Cluster::homogeneous(12, 1); // 5^12 ≈ 244M states
+        let p = problem(&cluster, 1.0, 1.0, 1.0);
+        assert!(matches!(
+            ExhaustiveSolver.solve(&p),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn boxed_solver_delegates() {
+        let cluster = Cluster::homogeneous(1, 2);
+        let p = problem(&cluster, 5.0, 1.0, 1.0);
+        let mut s: Box<dyn P3Solver> = Box::new(ExhaustiveSolver);
+        assert_eq!(s.name(), "exhaustive");
+        let sol = s.solve(&p).unwrap();
+        assert!(p.is_feasible(&sol.levels));
+        s.reset();
+    }
+}

@@ -1,0 +1,110 @@
+//! Frame-indexed cost-carbon parameter schedules.
+//!
+//! Theorem 2 is proved for a *sequence* `V_0, V_1, …, V_{R−1}` of
+//! cost-carbon parameters, one per frame of `T` slots, precisely because a
+//! single constant `V` is hard to choose a priori (Sec. 4.3). The paper's
+//! Fig. 2(c)(d) changes `V` quarterly; [`VSchedule::quarterly`] mirrors that
+//! experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost-carbon parameter schedule over frames.
+///
+/// ```
+/// use coca_core::VSchedule;
+/// let s = VSchedule::quarterly(20.0, 80.0, 320.0, 1280.0);
+/// assert_eq!(s.v_for_frame(0), 20.0);
+/// assert_eq!(s.v_for_frame(3), 1280.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VSchedule {
+    /// The same V in every frame.
+    Constant(f64),
+    /// Explicit per-frame values; the last value repeats if the horizon has
+    /// more frames than entries.
+    PerFrame(Vec<f64>),
+}
+
+impl VSchedule {
+    /// The paper's quarterly experiment: four values, one per quarter of
+    /// the budgeting period. Combine with a frame length of a quarter
+    /// (2190 h for a year).
+    pub fn quarterly(q1: f64, q2: f64, q3: f64, q4: f64) -> Self {
+        VSchedule::PerFrame(vec![q1, q2, q3, q4])
+    }
+
+    /// V for frame `r`.
+    pub fn v_for_frame(&self, r: usize) -> f64 {
+        match self {
+            VSchedule::Constant(v) => *v,
+            VSchedule::PerFrame(vs) => {
+                assert!(!vs.is_empty(), "PerFrame schedule must not be empty");
+                *vs.get(r).unwrap_or_else(|| vs.last().expect("non-empty"))
+            }
+        }
+    }
+
+    /// The per-frame values for the first `frames` frames.
+    pub fn values(&self, frames: usize) -> Vec<f64> {
+        (0..frames).map(|r| self.v_for_frame(r)).collect()
+    }
+
+    /// Validates positivity.
+    pub fn validate(&self) -> Result<(), String> {
+        let check = |v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("V must be positive and finite, got {v}"))
+            }
+        };
+        match self {
+            VSchedule::Constant(v) => check(*v),
+            VSchedule::PerFrame(vs) => {
+                if vs.is_empty() {
+                    return Err("PerFrame schedule must not be empty".into());
+                }
+                vs.iter().try_for_each(|&v| check(v))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_everywhere() {
+        let s = VSchedule::Constant(240.0);
+        assert_eq!(s.v_for_frame(0), 240.0);
+        assert_eq!(s.v_for_frame(99), 240.0);
+        assert_eq!(s.values(3), vec![240.0; 3]);
+    }
+
+    #[test]
+    fn per_frame_with_tail_repeat() {
+        let s = VSchedule::quarterly(10.0, 40.0, 160.0, 640.0);
+        assert_eq!(s.v_for_frame(0), 10.0);
+        assert_eq!(s.v_for_frame(3), 640.0);
+        assert_eq!(s.v_for_frame(7), 640.0, "tail repeats");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(VSchedule::Constant(1.0).validate().is_ok());
+        assert!(VSchedule::Constant(0.0).validate().is_err());
+        assert!(VSchedule::Constant(f64::INFINITY).validate().is_err());
+        assert!(VSchedule::PerFrame(vec![]).validate().is_err());
+        assert!(VSchedule::PerFrame(vec![1.0, -2.0]).validate().is_err());
+        assert!(VSchedule::quarterly(1.0, 2.0, 3.0, 4.0).validate().is_ok());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = VSchedule::quarterly(1.0, 2.0, 3.0, 4.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: VSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

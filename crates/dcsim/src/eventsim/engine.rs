@@ -1,0 +1,231 @@
+//! Event-driven processor-sharing queue.
+//!
+//! Exact PS dynamics: with `n` jobs in the system and server speed `s`,
+//! every job progresses at rate `s/n`. Between events (arrivals and the
+//! earliest completion) all remaining-work values decrease uniformly, so it
+//! suffices to advance time to the next event and subtract the elapsed
+//! work. The implementation keeps the active set in a `Vec` and scans for
+//! the minimum remaining work — O(n) per event, plenty for the validation
+//! scale this engine targets (thousands of concurrent jobs at most).
+
+use rand::Rng;
+
+use super::service::ServiceDist;
+
+/// Summary statistics of a finished run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimStats {
+    /// Jobs completed.
+    pub completed: usize,
+    /// Mean response time (s) over completed jobs.
+    pub mean_response: f64,
+    /// Time-averaged number of jobs in the system.
+    pub mean_jobs: f64,
+    /// Fraction of time the server was busy.
+    pub utilization: f64,
+    /// Total simulated time (s).
+    pub sim_time: f64,
+}
+
+/// An M/G/1/PS simulation: Poisson arrivals at `lambda` jobs/s, i.i.d. job
+/// sizes from `service`, served processor-sharing at speed `speed` work/s.
+#[derive(Debug, Clone)]
+pub struct PsQueueSim {
+    /// Arrival rate λ (jobs/s).
+    pub lambda: f64,
+    /// Server speed (work units/s).
+    pub speed: f64,
+    /// Job-size distribution (work units).
+    pub service: ServiceDist,
+    /// Number of initial completions discarded as warm-up.
+    pub warmup: usize,
+}
+
+struct Job {
+    remaining: f64,
+    arrived_at: f64,
+}
+
+impl PsQueueSim {
+    /// Creates a simulation; the *service rate* in requests/s is
+    /// `speed / service.mean()`.
+    pub fn new(lambda: f64, speed: f64, service: ServiceDist) -> Self {
+        Self { lambda, speed, service, warmup: 1000 }
+    }
+
+    /// Effective service rate x (jobs/s) implied by speed and mean job size.
+    pub fn service_rate(&self) -> f64 {
+        self.speed / self.service.mean()
+    }
+
+    /// Runs until `target_completions` jobs (after warm-up) have finished.
+    ///
+    /// Panics if the queue is unstable (`λ ≥ x`); callers should check
+    /// [`PsQueueSim::service_rate`] first.
+    pub fn run<R: Rng + ?Sized>(&self, target_completions: usize, rng: &mut R) -> SimStats {
+        assert!(self.lambda > 0.0, "arrival rate must be positive");
+        assert!(
+            self.lambda < self.service_rate(),
+            "unstable queue: λ = {} ≥ x = {}",
+            self.lambda,
+            self.service_rate()
+        );
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut now = 0.0_f64;
+        let mut next_arrival = sample_interarrival(rng, self.lambda);
+        let mut completed = 0usize;
+        let mut counted = 0usize;
+        let mut response_sum = 0.0;
+        let mut area_jobs = 0.0; // ∫ N(t) dt after warm-up
+        let mut busy_time = 0.0; // time with N(t) > 0 after warm-up
+        let mut measure_start: Option<f64> = if self.warmup == 0 { Some(0.0) } else { None };
+
+        while counted < target_completions {
+            // Earliest completion among active jobs (remaining·n/speed).
+            let n = jobs.len();
+            let next_completion = if n == 0 {
+                f64::INFINITY
+            } else {
+                let min_rem = jobs.iter().map(|j| j.remaining).fold(f64::INFINITY, f64::min);
+                now + min_rem * n as f64 / self.speed
+            };
+            let t_next = next_arrival.min(next_completion);
+            let dt = t_next - now;
+            if measure_start.is_some() {
+                area_jobs += n as f64 * dt;
+                if n > 0 {
+                    busy_time += dt;
+                }
+            }
+            // Advance every active job by the shared-rate progress.
+            if n > 0 {
+                let work = dt * self.speed / n as f64;
+                for j in jobs.iter_mut() {
+                    j.remaining -= work;
+                }
+            }
+            now = t_next;
+
+            if next_arrival <= next_completion {
+                jobs.push(Job { remaining: self.service.sample(rng), arrived_at: now });
+                next_arrival = now + sample_interarrival(rng, self.lambda);
+            } else {
+                // Remove the finished job (remaining ≈ 0 after the advance).
+                let (idx, _) = jobs
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.remaining.partial_cmp(&b.1.remaining).expect("finite"))
+                    .expect("completion implies non-empty");
+                let job = jobs.swap_remove(idx);
+                completed += 1;
+                if completed == self.warmup {
+                    measure_start = Some(now);
+                }
+                if completed > self.warmup {
+                    response_sum += now - job.arrived_at;
+                    counted += 1;
+                }
+            }
+        }
+
+        let start = measure_start.unwrap_or(now);
+        let span = (now - start).max(f64::MIN_POSITIVE);
+        SimStats {
+            completed: counted,
+            mean_response: response_sum / counted.max(1) as f64,
+            mean_jobs: area_jobs / span,
+            utilization: busy_time / span,
+            sim_time: now,
+        }
+    }
+}
+
+fn sample_interarrival<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queueing;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    /// Paper calibration: 100 ms mean service at full speed → x = 10 req/s.
+    fn paper_queue(lambda: f64, dist: ServiceDist) -> PsQueueSim {
+        PsQueueSim::new(lambda, 1.0, dist)
+    }
+
+    #[test]
+    fn mm1_ps_matches_analytic_mean_response() {
+        // λ = 5, x = 10 → E[T] = 1/(x−λ) = 0.2 s.
+        let sim = paper_queue(5.0, ServiceDist::Exponential { mean: 0.1 });
+        let stats = sim.run(60_000, &mut rng(1));
+        let expect = queueing::mean_response_time(5.0, 10.0).unwrap();
+        assert!(
+            (stats.mean_response - expect).abs() / expect < 0.05,
+            "E[T] sim {} vs analytic {expect}",
+            stats.mean_response
+        );
+    }
+
+    #[test]
+    fn jobs_in_system_matches_delay_cost_formula() {
+        // λ = 7, x = 10 → E[N] = 7/3.
+        let sim = paper_queue(7.0, ServiceDist::Exponential { mean: 0.1 });
+        let stats = sim.run(80_000, &mut rng(2));
+        let expect = queueing::delay_cost(7.0, 10.0).unwrap();
+        assert!(
+            (stats.mean_jobs - expect).abs() / expect < 0.07,
+            "E[N] sim {} vs analytic {expect}",
+            stats.mean_jobs
+        );
+    }
+
+    #[test]
+    fn ps_insensitivity_deterministic_and_bursty() {
+        // Same mean service time, wildly different variance: PS mean delay
+        // must agree (insensitivity property).
+        let lambda = 6.0;
+        let expect = queueing::mean_response_time(lambda, 10.0).unwrap();
+        for (name, dist) in [
+            ("deterministic", ServiceDist::Deterministic { size: 0.1 }),
+            ("bursty", ServiceDist::bursty(0.1)),
+        ] {
+            let stats = paper_queue(lambda, dist).run(60_000, &mut rng(3));
+            assert!(
+                (stats.mean_response - expect).abs() / expect < 0.08,
+                "{name}: E[T] sim {} vs analytic {expect}",
+                stats.mean_response
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_matches_rho() {
+        let sim = paper_queue(4.0, ServiceDist::Exponential { mean: 0.1 });
+        let stats = sim.run(50_000, &mut rng(4));
+        assert!((stats.utilization - 0.4).abs() < 0.02, "ρ sim {}", stats.utilization);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_queue_panics() {
+        let sim = paper_queue(11.0, ServiceDist::Exponential { mean: 0.1 });
+        let _ = sim.run(10, &mut rng(5));
+    }
+
+    #[test]
+    fn little_law_holds_in_simulation() {
+        let sim = paper_queue(6.5, ServiceDist::Exponential { mean: 0.1 });
+        let stats = sim.run(60_000, &mut rng(6));
+        // E[N] ≈ λ·E[T].
+        let lhs = stats.mean_jobs;
+        let rhs = 6.5 * stats.mean_response;
+        assert!((lhs - rhs).abs() / rhs < 0.05, "Little: {lhs} vs {rhs}");
+    }
+}

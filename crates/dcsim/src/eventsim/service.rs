@@ -1,0 +1,128 @@
+//! Service-time distributions for the event simulator.
+//!
+//! M/G/1/PS mean delay depends only on the mean service time (PS
+//! insensitivity); offering several shapes lets the tests demonstrate that
+//! property instead of assuming it. Times are expressed in units of *work*:
+//! a server at speed `s` completes `s` units of work per second.
+
+use rand::Rng;
+
+/// Job-size distribution (mean fixed by the caller).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceDist {
+    /// Exponential with the given mean (M/M/1-PS).
+    Exponential {
+        /// Mean job size.
+        mean: f64,
+    },
+    /// Every job has exactly this size (M/D/1-PS).
+    Deterministic {
+        /// Job size.
+        size: f64,
+    },
+    /// Two-phase hyperexponential: with probability `p` the job is drawn
+    /// from Exp(mean `m1`), otherwise Exp(mean `m2`). High variance shape.
+    HyperExp {
+        /// Probability of the first phase.
+        p: f64,
+        /// Mean of the first phase.
+        m1: f64,
+        /// Mean of the second phase.
+        m2: f64,
+    },
+}
+
+impl ServiceDist {
+    /// A hyperexponential with the given overall `mean` and a squared
+    /// coefficient of variation of 4 (a common "bursty" benchmark shape).
+    pub fn bursty(mean: f64) -> Self {
+        // Balanced-means construction: p·m1 = (1−p)·m2 = mean/2 with
+        // p chosen for SCV = 4 → p = (1 − √(3/5))/2.
+        let p = 0.5 * (1.0 - (0.6_f64).sqrt());
+        ServiceDist::HyperExp { p, m1: mean / (2.0 * p), m2: mean / (2.0 * (1.0 - p)) }
+    }
+
+    /// Mean job size.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ServiceDist::Exponential { mean } => mean,
+            ServiceDist::Deterministic { size } => size,
+            ServiceDist::HyperExp { p, m1, m2 } => p * m1 + (1.0 - p) * m2,
+        }
+    }
+
+    /// Draws one job size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            ServiceDist::Exponential { mean } => sample_exp(rng, mean),
+            ServiceDist::Deterministic { size } => size,
+            ServiceDist::HyperExp { p, m1, m2 } => {
+                if rng.gen::<f64>() < p {
+                    sample_exp(rng, m1)
+                } else {
+                    sample_exp(rng, m2)
+                }
+            }
+        }
+    }
+}
+
+fn sample_exp<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn empirical_mean(d: ServiceDist, n: usize) -> f64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_correct() {
+        let m = empirical_mean(ServiceDist::Exponential { mean: 0.1 }, 200_000);
+        assert!((m - 0.1).abs() < 0.002, "mean {m}");
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let d = ServiceDist::Deterministic { size: 0.25 };
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 0.25);
+        }
+        assert_eq!(d.mean(), 0.25);
+    }
+
+    #[test]
+    fn bursty_has_target_mean_and_high_variance() {
+        let d = ServiceDist::bursty(0.1);
+        assert!((d.mean() - 0.1).abs() < 1e-12);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let n = 400_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let scv = var / (mean * mean);
+        assert!((mean - 0.1).abs() < 0.01, "mean {mean}");
+        assert!((scv - 4.0).abs() < 0.4, "SCV {scv} should be ≈ 4");
+    }
+
+    #[test]
+    fn all_samples_positive() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for d in [
+            ServiceDist::Exponential { mean: 0.1 },
+            ServiceDist::Deterministic { size: 0.1 },
+            ServiceDist::bursty(0.1),
+        ] {
+            for _ in 0..1000 {
+                assert!(d.sample(&mut rng) > 0.0);
+            }
+        }
+    }
+}

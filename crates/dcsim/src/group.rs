@@ -1,0 +1,129 @@
+//! Homogeneous server groups as pooled queues.
+//!
+//! The paper reduces GSD's complexity by "changing speed selections for a
+//! whole group of (homogeneous) servers in batch" and runs its experiments
+//! with 200 groups. We model a group of `count` identical servers all at
+//! the same speed as one pooled M/G/1/PS queue with aggregate service rate
+//! `count · x` (resource-pooling approximation; a lower bound on per-server
+//! queueing, exact under ideal load balancing). This also resolves the
+//! paper's otherwise-unit-inconsistent `β = 10` calibration — see
+//! `DESIGN.md` §4.
+
+use serde::{Deserialize, Serialize};
+
+use crate::server::ServerClass;
+use crate::SimError;
+
+/// A group of identical servers sharing one speed decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerGroup {
+    /// Server model of every member.
+    pub class: ServerClass,
+    /// Number of servers in the group.
+    pub count: usize,
+}
+
+impl ServerGroup {
+    /// Creates a group, validating the class.
+    pub fn new(class: ServerClass, count: usize) -> crate::Result<Self> {
+        class.validate()?;
+        if count == 0 {
+            return Err(SimError::InvalidConfig(format!("group of class {} empty", class.name)));
+        }
+        Ok(Self { class, count })
+    }
+
+    /// Number of speed choices (off + positive ladder).
+    pub fn num_choices(&self) -> usize {
+        self.class.num_choices()
+    }
+
+    /// Pooled service capacity at decision `choice` (req/s).
+    pub fn capacity(&self, choice: usize) -> f64 {
+        self.count as f64 * self.class.rate(choice)
+    }
+
+    /// Static power of the whole group at decision `choice` (kW): zero when
+    /// off, `count · p_s` otherwise.
+    pub fn static_power(&self, choice: usize) -> f64 {
+        if choice == 0 {
+            0.0
+        } else {
+            self.count as f64 * self.class.idle_power
+        }
+    }
+
+    /// Marginal power per unit of group load (kW per req/s) at `choice`.
+    ///
+    /// Identical to the per-server slope: with ideal balancing the group
+    /// serves load `λ_g` using `λ_g/x` busy server-equivalents, each drawing
+    /// `p_c(x)` — so group power is `count·p_s + (p_c(x)/x)·λ_g`.
+    pub fn energy_slope(&self, choice: usize) -> f64 {
+        self.class.energy_slope(choice)
+    }
+
+    /// Group power at decision `choice` carrying group load `load` (kW).
+    pub fn power(&self, choice: usize, load: f64) -> f64 {
+        self.static_power(choice) + self.energy_slope(choice) * load
+    }
+
+    /// Pooled capacity at the top speed (req/s).
+    pub fn max_capacity(&self) -> f64 {
+        self.count as f64 * self.class.max_rate()
+    }
+
+    /// Group power ceiling (kW), all servers at top speed and full load.
+    pub fn max_power(&self) -> f64 {
+        self.count as f64 * self.class.max_power()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(count: usize) -> ServerGroup {
+        ServerGroup::new(ServerClass::amd_opteron_2380(), count).unwrap()
+    }
+
+    #[test]
+    fn pooled_capacity_scales_with_count() {
+        let g = group(1080);
+        assert!((g.max_capacity() - 10_800.0).abs() < 1e-9);
+        assert!((g.capacity(1) - 1080.0 * 3.2).abs() < 1e-9);
+        assert_eq!(g.capacity(0), 0.0);
+    }
+
+    #[test]
+    fn off_group_consumes_nothing() {
+        let g = group(100);
+        assert_eq!(g.static_power(0), 0.0);
+        assert_eq!(g.power(0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn group_power_matches_per_server_sum() {
+        let g = group(10);
+        // 10 servers at full speed sharing 50 req/s = 5 req/s each.
+        let per_server = g.class.power(4, 5.0);
+        let pooled = g.power(4, 50.0);
+        assert!((pooled - 10.0 * per_server).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_power_is_fleet_nameplate() {
+        let g = group(1000);
+        assert!((g.max_power() - 231.0).abs() < 1e-9, "1000 × 231 W = 231 kW");
+    }
+
+    #[test]
+    fn empty_group_rejected() {
+        assert!(ServerGroup::new(ServerClass::amd_opteron_2380(), 0).is_err());
+    }
+
+    #[test]
+    fn choices_include_off() {
+        let g = group(5);
+        assert_eq!(g.num_choices(), 5);
+    }
+}

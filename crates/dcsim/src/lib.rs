@@ -1,0 +1,55 @@
+//! # coca-dcsim — data-center model and simulators for the COCA reproduction
+//!
+//! This crate is the substrate that the COCA controller (and every baseline)
+//! manages. It implements the model of Sec. 2 of the paper:
+//!
+//! * [`server`] — DVFS speed ladders and the two-part power model
+//!   `p(λ, x) = p_s + p_c(x)·λ/x` (eq. 1), calibrated to the paper's
+//!   Powerpack-measured AMD Opteron 2380 numbers.
+//! * [`group`] — homogeneous server groups modeled as pooled M/G/1/PS
+//!   queues — the paper's own complexity-reduction device for GSD
+//!   ("changing speed selections for a whole group of servers in batch").
+//! * [`cluster`] — heterogeneous fleets; includes a builder for the paper's
+//!   216 K-server / 50 MW / 200-group data center.
+//! * [`queueing`] — M/G/1/PS delay-cost formulas (eq. 4) and their validity
+//!   conditions.
+//! * [`dispatch`] — the bridge to `coca-opt`: optimal load distribution and
+//!   P3-objective evaluation for a fixed speed vector.
+//! * [`policy`] — the [`Policy`] trait implemented by COCA and all
+//!   baselines, plus the per-slot observation/feedback types.
+//! * [`slot_sim`] — the trace-driven hourly simulator behind every figure of
+//!   Sec. 5 (cost/energy/deficit accounting, switching costs, workload
+//!   overestimation).
+//! * [`eventsim`] — a discrete-event M/G/1/PS simulator (virtual-time
+//!   processor sharing) used to validate the analytic delay model at small
+//!   scale; this is the "event-based simulation" of Sec. 5.1.
+//! * [`metrics`] — per-slot records, totals, and the derived series
+//!   (cumulative / moving averages) the figures plot.
+//! * [`batch`] — the deferrable batch-workload tier the paper isolates in
+//!   Sec. 2.3: EDF and renewable-aware scheduling of batch jobs into the
+//!   interactive tier's headroom.
+
+pub mod batch;
+pub mod cluster;
+pub mod dispatch;
+pub mod eventsim;
+pub mod group;
+pub mod metrics;
+pub mod policy;
+pub mod queueing;
+pub mod server;
+pub mod slot_sim;
+
+mod error;
+
+pub use cluster::{Cluster, ClusterBuilder};
+pub use dispatch::{optimal_dispatch, DispatchOutcome, SlotProblem};
+pub use error::SimError;
+pub use group::ServerGroup;
+pub use metrics::{SimOutcome, SlotRecord};
+pub use policy::{Decision, Policy, SlotFeedback, SlotObservation};
+pub use server::{ServerClass, SpeedLevel};
+pub use slot_sim::{CostParams, SlotSimulator};
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,252 @@
+//! Per-slot records and aggregate outcomes of a simulation run.
+//!
+//! These types carry everything the paper's figures plot: hourly costs
+//! (Fig. 2(a), 3(a), 5), hourly carbon deficits (Fig. 2(b), 3(b)), their
+//! cumulative and 45-day moving averages (Fig. 2(c)(d), Fig. 3), plus the
+//! energy totals behind the carbon-neutrality check (eq. 10).
+
+use serde::{Deserialize, Serialize};
+
+use coca_traces::stats;
+
+/// Everything measured in one simulated slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotRecord {
+    /// Slot index.
+    pub t: usize,
+    /// Realized arrival rate λ(t) (req/s).
+    pub arrival_rate: f64,
+    /// Electricity price w(t) ($/kWh).
+    pub price: f64,
+    /// On-site renewable r(t) (kWh).
+    pub onsite: f64,
+    /// Off-site renewable f(t) (kWh).
+    pub offsite: f64,
+    /// Facility energy including switching (kWh).
+    pub facility_energy: f64,
+    /// Brown (grid) energy `y(t)` including switching (kWh).
+    pub brown_energy: f64,
+    /// Energy spent on server power-state transitions (kWh).
+    pub switching_energy: f64,
+    /// Electricity cost `e(t) = w·y` ($).
+    pub electricity_cost: f64,
+    /// Weighted delay cost `β·d(t)` ($-equivalent).
+    pub delay_cost: f64,
+    /// Total cost `g(t) = e(t) + β·d(t)` ($).
+    pub total_cost: f64,
+    /// Unweighted delay `d(t)` (mean jobs in system).
+    pub delay: f64,
+    /// Servers powered on during the slot.
+    pub servers_on: usize,
+}
+
+/// Result of simulating a policy over a whole trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Policy identifier.
+    pub policy: String,
+    /// Per-slot records, in order.
+    pub records: Vec<SlotRecord>,
+    /// Total RECs Z available for the budgeting period (kWh).
+    pub rec_total: f64,
+}
+
+impl SimOutcome {
+    /// Number of slots J.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no slots were simulated.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Average hourly total cost `ḡ` (paper eq. 6).
+    pub fn avg_hourly_cost(&self) -> f64 {
+        stats::summarize(&self.cost_series()).mean
+    }
+
+    /// Total brown energy `Σ y(t)` (kWh).
+    pub fn total_brown_energy(&self) -> f64 {
+        self.records.iter().map(|r| r.brown_energy).sum()
+    }
+
+    /// Total carbon allowance `Σ f(t) + Z` (kWh).
+    pub fn total_allowance(&self) -> f64 {
+        self.records.iter().map(|r| r.offsite).sum::<f64>() + self.rec_total
+    }
+
+    /// Average hourly carbon deficit: mean of `y(t) − (f(t) + Z/J)` (kWh).
+    /// Negative means the allowance exceeded the usage (paper Fig. 2(b)).
+    pub fn avg_hourly_deficit(&self) -> f64 {
+        stats::summarize(&self.deficit_series()).mean
+    }
+
+    /// Whether long-term carbon neutrality (eq. 10 with α = 1) held.
+    pub fn is_carbon_neutral(&self) -> bool {
+        self.total_brown_energy() <= self.total_allowance() * (1.0 + 1e-9)
+    }
+
+    /// Hourly total-cost series g(t).
+    pub fn cost_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.total_cost).collect()
+    }
+
+    /// Hourly carbon-deficit series `y(t) − f(t) − Z/J`.
+    pub fn deficit_series(&self) -> Vec<f64> {
+        let z = if self.records.is_empty() { 0.0 } else { self.rec_total / self.records.len() as f64 };
+        self.records.iter().map(|r| r.brown_energy - r.offsite - z).collect()
+    }
+
+    /// Cumulative average of the cost series (paper Fig. 3(a)).
+    pub fn cumavg_cost(&self) -> Vec<f64> {
+        stats::cumulative_average(&self.cost_series())
+    }
+
+    /// Cumulative average of the deficit series (paper Fig. 3(b)).
+    pub fn cumavg_deficit(&self) -> Vec<f64> {
+        stats::cumulative_average(&self.deficit_series())
+    }
+
+    /// Moving average of the cost series over `window` slots
+    /// (paper Fig. 2(c): 45 days = 1080 hours).
+    pub fn movavg_cost(&self, window: usize) -> Vec<f64> {
+        stats::moving_average(&self.cost_series(), window)
+    }
+
+    /// Moving average of the deficit series over `window` slots (Fig. 2(d)).
+    pub fn movavg_deficit(&self, window: usize) -> Vec<f64> {
+        stats::moving_average(&self.deficit_series(), window)
+    }
+
+    /// Total electricity cost ($).
+    pub fn total_electricity_cost(&self) -> f64 {
+        self.records.iter().map(|r| r.electricity_cost).sum()
+    }
+
+    /// Total weighted delay cost ($-equivalent).
+    pub fn total_delay_cost(&self) -> f64 {
+        self.records.iter().map(|r| r.delay_cost).sum()
+    }
+
+    /// Total cost over the horizon ($).
+    pub fn total_cost(&self) -> f64 {
+        self.records.iter().map(|r| r.total_cost).sum()
+    }
+
+    /// Minimum hourly cost observed (a lower proxy for the paper's
+    /// `g_min` in Theorem 2).
+    pub fn min_hourly_cost(&self) -> f64 {
+        self.records.iter().map(|r| r.total_cost).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Additional RECs (kWh) that would have to be purchased *after* the
+    /// budgeting period to restore exact carbon neutrality — the paper's
+    /// Sec. 4.3 remark that "data centers may purchase additional RECs at
+    /// the end of a budgeting period to offset the remaining electricity
+    /// usage". Zero when the run was already neutral.
+    pub fn rec_shortfall(&self) -> f64 {
+        (self.total_brown_energy() - self.total_allowance()).max(0.0)
+    }
+
+    /// The corresponding top-up cost at a given REC price ($/kWh).
+    pub fn rec_topup_cost(&self, rec_price_per_kwh: f64) -> f64 {
+        assert!(rec_price_per_kwh >= 0.0);
+        self.rec_shortfall() * rec_price_per_kwh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(t: usize, brown: f64, offsite: f64, cost: f64) -> SlotRecord {
+        SlotRecord {
+            t,
+            arrival_rate: 1.0,
+            price: 0.05,
+            onsite: 0.0,
+            offsite,
+            facility_energy: brown,
+            brown_energy: brown,
+            switching_energy: 0.0,
+            electricity_cost: cost / 2.0,
+            delay_cost: cost / 2.0,
+            total_cost: cost,
+            delay: 1.0,
+            servers_on: 10,
+        }
+    }
+
+    fn outcome() -> SimOutcome {
+        SimOutcome {
+            policy: "test".into(),
+            records: vec![record(0, 10.0, 4.0, 2.0), record(1, 6.0, 4.0, 4.0)],
+            rec_total: 4.0,
+        }
+    }
+
+    #[test]
+    fn aggregates_match_hand_computation() {
+        let o = outcome();
+        assert_eq!(o.len(), 2);
+        assert!((o.avg_hourly_cost() - 3.0).abs() < 1e-12);
+        assert_eq!(o.total_brown_energy(), 16.0);
+        assert_eq!(o.total_allowance(), 12.0);
+        assert!(!o.is_carbon_neutral());
+        // Deficits: z = 2; [10−4−2, 6−4−2] = [4, 0]; mean 2.
+        assert_eq!(o.deficit_series(), vec![4.0, 0.0]);
+        assert!((o.avg_hourly_deficit() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neutral_when_allowance_covers_usage() {
+        let mut o = outcome();
+        o.rec_total = 100.0;
+        assert!(o.is_carbon_neutral());
+        assert!(o.avg_hourly_deficit() < 0.0);
+    }
+
+    #[test]
+    fn series_helpers() {
+        let o = outcome();
+        assert_eq!(o.cost_series(), vec![2.0, 4.0]);
+        assert_eq!(o.cumavg_cost(), vec![2.0, 3.0]);
+        assert_eq!(o.movavg_cost(1), vec![2.0, 4.0]);
+        assert_eq!(o.cumavg_deficit(), vec![4.0, 2.0]);
+        assert_eq!(o.min_hourly_cost(), 2.0);
+        assert_eq!(o.total_cost(), 6.0);
+        assert_eq!(o.total_electricity_cost(), 3.0);
+        assert_eq!(o.total_delay_cost(), 3.0);
+    }
+
+    #[test]
+    fn empty_outcome_is_sane() {
+        let o = SimOutcome { policy: "e".into(), records: vec![], rec_total: 0.0 };
+        assert!(o.is_empty());
+        assert_eq!(o.avg_hourly_cost(), 0.0);
+        assert_eq!(o.deficit_series(), Vec::<f64>::new());
+        assert!(o.is_carbon_neutral());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let o = outcome();
+        let json = serde_json::to_string(&o).unwrap();
+        let back: SimOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(o, back);
+    }
+
+    #[test]
+    fn rec_shortfall_and_topup() {
+        let o = outcome();
+        // brown 16, allowance 12 → shortfall 4.
+        assert_eq!(o.rec_shortfall(), 4.0);
+        assert_eq!(o.rec_topup_cost(0.02), 0.08);
+        let mut neutral = outcome();
+        neutral.rec_total = 100.0;
+        assert_eq!(neutral.rec_shortfall(), 0.0);
+        assert_eq!(neutral.rec_topup_cost(1.0), 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! The policy interface implemented by COCA and every baseline.
+//!
+//! A policy sees exactly what the paper's data-center operator sees at the
+//! beginning of slot `t` — the arrival rate λ(t), the on-site renewable
+//! supply r(t) and the electricity price w(t) (Algorithm 1, line 1) — and
+//! returns a capacity-provisioning + load-distribution decision. The
+//! off-site supply f(t) is only revealed *after* the slot through
+//! [`SlotFeedback`], matching the paper's queue-update timing.
+
+use crate::SimError;
+
+/// What a policy observes at the start of a slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotObservation {
+    /// Slot index `t`.
+    pub t: usize,
+    /// Workload arrival rate λ(t) to be fully served this slot (req/s).
+    /// May include the operator's overestimation factor φ (Fig. 5(c)).
+    pub arrival_rate: f64,
+    /// On-site renewable supply r(t) (kW).
+    pub onsite: f64,
+    /// Electricity price w(t) ($/kWh).
+    pub price: f64,
+}
+
+/// What a policy learns after the slot completes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotFeedback {
+    /// Slot index `t`.
+    pub t: usize,
+    /// Realized off-site renewable supply f(t) (kWh).
+    pub offsite: f64,
+    /// Realized brown-energy draw `[PUE·p − r]⁺` plus switching energy (kWh).
+    pub brown_energy: f64,
+    /// Realized facility energy (kWh).
+    pub facility_energy: f64,
+    /// Realized total cost g(t) ($).
+    pub cost: f64,
+}
+
+/// A capacity-provisioning and load-distribution decision: one speed choice
+/// (0 = off) and one load share per group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Per-group speed indices into each group's ladder (0 = off).
+    pub levels: Vec<usize>,
+    /// Per-group arrival rates λᵢ(t); must sum to the observed arrival rate
+    /// and respect `λᵢ ≤ γ·capacityᵢ` (paper constraints 7–8).
+    pub loads: Vec<f64>,
+}
+
+impl Decision {
+    /// Checks internal consistency against an expected total load.
+    pub fn validate_totals(&self, expected_total: f64) -> crate::Result<()> {
+        if self.levels.len() != self.loads.len() {
+            return Err(SimError::InvalidDecision(format!(
+                "levels ({}) and loads ({}) lengths differ",
+                self.levels.len(),
+                self.loads.len()
+            )));
+        }
+        let total: f64 = self.loads.iter().sum();
+        let tol = expected_total.abs().max(1.0) * 1e-6;
+        if (total - expected_total).abs() > tol {
+            return Err(SimError::InvalidDecision(format!(
+                "loads sum to {total}, expected {expected_total} (workload dropping is not allowed)"
+            )));
+        }
+        for (i, &l) in self.loads.iter().enumerate() {
+            if !(l.is_finite() && l >= -1e-12) {
+                return Err(SimError::InvalidDecision(format!("loads[{i}] = {l} invalid")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A per-slot resource-management policy.
+pub trait Policy {
+    /// Short identifier used in reports ("coca", "perfect-hp", ...).
+    fn name(&self) -> &str;
+
+    /// Makes the slot decision from the observation.
+    fn decide(&mut self, obs: &SlotObservation) -> crate::Result<Decision>;
+
+    /// Receives post-slot feedback (off-site supply, realized energy).
+    /// Default: ignore.
+    fn feedback(&mut self, _fb: &SlotFeedback) {}
+
+    /// Resets internal state so the policy can be reused on a fresh run.
+    /// Default: no state.
+    fn reset(&mut self) {}
+}
+
+/// The simplest useful policy: a fixed speed vector with cost-optimal load
+/// distribution each slot. Serves as a baseline building block ("all-on at
+/// full speed" is the classic static provisioning) and as a reference
+/// implementation of the [`Policy`] trait.
+pub struct StaticLevels<'a> {
+    cluster: &'a crate::cluster::Cluster,
+    cost: crate::slot_sim::CostParams,
+    levels: Vec<usize>,
+}
+
+impl<'a> StaticLevels<'a> {
+    /// Creates the policy; the speed vector is validated against the fleet.
+    pub fn new(
+        cluster: &'a crate::cluster::Cluster,
+        cost: crate::slot_sim::CostParams,
+        levels: Vec<usize>,
+    ) -> crate::Result<Self> {
+        cost.validate()?;
+        cluster.validate_levels(&levels)?;
+        Ok(Self { cluster, cost, levels })
+    }
+
+    /// Everything at top speed.
+    pub fn full_speed(
+        cluster: &'a crate::cluster::Cluster,
+        cost: crate::slot_sim::CostParams,
+    ) -> Self {
+        Self { cluster, cost, levels: cluster.full_speed_vector() }
+    }
+}
+
+impl Policy for StaticLevels<'_> {
+    fn name(&self) -> &str {
+        "static-levels"
+    }
+
+    fn decide(&mut self, obs: &SlotObservation) -> crate::Result<Decision> {
+        let problem = crate::dispatch::SlotProblem {
+            cluster: self.cluster,
+            arrival_rate: obs.arrival_rate,
+            onsite: obs.onsite,
+            energy_weight: obs.price,
+            delay_weight: self.cost.beta,
+            gamma: self.cost.gamma,
+            pue: self.cost.pue,
+        };
+        let out = crate::dispatch::optimal_dispatch(&problem, &self.levels)?;
+        Ok(Decision { levels: self.levels.clone(), loads: out.loads })
+    }
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn decide(&mut self, obs: &SlotObservation) -> crate::Result<Decision> {
+        (**self).decide(obs)
+    }
+    fn feedback(&mut self, fb: &SlotFeedback) {
+        (**self).feedback(fb)
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_totals_validated() {
+        let d = Decision { levels: vec![1, 0], loads: vec![3.0, 0.0] };
+        assert!(d.validate_totals(3.0).is_ok());
+        assert!(d.validate_totals(4.0).is_err());
+        let d = Decision { levels: vec![1], loads: vec![3.0, 1.0] };
+        assert!(d.validate_totals(4.0).is_err(), "length mismatch");
+        let d = Decision { levels: vec![1], loads: vec![f64::NAN] };
+        assert!(d.validate_totals(0.0).is_err());
+    }
+
+    struct Fixed;
+    impl Policy for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn decide(&mut self, obs: &SlotObservation) -> crate::Result<Decision> {
+            Ok(Decision { levels: vec![4], loads: vec![obs.arrival_rate] })
+        }
+    }
+
+    #[test]
+    fn static_levels_runs_over_a_trace() {
+        use crate::cluster::Cluster;
+        use crate::slot_sim::{CostParams, SlotSimulator};
+        let cluster = Cluster::homogeneous(3, 10);
+        let cost = CostParams::default();
+        let trace = coca_traces::TraceConfig {
+            hours: 24,
+            peak_arrival_rate: 100.0,
+            onsite_energy_kwh: 5.0,
+            offsite_energy_kwh: 5.0,
+            ..Default::default()
+        }
+        .generate();
+        let mut policy = super::StaticLevels::full_speed(&cluster, cost);
+        let out = SlotSimulator::new(&cluster, &trace, cost, 0.0).run(&mut policy).unwrap();
+        assert_eq!(out.len(), 24);
+        assert_eq!(out.policy, "static-levels");
+        assert!(out.records.iter().all(|r| r.servers_on == 30));
+        // Custom (partial) vector and validation.
+        let p = super::StaticLevels::new(&cluster, cost, vec![4, 0, 2]).unwrap();
+        assert_eq!(p.levels, vec![4, 0, 2]);
+        assert!(super::StaticLevels::new(&cluster, cost, vec![9, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn boxed_policy_delegates() {
+        let mut p: Box<dyn Policy> = Box::new(Fixed);
+        assert_eq!(p.name(), "fixed");
+        let obs = SlotObservation { t: 0, arrival_rate: 5.0, onsite: 0.0, price: 0.05 };
+        let d = p.decide(&obs).unwrap();
+        assert_eq!(d.loads, vec![5.0]);
+        p.feedback(&SlotFeedback {
+            t: 0,
+            offsite: 0.0,
+            brown_energy: 0.0,
+            facility_energy: 0.0,
+            cost: 0.0,
+        });
+        p.reset();
+    }
+}

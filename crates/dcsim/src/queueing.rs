@@ -1,0 +1,122 @@
+//! M/G/1/PS queueing formulas (paper eq. 4).
+//!
+//! The paper models each server (here: pooled group) as an
+//! M/G/1/processor-sharing queue. Under PS the mean number of jobs in the
+//! system depends on the service-time distribution only through its mean
+//! (the celebrated PS insensitivity property), so
+//!
+//! ```text
+//! E[N] = ρ / (1 − ρ) = λ / (x − λ),      E[T] = 1 / (x − λ)
+//! ```
+//!
+//! and the paper's *delay cost* is `d(λ, x) = λ·E[T] = λ/(x−λ)` — the mean
+//! number of in-flight requests, a natural proxy for delay-induced revenue
+//! loss. The discrete-event simulator in [`crate::eventsim`] validates
+//! these formulas empirically.
+
+use crate::SimError;
+
+/// Utilization `ρ = λ/x`.
+#[inline]
+pub fn utilization(lambda: f64, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        f64::INFINITY
+    } else {
+        lambda / rate
+    }
+}
+
+/// Mean response time `E[T] = 1/(x − λ)` of an M/G/1/PS queue with unit
+/// mean job size at rate `x`. Requires `λ < x`.
+pub fn mean_response_time(lambda: f64, rate: f64) -> crate::Result<f64> {
+    check_stable(lambda, rate)?;
+    Ok(1.0 / (rate - lambda))
+}
+
+/// The paper's per-queue delay cost `d = λ/(x − λ)` (eq. 4), i.e. the mean
+/// number of jobs in the system (Little's law applied to `E[T]`).
+pub fn delay_cost(lambda: f64, rate: f64) -> crate::Result<f64> {
+    if lambda == 0.0 {
+        return Ok(0.0);
+    }
+    check_stable(lambda, rate)?;
+    Ok(lambda / (rate - lambda))
+}
+
+/// Total delay cost across queues; each pair is `(λᵢ, xᵢ)`.
+pub fn total_delay_cost(pairs: impl IntoIterator<Item = (f64, f64)>) -> crate::Result<f64> {
+    let mut sum = 0.0;
+    for (lambda, rate) in pairs {
+        sum += delay_cost(lambda, rate)?;
+    }
+    Ok(sum)
+}
+
+fn check_stable(lambda: f64, rate: f64) -> crate::Result<()> {
+    if !(lambda.is_finite() && lambda >= 0.0) {
+        return Err(SimError::InvalidDecision(format!("arrival rate {lambda} invalid")));
+    }
+    if !(rate.is_finite() && rate > lambda) {
+        return Err(SimError::InvalidDecision(format!(
+            "queue unstable or invalid: λ = {lambda}, x = {rate}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_cost_matches_closed_form() {
+        // ρ = 0.5 → E[N] = 1.
+        assert!((delay_cost(5.0, 10.0).unwrap() - 1.0).abs() < 1e-12);
+        // ρ = 0.9 → E[N] = 9.
+        assert!((delay_cost(9.0, 10.0).unwrap() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_load_zero_cost_even_when_off() {
+        assert_eq!(delay_cost(0.0, 0.0).unwrap(), 0.0);
+        assert_eq!(delay_cost(0.0, 10.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn unstable_queue_rejected() {
+        assert!(delay_cost(10.0, 10.0).is_err());
+        assert!(delay_cost(11.0, 10.0).is_err());
+        assert!(mean_response_time(10.0, 10.0).is_err());
+        assert!(delay_cost(-1.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn response_time_blows_up_near_saturation() {
+        let t1 = mean_response_time(5.0, 10.0).unwrap();
+        let t2 = mean_response_time(9.9, 10.0).unwrap();
+        assert!(t2 > 10.0 * t1);
+    }
+
+    #[test]
+    fn little_law_consistency() {
+        // E[N] = λ·E[T].
+        let lambda = 7.3;
+        let rate = 11.0;
+        let n = delay_cost(lambda, rate).unwrap();
+        let t = mean_response_time(lambda, rate).unwrap();
+        assert!((n - lambda * t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_sums_queues() {
+        let total = total_delay_cost([(5.0, 10.0), (9.0, 10.0)]).unwrap();
+        assert!((total - 10.0).abs() < 1e-12);
+        assert!(total_delay_cost([(5.0, 10.0), (10.0, 10.0)]).is_err());
+    }
+
+    #[test]
+    fn utilization_edge_cases() {
+        assert_eq!(utilization(5.0, 10.0), 0.5);
+        assert!(utilization(1.0, 0.0).is_infinite());
+    }
+}

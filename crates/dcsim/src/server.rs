@@ -1,0 +1,230 @@
+//! Server classes: DVFS speed ladders and the two-part power model.
+//!
+//! Paper eq. (1): a server running at speed `x > 0` with arrival rate `λ`
+//! consumes `p(λ, x) = p_s + p_c(x)·λ/x`, where `p_s` is static power (paid
+//! whenever the server is on) and `p_c(x)` is the computing power at full
+//! utilization of speed `x`. Speed 0 (deep sleep / off) consumes nothing.
+//!
+//! The default calibration is the paper's Powerpack measurement of a
+//! quad-core AMD Opteron 2380 (Sec. 5.1): idle 140 W, and
+//! (0.8 GHz, 184 W), (1.3 GHz, 194 W), (1.8 GHz, 208 W), (2.5 GHz, 231 W),
+//! serving 10 requests/s at the top speed (speeds scale linearly with
+//! frequency). All power figures in this crate are in **kW**, service rates
+//! in requests/s.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// One positive DVFS operating point of a server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedLevel {
+    /// Service rate at this level (requests/s per server).
+    pub rate: f64,
+    /// Total power at this level under full utilization (kW per server):
+    /// `p_s + p_c(x)`.
+    pub power: f64,
+}
+
+/// A server model: static power plus a ladder of positive speed levels.
+///
+/// Level index 0 in the *decision space* means "off"; the positive levels
+/// here are decision indices `1..=levels.len()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerClass {
+    /// Human-readable name (shows up in reports).
+    pub name: String,
+    /// Static (idle) power when on, kW. Paper: 0.140.
+    pub idle_power: f64,
+    /// Positive speed levels, sorted by ascending rate.
+    pub levels: Vec<SpeedLevel>,
+}
+
+impl ServerClass {
+    /// The paper's measured AMD Opteron 2380: idle 140 W; four DVFS points
+    /// with 10 req/s at 2.5 GHz and rate proportional to frequency.
+    pub fn amd_opteron_2380() -> Self {
+        let ghz_watts = [(0.8, 184.0), (1.3, 194.0), (1.8, 208.0), (2.5, 231.0)];
+        let levels = ghz_watts
+            .iter()
+            .map(|&(ghz, watts)| SpeedLevel { rate: 10.0 * ghz / 2.5, power: watts / 1000.0 })
+            .collect();
+        Self { name: "amd-opteron-2380".into(), idle_power: 0.140, levels }
+    }
+
+    /// Derives a heterogeneous variant: service rates scaled by
+    /// `speed_factor`, all powers (idle and per-level) by `power_factor`.
+    /// Models servers of different purchase dates (paper Sec. 2.1).
+    pub fn derived(&self, name: &str, speed_factor: f64, power_factor: f64) -> Self {
+        assert!(speed_factor > 0.0 && power_factor > 0.0);
+        Self {
+            name: name.into(),
+            idle_power: self.idle_power * power_factor,
+            levels: self
+                .levels
+                .iter()
+                .map(|l| SpeedLevel { rate: l.rate * speed_factor, power: l.power * power_factor })
+                .collect(),
+        }
+    }
+
+    /// Number of *decision* choices: off + each positive level.
+    pub fn num_choices(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// Service rate for decision index `choice` (0 = off).
+    pub fn rate(&self, choice: usize) -> f64 {
+        if choice == 0 {
+            0.0
+        } else {
+            self.levels[choice - 1].rate
+        }
+    }
+
+    /// Computing power `p_c(x)` (kW) at decision index `choice`: total level
+    /// power minus static power. Zero when off.
+    pub fn computing_power(&self, choice: usize) -> f64 {
+        if choice == 0 {
+            0.0
+        } else {
+            (self.levels[choice - 1].power - self.idle_power).max(0.0)
+        }
+    }
+
+    /// Marginal power per unit of load at decision index `choice`
+    /// (`p_c(x)/x`, kW per req/s). Zero when off.
+    pub fn energy_slope(&self, choice: usize) -> f64 {
+        if choice == 0 {
+            0.0
+        } else {
+            self.computing_power(choice) / self.rate(choice)
+        }
+    }
+
+    /// Per-server power (kW) at decision `choice` carrying per-server load
+    /// `lambda` (paper eq. 1).
+    pub fn power(&self, choice: usize, lambda: f64) -> f64 {
+        if choice == 0 {
+            0.0
+        } else {
+            self.idle_power + self.energy_slope(choice) * lambda
+        }
+    }
+
+    /// Maximum service rate (top of the ladder).
+    pub fn max_rate(&self) -> f64 {
+        self.levels.last().map(|l| l.rate).unwrap_or(0.0)
+    }
+
+    /// Maximum power (top of the ladder at full utilization).
+    pub fn max_power(&self) -> f64 {
+        self.levels.last().map(|l| l.power).unwrap_or(0.0)
+    }
+
+    /// Validates ladder monotonicity and positivity.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.levels.is_empty() {
+            return Err(SimError::InvalidConfig(format!("class {} has no levels", self.name)));
+        }
+        if !(self.idle_power.is_finite() && self.idle_power >= 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "class {}: idle power {} invalid",
+                self.name, self.idle_power
+            )));
+        }
+        let mut prev_rate = 0.0;
+        for (i, l) in self.levels.iter().enumerate() {
+            if !(l.rate.is_finite() && l.rate > prev_rate) {
+                return Err(SimError::InvalidConfig(format!(
+                    "class {}: level {i} rate {} not increasing (prev {prev_rate})",
+                    self.name, l.rate
+                )));
+            }
+            if !(l.power.is_finite() && l.power >= self.idle_power) {
+                return Err(SimError::InvalidConfig(format!(
+                    "class {}: level {i} power {} below idle {}",
+                    self.name, l.power, self.idle_power
+                )));
+            }
+            prev_rate = l.rate;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opteron_matches_paper_numbers() {
+        let c = ServerClass::amd_opteron_2380();
+        c.validate().unwrap();
+        assert_eq!(c.num_choices(), 5);
+        assert_eq!(c.max_rate(), 10.0);
+        assert!((c.max_power() - 0.231).abs() < 1e-12);
+        assert!((c.idle_power - 0.140).abs() < 1e-12);
+        // 0.8 GHz level: 3.2 req/s, 184 W.
+        assert!((c.rate(1) - 3.2).abs() < 1e-12);
+        assert!((c.levels[0].power - 0.184).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_model_matches_equation_one() {
+        let c = ServerClass::amd_opteron_2380();
+        // Off consumes nothing.
+        assert_eq!(c.power(0, 0.0), 0.0);
+        // Full speed, idle load: static power only.
+        assert!((c.power(4, 0.0) - 0.140).abs() < 1e-12);
+        // Full speed, full load: 231 W.
+        assert!((c.power(4, 10.0) - 0.231).abs() < 1e-12);
+        // Half load: halfway between idle and full computing power.
+        assert!((c.power(4, 5.0) - (0.140 + 0.091 / 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_slope_decreases_is_not_guaranteed_but_finite() {
+        let c = ServerClass::amd_opteron_2380();
+        for choice in 1..=4 {
+            let s = c.energy_slope(choice);
+            assert!(s.is_finite() && s > 0.0);
+        }
+        // Faster speeds draw more power per request for this ladder
+        // (0.8 GHz: 44 W / 3.2 = 13.75 W·s/req; 2.5 GHz: 91 W / 10 = 9.1):
+        // the top speed is actually the most efficient per request here.
+        assert!(c.energy_slope(4) < c.energy_slope(1));
+    }
+
+    #[test]
+    fn derived_scales_rates_and_power() {
+        let base = ServerClass::amd_opteron_2380();
+        let d = base.derived("old", 0.8, 1.2);
+        d.validate().unwrap();
+        assert!((d.max_rate() - 8.0).abs() < 1e-12);
+        assert!((d.idle_power - 0.168).abs() < 1e-12);
+        assert!((d.max_power() - 0.231 * 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_bad_ladders() {
+        let mut c = ServerClass::amd_opteron_2380();
+        c.levels[2].rate = c.levels[1].rate; // non-increasing
+        assert!(c.validate().is_err());
+
+        let mut c = ServerClass::amd_opteron_2380();
+        c.levels[0].power = 0.1; // below idle
+        assert!(c.validate().is_err());
+
+        let c = ServerClass { name: "empty".into(), idle_power: 0.1, levels: vec![] };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = ServerClass::amd_opteron_2380();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ServerClass = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,368 @@
+//! The trace-driven hourly simulator behind every figure of Sec. 5.
+//!
+//! Each slot it (1) shows the policy the observation — with the workload
+//! optionally inflated by the overestimation factor φ of Fig. 5(c), (2)
+//! validates the returned decision against the model constraints (7)–(9),
+//! (3) re-dispatches the *planned* load shares onto the realized arrival
+//! rate, (4) accounts energy, switching, and costs, and (5) feeds the
+//! realized off-site supply and brown energy back to the policy (which is
+//! how COCA updates its carbon-deficit queue).
+
+use crate::cluster::Cluster;
+use crate::dispatch::{evaluate_dispatch, SlotProblem};
+use crate::metrics::{SimOutcome, SlotRecord};
+use crate::policy::{Policy, SlotFeedback, SlotObservation};
+use crate::SimError;
+use coca_traces::EnvironmentTrace;
+use serde::{Deserialize, Serialize};
+
+/// Model-level cost parameters shared by policies and the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Delay weight β in `g = e + β·d` (paper: 10).
+    pub beta: f64,
+    /// Maximum utilization γ ∈ (0, 1) (paper constraint 7).
+    pub gamma: f64,
+    /// Power usage effectiveness (facility power = PUE × server power).
+    pub pue: f64,
+    /// Energy charged per server power-on transition (kWh). The paper's
+    /// Fig. 5(d) sweeps this from 0 to 10 % of a server's maximum hourly
+    /// energy (0.0231 kWh).
+    pub switch_energy_kwh: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self { beta: 10.0, gamma: 0.95, pue: 1.0, switch_energy_kwh: 0.0 }
+    }
+}
+
+impl CostParams {
+    /// Validates ranges.
+    pub fn validate(&self) -> crate::Result<()> {
+        if !(self.beta.is_finite() && self.beta >= 0.0) {
+            return Err(SimError::InvalidConfig(format!("beta {} invalid", self.beta)));
+        }
+        if !(self.gamma > 0.0 && self.gamma < 1.0) {
+            return Err(SimError::InvalidConfig(format!("gamma {} invalid", self.gamma)));
+        }
+        if !(self.pue.is_finite() && self.pue >= 1.0) {
+            return Err(SimError::InvalidConfig(format!("pue {} invalid", self.pue)));
+        }
+        if !(self.switch_energy_kwh.is_finite() && self.switch_energy_kwh >= 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "switch energy {} invalid",
+                self.switch_energy_kwh
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Trace-driven hourly simulator.
+#[derive(Debug, Clone)]
+pub struct SlotSimulator<'a> {
+    /// The managed fleet.
+    pub cluster: &'a Cluster,
+    /// The environment to replay.
+    pub trace: &'a EnvironmentTrace,
+    /// Cost parameters.
+    pub cost: CostParams,
+    /// Total RECs Z purchased for the period (kWh).
+    pub rec_total: f64,
+    /// Workload overestimation factor φ ≥ 1 applied to the observation the
+    /// policy sees (paper Fig. 5(c)); the realized load stays unscaled.
+    pub overestimation: f64,
+}
+
+impl<'a> SlotSimulator<'a> {
+    /// Creates a simulator with φ = 1 (no overestimation).
+    pub fn new(cluster: &'a Cluster, trace: &'a EnvironmentTrace, cost: CostParams, rec_total: f64) -> Self {
+        Self { cluster, trace, cost, rec_total, overestimation: 1.0 }
+    }
+
+    /// Runs the policy over the whole trace.
+    pub fn run(&self, policy: &mut dyn Policy) -> crate::Result<SimOutcome> {
+        self.cost.validate()?;
+        if !(self.overestimation >= 1.0 && self.overestimation.is_finite()) {
+            return Err(SimError::InvalidConfig(format!(
+                "overestimation factor {} must be ≥ 1",
+                self.overestimation
+            )));
+        }
+        if !(self.rec_total.is_finite() && self.rec_total >= 0.0) {
+            return Err(SimError::InvalidConfig(format!("rec_total {} invalid", self.rec_total)));
+        }
+        self.trace
+            .validate()
+            .map_err(SimError::InvalidConfig)?;
+        let max_servable = self.cost.gamma * self.cluster.max_capacity();
+
+        let mut records = Vec::with_capacity(self.trace.len());
+        let mut prev_levels = self.cluster.all_off_vector();
+
+        for t in 0..self.trace.len() {
+            let env = self.trace.slot(t);
+            let planned_rate = env.arrival_rate * self.overestimation;
+            if planned_rate > max_servable {
+                return Err(SimError::Overload {
+                    slot: t,
+                    arrival_rate: planned_rate,
+                    max_capacity: max_servable,
+                });
+            }
+            let obs = SlotObservation {
+                t,
+                arrival_rate: planned_rate,
+                onsite: env.onsite,
+                price: env.price,
+            };
+            let decision = policy.decide(&obs)?;
+            self.cluster.validate_levels(&decision.levels)?;
+            decision.validate_totals(planned_rate)?;
+
+            // Re-dispatch the planned shares onto the realized arrival rate.
+            // φ ≥ 1 only ever scales loads down, so caps stay satisfied.
+            let scale = if planned_rate > 0.0 { env.arrival_rate / planned_rate } else { 0.0 };
+            let actual_loads: Vec<f64> = decision.loads.iter().map(|l| l * scale).collect();
+
+            let problem = SlotProblem {
+                cluster: self.cluster,
+                arrival_rate: env.arrival_rate,
+                onsite: env.onsite,
+                energy_weight: env.price,
+                delay_weight: self.cost.beta,
+                gamma: self.cost.gamma,
+                pue: self.cost.pue,
+            };
+            let outcome = evaluate_dispatch(&problem, &decision.levels, &actual_loads)?;
+
+            // Switching energy: servers transitioning off → on.
+            let turned_on: usize = self
+                .cluster
+                .groups()
+                .iter()
+                .zip(prev_levels.iter().zip(&decision.levels))
+                .map(|(g, (&prev, &cur))| if prev == 0 && cur > 0 { g.count } else { 0 })
+                .sum();
+            let switching_energy = turned_on as f64 * self.cost.switch_energy_kwh;
+
+            // Slot energy (kWh) equals power (kW) over the 1-hour slot;
+            // switching draw cannot be offset by the on-site supply that was
+            // already netted in `outcome.brown`.
+            let facility_energy = outcome.facility_power + switching_energy;
+            let brown_energy = outcome.brown + switching_energy;
+            let electricity_cost = env.price * brown_energy;
+            let delay_cost = self.cost.beta * outcome.delay;
+            let total_cost = electricity_cost + delay_cost;
+
+            records.push(SlotRecord {
+                t,
+                arrival_rate: env.arrival_rate,
+                price: env.price,
+                onsite: env.onsite,
+                offsite: env.offsite,
+                facility_energy,
+                brown_energy,
+                switching_energy,
+                electricity_cost,
+                delay_cost,
+                total_cost,
+                delay: outcome.delay,
+                servers_on: self.cluster.servers_on(&decision.levels),
+            });
+
+            policy.feedback(&SlotFeedback {
+                t,
+                offsite: env.offsite,
+                brown_energy,
+                facility_energy,
+                cost: total_cost,
+            });
+            prev_levels = decision.levels;
+        }
+
+        Ok(SimOutcome { policy: policy.name().to_string(), records, rec_total: self.rec_total })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::optimal_dispatch;
+    use crate::policy::Decision;
+    use coca_traces::TraceConfig;
+
+    /// Always-on full-speed policy dispatching optimally for the plain cost.
+    struct FullSpeed {
+        levels: Vec<usize>,
+    }
+
+    impl FullSpeed {
+        fn new(cluster: &Cluster) -> Self {
+            Self { levels: cluster.full_speed_vector() }
+        }
+    }
+
+    struct FullSpeedPolicy<'a> {
+        cluster: &'a Cluster,
+        cost: CostParams,
+        inner: FullSpeed,
+    }
+
+    impl Policy for FullSpeedPolicy<'_> {
+        fn name(&self) -> &str {
+            "full-speed"
+        }
+        fn decide(&mut self, obs: &SlotObservation) -> crate::Result<Decision> {
+            let p = SlotProblem {
+                cluster: self.cluster,
+                arrival_rate: obs.arrival_rate,
+                onsite: obs.onsite,
+                energy_weight: obs.price,
+                delay_weight: self.cost.beta,
+                gamma: self.cost.gamma,
+                pue: self.cost.pue,
+            };
+            let out = optimal_dispatch(&p, &self.inner.levels)?;
+            Ok(Decision { levels: self.inner.levels.clone(), loads: out.loads })
+        }
+    }
+
+    fn small_setup() -> (Cluster, coca_traces::EnvironmentTrace) {
+        let cluster = Cluster::homogeneous(4, 20);
+        // Peak workload at ~50% of the 800 req/s capacity.
+        let trace = TraceConfig {
+            hours: 48,
+            peak_arrival_rate: 400.0,
+            onsite_energy_kwh: 50.0,
+            offsite_energy_kwh: 100.0,
+            ..Default::default()
+        }
+        .generate();
+        (cluster, trace)
+    }
+
+    #[test]
+    fn run_produces_one_record_per_slot() {
+        let (cluster, trace) = small_setup();
+        let cost = CostParams::default();
+        let sim = SlotSimulator::new(&cluster, &trace, cost, 10.0);
+        let mut policy =
+            FullSpeedPolicy { cluster: &cluster, cost, inner: FullSpeed::new(&cluster) };
+        let out = sim.run(&mut policy).unwrap();
+        assert_eq!(out.len(), 48);
+        assert_eq!(out.policy, "full-speed");
+        for r in &out.records {
+            assert!(r.total_cost > 0.0);
+            assert!(r.facility_energy > 0.0);
+            assert!((r.total_cost - r.electricity_cost - r.delay_cost).abs() < 1e-9);
+            assert_eq!(r.servers_on, 80);
+        }
+    }
+
+    #[test]
+    fn switching_cost_charged_on_power_up() {
+        let (cluster, trace) = small_setup();
+        let cost = CostParams { switch_energy_kwh: 0.0231, ..Default::default() };
+        let sim = SlotSimulator::new(&cluster, &trace, cost, 10.0);
+        let mut policy =
+            FullSpeedPolicy { cluster: &cluster, cost, inner: FullSpeed::new(&cluster) };
+        let out = sim.run(&mut policy).unwrap();
+        // All 80 servers power on in slot 0, then stay on.
+        assert!((out.records[0].switching_energy - 80.0 * 0.0231).abs() < 1e-9);
+        assert_eq!(out.records[1].switching_energy, 0.0);
+        assert!(out.records[0].brown_energy > out.records[1].brown_energy - 1e9);
+    }
+
+    #[test]
+    fn overestimation_scales_observation_not_reality() {
+        let (cluster, trace) = small_setup();
+        let cost = CostParams::default();
+        let mut sim = SlotSimulator::new(&cluster, &trace, cost, 10.0);
+        sim.overestimation = 1.2;
+        struct Probe<'a> {
+            cluster: &'a Cluster,
+            cost: CostParams,
+            seen: Vec<f64>,
+        }
+        impl Policy for Probe<'_> {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn decide(&mut self, obs: &SlotObservation) -> crate::Result<Decision> {
+                self.seen.push(obs.arrival_rate);
+                let p = SlotProblem {
+                    cluster: self.cluster,
+                    arrival_rate: obs.arrival_rate,
+                    onsite: obs.onsite,
+                    energy_weight: obs.price,
+                    delay_weight: self.cost.beta,
+                    gamma: self.cost.gamma,
+                    pue: self.cost.pue,
+                };
+                let levels = self.cluster.full_speed_vector();
+                let out = optimal_dispatch(&p, &levels)?;
+                Ok(Decision { levels, loads: out.loads })
+            }
+        }
+        let mut policy = Probe { cluster: &cluster, cost, seen: vec![] };
+        let out = sim.run(&mut policy).unwrap();
+        for (seen, r) in policy.seen.iter().zip(&out.records) {
+            assert!((seen - r.arrival_rate * 1.2).abs() < 1e-6, "observation inflated by φ");
+        }
+    }
+
+    #[test]
+    fn invalid_decisions_are_rejected() {
+        let (cluster, trace) = small_setup();
+        let cost = CostParams::default();
+        let sim = SlotSimulator::new(&cluster, &trace, cost, 10.0);
+        struct Dropper;
+        impl Policy for Dropper {
+            fn name(&self) -> &str {
+                "dropper"
+            }
+            fn decide(&mut self, obs: &SlotObservation) -> crate::Result<Decision> {
+                // Drops half the workload: forbidden by constraint (8).
+                Ok(Decision { levels: vec![4; 4], loads: vec![obs.arrival_rate / 8.0; 4] })
+            }
+        }
+        assert!(matches!(sim.run(&mut Dropper), Err(SimError::InvalidDecision(_))));
+    }
+
+    #[test]
+    fn overload_detected_upfront() {
+        let cluster = Cluster::homogeneous(1, 1); // 10 req/s max
+        let trace = TraceConfig {
+            hours: 4,
+            peak_arrival_rate: 100.0,
+            onsite_energy_kwh: 0.0,
+            offsite_energy_kwh: 0.0,
+            ..Default::default()
+        }
+        .generate();
+        let sim = SlotSimulator::new(&cluster, &trace, CostParams::default(), 0.0);
+        struct Any;
+        impl Policy for Any {
+            fn name(&self) -> &str {
+                "any"
+            }
+            fn decide(&mut self, _: &SlotObservation) -> crate::Result<Decision> {
+                unreachable!("simulator must detect overload before asking")
+            }
+        }
+        assert!(matches!(sim.run(&mut Any), Err(SimError::Overload { .. })));
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = CostParams { gamma: 1.5, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = CostParams { pue: 0.5, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = CostParams { beta: f64::NAN, ..Default::default() };
+        assert!(bad.validate().is_err());
+        assert!(CostParams::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the dispatch layer: every optimal dispatch over random
+//! fleets, speed vectors, and environments must satisfy the paper's model
+//! constraints (7)–(8) and the power-accounting identities (eq. 1–3).
+
+use coca_dcsim::dispatch::{evaluate_dispatch, optimal_dispatch, SlotProblem};
+use coca_dcsim::{Cluster, ServerClass};
+use proptest::prelude::*;
+
+fn random_cluster(groups: usize, servers: usize, classes: usize) -> Cluster {
+    let base = ServerClass::amd_opteron_2380();
+    let mut builder = coca_dcsim::ClusterBuilder::new();
+    for k in 0..groups {
+        let class = base.derived(
+            &format!("c{}", k % classes),
+            0.8 + 0.1 * (k % classes) as f64,
+            0.85 + 0.1 * (k % classes) as f64,
+        );
+        builder = builder.add_groups(class, 1, servers);
+    }
+    builder.build().expect("cluster")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimal_dispatch_satisfies_model_constraints(
+        groups in 1usize..8,
+        servers in 1usize..30,
+        classes in 1usize..4,
+        level_seed in 0usize..625,
+        load_frac in 0.0..0.999_f64,
+        onsite in 0.0..100.0_f64,
+        a in 0.0..100.0_f64,
+        w in 0.001..100.0_f64,
+        pue in 1.0..1.6_f64,
+    ) {
+        let cluster = random_cluster(groups, servers, classes);
+        // Deterministic pseudo-random speed vector from the seed, at least
+        // one group on.
+        let mut levels: Vec<usize> = (0..groups)
+            .map(|g| (level_seed / 5usize.pow(g as u32 % 4)) % 5)
+            .collect();
+        if levels.iter().all(|&c| c == 0) {
+            levels[0] = 4;
+        }
+        let gamma = 0.95;
+        let capped = gamma * cluster.capacity_of(&levels);
+        let p = SlotProblem {
+            cluster: &cluster,
+            arrival_rate: load_frac * capped,
+            onsite,
+            energy_weight: a,
+            delay_weight: w,
+            gamma,
+            pue,
+        };
+        let out = optimal_dispatch(&p, &levels).unwrap();
+
+        // Constraint (8): conservation.
+        let total: f64 = out.loads.iter().sum();
+        prop_assert!((total - p.arrival_rate).abs() <= p.arrival_rate * 1e-6 + 1e-9);
+        // Constraint (7): caps, and no load on off groups.
+        for ((g, &c), &l) in cluster.groups().iter().zip(&levels).zip(&out.loads) {
+            prop_assert!(l >= -1e-12);
+            if c == 0 {
+                prop_assert!(l.abs() < 1e-9, "off group got load {l}");
+            } else {
+                prop_assert!(l <= gamma * g.capacity(c) * (1.0 + 1e-9));
+            }
+        }
+        // Power accounting (eq. 1–3).
+        prop_assert!((out.facility_power - out.it_power * pue).abs() < 1e-9 * out.facility_power.max(1.0));
+        prop_assert!((out.brown - (out.facility_power - onsite).max(0.0)).abs() < 1e-9 * out.brown.max(1.0));
+        let manual_power: f64 = cluster
+            .groups()
+            .iter()
+            .zip(&levels)
+            .zip(&out.loads)
+            .map(|((g, &c), &l)| g.power(c, l))
+            .sum();
+        prop_assert!((out.it_power - manual_power).abs() <= manual_power.max(1.0) * 1e-9);
+        // Objective decomposition.
+        let obj = a * out.brown + w * out.delay;
+        prop_assert!((out.objective - obj).abs() <= obj.max(1.0) * 1e-9);
+    }
+
+    #[test]
+    fn optimal_beats_every_proportional_dispatch(
+        groups in 2usize..6,
+        load_frac in 0.05..0.9_f64,
+        a in 0.0..50.0_f64,
+        w in 0.1..50.0_f64,
+        skew in 0.1..0.9_f64,
+    ) {
+        let cluster = random_cluster(groups, 10, 2);
+        let levels = cluster.full_speed_vector();
+        let gamma = 0.95;
+        let p = SlotProblem {
+            cluster: &cluster,
+            arrival_rate: load_frac * gamma * cluster.capacity_of(&levels),
+            onsite: 10.0,
+            energy_weight: a,
+            delay_weight: w,
+            gamma,
+            pue: 1.0,
+        };
+        let opt = optimal_dispatch(&p, &levels).unwrap();
+        // A skewed-but-feasible alternative: capacity-proportional with the
+        // first group re-weighted by `skew`.
+        let caps: Vec<f64> = cluster
+            .groups()
+            .iter()
+            .zip(&levels)
+            .map(|(g, &c)| gamma * g.capacity(c))
+            .collect();
+        let mut weights: Vec<f64> = caps.clone();
+        weights[0] *= skew;
+        let wsum: f64 = weights.iter().sum();
+        let alt: Vec<f64> = weights.iter().map(|v| v / wsum * p.arrival_rate).collect();
+        prop_assume!(alt.iter().zip(&caps).all(|(l, cap)| l <= cap));
+        let alt_out = evaluate_dispatch(&p, &levels, &alt).unwrap();
+        prop_assert!(opt.objective <= alt_out.objective * (1.0 + 1e-9) + 1e-12,
+            "optimal {} beaten by proportional {}", opt.objective, alt_out.objective);
+    }
+}

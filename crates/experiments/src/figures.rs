@@ -1,0 +1,606 @@
+//! One function per paper figure. Each returns [`Series`] data that the
+//! `repro` binary prints/saves and the integration tests assert on.
+
+use coca_baselines::{CarbonUnaware, OfflineOpt, PerfectHp};
+use coca_core::gsd::{GsdOptions, GsdSolver};
+use coca_core::solver::P3Solver;
+use coca_core::symmetric::SymmetricSolver;
+use coca_core::{CocaConfig, CocaController, VSchedule};
+use coca_dcsim::dispatch::SlotProblem;
+use coca_dcsim::{SimError, SimOutcome, SlotSimulator};
+use coca_opt::schedule::TemperatureSchedule;
+use coca_traces::{WorkloadKind, WorkloadTrace, HOURS_PER_WEEK, HOURS_PER_YEAR};
+
+use crate::report::Series;
+use crate::setup::PaperSetup;
+
+/// A figure: a title, an x-axis label, and one or more curves.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Title matching the paper artifact ("Fig. 2(a) ...").
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    fn new(title: &str, x_label: &str, series: Vec<Series>) -> Self {
+        Self { title: title.into(), x_label: x_label.into(), series }
+    }
+}
+
+/// Runs COCA over the setup's trace with the given V schedule and frame
+/// length, returning the simulation outcome.
+pub fn run_coca(
+    setup: &PaperSetup,
+    v: VSchedule,
+    frame_length: usize,
+) -> Result<SimOutcome, SimError> {
+    let cfg = CocaConfig {
+        v,
+        frame_length,
+        horizon: setup.trace.len(),
+        alpha: 1.0,
+        rec_total: setup.rec_total,
+    };
+    let mut coca =
+        CocaController::new(&setup.cluster, setup.cost, cfg, SymmetricSolver::new());
+    SlotSimulator::new(&setup.cluster, &setup.trace, setup.cost, setup.rec_total).run(&mut coca)
+}
+
+/// Finds the largest constant V whose COCA run stays within the carbon
+/// budget — the paper's "we appropriately choose V such that carbon
+/// neutrality is satisfied". Larger V means lower cost (Theorem 2b), so
+/// the least conservative neutral V is the one to use.
+///
+/// The search is a log-scale bisection over `[V₀/300, V₀·300]` around the
+/// scenario's characteristic V. If even the top of the range stays within
+/// budget (the queue can enforce neutrality for any V on a long horizon),
+/// the top is returned.
+pub fn calibrate_v(setup: &PaperSetup, probes: usize) -> Result<f64, SimError> {
+    let brown_at = |v: f64| -> Result<f64, SimError> {
+        Ok(run_coca(setup, VSchedule::Constant(v), setup.trace.len())?.total_brown_energy())
+    };
+    let v0 = setup.characteristic_v();
+    let mut lo = v0 / 300.0;
+    let mut hi = v0 * 300.0;
+    if brown_at(lo)? > setup.budget_kwh {
+        return Ok(lo); // best effort: maximally conservative
+    }
+    if brown_at(hi)? <= setup.budget_kwh {
+        return Ok(hi);
+    }
+    for _ in 0..probes {
+        let mid = (lo * hi).sqrt();
+        if brown_at(mid)? <= setup.budget_kwh {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi / lo < 1.1 {
+            break;
+        }
+    }
+    Ok(lo)
+}
+
+/// Fig. 1(a)(b): the normalized workload traces.
+pub fn fig1_workloads(seed: u64) -> (Figure, Figure) {
+    let fiu = WorkloadTrace::generate(WorkloadKind::Fiu, HOURS_PER_YEAR, 1.0, seed);
+    let msr = WorkloadTrace::generate(WorkloadKind::Msr, HOURS_PER_WEEK, 1.0, seed);
+    let a = Figure::new(
+        "Fig. 1(a) FIU workload trace (normalized, one year)",
+        "hour",
+        vec![Series::indexed("fiu", fiu.normalized())],
+    );
+    let b = Figure::new(
+        "Fig. 1(b) MSR workload trace (normalized, one week)",
+        "hour",
+        vec![Series::indexed("msr", msr.normalized())],
+    );
+    (a, b)
+}
+
+/// Fig. 2(a)(b): average hourly cost and carbon deficit vs constant V.
+pub fn fig2_constant_v(setup: &PaperSetup, vs: &[f64]) -> Result<(Figure, Figure), SimError> {
+    let mut cost = Vec::with_capacity(vs.len());
+    let mut deficit = Vec::with_capacity(vs.len());
+    for &v in vs {
+        let out = run_coca(setup, VSchedule::Constant(v), setup.trace.len())?;
+        cost.push(out.avg_hourly_cost());
+        deficit.push(out.avg_hourly_deficit());
+    }
+    // Reference: the carbon-unaware policy (V → ∞ limit).
+    let unaware = CarbonUnaware::simulate(
+        &setup.cluster,
+        setup.cost,
+        &setup.trace,
+        SymmetricSolver::new(),
+        setup.rec_total,
+    )?;
+    let a = Figure::new(
+        "Fig. 2(a) average hourly cost vs V",
+        "V",
+        vec![
+            Series::new("coca", vs.to_vec(), cost),
+            Series::new(
+                "carbon-unaware",
+                vs.to_vec(),
+                vec![unaware.avg_hourly_cost(); vs.len()],
+            ),
+        ],
+    );
+    let b = Figure::new(
+        "Fig. 2(b) average hourly carbon deficit vs V",
+        "V",
+        vec![
+            Series::new("coca", vs.to_vec(), deficit),
+            Series::new(
+                "carbon-unaware",
+                vs.to_vec(),
+                vec![unaware.avg_hourly_deficit(); vs.len()],
+            ),
+        ],
+    );
+    Ok((a, b))
+}
+
+/// Fig. 2(c)(d): 45-day moving averages under quarterly-varying V.
+///
+/// `window` is in slots (paper: 45 days = 1080 h); pass a smaller value at
+/// reduced scales.
+pub fn fig2_varying_v(
+    setup: &PaperSetup,
+    increasing: (f64, f64, f64, f64),
+    constant: f64,
+    window: usize,
+) -> Result<(Figure, Figure), SimError> {
+    let horizon = setup.trace.len();
+    let frame = (horizon / 4).max(1);
+    // Horizon may not divide by 4 exactly; trim to R·T like the paper (J = RT).
+    let trimmed = frame * 4;
+    let setup = if trimmed == horizon {
+        setup.clone()
+    } else {
+        let mut s = setup.clone();
+        s.trace = s.trace.window(0, trimmed);
+        s
+    };
+    let vary = run_coca(
+        &setup,
+        VSchedule::quarterly(increasing.0, increasing.1, increasing.2, increasing.3),
+        frame,
+    )?;
+    let cons = run_coca(&setup, VSchedule::Constant(constant), frame)?;
+    let c = Figure::new(
+        "Fig. 2(c) moving average cost, varying vs constant V",
+        "hour",
+        vec![
+            Series::indexed("varying-v", vary.movavg_cost(window)),
+            Series::indexed("constant-v", cons.movavg_cost(window)),
+        ],
+    );
+    let d = Figure::new(
+        "Fig. 2(d) moving average carbon deficit, varying vs constant V",
+        "hour",
+        vec![
+            Series::indexed("varying-v", vary.movavg_deficit(window)),
+            Series::indexed("constant-v", cons.movavg_deficit(window)),
+        ],
+    );
+    Ok((c, d))
+}
+
+/// Fig. 3(a)(b): COCA vs PerfectHP, cumulative average cost and deficit.
+/// Returns the figures plus the final cost-saving fraction (the paper's
+/// ">25%" headline).
+pub fn fig3_vs_perfect_hp(
+    setup: &PaperSetup,
+    v: f64,
+    window: usize,
+) -> Result<(Figure, Figure, f64), SimError> {
+    let coca = run_coca(setup, VSchedule::Constant(v), setup.trace.len())?;
+    let mut hp: PerfectHp<'_, SymmetricSolver> =
+        PerfectHp::new(&setup.cluster, setup.cost, &setup.trace, setup.rec_total, window)?;
+    let hp_out = SlotSimulator::new(&setup.cluster, &setup.trace, setup.cost, setup.rec_total)
+        .run(&mut hp)?;
+    let saving = 1.0 - coca.avg_hourly_cost() / hp_out.avg_hourly_cost();
+    let a = Figure::new(
+        "Fig. 3(a) cumulative average hourly cost",
+        "hour",
+        vec![
+            Series::indexed("coca", coca.cumavg_cost()),
+            Series::indexed("perfect-hp", hp_out.cumavg_cost()),
+        ],
+    );
+    let b = Figure::new(
+        "Fig. 3(b) cumulative average carbon deficit",
+        "hour",
+        vec![
+            Series::indexed("coca", coca.cumavg_deficit()),
+            Series::indexed("perfect-hp", hp_out.cumavg_deficit()),
+        ],
+    );
+    Ok((a, b, saving))
+}
+
+/// Fig. 4(a): GSD kept-state cost vs iteration for several temperatures δ,
+/// on the P3 snapshot of `slot` (queue length excluded, as in the paper).
+pub fn fig4_gsd_deltas(
+    setup: &PaperSetup,
+    slot: usize,
+    v: f64,
+    deltas: &[f64],
+    iterations: usize,
+) -> Result<Figure, SimError> {
+    let problem = snapshot_problem(setup, slot, v);
+    let mut series = Vec::new();
+    for &delta in deltas {
+        let mut gsd = GsdSolver::new(GsdOptions {
+            iterations,
+            schedule: TemperatureSchedule::Constant(delta),
+            record_trace: true,
+            warm_start: false,
+            seed: 1500,
+            ..Default::default()
+        });
+        gsd.solve(&problem)?;
+        series.push(Series::indexed(format!("delta={delta:.0}"), gsd.last_trace.clone()));
+    }
+    Ok(Figure::new("Fig. 4(a) GSD cost vs iteration, temperature sweep", "iteration", series))
+}
+
+/// Fig. 4(b): GSD cost vs iteration from different initial points at a
+/// fixed δ.
+pub fn fig4_gsd_initial_points(
+    setup: &PaperSetup,
+    slot: usize,
+    v: f64,
+    delta: f64,
+    iterations: usize,
+) -> Result<Figure, SimError> {
+    let problem = snapshot_problem(setup, slot, v);
+    let n = setup.cluster.num_groups();
+    let top = setup.cluster.full_speed_vector();
+    let initials: Vec<(String, Vec<usize>)> = vec![
+        ("full-speed".into(), top.clone()),
+        ("slowest-on".into(), vec![1; n]),
+        ("mixed".into(), (0..n).map(|i| 1 + (i % (setup.cluster.choice_counts()[i] - 1))).collect()),
+        ("half-top".into(), (0..n).map(|i| if i % 2 == 0 { top[i] } else { 1 }).collect()),
+    ];
+    let mut series = Vec::new();
+    for (name, init) in initials {
+        if !problem.is_feasible(&init) {
+            continue;
+        }
+        let mut gsd = GsdSolver::new(GsdOptions {
+            iterations,
+            schedule: TemperatureSchedule::Constant(delta),
+            record_trace: true,
+            warm_start: false,
+            seed: 1500,
+            ..Default::default()
+        });
+        gsd.set_initial(init);
+        gsd.solve(&problem)?;
+        series.push(Series::indexed(name, gsd.last_trace.clone()));
+    }
+    Ok(Figure::new("Fig. 4(b) GSD cost vs iteration, initial points", "iteration", series))
+}
+
+/// The P3 objective of the all-full-speed configuration at a snapshot slot
+/// — a scale reference for choosing GSD temperatures (the acceptance rule
+/// depends on δ/g̃, so meaningful δ values are multiples of typical g̃).
+pub fn typical_slot_objective(setup: &PaperSetup, slot: usize, v: f64) -> Result<f64, SimError> {
+    let problem = snapshot_problem(setup, slot, v);
+    let levels = setup.cluster.full_speed_vector();
+    Ok(coca_dcsim::dispatch::optimal_dispatch(&problem, &levels)?.objective)
+}
+
+fn snapshot_problem<'a>(setup: &'a PaperSetup, slot: usize, v: f64) -> SlotProblem<'a> {
+    let t = slot % setup.trace.len();
+    let env = setup.trace.slot(t);
+    SlotProblem {
+        cluster: &setup.cluster,
+        arrival_rate: env.arrival_rate,
+        onsite: env.onsite,
+        energy_weight: v * env.price, // q excluded, as in the paper's Fig. 4
+        delay_weight: v * setup.cost.beta,
+        gamma: setup.cost.gamma,
+        pue: setup.cost.pue,
+    }
+}
+
+/// One row of the Fig. 5(a)/(b) budget sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetSweepRow {
+    /// Budget as a fraction of the carbon-unaware consumption.
+    pub budget_fraction: f64,
+    /// COCA normalized cost (vs carbon-unaware).
+    pub coca: f64,
+    /// OPT normalized cost.
+    pub opt: f64,
+    /// Whether COCA met the budget.
+    pub coca_neutral: bool,
+    /// V used by COCA.
+    pub v_used: f64,
+}
+
+/// Fig. 5(a)/(b): normalized cost vs carbon budget for COCA, OPT, and the
+/// carbon-unaware reference (always 1.0 by normalization, shown for
+/// context). `calib_probes` controls V-calibration effort per budget.
+pub fn fig5_budget_sweep(
+    base: &PaperSetup,
+    fractions: &[f64],
+    calib_probes: usize,
+) -> Result<(Figure, Vec<BudgetSweepRow>), SimError> {
+    let unaware = CarbonUnaware::simulate(
+        &base.cluster,
+        base.cost,
+        &base.trace,
+        SymmetricSolver::new(),
+        base.rec_total,
+    )?;
+    let unaware_cost = unaware.avg_hourly_cost();
+
+    let mut rows = Vec::new();
+    for &frac in fractions {
+        let setup = base.with_budget_fraction(frac);
+        let v = calibrate_v(&setup, calib_probes)?;
+        let coca_out = run_coca(&setup, VSchedule::Constant(v), setup.trace.len())?;
+        let mut solver = SymmetricSolver::new();
+        let opt = OfflineOpt::plan(&setup.cluster, setup.cost, &setup.trace, setup.budget_kwh, &mut solver)?;
+        let opt_cost = opt.total_planned_cost() / setup.trace.len() as f64;
+        rows.push(BudgetSweepRow {
+            budget_fraction: frac,
+            coca: coca_out.avg_hourly_cost() / unaware_cost,
+            opt: opt_cost / unaware_cost,
+            coca_neutral: coca_out.total_brown_energy() <= setup.budget_kwh * 1.005,
+            v_used: v,
+        });
+    }
+    let fig = Figure::new(
+        "Fig. 5(a/b) normalized cost vs carbon budget",
+        "budget (normalized)",
+        vec![
+            Series::new("coca", fractions.to_vec(), rows.iter().map(|r| r.coca).collect()),
+            Series::new("opt", fractions.to_vec(), rows.iter().map(|r| r.opt).collect()),
+            Series::new(
+                "carbon-unaware",
+                fractions.to_vec(),
+                vec![1.0; fractions.len()],
+            ),
+        ],
+    );
+    Ok((fig, rows))
+}
+
+/// Fig. 5(c): total cost vs workload overestimation factor φ, normalized to
+/// φ = 1.
+pub fn fig5_overestimation(setup: &PaperSetup, v: f64, phis: &[f64]) -> Result<Figure, SimError> {
+    let mut costs = Vec::new();
+    for &phi in phis {
+        let cfg = CocaConfig {
+            v: VSchedule::Constant(v),
+            frame_length: setup.trace.len(),
+            horizon: setup.trace.len(),
+            alpha: 1.0,
+            rec_total: setup.rec_total,
+        };
+        let mut coca =
+            CocaController::new(&setup.cluster, setup.cost, cfg, SymmetricSolver::new());
+        let mut sim =
+            SlotSimulator::new(&setup.cluster, &setup.trace, setup.cost, setup.rec_total);
+        sim.overestimation = phi;
+        costs.push(sim.run(&mut coca)?.avg_hourly_cost());
+    }
+    let base = costs[0];
+    let normalized = costs.iter().map(|c| c / base).collect();
+    Ok(Figure::new(
+        "Fig. 5(c) cost vs workload overestimation",
+        "phi",
+        vec![Series::new("coca", phis.to_vec(), normalized)],
+    ))
+}
+
+/// Fig. 5(d): total cost vs per-server switching energy (kWh), normalized
+/// to zero switching cost.
+pub fn fig5_switching(setup: &PaperSetup, v: f64, switch_kwh: &[f64]) -> Result<Figure, SimError> {
+    let mut costs = Vec::new();
+    for &sw in switch_kwh {
+        let mut cost = setup.cost;
+        cost.switch_energy_kwh = sw;
+        let cfg = CocaConfig {
+            v: VSchedule::Constant(v),
+            frame_length: setup.trace.len(),
+            horizon: setup.trace.len(),
+            alpha: 1.0,
+            rec_total: setup.rec_total,
+        };
+        let mut coca = CocaController::new(&setup.cluster, cost, cfg, SymmetricSolver::new());
+        let out =
+            SlotSimulator::new(&setup.cluster, &setup.trace, cost, setup.rec_total).run(&mut coca)?;
+        costs.push(out.avg_hourly_cost());
+    }
+    let base = costs[0];
+    let normalized = costs.iter().map(|c| c / base).collect();
+    Ok(Figure::new(
+        "Fig. 5(d) cost vs switching energy per power-up",
+        "switch kWh",
+        vec![Series::new("coca", switch_kwh.to_vec(), normalized)],
+    ))
+}
+
+/// One row of the frame-reset ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct AblationRow {
+    /// Frames used (1 = never reset).
+    pub frames: usize,
+    /// Average hourly cost.
+    pub cost: f64,
+    /// Brown energy relative to the budget.
+    pub brown_over_budget: f64,
+    /// Peak carbon-deficit queue length (kWh).
+    pub peak_queue: f64,
+}
+
+/// Ablation (DESIGN.md §7): the deficit-queue **frame reset**. Resetting
+/// every T slots decouples frames so V can be retuned (Sec. 4.3), but each
+/// reset forgives the accumulated deficit — more frames means weaker
+/// neutrality pressure at the same V. This sweep quantifies that trade-off
+/// at a fixed constant V.
+pub fn ablation_frame_reset(
+    setup: &PaperSetup,
+    v: f64,
+    frame_counts: &[usize],
+) -> Result<Vec<AblationRow>, SimError> {
+    let mut rows = Vec::new();
+    for &frames in frame_counts {
+        assert!(frames >= 1);
+        let frame = (setup.trace.len() / frames).max(1);
+        let trimmed = frame * frames;
+        let mut s = setup.clone();
+        if trimmed != setup.trace.len() {
+            s.trace = s.trace.window(0, trimmed);
+        }
+        let cfg = CocaConfig {
+            v: VSchedule::Constant(v),
+            frame_length: frame,
+            horizon: trimmed,
+            alpha: 1.0,
+            rec_total: s.rec_total * trimmed as f64 / setup.trace.len() as f64,
+        };
+        let mut coca = CocaController::new(&s.cluster, s.cost, cfg, SymmetricSolver::new());
+        let out = SlotSimulator::new(&s.cluster, &s.trace, s.cost, s.rec_total)
+            .run(&mut coca)?;
+        let budget = s.budget_kwh * trimmed as f64 / setup.trace.len() as f64;
+        rows.push(AblationRow {
+            frames,
+            cost: out.avg_hourly_cost(),
+            brown_over_budget: out.total_brown_energy() / budget,
+            peak_queue: coca.max_deficit(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renewable-portfolio sensitivity (paper Sec. 5.2.4 closing remark): the
+/// cost change when the off-site/REC mix varies at a fixed total budget.
+/// Returns normalized costs, one per mix.
+pub fn portfolio_sensitivity(
+    setup: &PaperSetup,
+    v: f64,
+    offsite_shares: &[f64],
+) -> Result<Figure, SimError> {
+    let mut costs = Vec::new();
+    for &share in offsite_shares {
+        let mut s = setup.clone();
+        s.trace.offsite = coca_traces::renewable::generate(
+            &coca_traces::renewable::RenewableConfig {
+                solar_share: 0.4,
+                annual_energy_kwh: share * s.budget_kwh,
+                seed: s.scale.seed.wrapping_add(2),
+            },
+            s.trace.len(),
+        );
+        s.rec_total = (1.0 - share) * s.budget_kwh;
+        let out = run_coca(&s, VSchedule::Constant(v), s.trace.len())?;
+        costs.push(out.avg_hourly_cost());
+    }
+    let base = costs[0];
+    let normalized = costs.iter().map(|c| c / base).collect();
+    Ok(Figure::new(
+        "Portfolio sensitivity: cost vs off-site share of the budget",
+        "offsite share",
+        vec![Series::new("coca", offsite_shares.to_vec(), normalized)],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::ExperimentScale;
+
+    fn small_setup() -> PaperSetup {
+        PaperSetup::build(ExperimentScale::small(), WorkloadKind::Fiu, 0.92).unwrap()
+    }
+
+    #[test]
+    fn fig1_shapes() {
+        let (a, b) = fig1_workloads(7);
+        assert_eq!(a.series[0].y.len(), HOURS_PER_YEAR);
+        assert_eq!(b.series[0].y.len(), HOURS_PER_WEEK);
+    }
+
+    #[test]
+    fn fig2_cost_decreases_deficit_increases_with_v() {
+        let setup = small_setup();
+        let vs = [0.02, 2.0, 2000.0];
+        let (a, b) = fig2_constant_v(&setup, &vs).unwrap();
+        let cost = &a.series[0].y;
+        let deficit = &b.series[0].y;
+        assert!(cost[2] <= cost[0] + 1e-9, "cost decreases with V: {cost:?}");
+        assert!(deficit[2] >= deficit[0] - 1e-9, "deficit grows with V: {deficit:?}");
+    }
+
+    #[test]
+    fn calibrated_v_meets_budget() {
+        let setup = small_setup();
+        let v = calibrate_v(&setup, 6).unwrap();
+        let out = run_coca(&setup, VSchedule::Constant(v), setup.trace.len()).unwrap();
+        assert!(
+            out.total_brown_energy() <= setup.budget_kwh * 1.01,
+            "brown {} vs budget {}",
+            out.total_brown_energy(),
+            setup.budget_kwh
+        );
+    }
+
+    #[test]
+    fn fig4_traces_have_requested_length() {
+        let setup = small_setup();
+        let fig = fig4_gsd_deltas(&setup, 100, 240.0, &[1e3, 1e6], 120).unwrap();
+        assert_eq!(fig.series.len(), 2);
+        assert!(fig.series.iter().all(|s| s.y.len() == 120));
+        let fig_b = fig4_gsd_initial_points(&setup, 100, 240.0, 1e6, 120).unwrap();
+        assert!(fig_b.series.len() >= 2);
+    }
+
+    #[test]
+    fn ablation_more_frames_weaker_neutrality() {
+        let setup = small_setup();
+        let v = calibrate_v(&setup, 5).unwrap();
+        let rows = ablation_frame_reset(&setup, v, &[1, 4]).unwrap();
+        assert_eq!(rows.len(), 2);
+        // Resets forgive deficit: brown usage cannot decrease with frames.
+        assert!(
+            rows[1].brown_over_budget >= rows[0].brown_over_budget - 0.02,
+            "4 frames {} vs 1 frame {}",
+            rows[1].brown_over_budget,
+            rows[0].brown_over_budget
+        );
+        assert!(rows.iter().all(|r| r.cost.is_finite() && r.peak_queue >= 0.0));
+    }
+
+    #[test]
+    fn portfolio_mix_is_insensitive() {
+        // Paper Sec. 5.2.4: different off-site/REC mixes at the same total
+        // budget change the cost by well under a few percent.
+        let setup = small_setup();
+        let v = calibrate_v(&setup, 5).unwrap();
+        let fig = portfolio_sensitivity(&setup, v, &[0.2, 0.8]).unwrap();
+        let y = &fig.series[0].y;
+        assert!((y[1] - 1.0).abs() < 0.05, "portfolio sensitivity too high: {y:?}");
+    }
+
+    #[test]
+    fn fig5c_small_overestimation_small_cost_increase() {
+        let setup = small_setup();
+        let fig = fig5_overestimation(&setup, 100.0, &[1.0, 1.2]).unwrap();
+        let y = &fig.series[0].y;
+        assert!((y[0] - 1.0).abs() < 1e-12);
+        assert!(y[1] < 1.2, "20% overestimation should cost far less than 20%: {y:?}");
+    }
+}

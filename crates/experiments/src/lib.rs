@@ -1,0 +1,26 @@
+//! # coca-experiments — the figure-reproduction harness
+//!
+//! Everything needed to regenerate the paper's evaluation (Sec. 5):
+//!
+//! * [`setup`] — builds the paper's scenario: the 216 K-server fleet (or a
+//!   scaled-down variant), the FIU/MSR year traces, and the carbon budget
+//!   calibrated exactly as in Sec. 5.1 (92 % of the carbon-unaware
+//!   consumption; 40 % off-site renewables / 60 % RECs; on-site ≈ 20 % of
+//!   consumption).
+//! * [`figures`] — one function per figure; each returns printable
+//!   [`report::Series`] so the `repro` binary and the integration tests
+//!   share the same code paths.
+//! * [`report`] — plain-text table/series printing and CSV output.
+//! * [`parallel`] — order-preserving multi-threaded sweeps for independent
+//!   experiment points.
+//!
+//! Run `cargo run --release -p coca-experiments --bin repro -- all` to
+//! regenerate everything; see `EXPERIMENTS.md` for recorded results.
+
+pub mod figures;
+pub mod parallel;
+pub mod report;
+pub mod setup;
+
+pub use report::Series;
+pub use setup::{ExperimentScale, PaperSetup};

@@ -1,0 +1,151 @@
+//! Plain-text and CSV reporting for experiment results.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A named (x, y) series — one curve of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Curve label (e.g. "COCA", "PerfectHP").
+    pub name: String,
+    /// X values (V, budget fraction, hour index, …).
+    pub x: Vec<f64>,
+    /// Y values.
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a series; panics on length mismatch.
+    pub fn new(name: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series x/y length mismatch");
+        Self { name: name.into(), x, y }
+    }
+
+    /// Creates a series indexed 0..n.
+    pub fn indexed(name: impl Into<String>, y: Vec<f64>) -> Self {
+        let x = (0..y.len()).map(|i| i as f64).collect();
+        Self::new(name, x, y)
+    }
+
+    /// Downsamples to at most `n` evenly spaced points (keeps endpoints).
+    pub fn thinned(&self, n: usize) -> Series {
+        assert!(n >= 2);
+        if self.x.len() <= n {
+            return self.clone();
+        }
+        let last = self.x.len() - 1;
+        let idx: Vec<usize> = (0..n).map(|k| k * last / (n - 1)).collect();
+        Series {
+            name: self.name.clone(),
+            x: idx.iter().map(|&i| self.x[i]).collect(),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+}
+
+/// Prints a set of series sharing the same x grid as an aligned table.
+pub fn print_table(title: &str, x_label: &str, series: &[Series], out: &mut impl Write) -> std::io::Result<()> {
+    writeln!(out, "\n## {title}")?;
+    if series.is_empty() {
+        return writeln!(out, "(no data)");
+    }
+    write!(out, "{:>14}", x_label)?;
+    for s in series {
+        write!(out, "{:>16}", s.name)?;
+    }
+    writeln!(out)?;
+    let n = series[0].x.len();
+    for i in 0..n {
+        write!(out, "{:>14.4}", series[0].x[i])?;
+        for s in series {
+            if i < s.y.len() {
+                write!(out, "{:>16.6}", s.y[i])?;
+            } else {
+                write!(out, "{:>16}", "-")?;
+            }
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Writes series sharing an x grid to a CSV file.
+pub fn write_csv(path: &Path, x_label: &str, series: &[Series]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "{x_label}")?;
+    for s in series {
+        write!(f, ",{}", s.name)?;
+    }
+    writeln!(f)?;
+    let n = series.first().map(|s| s.x.len()).unwrap_or(0);
+    for i in 0..n {
+        write!(f, "{}", series[0].x[i])?;
+        for s in series {
+            if i < s.y.len() {
+                write!(f, ",{}", s.y[i])?;
+            } else {
+                write!(f, ",")?;
+            }
+        }
+        writeln!(f)?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_construction_and_thinning() {
+        let s = Series::indexed("a", (0..100).map(|i| i as f64).collect());
+        assert_eq!(s.x.len(), 100);
+        let t = s.thinned(5);
+        assert_eq!(t.x.len(), 5);
+        assert_eq!(t.x[0], 0.0);
+        assert_eq!(t.x[4], 99.0);
+        // Short series pass through.
+        let short = Series::new("b", vec![1.0], vec![2.0]);
+        assert_eq!(short.thinned(10), short);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = Series::new("bad", vec![1.0], vec![]);
+    }
+
+    #[test]
+    fn table_prints_all_points() {
+        let s1 = Series::new("a", vec![1.0, 2.0], vec![10.0, 20.0]);
+        let s2 = Series::new("b", vec![1.0, 2.0], vec![30.0, 40.0]);
+        let mut buf = Vec::new();
+        print_table("T", "x", &[s1, s2], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("## T"));
+        assert!(text.contains("10.0"));
+        assert!(text.contains("40.0"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let dir = std::env::temp_dir().join("coca_report_test");
+        let path = dir.join("out.csv");
+        let s = Series::new("a", vec![1.0, 2.0], vec![3.0, 4.0]);
+        write_csv(&path, "x", &[s]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.starts_with("x,a"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_table_ok() {
+        let mut buf = Vec::new();
+        print_table("E", "x", &[], &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("(no data)"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Scenario construction calibrated to the paper's Sec. 5.1.
+//!
+//! Calibration procedure (matching the paper's normalizations):
+//!
+//! 1. build the fleet and the workload/price traces;
+//! 2. run the carbon-unaware minimizer with **no** renewables to measure
+//!    the facility consumption `E_full`;
+//! 3. scale the on-site renewable series to 20 % of `E_full`;
+//! 4. re-run carbon-unaware with on-site renewables to get the reference
+//!    brown consumption `E_unaware` (the paper's 1.55×10⁵ MWh);
+//! 5. set the carbon budget to `budget_fraction · E_unaware` (default
+//!    92 %), split 40 % off-site renewables / 60 % RECs.
+
+use coca_baselines::CarbonUnaware;
+use coca_core::symmetric::SymmetricSolver;
+use coca_dcsim::{Cluster, CostParams, SimError};
+use coca_traces::{renewable, EnvironmentTrace, TraceConfig, WorkloadKind};
+
+/// How big an experiment to run. The paper scale needs minutes per figure;
+/// the reduced scales keep integration tests fast while exercising the
+/// same code paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentScale {
+    /// Number of hourly slots (paper: 8760).
+    pub hours: usize,
+    /// Server groups (paper: 200, multiple of 4).
+    pub groups: usize,
+    /// Servers per group (paper: 1080).
+    pub servers_per_group: usize,
+    /// Peak workload as a fraction of full-speed capacity (paper: ≈0.5).
+    pub peak_util: f64,
+    /// Mean electricity price ($/kWh). The paper states electricity "takes
+    /// up a dominant fraction of the operational cost"; with wholesale
+    /// CAISO prices (~$0.05/kWh) our pooled-delay calibration would invert
+    /// that, so the default price is scaled so that electricity dominates
+    /// the delay cost at the carbon-unaware operating point (DESIGN.md §4).
+    pub mean_price: f64,
+    /// RNG seed for the synthetic traces.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// The paper's full-scale scenario.
+    pub fn paper() -> Self {
+        Self { hours: 8760, groups: 200, servers_per_group: 1080, peak_util: 0.51, mean_price: 0.5, seed: 2012 }
+    }
+
+    /// A reduced scenario for quick runs and CI (~2 weeks, 8 groups).
+    pub fn small() -> Self {
+        Self { hours: 336, groups: 8, servers_per_group: 25, peak_util: 0.51, mean_price: 0.5, seed: 2012 }
+    }
+
+    /// A medium scenario: a full year on a reduced fleet.
+    pub fn medium() -> Self {
+        Self { hours: 8760, groups: 40, servers_per_group: 100, peak_util: 0.51, mean_price: 0.5, seed: 2012 }
+    }
+}
+
+/// A fully calibrated experiment scenario.
+#[derive(Debug, Clone)]
+pub struct PaperSetup {
+    /// The fleet.
+    pub cluster: Cluster,
+    /// Calibrated environment (workload, on-site, off-site, price).
+    pub trace: EnvironmentTrace,
+    /// Cost parameters (β = 10, γ = 0.95, PUE 1.0 by default).
+    pub cost: CostParams,
+    /// Reference brown consumption of the carbon-unaware policy (kWh).
+    pub unaware_brown_kwh: f64,
+    /// Carbon budget (kWh) = `budget_fraction · unaware_brown_kwh`.
+    pub budget_kwh: f64,
+    /// RECs Z (kWh), 60 % of the budget.
+    pub rec_total: f64,
+    /// Scale used.
+    pub scale: ExperimentScale,
+}
+
+impl PaperSetup {
+    /// Builds and calibrates a scenario. `budget_fraction` is the paper's
+    /// 92 % knob (Fig. 5 sweeps it).
+    pub fn build(
+        scale: ExperimentScale,
+        workload: WorkloadKind,
+        budget_fraction: f64,
+    ) -> Result<Self, SimError> {
+        assert!(budget_fraction > 0.0);
+        let cluster = Cluster::scaled_paper_datacenter(scale.groups, scale.servers_per_group);
+        let cost = CostParams::default();
+        let peak = scale.peak_util * cluster.max_capacity();
+
+        // Provisional trace without renewables.
+        let base_cfg = TraceConfig {
+            hours: scale.hours,
+            workload_kind: workload,
+            peak_arrival_rate: peak,
+            onsite_energy_kwh: 0.0,
+            offsite_energy_kwh: 0.0,
+            mean_price: scale.mean_price,
+            seed: scale.seed,
+            ..Default::default()
+        };
+        let mut trace = base_cfg.generate();
+
+        // Step 2: facility consumption without renewables.
+        let e_full =
+            CarbonUnaware::simulate(&cluster, cost, &trace, SymmetricSolver::new(), 0.0)?
+                .records
+                .iter()
+                .map(|r| r.facility_energy)
+                .sum::<f64>();
+
+        // Step 3: on-site ≈ 20 % of consumption.
+        trace.onsite = renewable::generate(
+            &renewable::RenewableConfig {
+                solar_share: 0.6,
+                annual_energy_kwh: 0.20 * e_full,
+                seed: scale.seed.wrapping_add(1),
+            },
+            scale.hours,
+        );
+
+        // Step 4: reference brown consumption with on-site in place.
+        let unaware_brown_kwh =
+            CarbonUnaware::annual_consumption(&cluster, cost, &trace, SymmetricSolver::new())?;
+
+        // Step 5: budget split 40 % off-site / 60 % RECs.
+        let budget_kwh = budget_fraction * unaware_brown_kwh;
+        trace.offsite = renewable::generate(
+            &renewable::RenewableConfig {
+                solar_share: 0.4,
+                annual_energy_kwh: 0.40 * budget_kwh,
+                seed: scale.seed.wrapping_add(2),
+            },
+            scale.hours,
+        );
+        let rec_total = 0.60 * budget_kwh;
+
+        Ok(Self { cluster, trace, cost, unaware_brown_kwh, budget_kwh, rec_total, scale })
+    }
+
+    /// Rebuilds the same scenario with a different budget fraction without
+    /// re-measuring the carbon-unaware reference (Fig. 5 sweeps).
+    pub fn with_budget_fraction(&self, budget_fraction: f64) -> Self {
+        assert!(budget_fraction > 0.0);
+        let budget_kwh = budget_fraction * self.unaware_brown_kwh;
+        let mut trace = self.trace.clone();
+        trace.offsite = renewable::generate(
+            &renewable::RenewableConfig {
+                solar_share: 0.4,
+                annual_energy_kwh: 0.40 * budget_kwh,
+                seed: self.scale.seed.wrapping_add(2),
+            },
+            self.scale.hours,
+        );
+        Self {
+            cluster: self.cluster.clone(),
+            trace,
+            cost: self.cost,
+            unaware_brown_kwh: self.unaware_brown_kwh,
+            budget_kwh,
+            rec_total: 0.60 * budget_kwh,
+            scale: self.scale,
+        }
+    }
+
+    /// Budget fraction relative to the carbon-unaware reference.
+    pub fn budget_fraction(&self) -> f64 {
+        self.budget_kwh / self.unaware_brown_kwh
+    }
+
+    /// Characteristic cost-carbon parameter `V₀` for this scenario.
+    ///
+    /// The deficit queue starts to bind once `q(t)` is comparable to
+    /// `V·w̄`; without control, `q` grows at roughly the per-slot budget
+    /// overage `(E_unaware − budget)/J`, so the transition where V trades
+    /// cost against neutrality over a horizon of J slots sits near
+    /// `V₀ ≈ (E_unaware − budget)/w̄`. The paper's "V ≈ 240" is the same
+    /// quantity in their (undisclosed) unit scaling; all V sweeps in the
+    /// harness are expressed as multiples of `V₀` so they transfer across
+    /// fleet scales.
+    pub fn characteristic_v(&self) -> f64 {
+        let mean_price: f64 = if self.trace.is_empty() {
+            0.05
+        } else {
+            self.trace.price.iter().sum::<f64>() / self.trace.len() as f64
+        };
+        let overage = (self.unaware_brown_kwh - self.budget_kwh).max(0.02 * self.budget_kwh);
+        (overage / mean_price).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_setup_calibrates() {
+        let s = PaperSetup::build(ExperimentScale::small(), WorkloadKind::Fiu, 0.92).unwrap();
+        assert_eq!(s.trace.len(), 336);
+        assert!(s.unaware_brown_kwh > 0.0);
+        assert!((s.budget_fraction() - 0.92).abs() < 1e-9);
+        // On-site ≈ 20% of consumption: the generated sum hits the target.
+        let onsite: f64 = s.trace.onsite.iter().sum();
+        assert!(onsite > 0.0);
+        // Budget split: 40% offsite, 60% RECs.
+        let offsite = s.trace.total_offsite();
+        assert!((offsite - 0.4 * s.budget_kwh).abs() < 1.0);
+        assert!((s.rec_total - 0.6 * s.budget_kwh).abs() < 1e-6);
+    }
+
+    #[test]
+    fn with_budget_fraction_rescales() {
+        let s = PaperSetup::build(ExperimentScale::small(), WorkloadKind::Fiu, 0.92).unwrap();
+        let t = s.with_budget_fraction(1.05);
+        assert!((t.budget_fraction() - 1.05).abs() < 1e-9);
+        assert_eq!(t.unaware_brown_kwh, s.unaware_brown_kwh);
+        assert!(t.trace.total_offsite() > s.trace.total_offsite());
+        assert_eq!(t.trace.workload, s.trace.workload, "workload untouched");
+    }
+
+    #[test]
+    fn msr_workload_variant_builds() {
+        let s = PaperSetup::build(ExperimentScale::small(), WorkloadKind::Msr, 0.9).unwrap();
+        assert!(s.unaware_brown_kwh > 0.0);
+    }
+}

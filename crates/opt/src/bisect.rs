@@ -1,0 +1,196 @@
+//! Monotone scalar root finding by bisection.
+//!
+//! Every Lagrange-multiplier search in the COCA system — the water-filling
+//! multiplier ν, the power-cap multiplier μ, and the offline carbon-budget
+//! multiplier — reduces to finding the root (or the crossing point) of a
+//! monotone function of one variable. Bisection is the right tool: it is
+//! derivative-free, unconditionally convergent on a bracketing interval, and
+//! tolerant of the piecewise-smooth, clipped functions that arise from KKT
+//! conditions with box constraints.
+
+use crate::{OptError, Result};
+
+/// Options controlling a bisection run.
+#[derive(Debug, Clone, Copy)]
+pub struct BisectOptions {
+    /// Absolute tolerance on the argument interval width.
+    pub x_tol: f64,
+    /// Absolute tolerance on the function value; the search stops early when
+    /// `|f(mid)| <= f_tol`.
+    pub f_tol: f64,
+    /// Maximum number of interval halvings.
+    pub max_iter: usize,
+}
+
+impl Default for BisectOptions {
+    fn default() -> Self {
+        Self { x_tol: 1e-12, f_tol: 0.0, max_iter: 200 }
+    }
+}
+
+/// Finds `x ∈ [lo, hi]` with `f(x) ≈ 0` for a function that is
+/// **non-decreasing** on the interval.
+///
+/// Requirements: `f(lo) <= 0 <= f(hi)` (within floating point). If the
+/// bracket is violated the nearer endpoint is returned, which is the correct
+/// clamped solution for the multiplier searches in this crate (the KKT
+/// multiplier saturates at a bound).
+///
+/// Returns the final midpoint.
+pub fn bisect_increasing<F: FnMut(f64) -> f64>(
+    mut lo: f64,
+    mut hi: f64,
+    mut f: F,
+    opts: BisectOptions,
+) -> Result<f64> {
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(OptError::InvalidInput(format!("bad bracket [{lo}, {hi}]")));
+    }
+    let flo = f(lo);
+    if !flo.is_finite() {
+        return Err(OptError::NonFinite(format!("f({lo}) = {flo}")));
+    }
+    if flo >= 0.0 {
+        return Ok(lo);
+    }
+    let fhi = f(hi);
+    if !fhi.is_finite() {
+        return Err(OptError::NonFinite(format!("f({hi}) = {fhi}")));
+    }
+    if fhi <= 0.0 {
+        return Ok(hi);
+    }
+    for _ in 0..opts.max_iter {
+        let mid = 0.5 * (lo + hi);
+        if hi - lo <= opts.x_tol.max(f64::EPSILON * mid.abs()) {
+            return Ok(mid);
+        }
+        let fm = f(mid);
+        if !fm.is_finite() {
+            return Err(OptError::NonFinite(format!("f({mid}) = {fm}")));
+        }
+        if fm.abs() <= opts.f_tol {
+            return Ok(mid);
+        }
+        if fm < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Finds a root of a **non-increasing** function by negation.
+pub fn bisect_decreasing<F: FnMut(f64) -> f64>(
+    lo: f64,
+    hi: f64,
+    mut f: F,
+    opts: BisectOptions,
+) -> Result<f64> {
+    bisect_increasing(lo, hi, |x| -f(x), opts)
+}
+
+/// Expands `hi` geometrically (doubling, starting from `start`) until
+/// `f(hi) >= 0` or `max_doublings` is reached, then returns the bracketing
+/// upper bound. Used when no a-priori upper bound on a multiplier is known.
+///
+/// `f` must be non-decreasing. Returns an error if no sign change is found,
+/// carrying the final residual so callers can decide whether the constraint
+/// simply saturates.
+pub fn grow_upper_bracket<F: FnMut(f64) -> f64>(
+    start: f64,
+    mut f: F,
+    max_doublings: usize,
+) -> Result<f64> {
+    if !(start.is_finite() && start > 0.0) {
+        return Err(OptError::InvalidInput(format!("start must be positive, got {start}")));
+    }
+    let mut hi = start;
+    for _ in 0..max_doublings {
+        let v = f(hi);
+        if !v.is_finite() {
+            return Err(OptError::NonFinite(format!("f({hi}) = {v}")));
+        }
+        if v >= 0.0 {
+            return Ok(hi);
+        }
+        hi *= 2.0;
+    }
+    Err(OptError::NoConvergence { iterations: max_doublings, residual: f(hi) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_linear_root() {
+        let x = bisect_increasing(-10.0, 10.0, |x| 2.0 * x - 3.0, BisectOptions::default())
+            .unwrap();
+        assert!((x - 1.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn clamps_when_root_below_bracket() {
+        // f > 0 on the whole bracket: the clamped answer is lo.
+        let x = bisect_increasing(5.0, 10.0, |x| x, BisectOptions::default()).unwrap();
+        assert_eq!(x, 5.0);
+    }
+
+    #[test]
+    fn clamps_when_root_above_bracket() {
+        let x = bisect_increasing(-10.0, -5.0, |x| x, BisectOptions::default()).unwrap();
+        assert_eq!(x, -5.0);
+    }
+
+    #[test]
+    fn handles_piecewise_flat_regions() {
+        // Clipped-linear function with a flat plateau exactly at zero:
+        // any point of the plateau is acceptable.
+        let f = |x: f64| (x - 1.0).clamp(-1.0, 1.0) + (x - 1.0).clamp(0.0, 0.0);
+        let x = bisect_increasing(-5.0, 5.0, f, BisectOptions::default()).unwrap();
+        assert!((x - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decreasing_variant() {
+        let x = bisect_decreasing(0.0, 10.0, |x| 4.0 - x, BisectOptions::default()).unwrap();
+        assert!((x - 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_invalid_bracket() {
+        assert!(matches!(
+            bisect_increasing(3.0, 1.0, |x| x, BisectOptions::default()),
+            Err(OptError::InvalidInput(_))
+        ));
+        assert!(bisect_increasing(f64::NAN, 1.0, |x| x, BisectOptions::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let r = bisect_increasing(-1.0, 1.0, |_| f64::NAN, BisectOptions::default());
+        assert!(matches!(r, Err(OptError::NonFinite(_))));
+    }
+
+    #[test]
+    fn grow_bracket_doubles_until_positive() {
+        let hi = grow_upper_bracket(1.0, |x| x - 100.0, 60).unwrap();
+        assert!(hi >= 100.0);
+        assert!(hi <= 256.0);
+    }
+
+    #[test]
+    fn grow_bracket_reports_saturation() {
+        let r = grow_upper_bracket(1.0, |_| -1.0, 8);
+        assert!(matches!(r, Err(OptError::NoConvergence { .. })));
+    }
+
+    #[test]
+    fn tight_tolerance_converges_on_sqrt2() {
+        let opts = BisectOptions { x_tol: 1e-14, f_tol: 0.0, max_iter: 500 };
+        let x = bisect_increasing(0.0, 2.0, |x| x * x - 2.0, opts).unwrap();
+        assert!((x - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,56 @@
+use std::fmt;
+
+/// Errors produced by the optimization primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// The requested problem has no feasible point (e.g. total load exceeds
+    /// aggregate capped capacity).
+    Infeasible(String),
+    /// An input argument is out of its documented domain.
+    InvalidInput(String),
+    /// An iterative method exhausted its iteration budget without reaching
+    /// the requested tolerance.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Best residual achieved.
+        residual: f64,
+    },
+    /// A numerical operation produced a non-finite value.
+    NonFinite(String),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Infeasible(msg) => write!(f, "infeasible problem: {msg}"),
+            OptError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            OptError::NoConvergence { iterations, residual } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+            OptError::NonFinite(msg) => write!(f, "non-finite value encountered: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = OptError::Infeasible("load 5 > capacity 3".into());
+        assert!(e.to_string().contains("load 5 > capacity 3"));
+        let e = OptError::NoConvergence { iterations: 7, residual: 1e-3 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OptError>();
+    }
+}

@@ -1,0 +1,124 @@
+//! Golden-section search for unimodal scalar minimization.
+//!
+//! Used by calibration routines (e.g. choosing the cost-carbon parameter `V`
+//! that exactly meets a target energy budget) where the objective is unimodal
+//! but not differentiable in closed form.
+
+use crate::{OptError, Result};
+
+/// Inverse golden ratio, `(√5 − 1) / 2`.
+const INV_PHI: f64 = 0.618_033_988_749_894_9;
+
+/// Result of a golden-section minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoldenResult {
+    /// Argument of the located minimum.
+    pub x: f64,
+    /// Function value at [`GoldenResult::x`].
+    pub value: f64,
+    /// Number of function evaluations performed.
+    pub evals: usize,
+}
+
+/// Minimizes a unimodal function `f` on `[lo, hi]` to the requested argument
+/// tolerance.
+///
+/// If `f` is not unimodal the search still terminates and returns a local
+/// minimum within the bracket (this is the standard golden-section
+/// guarantee).
+pub fn golden_min<F: FnMut(f64) -> f64>(
+    lo: f64,
+    hi: f64,
+    mut f: F,
+    x_tol: f64,
+    max_iter: usize,
+) -> Result<GoldenResult> {
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(OptError::InvalidInput(format!("bad bracket [{lo}, {hi}]")));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut evals = 0;
+    let mut eval = |x: f64, evals: &mut usize| -> Result<f64> {
+        let v = f(x);
+        *evals += 1;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(OptError::NonFinite(format!("f({x}) = {v}")))
+        }
+    };
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = eval(c, &mut evals)?;
+    let mut fd = eval(d, &mut evals)?;
+    for _ in 0..max_iter {
+        if (b - a) <= x_tol {
+            break;
+        }
+        if fc <= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = eval(c, &mut evals)?;
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = eval(d, &mut evals)?;
+        }
+    }
+    let (x, value) = if fc <= fd { (c, fc) } else { (d, fd) };
+    Ok(GoldenResult { x, value, evals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_parabola() {
+        let r = golden_min(-10.0, 10.0, |x| (x - 3.0) * (x - 3.0) + 1.0, 1e-8, 200).unwrap();
+        assert!((r.x - 3.0).abs() < 1e-6);
+        assert!((r.value - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn minimizes_asymmetric_unimodal() {
+        // |x| + exp(x) is unimodal with minimum left of 0.
+        let r = golden_min(-5.0, 5.0, |x| x.abs() + x.exp(), 1e-10, 300).unwrap();
+        let grid_min = (-5000..5000)
+            .map(|i| i as f64 / 1000.0)
+            .map(|x| x.abs() + x.exp())
+            .fold(f64::INFINITY, f64::min);
+        assert!(r.value <= grid_min + 1e-6);
+    }
+
+    #[test]
+    fn respects_bracket_endpoints() {
+        // Monotone decreasing on the bracket: minimum at hi.
+        let r = golden_min(0.0, 1.0, |x| -x, 1e-10, 200).unwrap();
+        assert!((r.x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_bracket_returns_point() {
+        let r = golden_min(2.0, 2.0, |x| x * x, 1e-12, 50).unwrap();
+        assert_eq!(r.x, 2.0);
+    }
+
+    #[test]
+    fn rejects_reversed_bracket() {
+        assert!(golden_min(1.0, 0.0, |x| x, 1e-9, 10).is_err());
+    }
+
+    #[test]
+    fn propagates_non_finite() {
+        assert!(matches!(
+            golden_min(0.0, 1.0, |_| f64::INFINITY, 1e-9, 10),
+            Err(OptError::NonFinite(_))
+        ));
+    }
+}

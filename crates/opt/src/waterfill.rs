@@ -1,0 +1,801 @@
+//! Exact load-distribution solver (the continuous inner problem of **P3**).
+//!
+//! For a *fixed* speed vector, the COCA per-slot problem (paper eq. 16 / 18)
+//! reduces to distributing the total arrival rate `λ` across `n` queue
+//! *types*, where type `i` stands for `mᵢ ≥ 1` identical queues:
+//!
+//! ```text
+//! minimize   A·[ P₀ + Σᵢ mᵢ·cᵢ·λᵢ − r ]⁺  +  W·Σᵢ mᵢ·λᵢ/(Xᵢ − λᵢ)
+//! subject to Σᵢ mᵢ·λᵢ = λ,   0 ≤ λᵢ ≤ uᵢ  (uᵢ = γ·Xᵢ < Xᵢ)
+//! ```
+//!
+//! `λᵢ` is the load of *each* queue of type `i` — by symmetry and strict
+//! convexity of the delay term, identical queues carry identical load at
+//! the optimum, so collapsing them loses nothing and turns a 200-group
+//! data center into a handful of types (one per server class × speed
+//! level). `A = V·w(t) + q(t)` is the electricity weight, `W = V·β` the
+//! delay weight, `cᵢ` the marginal power per unit load (paper eq. 1:
+//! `p_{i,c}(xᵢ)/xᵢ`), `P₀` the static power of active servers, `r` the
+//! on-site renewable supply (paper eq. 3).
+//!
+//! The objective is convex with a kink where total power crosses `r`.
+//! We solve it **exactly** with a three-regime KKT analysis:
+//!
+//! 1. *Electricity-active*: replace `[·]⁺` by the identity. The KKT
+//!    condition `A·cᵢ + W·Xᵢ/(Xᵢ−λᵢ)² = ν` yields a closed-form `λᵢ(ν)`
+//!    clipped to `[0, uᵢ]` (multiplicities cancel in the stationarity
+//!    condition); bisection on ν enforces `Σ mᵢλᵢ = λ` (classic
+//!    water-filling). If the resulting power is ≥ r, this candidate is
+//!    globally optimal (the relaxed objective lower-bounds the true one and
+//!    they agree there).
+//! 2. *Renewable-slack*: set `A = 0` (delay-only water-filling). If the
+//!    resulting power is ≤ r, it is globally optimal by the same argument.
+//! 3. *Boundary*: otherwise the optimum pins total power to exactly `r`; a
+//!    second bisection on an effective energy weight `μ ∈ [0, A]` finds it
+//!    (power is non-increasing in μ).
+//!
+//! Degenerate delay weight `W = 0` turns the problem into a linear program
+//! solved greedily by ascending marginal energy cost.
+
+use crate::bisect::{bisect_increasing, grow_upper_bracket, BisectOptions};
+use crate::{pos, OptError, Result};
+
+/// One M/G/1/PS queue type: `multiplicity` identical queues (servers, or
+/// pooled homogeneous server groups) as seen by the solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueSpec {
+    /// Service capacity `Xᵢ` of **each** queue of this type (requests/s).
+    /// Must be positive; fully idle (speed-zero) servers must be filtered
+    /// out by the caller.
+    pub capacity: f64,
+    /// Utilization cap `uᵢ = γ·Xᵢ`, strictly below `capacity` so the delay
+    /// cost stays finite (paper constraint 7).
+    pub util_cap: f64,
+    /// Marginal power per unit of load, `cᵢ = p_{i,c}(xᵢ)/xᵢ` (kW per
+    /// req/s), per queue.
+    pub energy_slope: f64,
+    /// Number of identical queues this type stands for (≥ 1; need not be an
+    /// integer, though it always is in practice).
+    pub multiplicity: f64,
+}
+
+impl QueueSpec {
+    /// Single queue (multiplicity 1).
+    pub fn single(capacity: f64, util_cap: f64, energy_slope: f64) -> Self {
+        Self { capacity, util_cap, energy_slope, multiplicity: 1.0 }
+    }
+
+    /// Validates the invariants documented on the fields.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.capacity.is_finite() && self.capacity > 0.0) {
+            return Err(OptError::InvalidInput(format!(
+                "capacity must be positive, got {}",
+                self.capacity
+            )));
+        }
+        if !(self.util_cap.is_finite() && self.util_cap > 0.0 && self.util_cap < self.capacity) {
+            return Err(OptError::InvalidInput(format!(
+                "util_cap must lie in (0, capacity={}), got {}",
+                self.capacity, self.util_cap
+            )));
+        }
+        if !(self.energy_slope.is_finite() && self.energy_slope >= 0.0) {
+            return Err(OptError::InvalidInput(format!(
+                "energy_slope must be non-negative, got {}",
+                self.energy_slope
+            )));
+        }
+        if !(self.multiplicity.is_finite() && self.multiplicity >= 1.0) {
+            return Err(OptError::InvalidInput(format!(
+                "multiplicity must be ≥ 1, got {}",
+                self.multiplicity
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Full problem instance for the load-distribution solver.
+#[derive(Debug, Clone)]
+pub struct LoadDistProblem<'a> {
+    /// Active queue types (speed-zero servers excluded).
+    pub queues: &'a [QueueSpec],
+    /// Total arrival rate `λ` to distribute across all queues.
+    pub total_load: f64,
+    /// Electricity weight `A = V·w + q ≥ 0`.
+    pub energy_weight: f64,
+    /// Delay weight `W = V·β ≥ 0`.
+    pub delay_weight: f64,
+    /// Static power of all active servers, `P₀ ≥ 0`.
+    pub base_power: f64,
+    /// On-site renewable supply `r ≥ 0`.
+    pub renewable: f64,
+}
+
+/// Solution of the load-distribution problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadDistSolution {
+    /// Per-queue arrival rates `λᵢ` — the load of **each** queue of type `i`
+    /// (same order as the input types). Total dispatched load is
+    /// `Σ mᵢ·λᵢ`.
+    pub lambdas: Vec<f64>,
+    /// Objective value `A·[power − r]⁺ + W·Σ mᵢ dᵢ`.
+    pub objective: f64,
+    /// Total power `P₀ + Σ mᵢ cᵢ λᵢ`.
+    pub power: f64,
+    /// Total (unweighted) delay cost `Σ mᵢ λᵢ/(Xᵢ − λᵢ)`.
+    pub delay: f64,
+}
+
+/// Relative slack used when classifying which side of the `[·]⁺` kink a
+/// candidate falls on.
+const KINK_TOL: f64 = 1e-9;
+
+impl LoadDistProblem<'_> {
+    /// Validates the whole problem instance.
+    pub fn validate(&self) -> Result<()> {
+        for q in self.queues {
+            q.validate()?;
+        }
+        for (name, v) in [
+            ("total_load", self.total_load),
+            ("energy_weight", self.energy_weight),
+            ("delay_weight", self.delay_weight),
+            ("base_power", self.base_power),
+            ("renewable", self.renewable),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(OptError::InvalidInput(format!(
+                    "{name} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate utilization-capped capacity `Σ mᵢ uᵢ`.
+    pub fn capped_capacity(&self) -> f64 {
+        self.queues.iter().map(|q| q.multiplicity * q.util_cap).sum()
+    }
+
+    /// Total dispatched load `Σ mᵢ λᵢ` for per-queue loads `lambdas`.
+    pub fn dispatched(&self, lambdas: &[f64]) -> f64 {
+        self.queues.iter().zip(lambdas).map(|(q, &l)| q.multiplicity * l).sum()
+    }
+
+    /// Total power for a given distribution.
+    pub fn power(&self, lambdas: &[f64]) -> f64 {
+        self.base_power
+            + self
+                .queues
+                .iter()
+                .zip(lambdas)
+                .map(|(q, &l)| q.multiplicity * q.energy_slope * l)
+                .sum::<f64>()
+    }
+
+    /// Total unweighted delay cost `Σ mᵢ λᵢ/(Xᵢ − λᵢ)` for a distribution.
+    pub fn delay(&self, lambdas: &[f64]) -> f64 {
+        self.queues
+            .iter()
+            .zip(lambdas)
+            .map(|(q, &l)| if l <= 0.0 { 0.0 } else { q.multiplicity * l / (q.capacity - l) })
+            .sum()
+    }
+
+    /// True (kinked) objective value for a distribution.
+    pub fn objective(&self, lambdas: &[f64]) -> f64 {
+        self.energy_weight * pos(self.power(lambdas) - self.renewable)
+            + self.delay_weight * self.delay(lambdas)
+    }
+
+    fn solution_from(&self, lambdas: Vec<f64>) -> LoadDistSolution {
+        let power = self.power(&lambdas);
+        let delay = self.delay(&lambdas);
+        let objective = self.energy_weight * pos(power - self.renewable) + self.delay_weight * delay;
+        LoadDistSolution { lambdas, objective, power, delay }
+    }
+}
+
+/// Solves the load-distribution problem exactly. See the module docs for the
+/// three-regime strategy.
+///
+/// ```
+/// use coca_opt::waterfill::{solve, LoadDistProblem, QueueSpec};
+/// // Two identical queues: by symmetry the load splits evenly.
+/// let queues = vec![QueueSpec::single(10.0, 9.0, 0.1); 2];
+/// let sol = solve(&LoadDistProblem {
+///     queues: &queues,
+///     total_load: 8.0,
+///     energy_weight: 1.0,
+///     delay_weight: 1.0,
+///     base_power: 0.0,
+///     renewable: 0.0,
+/// }).unwrap();
+/// assert!((sol.lambdas[0] - 4.0).abs() < 1e-6);
+/// assert!((sol.lambdas[1] - 4.0).abs() < 1e-6);
+/// ```
+pub fn solve(problem: &LoadDistProblem<'_>) -> Result<LoadDistSolution> {
+    problem.validate()?;
+    let n = problem.queues.len();
+    let lam = problem.total_load;
+    if lam == 0.0 {
+        return Ok(problem.solution_from(vec![0.0; n]));
+    }
+    if n == 0 {
+        return Err(OptError::Infeasible("positive load but no active queues".into()));
+    }
+    let cap = problem.capped_capacity();
+    if lam > cap * (1.0 + 1e-12) {
+        return Err(OptError::Infeasible(format!(
+            "total load {lam} exceeds capped capacity {cap}"
+        )));
+    }
+    // Saturated case: every queue pinned at (a uniform fraction of) its cap.
+    if lam >= cap * (1.0 - 1e-12) {
+        let lambdas = problem.queues.iter().map(|q| q.util_cap * (lam / cap)).collect();
+        return Ok(problem.solution_from(lambdas));
+    }
+
+    if problem.delay_weight == 0.0 {
+        return solve_linear_greedy(problem);
+    }
+
+    // Regime 1: electricity-active (penalty weight = A everywhere).
+    let cand_active = solve_linear_penalty(problem, problem.energy_weight)?;
+    let p_active = problem.power(&cand_active);
+    let r = problem.renewable;
+    if p_active >= r * (1.0 - KINK_TOL) || problem.energy_weight == 0.0 {
+        return Ok(problem.solution_from(cand_active));
+    }
+
+    // Regime 2: renewable-slack (penalty weight = 0).
+    let cand_slack = solve_linear_penalty(problem, 0.0)?;
+    let p_slack = problem.power(&cand_slack);
+    if p_slack <= r * (1.0 + KINK_TOL) {
+        return Ok(problem.solution_from(cand_slack));
+    }
+
+    // Regime 3: optimum sits on the kink (total power = r). Power is
+    // non-increasing in the effective energy weight μ; bisect μ ∈ [0, A].
+    let opts = BisectOptions { x_tol: 0.0, f_tol: r.abs().max(1.0) * 1e-10, max_iter: 200 };
+    let mu = bisect_increasing(
+        0.0,
+        problem.energy_weight,
+        |mu| {
+            // increasing in μ: r − power(μ) (power decreases with μ)
+            match solve_linear_penalty(problem, mu) {
+                Ok(l) => r - problem.power(&l),
+                Err(_) => f64::NAN,
+            }
+        },
+        opts,
+    )?;
+    let cand_kink = solve_linear_penalty(problem, mu)?;
+
+    // Defensive: the regime analysis is exact in theory; numerically we pick
+    // the best of the three candidates under the true objective.
+    let best = [cand_active, cand_slack, cand_kink]
+        .into_iter()
+        .min_by(|a, b| {
+            problem
+                .objective(a)
+                .partial_cmp(&problem.objective(b))
+                .expect("objective values are finite")
+        })
+        .expect("three candidates");
+    Ok(problem.solution_from(best))
+}
+
+/// Solves the load-distribution problem with an additional **peak-power
+/// constraint** `P₀ + Σ mᵢcᵢλᵢ ≤ power_cap` (the paper's Sec. 3.1 remark
+/// that "additional constraints, such as peak power … can also be
+/// incorporated").
+///
+/// If the unconstrained optimum already satisfies the cap it is returned
+/// unchanged; otherwise the optimum pins total power to the cap, found by
+/// bisecting an effective energy weight (power is non-increasing in it).
+/// Errors with [`OptError::Infeasible`] when even the power-minimal
+/// distribution exceeds the cap.
+pub fn solve_with_power_cap(
+    problem: &LoadDistProblem<'_>,
+    power_cap: f64,
+) -> Result<LoadDistSolution> {
+    if !(power_cap.is_finite() && power_cap >= 0.0) {
+        return Err(OptError::InvalidInput(format!("power_cap must be ≥ 0, got {power_cap}")));
+    }
+    let unconstrained = solve(problem)?;
+    if unconstrained.power <= power_cap * (1.0 + 1e-12) {
+        return Ok(unconstrained);
+    }
+    // Power floor: the power-minimal feasible dispatch is the W = 0 greedy
+    // fill by ascending energy slope (computed exactly — the water-filling
+    // with an extreme energy weight would lose the slope differences to
+    // floating-point cancellation).
+    let floor_problem = LoadDistProblem {
+        queues: problem.queues,
+        total_load: problem.total_load,
+        energy_weight: 1.0,
+        delay_weight: 0.0,
+        base_power: problem.base_power,
+        renewable: problem.renewable,
+    };
+    let floor_sol = solve(&floor_problem)?;
+    let floor_power = problem.power(&floor_sol.lambdas);
+    if floor_power > power_cap * (1.0 + 1e-9) {
+        return Err(OptError::Infeasible(format!(
+            "power floor {floor_power} exceeds cap {power_cap}"
+        )));
+    }
+    if problem.delay_weight == 0.0 {
+        return Ok(problem.solution_from(floor_sol.lambdas));
+    }
+    // Bisect the effective weight so that power == cap. Power is
+    // non-increasing in a_eff, so (power_cap − power(a_eff)) is increasing.
+    let lo = problem.energy_weight;
+    let power_at = |a: f64| -> f64 {
+        match solve_linear_penalty(problem, a) {
+            Ok(l) => problem.power(&l),
+            Err(_) => f64::NAN,
+        }
+    };
+    let hi = match grow_upper_bracket(lo.max(1.0) * 2.0, |a| power_cap - power_at(a), 80) {
+        Ok(hi) => hi,
+        // The bracket may fail to close when the cap sits within a whisker
+        // of the floor (the required multiplier is astronomically large);
+        // the θ-blend below still produces the exact boundary point.
+        Err(_) => lo.max(1.0) * 2.0_f64.powi(80),
+    };
+    let opts = BisectOptions { x_tol: 0.0, f_tol: power_cap.max(1.0) * 1e-10, max_iter: 200 };
+    let a_star = bisect_increasing(lo, hi, |a| power_cap - power_at(a), opts)?;
+    let lambdas = solve_linear_penalty(problem, a_star)?;
+    let sol = problem.solution_from(lambdas);
+    if sol.power <= power_cap * (1.0 + 1e-9) {
+        return Ok(sol);
+    }
+    // Feasibility repair: power is affine in λ⃗ and the feasible set is
+    // convex, so the blend θ·floor + (1−θ)·current with
+    // θ = (P_cur − cap)/(P_cur − P_floor) lands exactly on the cap while
+    // staying feasible (and near-optimal: the objective is convex, both
+    // endpoints bracket the optimum's active face).
+    let theta = ((sol.power - power_cap) / (sol.power - floor_power)).clamp(0.0, 1.0);
+    let blended: Vec<f64> = sol
+        .lambdas
+        .iter()
+        .zip(&floor_sol.lambdas)
+        .map(|(a, b)| (1.0 - theta) * a + theta * b)
+        .collect();
+    Ok(problem.solution_from(blended))
+}
+
+/// Water-filling for the smooth relaxation with a fixed linear energy weight
+/// `a_eff` (the `[·]⁺` replaced by identity):
+/// `min Σ mᵢ(a_eff·cᵢ·λᵢ + W·λᵢ/(Xᵢ−λᵢ))` s.t. `Σ mᵢλᵢ = λ`, `0 ≤ λᵢ ≤ uᵢ`.
+///
+/// The KKT stationarity condition (multiplicities cancel) gives
+/// `λᵢ(ν) = clip(Xᵢ − √(W·Xᵢ/(ν − a_eff·cᵢ)), 0, uᵢ)`, non-decreasing in the
+/// multiplier ν, so the coupling constraint is met by bisection.
+fn solve_linear_penalty(problem: &LoadDistProblem<'_>, a_eff: f64) -> Result<Vec<f64>> {
+    let w = problem.delay_weight;
+    let lam = problem.total_load;
+    let queues = problem.queues;
+
+    let lambda_of = |nu: f64| -> Vec<f64> {
+        queues
+            .iter()
+            .map(|q| {
+                let gap = nu - a_eff * q.energy_slope;
+                if gap <= w / q.capacity {
+                    // marginal cost at λᵢ=0 already exceeds the water level
+                    0.0
+                } else {
+                    (q.capacity - (w * q.capacity / gap).sqrt()).clamp(0.0, q.util_cap)
+                }
+            })
+            .collect()
+    };
+    let total_of = |nu: f64| -> f64 {
+        lambda_of(nu).iter().zip(queues).map(|(l, q)| l * q.multiplicity).sum()
+    };
+
+    // Lower bracket: the smallest marginal cost at zero load.
+    let nu_lo = queues
+        .iter()
+        .map(|q| a_eff * q.energy_slope + w / q.capacity)
+        .fold(f64::INFINITY, f64::min);
+    // Upper bracket: grow until the water level covers the demand.
+    let start = (nu_lo.abs().max(1.0)) * 2.0;
+    let nu_hi = grow_upper_bracket(start, |nu| total_of(nu) - lam, 200)?;
+
+    let opts = BisectOptions { x_tol: 0.0, f_tol: lam * 1e-12, max_iter: 200 };
+    let nu = bisect_increasing(nu_lo, nu_hi, |nu| total_of(nu) - lam, opts)?;
+    let mut lambdas = lambda_of(nu);
+
+    // Remove the residual bisection error by rescaling the interior
+    // coordinates (those strictly between the bounds absorb the slack).
+    let total: f64 = lambdas.iter().zip(queues).map(|(l, q)| l * q.multiplicity).sum();
+    let slack = lam - total;
+    if slack.abs() > 0.0 {
+        let interior: f64 = lambdas
+            .iter()
+            .zip(queues)
+            .filter(|(l, q)| **l > 0.0 && **l < q.util_cap)
+            .map(|(l, q)| *l * q.multiplicity)
+            .sum();
+        if interior > 0.0 {
+            for (l, q) in lambdas.iter_mut().zip(queues) {
+                if *l > 0.0 && *l < q.util_cap {
+                    *l = (*l + (slack / interior) * *l).clamp(0.0, q.util_cap);
+                }
+            }
+        } else if slack > 0.0 {
+            // All active coordinates are pinned; spread the remainder over
+            // queues with headroom (rare: only when bisection stopped early).
+            distribute_remainder(&mut lambdas, queues, slack);
+        }
+    }
+    Ok(lambdas)
+}
+
+/// Greedy fill by ascending marginal energy cost for the `W = 0` LP.
+fn solve_linear_greedy(problem: &LoadDistProblem<'_>) -> Result<LoadDistSolution> {
+    let mut order: Vec<usize> = (0..problem.queues.len()).collect();
+    order.sort_by(|&a, &b| {
+        problem.queues[a]
+            .energy_slope
+            .partial_cmp(&problem.queues[b].energy_slope)
+            .expect("finite slopes")
+    });
+    let mut lambdas = vec![0.0; problem.queues.len()];
+    let mut remaining = problem.total_load;
+    for idx in order {
+        if remaining <= 0.0 {
+            break;
+        }
+        let q = &problem.queues[idx];
+        let take = remaining.min(q.util_cap * q.multiplicity);
+        lambdas[idx] = take / q.multiplicity;
+        remaining -= take;
+    }
+    if remaining > problem.total_load * 1e-12 {
+        return Err(OptError::Infeasible(format!("greedy fill left {remaining} unassigned")));
+    }
+    Ok(problem.solution_from(lambdas))
+}
+
+fn distribute_remainder(lambdas: &mut [f64], queues: &[QueueSpec], mut slack: f64) {
+    for (l, q) in lambdas.iter_mut().zip(queues) {
+        if slack <= 0.0 {
+            break;
+        }
+        let headroom = (q.util_cap - *l) * q.multiplicity;
+        let take = headroom.min(slack);
+        *l += take / q.multiplicity;
+        slack -= take;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn homogeneous(n: usize, capacity: f64, gamma: f64, slope: f64) -> Vec<QueueSpec> {
+        (0..n).map(|_| QueueSpec::single(capacity, gamma * capacity, slope)).collect()
+    }
+
+    fn problem<'a>(queues: &'a [QueueSpec], lam: f64, a: f64, w: f64, r: f64) -> LoadDistProblem<'a> {
+        LoadDistProblem {
+            queues,
+            total_load: lam,
+            energy_weight: a,
+            delay_weight: w,
+            base_power: 0.0,
+            renewable: r,
+        }
+    }
+
+    #[test]
+    fn zero_load_gives_zero_everything() {
+        let qs = homogeneous(4, 10.0, 0.9, 0.1);
+        let p = problem(&qs, 0.0, 1.0, 1.0, 0.0);
+        let s = solve(&p).unwrap();
+        assert_eq!(s.lambdas, vec![0.0; 4]);
+        assert_eq!(s.objective, 0.0);
+    }
+
+    #[test]
+    fn homogeneous_split_is_even() {
+        let qs = homogeneous(5, 10.0, 0.9, 0.1);
+        let p = problem(&qs, 20.0, 2.0, 3.0, 0.0);
+        let s = solve(&p).unwrap();
+        for &l in &s.lambdas {
+            assert!((l - 4.0).abs() < 1e-7, "expected even split, got {:?}", s.lambdas);
+        }
+        let sum: f64 = s.lambdas.iter().sum();
+        assert!((sum - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn favors_energy_cheap_queue() {
+        let qs = vec![
+            QueueSpec::single(10.0, 9.0, 0.05),
+            QueueSpec::single(10.0, 9.0, 0.50),
+        ];
+        let p = problem(&qs, 8.0, 10.0, 1.0, 0.0);
+        let s = solve(&p).unwrap();
+        assert!(
+            s.lambdas[0] > s.lambdas[1],
+            "cheap queue should carry more load: {:?}",
+            s.lambdas
+        );
+    }
+
+    #[test]
+    fn respects_utilization_caps() {
+        let qs = vec![
+            QueueSpec::single(10.0, 2.0, 0.0),
+            QueueSpec::single(10.0, 9.5, 0.0),
+        ];
+        let p = problem(&qs, 10.0, 1.0, 1.0, 0.0);
+        let s = solve(&p).unwrap();
+        assert!(s.lambdas[0] <= 2.0 + 1e-9);
+        let sum: f64 = s.lambdas.iter().sum();
+        assert!((sum - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_load_rejected() {
+        let qs = homogeneous(2, 10.0, 0.9, 0.1);
+        let p = problem(&qs, 18.5, 1.0, 1.0, 0.0);
+        assert!(matches!(solve(&p), Err(OptError::Infeasible(_))));
+    }
+
+    #[test]
+    fn saturated_load_pins_all_caps() {
+        let qs = homogeneous(3, 10.0, 0.9, 0.1);
+        let p = problem(&qs, 27.0, 1.0, 1.0, 0.0);
+        let s = solve(&p).unwrap();
+        for &l in &s.lambdas {
+            assert!((l - 9.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn renewable_slack_regime_ignores_energy_weight() {
+        // Huge renewable supply: the [·]⁺ term is dead, the optimum is the
+        // delay-only water-filling regardless of A.
+        let qs = vec![
+            QueueSpec::single(10.0, 9.0, 0.05),
+            QueueSpec::single(20.0, 18.0, 0.50),
+        ];
+        let p_slack = problem(&qs, 9.0, 1000.0, 1.0, 1e9);
+        let p_delay_only = problem(&qs, 9.0, 0.0, 1.0, 0.0);
+        let s1 = solve(&p_slack).unwrap();
+        let s2 = solve(&p_delay_only).unwrap();
+        for (a, b) in s1.lambdas.iter().zip(&s2.lambdas) {
+            assert!((a - b).abs() < 1e-6, "{:?} vs {:?}", s1.lambdas, s2.lambdas);
+        }
+        assert!(s1.objective <= s2.objective + 1e-9, "slack objective drops the A term");
+    }
+
+    #[test]
+    fn kink_regime_pins_power_to_renewable() {
+        // Construct an instance where the electricity-active optimum uses
+        // less power than r, but the delay-only optimum uses more: the true
+        // optimum must sit at power == r.
+        let qs = vec![
+            QueueSpec::single(10.0, 9.0, 1.0),
+            QueueSpec::single(10.0, 9.0, 3.0),
+        ];
+        // With a strong energy weight, load piles onto queue 0 (cheap), using
+        // little total power; with A=0 the split is even, using more power.
+        let lam = 10.0;
+        let a = 50.0;
+        let w = 1.0;
+        // Even split power = 5*1 + 5*3 = 20. Skewed split power < 20.
+        let r = 16.0;
+        let p = problem(&qs, lam, a, w, r);
+        let s = solve(&p).unwrap();
+        let active = solve(&problem(&qs, lam, a, w, 0.0)).unwrap();
+        let slack = solve(&problem(&qs, lam, 0.0, w, 0.0)).unwrap();
+        assert!(active.power < r && slack.power > r, "test setup must straddle the kink");
+        assert!(
+            (s.power - r).abs() < 1e-5,
+            "optimum should pin power to r: power={} r={}",
+            s.power,
+            r
+        );
+    }
+
+    #[test]
+    fn zero_delay_weight_greedy_fill() {
+        let qs = vec![
+            QueueSpec::single(10.0, 5.0, 0.9),
+            QueueSpec::single(10.0, 5.0, 0.1),
+        ];
+        let p = problem(&qs, 6.0, 1.0, 0.0, 0.0);
+        let s = solve(&p).unwrap();
+        assert!((s.lambdas[1] - 5.0).abs() < 1e-12, "cheap queue filled first");
+        assert!((s.lambdas[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_delay_weight_greedy_respects_multiplicity() {
+        let qs = vec![
+            QueueSpec { capacity: 10.0, util_cap: 5.0, energy_slope: 0.1, multiplicity: 3.0 },
+            QueueSpec::single(10.0, 5.0, 0.9),
+        ];
+        let p = problem(&qs, 16.0, 1.0, 0.0, 0.0);
+        let s = solve(&p).unwrap();
+        // Cheap type holds 3 queues × 5 = 15; remaining 1 on the other.
+        assert!((s.lambdas[0] - 5.0).abs() < 1e-12);
+        assert!((s.lambdas[1] - 1.0).abs() < 1e-12);
+        assert!((p.dispatched(&s.lambdas) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objective_matches_components() {
+        let qs = homogeneous(3, 12.0, 0.95, 0.2);
+        let p = LoadDistProblem {
+            queues: &qs,
+            total_load: 15.0,
+            energy_weight: 4.0,
+            delay_weight: 2.0,
+            base_power: 1.5,
+            renewable: 2.0,
+        };
+        let s = solve(&p).unwrap();
+        let expected = 4.0 * pos(s.power - 2.0) + 2.0 * s.delay;
+        assert!((s.objective - expected).abs() < 1e-12);
+        assert!((s.power - p.power(&s.lambdas)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplicity_equals_expanded_copies() {
+        // One type with multiplicity 4 must match four explicit copies.
+        let compact = vec![QueueSpec {
+            capacity: 12.0,
+            util_cap: 10.0,
+            energy_slope: 0.3,
+            multiplicity: 4.0,
+        }];
+        let expanded = homogeneous(4, 12.0, 10.0 / 12.0, 0.3);
+        for &(lam, a, w, r) in &[(20.0, 2.0, 1.0, 0.0), (35.0, 0.7, 3.0, 5.0), (8.0, 5.0, 0.5, 2.0)] {
+            let pc = problem(&compact, lam, a, w, r);
+            let pe = problem(&expanded, lam, a, w, r);
+            let sc = solve(&pc).unwrap();
+            let se = solve(&pe).unwrap();
+            assert!(
+                (sc.objective - se.objective).abs() < 1e-6 * se.objective.max(1.0),
+                "objective: compact {} vs expanded {}",
+                sc.objective,
+                se.objective
+            );
+            assert!((sc.power - se.power).abs() < 1e-6 * se.power.max(1.0));
+            // Per-queue load of the compact type equals each expanded load.
+            for &l in &se.lambdas {
+                assert!((l - sc.lambdas[0]).abs() < 1e-6, "{l} vs {}", sc.lambdas[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_multiplicities_conserve_load() {
+        let qs = vec![
+            QueueSpec { capacity: 10.0, util_cap: 9.0, energy_slope: 0.1, multiplicity: 7.0 },
+            QueueSpec { capacity: 20.0, util_cap: 18.0, energy_slope: 0.3, multiplicity: 2.0 },
+            QueueSpec::single(15.0, 13.0, 0.2),
+        ];
+        let p = problem(&qs, 70.0, 3.0, 2.0, 4.0);
+        let s = solve(&p).unwrap();
+        assert!((p.dispatched(&s.lambdas) - 70.0).abs() < 1e-7);
+        for (l, q) in s.lambdas.iter().zip(&qs) {
+            assert!(*l >= 0.0 && *l <= q.util_cap + 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_dense_grid_on_two_queues() {
+        // Brute-force the 2-queue problem on a fine grid and compare.
+        let qs = vec![
+            QueueSpec::single(8.0, 7.0, 0.3),
+            QueueSpec::single(14.0, 12.0, 0.1),
+        ];
+        for &(lam, a, w, r) in &[
+            (5.0, 2.0, 1.0, 0.0),
+            (10.0, 0.5, 3.0, 1.0),
+            (15.0, 5.0, 0.5, 2.5),
+            (18.0, 1.0, 1.0, 0.0),
+        ] {
+            let p = problem(&qs, lam, a, w, r);
+            let s = solve(&p).unwrap();
+            let mut best = f64::INFINITY;
+            let steps = 40_000;
+            for k in 0..=steps {
+                let l0 = lam * (k as f64 / steps as f64);
+                let l1 = lam - l0;
+                if l0 > qs[0].util_cap || l1 > qs[1].util_cap {
+                    continue;
+                }
+                best = best.min(p.objective(&[l0, l1]));
+            }
+            assert!(
+                s.objective <= best + best.abs() * 1e-4 + 1e-7,
+                "solver {} worse than grid {} for (λ={lam}, A={a}, W={w}, r={r})",
+                s.objective,
+                best
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_queue() {
+        let q = QueueSpec::single(0.0, 0.0, 0.1);
+        assert!(q.validate().is_err());
+        let q = QueueSpec::single(10.0, 10.0, 0.1);
+        assert!(q.validate().is_err(), "util_cap must be < capacity");
+        let q = QueueSpec::single(10.0, 9.0, -1.0);
+        assert!(q.validate().is_err());
+        let q = QueueSpec { capacity: 10.0, util_cap: 9.0, energy_slope: 0.1, multiplicity: 0.5 };
+        assert!(q.validate().is_err(), "multiplicity below 1 rejected");
+    }
+
+    #[test]
+    fn validate_rejects_negative_scalars() {
+        let qs = homogeneous(1, 10.0, 0.9, 0.1);
+        let mut p = problem(&qs, 1.0, 1.0, 1.0, 0.0);
+        p.renewable = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn positive_load_with_no_queues_is_infeasible() {
+        let p = problem(&[], 1.0, 1.0, 1.0, 0.0);
+        assert!(matches!(solve(&p), Err(OptError::Infeasible(_))));
+    }
+
+    #[test]
+    fn power_cap_slack_returns_unconstrained() {
+        let qs = homogeneous(3, 10.0, 0.9, 0.5);
+        let p = problem(&qs, 12.0, 1.0, 2.0, 0.0);
+        let unc = solve(&p).unwrap();
+        let capped = solve_with_power_cap(&p, unc.power * 2.0).unwrap();
+        assert!((capped.objective - unc.objective).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_cap_pins_power_to_cap() {
+        // Heterogeneous slopes so the unconstrained optimum spreads load
+        // and uses more power than necessary.
+        let qs = vec![
+            QueueSpec::single(10.0, 9.0, 0.2),
+            QueueSpec::single(10.0, 9.0, 1.0),
+        ];
+        let p = problem(&qs, 12.0, 0.1, 5.0, 0.0);
+        let unc = solve(&p).unwrap();
+        let cap = unc.power * 0.9;
+        let capped = solve_with_power_cap(&p, cap).unwrap();
+        assert!(capped.power <= cap * (1.0 + 1e-6), "power {} vs cap {cap}", capped.power);
+        assert!((capped.power - cap).abs() < cap * 1e-4, "cap should bind");
+        assert!(capped.objective >= unc.objective - 1e-9, "capping cannot help");
+        // The solution is still load-conserving.
+        assert!((p.dispatched(&capped.lambdas) - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_cap_below_floor_is_infeasible() {
+        let qs = homogeneous(2, 10.0, 0.9, 0.5);
+        // Serving 10 load units takes at least 10·(min slope load share)…
+        let p = problem(&qs, 10.0, 1.0, 1.0, 0.0);
+        let r = solve_with_power_cap(&p, 0.1);
+        assert!(matches!(r, Err(OptError::Infeasible(_))));
+    }
+
+    #[test]
+    fn power_cap_rejects_bad_input() {
+        let qs = homogeneous(1, 10.0, 0.9, 0.1);
+        let p = problem(&qs, 1.0, 1.0, 1.0, 0.0);
+        assert!(solve_with_power_cap(&p, f64::NAN).is_err());
+        assert!(solve_with_power_cap(&p, -1.0).is_err());
+    }
+}

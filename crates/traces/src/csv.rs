@@ -1,0 +1,130 @@
+//! Minimal CSV round-trip for environment traces.
+//!
+//! Users with the real FIU/MSR/CAISO data can export it to a four-column
+//! CSV (`workload,onsite,offsite,price`, one row per hour, with header) and
+//! load it here instead of using the synthetic generators. Hand-rolled to
+//! stay inside the offline dependency set; the format is deliberately
+//! trivial (no quoting — all fields are numbers).
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::trace::EnvironmentTrace;
+
+/// Header line written/expected by this codec.
+pub const HEADER: &str = "workload,onsite,offsite,price";
+
+/// Writes a trace as CSV.
+pub fn write_trace<W: Write>(trace: &EnvironmentTrace, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{HEADER}")?;
+    for t in 0..trace.len() {
+        writeln!(
+            out,
+            "{},{},{},{}",
+            trace.workload[t], trace.onsite[t], trace.offsite[t], trace.price[t]
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from CSV, validating shape and values.
+pub fn read_trace<R: Read>(input: R) -> std::io::Result<EnvironmentTrace> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| bad_data("empty input"))??;
+    if header.trim() != HEADER {
+        return Err(bad_data(format!("unexpected header {header:?}, want {HEADER:?}")));
+    }
+    let mut trace = EnvironmentTrace {
+        workload: Vec::new(),
+        onsite: Vec::new(),
+        offsite: Vec::new(),
+        price: Vec::new(),
+    };
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let mut next_field = |name: &str| -> std::io::Result<f64> {
+            let raw = fields
+                .next()
+                .ok_or_else(|| bad_data(format!("line {}: missing {name}", lineno + 2)))?;
+            raw.trim()
+                .parse::<f64>()
+                .map_err(|e| bad_data(format!("line {}: bad {name} {raw:?}: {e}", lineno + 2)))
+        };
+        trace.workload.push(next_field("workload")?);
+        trace.onsite.push(next_field("onsite")?);
+        trace.offsite.push(next_field("offsite")?);
+        trace.price.push(next_field("price")?);
+        if fields.next().is_some() {
+            return Err(bad_data(format!("line {}: too many fields", lineno + 2)));
+        }
+    }
+    trace.validate().map_err(bad_data)?;
+    Ok(trace)
+}
+
+fn bad_data<E: Into<Box<dyn std::error::Error + Send + Sync>>>(e: E) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceConfig;
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let tr = TraceConfig { hours: 100, ..Default::default() }.generate();
+        let mut buf = Vec::new();
+        write_trace(&tr, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), tr.len());
+        for t in 0..tr.len() {
+            assert!((back.workload[t] - tr.workload[t]).abs() < 1e-9);
+            assert!((back.price[t] - tr.price[t]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        let data = "a,b,c,d\n1,2,3,4\n";
+        assert!(read_trace(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_field() {
+        let data = format!("{HEADER}\n1,2,3\n");
+        assert!(read_trace(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_extra_field() {
+        let data = format!("{HEADER}\n1,2,3,4,5\n");
+        assert!(read_trace(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_values_via_validate() {
+        let data = format!("{HEADER}\n1,2,-3,4\n");
+        assert!(read_trace(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = format!("{HEADER}\n1,2,3,4\n\n5,6,7,8\n");
+        let tr = read_trace(data.as_bytes()).unwrap();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.workload, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(read_trace(&b""[..]).is_err());
+    }
+}

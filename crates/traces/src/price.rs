@@ -1,0 +1,136 @@
+//! Synthetic hourly electricity prices ($/kWh).
+//!
+//! Mirrors the structure of CAISO real-time hourly prices the paper uses:
+//! a diurnal shape peaking in the late afternoon/evening, weekday/weekend
+//! structure, mean-reverting noise, and occasional heavy-tailed price
+//! spikes (scarcity events). Prices are floored above zero so the
+//! boundedness assumption of the analysis (Sec. 3.2) holds.
+
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::rng::Ar1;
+use crate::HOURS_PER_DAY;
+
+/// Configuration for the price generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceConfig {
+    /// Mean price in $/kWh (CAISO 2012 hovered around $0.03–0.05/kWh
+    /// wholesale; the paper does not disclose its scaling).
+    pub mean_price: f64,
+    /// Probability of a scarcity spike per hour.
+    pub spike_prob: f64,
+    /// Maximum spike multiplier.
+    pub spike_max_mult: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PriceConfig {
+    fn default() -> Self {
+        Self { mean_price: 0.05, spike_prob: 0.004, spike_max_mult: 5.0, seed: 77 }
+    }
+}
+
+/// Lower bound applied to every price (the grid never pays you to consume
+/// in this model; negative CAISO prices exist but are rare and would only
+/// make the control problem easier).
+pub const PRICE_FLOOR: f64 = 0.005;
+
+/// Generates `hours` hourly prices in $/kWh with mean ≈ `cfg.mean_price`.
+pub fn generate(cfg: &PriceConfig, hours: usize) -> Vec<f64> {
+    assert!(cfg.mean_price > 0.0, "mean price must be positive");
+    assert!((0.0..=1.0).contains(&cfg.spike_prob));
+    assert!(cfg.spike_max_mult >= 1.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x981C);
+    let mut noise = Ar1::new(0.9, 0.15);
+    let mut out = Vec::with_capacity(hours);
+    for h in 0..hours {
+        let hod = (h % HOURS_PER_DAY) as f64;
+        let dow = (h / HOURS_PER_DAY) % 7;
+        // Evening peak near 18:00, pre-dawn trough.
+        let diurnal = 1.0 + 0.35 * ((hod - 18.0) / 24.0 * std::f64::consts::TAU).cos();
+        let weekday = if dow == 0 || dow == 6 { 0.9 } else { 1.05 };
+        let n = (1.0 + noise.step(&mut rng)).max(0.3);
+        let spike = if rng.gen::<f64>() < cfg.spike_prob {
+            1.0 + rng.gen::<f64>().powi(2) * (cfg.spike_max_mult - 1.0)
+        } else {
+            1.0
+        };
+        out.push((cfg.mean_price * diurnal * weekday * n * spike).max(PRICE_FLOOR));
+    }
+    // Rescale to hit the target mean exactly (spikes shift it slightly).
+    let mean: f64 = out.iter().sum::<f64>() / hours.max(1) as f64;
+    if mean > 0.0 {
+        let k = cfg.mean_price / mean;
+        for v in out.iter_mut() {
+            *v = (*v * k).max(PRICE_FLOOR);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HOURS_PER_YEAR;
+
+    #[test]
+    fn mean_matches_target() {
+        let p = generate(&PriceConfig::default(), HOURS_PER_YEAR);
+        let mean = p.iter().sum::<f64>() / p.len() as f64;
+        assert!((mean - 0.05).abs() < 0.002, "mean {mean}");
+    }
+
+    #[test]
+    fn prices_are_positive_and_bounded() {
+        let cfg = PriceConfig::default();
+        let p = generate(&cfg, HOURS_PER_YEAR);
+        for &v in &p {
+            assert!(v >= PRICE_FLOOR);
+            assert!(v < cfg.mean_price * 50.0, "price {v} unreasonably large");
+        }
+    }
+
+    #[test]
+    fn evening_peak_exists() {
+        let p = generate(&PriceConfig { spike_prob: 0.0, ..Default::default() }, HOURS_PER_YEAR);
+        let mut by_hour = [0.0; 24];
+        for (h, &v) in p.iter().enumerate() {
+            by_hour[h % 24] += v;
+        }
+        let evening: f64 = by_hour[17..20].iter().sum();
+        let predawn: f64 = by_hour[4..7].iter().sum();
+        assert!(evening > predawn * 1.2, "evening {evening} vs predawn {predawn}");
+    }
+
+    #[test]
+    fn spikes_fatten_the_tail() {
+        let calm = generate(
+            &PriceConfig { spike_prob: 0.0, seed: 5, ..Default::default() },
+            HOURS_PER_YEAR,
+        );
+        let spiky = generate(
+            &PriceConfig { spike_prob: 0.02, seed: 5, ..Default::default() },
+            HOURS_PER_YEAR,
+        );
+        let max_calm = calm.iter().cloned().fold(0.0_f64, f64::max);
+        let max_spiky = spiky.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(max_spiky > max_calm, "spikes raise the maximum");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&PriceConfig::default(), 720);
+        let b = generate(&PriceConfig::default(), 720);
+        assert_eq!(a, b);
+        let c = generate(&PriceConfig { seed: 78, ..Default::default() }, 720);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_positive_mean() {
+        let _ = generate(&PriceConfig { mean_price: 0.0, ..Default::default() }, 10);
+    }
+}

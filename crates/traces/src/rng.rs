@@ -1,0 +1,182 @@
+//! Small stochastic-process helpers built on `rand`.
+//!
+//! The offline dependency set does not include `rand_distr`, so the few
+//! distributions the generators need (Gaussian, AR(1), exponential gaps)
+//! are implemented here directly.
+
+use rand::Rng;
+
+/// Draws a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws `Exp(rate)` (mean `1/rate`).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// First-order autoregressive Gaussian process
+/// `x_{t+1} = ρ·x_t + σ·√(1−ρ²)·ε_t`, stationary with unit-free marginal
+/// standard deviation `σ`.
+#[derive(Debug, Clone)]
+pub struct Ar1 {
+    rho: f64,
+    sigma: f64,
+    innovation_scale: f64,
+    state: f64,
+}
+
+impl Ar1 {
+    /// Creates the process at its stationary mean (0) with the given
+    /// autocorrelation `rho ∈ [0, 1)` and marginal std `sigma ≥ 0`.
+    pub fn new(rho: f64, sigma: f64) -> Self {
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1)");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        Self { rho, sigma, innovation_scale: sigma * (1.0 - rho * rho).sqrt(), state: 0.0 }
+    }
+
+    /// Advances one step and returns the new value.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.state = self.rho * self.state + self.innovation_scale * standard_normal(rng);
+        self.state
+    }
+
+    /// Current value without advancing.
+    pub fn value(&self) -> f64 {
+        self.state
+    }
+
+    /// Marginal standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+/// Multiplicative spike process: rare events (probability `p_start` per
+/// step) that jump to a random magnitude in `[1, 1 + max_boost]` and decay
+/// geometrically back to 1.
+#[derive(Debug, Clone)]
+pub struct SpikeProcess {
+    p_start: f64,
+    max_boost: f64,
+    decay: f64,
+    level: f64,
+}
+
+impl SpikeProcess {
+    /// Creates the process at its quiescent level (1.0).
+    pub fn new(p_start: f64, max_boost: f64, decay: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_start));
+        assert!(max_boost >= 0.0);
+        assert!((0.0..1.0).contains(&decay));
+        Self { p_start, max_boost, decay, level: 1.0 }
+    }
+
+    /// Advances one step, returning the multiplicative factor (≥ 1).
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if rng.gen::<f64>() < self.p_start {
+            let boost = 1.0 + rng.gen::<f64>() * self.max_boost;
+            self.level = self.level.max(boost);
+        } else {
+            self.level = 1.0 + (self.level - 1.0) * self.decay;
+        }
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng(1);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng(2);
+        let n = 100_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ar1_is_stationary_with_target_sigma() {
+        let mut r = rng(3);
+        let mut p = Ar1::new(0.9, 2.0);
+        // Burn in, then sample.
+        for _ in 0..1000 {
+            p.step(&mut r);
+        }
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| p.step(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn ar1_autocorrelation_matches_rho() {
+        let mut r = rng(4);
+        let mut p = Ar1::new(0.8, 1.0);
+        for _ in 0..1000 {
+            p.step(&mut r);
+        }
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| p.step(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let cov = samples
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        let rho_hat = cov / var;
+        assert!((rho_hat - 0.8).abs() < 0.02, "rho_hat {rho_hat}");
+    }
+
+    #[test]
+    fn spike_process_stays_at_one_without_events() {
+        let mut r = rng(5);
+        let mut s = SpikeProcess::new(0.0, 2.0, 0.5);
+        for _ in 0..100 {
+            assert_eq!(s.step(&mut r), 1.0);
+        }
+    }
+
+    #[test]
+    fn spike_process_decays_after_event() {
+        let mut r = rng(6);
+        let mut s = SpikeProcess::new(1.0, 1.0, 0.5);
+        let v1 = s.step(&mut r);
+        assert!(v1 > 1.0);
+        let mut s2 = SpikeProcess { p_start: 0.0, ..s.clone() };
+        let v2 = s2.step(&mut r);
+        assert!(v2 < v1 || (v1 - 1.0) < 1e-12, "level decays: {v1} -> {v2}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn ar1_rejects_bad_rho() {
+        let _ = Ar1::new(1.5, 1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Series statistics shared by generators, simulators and the experiment
+//! harness (moving averages for Fig. 2(c)(d), cumulative averages for
+//! Fig. 3, summary statistics for EXPERIMENTS.md).
+
+/// Squashes an unbounded value into (0, 1) with a logistic curve centred at
+/// zero; used to turn AR(1) processes into bounded physical factors.
+#[inline]
+pub fn squash01(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Trailing moving average with window `w` (paper Fig. 2(c)(d) uses a
+/// 45-day = 1080-hour window). Entry `t` averages slots
+/// `max(0, t+1−w) ..= t`, so early entries use a shorter prefix window.
+pub fn moving_average(series: &[f64], w: usize) -> Vec<f64> {
+    assert!(w > 0, "window must be positive");
+    let mut out = Vec::with_capacity(series.len());
+    let mut sum = 0.0;
+    for t in 0..series.len() {
+        sum += series[t];
+        if t >= w {
+            sum -= series[t - w];
+        }
+        let len = (t + 1).min(w);
+        out.push(sum / len as f64);
+    }
+    out
+}
+
+/// Cumulative (running) average: entry `t` is the mean of slots `0..=t`
+/// (paper Fig. 3 footnote: "summing up all the values from time 0 to time t
+/// and then dividing the sum by t + 1").
+pub fn cumulative_average(series: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(series.len());
+    let mut sum = 0.0;
+    for (t, &v) in series.iter().enumerate() {
+        sum += v;
+        out.push(sum / (t + 1) as f64);
+    }
+    out
+}
+
+/// Basic summary of a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Sum of the series.
+    pub total: f64,
+}
+
+/// Computes a [`Summary`]; empty input yields all zeros.
+pub fn summarize(series: &[f64]) -> Summary {
+    if series.is_empty() {
+        return Summary { mean: 0.0, min: 0.0, max: 0.0, std: 0.0, total: 0.0 };
+    }
+    let total: f64 = series.iter().sum();
+    let mean = total / series.len() as f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut var = 0.0;
+    for &v in series {
+        min = min.min(v);
+        max = max.max(v);
+        var += (v - mean) * (v - mean);
+    }
+    var /= series.len() as f64;
+    Summary { mean, min, max, std: var.sqrt(), total }
+}
+
+/// Pearson correlation between two equal-length series. Returns 0 for
+/// degenerate (constant or empty) inputs.
+pub fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series must have equal length");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_prefix_and_window() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let m = moving_average(&s, 2);
+        assert_eq!(m, vec![1.0, 1.5, 2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let s = [3.0, 1.0, 4.0];
+        assert_eq!(moving_average(&s, 1), s.to_vec());
+    }
+
+    #[test]
+    fn moving_average_huge_window_is_cumulative() {
+        let s = [2.0, 4.0, 6.0];
+        assert_eq!(moving_average(&s, 100), cumulative_average(&s));
+    }
+
+    #[test]
+    fn cumulative_average_matches_definition() {
+        let s = [1.0, 3.0, 5.0];
+        assert_eq!(cumulative_average(&s), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn summary_of_known_series() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        let sum = summarize(&s);
+        assert_eq!(sum.mean, 2.5);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 4.0);
+        assert_eq!(sum.total, 10.0);
+        assert!((sum.std - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        let sum = summarize(&[]);
+        assert_eq!(sum.mean, 0.0);
+        assert_eq!(sum.total, 0.0);
+    }
+
+    #[test]
+    fn correlation_limits() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        let c = [3.0, 2.0, 1.0];
+        assert!((correlation(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((correlation(&a, &c) + 1.0).abs() < 1e-12);
+        assert_eq!(correlation(&a, &[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(correlation(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn squash01_bounds() {
+        assert!((squash01(0.0) - 0.5).abs() < 1e-12);
+        assert!(squash01(50.0) > 0.999);
+        assert!(squash01(-50.0) < 0.001);
+    }
+
+    #[test]
+    #[should_panic]
+    fn moving_average_zero_window_panics() {
+        let _ = moving_average(&[1.0], 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! The combined environment trace: everything the data center observes.
+//!
+//! The paper calls "environment" the tuple of electricity price, on-site and
+//! off-site renewable supplies, and workloads (Sec. 2). [`EnvironmentTrace`]
+//! packages the four hourly series; [`SlotEnv`] is the per-slot view handed
+//! to policies (note that the *off-site* supply `f(t)` is intentionally not
+//! part of the observation COCA acts on — the deficit queue is updated with
+//! it only after the slot, paper Sec. 4.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::price::{self, PriceConfig};
+use crate::renewable::{self, RenewableConfig};
+use crate::workload::{WorkloadKind, WorkloadTrace};
+use crate::HOURS_PER_YEAR;
+
+/// One slot of environment state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotEnv {
+    /// Slot index `t`.
+    pub t: usize,
+    /// Total workload arrival rate λ(t) (req/s), revealed at slot start.
+    pub arrival_rate: f64,
+    /// On-site renewable supply r(t) (kW), revealed at slot start.
+    pub onsite: f64,
+    /// Electricity price w(t) ($/kWh), revealed at slot start.
+    pub price: f64,
+    /// Off-site renewable supply f(t) (kWh), realized only at slot end.
+    pub offsite: f64,
+}
+
+/// Full environment over a budgeting period.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvironmentTrace {
+    /// λ(t): workload arrival rate per slot (req/s).
+    pub workload: Vec<f64>,
+    /// r(t): on-site renewable power per slot (kW).
+    pub onsite: Vec<f64>,
+    /// f(t): off-site renewable energy per slot (kWh).
+    pub offsite: Vec<f64>,
+    /// w(t): electricity price per slot ($/kWh).
+    pub price: Vec<f64>,
+}
+
+impl EnvironmentTrace {
+    /// Number of slots J.
+    pub fn len(&self) -> usize {
+        self.workload.len()
+    }
+
+    /// True when the trace has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.workload.is_empty()
+    }
+
+    /// Per-slot view.
+    pub fn slot(&self, t: usize) -> SlotEnv {
+        SlotEnv {
+            t,
+            arrival_rate: self.workload[t],
+            onsite: self.onsite[t],
+            price: self.price[t],
+            offsite: self.offsite[t],
+        }
+    }
+
+    /// Iterates over all slots in order.
+    pub fn slots(&self) -> impl Iterator<Item = SlotEnv> + '_ {
+        (0..self.len()).map(move |t| self.slot(t))
+    }
+
+    /// Total off-site renewable energy `Σ f(t)` (kWh).
+    pub fn total_offsite(&self) -> f64 {
+        self.offsite.iter().sum()
+    }
+
+    /// Checks that all four series have the same length and contain only
+    /// finite, non-negative values.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.workload.len();
+        for (name, s) in [
+            ("onsite", &self.onsite),
+            ("offsite", &self.offsite),
+            ("price", &self.price),
+        ] {
+            if s.len() != n {
+                return Err(format!("{name} has {} slots, workload has {n}", s.len()));
+            }
+        }
+        for (name, s) in [
+            ("workload", &self.workload),
+            ("onsite", &self.onsite),
+            ("offsite", &self.offsite),
+            ("price", &self.price),
+        ] {
+            for (t, &v) in s.iter().enumerate() {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("{name}[{t}] = {v} is not finite and non-negative"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a sub-trace covering slots `[start, end)`.
+    pub fn window(&self, start: usize, end: usize) -> EnvironmentTrace {
+        let end = end.min(self.len());
+        let start = start.min(end);
+        EnvironmentTrace {
+            workload: self.workload[start..end].to_vec(),
+            onsite: self.onsite[start..end].to_vec(),
+            offsite: self.offsite[start..end].to_vec(),
+            price: self.price[start..end].to_vec(),
+        }
+    }
+
+    /// Applies a multiplicative factor to the workload series (used by the
+    /// overestimation sensitivity study, paper Fig. 5(c)).
+    pub fn scale_workload(&mut self, factor: f64) {
+        assert!(factor >= 0.0);
+        for v in self.workload.iter_mut() {
+            *v *= factor;
+        }
+    }
+}
+
+/// Declarative recipe for a full synthetic environment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of slots to generate (default: one year of hours).
+    pub hours: usize,
+    /// Workload generator.
+    pub workload_kind: WorkloadKind,
+    /// Peak workload arrival rate (req/s). Paper: 1.1e6.
+    pub peak_arrival_rate: f64,
+    /// On-site renewable target energy over the horizon (kWh).
+    pub onsite_energy_kwh: f64,
+    /// Solar share of the on-site mix.
+    pub onsite_solar_share: f64,
+    /// Off-site renewable target energy over the horizon (kWh).
+    pub offsite_energy_kwh: f64,
+    /// Solar share of the off-site mix.
+    pub offsite_solar_share: f64,
+    /// Mean electricity price ($/kWh).
+    pub mean_price: f64,
+    /// Master RNG seed; sub-generators derive independent streams.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            hours: HOURS_PER_YEAR,
+            workload_kind: WorkloadKind::Fiu,
+            peak_arrival_rate: 1.1e6,
+            onsite_energy_kwh: 3.1e7,  // ≈20% of the paper's 1.55e5 MWh
+            onsite_solar_share: 0.6,
+            offsite_energy_kwh: 5.7e7, // 40% of the 92% budget (1.43e5 MWh)
+            offsite_solar_share: 0.4,
+            mean_price: 0.05,
+            seed: 2012,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Generates the full environment trace.
+    pub fn generate(&self) -> EnvironmentTrace {
+        let workload =
+            WorkloadTrace::generate(self.workload_kind, self.hours, self.peak_arrival_rate, self.seed)
+                .arrival_rates;
+        let onsite = renewable::generate(
+            &RenewableConfig {
+                solar_share: self.onsite_solar_share,
+                annual_energy_kwh: self.onsite_energy_kwh,
+                seed: self.seed.wrapping_add(1),
+            },
+            self.hours,
+        );
+        let offsite = renewable::generate(
+            &RenewableConfig {
+                solar_share: self.offsite_solar_share,
+                annual_energy_kwh: self.offsite_energy_kwh,
+                seed: self.seed.wrapping_add(2),
+            },
+            self.hours,
+        );
+        let price = price::generate(
+            &PriceConfig { mean_price: self.mean_price, seed: self.seed.wrapping_add(3), ..Default::default() },
+            self.hours,
+        );
+        EnvironmentTrace { workload, onsite, offsite, price }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> TraceConfig {
+        TraceConfig { hours: 720, ..Default::default() }
+    }
+
+    #[test]
+    fn generated_trace_is_valid() {
+        let tr = small_cfg().generate();
+        assert_eq!(tr.len(), 720);
+        tr.validate().expect("valid trace");
+    }
+
+    #[test]
+    fn energy_targets_respected() {
+        let cfg = TraceConfig { hours: 8760, onsite_energy_kwh: 1.0e6, offsite_energy_kwh: 2.0e6, ..Default::default() };
+        let tr = cfg.generate();
+        assert!((tr.onsite.iter().sum::<f64>() - 1.0e6).abs() < 10.0);
+        assert!((tr.total_offsite() - 2.0e6).abs() < 10.0);
+    }
+
+    #[test]
+    fn slot_view_matches_series() {
+        let tr = small_cfg().generate();
+        let s = tr.slot(5);
+        assert_eq!(s.t, 5);
+        assert_eq!(s.arrival_rate, tr.workload[5]);
+        assert_eq!(s.onsite, tr.onsite[5]);
+        assert_eq!(s.price, tr.price[5]);
+        assert_eq!(s.offsite, tr.offsite[5]);
+        assert_eq!(tr.slots().count(), tr.len());
+    }
+
+    #[test]
+    fn window_slices_all_series() {
+        let tr = small_cfg().generate();
+        let w = tr.window(10, 20);
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.workload[0], tr.workload[10]);
+        assert_eq!(w.price[9], tr.price[19]);
+        // Out-of-range clamp.
+        let w2 = tr.window(700, 10_000);
+        assert_eq!(w2.len(), 20);
+    }
+
+    #[test]
+    fn validate_catches_length_mismatch_and_negatives() {
+        let mut tr = small_cfg().generate();
+        tr.onsite.pop();
+        assert!(tr.validate().is_err());
+        let mut tr = small_cfg().generate();
+        tr.price[3] = -0.1;
+        assert!(tr.validate().is_err());
+        let mut tr = small_cfg().generate();
+        tr.workload[0] = f64::NAN;
+        assert!(tr.validate().is_err());
+    }
+
+    #[test]
+    fn scale_workload_multiplies() {
+        let mut tr = small_cfg().generate();
+        let before = tr.workload[7];
+        tr.scale_workload(1.2);
+        assert!((tr.workload[7] - before * 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = small_cfg().generate();
+        let b = small_cfg().generate();
+        assert_eq!(a, b);
+        let c = TraceConfig { seed: 9, ..small_cfg() }.generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn serde_roundtrip_of_config() {
+        let cfg = small_cfg();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: TraceConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

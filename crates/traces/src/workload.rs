@@ -1,0 +1,292 @@
+//! Synthetic workload traces (paper Fig. 1).
+//!
+//! Two generators mirror the paper's two workloads:
+//!
+//! * **FIU** — a year of hourly arrival rates for a large public university:
+//!   strong diurnal cycle, weekday/weekend structure, academic-calendar
+//!   seasonality, the "significant increase around late July 2012 due to the
+//!   summter activities" the paper highlights in Fig. 1(a), plus AR(1) noise
+//!   and rare traffic spikes (the "unforeseeable traffic spikes" motivating
+//!   the online approach).
+//! * **MSR** — the paper's own recipe: a bursty one-week I/O shape repeated
+//!   for a year with ±40 % uniform noise.
+//!
+//! Both produce a normalized series with maximum exactly 1.0 which is then
+//! scaled to a configured peak arrival rate (1.1 M req/s in the paper ≈ 50 %
+//! of the 216 K-server data center's full-speed capacity).
+
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::rng::{Ar1, SpikeProcess};
+use crate::{HOURS_PER_DAY, HOURS_PER_WEEK};
+
+/// Which synthetic workload to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Year-long university trace with late-July surge (paper Fig. 1(a)).
+    Fiu,
+    /// One-week MSR Cambridge shape repeated with ±40 % noise (Fig. 1(b)).
+    Msr,
+}
+
+/// An hourly workload trace in requests/s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    /// Arrival rate per hour slot (requests/s).
+    pub arrival_rates: Vec<f64>,
+    /// Peak the normalized series was scaled to.
+    pub peak: f64,
+    /// Generator that produced it.
+    pub kind: WorkloadKind,
+}
+
+impl WorkloadTrace {
+    /// Generates `hours` slots of the requested workload, scaled so the
+    /// maximum arrival rate equals `peak` (req/s).
+    ///
+    /// ```
+    /// use coca_traces::{WorkloadKind, WorkloadTrace};
+    /// let w = WorkloadTrace::generate(WorkloadKind::Fiu, 48, 1.1e6, 2012);
+    /// assert_eq!(w.len(), 48);
+    /// assert!(w.arrival_rates.iter().all(|&v| v > 0.0 && v <= 1.1e6));
+    /// ```
+    pub fn generate(kind: WorkloadKind, hours: usize, peak: f64, seed: u64) -> Self {
+        assert!(peak > 0.0, "peak must be positive");
+        let normalized = match kind {
+            WorkloadKind::Fiu => fiu_normalized(hours, seed),
+            WorkloadKind::Msr => msr_normalized(hours, seed),
+        };
+        let arrival_rates = normalized.into_iter().map(|v| v * peak).collect();
+        Self { arrival_rates, peak, kind }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.arrival_rates.len()
+    }
+
+    /// True when the trace has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.arrival_rates.is_empty()
+    }
+
+    /// Normalized view (divided by the configured peak).
+    pub fn normalized(&self) -> Vec<f64> {
+        self.arrival_rates.iter().map(|v| v / self.peak).collect()
+    }
+
+    /// Mean arrival rate over the trace.
+    pub fn mean(&self) -> f64 {
+        if self.arrival_rates.is_empty() {
+            0.0
+        } else {
+            self.arrival_rates.iter().sum::<f64>() / self.arrival_rates.len() as f64
+        }
+    }
+}
+
+/// Hour-of-day activity profile for an interactive service (peaks in the
+/// afternoon, trough before dawn). Values in [0, 1].
+fn diurnal_profile(hour_of_day: usize) -> f64 {
+    // Two-harmonic fit: broad afternoon peak near 15:00, deep trough near 03:00.
+    let peak_phase = 15.0 / HOURS_PER_DAY as f64 * std::f64::consts::TAU;
+    let t = hour_of_day as f64 / HOURS_PER_DAY as f64 * std::f64::consts::TAU - peak_phase;
+    let raw = 0.55 + 0.38 * t.cos() + 0.07 * (2.0 * t).cos();
+    raw.clamp(0.05, 1.0)
+}
+
+/// Academic-calendar seasonal multiplier for the FIU trace, by day of year.
+fn fiu_season(day_of_year: usize) -> f64 {
+    let d = day_of_year % 365;
+    match d {
+        // Spring semester (mid-Jan through April): busy.
+        14..=119 => 1.0,
+        // Finals + early summer lull (May, June).
+        120..=180 => 0.78,
+        // Early July.
+        181..=199 => 0.80,
+        // Late-July surge (paper: "significant increase around late July").
+        200..=216 => 1.35,
+        // August ramp into fall semester.
+        217..=242 => 1.05,
+        // Fall semester: busiest.
+        243..=340 => 1.08,
+        // Winter break.
+        341..=364 => 0.65,
+        // Early January break.
+        _ => 0.70,
+    }
+}
+
+fn weekday_factor(hour: usize) -> f64 {
+    let day_of_week = (hour / HOURS_PER_DAY) % 7;
+    // Trace starts on a Sunday: days 0 and 6 are the weekend.
+    if day_of_week == 0 || day_of_week == 6 {
+        0.72
+    } else {
+        1.0
+    }
+}
+
+fn fiu_normalized(hours: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xF1F1_F1F1);
+    let mut noise = Ar1::new(0.85, 0.06);
+    let mut spikes = SpikeProcess::new(0.0015, 0.8, 0.6);
+    let mut out = Vec::with_capacity(hours);
+    for h in 0..hours {
+        let day = h / HOURS_PER_DAY;
+        let base = diurnal_profile(h % HOURS_PER_DAY) * fiu_season(day) * weekday_factor(h);
+        let n = 1.0 + noise.step(&mut rng);
+        let s = spikes.step(&mut rng);
+        out.push((base * n.max(0.2) * s).max(0.01));
+    }
+    normalize_max(&mut out);
+    out
+}
+
+/// One-week bursty I/O shape for the MSR trace: low background with
+/// business-hours activity and intermittent heavy bursts.
+fn msr_week_shape(seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x00AA_55AA);
+    let mut shape = Vec::with_capacity(HOURS_PER_WEEK);
+    let mut burst = SpikeProcess::new(0.06, 3.0, 0.45);
+    for h in 0..HOURS_PER_WEEK {
+        let dow = h / HOURS_PER_DAY;
+        let business = if (1..=5).contains(&dow) { 1.0 } else { 0.55 };
+        let base = 0.18 + 0.30 * diurnal_profile(h % HOURS_PER_DAY) * business;
+        let b = burst.step(&mut rng);
+        shape.push(base * b + 0.03 * rng.gen::<f64>());
+    }
+    shape
+}
+
+fn msr_normalized(hours: usize, seed: u64) -> Vec<f64> {
+    let week = msr_week_shape(seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5A5A_5A5A);
+    let mut out = Vec::with_capacity(hours);
+    for h in 0..hours {
+        let base = week[h % HOURS_PER_WEEK];
+        // Paper: "repeat the trace for one year by adding random noises of up
+        // to ±40%".
+        let noise = 1.0 + rng.gen_range(-0.40..0.40);
+        out.push((base * noise).max(0.005));
+    }
+    normalize_max(&mut out);
+    out
+}
+
+fn normalize_max(series: &mut [f64]) {
+    let max = series.iter().cloned().fold(0.0_f64, f64::max);
+    if max > 0.0 {
+        for v in series.iter_mut() {
+            *v /= max;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HOURS_PER_YEAR;
+
+    #[test]
+    fn fiu_year_has_unit_peak_and_positive_floor() {
+        let w = WorkloadTrace::generate(WorkloadKind::Fiu, HOURS_PER_YEAR, 1.0, 7);
+        assert_eq!(w.len(), HOURS_PER_YEAR);
+        let max = w.arrival_rates.iter().cloned().fold(0.0_f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-12, "peak normalized to 1, got {max}");
+        assert!(w.arrival_rates.iter().all(|&v| v > 0.0), "arrival rates stay positive");
+    }
+
+    #[test]
+    fn fiu_scales_to_requested_peak() {
+        let w = WorkloadTrace::generate(WorkloadKind::Fiu, HOURS_PER_YEAR, 1.1e6, 7);
+        let max = w.arrival_rates.iter().cloned().fold(0.0_f64, f64::max);
+        assert!((max - 1.1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn fiu_late_july_surge_visible() {
+        let w = WorkloadTrace::generate(WorkloadKind::Fiu, HOURS_PER_YEAR, 1.0, 7);
+        let day_mean = |d0: usize, d1: usize| -> f64 {
+            let lo = d0 * 24;
+            let hi = (d1 * 24).min(w.len());
+            w.arrival_rates[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        };
+        let late_july = day_mean(201, 215);
+        let early_july = day_mean(182, 198);
+        assert!(
+            late_july > 1.25 * early_july,
+            "late-July surge: {late_july:.3} vs early July {early_july:.3}"
+        );
+    }
+
+    #[test]
+    fn fiu_diurnal_cycle_present() {
+        let w = WorkloadTrace::generate(WorkloadKind::Fiu, HOURS_PER_YEAR, 1.0, 7);
+        // Average by hour-of-day: afternoon must exceed pre-dawn substantially.
+        let mut by_hour = [0.0; 24];
+        for (h, &v) in w.arrival_rates.iter().enumerate() {
+            by_hour[h % 24] += v;
+        }
+        let afternoon = by_hour[14..18].iter().sum::<f64>();
+        let predawn = by_hour[2..6].iter().sum::<f64>();
+        assert!(afternoon > 1.8 * predawn, "diurnal contrast: {afternoon} vs {predawn}");
+    }
+
+    #[test]
+    fn msr_year_repeats_week_with_noise() {
+        let w = WorkloadTrace::generate(WorkloadKind::Msr, HOURS_PER_YEAR, 1.0, 3);
+        assert_eq!(w.len(), HOURS_PER_YEAR);
+        // Correlation between week k and week k+1 should be high (same base
+        // shape) but not perfect (noise).
+        let a = &w.arrival_rates[0..168];
+        let b = &w.arrival_rates[168..336];
+        let corr = correlation(a, b);
+        assert!(corr > 0.4, "weekly shape repeats, corr = {corr}");
+        assert!(corr < 0.999, "noise breaks exact repetition, corr = {corr}");
+    }
+
+    #[test]
+    fn msr_week_trace_matches_paper_figure_window() {
+        let w = WorkloadTrace::generate(WorkloadKind::Msr, HOURS_PER_WEEK, 1.0, 3);
+        assert_eq!(w.len(), 168);
+        let max = w.arrival_rates.iter().cloned().fold(0.0_f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let a = WorkloadTrace::generate(WorkloadKind::Fiu, 1000, 5.0, 42);
+        let b = WorkloadTrace::generate(WorkloadKind::Fiu, 1000, 5.0, 42);
+        assert_eq!(a, b);
+        let c = WorkloadTrace::generate(WorkloadKind::Fiu, 1000, 5.0, 43);
+        assert_ne!(a, c, "different seeds give different traces");
+    }
+
+    #[test]
+    fn mean_and_normalized_consistent() {
+        let w = WorkloadTrace::generate(WorkloadKind::Msr, 500, 2.0, 9);
+        let norm = w.normalized();
+        let max = norm.iter().cloned().fold(0.0_f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+        assert!(w.mean() > 0.0 && w.mean() < 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_peak_rejected() {
+        let _ = WorkloadTrace::generate(WorkloadKind::Fiu, 10, 0.0, 1);
+    }
+
+    fn correlation(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+        let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}

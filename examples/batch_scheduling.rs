@@ -1,0 +1,83 @@
+//! Batch tier on top of COCA: renewable-aware deferral of delay-tolerant
+//! work into the interactive tier's headroom.
+//!
+//! ```sh
+//! cargo run --release --example batch_scheduling
+//! ```
+//!
+//! The paper isolates delay-tolerant batch jobs into "a separate batch job
+//! queue" (Sec. 2.3). This example runs COCA for the interactive tier, then
+//! schedules a week of nightly batch jobs into the leftover capacity with
+//! the plain-EDF and the renewable-aware (GreenEDF) disciplines, and
+//! compares how much of the batch energy each covers with on-site
+//! renewables.
+
+use coca::core::symmetric::SymmetricSolver;
+use coca::core::{CocaConfig, CocaController, VSchedule};
+use coca::dcsim::batch::{BatchJob, BatchPolicy, BatchScheduler, BatchSlotBudget};
+use coca::dcsim::{Cluster, CostParams, SlotSimulator};
+use coca::traces::{TraceConfig, WorkloadKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = Cluster::scaled_paper_datacenter(8, 50);
+    let cost = CostParams::default();
+    let hours = 7 * 24;
+    let trace = TraceConfig {
+        hours,
+        workload_kind: WorkloadKind::Fiu,
+        peak_arrival_rate: 0.5 * cluster.max_capacity(),
+        onsite_energy_kwh: 25_000.0,
+        offsite_energy_kwh: 6_000.0,
+        mean_price: 0.5,
+        seed: 5,
+        ..Default::default()
+    }
+    .generate();
+
+    // Interactive tier under COCA.
+    let cfg = CocaConfig {
+        v: VSchedule::Constant(2_000.0),
+        frame_length: hours,
+        horizon: hours,
+        alpha: 1.0,
+        rec_total: 3_000.0,
+    };
+    let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+    let outcome = SlotSimulator::new(&cluster, &trace, cost, 3_000.0).run(&mut coca)?;
+
+    // Headroom the interactive tier leaves per slot: idle servers (as
+    // server-hours) and unabsorbed on-site renewable energy.
+    let budgets: Vec<BatchSlotBudget> = outcome
+        .records
+        .iter()
+        .map(|r| BatchSlotBudget {
+            capacity: (cluster.num_servers() - r.servers_on) as f64,
+            green_energy: (r.onsite - r.facility_energy).max(0.0),
+        })
+        .collect();
+
+    // A daily batch workload: one job per day, released at midnight with a
+    // 36-hour completion window, 600 server-hours each (e.g. index
+    // rebuilds) — enough slack to chase the next day's solar peak.
+    let jobs: Vec<BatchJob> = (0..6)
+        .map(|day| BatchJob { release: day * 24, deadline: day * 24 + 35, work: 600.0 })
+        .collect();
+
+    println!("batch workload: {} jobs × 600 server-hours, 36-hour windows", jobs.len());
+    println!(
+        "interactive tier: {} servers, avg headroom {:.0} server-hours/slot\n",
+        cluster.num_servers(),
+        budgets.iter().map(|b| b.capacity).sum::<f64>() / hours as f64
+    );
+    for policy in [BatchPolicy::Edf, BatchPolicy::GreenEdf] {
+        let out = BatchScheduler::new(policy).schedule(&jobs, &budgets)?;
+        println!("{policy:?}:");
+        println!("  deadlines met : {}", out.all_met());
+        println!("  green energy  : {:.1} kWh", out.total_green());
+        println!("  brown energy  : {:.1} kWh", out.total_brown());
+        println!("  green fraction: {:.1}%", out.green_fraction() * 100.0);
+    }
+    println!("\n(GreenEDF defers work toward renewable-rich slots within each\n\
+              deadline window — the effect studied by the paper's refs [4,13,20].)");
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: run the COCA controller over a synthetic month.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a small heterogeneous data center, generates a month of synthetic
+//! environment (workload, renewables, prices), runs COCA with a carbon
+//! budget of 90 % of the carbon-unaware consumption, and prints the outcome.
+
+use coca::baselines::CarbonUnaware;
+use coca::core::symmetric::SymmetricSolver;
+use coca::core::{CocaConfig, CocaController, VSchedule};
+use coca::dcsim::{Cluster, CostParams, SlotSimulator};
+use coca::traces::{TraceConfig, WorkloadKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 800-server fleet: 8 groups of 100 servers (4 heterogeneous classes).
+    let cluster = Cluster::scaled_paper_datacenter(8, 100);
+    let cost = CostParams::default(); // β = 10, γ = 0.95, PUE 1.0
+
+    // One month of hourly environment; peak load ≈ half the fleet capacity.
+    let hours = 30 * 24;
+    let trace = TraceConfig {
+        hours,
+        workload_kind: WorkloadKind::Fiu,
+        peak_arrival_rate: 0.5 * cluster.max_capacity(),
+        onsite_energy_kwh: 8_000.0,
+        offsite_energy_kwh: 15_000.0,
+        mean_price: 0.5,
+        seed: 42,
+        ..Default::default()
+    }
+    .generate();
+
+    // Reference: what would a carbon-unaware operator consume?
+    let unaware =
+        CarbonUnaware::annual_consumption(&cluster, cost, &trace, SymmetricSolver::new())?;
+    println!("carbon-unaware consumption : {:.1} MWh", unaware / 1000.0);
+
+    // Carbon budget: 90 % of that, as off-site renewables + RECs.
+    let budget = 0.90 * unaware;
+    let rec_total = budget - trace.offsite.iter().sum::<f64>();
+    println!("carbon budget              : {:.1} MWh (RECs: {:.1} MWh)",
+        budget / 1000.0, rec_total.max(0.0) / 1000.0);
+
+    // The COCA controller: single frame, constant V.
+    let cfg = CocaConfig {
+        v: VSchedule::Constant(500.0),
+        frame_length: hours,
+        horizon: hours,
+        alpha: 1.0,
+        rec_total: rec_total.max(0.0),
+    };
+    let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+
+    let sim = SlotSimulator::new(&cluster, &trace, cost, rec_total.max(0.0));
+    let outcome = sim.run(&mut coca)?;
+
+    println!("\n== COCA over {} hours ==", outcome.len());
+    println!("average hourly cost        : ${:.2}", outcome.avg_hourly_cost());
+    println!("  electricity              : ${:.2}/h", outcome.total_electricity_cost() / hours as f64);
+    println!("  delay (β·d)              : ${:.2}/h", outcome.total_delay_cost() / hours as f64);
+    println!("brown energy               : {:.1} MWh", outcome.total_brown_energy() / 1000.0);
+    println!("budget used                : {:.1} %", 100.0 * outcome.total_brown_energy() / budget);
+    println!("carbon neutral             : {}", outcome.total_brown_energy() <= budget);
+    println!("peak carbon-deficit queue  : {:.1} kWh", coca.max_deficit());
+    Ok(())
+}

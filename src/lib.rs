@@ -1,0 +1,37 @@
+//! # coca — facade crate for the COCA (SC'13) reproduction
+//!
+//! Re-exports the workspace crates under one roof so that examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`core`] — the COCA online controller (Algorithm 1), the GSD
+//!   distributed optimizer (Algorithm 2), the carbon-deficit queue and the
+//!   Lyapunov performance bounds (Theorem 2).
+//! * [`dcsim`] — the data-center model (heterogeneous servers, DVFS ladders,
+//!   M/G/1/PS delay costs, power/PUE accounting) plus the slot-level and
+//!   discrete-event simulators.
+//! * [`traces`] — synthetic environment traces: FIU/MSR-style workloads,
+//!   solar and wind generation, hourly electricity prices; CSV round-trip.
+//! * [`opt`] — optimization primitives (water-filling, bisection, Gibbs
+//!   sampling, Lagrangian duals).
+//! * [`baselines`] — PerfectHP, the carbon-unaware minimizer and the offline
+//!   OPT benchmarks from the paper's evaluation.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every reproduced figure.
+
+pub use coca_baselines as baselines;
+pub use coca_core as core;
+pub use coca_dcsim as dcsim;
+pub use coca_opt as opt;
+pub use coca_traces as traces;
+
+/// Commonly used items, importable with `use coca::prelude::*`.
+pub mod prelude {
+    pub use coca_baselines::{CarbonUnaware, OfflineOpt, PerfectHp};
+    pub use coca_core::{CocaConfig, CocaController, DeficitQueue, GsdOptions};
+    pub use coca_dcsim::{
+        Cluster, ClusterBuilder, CostParams, Policy, ServerClass, SimOutcome, SlotObservation,
+        SlotSimulator,
+    };
+    pub use coca_traces::{EnvironmentTrace, TraceConfig};
+}

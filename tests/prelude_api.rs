@@ -1,0 +1,67 @@
+//! The facade's prelude must be sufficient to assemble and run the full
+//! COCA pipeline — this is the "downstream user" smoke test.
+
+use coca::prelude::*;
+
+#[test]
+fn prelude_covers_the_whole_pipeline() {
+    // Build a fleet with the builder.
+    let cluster = ClusterBuilder::new()
+        .add_groups(ServerClass::amd_opteron_2380(), 4, 10)
+        .build()
+        .expect("cluster");
+    assert_eq!(cluster.num_servers(), 40);
+
+    // Generate an environment.
+    let trace = TraceConfig {
+        hours: 48,
+        peak_arrival_rate: 0.5 * cluster.max_capacity(),
+        onsite_energy_kwh: 10.0,
+        offsite_energy_kwh: 200.0,
+        ..Default::default()
+    }
+    .generate();
+
+    // Configure COCA.
+    let cost = CostParams::default();
+    let rec_total = 100.0;
+    let cfg = CocaConfig {
+        v: coca::core::VSchedule::Constant(100.0),
+        frame_length: 48,
+        horizon: 48,
+        alpha: 1.0,
+        rec_total,
+    };
+    let mut controller = CocaController::new(
+        &cluster,
+        cost,
+        cfg,
+        coca::core::symmetric::SymmetricSolver::new(),
+    );
+
+    // Run and inspect.
+    let sim = SlotSimulator::new(&cluster, &trace, cost, rec_total);
+    let outcome: SimOutcome = sim.run(&mut controller).expect("run");
+    assert_eq!(outcome.len(), 48);
+    assert!(outcome.avg_hourly_cost() > 0.0);
+
+    // The baselines are reachable from the prelude too.
+    let mut solver = coca::core::symmetric::SymmetricSolver::new();
+    let opt = OfflineOpt::plan(&cluster, cost, &trace, 1e9, &mut solver).expect("opt");
+    assert_eq!(opt.len(), 48);
+    let _unaware = CarbonUnaware::new(&cluster, cost, coca::core::symmetric::SymmetricSolver::new());
+    let _hp: PerfectHp<'_, coca::core::symmetric::SymmetricSolver> =
+        PerfectHp::new(&cluster, cost, &trace, rec_total, 24).expect("hp");
+}
+
+#[test]
+fn deficit_queue_and_gsd_options_exported() {
+    let mut q = DeficitQueue::new(1.0, 100.0, 100);
+    q.update(5.0, 1.0);
+    assert!(q.len() > 0.0);
+    let opts = GsdOptions::default();
+    assert_eq!(opts.iterations, 500);
+    // A policy observation can be constructed by library users.
+    let obs = SlotObservation { t: 0, arrival_rate: 1.0, onsite: 0.0, price: 0.05 };
+    assert_eq!(obs.t, 0);
+}

@@ -1,0 +1,136 @@
+//! Integration tests for the trace/simulator substrate: CSV round-trips
+//! through the facade, environment invariants under property testing, and
+//! the event simulator vs the analytic queueing model.
+
+use coca::dcsim::eventsim::{PsQueueSim, ServiceDist};
+use coca::dcsim::queueing;
+use coca::traces::{csv, EnvironmentTrace, TraceConfig, WorkloadKind};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+#[test]
+fn csv_roundtrip_through_facade() {
+    let trace = TraceConfig {
+        hours: 200,
+        workload_kind: WorkloadKind::Msr,
+        peak_arrival_rate: 1234.5,
+        ..Default::default()
+    }
+    .generate();
+    let mut buf = Vec::new();
+    csv::write_trace(&trace, &mut buf).expect("write");
+    let back = csv::read_trace(buf.as_slice()).expect("read");
+    assert_eq!(back.len(), trace.len());
+    for t in 0..trace.len() {
+        assert!((back.workload[t] - trace.workload[t]).abs() < 1e-9);
+        assert!((back.onsite[t] - trace.onsite[t]).abs() < 1e-9);
+        assert!((back.offsite[t] - trace.offsite[t]).abs() < 1e-9);
+        assert!((back.price[t] - trace.price[t]).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn event_sim_validates_analytic_delay_model() {
+    // The pillar of the slot simulator: d = λ/(x−λ) is what the event
+    // simulator actually measures. One moderate-precision cell per service
+    // distribution keeps this test CI-friendly; the example
+    // `eventsim_validation` runs the full sweep.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let lambda = 6.0;
+    let expect_t = queueing::mean_response_time(lambda, 10.0).unwrap();
+    let expect_n = queueing::delay_cost(lambda, 10.0).unwrap();
+    for dist in [
+        ServiceDist::Exponential { mean: 0.1 },
+        ServiceDist::Deterministic { size: 0.1 },
+        ServiceDist::bursty(0.1),
+    ] {
+        let stats = PsQueueSim::new(lambda, 1.0, dist).run(50_000, &mut rng);
+        assert!(
+            (stats.mean_response - expect_t).abs() / expect_t < 0.1,
+            "{dist:?}: E[T] {} vs analytic {expect_t}",
+            stats.mean_response
+        );
+        assert!(
+            (stats.mean_jobs - expect_n).abs() / expect_n < 0.1,
+            "{dist:?}: E[N] {} vs analytic {expect_n}",
+            stats.mean_jobs
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_traces_are_always_valid(
+        hours in 1usize..600,
+        peak in 1.0..1e7_f64,
+        onsite in 0.0..1e6_f64,
+        offsite in 0.0..1e6_f64,
+        price in 0.001..2.0_f64,
+        seed in 0u64..500,
+        msr in proptest::bool::ANY,
+    ) {
+        let cfg = TraceConfig {
+            hours,
+            workload_kind: if msr { WorkloadKind::Msr } else { WorkloadKind::Fiu },
+            peak_arrival_rate: peak,
+            onsite_energy_kwh: onsite,
+            onsite_solar_share: 0.6,
+            offsite_energy_kwh: offsite,
+            offsite_solar_share: 0.4,
+            mean_price: price,
+            seed,
+        };
+        let tr = cfg.generate();
+        prop_assert!(tr.validate().is_ok(), "generated trace invalid: {:?}", tr.validate());
+        prop_assert_eq!(tr.len(), hours);
+        let max_w = tr.workload.iter().cloned().fold(0.0_f64, f64::max);
+        prop_assert!(max_w <= peak * (1.0 + 1e-9), "workload exceeds configured peak");
+        let sum_on: f64 = tr.onsite.iter().sum();
+        prop_assert!((sum_on - onsite).abs() <= onsite * 1e-6 + 1e-6, "on-site energy target missed");
+    }
+
+    #[test]
+    fn csv_roundtrip_random_traces(
+        hours in 1usize..120,
+        seed in 0u64..100,
+    ) {
+        let tr = TraceConfig { hours, seed, ..Default::default() }.generate();
+        let mut buf = Vec::new();
+        csv::write_trace(&tr, &mut buf).unwrap();
+        let back = csv::read_trace(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), tr.len());
+        for t in 0..tr.len() {
+            prop_assert!((back.workload[t] - tr.workload[t]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn window_and_scale_preserve_validity(
+        hours in 10usize..200,
+        a in 0usize..100,
+        b in 0usize..250,
+        factor in 0.0..3.0_f64,
+    ) {
+        let mut tr = TraceConfig { hours, ..Default::default() }.generate();
+        let w = tr.window(a, b);
+        prop_assert!(w.validate().is_ok());
+        prop_assert!(w.len() <= hours);
+        tr.scale_workload(factor);
+        prop_assert!(tr.validate().is_ok());
+    }
+}
+
+#[test]
+fn environment_trace_manual_construction_validates() {
+    let good = EnvironmentTrace {
+        workload: vec![1.0, 2.0],
+        onsite: vec![0.0, 0.5],
+        offsite: vec![0.3, 0.0],
+        price: vec![0.05, 0.06],
+    };
+    assert!(good.validate().is_ok());
+    let bad = EnvironmentTrace { price: vec![0.05], ..good.clone() };
+    assert!(bad.validate().is_err());
+}
