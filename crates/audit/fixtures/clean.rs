@@ -1,0 +1,26 @@
+//! Fixture: idiomatic hot-path code that passes every audit rule. Linted
+//! by `tests/lint_fixtures.rs` under a pretend hot-path name; never
+//! compiled.
+
+/// Tolerance-based comparison instead of raw equality.
+pub fn converged(residual: f64, tol: f64) -> bool {
+    residual.abs() <= tol
+}
+
+/// Guarded logarithm.
+pub fn log_score(p: f64) -> f64 {
+    assert!(p > 0.0);
+    p.ln()
+}
+
+/// Floored divisor.
+pub fn ratio(num: f64, den: f64) -> f64 {
+    num / den.max(1e-12)
+}
+
+/// Annotated result type.
+#[must_use]
+pub struct CleanSolution {
+    /// Payload.
+    pub value: f64,
+}

@@ -1,0 +1,23 @@
+//! Fixture: raw floating-point equality comparisons. Linted by
+//! `tests/lint_fixtures.rs`; never compiled.
+
+pub fn at_origin(power: f64) -> bool {
+    power == 0.0
+}
+
+pub fn not_reset(q: f64) -> bool {
+    q != 0.0
+}
+
+pub fn scaled_hit(x: f64, target: f64) -> bool {
+    x * 1.5 == target
+}
+
+pub fn integer_compare(n: usize, m: usize) -> bool {
+    n == m
+}
+
+pub fn multiplicity_is_unit(m: f64) -> bool {
+    // Exact integer stored in an f64; equality is intended. audit:allow(float-eq)
+    m == 1.0
+}

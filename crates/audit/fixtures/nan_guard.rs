@@ -1,0 +1,32 @@
+//! Fixture: NaN-capable operations with and without nearby guards. Linted
+//! by `tests/lint_fixtures.rs` under a pretend hot-path name; never compiled.
+
+pub fn entropy_term(p: f64) -> f64 {
+    p.ln()
+}
+
+pub fn rms(total: f64) -> f64 {
+    total.sqrt()
+}
+
+pub fn mean(sum: f64, count: f64) -> f64 {
+    sum / count
+}
+
+pub fn safe_entropy(p: f64) -> f64 {
+    assert!(p > 0.0, "probability must be positive");
+    p.ln()
+}
+
+pub fn safe_mean(sum: f64, count: f64) -> f64 {
+    sum / count.max(1.0)
+}
+
+pub fn unit_scale(x: f64) -> f64 {
+    x / 2.0
+}
+
+pub fn documented_ratio(num: f64, den: f64) -> f64 {
+    // Caller contract: den is a strictly positive price. audit:allow(nan-guard)
+    num / den
+}

@@ -1,0 +1,29 @@
+//! Fixture: panic-capable calls in solver hot-path code. Linted by
+//! `tests/lint_fixtures.rs` under a pretend hot-path name; never compiled.
+
+pub fn pick(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("needs two entries");
+    if xs.len() > 9 {
+        panic!("too many entries");
+    }
+    match first.partial_cmp(second) {
+        Some(ord) => ord as i32 as f64,
+        None => unreachable!("NaN filtered upstream"),
+    }
+}
+
+pub fn contained(xs: &[f64]) -> f64 {
+    // Upstream validation guarantees a non-empty slice. audit:allow(no-panic)
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panicking_is_fine_in_test_regions() {
+        let xs = [1.0, 2.0];
+        let _ = super::pick(&xs);
+        xs.first().unwrap();
+    }
+}

@@ -1,0 +1,111 @@
+//! Dependency-free static lint pass for the COCA workspace.
+//!
+//! The build environment has no registry access, so this cannot lean on
+//! syn/quote or an off-the-shelf linter: the scanner in [`scan`] is a
+//! line/token pass that strips comments and string literals, tracks
+//! `#[cfg(test)]` regions by brace depth, and collects
+//! `// audit:allow(<rule>)` waiver comments. The rules in [`rules`] encode
+//! conventions that protect the paper-level guarantees:
+//!
+//! - [`rules::NO_PANIC`] — no bare `unwrap()` / `expect(` / `panic!` in
+//!   solver hot paths. A panic mid-slot would abort the control loop the
+//!   paper's Theorem 2 bounds depend on; hot paths must surface typed
+//!   errors instead.
+//! - [`rules::FLOAT_EQ`] — no raw f64 `==`/`!=` comparisons anywhere in
+//!   non-test code. KKT residuals, deficit queues, and acceptance
+//!   probabilities are all continuous quantities; exact comparison hides
+//!   tolerance bugs.
+//! - [`rules::NAN_GUARD`] — no `ln`/`sqrt`/identifier division in hot
+//!   paths without a nearby guard (`assert`/`is_finite`/`.max(`/explicit
+//!   bound check) on the operand. NaN is absorbing through every solver
+//!   recurrence.
+//! - [`rules::MUST_USE`] — solver result types (`*Solution`, `*Outcome`,
+//!   `*Result` structs in `coca-opt`/`coca-core`/`coca-dcsim`) must carry
+//!   `#[must_use]` so a dropped solve is a compile-time warning.
+//!
+//! Any finding can be waived with a `// audit:allow(<rule>)` comment on
+//! the offending line or the line above it; waivers are reported and
+//! counted but do not fail the run. The `coca-audit` binary
+//! (`cargo run -p coca-audit -- lint`) exits non-zero on unwaived
+//! violations.
+
+#![deny(missing_docs, unsafe_code)]
+
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use std::path::{Path, PathBuf};
+
+pub use report::{Report, Violation};
+pub use scan::SourceFile;
+
+/// Directories under the workspace root whose `src/` trees are linted.
+/// Bench and test harness code is intentionally out of scope: panics are
+/// the correct failure mode there.
+const LINTED_CRATES: &[&str] = &[
+    "crates/audit",
+    "crates/baselines",
+    "crates/core",
+    "crates/dcsim",
+    "crates/experiments",
+    "crates/opt",
+    "crates/traces",
+];
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> =
+        std::fs::read_dir(dir)?.collect::<std::io::Result<Vec<_>>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every in-scope source file under `workspace_root` and returns the
+/// aggregated report.
+///
+/// # Errors
+/// Returns an I/O error if the workspace layout cannot be read, or if no
+/// in-scope sources exist under `workspace_root` at all — a mistyped root
+/// must not produce a vacuously clean report.
+pub fn run_lint(workspace_root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for krate in LINTED_CRATES {
+        let src = workspace_root.join(krate).join("src");
+        if src.is_dir() {
+            rust_files(&src, &mut files)?;
+        }
+    }
+    if files.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("no linted crate sources under {}", workspace_root.display()),
+        ));
+    }
+    let mut report = Report::default();
+    for path in files {
+        let text = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(workspace_root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        lint_source(&rel, &text, &mut report);
+    }
+    Ok(report)
+}
+
+/// Lints a single file's contents (entry point shared by the binary and
+/// the fixture self-tests).
+pub fn lint_source(rel_path: &str, text: &str, report: &mut Report) {
+    let file = SourceFile::parse(rel_path, text);
+    rules::apply_all(&file, report);
+}

@@ -1,0 +1,57 @@
+//! `coca-audit` — the workspace lint driver.
+//!
+//! ```text
+//! cargo run -p coca-audit -- lint [--root <workspace-root>]
+//! ```
+//!
+//! Prints every finding (waived ones are marked) and exits non-zero when
+//! any unwaived violation remains. See the crate docs of `coca_audit` for
+//! the rule set and the `// audit:allow(<rule>)` waiver convention.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: coca-audit lint [--root <workspace-root>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { return usage() };
+    if cmd != "lint" {
+        return usage();
+    }
+    let mut root: Option<PathBuf> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    // Under `cargo run` the manifest dir is crates/audit; the workspace
+    // root is two levels up. Outside cargo, fall back to the current dir.
+    let root = root.unwrap_or_else(|| {
+        std::env::var_os("CARGO_MANIFEST_DIR")
+            .map(|m| PathBuf::from(m).join("../.."))
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    match coca_audit::run_lint(&root) {
+        Ok(report) => {
+            println!("{report}");
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("coca-audit: failed to scan {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

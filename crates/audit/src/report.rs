@@ -1,0 +1,113 @@
+//! Violation records and the aggregated lint report.
+
+use std::fmt;
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (e.g. `no-panic`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// True when an `audit:allow` comment covers this site.
+    pub waived: bool,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}]{} {}",
+            self.file,
+            self.line,
+            self.rule,
+            if self.waived { " (waived)" } else { "" },
+            self.message
+        )
+    }
+}
+
+/// Aggregated result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, waived and unwaived, in file/line order.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// Records a finding.
+    pub fn push(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+
+    /// Findings not covered by a waiver comment.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| !v.waived)
+    }
+
+    /// Number of unwaived findings.
+    pub fn unwaived_count(&self) -> usize {
+        self.unwaived().count()
+    }
+
+    /// Number of waived findings.
+    pub fn waived_count(&self) -> usize {
+        self.violations.len() - self.unwaived_count()
+    }
+
+    /// True when the run should exit zero.
+    pub fn is_clean(&self) -> bool {
+        self.unwaived_count() == 0
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in &self.violations {
+            writeln!(f, "{v}")?;
+        }
+        write!(
+            f,
+            "audit: {} violation(s), {} waived, {} unwaived",
+            self.violations.len(),
+            self.waived_count(),
+            self.unwaived_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_cleanliness() {
+        let mut r = Report::default();
+        assert!(r.is_clean());
+        r.push(Violation {
+            file: "a.rs".into(),
+            line: 3,
+            rule: "no-panic",
+            message: "bare unwrap".into(),
+            waived: false,
+        });
+        r.push(Violation {
+            file: "a.rs".into(),
+            line: 9,
+            rule: "nan-guard",
+            message: "unguarded ln".into(),
+            waived: true,
+        });
+        assert_eq!(r.unwaived_count(), 1);
+        assert_eq!(r.waived_count(), 1);
+        assert!(!r.is_clean());
+        let text = r.to_string();
+        assert!(text.contains("a.rs:3: [no-panic] bare unwrap"));
+        assert!(text.contains("(waived)"));
+        assert!(text.contains("2 violation(s), 1 waived, 1 unwaived"));
+    }
+}

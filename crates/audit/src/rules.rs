@@ -1,0 +1,482 @@
+//! The lint rules. Each rule walks a [`SourceFile`]'s sanitized lines and
+//! records [`Violation`]s; waiver lookup is shared via [`emit`].
+
+use crate::report::{Report, Violation};
+use crate::scan::SourceFile;
+
+/// Rule id: no `unwrap()`/`expect(`/`panic!` in solver hot paths.
+pub const NO_PANIC: &str = "no-panic";
+/// Rule id: no raw f64 `==`/`!=` comparisons.
+pub const FLOAT_EQ: &str = "float-eq";
+/// Rule id: no unguarded `ln`/`sqrt`/identifier division in hot paths.
+pub const NAN_GUARD: &str = "nan-guard";
+/// Rule id: solver result types must be `#[must_use]`.
+pub const MUST_USE: &str = "must-use";
+
+/// Solver hot paths: a panic or NaN here aborts or corrupts the per-slot
+/// control loop whose behavior the paper's Theorem 2 bounds.
+const HOT_PATHS: &[&str] = &[
+    "crates/opt/src/waterfill.rs",
+    "crates/opt/src/bisect.rs",
+    "crates/opt/src/dual.rs",
+    "crates/opt/src/gibbs.rs",
+    "crates/core/src/gsd.rs",
+    "crates/core/src/gsd_distributed.rs",
+    "crates/core/src/solver.rs",
+    "crates/core/src/symmetric.rs",
+];
+
+/// Crates whose public `*Solution`/`*Outcome`/`*Result` structs must be
+/// `#[must_use]`.
+const MUST_USE_CRATES: &[&str] = &["crates/opt/", "crates/core/", "crates/dcsim/"];
+
+/// How many preceding lines count as "nearby" when looking for a guard
+/// before a NaN-capable operation.
+const GUARD_WINDOW: usize = 12;
+
+/// Runs every rule applicable to `file`.
+pub fn apply_all(file: &SourceFile, report: &mut Report) {
+    let hot = HOT_PATHS.iter().any(|p| file.path.ends_with(p));
+    if hot {
+        no_panic(file, report);
+        nan_guard(file, report);
+    }
+    float_eq(file, report);
+    if MUST_USE_CRATES.iter().any(|p| file.path.contains(p)) {
+        must_use(file, report);
+    }
+}
+
+fn emit(file: &SourceFile, idx: usize, rule: &'static str, message: String, report: &mut Report) {
+    report.push(Violation {
+        file: file.path.clone(),
+        line: idx + 1,
+        rule,
+        message,
+        waived: file.waived(idx, rule),
+    });
+}
+
+/// `no-panic`: bare `unwrap()`, `expect(...)`, or `panic!` in hot-path
+/// non-test code.
+fn no_panic(file: &SourceFile, report: &mut Report) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (needle, what) in [
+            (".unwrap()", "bare `unwrap()`"),
+            (".expect(", "bare `expect(...)`"),
+            ("panic!", "`panic!`"),
+            ("unreachable!", "`unreachable!`"),
+        ] {
+            if line.code.contains(needle) {
+                emit(
+                    file,
+                    idx,
+                    NO_PANIC,
+                    format!("{what} in solver hot path; return a typed error instead"),
+                    report,
+                );
+            }
+        }
+    }
+}
+
+/// True when `segment` contains evidence of a floating-point operand: an
+/// `f64`/`f32` token, or a float literal (`1.0`, `2.`, `1e-6`).
+fn has_float_evidence(segment: &str) -> bool {
+    if segment.contains("f64") || segment.contains("f32") {
+        return true;
+    }
+    let chars: Vec<char> = segment.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_ascii_digit()
+            && (i == 0 || !(chars[i - 1].is_alphanumeric() || chars[i - 1] == '_'))
+        {
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+            // `12.` or `12.3` is a float literal unless it opens a range
+            // (`12..`) or a method call (`12.max(...)`).
+            if j < chars.len() && chars[j] == '.' {
+                let after = chars.get(j + 1).copied();
+                if after != Some('.') && !after.is_some_and(|c| c.is_alphabetic() || c == '_') {
+                    return true;
+                }
+            }
+            // Exponent form `1e-6` / `3E5`.
+            if j < chars.len() && (chars[j] == 'e' || chars[j] == 'E') {
+                let mut k = j + 1;
+                if matches!(chars.get(k), Some('+' | '-')) {
+                    k += 1;
+                }
+                if chars.get(k).is_some_and(char::is_ascii_digit) {
+                    return true;
+                }
+            }
+            i = j.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+/// Extracts the operand text to the left/right of an operator occurrence,
+/// bounded by expression delimiters.
+fn operand_segments(code: &str, op_start: usize, op_len: usize) -> (String, String) {
+    let bytes = code.as_bytes();
+    let is_boundary = |b: u8| matches!(b, b',' | b';' | b'(' | b')' | b'{' | b'}' | b'[' | b']');
+    let mut l = op_start;
+    while l > 0 {
+        let b = bytes[l - 1];
+        if is_boundary(b) || (b == b'&' && l >= 2 && bytes[l - 2] == b'&') {
+            break;
+        }
+        // A single `=` (assignment / let binding) bounds the left operand;
+        // without this, type annotations like `Option<f64>` on a binding
+        // would leak float evidence into the comparison.
+        if b == b'=' && (l < 2 || !matches!(bytes[l - 2], b'=' | b'<' | b'>' | b'!')) && bytes.get(l) != Some(&b'=') {
+            break;
+        }
+        l -= 1;
+    }
+    let mut r = op_start + op_len;
+    while r < bytes.len() {
+        let b = bytes[r];
+        if is_boundary(b) || (b == b'&' && r + 1 < bytes.len() && bytes[r + 1] == b'&') {
+            break;
+        }
+        r += 1;
+    }
+    (
+        code[l..op_start].trim().to_string(),
+        code[op_start + op_len..r].trim().to_string(),
+    )
+}
+
+/// `float-eq`: `==` or `!=` where either operand shows float evidence.
+fn float_eq(file: &SourceFile, report: &mut Report) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let bytes = code.as_bytes();
+        let mut pos = 0;
+        while pos + 1 < bytes.len() {
+            let two = &bytes[pos..pos + 2];
+            let is_eq = two == b"==";
+            let is_ne = two == b"!=";
+            if !(is_eq || is_ne) {
+                pos += 1;
+                continue;
+            }
+            // Reject `<=`, `>=`, `===`-like runs, `=>`, and `a != =`.
+            let prev = pos.checked_sub(1).map(|p| bytes[p]);
+            let next = bytes.get(pos + 2).copied();
+            if is_eq && matches!(prev, Some(b'<' | b'>' | b'=' | b'!' | b'+' | b'-' | b'*' | b'/')) {
+                pos += 2;
+                continue;
+            }
+            if next == Some(b'=') {
+                pos += 3;
+                continue;
+            }
+            let (left, right) = operand_segments(code, pos, 2);
+            if has_float_evidence(&left) || has_float_evidence(&right) {
+                emit(
+                    file,
+                    idx,
+                    FLOAT_EQ,
+                    format!(
+                        "raw float {} comparison (`{}` {} `{}`); compare against a tolerance",
+                        if is_eq { "equality" } else { "inequality" },
+                        left,
+                        if is_eq { "==" } else { "!=" },
+                        right,
+                    ),
+                    report,
+                );
+            }
+            pos += 2;
+        }
+    }
+}
+
+/// Markers that count as a guard for a NaN-capable operation when found
+/// near the operand: assertions, finiteness checks, clamps to a floor, or
+/// explicit sign/zero checks.
+const GUARD_MARKERS: &[&str] = &[
+    "assert", "is_finite", "is_nan", ".max(", "clamp", "> 0", ">= ", "!= 0", "pos(", "abs()",
+    "is_empty", "min_positive",
+];
+
+/// True when a guard marker appears on `line_idx` or within the preceding
+/// window, mentioning `ident` when one is known.
+fn guarded(file: &SourceFile, line_idx: usize, ident: Option<&str>) -> bool {
+    let lo = line_idx.saturating_sub(GUARD_WINDOW);
+    file.lines[lo..=line_idx].iter().any(|l| {
+        GUARD_MARKERS.iter().any(|m| l.code.contains(m))
+            && ident.is_none_or(|id| l.code.contains(id))
+    })
+}
+
+/// Extracts the trailing simple identifier of the expression ending at
+/// byte `end` (exclusive), e.g. `self.queue.q` → `q`.
+fn trailing_ident(code: &str, end: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut s = end;
+    while s > 0 && (bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_') {
+        s -= 1;
+    }
+    if s == end || bytes[s].is_ascii_digit() {
+        return None;
+    }
+    Some(code[s..end].to_string())
+}
+
+/// Leading simple identifier starting at byte `start`.
+fn leading_ident(code: &str, start: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    if start >= bytes.len() || !(bytes[start].is_ascii_alphabetic() || bytes[start] == b'_') {
+        return None;
+    }
+    let mut e = start;
+    while e < bytes.len() && (bytes[e].is_ascii_alphanumeric() || bytes[e] == b'_') {
+        e += 1;
+    }
+    Some(code[start..e].to_string())
+}
+
+/// `nan-guard`: `ln()`/`sqrt()` calls and identifier divisions in hot-path
+/// non-test code must have a nearby guard on the operand.
+fn nan_guard(file: &SourceFile, report: &mut Report) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for method in [".ln()", ".sqrt()"] {
+            let mut from = 0;
+            while let Some(off) = code[from..].find(method) {
+                let at = from + off;
+                let ident = trailing_ident(code, at);
+                if !guarded(file, idx, ident.as_deref()) {
+                    emit(
+                        file,
+                        idx,
+                        NAN_GUARD,
+                        format!(
+                            "`{}{method}` without a nearby guard on the operand",
+                            ident.as_deref().unwrap_or("<expr>")
+                        ),
+                        report,
+                    );
+                }
+                from = at + method.len();
+            }
+        }
+        // Identifier divisions: `a / b` where the divisor is a plain
+        // identifier (a literal divisor cannot be zero at runtime).
+        let bytes = code.as_bytes();
+        for (pos, &b) in bytes.iter().enumerate() {
+            if b != b'/' {
+                continue;
+            }
+            // Not `//` (stripped anyway), `/=`, or a closing `*/`.
+            if matches!(bytes.get(pos + 1), Some(b'/' | b'=')) || matches!(prev_byte(bytes, pos), Some(b'/' | b'*')) {
+                continue;
+            }
+            let mut d = pos + 1;
+            while d < bytes.len() && bytes[d] == b' ' {
+                d += 1;
+            }
+            let Some(div) = leading_ident(code, d) else { continue };
+            // A path like `std::f64::EPSILON` or a call `f(x)` is treated
+            // as a complex divisor; only flag plain value identifiers.
+            let after = d + div.len();
+            if matches!(bytes.get(after), Some(b':' | b'(' | b'!')) {
+                continue;
+            }
+            // Constants by convention (SCREAMING_SNAKE) are not runtime
+            // zeros; skip them.
+            if div.chars().all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit()) {
+                continue;
+            }
+            // Dotted divisor `a / x.len()`-style: use the full receiver's
+            // last segment after the dot chain.
+            let divisor_end = {
+                let mut e = after;
+                while e < bytes.len()
+                    && (bytes[e].is_ascii_alphanumeric() || bytes[e] == b'_' || bytes[e] == b'.')
+                {
+                    e += 1;
+                }
+                e
+            };
+            let full = &code[d..divisor_end];
+            let key = full.rsplit('.').next().unwrap_or(full).to_string();
+            if !guarded(file, idx, Some(key.as_str())) {
+                emit(
+                    file,
+                    idx,
+                    NAN_GUARD,
+                    format!("division by `{full}` without a nearby guard"),
+                    report,
+                );
+            }
+        }
+    }
+}
+
+fn prev_byte(bytes: &[u8], pos: usize) -> Option<u8> {
+    pos.checked_sub(1).map(|p| bytes[p])
+}
+
+/// `must-use`: `pub struct Foo{Solution,Outcome,Result}` must carry
+/// `#[must_use]` among its attributes.
+fn must_use(file: &SourceFile, report: &mut Report) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.trim_start();
+        let Some(rest) = code.strip_prefix("pub struct ") else { continue };
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !(name.ends_with("Solution") || name.ends_with("Outcome") || name.ends_with("Result")) {
+            continue;
+        }
+        let lo = idx.saturating_sub(8);
+        let annotated = file.lines[lo..idx]
+            .iter()
+            .any(|l| l.code.contains("#[must_use]"));
+        if !annotated {
+            emit(
+                file,
+                idx,
+                MUST_USE,
+                format!("solver result type `{name}` lacks `#[must_use]`"),
+                report,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Report {
+        let mut r = Report::default();
+        crate::lint_source(path, src, &mut r);
+        r
+    }
+
+    #[test]
+    fn no_panic_fires_only_on_hot_paths() {
+        let src = "fn f() { x.unwrap(); }\n";
+        let hot = lint("crates/opt/src/waterfill.rs", src);
+        assert_eq!(hot.unwaived().filter(|v| v.rule == NO_PANIC).count(), 1);
+        let cold = lint("crates/experiments/src/report.rs", src);
+        assert_eq!(cold.unwaived().filter(|v| v.rule == NO_PANIC).count(), 0);
+    }
+
+    #[test]
+    fn no_panic_skips_tests_and_waivers() {
+        let src = "\
+fn f() {
+    // audit:allow(no-panic)
+    x.unwrap();
+}
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); panic!(); }
+}
+";
+        let r = lint("crates/core/src/gsd.rs", src);
+        assert_eq!(r.unwaived_count(), 0, "{r}");
+        assert_eq!(r.waived_count(), 1);
+    }
+
+    #[test]
+    fn float_eq_detects_literal_comparisons() {
+        let r = lint("crates/dcsim/src/metrics.rs", "fn f(x: f64) -> bool { x == 0.0 }\n");
+        assert_eq!(r.unwaived().filter(|v| v.rule == FLOAT_EQ).count(), 1);
+        let ok = lint(
+            "crates/dcsim/src/metrics.rs",
+            "fn f(x: f64) -> bool { (x - 0.5).abs() < 1e-9 }\nfn g(n: usize) -> bool { n == 0 }\n",
+        );
+        assert_eq!(ok.unwaived().filter(|v| v.rule == FLOAT_EQ).count(), 0, "{ok}");
+    }
+
+    #[test]
+    fn float_eq_ignores_int_and_compound_operators() {
+        let src = "fn f(n: usize, x: f64) { if n != 3 && x <= 2.0 && x >= 1.0 { g(); } }\n";
+        let r = lint("crates/core/src/lyapunov.rs", src);
+        assert_eq!(r.unwaived_count(), 0, "{r}");
+    }
+
+    #[test]
+    fn nan_guard_requires_guard_for_ln() {
+        let bad = lint("crates/opt/src/dual.rs", "fn f(x: f64) -> f64 { x.ln() }\n");
+        assert_eq!(bad.unwaived().filter(|v| v.rule == NAN_GUARD).count(), 1);
+        let good = lint(
+            "crates/opt/src/dual.rs",
+            "fn f(x: f64) -> f64 {\n    assert!(x > 0.0);\n    x.ln()\n}\n",
+        );
+        assert_eq!(good.unwaived().filter(|v| v.rule == NAN_GUARD).count(), 0, "{good}");
+    }
+
+    #[test]
+    fn nan_guard_division_by_identifier() {
+        let bad = lint("crates/core/src/solver.rs", "fn f(a: f64, b: f64) -> f64 { a / b }\n");
+        assert_eq!(bad.unwaived().filter(|v| v.rule == NAN_GUARD).count(), 1);
+        let clamped = lint(
+            "crates/core/src/solver.rs",
+            "fn f(a: f64, b: f64) -> f64 { a / b.max(1e-12) }\n",
+        );
+        assert_eq!(clamped.unwaived_count(), 0, "{clamped}");
+        let literal = lint("crates/core/src/solver.rs", "fn f(a: f64) -> f64 { a / 2.0 }\n");
+        assert_eq!(literal.unwaived_count(), 0, "{literal}");
+        let constant = lint("crates/core/src/solver.rs", "fn f(a: f64) -> f64 { a / SCALE }\n");
+        assert_eq!(constant.unwaived_count(), 0, "{constant}");
+    }
+
+    #[test]
+    fn must_use_fires_on_unannotated_result_types() {
+        let bad = "/// Doc.\npub struct FooSolution {\n    pub x: f64,\n}\n";
+        let r = lint("crates/opt/src/foo.rs", bad);
+        assert_eq!(r.unwaived().filter(|v| v.rule == MUST_USE).count(), 1);
+        let good = "/// Doc.\n#[must_use]\npub struct FooSolution {\n    pub x: f64,\n}\n";
+        let r = lint("crates/opt/src/foo.rs", good);
+        assert_eq!(r.unwaived().filter(|v| v.rule == MUST_USE).count(), 0);
+        let other_crate = lint("crates/traces/src/foo.rs", bad);
+        assert_eq!(other_crate.unwaived_count(), 0);
+    }
+
+    #[test]
+    fn float_eq_not_fooled_by_binding_type_annotations() {
+        let src = "fn f(w: usize) { let m: Option<f64> = if w == 0 { Some(0.5) } else { None }; }\n";
+        let r = lint("crates/dcsim/src/engine.rs", src);
+        assert_eq!(r.unwaived_count(), 0, "{r}");
+    }
+
+    #[test]
+    fn float_evidence_heuristics() {
+        assert!(has_float_evidence("0.0"));
+        assert!(has_float_evidence("x as f64"));
+        assert!(has_float_evidence("1e-9"));
+        assert!(has_float_evidence("2."));
+        assert!(!has_float_evidence("n"));
+        assert!(!has_float_evidence("vec[0]"));
+        assert!(!has_float_evidence("0..10"));
+        assert!(!has_float_evidence("3.max(k)"));
+    }
+}

@@ -1,0 +1,305 @@
+//! Lexical pass over one Rust source file.
+//!
+//! Produces, per line: the sanitized text (string-literal contents and
+//! comments blanked so token matching cannot fire inside them), whether
+//! the line sits inside a `#[cfg(test)]` module, and any
+//! `audit:allow(<rule>)` waivers declared on the line.
+
+/// One analyzed source line.
+#[derive(Debug)]
+pub struct Line {
+    /// Line text with string contents and comments replaced by spaces.
+    pub code: String,
+    /// Waiver rule ids declared in this line's comments.
+    pub waivers: Vec<String>,
+    /// True when the line is inside a `#[cfg(test)]` module body.
+    pub in_test: bool,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, used in reports.
+    pub path: String,
+    /// Analyzed lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+/// Comment/string stripper state that survives across lines (Rust string
+/// literals and block comments may both span multiple lines).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    BlockComment(u32),
+    Str,
+    RawString(u32),
+}
+
+impl SourceFile {
+    /// Scans `text` into per-line records.
+    pub fn parse(path: &str, text: &str) -> Self {
+        let mut lines = Vec::new();
+        let mut mode = Mode::Code;
+        // Brace depth at which the innermost `#[cfg(test)]` module opened;
+        // while `Some`, lines belong to test code.
+        let mut depth: i64 = 0;
+        let mut test_region_depth: Option<i64> = None;
+        // A `#[cfg(test)]` attribute was seen and we are waiting for the
+        // item it decorates to open its brace.
+        let mut test_attr_armed = false;
+
+        for raw in text.lines() {
+            let (code, comment, next_mode) = sanitize(raw, mode);
+            mode = next_mode;
+
+            let waivers = extract_waivers(&comment);
+            let in_test = test_region_depth.is_some();
+
+            if code.contains("#[cfg(test)]") {
+                test_attr_armed = true;
+            }
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        if test_attr_armed {
+                            test_region_depth.get_or_insert(depth);
+                            test_attr_armed = false;
+                        }
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if test_region_depth == Some(depth) {
+                            test_region_depth = None;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+
+            lines.push(Line { code, waivers, in_test });
+        }
+        SourceFile { path: path.to_string(), lines }
+    }
+
+    /// True when `line_idx` (0-based) carries a waiver for `rule`, either
+    /// on the line itself or on the immediately preceding line.
+    pub fn waived(&self, line_idx: usize, rule: &str) -> bool {
+        let on = |idx: usize| {
+            self.lines
+                .get(idx)
+                .is_some_and(|l| l.waivers.iter().any(|w| w == rule))
+        };
+        on(line_idx) || (line_idx > 0 && on(line_idx - 1))
+    }
+}
+
+/// Blanks string-literal contents and comments from one line, returning
+/// `(code, comment_text, state_for_next_line)`. Lengths are preserved for
+/// `code` so column positions keep meaning.
+fn sanitize(raw: &str, start: Mode) -> (String, String, Mode) {
+    let bytes: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut mode = start;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match mode {
+            Mode::BlockComment(n) => {
+                comment.push(c);
+                code.push(' ');
+                if c == '*' && next == Some('/') {
+                    comment.push('/');
+                    code.push(' ');
+                    i += 1;
+                    mode = if n > 1 { Mode::BlockComment(n - 1) } else { Mode::Code };
+                } else if c == '/' && next == Some('*') {
+                    comment.push('*');
+                    code.push(' ');
+                    i += 1;
+                    mode = Mode::BlockComment(n + 1);
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    code.push(' ');
+                    if next.is_some() {
+                        code.push(' ');
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                } else {
+                    code.push(' ');
+                }
+            }
+            Mode::RawString(hashes) => {
+                code.push(' ');
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if bytes.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        i += hashes as usize;
+                        mode = Mode::Code;
+                    }
+                }
+            }
+            Mode::Code => match c {
+                '/' if next == Some('/') => {
+                    comment.extend(&bytes[i..]);
+                    while code.len() < raw.chars().count() {
+                        code.push(' ');
+                    }
+                    break;
+                }
+                '/' if next == Some('*') => {
+                    comment.push_str("/*");
+                    code.push(' ');
+                    code.push(' ');
+                    i += 1;
+                    mode = Mode::BlockComment(1);
+                }
+                'r' if next == Some('"') => {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 1;
+                    mode = Mode::RawString(0);
+                }
+                'r' if next == Some('#') => {
+                    // Count hashes; raw string only if a quote follows.
+                    let mut h = 0usize;
+                    while bytes.get(i + 1 + h) == Some(&'#') {
+                        h += 1;
+                    }
+                    if bytes.get(i + 1 + h) == Some(&'"') {
+                        for _ in 0..h + 2 {
+                            code.push(' ');
+                        }
+                        i += h + 1;
+                        mode = Mode::RawString(h as u32);
+                    } else {
+                        code.push(c);
+                    }
+                }
+                '"' => {
+                    code.push('"');
+                    mode = Mode::Str;
+                }
+                '\'' => {
+                    // Char literal or lifetime: treat as a char literal
+                    // only when a closing quote appears within a few
+                    // characters (`'a'`, `'\n'`, `'"'`); otherwise it is a
+                    // lifetime and stays in the code text.
+                    let close = (2..=4).find(|&k| bytes.get(i + k) == Some(&'\''));
+                    if let Some(k) = close {
+                        for _ in 0..=k {
+                            code.push(' ');
+                        }
+                        i += k;
+                    } else {
+                        code.push(c);
+                    }
+                }
+                _ => code.push(c),
+            },
+        }
+        i += 1;
+    }
+    (code, comment, mode)
+}
+
+/// Pulls every `audit:allow(a, b)` rule list out of a comment.
+fn extract_waivers(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("audit:allow(") {
+        rest = &rest[pos + "audit:allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            for rule in rest[..end].split(',') {
+                let rule = rule.trim();
+                if !rule.is_empty() {
+                    out.push(rule.to_string());
+                }
+            }
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let s = \"a.unwrap() / b\"; // real unwrap() here\nlet t = x.unwrap();\n",
+        );
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[1].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = SourceFile::parse("x.rs", "/* panic!\n still comment */ let a = 1;\n");
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(f.lines[1].code.contains("let a = 1"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracked() {
+        let src = "fn real() { work(); }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test, "body of cfg(test) mod");
+        assert!(!f.lines[5].in_test, "after the mod closes");
+    }
+
+    #[test]
+    fn waivers_parsed_from_comments() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// audit:allow(no-panic, float-eq)\nlet x = y.unwrap();\nlet z = 1; // audit:allow(nan-guard)\n",
+        );
+        assert_eq!(f.lines[0].waivers, vec!["no-panic", "float-eq"]);
+        assert!(f.waived(1, "no-panic"), "waiver on preceding line applies");
+        assert!(f.waived(1, "float-eq"));
+        assert!(!f.waived(1, "nan-guard"));
+        assert!(f.waived(2, "nan-guard"), "same-line waiver applies");
+    }
+
+    #[test]
+    fn string_literals_span_lines() {
+        let src = "let s = format!(\"first line \\\n    second /divisor line\");\nlet x = a / b;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[1].code.contains("divisor"), "{}", f.lines[1].code);
+        assert!(f.lines[2].code.contains("a / b"));
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let f = SourceFile::parse("x.rs", "let q = '\"'; let u = v.unwrap();\n");
+        assert!(f.lines[0].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_survive() {
+        let f = SourceFile::parse("x.rs", "fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(f.lines[0].code.contains("str"));
+    }
+}

@@ -43,6 +43,9 @@ pub fn solve_penalized<S: P3Solver>(
 ) -> Result<(P3Solution, f64, f64), SimError> {
     let problem = penalized_problem(cluster, cost, obs, mu);
     let sol = solver.solve(&problem)?;
+    // Paper-invariant hook: the penalized subproblem shares constraint (8)
+    // with P3 — the solver may not drop load no matter the multiplier.
+    coca_core::invariant::global().load_conserved(sol.loads.iter().sum(), obs.arrival_rate);
     let y = sol.outcome.brown;
     let g = obs.price * y + cost.beta * sol.outcome.delay;
     Ok((sol, g, y))

@@ -69,6 +69,13 @@ impl<S: P3Solver> Policy for CarbonUnaware<'_, S> {
             pue: self.cost.pue,
         };
         let sol = self.solver.solve(&problem)?;
+        // Paper-invariant hooks: constraints (8)–(9) hold for baselines too.
+        coca_core::invariant::global().decision(
+            &sol.levels,
+            &sol.loads,
+            &self.cluster.choice_counts(),
+            obs.arrival_rate,
+        );
         Ok(Decision { levels: sol.levels, loads: sol.loads })
     }
 

@@ -16,6 +16,8 @@
 //!   "minimize g(t) subject to a per-slot brown-energy cap" by searching
 //!   the cap's multiplier.
 
+#![deny(missing_docs, unsafe_code)]
+
 pub mod budgeted;
 pub mod carbon_unaware;
 pub mod offline_opt;

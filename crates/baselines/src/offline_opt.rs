@@ -25,6 +25,9 @@ use crate::budgeted::solve_penalized;
 /// A precomputed offline-optimal schedule, replayable as a [`Policy`].
 pub struct OfflineOpt {
     decisions: Vec<Decision>,
+    /// Speed-set sizes of the cluster the plan was made for (constraint-9
+    /// invariant checks at replay time).
+    choice_counts: Vec<usize>,
     /// The multiplier(s) found by the dual search, one per planned frame.
     pub multipliers: Vec<f64>,
     /// Plain cost of every planned slot.
@@ -128,11 +131,25 @@ impl OfflineOpt {
             start = end;
         }
 
+        // The final dual sweep plans every slot; a gap would be a solver
+        // bug, surfaced as a typed error rather than a panic.
         let decisions = decisions
             .into_iter()
-            .map(|d| d.expect("every slot planned by the final dual sweep"))
-            .collect();
-        Ok(Self { decisions, multipliers, planned_costs, planned_brown, cursor: 0 })
+            .enumerate()
+            .map(|(t, d)| {
+                d.ok_or_else(|| {
+                    SimError::Internal(format!("slot {t} left unplanned by the final dual sweep"))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            decisions,
+            choice_counts: cluster.choice_counts(),
+            multipliers,
+            planned_costs,
+            planned_brown,
+            cursor: 0,
+        })
     }
 
     /// Total planned cost `Σ g(t)`.
@@ -166,6 +183,9 @@ impl Policy for OfflineOpt {
             SimError::InvalidConfig(format!("slot {} beyond planned horizon {}", obs.t, self.decisions.len()))
         })?;
         self.cursor = obs.t + 1;
+        // Paper-invariant hooks: the replayed plan must still satisfy
+        // constraints (8)–(9) for the observed slot.
+        coca_core::invariant::global().decision(&d.levels, &d.loads, &self.choice_counts, obs.arrival_rate);
         Ok(d)
     }
 

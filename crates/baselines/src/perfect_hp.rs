@@ -113,6 +113,13 @@ impl<S: P3Solver> Policy for PerfectHp<'_, S> {
         if capped.budget_abandoned {
             self.abandoned_hours += 1;
         }
+        // Paper-invariant hooks: constraints (8)–(9) hold for baselines too.
+        coca_core::invariant::global().decision(
+            &capped.solution.levels,
+            &capped.solution.loads,
+            &self.cluster.choice_counts(),
+            obs.arrival_rate,
+        );
         Ok(Decision { levels: capped.solution.levels, loads: capped.solution.loads })
     }
 

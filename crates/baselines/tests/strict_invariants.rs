@@ -1,0 +1,99 @@
+//! The `--strict` invariant run (ISSUE acceptance criterion): promote every
+//! runtime paper-invariant check to an unconditional panic, drive the COCA
+//! controller and all four baselines through the simulator, and then assert
+//! that every check actually fired at least once.
+//!
+//! This lives in its own integration-test binary because strict mode is a
+//! process-wide switch ([`coca_core::invariant::force_strict`] /
+//! `COCA_STRICT_INVARIANTS=1`) that must be set before the first check runs;
+//! a shared test binary would race its unit tests against the switch.
+
+use coca_baselines::budgeted::solve_capped;
+use coca_baselines::{CarbonUnaware, OfflineOpt, PerfectHp};
+use coca_core::gsd::{GsdOptions, GsdSolver};
+use coca_core::invariant;
+use coca_core::symmetric::SymmetricSolver;
+use coca_core::{CocaConfig, CocaController, VSchedule};
+use coca_dcsim::{Cluster, CostParams, SlotObservation, SlotSimulator};
+use coca_opt::schedule::TemperatureSchedule;
+use coca_traces::{EnvironmentTrace, TraceConfig, WorkloadKind};
+
+fn trace(hours: usize) -> EnvironmentTrace {
+    TraceConfig {
+        hours,
+        workload_kind: WorkloadKind::Fiu,
+        peak_arrival_rate: 400.0,
+        onsite_energy_kwh: 20.0 * hours as f64 / 100.0,
+        offsite_energy_kwh: 80.0 * hours as f64 / 100.0,
+        ..Default::default()
+    }
+    .generate()
+}
+
+#[test]
+fn strict_run_exercises_every_invariant_check() {
+    assert!(invariant::force_strict(), "must run before any invariant check");
+    assert!(invariant::global().is_strict());
+
+    let cluster = Cluster::homogeneous(4, 20);
+    let cost = CostParams::default();
+    let env = trace(48);
+
+    // COCA over two frames: deficit non-negativity, frame resets, and (via
+    // the symmetric solver's water-filling) conservation + KKT residuals.
+    let cfg = CocaConfig {
+        v: VSchedule::PerFrame(vec![50.0, 200.0]),
+        frame_length: 24,
+        horizon: 48,
+        alpha: 1.0,
+        rec_total: 10.0,
+    };
+    let sim = SlotSimulator::new(&cluster, &env, cost, 10.0);
+    let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+    let _ = sim.run(&mut coca).expect("strict COCA run");
+
+    // A GSD-backed controller: Gibbs acceptance probabilities.
+    let short = trace(6);
+    let gsd_cfg = CocaConfig {
+        v: VSchedule::Constant(100.0),
+        frame_length: 6,
+        horizon: 6,
+        alpha: 1.0,
+        rec_total: 5.0,
+    };
+    let gsd = GsdSolver::new(GsdOptions {
+        iterations: 200,
+        schedule: TemperatureSchedule::Constant(1e6),
+        seed: 17,
+        ..Default::default()
+    });
+    let gsd_sim = SlotSimulator::new(&cluster, &short, cost, 5.0);
+    let mut gsd_coca = CocaController::new(&cluster, cost, gsd_cfg, gsd);
+    let _ = gsd_sim.run(&mut gsd_coca).expect("strict GSD run");
+
+    // All four baselines: carbon-unaware, PerfectHP, OPT, and the budgeted
+    // primitive they share.
+    let mut unaware = CarbonUnaware::new(&cluster, cost, SymmetricSolver::new());
+    let _ = sim.run(&mut unaware).expect("strict carbon-unaware run");
+    let brown = CarbonUnaware::annual_consumption(&cluster, cost, &env, SymmetricSolver::new())
+        .expect("reference consumption");
+
+    let mut hp = PerfectHp::<SymmetricSolver>::new(&cluster, cost, &env, brown * 0.8, 48)
+        .expect("PerfectHP plans");
+    let _ = sim.run(&mut hp).expect("strict PerfectHP run");
+
+    let mut solver = SymmetricSolver::new();
+    let mut opt = OfflineOpt::plan(&cluster, cost, &env, brown * 0.9, &mut solver)
+        .expect("OPT plans");
+    let _ = sim.run(&mut opt).expect("strict OPT run");
+
+    let obs = SlotObservation { t: 0, arrival_rate: 300.0, onsite: 2.0, price: 0.08 };
+    let capped = solve_capped(&mut solver, &cluster, &cost, &obs, 10.0, 1e-6)
+        .expect("budgeted primitive solves");
+    assert!(capped.brown.is_finite());
+
+    // Every paper-invariant check must have fired at least once.
+    for (name, count) in invariant::counts() {
+        assert!(count > 0, "invariant check {name:?} was never exercised");
+    }
+}

@@ -37,7 +37,7 @@ fn bench_slot_decision(c: &mut Criterion) {
     });
     group.bench_function("symmetric_warm", |b| {
         let mut s = SymmetricSolver::new();
-        s.solve(&p).expect("warm-up");
+        let _ = s.solve(&p).expect("warm-up");
         b.iter(|| black_box(s.solve(&p).expect("solve")))
     });
     group.bench_function("gsd_100iters_warm", |b| {
@@ -46,7 +46,7 @@ fn bench_slot_decision(c: &mut Criterion) {
             schedule: TemperatureSchedule::Constant(1e6),
             ..Default::default()
         });
-        s.solve(&p).expect("warm-up");
+        let _ = s.solve(&p).expect("warm-up");
         b.iter(|| black_box(s.solve(&p).expect("solve")))
     });
     group.bench_function("dispatch_only_fixed_speeds", |b| {

@@ -1,1 +1,3 @@
 //! Criterion benches live in benches/.
+
+#![deny(missing_docs, unsafe_code)]

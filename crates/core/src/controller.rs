@@ -136,6 +136,11 @@ impl<S: P3Solver> Policy for CocaController<'_, S> {
         }
         let v = self.v_at(obs.t);
         let q = self.deficit.len();
+        // Paper-invariant hooks: eq. 17 clamping and the Algorithm-1
+        // frame-boundary reset discipline.
+        let inv = crate::invariant::global();
+        inv.deficit_nonnegative(q);
+        inv.frame_reset(obs.t, self.cfg.frame_length, self.deficit.updates_since_reset());
         self.q_history.push(q);
 
         let problem = SlotProblem {
@@ -148,6 +153,9 @@ impl<S: P3Solver> Policy for CocaController<'_, S> {
             pue: self.cost.pue,
         };
         let sol = self.solver.solve(&problem)?;
+        // Constraints (8)–(9) on the solver's output before it leaves the
+        // controller.
+        inv.decision(&sol.levels, &sol.loads, &self.cluster.choice_counts(), obs.arrival_rate);
         Ok(Decision { levels: sol.levels, loads: sol.loads })
     }
 

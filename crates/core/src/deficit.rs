@@ -56,9 +56,11 @@ impl DeficitQueue {
         self.q
     }
 
-    /// True when the queue is at zero.
+    /// True when the queue is at zero. `update` clamps the queue at zero
+    /// from below (eq. 17), so `<=` is the exact emptiness test without a
+    /// raw float equality.
     pub fn is_empty(&self) -> bool {
-        self.q == 0.0
+        self.q <= 0.0
     }
 
     /// Largest queue length observed over the lifetime of this queue

@@ -235,7 +235,7 @@ mod tests {
                         ..Default::default()
                     });
                     // final kept cost, not best: measures concentration
-                    gsd.solve(&p).unwrap();
+                    let _ = gsd.solve(&p).unwrap();
                     *gsd.last_trace.last().unwrap_or(&f64::NAN)
                 })
                 .sum::<f64>()
@@ -253,7 +253,7 @@ mod tests {
                         record_trace: true,
                         ..Default::default()
                     });
-                    gsd.solve(&p).unwrap();
+                    let _ = gsd.solve(&p).unwrap();
                     *gsd.last_trace.last().expect("trace recorded")
                 })
                 .sum::<f64>()
@@ -315,7 +315,7 @@ mod tests {
             record_trace: true,
             ..Default::default()
         });
-        gsd.solve(&p).unwrap();
+        let _ = gsd.solve(&p).unwrap();
         assert_eq!(gsd.last_trace.len(), 100);
         assert!(gsd.last_trace.iter().all(|c| c.is_finite()));
     }

@@ -27,9 +27,25 @@
 //!   bounds on cost gap and neutrality deviation, computable from trace
 //!   bounds so the guarantees can be *checked* against simulation.
 
+#![deny(missing_docs, unsafe_code)]
+
 pub mod controller;
 pub mod deficit;
 pub mod gsd;
+
+/// Runtime paper-invariant checks (deficit queue non-negativity and frame
+/// resets, load conservation, speed-set membership, water-filling KKT
+/// residual, Gibbs acceptance range).
+///
+/// The machinery lives in [`coca_opt::invariant`] — the bottom of the crate
+/// stack — so the solvers, the simulator, and the baselines can all call
+/// the same hooks; this alias is the canonical path for users of the
+/// controller. Strict mode (violations panic even in release builds) is
+/// enabled with `COCA_STRICT_INVARIANTS=1` or
+/// [`invariant::force_strict`].
+pub mod invariant {
+    pub use coca_opt::invariant::*;
+}
 pub mod gsd_distributed;
 pub mod lyapunov;
 pub mod solver;

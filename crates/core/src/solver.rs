@@ -19,6 +19,7 @@ use coca_dcsim::SimError;
 
 /// A solved P3 instance.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct P3Solution {
     /// Chosen per-group speed indices (0 = off).
     pub levels: Vec<usize>,

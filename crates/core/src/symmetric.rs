@@ -225,6 +225,7 @@ impl SymmetricSolver {
         let mut best_cost = eval(&state, &mut specs);
         debug_assert!(best_cost.is_finite());
 
+        debug_assert!(problem.gamma > 0.0, "gamma validated by SlotProblem::validate");
         let required_capacity = problem.arrival_rate / problem.gamma;
         for _round in 0..self.max_rounds {
             let mut improved = false;
@@ -241,6 +242,7 @@ impl SymmetricSolver {
                 let mut local_cost = best_cost;
                 for level in 1..p.choices {
                     let cap1 = p.cap_at[level - 1];
+                    debug_assert!(cap1 > 0.0, "speed ladder capacities are positive");
                     let deficit = required_capacity - others_capacity;
                     let n_min = if deficit <= 0.0 {
                         0
@@ -281,8 +283,7 @@ impl SymmetricSolver {
                     let center = (lo..=hi)
                         .min_by(|&a, &b| {
                             cost_at(a, &mut state, &mut specs)
-                                .partial_cmp(&cost_at(b, &mut state, &mut specs))
-                                .expect("finite or inf")
+                                .total_cmp(&cost_at(b, &mut state, &mut specs))
                         })
                         .unwrap_or(lo);
                     let scan_lo = center.saturating_sub(2).max(n_min);

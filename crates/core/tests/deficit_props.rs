@@ -1,0 +1,82 @@
+//! Property tests for the carbon-deficit queue (paper eq. 17), mirroring
+//! the runtime invariant checker's deficit checks:
+//!
+//! * the queue length is never negative (the `[·]⁺` projection),
+//! * the queue is monotone in the brown-energy input stream, and
+//! * it resets exactly at frame boundaries (Algorithm 1 lines 2–4), with
+//!   the slot-in-frame counter matching `t mod frame_length` — the exact
+//!   condition `coca_core::invariant` enforces during simulation.
+
+use coca_core::DeficitQueue;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn queue_is_never_negative(
+        alpha in 0.1..2.0_f64,
+        rec_total in 0.0..100.0_f64,
+        slots in proptest::collection::vec((0.0..20.0_f64, 0.0..20.0_f64), 1..48),
+    ) {
+        let mut q = DeficitQueue::new(alpha, rec_total, slots.len());
+        for &(y, f) in &slots {
+            let len = q.update(y, f);
+            prop_assert!(len >= 0.0 && len.is_finite(), "q = {len}");
+            prop_assert!(q.len() >= 0.0);
+            prop_assert!(q.max_len() >= q.len());
+        }
+    }
+
+    #[test]
+    fn queue_is_monotone_in_brown_energy(
+        alpha in 0.1..2.0_f64,
+        rec_total in 0.0..100.0_f64,
+        // (base brown, extra brown ≥ 0, offsite) per slot: the second queue
+        // sees pointwise-larger brown energy and an identical allowance.
+        slots in proptest::collection::vec(
+            (0.0..20.0_f64, 0.0..10.0_f64, 0.0..20.0_f64),
+            1..48,
+        ),
+    ) {
+        let mut base = DeficitQueue::new(alpha, rec_total, slots.len());
+        let mut more = DeficitQueue::new(alpha, rec_total, slots.len());
+        for &(y, extra, f) in &slots {
+            let q_base = base.update(y, f);
+            let q_more = more.update(y + extra, f);
+            // `x + y` and `[·]⁺` round monotonically, so this holds exactly
+            // in floating point, not just up to a tolerance.
+            prop_assert!(
+                q_more >= q_base,
+                "more brown energy shrank the deficit: {q_more} < {q_base}"
+            );
+        }
+        prop_assert!(more.max_len() >= base.max_len());
+    }
+
+    #[test]
+    fn queue_resets_exactly_at_frame_boundaries(
+        alpha in 0.1..2.0_f64,
+        rec_total in 0.0..100.0_f64,
+        frame_length in 1usize..12,
+        slots in proptest::collection::vec((0.0..20.0_f64, 0.0..5.0_f64), 1..60),
+    ) {
+        let mut q = DeficitQueue::new(alpha, rec_total, slots.len());
+        for (t, &(y, f)) in slots.iter().enumerate() {
+            if t % frame_length == 0 {
+                // Algorithm 1 lines 2–4: boundary slots start a fresh frame.
+                q.update(y, f); // stray pre-boundary state must not survive
+                q.reset();
+                prop_assert!(q.is_empty(), "reset left q = {}", q.len());
+            }
+            prop_assert_eq!(
+                q.updates_since_reset(),
+                t % frame_length,
+                "slot-in-frame counter diverged at t = {}",
+                t
+            );
+            let _ = q.update(y, f);
+            prop_assert_eq!(q.updates_since_reset(), t % frame_length + 1);
+        }
+    }
+}

@@ -75,6 +75,7 @@ pub struct BatchSlotBudget {
 
 /// Result of scheduling one batch workload.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct BatchOutcome {
     /// Work executed per slot (server-hours).
     pub work_per_slot: Vec<f64>,

@@ -39,6 +39,7 @@ pub struct SlotProblem<'a> {
 
 /// Result of an optimal dispatch for a fixed speed vector.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct DispatchOutcome {
     /// Per-group loads (full cluster length; zero for off groups).
     pub loads: Vec<f64>,

@@ -19,6 +19,10 @@ pub enum SimError {
     },
     /// An optimization subroutine failed.
     Opt(coca_opt::OptError),
+    /// An internal worker (e.g. a distributed-solver agent thread) died;
+    /// indicates a bug contained at the solver boundary rather than a bad
+    /// input.
+    Internal(String),
 }
 
 impl fmt::Display for SimError {
@@ -31,6 +35,7 @@ impl fmt::Display for SimError {
                 "overload at slot {slot}: arrival rate {arrival_rate} exceeds max servable {max_capacity}"
             ),
             SimError::Opt(e) => write!(f, "optimization failure: {e}"),
+            SimError::Internal(msg) => write!(f, "internal failure: {msg}"),
         }
     }
 }

@@ -29,6 +29,8 @@
 //!   Sec. 2.3: EDF and renewable-aware scheduling of batch jobs into the
 //!   interactive tier's headroom.
 
+#![deny(missing_docs, unsafe_code)]
+
 pub mod batch;
 pub mod cluster;
 pub mod dispatch;

@@ -42,6 +42,7 @@ pub struct SlotRecord {
 
 /// Result of simulating a policy over a whole trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[must_use]
 pub struct SimOutcome {
     /// Policy identifier.
     pub policy: String,

@@ -36,7 +36,13 @@ pub fn mean_response_time(lambda: f64, rate: f64) -> crate::Result<f64> {
 /// The paper's per-queue delay cost `d = λ/(x − λ)` (eq. 4), i.e. the mean
 /// number of jobs in the system (Little's law applied to `E[T]`).
 pub fn delay_cost(lambda: f64, rate: f64) -> crate::Result<f64> {
-    if lambda == 0.0 {
+    // An idle queue costs nothing even when powered off (x = 0), so the
+    // zero-arrival case short-circuits before the stability check — but
+    // only after the sign/finiteness validation it would otherwise skip.
+    if !(lambda.is_finite() && lambda >= 0.0) {
+        return Err(SimError::InvalidDecision(format!("arrival rate {lambda} invalid")));
+    }
+    if lambda <= 0.0 {
         return Ok(0.0);
     }
     check_stable(lambda, rate)?;

@@ -120,6 +120,15 @@ impl<'a> SlotSimulator<'a> {
             let decision = policy.decide(&obs)?;
             self.cluster.validate_levels(&decision.levels)?;
             decision.validate_totals(planned_rate)?;
+            // Paper-invariant hooks: constraints (8) and (9) on what the
+            // policy actually returned, independent of the hard validation
+            // above (strict mode turns these into unconditional panics).
+            coca_opt::invariant::global().decision(
+                &decision.levels,
+                &decision.loads,
+                &self.cluster.choice_counts(),
+                planned_rate,
+            );
 
             // Re-dispatch the planned shares onto the realized arrival rate.
             // φ ≥ 1 only ever scales loads down, so caps stay satisfied.

@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the COCA paper.
 //!
 //! ```text
-//! repro [--scale small|medium|paper] [--out DIR] <command>
+//! repro [--scale small|medium|paper] [--out DIR] [--strict] <command>
 //!
 //! commands:
 //!   fig1       workload traces (Fig. 1a/1b)
@@ -17,6 +17,11 @@
 //!
 //! Results are printed as aligned tables (long series are thinned) and
 //! written in full as CSV under `--out` (default `results/`).
+//!
+//! `--strict` turns the runtime paper-invariant checks
+//! ([`coca_core::invariant`]) into unconditional panics, release build
+//! included — use it to certify that a full reproduction run never strays
+//! from the paper's constraints.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -54,6 +59,11 @@ fn parse_args() -> Result<Args, String> {
                 scale_name = v;
             }
             "--out" => out = PathBuf::from(it.next().ok_or("--out needs a value")?),
+            "--strict" => {
+                if !coca_core::invariant::force_strict() {
+                    return Err("--strict must come before invariant checks run".into());
+                }
+            }
             "--help" | "-h" => return Err("help".into()),
             cmd if command.is_none() && !cmd.starts_with('-') => command = Some(cmd.to_string()),
             other => return Err(format!("unexpected argument {other:?}")),
@@ -226,7 +236,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: repro [--scale small|medium|paper] [--out DIR] \
+                "usage: repro [--scale small|medium|paper] [--out DIR] [--strict] \
                  [fig1|fig2|fig3|fig4|fig5|portfolio|ablation|summary|all]"
             );
             return if e == "help" { ExitCode::SUCCESS } else { ExitCode::from(2) };

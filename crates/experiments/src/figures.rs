@@ -246,7 +246,8 @@ pub fn fig4_gsd_deltas(
             seed: 1500,
             ..Default::default()
         });
-        gsd.solve(&problem)?;
+        // Only the recorded trace matters here; the solution is discarded.
+        let _ = gsd.solve(&problem)?;
         series.push(Series::indexed(format!("delta={delta:.0}"), gsd.last_trace.clone()));
     }
     Ok(Figure::new("Fig. 4(a) GSD cost vs iteration, temperature sweep", "iteration", series))
@@ -284,7 +285,8 @@ pub fn fig4_gsd_initial_points(
             ..Default::default()
         });
         gsd.set_initial(init);
-        gsd.solve(&problem)?;
+        // Only the recorded trace matters here; the solution is discarded.
+        let _ = gsd.solve(&problem)?;
         series.push(Series::indexed(name, gsd.last_trace.clone()));
     }
     Ok(Figure::new("Fig. 4(b) GSD cost vs iteration, initial points", "iteration", series))

@@ -17,6 +17,8 @@
 //! Run `cargo run --release -p coca-experiments --bin repro -- all` to
 //! regenerate everything; see `EXPERIMENTS.md` for recorded results.
 
+#![deny(missing_docs, unsafe_code)]
+
 pub mod figures;
 pub mod parallel;
 pub mod report;

@@ -22,6 +22,7 @@ use crate::{OptError, Result};
 
 /// Result of a budget-dual solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use]
 pub struct DualOutcome {
     /// Optimal multiplier μ* (0 when the budget is slack at μ = 0).
     pub mu: f64,

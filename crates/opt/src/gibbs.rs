@@ -48,6 +48,7 @@ impl Default for GibbsOptions {
 
 /// Outcome of a Gibbs-sampling run.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct GibbsOutcome {
     /// Best state observed during the run.
     pub best_state: Vec<usize>,
@@ -117,7 +118,12 @@ where
         }
         kept[site] = proposal;
         let explored_cost = eval_cost(&mut cost, &kept)?;
+        debug_assert!(
+            explored_cost > 0.0 && kept_cost > 0.0,
+            "eval_cost rejects non-positive objectives"
+        );
         let u = sigmoid(delta * (1.0 / explored_cost - 1.0 / kept_cost));
+        crate::invariant::global().acceptance_probability(u);
         if rng.gen::<f64>() < u {
             kept_cost = explored_cost;
             accepted += 1;
@@ -201,11 +207,14 @@ pub fn gibbs_stationary<C: FnMut(&[usize]) -> f64>(
     let mut exponents = Vec::with_capacity(states.len());
     for s in &states {
         let g = eval_cost(&mut cost, s)?;
+        debug_assert!(g > 0.0, "eval_cost rejects non-positive objectives");
         exponents.push(delta / g);
     }
     let m = exponents.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let weights: Vec<f64> = exponents.iter().map(|e| (e - m).exp()).collect();
     let z: f64 = weights.iter().sum();
+    // The maximum exponent contributes exp(0) = 1, so z ≥ 1 > 0.
+    debug_assert!(z >= 1.0, "normalizer bounded below by the max-exponent term");
     Ok(states.into_iter().zip(weights.into_iter().map(|w| w / z)).collect())
 }
 
@@ -271,8 +280,8 @@ mod tests {
         let mut kept = vec![0usize, 0usize];
         let mut kept_cost = toy_cost(&kept);
         for _ in 0..opts.iterations {
-            let site = rng.gen_range(0..2);
-            let proposal = rng.gen_range(0..3);
+            let site = rng.gen_range(0..2usize);
+            let proposal = rng.gen_range(0..3usize);
             let old = kept[site];
             if proposal != old {
                 kept[site] = proposal;

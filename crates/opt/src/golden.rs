@@ -11,6 +11,7 @@ const INV_PHI: f64 = 0.618_033_988_749_894_9;
 
 /// Result of a golden-section minimization.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use]
 pub struct GoldenResult {
     /// Argument of the located minimum.
     pub x: f64,

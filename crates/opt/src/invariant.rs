@@ -1,0 +1,406 @@
+//! Runtime paper-invariant checker.
+//!
+//! The COCA reproduction makes quantitative claims that are easy to break
+//! silently — a sign slip in the deficit recursion still *runs*, it just
+//! stops being the paper. This module turns the paper-level invariants into
+//! executable checks that the controller, the simulator, and every baseline
+//! call at their natural seams:
+//!
+//! | check | paper anchor |
+//! |---|---|
+//! | carbon-deficit queue never negative | eq. 17 (`[·]⁺` clamp) |
+//! | queue reset exactly at frame boundaries | Algorithm 1 lines 2–4 |
+//! | load conservation `Σᵢ mᵢλᵢ = a(t)` | constraint (8) |
+//! | speeds drawn from the discrete set `Sᵢ` | constraint (9) |
+//! | water-filling KKT residual ≤ ε | eq. 16/18 three-regime analysis |
+//! | Gibbs acceptance probability ∈ [0, 1] | Algorithm 2 lines 4–5 |
+//!
+//! # Modes
+//!
+//! * **Debug** (default): a violated invariant trips a `debug_assert!` —
+//!   loud under `cargo test`, free in release binaries.
+//! * **Strict**: a violated invariant panics unconditionally, release builds
+//!   included. Enabled process-wide by setting the environment variable
+//!   `COCA_STRICT_INVARIANTS=1` (or calling [`force_strict`] before first
+//!   use); the `repro` experiment binary exposes it as `--strict`.
+//!
+//! Every check increments a global counter regardless of outcome, so a test
+//! can assert that a scenario actually *exercised* the checks it claims to
+//! (see [`counts`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::waterfill::LoadDistProblem;
+
+/// The individual invariant checks, used to index [`counts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Check {
+    /// Carbon-deficit queue length is finite and ≥ 0 (eq. 17).
+    DeficitNonNegative,
+    /// Queue was reset at the last frame boundary (Algorithm 1 lines 2–4).
+    FrameReset,
+    /// Dispatched load equals the arrival rate (constraint 8).
+    LoadConservation,
+    /// Chosen speed level indexes the discrete speed set (constraint 9).
+    SpeedMembership,
+    /// Water-filling solution satisfies the KKT conditions to tolerance.
+    KktResidual,
+    /// Gibbs acceptance probability lies in [0, 1] (Algorithm 2).
+    AcceptanceProbability,
+}
+
+/// Number of distinct checks (length of the counter table).
+const NUM_CHECKS: usize = 6;
+
+/// Human-readable names, index-aligned with [`Check`].
+const CHECK_NAMES: [&str; NUM_CHECKS] = [
+    "deficit-nonnegative",
+    "frame-reset",
+    "load-conservation",
+    "speed-membership",
+    "kkt-residual",
+    "acceptance-probability",
+];
+
+static COUNTS: [AtomicU64; NUM_CHECKS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// How many times each check has run in this process (any [`InvariantSet`],
+/// pass or fail). Returns `(name, count)` pairs.
+pub fn counts() -> [(&'static str, u64); NUM_CHECKS] {
+    let mut out = [("", 0); NUM_CHECKS];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = (CHECK_NAMES[i], COUNTS[i].load(Ordering::Relaxed));
+    }
+    out
+}
+
+/// A configured set of invariant checks.
+///
+/// Cheap to construct; most call sites use the process-wide [`global`]
+/// instance so strictness is controlled in one place.
+#[derive(Debug, Clone, Copy)]
+pub struct InvariantSet {
+    strict: bool,
+    /// Relative tolerance for the floating-point checks.
+    tol: f64,
+}
+
+impl InvariantSet {
+    /// A checker in the given mode with the default tolerance (1e-6).
+    pub const fn new(strict: bool) -> Self {
+        Self { strict, tol: 1e-6 }
+    }
+
+    /// A strict checker: violations panic even in release builds.
+    pub const fn strict() -> Self {
+        Self::new(true)
+    }
+
+    /// True when violations panic unconditionally.
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Records that `check` ran and reacts to the outcome per the mode.
+    fn enforce(&self, check: Check, ok: bool, msg: impl FnOnce() -> String) {
+        COUNTS[check as usize].fetch_add(1, Ordering::Relaxed);
+        if ok {
+            return;
+        }
+        if self.strict {
+            // The whole point of strict mode: fail hard, release included.
+            panic!("paper invariant violated [{:?}]: {}", check, msg());
+        }
+        debug_assert!(false, "paper invariant violated [{:?}]: {}", check, msg());
+    }
+
+    /// Eq. 17: the clamped deficit queue can never go negative (nor NaN).
+    pub fn deficit_nonnegative(&self, q: f64) {
+        self.enforce(Check::DeficitNonNegative, q.is_finite() && q >= 0.0, || {
+            format!("carbon-deficit queue length q = {q}")
+        });
+    }
+
+    /// Algorithm 1 lines 2–4: at a frame boundary (`slot % frame == 0`) the
+    /// queue must have just been reset, and within a frame the slot-in-frame
+    /// counter must agree with the number of updates since the reset.
+    pub fn frame_reset(&self, slot: usize, frame_length: usize, updates_since_reset: usize) {
+        let ok = frame_length > 0 && updates_since_reset == slot % frame_length;
+        self.enforce(Check::FrameReset, ok, || {
+            format!(
+                "slot {slot}, frame length {frame_length}: queue saw \
+                 {updates_since_reset} updates since reset, expected {}",
+                if frame_length > 0 { slot % frame_length } else { 0 }
+            )
+        });
+    }
+
+    /// Constraint (8): the dispatched load `Σᵢ mᵢλᵢ` equals the arrival
+    /// rate `a(t)` up to relative tolerance.
+    pub fn load_conserved(&self, dispatched: f64, arrival: f64) {
+        let scale = arrival.abs().max(1.0);
+        let ok = dispatched.is_finite()
+            && arrival.is_finite()
+            && (dispatched - arrival).abs() <= self.tol * scale;
+        self.enforce(Check::LoadConservation, ok, || {
+            format!("dispatched load {dispatched} != arrival rate {arrival}")
+        });
+    }
+
+    /// Constraint (9): the chosen speed level at `site` must index one of
+    /// that site's `num_choices` discrete speeds.
+    pub fn speed_in_set(&self, level: usize, num_choices: usize, site: usize) {
+        self.enforce(Check::SpeedMembership, level < num_choices, || {
+            format!("site {site}: level {level} outside speed set of size {num_choices}")
+        });
+    }
+
+    /// Checks a full capacity-provisioning/load-distribution decision:
+    /// every speed level indexes its site's discrete speed set (constraint
+    /// 9) and the load shares conserve the arrival rate (constraint 8).
+    pub fn decision(&self, levels: &[usize], loads: &[f64], choice_counts: &[usize], arrival: f64) {
+        for (site, (&level, &count)) in levels.iter().zip(choice_counts).enumerate() {
+            self.speed_in_set(level, count, site);
+        }
+        self.load_conserved(loads.iter().sum(), arrival);
+    }
+
+    /// Algorithm 2 lines 4–5: a Gibbs acceptance probability is a
+    /// probability.
+    pub fn acceptance_probability(&self, u: f64) {
+        self.enforce(Check::AcceptanceProbability, (0.0..=1.0).contains(&u), || {
+            format!("Gibbs acceptance probability u = {u}")
+        });
+    }
+
+    /// Checks the KKT conditions of a water-filling solution via
+    /// [`kkt_residual`]; the residual must not exceed `max(tol, 1e-5)`.
+    pub fn kkt(&self, problem: &LoadDistProblem<'_>, lambdas: &[f64]) {
+        let residual = kkt_residual(problem, lambdas);
+        let eps = self.tol.max(1e-5);
+        self.enforce(Check::KktResidual, residual <= eps, || {
+            format!("water-filling KKT residual {residual} exceeds {eps}")
+        });
+    }
+}
+
+/// The process-wide checker. Strict iff `COCA_STRICT_INVARIANTS` is set to
+/// `1`/`true` in the environment at first use (or [`force_strict`] was
+/// called earlier).
+pub fn global() -> &'static InvariantSet {
+    GLOBAL.get_or_init(|| {
+        let strict = std::env::var("COCA_STRICT_INVARIANTS")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        InvariantSet::new(strict)
+    })
+}
+
+static GLOBAL: OnceLock<InvariantSet> = OnceLock::new();
+
+/// Forces the [`global`] checker into strict mode. Must be called before the
+/// first use of [`global`] (e.g. at the top of `main`); returns `false` if
+/// the global checker was already initialized.
+pub fn force_strict() -> bool {
+    GLOBAL.set(InvariantSet::strict()).is_ok()
+}
+
+/// Normalized KKT residual of a load distribution for the water-filling
+/// problem (module docs of [`crate::waterfill`]).
+///
+/// The objective has a kink where total power crosses the renewable supply
+/// `r`, so optimality admits three certificates; the residual is the best
+/// (smallest) among those whose side condition holds:
+///
+/// * power ≥ r: stationarity with the full energy weight `A` — all interior
+///   coordinates share one marginal cost `A·cᵢ + W·Xᵢ/(Xᵢ−λᵢ)²`;
+/// * power ≤ r: stationarity with energy weight 0;
+/// * always: complementary slackness at the kink, `|power − r|` small (an
+///   effective weight `μ ∈ [0, A]` exists by continuity).
+///
+/// All three are normalized to be scale-free. Returns `+∞` for non-finite
+/// inputs.
+pub fn kkt_residual(problem: &LoadDistProblem<'_>, lambdas: &[f64]) -> f64 {
+    if lambdas.iter().any(|l| !l.is_finite()) {
+        return f64::INFINITY;
+    }
+    let power = problem.power(lambdas);
+    let r = problem.renewable;
+    if !power.is_finite() {
+        return f64::INFINITY;
+    }
+    let kink_scale = power.abs().max(r.abs()).max(1.0);
+    let kink_residual = (power - r).abs() / kink_scale;
+
+    // Stationarity: spread of marginal costs over interior coordinates.
+    let spread = |a_eff: f64| -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (q, &l) in problem.queues.iter().zip(lambdas) {
+            // Pinned coordinates (λᵢ ≈ 0 or λᵢ ≈ uᵢ) satisfy inequality
+            // conditions instead; only interior ones must equalize.
+            let interior = l > 1e-9 * q.util_cap && l < q.util_cap * (1.0 - 1e-9);
+            if !interior {
+                continue;
+            }
+            let gap = q.capacity - l;
+            debug_assert!(gap > 0.0, "interior load is below util_cap < capacity");
+            let marginal = a_eff * q.energy_slope + problem.delay_weight * q.capacity / (gap * gap);
+            lo = lo.min(marginal);
+            hi = hi.max(marginal);
+        }
+        if lo > hi {
+            return 0.0; // no interior coordinates: nothing to equalize
+        }
+        (hi - lo) / hi.abs().max(lo.abs()).max(1.0)
+    };
+
+    let slack_tol = 1e-7 * kink_scale;
+    let mut best = kink_residual;
+    if power >= r - slack_tol {
+        best = best.min(spread(problem.energy_weight));
+    }
+    if power <= r + slack_tol {
+        best = best.min(spread(0.0));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waterfill::{solve, QueueSpec};
+
+    fn lenient() -> InvariantSet {
+        InvariantSet::new(false)
+    }
+
+    #[test]
+    fn passing_checks_do_not_panic_and_are_counted() {
+        let inv = lenient();
+        let before = counts();
+        inv.deficit_nonnegative(0.0);
+        inv.deficit_nonnegative(3.5);
+        inv.frame_reset(24, 24, 0);
+        inv.frame_reset(25, 24, 1);
+        inv.load_conserved(10.0, 10.0 + 1e-9);
+        inv.speed_in_set(2, 5, 0);
+        inv.acceptance_probability(0.0);
+        inv.acceptance_probability(1.0);
+        inv.acceptance_probability(0.5);
+        let after = counts();
+        for (i, ((name, a), (_, b))) in after.iter().zip(&before).enumerate() {
+            if CHECK_NAMES[i] != "kkt-residual" {
+                assert!(a > b, "check {name} not counted");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "DeficitNonNegative")]
+    fn strict_mode_panics_on_negative_deficit() {
+        InvariantSet::strict().deficit_nonnegative(-1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "FrameReset")]
+    fn strict_mode_panics_on_missed_reset() {
+        // Slot 24 with frame length 24 but 24 updates since reset: the
+        // boundary reset was skipped.
+        InvariantSet::strict().frame_reset(24, 24, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "LoadConservation")]
+    fn strict_mode_panics_on_dropped_load() {
+        InvariantSet::strict().load_conserved(5.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SpeedMembership")]
+    fn strict_mode_panics_on_out_of_set_speed() {
+        InvariantSet::strict().speed_in_set(5, 5, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "AcceptanceProbability")]
+    fn strict_mode_panics_on_bad_probability() {
+        InvariantSet::strict().acceptance_probability(1.5);
+    }
+
+    #[test]
+    fn kkt_residual_small_at_optimum_large_off_optimum() {
+        let qs = vec![
+            QueueSpec::single(10.0, 9.0, 0.05),
+            QueueSpec::single(14.0, 12.6, 0.30),
+        ];
+        let p = LoadDistProblem {
+            queues: &qs,
+            total_load: 11.0,
+            energy_weight: 2.0,
+            delay_weight: 1.0,
+            base_power: 0.2,
+            renewable: 0.0,
+        };
+        let sol = solve(&p).expect("solvable");
+        let at_opt = kkt_residual(&p, &sol.lambdas);
+        assert!(at_opt <= 1e-5, "optimal residual {at_opt}");
+        // A skewed feasible point conserves load but violates stationarity.
+        let skew = [2.0, (11.0 - 2.0) / 1.0];
+        let off_opt = kkt_residual(&p, &skew);
+        assert!(off_opt > 1e-3, "skewed residual {off_opt} should be large");
+    }
+
+    #[test]
+    fn kkt_residual_accepts_kink_solutions() {
+        // The kink instance from the waterfill tests: optimum pins power=r.
+        let qs = vec![
+            QueueSpec::single(10.0, 9.0, 1.0),
+            QueueSpec::single(10.0, 9.0, 3.0),
+        ];
+        let p = LoadDistProblem {
+            queues: &qs,
+            total_load: 10.0,
+            energy_weight: 50.0,
+            delay_weight: 1.0,
+            base_power: 0.0,
+            renewable: 16.0,
+        };
+        let sol = solve(&p).expect("solvable");
+        let res = kkt_residual(&p, &sol.lambdas);
+        assert!(res <= 1e-5, "kink residual {res}");
+    }
+
+    #[test]
+    fn kkt_residual_infinite_on_nan() {
+        let qs = vec![QueueSpec::single(10.0, 9.0, 0.1)];
+        let p = LoadDistProblem {
+            queues: &qs,
+            total_load: 1.0,
+            energy_weight: 1.0,
+            delay_weight: 1.0,
+            base_power: 0.0,
+            renewable: 0.0,
+        };
+        assert!(kkt_residual(&p, &[f64::NAN]).is_infinite());
+    }
+
+    #[test]
+    fn global_is_lenient_without_env() {
+        // The test harness does not set COCA_STRICT_INVARIANTS; the global
+        // checker must come up in debug mode (this would race with a test
+        // that sets the variable, which is why the strict run lives in its
+        // own integration-test binary).
+        if std::env::var("COCA_STRICT_INVARIANTS").is_err() {
+            assert!(!global().is_strict());
+        }
+    }
+}

@@ -16,6 +16,9 @@
 //!   used by the offline benchmark OPT and the T-step lookahead policy.
 //! * [`grid`] — exhaustive enumeration over small discrete spaces, used as a
 //!   ground-truth oracle in tests.
+//! * [`invariant`] — runtime paper-invariant checks (load conservation,
+//!   KKT residual, Gibbs acceptance range, …) hooked from the solvers, the
+//!   simulator, and every policy; re-exported as `coca_core::invariant`.
 //! * [`simplex`] — projection onto the capped simplex, used by the
 //!   projected-gradient fallback solver.
 //! * [`pgd`] — projected-gradient descent fallback for the load-distribution
@@ -26,11 +29,14 @@
 //! randomness is inherent), allocation-light, and panic-free on user input:
 //! fallible operations return [`OptError`].
 
+#![deny(missing_docs, unsafe_code)]
+
 pub mod bisect;
 pub mod dual;
 pub mod gibbs;
 pub mod golden;
 pub mod grid;
+pub mod invariant;
 pub mod pgd;
 pub mod schedule;
 pub mod simplex;

@@ -36,6 +36,8 @@ impl Default for PgdOptions {
 /// descent. Returns the per-queue loads.
 pub fn solve_pgd(problem: &LoadDistProblem<'_>, opts: PgdOptions) -> Result<Vec<f64>> {
     problem.validate()?;
+    // Multiplicity is an integer count stored as f64; the exact compare is
+    // intended. audit:allow(float-eq)
     if problem.queues.iter().any(|q| q.multiplicity != 1.0) {
         return Err(crate::OptError::InvalidInput(
             "solve_pgd requires unit multiplicities; expand queue types first".into(),

@@ -57,7 +57,7 @@ pub fn project_capped_simplex(y: &[f64], caps: &[f64], target: f64) -> Result<Ve
     // Exactness repair: spread residual over strictly-interior coordinates.
     let total: f64 = x.iter().sum();
     let slack = target - total;
-    if slack != 0.0 {
+    if slack.abs() > 0.0 {
         let interior_count = x
             .iter()
             .zip(caps)

@@ -114,6 +114,7 @@ pub struct LoadDistProblem<'a> {
 
 /// Solution of the load-distribution problem.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct LoadDistSolution {
     /// Per-queue arrival rates `λᵢ` — the load of **each** queue of type `i`
     /// (same order as the input types). Total dispatched load is
@@ -216,10 +217,22 @@ impl LoadDistProblem<'_> {
 /// assert!((sol.lambdas[1] - 4.0).abs() < 1e-6);
 /// ```
 pub fn solve(problem: &LoadDistProblem<'_>) -> Result<LoadDistSolution> {
+    let sol = solve_unchecked(problem)?;
+    // Paper-invariant hooks: constraint (8) conservation and the KKT
+    // certificate of the three-regime analysis (free in release builds
+    // unless strict mode is on).
+    let inv = crate::invariant::global();
+    inv.load_conserved(problem.dispatched(&sol.lambdas), problem.total_load);
+    inv.kkt(problem, &sol.lambdas);
+    Ok(sol)
+}
+
+fn solve_unchecked(problem: &LoadDistProblem<'_>) -> Result<LoadDistSolution> {
     problem.validate()?;
     let n = problem.queues.len();
     let lam = problem.total_load;
-    if lam == 0.0 {
+    // validate() guarantees lam >= 0, so `<=` is the exact-zero test.
+    if lam <= 0.0 {
         return Ok(problem.solution_from(vec![0.0; n]));
     }
     if n == 0 {
@@ -237,7 +250,8 @@ pub fn solve(problem: &LoadDistProblem<'_>) -> Result<LoadDistSolution> {
         return Ok(problem.solution_from(lambdas));
     }
 
-    if problem.delay_weight == 0.0 {
+    // validate() guarantees the weight is non-negative.
+    if problem.delay_weight <= 0.0 {
         return solve_linear_greedy(problem);
     }
 
@@ -245,7 +259,7 @@ pub fn solve(problem: &LoadDistProblem<'_>) -> Result<LoadDistSolution> {
     let cand_active = solve_linear_penalty(problem, problem.energy_weight)?;
     let p_active = problem.power(&cand_active);
     let r = problem.renewable;
-    if p_active >= r * (1.0 - KINK_TOL) || problem.energy_weight == 0.0 {
+    if p_active >= r * (1.0 - KINK_TOL) || problem.energy_weight <= 0.0 {
         return Ok(problem.solution_from(cand_active));
     }
 
@@ -275,15 +289,21 @@ pub fn solve(problem: &LoadDistProblem<'_>) -> Result<LoadDistSolution> {
 
     // Defensive: the regime analysis is exact in theory; numerically we pick
     // the best of the three candidates under the true objective.
-    let best = [cand_active, cand_slack, cand_kink]
-        .into_iter()
-        .min_by(|a, b| {
-            problem
-                .objective(a)
-                .partial_cmp(&problem.objective(b))
-                .expect("objective values are finite")
-        })
-        .expect("three candidates");
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    for cand in [cand_active, cand_slack, cand_kink] {
+        let obj = problem.objective(&cand);
+        if !obj.is_finite() {
+            return Err(OptError::NonFinite(format!(
+                "candidate objective {obj} in water-filling regime selection"
+            )));
+        }
+        if best.as_ref().is_none_or(|(_, b)| obj < *b) {
+            best = Some((cand, obj));
+        }
+    }
+    let (best, _) = best.ok_or_else(|| {
+        OptError::Infeasible("no water-filling candidate produced".into())
+    })?;
     Ok(problem.solution_from(best))
 }
 
@@ -327,7 +347,8 @@ pub fn solve_with_power_cap(
             "power floor {floor_power} exceeds cap {power_cap}"
         )));
     }
-    if problem.delay_weight == 0.0 {
+    // validate() guarantees the weight is non-negative.
+    if problem.delay_weight <= 0.0 {
         return Ok(problem.solution_from(floor_sol.lambdas));
     }
     // Bisect the effective weight so that power == cap. Power is
@@ -384,6 +405,7 @@ fn solve_linear_penalty(problem: &LoadDistProblem<'_>, a_eff: f64) -> Result<Vec
         queues
             .iter()
             .map(|q| {
+                debug_assert!(q.capacity > 0.0, "validated at entry");
                 let gap = nu - a_eff * q.energy_slope;
                 if gap <= w / q.capacity {
                     // marginal cost at λᵢ=0 already exceeds the water level
@@ -439,12 +461,17 @@ fn solve_linear_penalty(problem: &LoadDistProblem<'_>, a_eff: f64) -> Result<Vec
 
 /// Greedy fill by ascending marginal energy cost for the `W = 0` LP.
 fn solve_linear_greedy(problem: &LoadDistProblem<'_>) -> Result<LoadDistSolution> {
+    if let Some(q) = problem.queues.iter().find(|q| !q.energy_slope.is_finite()) {
+        return Err(OptError::NonFinite(format!(
+            "energy slope {} in greedy fill",
+            q.energy_slope
+        )));
+    }
     let mut order: Vec<usize> = (0..problem.queues.len()).collect();
     order.sort_by(|&a, &b| {
         problem.queues[a]
             .energy_slope
-            .partial_cmp(&problem.queues[b].energy_slope)
-            .expect("finite slopes")
+            .total_cmp(&problem.queues[b].energy_slope)
     });
     let mut lambdas = vec![0.0; problem.queues.len()];
     let mut remaining = problem.total_load;
@@ -453,6 +480,7 @@ fn solve_linear_greedy(problem: &LoadDistProblem<'_>) -> Result<LoadDistSolution
             break;
         }
         let q = &problem.queues[idx];
+        debug_assert!(q.multiplicity >= 1.0, "validated at entry");
         let take = remaining.min(q.util_cap * q.multiplicity);
         lambdas[idx] = take / q.multiplicity;
         remaining -= take;
@@ -468,6 +496,7 @@ fn distribute_remainder(lambdas: &mut [f64], queues: &[QueueSpec], mut slack: f6
         if slack <= 0.0 {
             break;
         }
+        debug_assert!(q.multiplicity >= 1.0, "validated at entry");
         let headroom = (q.util_cap - *l) * q.multiplicity;
         let take = headroom.min(slack);
         *l += take / q.multiplicity;

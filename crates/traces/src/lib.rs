@@ -23,6 +23,8 @@
 //! * power in kW (slot energy in kWh is numerically identical),
 //! * electricity price in $/kWh.
 
+#![deny(missing_docs, unsafe_code)]
+
 pub mod csv;
 pub mod price;
 pub mod renewable;

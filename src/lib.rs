@@ -19,6 +19,8 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every reproduced figure.
 
+#![deny(missing_docs, unsafe_code)]
+
 pub use coca_baselines as baselines;
 pub use coca_core as core;
 pub use coca_dcsim as dcsim;

@@ -39,7 +39,7 @@ fn probability_of_finding_optimum_increases_with_delta() {
                 seed,
                 ..Default::default()
             });
-            gsd.solve(&p).expect("gsd");
+            let _ = gsd.solve(&p).expect("gsd");
             // Theorem 1 is about the *kept* state concentrating on the
             // optimum, not the best-seen state.
             let final_cost = *gsd.last_trace.last().expect("trace");

@@ -1,0 +1,177 @@
+//! Offline stand-in for the subset of `crossbeam` used by this workspace:
+//! bounded channels, scoped threads (with crossbeam's `Result`-returning
+//! panic propagation), and `SegQueue`. All of it is implemented on `std`
+//! primitives — `std::sync::mpsc`, `std::thread::scope`, and a mutexed
+//! deque — trading crossbeam's lock-free performance for zero external
+//! dependencies. Semantics relevant to this workspace are preserved.
+#![deny(missing_docs, unsafe_code)]
+
+/// Multi-producer multi-consumer channels (subset: `bounded`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the receiving side disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the sending side disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued; errors if disconnected.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; errors if disconnected and empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates a channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+/// Scoped threads (subset: `scope` with crossbeam's `Result` return).
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle for spawning threads tied to a scope. The closure passed to
+    /// [`Scope::spawn`] receives the scope again (crossbeam's signature);
+    /// every caller in this workspace ignores it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread joined before the scope ends.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads can borrow from the caller's
+    /// stack. Returns `Err` with the panic payload if any scoped thread (or
+    /// the closure itself) panicked — crossbeam's contract, mapped onto
+    /// `std::thread::scope` + `catch_unwind`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+/// Concurrent queues (subset: `SegQueue`).
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue. The lock-free segments of the real
+    /// `SegQueue` are replaced by a mutexed `VecDeque`; contention on the
+    /// workspace's sweep workloads is negligible next to the work items.
+    pub struct SegQueue<T> {
+        items: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue { items: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Enqueues an item.
+        pub fn push(&self, item: T) {
+            self.items.lock().unwrap_or_else(|e| e.into_inner()).push_back(item);
+        }
+
+        /// Dequeues the oldest item, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.items.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            self.items.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// True when the queue holds no items.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip_across_threads() {
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        let got = super::thread::scope(|s| {
+            s.spawn(move |_| {
+                tx.send(7).unwrap();
+                tx.send(8).unwrap();
+            });
+            (rx.recv().unwrap(), rx.recv().unwrap())
+        })
+        .unwrap();
+        assert_eq!(got, (7, 8));
+    }
+
+    #[test]
+    fn scope_reports_worker_panic_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn segqueue_fifo() {
+        let q = super::queue::SegQueue::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+}

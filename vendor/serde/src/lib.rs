@@ -1,0 +1,284 @@
+//! Offline stand-in for the subset of `serde` this workspace uses:
+//! `#[derive(Serialize, Deserialize)]` plus `serde_json::{to_string,
+//! from_str}` round-trips.
+//!
+//! The real serde visitor architecture is replaced by a tiny
+//! tree-structured [`Value`] data model: `Serialize` renders a value tree,
+//! `Deserialize` reads one back. The derive macros (re-exported from the
+//! sibling hand-rolled `serde_derive` shim) generate externally-tagged
+//! representations compatible with serde's defaults for the shapes used in
+//! this repository (structs with named fields; enums with unit, newtype,
+//! tuple, and struct variants).
+#![deny(missing_docs, unsafe_code)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Tree-structured serialization value (the shim's entire data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (covers the workspace's `usize`/`u64` fields; values
+    /// beyond `i64` are unrepresentable and rejected at serialization).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key-ordered map (struct fields / externally-tagged enums).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the map entries if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field in a [`Value::Map`].
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        self.as_map()?.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde shim error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into the shim's [`Value`] tree.
+pub trait Serialize {
+    /// Serializes into a value tree.
+    fn serialize_value(&self) -> Result<Value, Error>;
+}
+
+/// Reconstructs `Self` from the shim's [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Fetches a required struct field from a map value (derive-macro helper).
+pub fn field<'v>(v: &'v Value, strukt: &str, name: &str) -> Result<&'v Value, Error> {
+    v.get_field(name)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}` for `{strukt}`")))
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::Bool(*self))
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            _ => Err(Error::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(v).map(|x| x as f32)
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Result<Value, Error> {
+                i64::try_from(*self)
+                    .map(Value::Int)
+                    .map_err(|_| Error::custom(concat!(stringify!($t), " out of i64 range")))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    _ => Err(Error::custom("expected integer")),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::Str(self.clone()))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::Str(self.to_string()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::Seq(
+            self.iter().map(Serialize::serialize_value).collect::<Result<_, _>>()?,
+        ))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(Deserialize::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        match self {
+            None => Ok(Value::Null),
+            Some(x) => x.serialize_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(Value::Seq(
+            self.iter().map(Serialize::serialize_value).collect::<Result<_, _>>()?,
+        ))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Result<Value, Error> {
+                Ok(Value::Seq(vec![$(self.$n.serialize_value()?),+]))
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error::custom("expected tuple sequence"))?;
+                let mut it = s.iter();
+                Ok(($(
+                    $t::deserialize_value(
+                        it.next().ok_or_else(|| Error::custom("tuple too short"))?,
+                    )?,
+                )+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let v = 3.25_f64.serialize_value().unwrap();
+        assert_eq!(f64::deserialize_value(&v).unwrap(), 3.25);
+        let v = 17_usize.serialize_value().unwrap();
+        assert_eq!(usize::deserialize_value(&v).unwrap(), 17);
+        let v = vec![1.0, 2.0].serialize_value().unwrap();
+        assert_eq!(Vec::<f64>::deserialize_value(&v).unwrap(), vec![1.0, 2.0]);
+        let v = Option::<f64>::None.serialize_value().unwrap();
+        assert_eq!(Option::<f64>::deserialize_value(&v).unwrap(), None);
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let v = Value::Map(vec![("a".into(), Value::Int(1))]);
+        assert!(field(&v, "S", "a").is_ok());
+        let e = field(&v, "S", "b").unwrap_err();
+        assert!(e.to_string().contains('b'));
+    }
+}

@@ -1,0 +1,410 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde shim.
+//!
+//! The registry (and therefore `syn`/`quote`) is unreachable in this build
+//! environment, so the item is parsed directly from the
+//! [`proc_macro::TokenStream`]: attributes and visibility are skipped,
+//! the struct/enum shape is extracted (named-field structs; enums with
+//! unit/tuple/struct variants — exactly the shapes in this workspace), and
+//! the impls are emitted as formatted source. Generic types are rejected
+//! with a compile error; none of the workspace's serialized types are
+//! generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("shim derive emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("valid compile_error"),
+    }
+}
+
+/// Skips leading `#[...]` attributes and a `pub`/`pub(...)` visibility
+/// qualifier starting at `i`; returns the next significant index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                } else {
+                    return i;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("shim serde derive does not support generic type `{name}`"));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "shim serde derive requires a braced body for `{name}`, found {other:?}"
+            ))
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct { name, fields: parse_named_fields(body)? }),
+        "enum" => Ok(Item::Enum { name, variants: parse_variants(body)? }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Parses `name: Type, ...` out of a struct/struct-variant body, skipping
+/// attributes and visibility. Commas nested in `<...>` generics or in
+/// delimited groups do not split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{fname}`, found {other:?}")),
+        }
+        // Consume the type: everything up to a comma at angle depth 0.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(fname);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name: vname, shape });
+    }
+    Ok(variants)
+}
+
+/// Counts top-level (angle-depth-0) comma-separated entries in a tuple
+/// variant's parenthesized field list.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push(({f:?}.to_string(), \
+                         ::serde::Serialize::serialize_value(&self.{f})?));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 #[allow(clippy::all)]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::std::result::Result<::serde::Value, ::serde::Error> {{\n\
+                         let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::std::result::Result::Ok(::serde::Value::Map(__m))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::std::result::Result::Ok(\
+                             ::serde::Value::Str({vn:?}.to_string())),\n"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::std::result::Result::Ok(::serde::Value::Map(vec![\
+                             ({vn:?}.to_string(), ::serde::Serialize::serialize_value(__f0)?)])),\n"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let sers: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})?"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::std::result::Result::Ok(::serde::Value::Map(vec![\
+                                 ({vn:?}.to_string(), ::serde::Value::Seq(vec![{}]))])),\n",
+                                binders.join(", "),
+                                sers.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binders = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__vm.push(({f:?}.to_string(), \
+                                         ::serde::Serialize::serialize_value({f})?));"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binders} }} => {{\n\
+                                     let mut __vm: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                     {pushes}\n\
+                                     ::std::result::Result::Ok(::serde::Value::Map(vec![\
+                                     ({vn:?}.to_string(), ::serde::Value::Map(__vm))]))\n\
+                                 }}\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 #[allow(clippy::all)]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::std::result::Result<::serde::Value, ::serde::Error> {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(\
+                         ::serde::field(__v, {name:?}, {f:?})?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 #[allow(clippy::all)]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if __v.as_map().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 concat!(\"expected map for struct \", {name:?})));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => unreachable!("filtered above"),
+                        VariantShape::Tuple(1) => format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize_value(__inner)?)),\n"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize_value(&__s[{k}])?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => {{\n\
+                                     let __s = __inner.as_seq().ok_or_else(|| \
+                                         ::serde::Error::custom(\"expected sequence for tuple variant\"))?;\n\
+                                     if __s.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(::serde::Error::custom(\
+                                             \"wrong tuple variant arity\"));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}\n",
+                                gets.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize_value(\
+                                         ::serde::field(__inner, {vn:?}, {f:?})?)?,\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{\n{inits}}}),\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 #[allow(clippy::all, unused_variables)]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                                 let (__k, __inner) = &__m[0];\n\
+                                 match __k.as_str() {{\n\
+                                     {tagged_arms}\
+                                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                         format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 concat!(\"expected externally-tagged enum \", {name:?}))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
