@@ -22,6 +22,13 @@
 //! - [`rules::MUST_USE`] — solver result types (`*Solution`, `*Outcome`,
 //!   `*Result` structs in `coca-opt`/`coca-core`/`coca-dcsim`) must carry
 //!   `#[must_use]` so a dropped solve is a compile-time warning.
+//! - [`rules::HOT_ALLOC`] — no heap-allocation keywords (`Vec::new`,
+//!   `vec![`, `.to_vec(`, `.clone()`, `.collect(`, `Box::new`, `format!`,
+//!   `String::new`, `with_capacity`, `.to_string(`) inside a declared
+//!   `// audit:hot-path: begin` / `end` region. These regions mark the
+//!   per-proposal delta-update paths of the incremental P3 engine, which
+//!   run ~500× per slot and must stay allocation-free; reusing retained
+//!   scratch capacity (`clear()` + `push`) is allowed.
 //!
 //! Any finding can be waived with a `// audit:allow(<rule>)` comment on
 //! the offending line or the line above it; waivers are reported and

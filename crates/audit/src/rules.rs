@@ -12,6 +12,8 @@ pub const FLOAT_EQ: &str = "float-eq";
 pub const NAN_GUARD: &str = "nan-guard";
 /// Rule id: solver result types must be `#[must_use]`.
 pub const MUST_USE: &str = "must-use";
+/// Rule id: no heap allocation inside declared `audit:hot-path` regions.
+pub const HOT_ALLOC: &str = "hot-alloc";
 
 /// Solver hot paths: a panic or NaN here aborts or corrupts the per-slot
 /// control loop whose behavior the paper's Theorem 2 bounds.
@@ -42,6 +44,7 @@ pub fn apply_all(file: &SourceFile, report: &mut Report) {
         nan_guard(file, report);
     }
     float_eq(file, report);
+    hot_alloc(file, report);
     if MUST_USE_CRATES.iter().any(|p| file.path.contains(p)) {
         must_use(file, report);
     }
@@ -337,6 +340,47 @@ fn prev_byte(bytes: &[u8], pos: usize) -> Option<u8> {
     pos.checked_sub(1).map(|p| bytes[p])
 }
 
+/// Allocation keywords that must not appear inside an `audit:hot-path`
+/// region: a per-proposal delta update runs ~500× per slot, and a hidden
+/// allocation there silently erodes the O(1) contract the incremental
+/// engine's speedup rests on. Reusing pre-sized scratch buffers
+/// (`clear()` + `push` into retained capacity) is fine; *acquiring* fresh
+/// heap memory is not.
+const ALLOC_KEYWORDS: &[(&str, &str)] = &[
+    ("Vec::new", "`Vec::new()`"),
+    ("vec![", "`vec![...]`"),
+    (".to_vec(", "`.to_vec()`"),
+    (".clone()", "`.clone()`"),
+    (".collect(", "`.collect()`"),
+    ("Box::new", "`Box::new(...)`"),
+    ("format!", "`format!`"),
+    ("String::new", "`String::new()`"),
+    ("with_capacity", "`with_capacity`"),
+    (".to_string(", "`.to_string()`"),
+];
+
+/// `hot-alloc`: no heap-allocating keyword inside a declared
+/// `// audit:hot-path: begin` / `end` region (any file — the regions are
+/// opt-in markers) without an `audit:allow(hot-alloc)` waiver.
+fn hot_alloc(file: &SourceFile, report: &mut Report) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if !line.in_hot || line.in_test {
+            continue;
+        }
+        for (needle, what) in ALLOC_KEYWORDS {
+            if line.code.contains(needle) {
+                emit(
+                    file,
+                    idx,
+                    HOT_ALLOC,
+                    format!("{what} allocates inside an `audit:hot-path` region; reuse a scratch buffer instead"),
+                    report,
+                );
+            }
+        }
+    }
+}
+
 /// `must-use`: `pub struct Foo{Solution,Outcome,Result}` must carry
 /// `#[must_use]` among its attributes.
 fn must_use(file: &SourceFile, report: &mut Report) {
@@ -459,6 +503,43 @@ mod tests {
         assert_eq!(r.unwaived().filter(|v| v.rule == MUST_USE).count(), 0);
         let other_crate = lint("crates/traces/src/foo.rs", bad);
         assert_eq!(other_crate.unwaived_count(), 0);
+    }
+
+    #[test]
+    fn hot_alloc_fires_only_inside_declared_regions() {
+        let src = "\
+fn setup() -> Vec<f64> { Vec::new() }
+// audit:hot-path: begin
+fn delta(&mut self, xs: &[usize]) {
+    let copy = xs.to_vec();
+    self.scratch.clear();
+    self.scratch.push(1.0);
+}
+// audit:hot-path: end
+fn teardown() -> Vec<f64> { vec![0.0] }
+";
+        let r = lint("crates/dcsim/src/engine.rs", src);
+        let hits: Vec<usize> = r
+            .unwaived()
+            .filter(|v| v.rule == HOT_ALLOC)
+            .map(|v| v.line)
+            .collect();
+        assert_eq!(hits, vec![4], "{r}");
+    }
+
+    #[test]
+    fn hot_alloc_honors_waivers() {
+        let src = "\
+// audit:hot-path: begin
+fn delta(&mut self) {
+    // Error path only, never taken per-proposal. audit:allow(hot-alloc)
+    let msg = format!(\"bad\");
+}
+// audit:hot-path: end
+";
+        let r = lint("crates/opt/src/waterfill.rs", src);
+        assert_eq!(r.unwaived().filter(|v| v.rule == HOT_ALLOC).count(), 0, "{r}");
+        assert_eq!(r.violations.iter().filter(|v| v.rule == HOT_ALLOC).count(), 1);
     }
 
     #[test]

@@ -14,6 +14,9 @@ pub struct Line {
     pub waivers: Vec<String>,
     /// True when the line is inside a `#[cfg(test)]` module body.
     pub in_test: bool,
+    /// True when the line sits inside an `audit:hot-path` region — between
+    /// a `// audit:hot-path: begin` and `// audit:hot-path: end` comment.
+    pub in_hot: bool,
 }
 
 /// A fully scanned source file.
@@ -47,6 +50,9 @@ impl SourceFile {
         // A `#[cfg(test)]` attribute was seen and we are waiting for the
         // item it decorates to open its brace.
         let mut test_attr_armed = false;
+        // Inside a declared `audit:hot-path` region. The begin/end marker
+        // lines themselves are comment-only and count as outside.
+        let mut in_hot = false;
 
         for raw in text.lines() {
             let (code, comment, next_mode) = sanitize(raw, mode);
@@ -54,6 +60,14 @@ impl SourceFile {
 
             let waivers = extract_waivers(&comment);
             let in_test = test_region_depth.is_some();
+            let marker = hot_marker(&comment);
+            if marker == Some(false) {
+                in_hot = false;
+            }
+            let line_in_hot = in_hot;
+            if marker == Some(true) {
+                in_hot = true;
+            }
 
             if code.contains("#[cfg(test)]") {
                 test_attr_armed = true;
@@ -77,7 +91,7 @@ impl SourceFile {
                 }
             }
 
-            lines.push(Line { code, waivers, in_test });
+            lines.push(Line { code, waivers, in_test, in_hot: line_in_hot });
         }
         SourceFile { path: path.to_string(), lines }
     }
@@ -219,6 +233,21 @@ fn sanitize(raw: &str, start: Mode) -> (String, String, Mode) {
     (code, comment, mode)
 }
 
+/// Detects a hot-path region marker: `Some(true)` for begin, `Some(false)`
+/// for end. The comment must *start* with the marker (after the comment
+/// leader), so prose that merely mentions the marker — e.g. this crate's
+/// own rule documentation — does not toggle a region.
+fn hot_marker(comment: &str) -> Option<bool> {
+    let t = comment.trim_start_matches(['/', '*', '!']).trim_start();
+    if t.starts_with("audit:hot-path: begin") {
+        Some(true)
+    } else if t.starts_with("audit:hot-path: end") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
 /// Pulls every `audit:allow(a, b)` rule list out of a comment.
 fn extract_waivers(comment: &str) -> Vec<String> {
     let mut out = Vec::new();
@@ -281,6 +310,26 @@ mod tests {
         assert!(f.waived(1, "float-eq"));
         assert!(!f.waived(1, "nan-guard"));
         assert!(f.waived(2, "nan-guard"), "same-line waiver applies");
+    }
+
+    #[test]
+    fn hot_path_regions_tracked() {
+        let src = "\
+fn cold() { work(); }
+// audit:hot-path: begin — per-proposal delta update
+fn hot(&mut self) {
+    self.counts[i] += 1;
+}
+// audit:hot-path: end
+fn cold_again() {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[0].in_hot, "before the region");
+        assert!(!f.lines[1].in_hot, "begin marker line itself is outside");
+        assert!(f.lines[2].in_hot, "region body");
+        assert!(f.lines[4].in_hot, "region body end");
+        assert!(!f.lines[5].in_hot, "end marker line itself is outside");
+        assert!(!f.lines[6].in_hot, "after the region");
     }
 
     #[test]

@@ -105,6 +105,23 @@ fn must_use_fixture_flags_unannotated_result_types() {
 }
 
 #[test]
+fn hot_alloc_fixture_flags_allocations_in_declared_regions_only() {
+    let r = lint_fixture(
+        "crates/traces/src/fixture.rs",
+        include_str!("../fixtures/hot_alloc.rs"),
+    );
+    assert_eq!(
+        triples(&r),
+        vec![
+            ("hot-alloc", 10, false), // `.to_vec()` in the delta-update path
+            ("hot-alloc", 12, false), // `format!` in the delta-update path
+            ("hot-alloc", 24, true),  // waived via audit:allow(hot-alloc)
+        ],
+        "{r}"
+    );
+}
+
+#[test]
 fn clean_fixture_passes_every_rule_even_on_a_hot_path() {
     let r = lint_fixture(
         "crates/core/src/solver.rs",

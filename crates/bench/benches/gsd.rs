@@ -37,6 +37,7 @@ fn opts(iterations: usize, seed: u64) -> GsdOptions {
         record_trace: false,
         seed,
         warm_start: false,
+        incremental: true,
     }
 }
 

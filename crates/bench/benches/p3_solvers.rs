@@ -9,6 +9,7 @@ use coca_core::gsd::{GsdOptions, GsdSolver};
 use coca_core::solver::{ExhaustiveSolver, P3Solver};
 use coca_core::symmetric::SymmetricSolver;
 use coca_dcsim::dispatch::{optimal_dispatch, SlotProblem};
+use coca_dcsim::incremental::SlotEvalContext;
 use coca_dcsim::Cluster;
 use coca_opt::schedule::TemperatureSchedule;
 
@@ -56,6 +57,67 @@ fn bench_slot_decision(c: &mut Criterion) {
     group.finish();
 }
 
+/// The ISSUE acceptance benchmark: a 500-iteration GSD solve at the
+/// paper's fleet scale, cold oracle (every proposal re-runs
+/// `optimal_dispatch` from scratch) vs the incremental evaluation engine
+/// (delta-aggregation + warm-started water levels + state-cost cache).
+/// Headline numbers are committed to `BENCH_p3.json`.
+fn bench_cold_vs_incremental(c: &mut Criterion) {
+    let cluster = Cluster::paper_datacenter();
+    let p = problem(&cluster);
+    let mut group = c.benchmark_group("p3_gsd500_paper_scale");
+    group.sample_size(10);
+    group.bench_function("gsd500_cold_oracle", |b| {
+        let mut s = GsdSolver::new(GsdOptions {
+            iterations: 500,
+            schedule: TemperatureSchedule::Constant(1e6),
+            incremental: false,
+            ..Default::default()
+        });
+        let _ = s.solve(&p).expect("warm-up");
+        b.iter(|| black_box(s.solve(&p).expect("solve")))
+    });
+    group.bench_function("gsd500_incremental", |b| {
+        let mut s = GsdSolver::new(GsdOptions {
+            iterations: 500,
+            schedule: TemperatureSchedule::Constant(1e6),
+            incremental: true,
+            ..Default::default()
+        });
+        let _ = s.solve(&p).expect("warm-up");
+        b.iter(|| black_box(s.solve(&p).expect("solve")))
+    });
+    // The slot-context primitives in isolation: one single-flip proposal
+    // evaluated incrementally vs one cold dispatch of the same state.
+    group.bench_function("single_proposal_incremental", |b| {
+        let initial = cluster.full_speed_vector();
+        let mut ctx = SlotEvalContext::new(p, &initial).expect("context");
+        let mut state = initial.clone();
+        let mut level = 0usize;
+        let mut g = 0usize;
+        b.iter(|| {
+            // Cycle through fresh states so the state-cost cache cannot
+            // short-circuit the solve being measured.
+            state[g] = 1 + (state[g] + level) % 4;
+            g = (g + 1) % state.len();
+            level = (level + 1) % 3;
+            black_box(ctx.evaluate(&state))
+        })
+    });
+    group.bench_function("single_proposal_cold_dispatch", |b| {
+        let mut state = cluster.full_speed_vector();
+        let mut level = 0usize;
+        let mut g = 0usize;
+        b.iter(|| {
+            state[g] = 1 + (state[g] + level) % 4;
+            g = (g + 1) % state.len();
+            level = (level + 1) % 3;
+            black_box(optimal_dispatch(&p, &state).expect("dispatch"))
+        })
+    });
+    group.finish();
+}
+
 fn bench_exhaustive_reference(c: &mut Criterion) {
     // Tiny fleet where the ground-truth enumeration is feasible: shows why
     // exhaustive search cannot be the production path (5^6 states).
@@ -75,5 +137,5 @@ fn bench_exhaustive_reference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_slot_decision, bench_exhaustive_reference);
+criterion_group!(benches, bench_slot_decision, bench_cold_vs_incremental, bench_exhaustive_reference);
 criterion_main!(benches);

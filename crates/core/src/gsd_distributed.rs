@@ -7,7 +7,11 @@
 //! * **Server agents** (worker threads) own disjoint shards of the server
 //!   groups. Only the owner of a group knows its speed; speed updates are
 //!   messages (paper line 7: a randomly selected server explores a new
-//!   speed).
+//!   speed). Each agent collapses its shard into distinct queue types with
+//!   integer active counts — the same delta-aggregation device as
+//!   [`coca_dcsim::incremental::SlotEvalContext`] — so a `SetLevel` is an
+//!   O(1) count update and every reduce round costs O(#local types), not
+//!   O(local groups).
 //! * **Load distribution** (paper line 3, "solved efficiently using any
 //!   distributed optimization technique — see dual decomposition") runs as
 //!   an actual dual decomposition: the coordinator broadcasts the dual
@@ -16,25 +20,39 @@
 //!   bisects ν until the coupling constraint `Σλᵢ = λ` is met. The
 //!   `[p−r]⁺` kink is handled with the same three-regime analysis as the
 //!   exact solver, each regime being one more broadcast/reduce round.
+//! * The **coordinator** keeps the incremental machinery on its side of
+//!   the wire: per-shard aggregate replies are cached with dirty bits
+//!   (an `Aggregates` round only re-queries the shard whose speed
+//!   changed), revisited speed vectors are answered from a
+//!   [`StateCostCache`] without any messaging at all, and each regime's
+//!   ν bracket (plus the kink weight μ) is warm-started from the previous
+//!   proposal under the same sign-verify-then-fall-back rule as
+//!   [`coca_opt::waterfill::WarmWaterfill`]. All of this state is
+//!   slot-scoped — it lives and dies inside one `solve` call, which is
+//!   what makes the caching sound (see the cache invalidation story in
+//!   [`coca_dcsim::incremental`]).
 //! * The coordinator runs the acceptance rule and tells the owner to commit
 //!   or revert — the paper's "servers communicate decisions to each other /
 //!   a coordinating node may facilitate message passing" (semi-distributed
 //!   mode).
 //!
 //! The test-suite checks that the distributed evaluation agrees with the
-//! centralized [`optimal_dispatch`] to floating-point accuracy and that the
-//! solver reaches the exhaustive optimum on small fleets.
+//! centralized [`optimal_dispatch`] to floating-point accuracy (including
+//! warm-started evaluations along a flip walk) and that the solver reaches
+//! the exhaustive optimum on small fleets.
 
-use std::cell::RefCell;
+use std::cell::Cell;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use coca_dcsim::dispatch::{optimal_dispatch, SlotProblem};
-use coca_dcsim::SimError;
-use coca_opt::bisect::{bisect_increasing, grow_upper_bracket, BisectOptions};
+use coca_dcsim::incremental::{EvalStats, StateCostCache, ZobristTable};
+use coca_dcsim::{ServerGroup, SimError};
+use coca_opt::bisect::{grow_upper_bracket, illinois_increasing, BisectOptions};
 use coca_opt::gibbs::{run_gibbs, GibbsOptions};
+use coca_opt::waterfill::WARM_BRACKET_SPAN;
 
 use crate::gsd::{GsdOptions, INFEASIBLE_COST};
 use crate::solver::{P3Solution, P3Solver};
@@ -71,13 +89,121 @@ enum Reply {
     Ack,
 }
 
-/// Per-group data a server agent holds: per positive level
-/// (capacity, util_cap, energy_slope·PUE) plus static power·PUE.
-#[derive(Debug, Clone)]
-struct AgentGroup {
-    levels: Vec<(f64, f64, f64)>,
-    static_power: Vec<f64>,
-    current: usize,
+/// A server agent's shard of the fleet, collapsed into distinct queue
+/// types exactly like the coordinator-side
+/// [`coca_dcsim::incremental::SlotEvalContext`]: per-`(group, level ≥ 1)`
+/// type ids plus integer active counts. `SetLevel` is an O(1) count
+/// delta, and every reduce round (`Aggregates`, `MinMarginal`, `TotalAt`,
+/// `Evaluate`) runs over the distinct types with multiplicity instead of
+/// walking every local group. Counts are integers, so a long proposal
+/// stream cannot accumulate floating-point drift.
+#[derive(Debug, Default)]
+struct AgentShard {
+    /// Distinct (capacity, util_cap, energy_slope·PUE, static·PUE) rows.
+    types: Vec<(f64, f64, f64, f64)>,
+    /// Type id of local `(group, level c ≥ 1)` pairs, row-major by group.
+    type_ids: Vec<usize>,
+    /// Start of each local group's row range in `type_ids`.
+    type_offsets: Vec<usize>,
+    /// Active-queue count per type.
+    counts: Vec<u32>,
+    /// Current level of each local group.
+    current: Vec<usize>,
+}
+
+impl AgentShard {
+    /// Appends a group's per-level rows (cold path, construction only) and
+    /// seeds its initial level into the counts.
+    fn push_group(&mut self, g: &ServerGroup, gamma: f64, pue: f64, level: usize) {
+        self.type_offsets.push(self.type_ids.len());
+        for c in 1..g.num_choices() {
+            let cap = g.capacity(c);
+            let row = (cap, gamma * cap, g.energy_slope(c) * pue, g.static_power(c) * pue);
+            let id = self
+                .types
+                .iter()
+                .position(|t| {
+                    t.0.to_bits() == row.0.to_bits()
+                        && t.2.to_bits() == row.2.to_bits()
+                        && t.3.to_bits() == row.3.to_bits()
+                })
+                .unwrap_or_else(|| {
+                    self.types.push(row);
+                    self.counts.push(0);
+                    self.types.len() - 1
+                });
+            self.type_ids.push(id);
+        }
+        self.current.push(0);
+        let local = self.current.len() - 1;
+        self.set_level(local, level);
+    }
+
+    // audit:hot-path: begin — O(1) per-proposal delta update
+    fn set_level(&mut self, local: usize, level: usize) {
+        let old = self.current[local];
+        if old == level {
+            return;
+        }
+        let off = self.type_offsets[local];
+        if old > 0 {
+            self.counts[self.type_ids[off + old - 1]] -= 1;
+        }
+        if level > 0 {
+            self.counts[self.type_ids[off + level - 1]] += 1;
+        }
+        self.current[local] = level;
+    }
+    // audit:hot-path: end
+
+    fn aggregates(&self) -> (f64, f64) {
+        let (mut cap, mut static_p) = (0.0, 0.0);
+        for (t, &n) in self.types.iter().zip(&self.counts) {
+            if n > 0 {
+                let m = f64::from(n);
+                cap += m * t.1; // util_cap
+                static_p += m * t.3;
+            }
+        }
+        (cap, static_p)
+    }
+
+    fn min_marginal(&self, a_eff: f64, w: f64) -> f64 {
+        let mut min = f64::INFINITY;
+        for (t, &n) in self.types.iter().zip(&self.counts) {
+            if n > 0 {
+                debug_assert!(t.0 > 0.0, "speed ladder capacities are positive");
+                min = min.min(a_eff * t.2 + w / t.0);
+            }
+        }
+        min
+    }
+
+    fn total_at(&self, a_eff: f64, w: f64, nu: f64) -> f64 {
+        let mut total = 0.0;
+        for (t, &n) in self.types.iter().zip(&self.counts) {
+            if n > 0 {
+                total += f64::from(n) * lambda_of(nu, a_eff, w, t.0, t.1, t.2);
+            }
+        }
+        total
+    }
+
+    fn evaluate(&self, a_eff: f64, w: f64, nu: f64) -> (f64, f64, f64) {
+        let (mut power, mut delay, mut load) = (0.0, 0.0, 0.0);
+        for (t, &n) in self.types.iter().zip(&self.counts) {
+            if n > 0 {
+                let m = f64::from(n);
+                let l = lambda_of(nu, a_eff, w, t.0, t.1, t.2);
+                power += m * (t.3 + t.2 * l);
+                if l > 0.0 {
+                    delay += m * l / (t.0 - l);
+                }
+                load += m * l;
+            }
+        }
+        (power, delay, load)
+    }
 }
 
 fn lambda_of(nu: f64, a_eff: f64, w: f64, cap: f64, util_cap: f64, slope: f64) -> f64 {
@@ -90,61 +216,26 @@ fn lambda_of(nu: f64, a_eff: f64, w: f64, cap: f64, util_cap: f64, slope: f64) -
     }
 }
 
-fn agent_loop(groups: &mut [AgentGroup], rx: &Receiver<Request>, tx: &Sender<Reply>) {
+fn agent_loop(shard: &mut AgentShard, rx: &Receiver<Request>, tx: &Sender<Reply>) {
     while let Ok(req) = rx.recv() {
         let reply = match req {
             Request::SetLevel { local, level } => {
-                groups[local].current = level;
+                shard.set_level(local, level);
                 Reply::Ack
             }
             Request::Aggregates => {
-                let mut cap = 0.0;
-                let mut static_p = 0.0;
-                for g in groups.iter() {
-                    if g.current > 0 {
-                        cap += g.levels[g.current - 1].1; // util_cap
-                        static_p += g.static_power[g.current - 1];
-                    }
-                }
+                let (cap, static_p) = shard.aggregates();
                 Reply::Aggregates(cap, static_p)
             }
             Request::MinMarginal { a_eff, delay_weight } => {
-                let mut m = f64::INFINITY;
-                for g in groups.iter() {
-                    if g.current > 0 {
-                        let (cap, _, slope) = g.levels[g.current - 1];
-                        debug_assert!(cap > 0.0, "speed ladder capacities are positive");
-                        m = m.min(a_eff * slope + delay_weight / cap);
-                    }
-                }
-                Reply::MinMarginal(m)
+                Reply::MinMarginal(shard.min_marginal(a_eff, delay_weight))
             }
             Request::TotalAt { a_eff, delay_weight, nu } => {
-                let mut total = 0.0;
-                for g in groups.iter() {
-                    if g.current > 0 {
-                        let (cap, util, slope) = g.levels[g.current - 1];
-                        total += lambda_of(nu, a_eff, delay_weight, cap, util, slope);
-                    }
-                }
-                Reply::TotalAt(total)
+                Reply::TotalAt(shard.total_at(a_eff, delay_weight, nu))
             }
             Request::Evaluate { a_eff, delay_weight, nu } => {
-                let mut power = 0.0;
-                let mut delay = 0.0;
-                let mut load = 0.0;
-                for g in groups.iter() {
-                    if g.current > 0 {
-                        let (cap, util, slope) = g.levels[g.current - 1];
-                        let l = lambda_of(nu, a_eff, delay_weight, cap, util, slope);
-                        power += g.static_power[g.current - 1] + slope * l;
-                        if l > 0.0 {
-                            delay += l / (cap - l);
-                        }
-                        load += l;
-                    }
-                }
-                Reply::Evaluate(power, delay, load)
+                let (p, d, l) = shard.evaluate(a_eff, delay_weight, nu);
+                Reply::Evaluate(p, d, l)
             }
             Request::Stop => break,
         };
@@ -175,6 +266,10 @@ impl AgentPool {
         self.rxs.iter().map(|rx| rx.recv().expect("agent replies")).collect() // audit:allow(no-panic) contained by the thread scope in solve()
     }
 
+    fn num_shards(&self) -> usize {
+        self.txs.len()
+    }
+
     fn set_level(&self, group: usize, level: usize) {
         let (w, local) = self.owner[group];
         self.txs[w].send(Request::SetLevel { local, level }).expect("agent alive"); // audit:allow(no-panic) contained by the thread scope in solve()
@@ -184,33 +279,36 @@ impl AgentPool {
         }
     }
 
-    /// Distributed water-filling for a fixed linear energy weight; returns
-    /// (power, delay, nu) or None when there is no active capacity.
-    fn solve_linear(&self, a_eff: f64, w: f64, lam: f64) -> Option<(f64, f64, f64)> {
-        let nu_lo = self
-            .broadcast(&Request::MinMarginal { a_eff, delay_weight: w })
+    /// Queries a single shard's aggregates (dirty-shard refresh path).
+    fn shard_aggregates(&self, w: usize) -> (f64, f64) {
+        self.txs[w].send(Request::Aggregates).expect("agent alive"); // audit:allow(no-panic) contained by the thread scope in solve()
+        match self.rxs[w].recv().expect("agent replies") { // audit:allow(no-panic) contained by the thread scope in solve()
+            Reply::Aggregates(c, s) => (c, s),
+            other => panic!("expected Aggregates, got {other:?}"), // audit:allow(no-panic) contained by the thread scope in solve()
+        }
+    }
+
+    fn min_marginal(&self, a_eff: f64, w: f64) -> f64 {
+        self.broadcast(&Request::MinMarginal { a_eff, delay_weight: w })
             .into_iter()
             .map(|r| match r {
                 Reply::MinMarginal(m) => m,
                 other => panic!("expected MinMarginal, got {other:?}"), // audit:allow(no-panic) contained by the thread scope in solve()
             })
-            .fold(f64::INFINITY, f64::min);
-        if !nu_lo.is_finite() {
-            return None;
-        }
-        let total_at = |nu: f64| -> f64 {
-            self.broadcast(&Request::TotalAt { a_eff, delay_weight: w, nu })
-                .into_iter()
-                .map(|r| match r {
-                    Reply::TotalAt(t) => t,
-                    other => panic!("expected TotalAt, got {other:?}"), // audit:allow(no-panic) contained by the thread scope in solve()
-                })
-                .sum()
-        };
-        let start = nu_lo.abs().max(1.0) * 2.0;
-        let nu_hi = grow_upper_bracket(start, |nu| total_at(nu) - lam, 200).ok()?;
-        let opts = BisectOptions { x_tol: 0.0, f_tol: lam.max(1.0) * 1e-12, max_iter: 200 };
-        let nu = bisect_increasing(nu_lo, nu_hi, |nu| total_at(nu) - lam, opts).ok()?;
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn total_at(&self, a_eff: f64, w: f64, nu: f64) -> f64 {
+        self.broadcast(&Request::TotalAt { a_eff, delay_weight: w, nu })
+            .into_iter()
+            .map(|r| match r {
+                Reply::TotalAt(t) => t,
+                other => panic!("expected TotalAt, got {other:?}"), // audit:allow(no-panic) contained by the thread scope in solve()
+            })
+            .sum()
+    }
+
+    fn evaluate_at(&self, a_eff: f64, w: f64, nu: f64) -> (f64, f64, f64) {
         let (mut power, mut delay, mut load) = (0.0, 0.0, 0.0);
         for r in self.broadcast(&Request::Evaluate { a_eff, delay_weight: w, nu }) {
             match r {
@@ -222,30 +320,186 @@ impl AgentPool {
                 other => panic!("expected Evaluate, got {other:?}"), // audit:allow(no-panic) contained by the thread scope in solve()
             }
         }
-        // Tiny bisection residual: treat the dispatched load as λ (the
-        // sequential solver redistributes it; the objective impact is ≤ ulps).
-        let _ = load;
-        Some((power, delay, nu))
+        (power, delay, load)
+    }
+}
+
+/// Warm-bracket slots, one per water-filling regime (the three regimes
+/// solve different problems, so their water levels warm independently).
+const REGIME_ACTIVE: usize = 0;
+const REGIME_SLACK: usize = 1;
+const REGIME_KINK: usize = 2;
+
+/// One dual-decomposition solve for a fixed linear energy weight: bracket
+/// ν (warm bracket when sign-verified, cold `grow_upper_bracket`
+/// otherwise), bisect the coupling residual `Σλᵢ(ν) − λ` to zero, then one
+/// `Evaluate` round. Returns (power, delay, ν).
+fn solve_linear_via(
+    pool: &AgentPool,
+    total_at: &dyn Fn(f64) -> f64,
+    a_eff: f64,
+    w: f64,
+    lam: f64,
+    warm: Option<f64>,
+) -> Option<(f64, f64, f64)> {
+    let nu_lo = pool.min_marginal(a_eff, w);
+    if !nu_lo.is_finite() {
+        return None;
+    }
+    let bracket = warm.and_then(|prev| {
+        if !(prev.is_finite() && prev > nu_lo) {
+            return None;
+        }
+        let lo = (prev * (1.0 - WARM_BRACKET_SPAN)).max(nu_lo);
+        let hi = prev * (1.0 + WARM_BRACKET_SPAN);
+        // `bisect_increasing` clamps to the endpoints of a violated
+        // bracket, so a warm bracket must be sign-verified before use —
+        // the identical rule as `WarmWaterfill::penalty_into_scratch`.
+        (lo < hi && total_at(lo) - lam <= 0.0 && total_at(hi) - lam >= 0.0).then_some((lo, hi))
+    });
+    let (nu_lo, nu_hi) = match bracket {
+        Some(b) => b,
+        None => {
+            let start = nu_lo.abs().max(1.0) * 2.0;
+            (nu_lo, grow_upper_bracket(start, |nu| total_at(nu) - lam, 200).ok()?)
+        }
+    };
+    let opts = BisectOptions { x_tol: 0.0, f_tol: lam.max(1.0) * 1e-12, max_iter: 200 };
+    // Illinois instead of plain bisection: each evaluation is a full
+    // broadcast/reduce round, so superlinear convergence directly cuts the
+    // message count per proposal.
+    let nu = illinois_increasing(nu_lo, nu_hi, |nu| total_at(nu) - lam, opts).ok()?;
+    let (power, delay, load) = pool.evaluate_at(a_eff, w, nu);
+    // Tiny bisection residual: treat the dispatched load as λ (the
+    // sequential solver redistributes it; the objective impact is ≤ ulps).
+    let _ = load;
+    Some((power, delay, nu))
+}
+
+/// Slot-scoped coordinator state layered over the agent pool: the
+/// diff-sync mirror, the per-shard aggregate cache with dirty-bit
+/// invalidation (an `Aggregates` round only messages shards whose speeds
+/// changed), the [`StateCostCache`] shared with the sequential engine,
+/// and the warm ν/μ brackets. Built fresh per `solve` call; see the cache
+/// invalidation story in [`coca_dcsim::incremental`].
+struct Coordinator<'a> {
+    pool: AgentPool,
+    problem: SlotProblem<'a>,
+    /// Mirror of the agents' speed vector, used to diff-sync state coming
+    /// from the Gibbs chain.
+    mirror: Vec<usize>,
+    /// Cached (util-capped capacity, static power) per shard.
+    shard_agg: Vec<(f64, f64)>,
+    /// Shards whose cached aggregates are stale.
+    agg_dirty: Vec<bool>,
+    /// Warm water levels, one per regime.
+    warm_nu: [Option<f64>; 3],
+    /// Warm boundary weight μ for the kink regime.
+    warm_mu: Option<f64>,
+    /// Per-(group, level) keys for the incremental state hash.
+    zobrist: ZobristTable,
+    /// Zobrist hash of `mirror`, maintained by [`Self::sync`].
+    mirror_hash: u64,
+    cache: StateCostCache,
+    stats: EvalStats,
+}
+
+impl<'a> Coordinator<'a> {
+    fn new(pool: AgentPool, problem: SlotProblem<'a>, mirror: Vec<usize>) -> Self {
+        let n = pool.num_shards();
+        let zobrist = ZobristTable::new(&problem.cluster.choice_counts());
+        let mirror_hash = zobrist.hash_of(&mirror);
+        Self {
+            pool,
+            problem,
+            mirror,
+            shard_agg: vec![(0.0, 0.0); n],
+            agg_dirty: vec![true; n],
+            warm_nu: [None; 3],
+            warm_mu: None,
+            zobrist,
+            mirror_hash,
+            cache: StateCostCache::default(),
+            stats: EvalStats::default(),
+        }
+    }
+
+    // audit:hot-path: begin — per-proposal diff-sync (one message per changed group)
+    fn sync(&mut self, state: &[usize]) {
+        for gi in 0..state.len() {
+            let new = state[gi];
+            if new != self.mirror[gi] {
+                self.pool.set_level(gi, new);
+                self.agg_dirty[self.pool.owner[gi].0] = true;
+                self.mirror_hash ^= self.zobrist.flip(gi, self.mirror[gi], new);
+                self.mirror[gi] = new;
+                self.stats.delta_updates += 1;
+            }
+        }
+    }
+    // audit:hot-path: end
+
+    /// The Gibbs cost oracle: diff-sync the agents, then answer from the
+    /// state-cost cache or a warm-started distributed evaluation.
+    fn cost(&mut self, state: &[usize]) -> f64 {
+        self.sync(state);
+        self.stats.evaluations += 1;
+        if let Some(c) = self.cache.get(self.mirror_hash, &self.mirror) {
+            self.stats.cache_hits += 1;
+            return c;
+        }
+        self.stats.cache_misses += 1;
+        let c = self.evaluate_current();
+        self.cache.insert(self.mirror_hash, &self.mirror, c);
+        c
+    }
+
+    /// Fleet (capacity, static power) from the per-shard cache, messaging
+    /// only dirty shards.
+    fn aggregates(&mut self) -> (f64, f64) {
+        for w in 0..self.agg_dirty.len() {
+            if self.agg_dirty[w] {
+                self.shard_agg[w] = self.pool.shard_aggregates(w);
+                self.agg_dirty[w] = false;
+            }
+        }
+        let (mut cap, mut static_p) = (0.0, 0.0);
+        for &(c, s) in &self.shard_agg {
+            cap += c;
+            static_p += s;
+        }
+        (cap, static_p)
+    }
+
+    /// Distributed water-filling for a fixed linear energy weight, warm-
+    /// starting the ν bracket from the regime's previous solution; returns
+    /// (power, delay, ν) or None when there is no active capacity.
+    fn solve_linear(&mut self, a_eff: f64, w: f64, lam: f64, regime: usize) -> Option<(f64, f64, f64)> {
+        let rounds = Cell::new(0u64);
+        let out = {
+            let pool = &self.pool;
+            let total_at = |nu: f64| -> f64 {
+                rounds.set(rounds.get() + 1);
+                pool.total_at(a_eff, w, nu)
+            };
+            solve_linear_via(pool, &total_at, a_eff, w, lam, self.warm_nu[regime])
+        };
+        self.stats.bisection_evals += rounds.get();
+        if let Some((_, _, nu)) = out {
+            self.warm_nu[regime] = Some(nu);
+        }
+        out
     }
 
     /// Distributed three-regime evaluation of the P3 objective for the
     /// agents' current speed vector. Mirrors `coca_opt::waterfill::solve`.
-    fn evaluate_state(&self, problem: &SlotProblem<'_>) -> f64 {
-        let lam = problem.arrival_rate;
-        let a = problem.energy_weight;
-        let w = problem.delay_weight;
-        let r = problem.onsite;
+    fn evaluate_current(&mut self) -> f64 {
+        let lam = self.problem.arrival_rate;
+        let a = self.problem.energy_weight;
+        let w = self.problem.delay_weight;
+        let r = self.problem.onsite;
 
-        let (mut cap, mut _static_p) = (0.0, 0.0);
-        for reply in self.broadcast(&Request::Aggregates) {
-            match reply {
-                Reply::Aggregates(c, s) => {
-                    cap += c;
-                    _static_p += s;
-                }
-                other => panic!("expected Aggregates, got {other:?}"), // audit:allow(no-panic) contained by the thread scope in solve()
-            }
-        }
+        let (cap, _static_p) = self.aggregates();
         if lam > cap * (1.0 + 1e-12) {
             return INFEASIBLE_COST;
         }
@@ -255,7 +509,7 @@ impl AgentPool {
             return 1e-9; // all off, nothing to serve: zero cost (+ε)
         }
 
-        let active = match self.solve_linear(a, w, lam) {
+        let active = match self.solve_linear(a, w, lam, REGIME_ACTIVE) {
             Some(v) => v,
             None => return INFEASIBLE_COST,
         };
@@ -264,30 +518,61 @@ impl AgentPool {
         if active.0 >= r * (1.0 - 1e-9) || a <= 0.0 {
             return objective(active.0, active.1) + 1e-9;
         }
-        let slack = match self.solve_linear(0.0, w, lam) {
+        let slack = match self.solve_linear(0.0, w, lam, REGIME_SLACK) {
             Some(v) => v,
             None => return INFEASIBLE_COST,
         };
         if slack.0 <= r * (1.0 + 1e-9) {
             return objective(slack.0, slack.1) + 1e-9;
         }
-        // Kink regime: bisect the effective energy weight μ ∈ [0, A].
-        let opts = BisectOptions { x_tol: 0.0, f_tol: r.abs().max(1.0) * 1e-10, max_iter: 200 };
-        let mu = bisect_increasing(
-            0.0,
-            a,
-            |mu| match self.solve_linear(mu, w, lam) {
-                Some((p, _, _)) => r - p,
-                None => f64::NAN,
-            },
-            opts,
-        );
-        let kink = mu.ok().and_then(|mu| self.solve_linear(mu, w, lam));
+        let kink = self.solve_kink(a, w, lam, r);
         let mut best = objective(active.0, active.1).min(objective(slack.0, slack.1));
         if let Some((p, d, _)) = kink {
             best = best.min(objective(p, d));
         }
         best + 1e-9
+    }
+
+    /// Kink regime: bisect the effective energy weight μ ∈ [0, A] until
+    /// onsite power pins to r, warm-starting the μ bracket from the
+    /// previous proposal (sign-verified, cold `[0, A]` fallback — the same
+    /// rule as `WarmWaterfill::bisect_mu`).
+    fn solve_kink(&mut self, a: f64, w: f64, lam: f64, r: f64) -> Option<(f64, f64, f64)> {
+        let (mut lo, mut hi) = (0.0, a);
+        if let Some(prev) = self.warm_mu {
+            if prev.is_finite() {
+                let half = WARM_BRACKET_SPAN * a;
+                let wlo = (prev - half).max(0.0);
+                let whi = (prev + half).min(a);
+                let glo = match self.solve_linear(wlo, w, lam, REGIME_KINK) {
+                    Some((p, _, _)) => r - p,
+                    None => f64::NAN,
+                };
+                let ghi = match self.solve_linear(whi, w, lam, REGIME_KINK) {
+                    Some((p, _, _)) => r - p,
+                    None => f64::NAN,
+                };
+                if wlo < whi && glo <= 0.0 && ghi >= 0.0 {
+                    lo = wlo;
+                    hi = whi;
+                }
+            }
+        }
+        // Tight f_tol matching the centralized kink search: at the kink the
+        // objective error is first-order in the stopping power gap.
+        let opts = BisectOptions { x_tol: 0.0, f_tol: r.abs().max(1.0) * 1e-13, max_iter: 200 };
+        let mu = illinois_increasing(
+            lo,
+            hi,
+            |mu| match self.solve_linear(mu, w, lam, REGIME_KINK) {
+                Some((p, _, _)) => r - p,
+                None => f64::NAN,
+            },
+            opts,
+        )
+        .ok()?;
+        self.warm_mu = Some(mu);
+        self.solve_linear(mu, w, lam, REGIME_KINK)
     }
 }
 
@@ -297,6 +582,15 @@ pub struct DistributedGsdSolver {
     opts: GsdOptions,
     /// Number of server-agent threads.
     pub num_workers: usize,
+    /// Oracle calls answered by the coordinator's state-cost cache in the
+    /// last `solve` (no messaging at all on a hit).
+    pub last_cache_hits: u64,
+    /// Oracle calls that ran full broadcast/reduce rounds in the last
+    /// `solve`.
+    pub last_cache_misses: u64,
+    /// `TotalAt` broadcast rounds spent inside ν-bisections in the last
+    /// `solve` — the dominant messaging cost of an evaluation.
+    pub last_bisection_iters: u64,
     warm: Option<Vec<usize>>,
 }
 
@@ -304,23 +598,25 @@ impl DistributedGsdSolver {
     /// Creates a solver with the given GSD options and worker count.
     pub fn new(opts: GsdOptions, num_workers: usize) -> Self {
         assert!(num_workers >= 1);
-        Self { opts, num_workers, warm: None }
+        Self {
+            opts,
+            num_workers,
+            last_cache_hits: 0,
+            last_cache_misses: 0,
+            last_bisection_iters: 0,
+            warm: None,
+        }
     }
 
-    fn build_agents(&self, problem: &SlotProblem<'_>, initial: &[usize]) -> (Vec<Vec<AgentGroup>>, Vec<(usize, usize)>) {
+    fn build_agents(&self, problem: &SlotProblem<'_>, initial: &[usize]) -> (Vec<AgentShard>, Vec<(usize, usize)>) {
         let groups = problem.cluster.groups();
         let n_workers = self.num_workers.min(groups.len());
-        let mut shards: Vec<Vec<AgentGroup>> = vec![Vec::new(); n_workers];
+        let mut shards: Vec<AgentShard> = (0..n_workers).map(|_| AgentShard::default()).collect();
         let mut owner = vec![(0usize, 0usize); groups.len()];
         for (gi, g) in groups.iter().enumerate() {
             let w = gi % n_workers;
-            let levels = (1..g.num_choices())
-                .map(|c| (g.capacity(c), problem.gamma * g.capacity(c), g.energy_slope(c) * problem.pue))
-                .collect();
-            let static_power =
-                (1..g.num_choices()).map(|_| g.static_power(1) * problem.pue).collect();
-            owner[gi] = (w, shards[w].len());
-            shards[w].push(AgentGroup { levels, static_power, current: initial[gi] });
+            owner[gi] = (w, shards[w].current.len());
+            shards[w].push_group(g, problem.gamma, problem.pue, initial[gi]);
         }
         (shards, owner)
     }
@@ -357,7 +653,7 @@ impl P3Solver for DistributedGsdSolver {
         };
         let mut rng = StdRng::seed_from_u64(self.opts.seed);
 
-        let result = crossbeam::thread::scope(|scope| {
+        let (result, stats) = crossbeam::thread::scope(|scope| {
             let mut txs = Vec::new();
             let mut rxs = Vec::new();
             for shard in shards.iter_mut() {
@@ -368,33 +664,22 @@ impl P3Solver for DistributedGsdSolver {
                 rxs.push(rx_rep);
             }
             let pool = AgentPool { txs, rxs, owner };
+            let mut coord = Coordinator::new(pool, *problem, initial.clone());
 
-            // Mirror of the agents' speed vector, used to diff-sync state
-            // coming from the Gibbs chain.
-            let mirror = RefCell::new(initial.clone());
-            let cost = |state: &[usize]| -> f64 {
-                {
-                    let mut m = mirror.borrow_mut();
-                    for (gi, (&new, old)) in state.iter().zip(m.iter_mut()).enumerate() {
-                        if new != *old {
-                            pool.set_level(gi, new);
-                            *old = new;
-                        }
-                    }
-                }
-                pool.evaluate_state(problem)
-            };
-
-            let outcome = run_gibbs(&counts, &initial, cost, &opts, &mut rng)
+            let outcome = run_gibbs(&counts, &initial, |state| coord.cost(state), &opts, &mut rng)
                 .map_err(SimError::Opt);
-            for tx in &pool.txs {
+            for tx in &coord.pool.txs {
                 let _ = tx.send(Request::Stop);
             }
-            outcome
+            outcome.map(|o| (o, coord.stats))
         })
         .map_err(|_| {
             SimError::Internal("distributed GSD agent thread panicked".into())
         })??;
+
+        self.last_cache_hits = stats.cache_hits;
+        self.last_cache_misses = stats.cache_misses;
+        self.last_bisection_iters = stats.bisection_evals;
 
         let levels = result.best_state;
         if !problem.is_feasible(&levels) {
@@ -411,6 +696,9 @@ impl P3Solver for DistributedGsdSolver {
 
     fn reset(&mut self) {
         self.warm = None;
+        self.last_cache_hits = 0;
+        self.last_cache_misses = 0;
+        self.last_bisection_iters = 0;
     }
 
     fn name(&self) -> &'static str {
@@ -437,9 +725,14 @@ mod tests {
         }
     }
 
-    /// Drives the agent pool directly to compare the distributed evaluation
-    /// with the centralized one on a fixed speed vector.
-    fn distributed_cost(problem: &SlotProblem<'_>, levels: &[usize], workers: usize) -> f64 {
+    /// Spawns a live agent pool for `levels` and hands the coordinator to
+    /// the closure.
+    fn with_coordinator<T>(
+        problem: &SlotProblem<'_>,
+        levels: &[usize],
+        workers: usize,
+        f: impl FnOnce(&mut Coordinator<'_>) -> T,
+    ) -> T {
         let solver = DistributedGsdSolver::new(GsdOptions::default(), workers);
         let (mut shards, owner) = solver.build_agents(problem, levels);
         crossbeam::thread::scope(|scope| {
@@ -453,13 +746,20 @@ mod tests {
                 rxs.push(rx_rep);
             }
             let pool = AgentPool { txs, rxs, owner };
-            let c = pool.evaluate_state(problem);
-            for tx in &pool.txs {
+            let mut coord = Coordinator::new(pool, *problem, levels.to_vec());
+            let out = f(&mut coord);
+            for tx in &coord.pool.txs {
                 let _ = tx.send(Request::Stop);
             }
-            c
+            out
         })
         .unwrap()
+    }
+
+    /// Drives the agent pool directly to compare the distributed evaluation
+    /// with the centralized one on a fixed speed vector.
+    fn distributed_cost(problem: &SlotProblem<'_>, levels: &[usize], workers: usize) -> f64 {
+        with_coordinator(problem, levels, workers, |coord| coord.cost(levels))
     }
 
     #[test]
@@ -480,6 +780,53 @@ mod tests {
                 "central {central} vs distributed {distributed} at (λ={lam}, A={a}, W={w}, r={r})"
             );
         }
+    }
+
+    #[test]
+    fn warm_evaluations_match_centralized_across_flips() {
+        let cluster = Cluster::homogeneous(4, 4);
+        let p = problem(&cluster, 45.0, 4.0, 2.0, 3.0);
+        let full = cluster.full_speed_vector();
+        with_coordinator(&p, &full, 2, |coord| {
+            let mut state = full.clone();
+            // Walk through speed flips so later evaluations run on warm ν/μ
+            // brackets and cached shard aggregates, including revisits
+            // (cache hits) and a low-capacity excursion.
+            let flips =
+                [(0, 2), (1, 1), (2, 3), (0, 4), (3, 2), (1, 0), (1, 4), (2, 3), (2, 1), (0, 2)];
+            for &(g, lvl) in &flips {
+                state[g] = lvl;
+                if p.is_feasible(&state) {
+                    let central = optimal_dispatch(&p, &state).unwrap().objective;
+                    let distributed = coord.cost(&state) - 1e-9;
+                    assert!(
+                        (central - distributed).abs() <= central.abs() * 1e-6 + 1e-6,
+                        "central {central} vs distributed {distributed} after flip ({g}, {lvl})"
+                    );
+                } else {
+                    assert_eq!(coord.cost(&state), INFEASIBLE_COST);
+                }
+            }
+            assert!(coord.stats.delta_updates > 0);
+            assert!(coord.stats.bisection_evals > 0);
+        });
+    }
+
+    #[test]
+    fn solve_populates_cache_and_bisection_stats() {
+        let cluster = Cluster::homogeneous(3, 4);
+        let p = problem(&cluster, 40.0, 5.0, 5.0, 2.0);
+        let mut solver = DistributedGsdSolver::new(
+            GsdOptions { iterations: 300, seed: 7, ..Default::default() },
+            2,
+        );
+        let sol = solver.solve(&p).unwrap();
+        assert!(p.is_feasible(&sol.levels));
+        assert!(solver.last_cache_misses > 0);
+        assert!(solver.last_cache_hits > 0, "Gibbs chains revisit states");
+        assert!(solver.last_bisection_iters > 0);
+        solver.reset();
+        assert_eq!(solver.last_cache_hits, 0);
     }
 
     #[test]

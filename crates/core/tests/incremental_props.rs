@@ -1,0 +1,226 @@
+//! Differential property tests for the incremental P3 evaluation engine:
+//! along random single-flip walks over random heterogeneous fleets, the
+//! incremental oracle ([`SlotEvalContext`]) must agree with the cold
+//! [`optimal_dispatch`] to ≤ 1e-9 relative error on the objective and the
+//! per-group loads, and reproduce the cold water level, with warm ν/μ
+//! brackets and the state-cost cache engaged.
+//!
+//! A deterministic companion walk pins the coverage claim: it crosses all
+//! three regimes of the water-filling analysis — electricity-active
+//! (p > r), renewable-slack (p < r), and the `[p−r]⁺` boundary — inside a
+//! single slot context, so the agreement holds across regime
+//! *transitions*, not just within one regime.
+//!
+//! Runs strict: every test calls [`coca_core::invariant::force_strict`]
+//! before the first solve, so the load-conservation and KKT checks fire as
+//! hard panics on every incremental solve. Strict mode is a process-wide
+//! switch, hence this lives in its own integration binary (CI additionally
+//! runs it with `COCA_STRICT_INVARIANTS=1`).
+
+use coca_core::invariant;
+use coca_dcsim::dispatch::{optimal_dispatch, DispatchOutcome, SlotProblem};
+use coca_dcsim::incremental::SlotEvalContext;
+use coca_dcsim::{Cluster, ServerClass};
+use proptest::prelude::*;
+
+/// Puts the process-wide invariant checker into strict mode. Both tests in
+/// this binary call this first, so whichever runs first wins the
+/// `OnceLock` set and the other just observes strict mode.
+fn ensure_strict() {
+    let _ = invariant::force_strict();
+    assert!(invariant::global().is_strict(), "checker initialized non-strict");
+}
+
+fn random_cluster(groups: usize, servers: usize, classes: usize) -> Cluster {
+    let base = ServerClass::amd_opteron_2380();
+    let mut builder = coca_dcsim::ClusterBuilder::new();
+    for k in 0..groups {
+        let class = base.derived(
+            &format!("c{}", k % classes),
+            0.8 + 0.1 * (k % classes) as f64,
+            0.85 + 0.1 * (k % classes) as f64,
+        );
+        builder = builder.add_groups(class, 1, servers);
+    }
+    builder.build().expect("cluster")
+}
+
+/// Checks one state of a flip walk: incremental objective, detailed
+/// per-group loads, and water level against the cold dispatch.
+fn check_state(
+    ctx: &mut SlotEvalContext<'_>,
+    cold: &DispatchOutcome,
+    loads: &mut Vec<f64>,
+    lam: f64,
+) -> Result<(), String> {
+    let inc = ctx.evaluate_current();
+    if (inc - cold.objective).abs() > cold.objective.abs() * 1e-9 + 1e-9 {
+        return Err(format!("objective: incremental {inc} vs cold {}", cold.objective));
+    }
+    let (detail_obj, nu) = ctx
+        .solve_detailed(loads)
+        .ok_or_else(|| "incremental infeasible on a feasible state".to_string())?;
+    if (detail_obj - cold.objective).abs() > cold.objective.abs() * 1e-9 + 1e-9 {
+        return Err(format!("detailed objective: {detail_obj} vs cold {}", cold.objective));
+    }
+    for (g, (&li, &lc)) in loads.iter().zip(&cold.loads).enumerate() {
+        if (li - lc).abs() > lc.abs() * 1e-9 + lam.max(1.0) * 1e-9 {
+            return Err(format!("load[{g}]: incremental {li} vs cold {lc}"));
+        }
+    }
+    if let (Some(ni), Some(nc)) = (nu, cold.water_level) {
+        // Warm and cold bisections stop at the same |Σλᵢ(ν) − λ| tolerance;
+        // ν itself is pinned slightly less tightly than the objective.
+        if (ni - nc).abs() > nc.abs().max(1.0) * 1e-6 {
+            return Err(format!("water level: incremental {ni} vs cold {nc}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_matches_cold_along_random_flip_walks(
+        groups in 2usize..8,
+        servers in 1usize..25,
+        classes in 1usize..4,
+        load_frac in 0.05..0.9_f64,
+        onsite_frac in 0.0..1.4_f64,
+        a in 0.0..80.0_f64,
+        w in 0.01..50.0_f64,
+        pue in 1.0..1.5_f64,
+        flips in proptest::collection::vec((0usize..64, 0usize..8), 1..32),
+    ) {
+        ensure_strict();
+        let cluster = random_cluster(groups, servers, classes);
+        let full = cluster.full_speed_vector();
+        let gamma = 0.95;
+        let lam = load_frac * gamma * cluster.capacity_of(&full);
+        // Calibrate r to the full-speed facility power so random walks land
+        // on both sides of the [p−r]⁺ kink instead of in one fixed regime.
+        let probe = SlotProblem {
+            cluster: &cluster,
+            arrival_rate: lam,
+            onsite: 0.0,
+            energy_weight: a,
+            delay_weight: w,
+            gamma,
+            pue,
+        };
+        let ref_power = optimal_dispatch(&probe, &full).unwrap().facility_power;
+        let p = SlotProblem { onsite: onsite_frac * ref_power, ..probe };
+
+        let mut ctx = SlotEvalContext::new(p, &full).unwrap();
+        let mut state = full.clone();
+        let mut loads = Vec::new();
+        for &(gsel, lsel) in &flips {
+            let g = gsel % state.len();
+            state[g] = lsel % cluster.groups()[g].num_choices();
+            ctx.sync(&state);
+            if p.is_feasible(&state) {
+                let cold = optimal_dispatch(&p, &state).unwrap();
+                if let Err(msg) = check_state(&mut ctx, &cold, &mut loads, lam) {
+                    return Err(TestCaseError::fail(format!("{msg} at state {state:?}")));
+                }
+            } else {
+                let inc = ctx.evaluate_current();
+                prop_assert!(inc.is_infinite(), "infeasible state priced {inc}");
+            }
+        }
+        // The walk must actually have exercised the delta-update path.
+        prop_assert!(ctx.stats.delta_updates > 0);
+        prop_assert!(ctx.stats.evaluations > 0);
+    }
+}
+
+#[test]
+fn flip_walk_crosses_all_three_regimes() {
+    ensure_strict();
+    let cluster = random_cluster(6, 12, 3);
+    let full = cluster.full_speed_vector();
+    let gamma = 0.95;
+    let lam = 0.35 * gamma * cluster.capacity_of(&full);
+    let a = 40.0;
+    let w = 2.0;
+
+    // Shutdown ladder: slow one group-level at a time from full speed, as a
+    // single Gibbs-style flip sequence, keeping every state feasible.
+    let mut ladder = vec![full.clone()];
+    let mut s = full.clone();
+    'outer: for g in 0..s.len() {
+        loop {
+            let next = s[g] - 1;
+            let mut cand = s.clone();
+            cand[g] = next;
+            if next == 0 || lam > gamma * cluster.capacity_of(&cand) {
+                break;
+            }
+            s = cand;
+            ladder.push(s.clone());
+            if ladder.len() > 60 {
+                break 'outer;
+            }
+        }
+    }
+    assert!(ladder.len() >= 8, "ladder too short to cross regimes");
+
+    // Pick r inside the [p_active, p_slack] band of a mid-ladder state:
+    // that state is then pinned to the kink. Facility power *rises* down
+    // the ladder (slower servers burn more energy per request at fixed
+    // load), so the full-speed end sits in the renewable-slack regime
+    // (p < r) and the slowed-down end in the electricity-active regime
+    // (p > r).
+    let power_at = |levels: &[usize], energy_weight: f64| -> f64 {
+        let p = SlotProblem {
+            cluster: &cluster,
+            arrival_rate: lam,
+            onsite: 0.0,
+            energy_weight,
+            delay_weight: w,
+            gamma,
+            pue: 1.2,
+        };
+        optimal_dispatch(&p, levels).unwrap().facility_power
+    };
+    let mid = &ladder[ladder.len() / 2];
+    let p_active = power_at(mid, a);
+    let p_slack = power_at(mid, 0.0);
+    assert!(p_active < p_slack, "kink band must have width: {p_active} vs {p_slack}");
+    let r = 0.5 * (p_active + p_slack);
+    assert!(power_at(&full, 0.0) < r, "full speed must be renewable-slack");
+    assert!(
+        power_at(ladder.last().unwrap(), a) > r,
+        "ladder end must be electricity-active"
+    );
+
+    let p = SlotProblem {
+        cluster: &cluster,
+        arrival_rate: lam,
+        onsite: r,
+        energy_weight: a,
+        delay_weight: w,
+        gamma,
+        pue: 1.2,
+    };
+    let mut ctx = SlotEvalContext::new(p, &full).unwrap();
+    let mut loads = Vec::new();
+    let mut seen = [false; 3];
+    for state in &ladder {
+        ctx.sync(state);
+        let cold = optimal_dispatch(&p, state).unwrap();
+        check_state(&mut ctx, &cold, &mut loads, lam).unwrap();
+        let regime = if cold.facility_power > r * (1.0 + 1e-6) {
+            0 // electricity-active: p > r
+        } else if cold.facility_power < r * (1.0 - 1e-6) {
+            1 // renewable-slack: p < r
+        } else {
+            2 // boundary: power pinned to r by the μ-bisection
+        };
+        seen[regime] = true;
+    }
+    assert!(seen[0], "walk never hit the electricity-active regime");
+    assert!(seen[1], "walk never hit the renewable-slack regime");
+    assert!(seen[2], "walk never hit the [p−r]⁺ boundary regime");
+}

@@ -53,6 +53,11 @@ pub struct DispatchOutcome {
     pub delay: f64,
     /// Brown (grid) power `[PUE·p − r]⁺` (kW; slot energy in kWh).
     pub brown: f64,
+    /// Water level ν of the winning water-filling regime, when the loads
+    /// came out of a bisection (`None` on closed-form paths and for
+    /// [`evaluate_dispatch`], which performs no optimization). Lets warm
+    /// re-solves and differential tests compare against the cold level.
+    pub water_level: Option<f64>,
 }
 
 impl SlotProblem<'_> {
@@ -140,6 +145,7 @@ pub fn optimal_dispatch(problem: &SlotProblem<'_>, levels: &[usize]) -> crate::R
         facility_power,
         delay: sol.delay,
         brown,
+        water_level: sol.water_level,
     })
 }
 
@@ -172,7 +178,15 @@ pub fn optimal_dispatch_capped(
     let facility_power = sol.power;
     let it_power = facility_power / problem.pue;
     let brown = (facility_power - problem.onsite).max(0.0);
-    Ok(DispatchOutcome { loads, objective: sol.objective, it_power, facility_power, delay: sol.delay, brown })
+    Ok(DispatchOutcome {
+        loads,
+        objective: sol.objective,
+        it_power,
+        facility_power,
+        delay: sol.delay,
+        brown,
+        water_level: sol.water_level,
+    })
 }
 
 /// Evaluates the outcome metrics for *given* loads (no optimization), e.g.
@@ -224,6 +238,7 @@ pub fn evaluate_dispatch(
         facility_power,
         delay,
         brown,
+        water_level: None,
     })
 }
 

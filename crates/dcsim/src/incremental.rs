@@ -1,0 +1,596 @@
+//! Incremental P3 evaluation engine — the per-slot cost oracle behind both
+//! GSD engines.
+//!
+//! COCA's per-slot decision (paper Algorithm 2) runs hundreds of Gibbs
+//! proposals, and each proposal flips exactly **one** group's speed level.
+//! Evaluating a proposal cold ([`crate::dispatch::optimal_dispatch`])
+//! re-collapses all groups into queue types and re-runs the three-regime
+//! bisection from scratch; this module amortizes all of that across the
+//! proposal stream:
+//!
+//! * [`SlotEvalContext`] precomputes, **once per slot**, the per-group
+//!   per-level `(capacity, util_cap, static_power, energy_slope)` tables
+//!   and maintains the collapsed queue-type multiset as integer counts
+//!   under single-group delta updates — O(1) per proposal instead of
+//!   O(groups) re-aggregation. Counts are integers, so a million flips
+//!   cannot accumulate floating-point drift; the float aggregates are
+//!   re-derived O(#types) per evaluation.
+//! * The water-level search is warm-started via
+//!   [`coca_opt::waterfill::WarmWaterfill`]: the previous proposal's ν (and
+//!   kink weight μ) seed the next bisection bracket, falling back to the
+//!   cold bracket when the warm one misses.
+//! * A [`StateCostCache`] keyed by the full speed vector short-circuits
+//!   revisited states — Gibbs chains are revert-heavy, so the same vectors
+//!   recur constantly.
+//!
+//! **Cache invalidation story:** a context is *slot-scoped*. Its cache and
+//! warm brackets are only valid for fixed slot parameters — any change to
+//! the arrival rate `λ(t)`, the renewable supply `r(t)`, or the weights
+//! `A = V·w(t) + q(t)` / `W = V·β` invalidates every cached cost, so the
+//! engines build a fresh context per `solve()` call and drop it with the
+//! slot. Nothing is ever invalidated piecemeal.
+//!
+//! Correctness: the incremental path answers the *same* water-filling
+//! problems with the same stopping tolerances as the cold path, so results
+//! agree with [`crate::dispatch::optimal_dispatch`] to ≤ 1e-9 relative
+//! error (pinned by the differential property test in `coca-core`), and
+//! the `coca_opt::invariant` hooks (load conservation + KKT residual) keep
+//! firing on every incremental solve.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use coca_opt::waterfill::{LoadDistProblem, QueueSpec, WarmWaterfill};
+
+/// Multiplicative word hasher (FxHash-style) for the state-cost cache.
+///
+/// The cache key is the full speed vector — ~200 machine words at paper
+/// scale — and the default SipHash spends more time hashing it than the
+/// warm-started solve spends on the actual water-filling. Speed vectors are
+/// internal state, not attacker-controlled input, so a non-cryptographic
+/// rotate-xor-multiply over the words is the right trade. The constant is
+/// the usual 64-bit golden-ratio-derived odd multiplier.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            // audit:allow(no-panic) chunks_exact guarantees 8-byte slices.
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+use crate::dispatch::SlotProblem;
+
+/// One distinct per-level queue row: everything the oracle needs to know
+/// about a `(group, speed level)` pair, PUE- and γ-scaled exactly like
+/// [`crate::cluster::Cluster::active_queues`]. Groups whose rows are
+/// bit-identical share a type (static power is part of the identity so the
+/// base-power aggregate stays exact).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TypeSpec {
+    /// Pooled service capacity `Xᵢ` (req/s).
+    capacity: f64,
+    /// Utilization cap `γ·Xᵢ`.
+    util_cap: f64,
+    /// Marginal power per unit load, PUE-scaled (kW per req/s).
+    energy_slope: f64,
+    /// Static power when active, PUE-scaled (kW).
+    static_power: f64,
+}
+
+/// Per-`(group, level)` random keys for incremental (Zobrist) hashing of
+/// speed vectors.
+///
+/// A state's hash is the XOR of one key per group, so a single-group flip
+/// updates it with two XORs ([`Self::flip`]) instead of rehashing the whole
+/// vector — the same delta discipline the type multiset uses. Keys come
+/// from a fixed-seed SplitMix64 stream, so two tables built from the same
+/// `choice_counts` (e.g. the sequential context and the distributed
+/// coordinator) agree.
+#[derive(Debug)]
+pub struct ZobristTable {
+    /// Start of group `g`'s keys (one per level, level 0 included).
+    offsets: Vec<usize>,
+    keys: Vec<u64>,
+}
+
+/// SplitMix64 step — the standard 64-bit mixer; deterministic and
+/// dependency-free, which is all the hash keys need.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ZobristTable {
+    /// Builds keys for a fleet with the given per-group speed-set sizes.
+    pub fn new(choice_counts: &[usize]) -> Self {
+        let mut offsets = Vec::with_capacity(choice_counts.len());
+        let total: usize = choice_counts.iter().sum();
+        let mut keys = Vec::with_capacity(total);
+        let mut state = 0x5EED_C0CA_0000_0001u64;
+        for &n in choice_counts {
+            offsets.push(keys.len());
+            for _ in 0..n {
+                keys.push(splitmix64(&mut state));
+            }
+        }
+        Self { offsets, keys }
+    }
+
+    /// Full hash of a speed vector (used once at context build).
+    pub fn hash_of(&self, levels: &[usize]) -> u64 {
+        levels.iter().enumerate().fold(0, |h, (g, &c)| h ^ self.keys[self.offsets[g] + c])
+    }
+
+    /// XOR delta for one group's flip; apply with `hash ^= flip(...)`.
+    #[inline]
+    pub fn flip(&self, group: usize, old: usize, new: usize) -> u64 {
+        let off = self.offsets[group];
+        self.keys[off + old] ^ self.keys[off + new]
+    }
+}
+
+/// Hit/miss-counting state-cost cache keyed by a Zobrist hash of the full
+/// speed vector.
+///
+/// Callers maintain the hash incrementally (two XORs per flip) and pass it
+/// with the vector; the map then hashes only the 8-byte key. Entries store
+/// the owned vector and a hit verifies it, so a 64-bit collision degrades
+/// to a miss (and the colliding insert evicts the old entry) instead of
+/// returning a wrong cost.
+#[derive(Debug, Default)]
+pub struct StateCostCache {
+    map: HashMap<u64, (Vec<usize>, f64), BuildHasherDefault<FxHasher>>,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a full evaluation.
+    pub misses: u64,
+}
+
+impl StateCostCache {
+    /// Returns the cached cost of `levels` (whose Zobrist hash is `hash`),
+    /// counting the hit or miss.
+    pub fn get(&mut self, hash: u64, levels: &[usize]) -> Option<f64> {
+        match self.map.get(&hash) {
+            Some((key, cost)) if key == levels => {
+                self.hits += 1;
+                Some(*cost)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the cost of `levels` (clones the key; insert is the cold
+    /// path by construction).
+    pub fn insert(&mut self, hash: u64, levels: &[usize], cost: f64) {
+        self.map.insert(hash, (levels.to_vec(), cost));
+    }
+
+    /// Number of distinct states cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no states.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Work counters accumulated over a context's lifetime (one slot).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Cost-oracle calls (cache hits + full solves).
+    pub evaluations: u64,
+    /// Oracle calls answered by the state-cost cache.
+    pub cache_hits: u64,
+    /// Oracle calls that ran a full water-filling solve.
+    pub cache_misses: u64,
+    /// Water-level function evaluations spent inside bisections (each is
+    /// an O(#types) pass — the dominant arithmetic of a full solve).
+    pub bisection_evals: u64,
+    /// Single-group O(1) delta updates applied to the type multiset.
+    pub delta_updates: u64,
+}
+
+/// Slot-scoped incremental evaluator for the P3 cost oracle.
+///
+/// Build once per slot with the initial speed vector, then feed it speed
+/// vectors that differ from the previous call in few coordinates (the
+/// Gibbs proposal stream): [`Self::evaluate`] diff-syncs the internal
+/// multiset with O(1) work per changed group and answers from the cache or
+/// a warm-started water-filling solve. See the module docs for the cache
+/// invalidation story.
+#[derive(Debug)]
+pub struct SlotEvalContext<'a> {
+    problem: SlotProblem<'a>,
+    /// Distinct per-level rows over all `(group, level ≥ 1)` pairs.
+    types: Vec<TypeSpec>,
+    /// Type id of `(group g, level c ≥ 1)` at `type_ids[type_offsets[g] + c − 1]`.
+    type_ids: Vec<usize>,
+    /// Start of each group's row range in `type_ids`.
+    type_offsets: Vec<usize>,
+    /// Active-queue count per type. Integers: delta updates cannot drift,
+    /// and the float aggregates are re-derived from them per evaluation.
+    counts: Vec<u32>,
+    /// Mirror of the speed vector the counts currently describe.
+    levels: Vec<usize>,
+    /// Scratch: collapsed active types of the current state.
+    specs: Vec<QueueSpec>,
+    /// Scratch: type id behind each row of `specs`.
+    spec_types: Vec<usize>,
+    /// Scratch: spec row of each type (`usize::MAX` when inactive).
+    spec_of_type: Vec<usize>,
+    /// Warm-started water-filling solver (carries ν/μ across proposals).
+    solver: WarmWaterfill,
+    /// Per-(group, level) keys for the incremental state hash.
+    zobrist: ZobristTable,
+    /// Zobrist hash of `levels`, maintained by [`Self::set_level`].
+    state_hash: u64,
+    cache: StateCostCache,
+    /// Work counters, exported by the engines as solve statistics.
+    pub stats: EvalStats,
+}
+
+impl<'a> SlotEvalContext<'a> {
+    /// Builds the per-level tables for `problem` and seeds the multiset
+    /// with `initial`.
+    ///
+    /// # Errors
+    /// Propagates invalid slot parameters or an out-of-range level vector.
+    pub fn new(problem: SlotProblem<'a>, initial: &[usize]) -> crate::Result<Self> {
+        problem.validate()?;
+        problem.cluster.validate_levels(initial)?;
+        let groups = problem.cluster.groups();
+        let mut key_to_type: HashMap<(u64, u64, u64), usize> = HashMap::new();
+        let mut types: Vec<TypeSpec> = Vec::new();
+        let mut type_ids = Vec::new();
+        let mut type_offsets = Vec::with_capacity(groups.len());
+        for g in groups {
+            type_offsets.push(type_ids.len());
+            for c in 1..g.num_choices() {
+                let capacity = g.capacity(c);
+                let spec = TypeSpec {
+                    capacity,
+                    util_cap: problem.gamma * capacity,
+                    energy_slope: g.energy_slope(c) * problem.pue,
+                    static_power: g.static_power(c) * problem.pue,
+                };
+                // Bit-pattern key: rows merge only when exactly equal, so
+                // the collapsed problem is equivalent to the expanded one.
+                // (util_cap is γ·capacity, a function of the key.)
+                let key = (
+                    spec.capacity.to_bits(),
+                    spec.energy_slope.to_bits(),
+                    spec.static_power.to_bits(),
+                );
+                let idx = *key_to_type.entry(key).or_insert_with(|| {
+                    types.push(spec);
+                    types.len() - 1
+                });
+                type_ids.push(idx);
+            }
+        }
+        let num_types = types.len();
+        let zobrist = ZobristTable::new(&problem.cluster.choice_counts());
+        let state_hash = zobrist.hash_of(&vec![0; groups.len()]);
+        let mut ctx = Self {
+            problem,
+            types,
+            type_ids,
+            type_offsets,
+            counts: vec![0; num_types],
+            levels: vec![0; groups.len()],
+            specs: Vec::with_capacity(num_types),
+            spec_types: Vec::with_capacity(num_types),
+            spec_of_type: vec![usize::MAX; num_types],
+            solver: WarmWaterfill::new(),
+            zobrist,
+            state_hash,
+            cache: StateCostCache::default(),
+            stats: EvalStats::default(),
+        };
+        for (g, &c) in initial.iter().enumerate() {
+            ctx.set_level(g, c);
+        }
+        // Seeding is setup work, not proposal work.
+        ctx.stats.delta_updates = 0;
+        Ok(ctx)
+    }
+
+    /// The slot problem this context was built for.
+    pub fn problem(&self) -> &SlotProblem<'a> {
+        &self.problem
+    }
+
+    /// The speed vector the multiset currently describes.
+    pub fn levels(&self) -> &[usize] {
+        &self.levels
+    }
+
+    /// Number of distinct queue types in the per-level tables.
+    pub fn num_types(&self) -> usize {
+        self.types.len()
+    }
+
+    // The two functions below are the per-proposal delta-update path: they
+    // run on every Gibbs proposal and must stay allocation-free.
+    // audit:hot-path: begin
+
+    /// Applies a single-group flip to the type multiset — O(1).
+    ///
+    /// `level` must be a valid choice for `group` (guaranteed for vectors
+    /// that passed `validate_levels`, which the Gibbs driver enforces).
+    pub fn set_level(&mut self, group: usize, level: usize) {
+        let old = self.levels[group];
+        if old == level {
+            return;
+        }
+        let off = self.type_offsets[group];
+        if old > 0 {
+            self.counts[self.type_ids[off + old - 1]] -= 1;
+        }
+        if level > 0 {
+            self.counts[self.type_ids[off + level - 1]] += 1;
+        }
+        self.state_hash ^= self.zobrist.flip(group, old, level);
+        self.levels[group] = level;
+        self.stats.delta_updates += 1;
+    }
+
+    /// Diff-syncs the multiset to `levels`: one O(1) [`Self::set_level`]
+    /// per coordinate that changed since the previous call.
+    pub fn sync(&mut self, levels: &[usize]) {
+        debug_assert_eq!(levels.len(), self.levels.len());
+        for (group, &level) in levels.iter().enumerate() {
+            if self.levels[group] != level {
+                self.set_level(group, level);
+            }
+        }
+    }
+
+    // audit:hot-path: end
+
+    /// Cost of `levels`: the P3 objective at the optimal load distribution
+    /// (plus nothing — callers add their own shift), or `f64::INFINITY`
+    /// when the state is infeasible. Diff-syncs, then answers from the
+    /// cache or a warm-started solve.
+    pub fn evaluate(&mut self, levels: &[usize]) -> f64 {
+        self.sync(levels);
+        self.evaluate_current()
+    }
+
+    /// [`Self::evaluate`] for the state the multiset already describes.
+    pub fn evaluate_current(&mut self) -> f64 {
+        self.stats.evaluations += 1;
+        if let Some(cost) = self.cache.get(self.state_hash, &self.levels) {
+            self.stats.cache_hits += 1;
+            return cost;
+        }
+        self.stats.cache_misses += 1;
+        let cost = match self.solve_current() {
+            Some((objective, _)) => objective,
+            None => f64::INFINITY,
+        };
+        self.stats.bisection_evals += self.solver.last_evals;
+        self.cache.insert(self.state_hash, &self.levels, cost);
+        cost
+    }
+
+    /// State-cost cache counters (hits/misses/size).
+    pub fn cache(&self) -> &StateCostCache {
+        &self.cache
+    }
+
+    /// Full *uncached* solve of the current state, additionally writing
+    /// the per-group loads (full cluster length; zero for off groups) into
+    /// `loads`. Returns `(objective, water_level)`, or `None` when the
+    /// state is infeasible. Used for final-state extraction and the
+    /// differential tests — not on the proposal path.
+    pub fn solve_detailed(&mut self, loads: &mut Vec<f64>) -> Option<(f64, Option<f64>)> {
+        let out = self.solve_current()?;
+        loads.clear();
+        loads.resize(self.levels.len(), 0.0);
+        let lambdas = self.solver.lambdas();
+        for (g, &c) in self.levels.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let ti = self.type_ids[self.type_offsets[g] + c - 1];
+            let row = self.spec_of_type[ti];
+            debug_assert!(row != usize::MAX, "active level must have a spec row");
+            loads[g] = lambdas[row];
+        }
+        Some(out)
+    }
+
+    /// Collapses the nonzero types into the scratch spec list and runs the
+    /// warm water-filling solve. `None` = infeasible (or a solver failure,
+    /// which the cold oracle also prices as infeasible).
+    fn solve_current(&mut self) -> Option<(f64, Option<f64>)> {
+        self.specs.clear();
+        self.spec_types.clear();
+        for row in &mut self.spec_of_type {
+            *row = usize::MAX;
+        }
+        let mut base_power = 0.0;
+        let mut capacity = 0.0;
+        for (ti, (t, &cnt)) in self.types.iter().zip(&self.counts).enumerate() {
+            if cnt == 0 {
+                continue;
+            }
+            let m = f64::from(cnt);
+            self.spec_of_type[ti] = self.specs.len();
+            self.specs.push(QueueSpec {
+                capacity: t.capacity,
+                util_cap: t.util_cap,
+                energy_slope: t.energy_slope,
+                multiplicity: m,
+            });
+            self.spec_types.push(ti);
+            base_power += m * t.static_power;
+            capacity += m * t.capacity;
+        }
+        let lam = self.problem.arrival_rate;
+        // Algorithm 2 line 2 guard — same tolerance as
+        // `SlotProblem::is_feasible`.
+        if lam > self.problem.gamma * capacity * (1.0 + 1e-12) {
+            return None;
+        }
+        let lp = LoadDistProblem {
+            queues: &self.specs,
+            total_load: lam,
+            energy_weight: self.problem.energy_weight,
+            delay_weight: self.problem.delay_weight,
+            base_power,
+            renewable: self.problem.onsite,
+        };
+        match self.solver.solve(&lp) {
+            Ok(out) => Some((out.objective, out.water_level)),
+            Err(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::dispatch::optimal_dispatch;
+
+    fn slot(cluster: &Cluster) -> SlotProblem<'_> {
+        SlotProblem {
+            cluster,
+            arrival_rate: 100.0,
+            onsite: 20.0,
+            energy_weight: 10.0,
+            delay_weight: 10.0,
+            gamma: 0.95,
+            pue: 1.2,
+        }
+    }
+
+    #[test]
+    fn matches_cold_dispatch_on_flip_sequence() {
+        let cluster = Cluster::scaled_paper_datacenter(4, 6);
+        let p = slot(&cluster);
+        let mut levels = cluster.full_speed_vector();
+        let mut ctx = SlotEvalContext::new(p, &levels).unwrap();
+        let mut loads = Vec::new();
+        // Deterministic flip walk touching every group and the off level.
+        for step in 0..40 {
+            let g = step % levels.len();
+            let choices = cluster.groups()[g].num_choices();
+            levels[g] = (levels[g] + 1 + step / levels.len()) % choices;
+            ctx.sync(&levels);
+            let inc = ctx.solve_detailed(&mut loads);
+            let feasible = p.is_feasible(&levels);
+            match inc {
+                None => assert!(!feasible || optimal_dispatch(&p, &levels).is_err()),
+                Some((obj, _)) => {
+                    let cold = optimal_dispatch(&p, &levels).unwrap();
+                    let scale = cold.objective.abs().max(1.0);
+                    assert!(
+                        (obj - cold.objective).abs() <= 1e-9 * scale,
+                        "step {step}: incremental {obj} vs cold {}",
+                        cold.objective
+                    );
+                    for (a, b) in loads.iter().zip(&cold.loads) {
+                        assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_revisited_states() {
+        let cluster = Cluster::homogeneous(3, 5);
+        let p = slot(&cluster);
+        let levels = cluster.full_speed_vector();
+        let mut ctx = SlotEvalContext::new(p, &levels).unwrap();
+        let first = ctx.evaluate(&levels);
+        let mut flipped = levels.clone();
+        flipped[0] = 2;
+        let _ = ctx.evaluate(&flipped);
+        let again = ctx.evaluate(&levels);
+        assert_eq!(first.to_bits(), again.to_bits(), "cached value returned verbatim");
+        assert_eq!(ctx.stats.cache_hits, 1);
+        assert_eq!(ctx.stats.cache_misses, 2);
+        assert_eq!(ctx.stats.evaluations, 3);
+        assert_eq!(ctx.cache().len(), 2);
+    }
+
+    #[test]
+    fn infeasible_states_price_to_infinity() {
+        let cluster = Cluster::homogeneous(2, 3);
+        let mut p = slot(&cluster);
+        p.arrival_rate = 1e6;
+        let all_off = vec![0; 2];
+        let mut ctx = SlotEvalContext::new(p, &all_off).unwrap();
+        assert!(ctx.evaluate_current().is_infinite());
+        let full = cluster.full_speed_vector();
+        assert!(ctx.evaluate(&full).is_infinite(), "overloaded even at full speed");
+    }
+
+    #[test]
+    fn type_table_collapses_identical_groups() {
+        // 6 identical groups collapse to one type per positive speed level.
+        let cluster = Cluster::homogeneous(6, 10);
+        let positive_levels = cluster.groups()[0].num_choices() - 1;
+        let p = slot(&cluster);
+        let ctx = SlotEvalContext::new(p, &cluster.full_speed_vector()).unwrap();
+        assert_eq!(ctx.num_types(), positive_levels);
+    }
+
+    #[test]
+    fn rejects_invalid_initial_vector() {
+        let cluster = Cluster::homogeneous(2, 3);
+        let p = slot(&cluster);
+        assert!(SlotEvalContext::new(p, &[9, 9]).is_err());
+        assert!(SlotEvalContext::new(p, &[1]).is_err());
+    }
+}

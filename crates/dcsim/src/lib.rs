@@ -15,6 +15,9 @@
 //!   conditions.
 //! * [`dispatch`] — the bridge to `coca-opt`: optimal load distribution and
 //!   P3-objective evaluation for a fixed speed vector.
+//! * [`incremental`] — the slot-scoped incremental P3 oracle behind the GSD
+//!   engines: delta-maintained queue-type multiset, warm-started water
+//!   levels, and a state-cost cache.
 //! * [`policy`] — the [`Policy`] trait implemented by COCA and all
 //!   baselines, plus the per-slot observation/feedback types.
 //! * [`slot_sim`] — the trace-driven hourly simulator behind every figure of
@@ -36,6 +39,7 @@ pub mod cluster;
 pub mod dispatch;
 pub mod eventsim;
 pub mod group;
+pub mod incremental;
 pub mod metrics;
 pub mod policy;
 pub mod queueing;
@@ -48,6 +52,7 @@ pub use cluster::{Cluster, ClusterBuilder};
 pub use dispatch::{optimal_dispatch, DispatchOutcome, SlotProblem};
 pub use error::SimError;
 pub use group::ServerGroup;
+pub use incremental::{EvalStats, SlotEvalContext, StateCostCache, ZobristTable};
 pub use metrics::{SimOutcome, SlotRecord};
 pub use policy::{Decision, Policy, SlotFeedback, SlotObservation};
 pub use server::{ServerClass, SpeedLevel};

@@ -3,18 +3,29 @@
 //! Figure sweeps (one COCA year per V value, one OPT plan per budget) are
 //! embarrassingly parallel across points; on multicore machines this cuts
 //! wall-clock time roughly by the core count. Built on crossbeam scoped
-//! threads — results come back in input order, and a panic in any worker
-//! propagates.
+//! threads with a per-item channel send instead of a shared results lock —
+//! results come back in input order, and a panic in any worker propagates.
 
 /// Applies `f` to every item, running up to `workers` items concurrently,
 /// and returns outputs in input order.
+///
+/// `workers == 0` means "use all available cores"
+/// (`std::thread::available_parallelism()`).
+///
+/// Each worker sends `(index, output)` pairs over a channel sized to hold
+/// every result, so finished items never contend on a shared lock and sends
+/// never block; the results vector is assembled once after the scope joins.
 pub fn sweep<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    assert!(workers >= 1, "need at least one worker");
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        workers
+    };
     let n = items.len();
     if n == 0 {
         return Vec::new();
@@ -28,22 +39,28 @@ where
     for pair in items.into_iter().enumerate() {
         queue.push(pair);
     }
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let results = parking_lot::Mutex::new(&mut slots);
+    // Capacity n: every send succeeds immediately even if the receiver only
+    // drains after all workers have exited.
+    let (tx, rx) = crossbeam::channel::bounded::<(usize, R)>(n);
     let f = &f;
     let queue = &queue;
-    let results = &results;
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
+            let tx = tx.clone();
             scope.spawn(move |_| {
                 while let Some((idx, item)) = queue.pop() {
                     let out = f(item);
-                    results.lock()[idx] = Some(out);
+                    assert!(tx.send((idx, out)).is_ok(), "receiver outlives the scope");
                 }
             });
         }
     })
     .expect("sweep worker panicked");
+    drop(tx);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    while let Ok((idx, out)) = rx.try_recv() {
+        slots[idx] = Some(out);
+    }
     slots.into_iter().map(|r| r.expect("every slot filled")).collect()
 }
 
@@ -90,8 +107,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_workers_panics() {
-        let _ = sweep(vec![1], 0, |x: i32| x);
+    fn zero_workers_defaults_to_available_parallelism() {
+        let out = sweep((0..20).collect(), 0, |x: i32| x * 2);
+        assert_eq!(out, (0..20).map(|x| x * 2).collect::<Vec<_>>());
     }
 }

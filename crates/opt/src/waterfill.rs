@@ -37,7 +37,9 @@
 //! Degenerate delay weight `W = 0` turns the problem into a linear program
 //! solved greedily by ascending marginal energy cost.
 
-use crate::bisect::{bisect_increasing, grow_upper_bracket, BisectOptions};
+use crate::bisect::{
+    bisect_increasing, grow_upper_bracket, illinois_increasing, illinois_seeded, BisectOptions,
+};
 use crate::{pos, OptError, Result};
 
 /// One M/G/1/PS queue type: `multiplicity` identical queues (servers, or
@@ -126,6 +128,12 @@ pub struct LoadDistSolution {
     pub power: f64,
     /// Total (unweighted) delay cost `Σ mᵢ λᵢ/(Xᵢ − λᵢ)`.
     pub delay: f64,
+    /// Water level ν of the winning KKT regime, when the solution came out
+    /// of a bisection (`None` on the closed-form paths: zero load,
+    /// saturated caps, and the `W = 0` greedy fill). Exposed so warm-started
+    /// re-solves can seed their bracket from it and so differential tests
+    /// can compare incremental against cold water levels.
+    pub water_level: Option<f64>,
 }
 
 /// Relative slack used when classifying which side of the `[·]⁺` kink a
@@ -190,11 +198,11 @@ impl LoadDistProblem<'_> {
             + self.delay_weight * self.delay(lambdas)
     }
 
-    fn solution_from(&self, lambdas: Vec<f64>) -> LoadDistSolution {
+    fn solution_from(&self, lambdas: Vec<f64>, water_level: Option<f64>) -> LoadDistSolution {
         let power = self.power(&lambdas);
         let delay = self.delay(&lambdas);
         let objective = self.energy_weight * pos(power - self.renewable) + self.delay_weight * delay;
-        LoadDistSolution { lambdas, objective, power, delay }
+        LoadDistSolution { lambdas, objective, power, delay, water_level }
     }
 }
 
@@ -233,7 +241,7 @@ fn solve_unchecked(problem: &LoadDistProblem<'_>) -> Result<LoadDistSolution> {
     let lam = problem.total_load;
     // validate() guarantees lam >= 0, so `<=` is the exact-zero test.
     if lam <= 0.0 {
-        return Ok(problem.solution_from(vec![0.0; n]));
+        return Ok(problem.solution_from(vec![0.0; n], None));
     }
     if n == 0 {
         return Err(OptError::Infeasible("positive load but no active queues".into()));
@@ -247,7 +255,7 @@ fn solve_unchecked(problem: &LoadDistProblem<'_>) -> Result<LoadDistSolution> {
     // Saturated case: every queue pinned at (a uniform fraction of) its cap.
     if lam >= cap * (1.0 - 1e-12) {
         let lambdas = problem.queues.iter().map(|q| q.util_cap * (lam / cap)).collect();
-        return Ok(problem.solution_from(lambdas));
+        return Ok(problem.solution_from(lambdas, None));
     }
 
     // validate() guarantees the weight is non-negative.
@@ -256,55 +264,60 @@ fn solve_unchecked(problem: &LoadDistProblem<'_>) -> Result<LoadDistSolution> {
     }
 
     // Regime 1: electricity-active (penalty weight = A everywhere).
-    let cand_active = solve_linear_penalty(problem, problem.energy_weight)?;
+    let (cand_active, nu_active) = solve_linear_penalty(problem, problem.energy_weight)?;
     let p_active = problem.power(&cand_active);
     let r = problem.renewable;
     if p_active >= r * (1.0 - KINK_TOL) || problem.energy_weight <= 0.0 {
-        return Ok(problem.solution_from(cand_active));
+        return Ok(problem.solution_from(cand_active, Some(nu_active)));
     }
 
     // Regime 2: renewable-slack (penalty weight = 0).
-    let cand_slack = solve_linear_penalty(problem, 0.0)?;
+    let (cand_slack, nu_slack) = solve_linear_penalty(problem, 0.0)?;
     let p_slack = problem.power(&cand_slack);
     if p_slack <= r * (1.0 + KINK_TOL) {
-        return Ok(problem.solution_from(cand_slack));
+        return Ok(problem.solution_from(cand_slack, Some(nu_slack)));
     }
 
     // Regime 3: optimum sits on the kink (total power = r). Power is
     // non-increasing in the effective energy weight μ; bisect μ ∈ [0, A].
-    let opts = BisectOptions { x_tol: 0.0, f_tol: r.abs().max(1.0) * 1e-10, max_iter: 200 };
+    // The f_tol must be tight: at the kink the objective depends
+    // first-order on the stopping power gap (error ≈ A·|power − r|), so a
+    // loose tolerance here leaks straight into the objective and breaks the
+    // 1e-9 cold-vs-incremental differential guarantee. The interval guard
+    // in the search caps the extra iterations near machine precision.
+    let opts = BisectOptions { x_tol: 0.0, f_tol: r.abs().max(1.0) * 1e-13, max_iter: 200 };
     let mu = bisect_increasing(
         0.0,
         problem.energy_weight,
         |mu| {
             // increasing in μ: r − power(μ) (power decreases with μ)
             match solve_linear_penalty(problem, mu) {
-                Ok(l) => r - problem.power(&l),
+                Ok((l, _)) => r - problem.power(&l),
                 Err(_) => f64::NAN,
             }
         },
         opts,
     )?;
-    let cand_kink = solve_linear_penalty(problem, mu)?;
+    let (cand_kink, nu_kink) = solve_linear_penalty(problem, mu)?;
 
     // Defensive: the regime analysis is exact in theory; numerically we pick
     // the best of the three candidates under the true objective.
-    let mut best: Option<(Vec<f64>, f64)> = None;
-    for cand in [cand_active, cand_slack, cand_kink] {
+    let mut best: Option<(Vec<f64>, f64, f64)> = None;
+    for (cand, nu) in [(cand_active, nu_active), (cand_slack, nu_slack), (cand_kink, nu_kink)] {
         let obj = problem.objective(&cand);
         if !obj.is_finite() {
             return Err(OptError::NonFinite(format!(
                 "candidate objective {obj} in water-filling regime selection"
             )));
         }
-        if best.as_ref().is_none_or(|(_, b)| obj < *b) {
-            best = Some((cand, obj));
+        if best.as_ref().is_none_or(|(_, _, b)| obj < *b) {
+            best = Some((cand, nu, obj));
         }
     }
-    let (best, _) = best.ok_or_else(|| {
+    let (best, nu, _) = best.ok_or_else(|| {
         OptError::Infeasible("no water-filling candidate produced".into())
     })?;
-    Ok(problem.solution_from(best))
+    Ok(problem.solution_from(best, Some(nu)))
 }
 
 /// Solves the load-distribution problem with an additional **peak-power
@@ -349,14 +362,14 @@ pub fn solve_with_power_cap(
     }
     // validate() guarantees the weight is non-negative.
     if problem.delay_weight <= 0.0 {
-        return Ok(problem.solution_from(floor_sol.lambdas));
+        return Ok(problem.solution_from(floor_sol.lambdas, None));
     }
     // Bisect the effective weight so that power == cap. Power is
     // non-increasing in a_eff, so (power_cap − power(a_eff)) is increasing.
     let lo = problem.energy_weight;
     let power_at = |a: f64| -> f64 {
         match solve_linear_penalty(problem, a) {
-            Ok(l) => problem.power(&l),
+            Ok((l, _)) => problem.power(&l),
             Err(_) => f64::NAN,
         }
     };
@@ -369,8 +382,8 @@ pub fn solve_with_power_cap(
     };
     let opts = BisectOptions { x_tol: 0.0, f_tol: power_cap.max(1.0) * 1e-10, max_iter: 200 };
     let a_star = bisect_increasing(lo, hi, |a| power_cap - power_at(a), opts)?;
-    let lambdas = solve_linear_penalty(problem, a_star)?;
-    let sol = problem.solution_from(lambdas);
+    let (lambdas, nu_star) = solve_linear_penalty(problem, a_star)?;
+    let sol = problem.solution_from(lambdas, Some(nu_star));
     if sol.power <= power_cap * (1.0 + 1e-9) {
         return Ok(sol);
     }
@@ -386,55 +399,74 @@ pub fn solve_with_power_cap(
         .zip(&floor_sol.lambdas)
         .map(|(a, b)| (1.0 - theta) * a + theta * b)
         .collect();
-    Ok(problem.solution_from(blended))
+    Ok(problem.solution_from(blended, None))
 }
 
-/// Water-filling for the smooth relaxation with a fixed linear energy weight
-/// `a_eff` (the `[·]⁺` replaced by identity):
-/// `min Σ mᵢ(a_eff·cᵢ·λᵢ + W·λᵢ/(Xᵢ−λᵢ))` s.t. `Σ mᵢλᵢ = λ`, `0 ≤ λᵢ ≤ uᵢ`.
-///
-/// The KKT stationarity condition (multiplicities cancel) gives
-/// `λᵢ(ν) = clip(Xᵢ − √(W·Xᵢ/(ν − a_eff·cᵢ)), 0, uᵢ)`, non-decreasing in the
-/// multiplier ν, so the coupling constraint is met by bisection.
-fn solve_linear_penalty(problem: &LoadDistProblem<'_>, a_eff: f64) -> Result<Vec<f64>> {
-    let w = problem.delay_weight;
-    let lam = problem.total_load;
-    let queues = problem.queues;
+// The helpers below sit on the per-proposal delta-update path of the GSD
+// engines (via `WarmWaterfill`): they must stay allocation-free.
+// audit:hot-path: begin
 
-    let lambda_of = |nu: f64| -> Vec<f64> {
-        queues
-            .iter()
-            .map(|q| {
-                debug_assert!(q.capacity > 0.0, "validated at entry");
-                let gap = nu - a_eff * q.energy_slope;
-                if gap <= w / q.capacity {
-                    // marginal cost at λᵢ=0 already exceeds the water level
-                    0.0
-                } else {
-                    (q.capacity - (w * q.capacity / gap).sqrt()).clamp(0.0, q.util_cap)
-                }
-            })
-            .collect()
-    };
-    let total_of = |nu: f64| -> f64 {
-        lambda_of(nu).iter().zip(queues).map(|(l, q)| l * q.multiplicity).sum()
-    };
+/// Closed-form per-queue load at water level `nu` for a fixed linear energy
+/// weight `a_eff` — the KKT stationarity condition
+/// `λᵢ(ν) = clip(Xᵢ − √(W·Xᵢ/(ν − a_eff·cᵢ)), 0, uᵢ)`. Shared verbatim by
+/// the cold and the warm-started solver so the two paths are bit-identical
+/// at equal water levels.
+#[inline]
+fn lambda_at(q: &QueueSpec, nu: f64, a_eff: f64, w: f64) -> f64 {
+    debug_assert!(q.capacity > 0.0, "validated at entry");
+    let gap = nu - a_eff * q.energy_slope;
+    if gap <= w / q.capacity {
+        // marginal cost at λᵢ=0 already exceeds the water level
+        0.0
+    } else {
+        (q.capacity - (w * q.capacity / gap).sqrt()).clamp(0.0, q.util_cap)
+    }
+}
 
-    // Lower bracket: the smallest marginal cost at zero load.
-    let nu_lo = queues
-        .iter()
-        .map(|q| a_eff * q.energy_slope + w / q.capacity)
-        .fold(f64::INFINITY, f64::min);
-    // Upper bracket: grow until the water level covers the demand.
-    let start = (nu_lo.abs().max(1.0)) * 2.0;
-    let nu_hi = grow_upper_bracket(start, |nu| total_of(nu) - lam, 200)?;
+/// Aggregate load and its ν-derivative in one pass, writing each row's
+/// clipped load (exactly [`lambda_at`]'s value) into `out`. For an interior
+/// row, λᵢ = Xᵢ − √(W·Xᵢ/gap) gives dλᵢ/dν = (Xᵢ − λᵢ)/(2·gap); rows
+/// clipped at 0 or uᵢ contribute zero slope. The slope reuses the √ already
+/// computed for the load, so a Newton evaluation costs the same as a plain
+/// one, and the caller can use the rows of the accepting evaluation as the
+/// final loads without another pass.
+fn total_slope_into(
+    queues: &[QueueSpec],
+    nu: f64,
+    a_eff: f64,
+    w: f64,
+    out: &mut Vec<f64>,
+) -> (f64, f64) {
+    out.clear();
+    let mut total = 0.0;
+    let mut slope = 0.0;
+    debug_assert!(queues.iter().all(|q| q.capacity > 0.0), "validated at entry");
+    for q in queues {
+        let gap = nu - a_eff * q.energy_slope;
+        if gap <= w / q.capacity {
+            out.push(0.0);
+            continue;
+        }
+        debug_assert!(gap > 0.0, "positive by the branch above");
+        // gap > W/Xᵢ implies √(W·Xᵢ/gap) < Xᵢ, so the unclipped load is
+        // strictly positive here.
+        let root = (w * q.capacity / gap).sqrt();
+        let l = q.capacity - root;
+        if l >= q.util_cap {
+            out.push(q.util_cap);
+            total += q.multiplicity * q.util_cap;
+        } else {
+            out.push(l);
+            total += q.multiplicity * l;
+            slope += q.multiplicity * root / (2.0 * gap);
+        }
+    }
+    (total, slope)
+}
 
-    let opts = BisectOptions { x_tol: 0.0, f_tol: lam * 1e-12, max_iter: 200 };
-    let nu = bisect_increasing(nu_lo, nu_hi, |nu| total_of(nu) - lam, opts)?;
-    let mut lambdas = lambda_of(nu);
-
-    // Remove the residual bisection error by rescaling the interior
-    // coordinates (those strictly between the bounds absorb the slack).
+/// Removes the residual bisection error by rescaling the interior
+/// coordinates (those strictly between the bounds absorb the slack).
+fn rescale_interior(lambdas: &mut [f64], queues: &[QueueSpec], lam: f64) {
     let total: f64 = lambdas.iter().zip(queues).map(|(l, q)| l * q.multiplicity).sum();
     let slack = lam - total;
     if slack.abs() > 0.0 {
@@ -453,10 +485,479 @@ fn solve_linear_penalty(problem: &LoadDistProblem<'_>, a_eff: f64) -> Result<Vec
         } else if slack > 0.0 {
             // All active coordinates are pinned; spread the remainder over
             // queues with headroom (rare: only when bisection stopped early).
-            distribute_remainder(&mut lambdas, queues, slack);
+            distribute_remainder(lambdas, queues, slack);
         }
     }
-    Ok(lambdas)
+}
+
+// audit:hot-path: end
+
+/// Lower bisection bracket: the smallest marginal cost at zero load. The
+/// aggregate load is exactly zero at this water level, so it always sits
+/// weakly below the root.
+fn nu_lower_bound(queues: &[QueueSpec], a_eff: f64, w: f64) -> f64 {
+    debug_assert!(queues.iter().all(|q| q.capacity > 0.0), "validated at entry");
+    queues
+        .iter()
+        .map(|q| a_eff * q.energy_slope + w / q.capacity)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Shared bisection tolerances for the water-level search (identical for
+/// the cold and warm paths — warm starting changes the bracket, never the
+/// stopping rule, so the two agree to bisection tolerance).
+fn nu_bisect_options(lam: f64) -> BisectOptions {
+    BisectOptions { x_tol: 0.0, f_tol: lam * 1e-12, max_iter: 200 }
+}
+
+/// Water-filling for the smooth relaxation with a fixed linear energy weight
+/// `a_eff` (the `[·]⁺` replaced by identity):
+/// `min Σ mᵢ(a_eff·cᵢ·λᵢ + W·λᵢ/(Xᵢ−λᵢ))` s.t. `Σ mᵢλᵢ = λ`, `0 ≤ λᵢ ≤ uᵢ`.
+///
+/// The per-queue load [`lambda_at`] is non-decreasing in the multiplier ν,
+/// so the coupling constraint is met by bisection. Returns the loads and
+/// the water level ν they were generated from.
+fn solve_linear_penalty(problem: &LoadDistProblem<'_>, a_eff: f64) -> Result<(Vec<f64>, f64)> {
+    let w = problem.delay_weight;
+    let lam = problem.total_load;
+    let queues = problem.queues;
+
+    let total_of = |nu: f64| -> f64 {
+        queues.iter().map(|q| q.multiplicity * lambda_at(q, nu, a_eff, w)).sum()
+    };
+
+    let nu_lo = nu_lower_bound(queues, a_eff, w);
+    // Upper bracket: grow until the water level covers the demand.
+    let start = (nu_lo.abs().max(1.0)) * 2.0;
+    let nu_hi = grow_upper_bracket(start, |nu| total_of(nu) - lam, 200)?;
+
+    let nu = bisect_increasing(nu_lo, nu_hi, |nu| total_of(nu) - lam, nu_bisect_options(lam))?;
+    let mut lambdas: Vec<f64> = queues.iter().map(|q| lambda_at(q, nu, a_eff, w)).collect();
+    rescale_interior(&mut lambdas, queues, lam);
+    Ok((lambdas, nu))
+}
+
+/// Relative half-width of the warm bisection bracket seeded from the
+/// previous water level. A single-group flip in a ~200-group fleet moves ν
+/// by far less than this; a miss only costs the two sign-check evaluations
+/// before the cold fallback. Public so the distributed GSD coordinator
+/// applies the identical warm-bracket/fallback rule.
+pub const WARM_BRACKET_SPAN: f64 = 0.05;
+
+/// Scalar outcome of a [`WarmWaterfill::solve`]. The per-queue loads stay
+/// in the solver's scratch buffer — read them via
+/// [`WarmWaterfill::lambdas`] — so the hot loop never allocates a result
+/// vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use]
+pub struct WarmOutcome {
+    /// Objective value `A·[power − r]⁺ + W·Σ mᵢ dᵢ`.
+    pub objective: f64,
+    /// Total power `P₀ + Σ mᵢ cᵢ λᵢ`.
+    pub power: f64,
+    /// Total (unweighted) delay cost.
+    pub delay: f64,
+    /// Water level ν of the winning regime (`None` on closed-form paths:
+    /// zero load, saturated caps, `W = 0` greedy).
+    pub water_level: Option<f64>,
+}
+
+/// Warm-started, allocation-free re-solver for *streams* of nearby
+/// load-distribution problems — the per-proposal cost oracle of the GSD
+/// engines, where each Gibbs proposal flips one group's speed level and the
+/// optimal water level drifts only slightly.
+///
+/// Differences from the cold [`solve`]:
+///
+/// * **Warm brackets.** The previous water level ν (one slot per penalty
+///   regime) and boundary weight μ seed the next bisection bracket
+///   (±[`WARM_BRACKET_SPAN`] relative). Because [`bisect_increasing`]
+///   clamps to an endpoint when the root lies outside the bracket, a warm
+///   bracket is only used after verifying `f(lo) ≤ 0 ≤ f(hi)`; on a miss
+///   the solver falls back to the cold bracket
+///   (`nu_lower_bound` + [`grow_upper_bracket`]).
+/// * **Scratch buffers.** Per-queue loads live in reusable buffers; the
+///   steady-state solve performs no heap allocation.
+///
+/// Both searches run [`illinois_increasing`] with the *same stopping
+/// tolerances* as the cold path's bisections, so results agree with
+/// [`solve`] to the stopping-tolerance band (≤ 1e-9 relative on the
+/// objective — pinned by the differential property test in `coca-core`),
+/// and the paper-invariant hooks (load conservation + KKT residual) fire on
+/// every warm solve exactly as they do in [`solve`].
+#[derive(Debug, Default)]
+pub struct WarmWaterfill {
+    /// Previous water level of the electricity-active regime (`a_eff = A`).
+    nu_active: Option<f64>,
+    /// Previous water level of the renewable-slack regime (`a_eff = 0`).
+    nu_slack: Option<f64>,
+    /// Previous water level seen inside the kink μ-search trials.
+    nu_kink: Option<f64>,
+    /// Previous boundary weight μ* of the kink regime.
+    mu: Option<f64>,
+    /// Per-queue loads of the winning candidate after [`Self::solve`].
+    lambdas: Vec<f64>,
+    /// Candidate buffer for the regime comparison (swapped, never cloned).
+    scratch: Vec<f64>,
+    /// Water-level function evaluations spent in the most recent solve
+    /// (each one is an O(queues) pass; the cold path spends roughly
+    /// 50–250 of these per regime, the warm path a handful).
+    pub last_evals: u64,
+}
+
+impl WarmWaterfill {
+    /// Fresh solver with no warm-start state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all warm brackets (e.g. when the slot parameters change so the
+    /// previous water level is no longer informative).
+    pub fn reset(&mut self) {
+        self.nu_active = None;
+        self.nu_slack = None;
+        self.nu_kink = None;
+        self.mu = None;
+        self.last_evals = 0;
+    }
+
+    /// Per-queue loads of the most recent [`Self::solve`] (same order as
+    /// the input queue types).
+    pub fn lambdas(&self) -> &[f64] {
+        &self.lambdas
+    }
+
+    /// Solves the load-distribution problem, reusing warm-start state from
+    /// the previous call. Fires the same paper-invariant hooks as the cold
+    /// [`solve`].
+    ///
+    /// # Errors
+    /// Same contract as [`solve`]: invalid input, infeasible load, or a
+    /// bisection that fails to converge.
+    pub fn solve(&mut self, problem: &LoadDistProblem<'_>) -> Result<WarmOutcome> {
+        self.last_evals = 0;
+        let out = self.solve_inner(problem)?;
+        let inv = crate::invariant::global();
+        inv.load_conserved(problem.dispatched(&self.lambdas), problem.total_load);
+        inv.kkt(problem, &self.lambdas);
+        Ok(out)
+    }
+
+    /// Scalar summary of the loads currently held in `self.lambdas`.
+    fn outcome_of(&self, problem: &LoadDistProblem<'_>, water_level: Option<f64>) -> WarmOutcome {
+        self.outcome_with_power(problem, problem.power(&self.lambdas), water_level)
+    }
+
+    /// [`Self::outcome_of`] when the caller already computed the facility
+    /// power of `self.lambdas` — skips one O(n) pass on the hot path.
+    fn outcome_with_power(
+        &self,
+        problem: &LoadDistProblem<'_>,
+        power: f64,
+        water_level: Option<f64>,
+    ) -> WarmOutcome {
+        let delay = problem.delay(&self.lambdas);
+        let objective =
+            problem.energy_weight * pos(power - problem.renewable) + problem.delay_weight * delay;
+        WarmOutcome { objective, power, delay, water_level }
+    }
+
+    /// Mirrors [`solve_unchecked`] branch for branch; only the bracket
+    /// seeding and the buffer management differ.
+    fn solve_inner(&mut self, problem: &LoadDistProblem<'_>) -> Result<WarmOutcome> {
+        problem.validate()?;
+        let n = problem.queues.len();
+        let lam = problem.total_load;
+        self.lambdas.clear();
+        self.lambdas.resize(n, 0.0);
+        // validate() guarantees lam >= 0, so `<=` is the exact-zero test.
+        if lam <= 0.0 {
+            return Ok(self.outcome_of(problem, None));
+        }
+        if n == 0 {
+            return Err(OptError::Infeasible("positive load but no active queues".into()));
+        }
+        let cap = problem.capped_capacity();
+        if lam > cap * (1.0 + 1e-12) {
+            return Err(OptError::Infeasible(format!(
+                "total load {lam} exceeds capped capacity {cap}"
+            )));
+        }
+        // Saturated case: every queue pinned at (a fraction of) its cap.
+        if lam >= cap * (1.0 - 1e-12) {
+            for (l, q) in self.lambdas.iter_mut().zip(problem.queues) {
+                *l = q.util_cap * (lam / cap);
+            }
+            return Ok(self.outcome_of(problem, None));
+        }
+        // W = 0 degenerates to the greedy LP; it needs a sort permutation,
+        // so delegate to the cold path (the per-slot oracle always has
+        // W = V·β > 0, so this never runs inside the proposal loop).
+        if problem.delay_weight <= 0.0 {
+            let sol = solve_linear_greedy(problem)?;
+            self.lambdas.copy_from_slice(&sol.lambdas);
+            return Ok(WarmOutcome {
+                objective: sol.objective,
+                power: sol.power,
+                delay: sol.delay,
+                water_level: None,
+            });
+        }
+
+        let r = problem.renewable;
+
+        // Regime 1: electricity-active (penalty weight = A everywhere).
+        let nu_active = self.penalty_into_scratch(problem, problem.energy_weight, self.nu_active)?;
+        self.nu_active = Some(nu_active);
+        std::mem::swap(&mut self.lambdas, &mut self.scratch);
+        let p_active = problem.power(&self.lambdas);
+        if p_active >= r * (1.0 - KINK_TOL) || problem.energy_weight <= 0.0 {
+            return Ok(self.outcome_with_power(problem, p_active, Some(nu_active)));
+        }
+        let mut best_obj = problem.objective(&self.lambdas);
+        let mut best_nu = nu_active;
+
+        // Regime 2: renewable-slack (penalty weight = 0).
+        let nu_slack = self.penalty_into_scratch(problem, 0.0, self.nu_slack)?;
+        self.nu_slack = Some(nu_slack);
+        let p_slack = problem.power(&self.scratch);
+        if p_slack <= r * (1.0 + KINK_TOL) {
+            std::mem::swap(&mut self.lambdas, &mut self.scratch);
+            return Ok(self.outcome_with_power(problem, p_slack, Some(nu_slack)));
+        }
+        let obj_slack = problem.objective(&self.scratch);
+        if obj_slack < best_obj {
+            std::mem::swap(&mut self.lambdas, &mut self.scratch);
+            best_obj = obj_slack;
+            best_nu = nu_slack;
+        }
+
+        // Regime 3: the optimum pins total power to r; bisect the effective
+        // energy weight μ ∈ [0, A] exactly as the cold path does, but seed
+        // the bracket from the previous μ*.
+        let mu = self.bisect_mu(problem)?;
+        self.mu = Some(mu);
+        let nu_kink = self.penalty_into_scratch(problem, mu, self.nu_kink)?;
+        self.nu_kink = Some(nu_kink);
+        let obj_kink = problem.objective(&self.scratch);
+        if !best_obj.is_finite() || !obj_kink.is_finite() {
+            return Err(OptError::NonFinite(format!(
+                "candidate objectives {best_obj}/{obj_kink} in warm regime selection"
+            )));
+        }
+        if obj_kink < best_obj {
+            std::mem::swap(&mut self.lambdas, &mut self.scratch);
+            best_nu = nu_kink;
+        }
+        Ok(self.outcome_of(problem, Some(best_nu)))
+    }
+
+    /// Kink-regime μ-search: `g(μ) = r − power(μ)` is increasing in μ. The
+    /// bracket is seeded from the previous μ* (±[`WARM_BRACKET_SPAN`]·A),
+    /// sign-verified, and widened back to the cold `[0, A]` on a miss.
+    fn bisect_mu(&mut self, problem: &LoadDistProblem<'_>) -> Result<f64> {
+        let r = problem.renewable;
+        let a = problem.energy_weight;
+        // Same tight f_tol as the cold regime-3 search: kink objectives are
+        // first-order sensitive to the stopping power gap.
+        let opts = BisectOptions { x_tol: 0.0, f_tol: r.abs().max(1.0) * 1e-13, max_iter: 200 };
+        let power_gap = |this: &mut Self, mu: f64| -> f64 {
+            match this.penalty_into_scratch(problem, mu, this.nu_kink) {
+                Ok(nu) => {
+                    this.nu_kink = Some(nu);
+                    r - problem.power(&this.scratch)
+                }
+                Err(_) => f64::NAN,
+            }
+        };
+        // Each power_gap evaluation is a full inner ν-solve, so the warm
+        // bracket hands its verification values to the seeded search and a
+        // sign miss shrinks to the known-good side of `[0, A]` (the kink
+        // regime guarantees g(0) < 0 < g(A)) instead of restarting cold.
+        if let Some(prev) = self.mu {
+            if prev.is_finite() {
+                let half = WARM_BRACKET_SPAN * a;
+                let wlo = (prev - half).max(0.0);
+                let whi = (prev + half).min(a);
+                if wlo < whi {
+                    let glo = power_gap(self, wlo);
+                    if glo.is_finite() {
+                        if glo > 0.0 {
+                            let g0 = power_gap(self, 0.0);
+                            if g0.is_finite() && g0 <= 0.0 {
+                                return illinois_seeded(
+                                    0.0,
+                                    wlo,
+                                    g0,
+                                    glo,
+                                    |mu| power_gap(self, mu),
+                                    opts,
+                                );
+                            }
+                        } else {
+                            let ghi = power_gap(self, whi);
+                            if ghi.is_finite() && ghi >= 0.0 {
+                                return illinois_seeded(
+                                    wlo,
+                                    whi,
+                                    glo,
+                                    ghi,
+                                    |mu| power_gap(self, mu),
+                                    opts,
+                                );
+                            }
+                            if ghi.is_finite() && whi < a {
+                                let ga = power_gap(self, a);
+                                if ga.is_finite() && ga >= 0.0 {
+                                    return illinois_seeded(
+                                        whi,
+                                        a,
+                                        ghi,
+                                        ga,
+                                        |mu| power_gap(self, mu),
+                                        opts,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        illinois_increasing(0.0, a, |mu| power_gap(self, mu), opts)
+    }
+
+    /// Warm-bracketed [`solve_linear_penalty`]: same water-level search and
+    /// interior rescale, but the loads land in `self.scratch` and the
+    /// bracket is seeded from `warm` when the sign check passes.
+    fn penalty_into_scratch(
+        &mut self,
+        problem: &LoadDistProblem<'_>,
+        a_eff: f64,
+        warm: Option<f64>,
+    ) -> Result<f64> {
+        let w = problem.delay_weight;
+        let lam = problem.total_load;
+        let queues = problem.queues;
+        let evals = std::cell::Cell::new(0u64);
+
+        // audit:hot-path: begin
+        let total_of = |nu: f64| -> f64 {
+            evals.set(evals.get() + 1);
+            queues.iter().map(|q| q.multiplicity * lambda_at(q, nu, a_eff, w)).sum()
+        };
+        let nu_lo = nu_lower_bound(queues, a_eff, w);
+        let opts = nu_bisect_options(lam);
+        // Newton from the previous slot's water level: `g` is piecewise
+        // concave and increasing, so from a warm start the iteration
+        // typically lands within `f_tol` in 2–3 evaluations — the stopping
+        // rule is the same `|g| ≤ f_tol` as the bracketed search, so the
+        // answer agrees with it (and with cold bisection) to tolerance.
+        // Each evaluation writes the row loads into `self.scratch`, so the
+        // accepting iteration IS the final fill — no extra O(n) pass.
+        // Activation kinks can make Newton oscillate; any sign of trouble
+        // (flat slope, leaving the domain, iteration cap) falls through to
+        // the sign-safe bracketed search below.
+        if let Some(prev) = warm {
+            if prev.is_finite() && prev > nu_lo {
+                let mut nu = prev;
+                for _ in 0..8 {
+                    evals.set(evals.get() + 1);
+                    let (total, slope) =
+                        total_slope_into(queues, nu, a_eff, w, &mut self.scratch);
+                    let g = total - lam;
+                    if !g.is_finite() {
+                        break;
+                    }
+                    if g.abs() <= opts.f_tol {
+                        rescale_interior(&mut self.scratch, queues, lam);
+                        self.last_evals += evals.get();
+                        return Ok(nu);
+                    }
+                    if !(slope > 0.0) {
+                        break;
+                    }
+                    let next = nu - g / slope;
+                    if !next.is_finite() || next <= nu_lo {
+                        break;
+                    }
+                    nu = next;
+                }
+            }
+        }
+        // Warm bracket `prev·(1 ± span)`, sign-verified before use
+        // (`bisect_increasing`/Illinois clamp to an endpoint on a violated
+        // bracket, so an unverified bracket would silently return a wrong
+        // level). Every verification evaluation is handed to
+        // [`illinois_seeded`] instead of being recomputed, and a miss keeps
+        // the sign information: a root below the warm bracket is bracketed
+        // by `[nu_lo, lo]` for free (aggregate load is exactly zero at
+        // `nu_lo`, so `f(nu_lo) = −λ`), a root above it grows upward from
+        // `hi` instead of restarting cold.
+        let nu = 'search: {
+            if let Some(prev) = warm {
+                // The root always sits above nu_lo (aggregate load is zero
+                // there), so a previous level at or below it cannot bracket.
+                if prev.is_finite() && prev > nu_lo {
+                    let lo = (prev * (1.0 - WARM_BRACKET_SPAN)).max(nu_lo);
+                    let hi = prev * (1.0 + WARM_BRACKET_SPAN);
+                    let glo = total_of(lo) - lam;
+                    if !glo.is_finite() {
+                        // Terminal error path, never taken per-proposal. audit:allow(hot-alloc)
+                        return Err(OptError::NonFinite(format!("f({lo}) = {glo}")));
+                    }
+                    if glo > 0.0 {
+                        break 'search illinois_seeded(
+                            nu_lo,
+                            lo,
+                            -lam,
+                            glo,
+                            |nu| total_of(nu) - lam,
+                            opts,
+                        )?;
+                    }
+                    let ghi = total_of(hi) - lam;
+                    if !ghi.is_finite() {
+                        // Terminal error path, never taken per-proposal. audit:allow(hot-alloc)
+                        return Err(OptError::NonFinite(format!("f({hi}) = {ghi}")));
+                    }
+                    if ghi >= 0.0 {
+                        break 'search illinois_seeded(
+                            lo,
+                            hi,
+                            glo,
+                            ghi,
+                            |nu| total_of(nu) - lam,
+                            opts,
+                        )?;
+                    }
+                    let nu_hi = grow_upper_bracket(hi * 2.0, |nu| total_of(nu) - lam, 200)?;
+                    break 'search illinois_seeded(
+                        hi,
+                        nu_hi,
+                        ghi,
+                        total_of(nu_hi) - lam,
+                        |nu| total_of(nu) - lam,
+                        opts,
+                    )?;
+                }
+            }
+            // Cold path (no usable previous level): grow the upper bracket
+            // by doubling, exactly like `solve_linear_penalty`.
+            let start = (nu_lo.abs().max(1.0)) * 2.0;
+            let nu_hi = grow_upper_bracket(start, |nu| total_of(nu) - lam, 200)?;
+            illinois_increasing(nu_lo, nu_hi, |nu| total_of(nu) - lam, opts)?
+        };
+
+        self.scratch.clear();
+        for q in queues {
+            self.scratch.push(lambda_at(q, nu, a_eff, w));
+        }
+        rescale_interior(&mut self.scratch, queues, lam);
+        // audit:hot-path: end
+        self.last_evals += evals.get();
+        Ok(nu)
+    }
 }
 
 /// Greedy fill by ascending marginal energy cost for the `W = 0` LP.
@@ -488,7 +989,7 @@ fn solve_linear_greedy(problem: &LoadDistProblem<'_>) -> Result<LoadDistSolution
     if remaining > problem.total_load * 1e-12 {
         return Err(OptError::Infeasible(format!("greedy fill left {remaining} unassigned")));
     }
-    Ok(problem.solution_from(lambdas))
+    Ok(problem.solution_from(lambdas, None))
 }
 
 fn distribute_remainder(lambdas: &mut [f64], queues: &[QueueSpec], mut slack: f64) {
@@ -818,6 +1319,66 @@ mod tests {
         let p = problem(&qs, 10.0, 1.0, 1.0, 0.0);
         let r = solve_with_power_cap(&p, 0.1);
         assert!(matches!(r, Err(OptError::Infeasible(_))));
+    }
+
+    #[test]
+    fn warm_solver_matches_cold_across_regime_transitions() {
+        let qs = vec![
+            QueueSpec::single(10.0, 9.0, 1.0),
+            QueueSpec { capacity: 10.0, util_cap: 9.0, energy_slope: 3.0, multiplicity: 2.0 },
+        ];
+        let mut warm = WarmWaterfill::new();
+        // One solver instance across the sweep so warm brackets carry over
+        // regime transitions (active → kink → slack → kink again).
+        for &(lam, a, w, r) in &[
+            (10.0, 50.0, 1.0, 0.0),  // electricity-active
+            (16.0, 50.0, 1.0, 16.0), // boundary kink
+            (10.0, 50.0, 1.0, 1e9),  // renewable-slack
+            (16.5, 50.0, 1.0, 16.0), // kink revisited with drifted load
+            (10.1, 50.0, 1.0, 0.0),  // back to active
+        ] {
+            let p = problem(&qs, lam, a, w, r);
+            let cold = solve(&p).unwrap();
+            let out = warm.solve(&p).unwrap();
+            let scale = cold.objective.abs().max(1.0);
+            assert!(
+                (out.objective - cold.objective).abs() <= 1e-9 * scale,
+                "objective warm {} vs cold {} at (λ={lam}, A={a}, W={w}, r={r})",
+                out.objective,
+                cold.objective
+            );
+            for (wl, cl) in warm.lambdas().iter().zip(&cold.lambdas) {
+                assert!((wl - cl).abs() <= 1e-9 * cl.abs().max(1.0), "{wl} vs {cl}");
+            }
+            let (Some(wn), Some(cn)) = (out.water_level, cold.water_level) else {
+                panic!("both paths should report a water level");
+            };
+            assert!((wn - cn).abs() <= 1e-6 * cn.abs().max(1.0), "ν warm {wn} vs cold {cn}");
+        }
+    }
+
+    #[test]
+    fn warm_solver_handles_degenerate_paths() {
+        let qs = homogeneous(3, 10.0, 0.9, 0.1);
+        let mut warm = WarmWaterfill::new();
+        // Zero load.
+        let out = warm.solve(&problem(&qs, 0.0, 1.0, 1.0, 0.0)).unwrap();
+        assert_eq!(out.objective, 0.0);
+        assert!(warm.lambdas().iter().all(|&l| l == 0.0));
+        assert!(out.water_level.is_none());
+        // Saturated.
+        let out = warm.solve(&problem(&qs, 27.0, 1.0, 1.0, 0.0)).unwrap();
+        assert!(warm.lambdas().iter().all(|&l| (l - 9.0).abs() < 1e-9));
+        // W = 0 greedy delegation.
+        let p = problem(&qs, 6.0, 1.0, 0.0, 0.0);
+        let out_greedy = warm.solve(&p).unwrap();
+        let cold = solve(&p).unwrap();
+        assert!((out_greedy.objective - cold.objective).abs() < 1e-12);
+        // Infeasible load.
+        assert!(matches!(
+            warm.solve(&problem(&qs, 28.0, 1.0, 1.0, 0.0)),
+            Err(OptError::Infeasible(_))
+        ));
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! No statistics, warm-up, or HTML reports: each benchmark runs its closure
 //! a fixed number of iterations and prints the mean wall-clock time. That is
 //! enough for `cargo bench` to build and run the harness-free bench targets
-//! offline and give a rough relative signal.
+//! offline and give a rough relative signal. Real criterion's `--test` flag
+//! is honored (`cargo bench -- --test` runs every closure exactly once) so
+//! CI can smoke the bench targets cheaply.
 #![deny(missing_docs, unsafe_code)]
 
 use std::fmt;
@@ -17,6 +19,18 @@ use std::time::Instant;
 /// runs exist to keep the bench targets compiling and smoke-running, not to
 /// produce publication-grade numbers.
 const ITERS: u32 = 10;
+
+/// Iteration count honoring real criterion's `--test` flag (`cargo bench
+/// -- --test` runs each benchmark exactly once, with no timing claims):
+/// the CI smoke job uses it to check the bench targets still run without
+/// paying for full timed iterations.
+fn iters_from_args() -> u32 {
+    if std::env::args().any(|a| a == "--test") {
+        1
+    } else {
+        ITERS
+    }
+}
 
 /// Identifier for a parameterized benchmark.
 pub struct BenchmarkId {
@@ -75,7 +89,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { elapsed_ns: 0, iters: ITERS };
+        let mut b = Bencher { elapsed_ns: 0, iters: iters_from_args() };
         f(&mut b);
         self.report(&id.to_string(), &b);
         self
@@ -91,7 +105,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { elapsed_ns: 0, iters: ITERS };
+        let mut b = Bencher { elapsed_ns: 0, iters: iters_from_args() };
         f(&mut b, input);
         self.report(&id.to_string(), &b);
         self
