@@ -1,0 +1,43 @@
+//! Fixture: hand-rolled slot loops that bypass the streaming engine.
+//! Linted by `tests/lint_fixtures.rs`; never compiled.
+
+pub fn simulate_by_hand(trace: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for t in 0..trace.len() {
+        total += trace[t];
+    }
+    total
+}
+
+pub fn drive_env(env_trace: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for slot in 0..env_trace.len() {
+        acc += env_trace[slot];
+    }
+    acc
+}
+
+pub fn plan_by_hand(num_slots: usize) -> usize {
+    let mut n = 0;
+    for t in 0..num_slots {
+        n += t;
+    }
+    n
+}
+
+pub fn plain_index_loop(parts: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for pi in 0..parts.len() {
+        s += parts[pi];
+    }
+    s
+}
+
+pub fn waived_planner(trace: &[f64]) -> f64 {
+    let mut dual = 0.0;
+    // Offline dual sweep over the whole horizon. audit:allow(slot-loop)
+    for t in 0..trace.len() {
+        dual += trace[t];
+    }
+    dual
+}

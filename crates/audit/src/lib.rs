@@ -29,6 +29,11 @@
 //!   per-proposal delta-update paths of the incremental P3 engine, which
 //!   run ~500× per slot and must stay allocation-free; reusing retained
 //!   scratch capacity (`clear()` + `push`) is allowed.
+//! - [`rules::SLOT_LOOP`] — no hand-rolled per-slot simulation loops
+//!   (`for t in 0..trace.len()` patterns) in non-test code outside
+//!   `crates/dcsim/src/engine.rs` and the traces crate. All per-slot
+//!   passes must flow through `SimEngine`/`SlotSource` so lockstep runs,
+//!   checkpointing, and record routing share one set of semantics.
 //!
 //! Any finding can be waived with a `// audit:allow(<rule>)` comment on
 //! the offending line or the line above it; waivers are reported and

@@ -14,6 +14,8 @@ pub const NAN_GUARD: &str = "nan-guard";
 pub const MUST_USE: &str = "must-use";
 /// Rule id: no heap allocation inside declared `audit:hot-path` regions.
 pub const HOT_ALLOC: &str = "hot-alloc";
+/// Rule id: no hand-rolled slot loops outside the streaming engine.
+pub const SLOT_LOOP: &str = "slot-loop";
 
 /// Solver hot paths: a panic or NaN here aborts or corrupts the per-slot
 /// control loop whose behavior the paper's Theorem 2 bounds.
@@ -32,6 +34,11 @@ const HOT_PATHS: &[&str] = &[
 /// `#[must_use]`.
 const MUST_USE_CRATES: &[&str] = &["crates/opt/", "crates/core/", "crates/dcsim/"];
 
+/// Files allowed to iterate slot indices by hand: the streaming engine
+/// itself, and the traces crate (trace synthesis/serialization is inherently
+/// an indexed pass and produces the very data the engine streams).
+const SLOT_LOOP_ALLOWED: &[&str] = &["crates/dcsim/src/engine.rs", "crates/traces/"];
+
 /// How many preceding lines count as "nearby" when looking for a guard
 /// before a NaN-capable operation.
 const GUARD_WINDOW: usize = 12;
@@ -45,6 +52,9 @@ pub fn apply_all(file: &SourceFile, report: &mut Report) {
     }
     float_eq(file, report);
     hot_alloc(file, report);
+    if !SLOT_LOOP_ALLOWED.iter().any(|p| file.path.contains(p)) {
+        slot_loop(file, report);
+    }
     if MUST_USE_CRATES.iter().any(|p| file.path.contains(p)) {
         must_use(file, report);
     }
@@ -381,6 +391,65 @@ fn hot_alloc(file: &SourceFile, report: &mut Report) {
     }
 }
 
+/// `slot-loop`: a hand-rolled per-slot simulation loop (`for t in
+/// 0..trace.len()` and friends) in non-test code outside the engine
+/// module. Every per-slot pass must go through `SimEngine`/`SlotSource`
+/// so lockstep runs, checkpointing, and record routing stay uniform; a
+/// bespoke loop silently forks the simulation semantics.
+///
+/// A loop is "slotty" when it ranges over `0..bound` and either the loop
+/// variable is `t`/`slot`, or the bound mentions a trace/env/slot-named
+/// quantity. Plain index loops (`for pi in 0..parts.len()`) are untouched.
+fn slot_loop(file: &SourceFile, report: &mut Report) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let mut from = 0;
+        while let Some(off) = code[from..].find("for ") {
+            let at = from + off;
+            from = at + 4;
+            // Word boundary: don't fire inside identifiers like `wait_for `.
+            if at > 0 {
+                let b = code.as_bytes()[at - 1];
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    continue;
+                }
+            }
+            let Some(var) = leading_ident(code, at + 4) else { continue };
+            let rest = &code[at + 4 + var.len()..];
+            let Some(range) = rest.strip_prefix(" in 0..") else { continue };
+            let range = range.strip_prefix('=').unwrap_or(range);
+            let bound: String = range
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | '(' | ')'))
+                .collect();
+            if bound.is_empty() {
+                continue;
+            }
+            let slotty_var = var == "t" || var == "slot";
+            let receiver = bound.strip_suffix(".len()").unwrap_or(&bound);
+            let recv_key = receiver.rsplit('.').next().unwrap_or(receiver).to_lowercase();
+            let slotty_bound =
+                recv_key.contains("trace") || recv_key.contains("env") || recv_key.contains("slot");
+            let over_len = bound.ends_with(".len()");
+            if (over_len && (slotty_var || slotty_bound)) || (slotty_var && slotty_bound) {
+                emit(
+                    file,
+                    idx,
+                    SLOT_LOOP,
+                    format!(
+                        "hand-rolled slot loop `for {var} in 0..{bound}`; \
+                         drive slots through `SimEngine`/`SlotSource` instead"
+                    ),
+                    report,
+                );
+            }
+        }
+    }
+}
+
 /// `must-use`: `pub struct Foo{Solution,Outcome,Result}` must carry
 /// `#[must_use]` among its attributes.
 fn must_use(file: &SourceFile, report: &mut Report) {
@@ -547,6 +616,28 @@ fn delta(&mut self) {
         let src = "fn f(w: usize) { let m: Option<f64> = if w == 0 { Some(0.5) } else { None }; }\n";
         let r = lint("crates/dcsim/src/engine.rs", src);
         assert_eq!(r.unwaived_count(), 0, "{r}");
+    }
+
+    #[test]
+    fn slot_loop_flags_trace_iteration_outside_the_engine() {
+        let bad = "fn f(trace: &[f64]) { for t in 0..trace.len() { g(t); } }\n";
+        let r = lint("crates/experiments/src/figures.rs", bad);
+        assert_eq!(r.unwaived().filter(|v| v.rule == SLOT_LOOP).count(), 1, "{r}");
+        let planner = "fn f(num_slots: usize) { for t in 0..num_slots { g(t); } }\n";
+        let r = lint("crates/baselines/src/offline.rs", planner);
+        assert_eq!(r.unwaived().filter(|v| v.rule == SLOT_LOOP).count(), 1, "{r}");
+    }
+
+    #[test]
+    fn slot_loop_allows_engine_traces_and_plain_index_loops() {
+        let bad = "fn f(trace: &[f64]) { for t in 0..trace.len() { g(t); } }\n";
+        let engine = lint("crates/dcsim/src/engine.rs", bad);
+        assert_eq!(engine.unwaived().filter(|v| v.rule == SLOT_LOOP).count(), 0, "{engine}");
+        let traces = lint("crates/traces/src/csv.rs", bad);
+        assert_eq!(traces.unwaived().filter(|v| v.rule == SLOT_LOOP).count(), 0, "{traces}");
+        let plain = "fn f(parts: &[f64]) { for pi in 0..parts.len() { g(pi); } }\n";
+        let r = lint("crates/core/src/symmetric.rs", plain);
+        assert_eq!(r.unwaived().filter(|v| v.rule == SLOT_LOOP).count(), 0, "{r}");
     }
 
     #[test]

@@ -122,6 +122,35 @@ fn hot_alloc_fixture_flags_allocations_in_declared_regions_only() {
 }
 
 #[test]
+fn slot_loop_fixture_flags_hand_rolled_slot_loops() {
+    let r = lint_fixture(
+        "crates/experiments/src/fixture.rs",
+        include_str!("../fixtures/slot_loop.rs"),
+    );
+    assert_eq!(
+        triples(&r),
+        vec![
+            ("slot-loop", 6, false),  // for t in 0..trace.len()
+            ("slot-loop", 14, false), // for slot in 0..env_trace.len()
+            ("slot-loop", 22, false), // for t in 0..num_slots
+            ("slot-loop", 39, true),  // waived via audit:allow(slot-loop)
+        ],
+        "{r}"
+    );
+}
+
+#[test]
+fn slot_loop_fixture_is_quiet_in_engine_and_traces() {
+    for allowed in ["crates/dcsim/src/engine.rs", "crates/traces/src/fixture.rs"] {
+        let r = lint_fixture(allowed, include_str!("../fixtures/slot_loop.rs"));
+        assert!(
+            r.violations.iter().all(|v| v.rule != "slot-loop"),
+            "{allowed}: {r}"
+        );
+    }
+}
+
+#[test]
 fn clean_fixture_passes_every_rule_even_on_a_hot_path() {
     let r = lint_fixture(
         "crates/core/src/solver.rs",

@@ -19,6 +19,7 @@ use coca_core::solver::P3Solver;
 use coca_dcsim::{Cluster, CostParams, Decision, Policy, SimError, SlotObservation};
 use coca_opt::dual::{solve_budget_dual, DualOptions};
 use coca_traces::EnvironmentTrace;
+use serde::{Deserialize as _, Serialize as _, Value};
 
 use crate::budgeted::solve_penalized;
 
@@ -192,6 +193,24 @@ impl Policy for OfflineOpt {
     fn reset(&mut self) {
         self.cursor = 0;
     }
+
+    /// The plan itself is immutable; only the replay cursor evolves.
+    fn snapshot(&self) -> coca_dcsim::Result<Value> {
+        let cursor = self
+            .cursor
+            .serialize_value()
+            .map_err(|e| SimError::Internal(format!("offline-opt snapshot: {e}")))?;
+        Ok(Value::Map(vec![("cursor".to_string(), cursor)]))
+    }
+
+    fn restore(&mut self, state: &Value) -> coca_dcsim::Result<()> {
+        let cursor = state.get_field("cursor").ok_or_else(|| {
+            SimError::InvalidConfig("offline-opt snapshot missing field `cursor`".into())
+        })?;
+        self.cursor = usize::deserialize_value(cursor)
+            .map_err(|e| SimError::InvalidConfig(format!("offline-opt snapshot: {e}")))?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -199,11 +218,12 @@ mod tests {
     use super::*;
     use crate::carbon_unaware::CarbonUnaware;
     use coca_core::symmetric::SymmetricSolver;
-    use coca_dcsim::SlotSimulator;
+    use coca_dcsim::{SimOutcome, SlotSimulator};
     use coca_traces::TraceConfig;
+    use std::sync::Arc;
 
-    fn setup(hours: usize) -> (Cluster, EnvironmentTrace) {
-        let cluster = Cluster::homogeneous(4, 20);
+    fn setup(hours: usize) -> (Arc<Cluster>, EnvironmentTrace) {
+        let cluster = Arc::new(Cluster::homogeneous(4, 20));
         let trace = TraceConfig {
             hours,
             peak_arrival_rate: 400.0,
@@ -215,17 +235,22 @@ mod tests {
         (cluster, trace)
     }
 
+    /// Carbon-unaware reference run through the engine (the budget
+    /// normalization the paper derives from this policy's consumption).
+    fn unaware_run(cluster: &Arc<Cluster>, cost: CostParams, trace: &EnvironmentTrace) -> SimOutcome {
+        let mut cu = CarbonUnaware::new(Arc::clone(cluster), cost, SymmetricSolver::new());
+        SlotSimulator::new(cluster, trace, cost, 0.0).run(&mut cu).unwrap()
+    }
+
+    fn unaware_consumption(cluster: &Arc<Cluster>, cost: CostParams, trace: &EnvironmentTrace) -> f64 {
+        unaware_run(cluster, cost, trace).total_brown_energy()
+    }
+
     #[test]
     fn meets_the_budget() {
         let (cluster, trace) = setup(96);
         let cost = CostParams::default();
-        let unaware = CarbonUnaware::annual_consumption(
-            &cluster,
-            cost,
-            &trace,
-            SymmetricSolver::new(),
-        )
-        .unwrap();
+        let unaware = unaware_consumption(&cluster, cost, &trace);
         let budget = unaware * 0.85;
         let mut solver = SymmetricSolver::new();
         let opt = OfflineOpt::plan(&cluster, cost, &trace, budget, &mut solver).unwrap();
@@ -245,8 +270,7 @@ mod tests {
         let mut solver = SymmetricSolver::new();
         let opt = OfflineOpt::plan(&cluster, cost, &trace, 1e12, &mut solver).unwrap();
         assert_eq!(opt.multipliers, vec![0.0]);
-        let cu = CarbonUnaware::simulate(&cluster, cost, &trace, SymmetricSolver::new(), 0.0)
-            .unwrap();
+        let cu = unaware_run(&cluster, cost, &trace);
         assert!(
             (opt.total_planned_cost() - cu.total_cost()).abs() < 1e-6 * cu.total_cost(),
             "μ=0 plan equals carbon-unaware: {} vs {}",
@@ -260,12 +284,7 @@ mod tests {
         let (cluster, trace) = setup(72);
         let cost = CostParams::default();
         let mut solver = SymmetricSolver::new();
-        let budget = {
-            let unaware =
-                CarbonUnaware::annual_consumption(&cluster, cost, &trace, SymmetricSolver::new())
-                    .unwrap();
-            unaware * 0.9
-        };
+        let budget = unaware_consumption(&cluster, cost, &trace) * 0.9;
         let mut opt = OfflineOpt::plan(&cluster, cost, &trace, budget, &mut solver).unwrap();
         let out = SlotSimulator::new(&cluster, &trace, cost, 0.0).run(&mut opt).unwrap();
         assert!((out.total_cost() - opt.total_planned_cost()).abs() < 1e-6 * out.total_cost());
@@ -279,9 +298,7 @@ mod tests {
     fn tighter_budget_costs_more() {
         let (cluster, trace) = setup(72);
         let cost = CostParams::default();
-        let unaware =
-            CarbonUnaware::annual_consumption(&cluster, cost, &trace, SymmetricSolver::new())
-                .unwrap();
+        let unaware = unaware_consumption(&cluster, cost, &trace);
         let mut last = -1.0;
         for frac in [1.0, 0.92, 0.85] {
             let mut solver = SymmetricSolver::new();
@@ -299,9 +316,7 @@ mod tests {
     fn lookahead_frames_cover_horizon() {
         let (cluster, trace) = setup(96);
         let cost = CostParams::default();
-        let unaware =
-            CarbonUnaware::annual_consumption(&cluster, cost, &trace, SymmetricSolver::new())
-                .unwrap();
+        let unaware = unaware_consumption(&cluster, cost, &trace);
         let mut solver = SymmetricSolver::new();
         let opt = OfflineOpt::plan_lookahead(&cluster, cost, &trace, unaware * 0.9, 24, &mut solver)
             .unwrap();
@@ -314,9 +329,7 @@ mod tests {
         // More lookahead can only help (paper: T-step family approaches P1).
         let (cluster, trace) = setup(96);
         let cost = CostParams::default();
-        let unaware =
-            CarbonUnaware::annual_consumption(&cluster, cost, &trace, SymmetricSolver::new())
-                .unwrap();
+        let unaware = unaware_consumption(&cluster, cost, &trace);
         let budget = unaware * 0.88;
         let mut s1 = SymmetricSolver::new();
         let full = OfflineOpt::plan(&cluster, cost, &trace, budget, &mut s1).unwrap();

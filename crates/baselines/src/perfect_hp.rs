@@ -16,15 +16,18 @@
 //! that's the paper's point: even with oracle short-term forecasts, myopic
 //! budget allocation loses to COCA's deficit-queue feedback.
 
+use std::sync::Arc;
+
 use coca_core::solver::P3Solver;
 use coca_dcsim::{Cluster, CostParams, Decision, Policy, SimError, SlotObservation};
 use coca_traces::EnvironmentTrace;
+use serde::{Deserialize as _, Serialize as _, Value};
 
 use crate::budgeted::solve_capped;
 
 /// The PerfectHP policy.
-pub struct PerfectHp<'a, S> {
-    cluster: &'a Cluster,
+pub struct PerfectHp<S> {
+    cluster: Arc<Cluster>,
     cost: CostParams,
     solver: S,
     /// Per-hour carbon budgets, precomputed for the whole horizon.
@@ -35,12 +38,12 @@ pub struct PerfectHp<'a, S> {
     pub abandoned_hours: usize,
 }
 
-impl<'a, S: P3Solver> PerfectHp<'a, S> {
+impl<S: P3Solver> PerfectHp<S> {
     /// Builds the policy from the full trace (used as the oracle predictor)
     /// and the REC total `Z`. `window` is the prediction horizon in slots
     /// (the paper uses 48).
     pub fn new(
-        cluster: &'a Cluster,
+        cluster: Arc<Cluster>,
         cost: CostParams,
         trace: &EnvironmentTrace,
         rec_total: f64,
@@ -54,7 +57,7 @@ impl<'a, S: P3Solver> PerfectHp<'a, S> {
 
     /// Same as [`PerfectHp::new`] with an explicit solver.
     pub fn with_solver(
-        cluster: &'a Cluster,
+        cluster: Arc<Cluster>,
         cost: CostParams,
         trace: &EnvironmentTrace,
         rec_total: f64,
@@ -96,7 +99,7 @@ impl<'a, S: P3Solver> PerfectHp<'a, S> {
     }
 }
 
-impl<S: P3Solver> Policy for PerfectHp<'_, S> {
+impl<S: P3Solver> Policy for PerfectHp<S> {
     fn name(&self) -> &str {
         "perfect-hp"
     }
@@ -109,7 +112,7 @@ impl<S: P3Solver> Policy for PerfectHp<'_, S> {
                 self.hourly_budget.len()
             ))
         })?;
-        let capped = solve_capped(&mut self.solver, self.cluster, &self.cost, obs, budget, 1e-6)?;
+        let capped = solve_capped(&mut self.solver, &self.cluster, &self.cost, obs, budget, 1e-6)?;
         if capped.budget_abandoned {
             self.abandoned_hours += 1;
         }
@@ -127,6 +130,32 @@ impl<S: P3Solver> Policy for PerfectHp<'_, S> {
         self.abandoned_hours = 0;
         self.solver.reset();
     }
+
+    /// The budget schedule is immutable after construction; only the
+    /// abandoned-hour diagnostic and the solver's warm state evolve.
+    fn snapshot(&self) -> coca_dcsim::Result<Value> {
+        let abandoned = self
+            .abandoned_hours
+            .serialize_value()
+            .map_err(|e| SimError::Internal(format!("perfect-hp snapshot: {e}")))?;
+        Ok(Value::Map(vec![
+            ("abandoned_hours".to_string(), abandoned),
+            ("solver".to_string(), self.solver.snapshot_state()?),
+        ]))
+    }
+
+    fn restore(&mut self, state: &Value) -> coca_dcsim::Result<()> {
+        let field = |name: &str| {
+            state.get_field(name).ok_or_else(|| {
+                SimError::InvalidConfig(format!("perfect-hp snapshot missing field `{name}`"))
+            })
+        };
+        let abandoned = usize::deserialize_value(field("abandoned_hours")?)
+            .map_err(|e| SimError::InvalidConfig(format!("perfect-hp snapshot: {e}")))?;
+        self.solver.restore_state(field("solver")?)?;
+        self.abandoned_hours = abandoned;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -136,8 +165,8 @@ mod tests {
     use coca_dcsim::SlotSimulator;
     use coca_traces::TraceConfig;
 
-    fn setup(hours: usize) -> (Cluster, EnvironmentTrace) {
-        let cluster = Cluster::homogeneous(4, 20);
+    fn setup(hours: usize) -> (Arc<Cluster>, EnvironmentTrace) {
+        let cluster = Arc::new(Cluster::homogeneous(4, 20));
         let trace = TraceConfig {
             hours,
             peak_arrival_rate: 400.0,
@@ -153,8 +182,8 @@ mod tests {
     fn budgets_sum_to_total_allowance() {
         let (cluster, trace) = setup(96);
         let rec = 50.0;
-        let hp: PerfectHp<'_, SymmetricSolver> =
-            PerfectHp::new(&cluster, CostParams::default(), &trace, rec, 48).unwrap();
+        let hp: PerfectHp<SymmetricSolver> =
+            PerfectHp::new(Arc::clone(&cluster), CostParams::default(), &trace, rec, 48).unwrap();
         let total: f64 = hp.budgets().iter().sum();
         let allowance = trace.total_offsite() + rec;
         assert!((total - allowance).abs() < 1e-6, "{total} vs {allowance}");
@@ -163,8 +192,8 @@ mod tests {
     #[test]
     fn budgets_track_workload_within_window() {
         let (cluster, trace) = setup(96);
-        let hp: PerfectHp<'_, SymmetricSolver> =
-            PerfectHp::new(&cluster, CostParams::default(), &trace, 10.0, 48).unwrap();
+        let hp: PerfectHp<SymmetricSolver> =
+            PerfectHp::new(Arc::clone(&cluster), CostParams::default(), &trace, 10.0, 48).unwrap();
         // Within the first window, the ratio budget/workload is constant.
         let k0 = hp.budgets()[0] / trace.workload[0];
         for t in 1..48 {
@@ -177,8 +206,8 @@ mod tests {
     fn runs_over_trace() {
         let (cluster, trace) = setup(96);
         let cost = CostParams::default();
-        let mut hp: PerfectHp<'_, SymmetricSolver> =
-            PerfectHp::new(&cluster, cost, &trace, 30.0, 48).unwrap();
+        let mut hp: PerfectHp<SymmetricSolver> =
+            PerfectHp::new(Arc::clone(&cluster), cost, &trace, 30.0, 48).unwrap();
         let out = SlotSimulator::new(&cluster, &trace, cost, 30.0).run(&mut hp).unwrap();
         assert_eq!(out.len(), 96);
         assert!(out.avg_hourly_cost() > 0.0);
@@ -192,17 +221,15 @@ mod tests {
             *f *= 1e6;
         }
         let cost = CostParams::default();
-        let mut hp: PerfectHp<'_, SymmetricSolver> =
-            PerfectHp::new(&cluster, cost, &trace, 0.0, 48).unwrap();
+        let mut hp: PerfectHp<SymmetricSolver> =
+            PerfectHp::new(Arc::clone(&cluster), cost, &trace, 0.0, 48).unwrap();
         let hp_out = SlotSimulator::new(&cluster, &trace, cost, 0.0).run(&mut hp).unwrap();
-        let cu_out = crate::carbon_unaware::CarbonUnaware::simulate(
-            &cluster,
+        let mut cu = crate::carbon_unaware::CarbonUnaware::new(
+            Arc::clone(&cluster),
             cost,
-            &trace,
             SymmetricSolver::new(),
-            0.0,
-        )
-        .unwrap();
+        );
+        let cu_out = SlotSimulator::new(&cluster, &trace, cost, 0.0).run(&mut cu).unwrap();
         assert!(
             (hp_out.avg_hourly_cost() - cu_out.avg_hourly_cost()).abs()
                 < 1e-6 * cu_out.avg_hourly_cost(),
@@ -214,16 +241,16 @@ mod tests {
     #[test]
     fn zero_window_rejected() {
         let (cluster, trace) = setup(24);
-        let r: Result<PerfectHp<'_, SymmetricSolver>, _> =
-            PerfectHp::new(&cluster, CostParams::default(), &trace, 0.0, 0);
+        let r: Result<PerfectHp<SymmetricSolver>, _> =
+            PerfectHp::new(Arc::clone(&cluster), CostParams::default(), &trace, 0.0, 0);
         assert!(r.is_err());
     }
 
     #[test]
     fn partial_final_window_handled() {
         let (cluster, trace) = setup(50); // 48 + 2
-        let hp: PerfectHp<'_, SymmetricSolver> =
-            PerfectHp::new(&cluster, CostParams::default(), &trace, 100.0, 48).unwrap();
+        let hp: PerfectHp<SymmetricSolver> =
+            PerfectHp::new(Arc::clone(&cluster), CostParams::default(), &trace, 100.0, 48).unwrap();
         assert_eq!(hp.budgets().len(), 50);
         let total: f64 = hp.budgets().iter().sum();
         assert!((total - (trace.total_offsite() + 100.0)).abs() < 1e-6);

@@ -8,6 +8,8 @@
 //! `COCA_STRICT_INVARIANTS=1`) that must be set before the first check runs;
 //! a shared test binary would race its unit tests against the switch.
 
+use std::sync::Arc;
+
 use coca_baselines::budgeted::solve_capped;
 use coca_baselines::{CarbonUnaware, OfflineOpt, PerfectHp};
 use coca_core::gsd::{GsdOptions, GsdSolver};
@@ -35,7 +37,7 @@ fn strict_run_exercises_every_invariant_check() {
     assert!(invariant::force_strict(), "must run before any invariant check");
     assert!(invariant::global().is_strict());
 
-    let cluster = Cluster::homogeneous(4, 20);
+    let cluster = Arc::new(Cluster::homogeneous(4, 20));
     let cost = CostParams::default();
     let env = trace(48);
 
@@ -49,7 +51,7 @@ fn strict_run_exercises_every_invariant_check() {
         rec_total: 10.0,
     };
     let sim = SlotSimulator::new(&cluster, &env, cost, 10.0);
-    let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+    let mut coca = CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
     let _ = sim.run(&mut coca).expect("strict COCA run");
 
     // A GSD-backed controller: Gibbs acceptance probabilities.
@@ -68,23 +70,25 @@ fn strict_run_exercises_every_invariant_check() {
         ..Default::default()
     });
     let gsd_sim = SlotSimulator::new(&cluster, &short, cost, 5.0);
-    let mut gsd_coca = CocaController::new(&cluster, cost, gsd_cfg, gsd);
+    let mut gsd_coca = CocaController::new(Arc::clone(&cluster), cost, gsd_cfg, gsd);
     let _ = gsd_sim.run(&mut gsd_coca).expect("strict GSD run");
 
     // All four baselines: carbon-unaware, PerfectHP, OPT, and the budgeted
-    // primitive they share.
-    let mut unaware = CarbonUnaware::new(&cluster, cost, SymmetricSolver::new());
-    let _ = sim.run(&mut unaware).expect("strict carbon-unaware run");
-    let brown = CarbonUnaware::annual_consumption(&cluster, cost, &env, SymmetricSolver::new())
-        .expect("reference consumption");
+    // primitive they share. The carbon-unaware reference consumption now
+    // comes from a plain engine run (the bespoke `annual_consumption`
+    // shortcut was removed with the `SimEngine` refactor).
+    let mut unaware = CarbonUnaware::new(Arc::clone(&cluster), cost, SymmetricSolver::new());
+    let unaware_out = sim.run(&mut unaware).expect("strict carbon-unaware run");
+    let brown = unaware_out.total_brown_energy();
 
-    let mut hp = PerfectHp::<SymmetricSolver>::new(&cluster, cost, &env, brown * 0.8, 48)
-        .expect("PerfectHP plans");
+    let mut hp =
+        PerfectHp::<SymmetricSolver>::new(Arc::clone(&cluster), cost, &env, brown * 0.8, 48)
+            .expect("PerfectHP plans");
     let _ = sim.run(&mut hp).expect("strict PerfectHP run");
 
     let mut solver = SymmetricSolver::new();
-    let mut opt = OfflineOpt::plan(&cluster, cost, &env, brown * 0.9, &mut solver)
-        .expect("OPT plans");
+    let mut opt =
+        OfflineOpt::plan(&cluster, cost, &env, brown * 0.9, &mut solver).expect("OPT plans");
     let _ = sim.run(&mut opt).expect("strict OPT run");
 
     let obs = SlotObservation { t: 0, arrival_rate: 300.0, onsite: 2.0, price: 0.08 };

@@ -1,0 +1,94 @@
+//! Engine throughput: one lockstep pass driving N policies vs N separate
+//! per-policy passes over the same trace. The lockstep win is the shared
+//! per-slot environment preparation (and, in the figure harness, the
+//! single pass over a trace that may be streamed rather than materialized).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use coca_baselines::CarbonUnaware;
+use coca_core::symmetric::SymmetricSolver;
+use coca_core::{CocaConfig, CocaController, VSchedule};
+use coca_dcsim::{run_lockstep, Cluster, CostParams, Policy};
+use coca_traces::{TraceConfig, WorkloadKind};
+
+fn setup(hours: usize, groups: usize) -> (Arc<Cluster>, coca_traces::EnvironmentTrace) {
+    let cluster = Arc::new(Cluster::scaled_paper_datacenter(groups, 100));
+    let trace = TraceConfig {
+        hours,
+        workload_kind: WorkloadKind::Fiu,
+        peak_arrival_rate: 0.5 * cluster.max_capacity(),
+        onsite_energy_kwh: 10.0 * hours as f64,
+        offsite_energy_kwh: 20.0 * hours as f64,
+        mean_price: 0.5,
+        seed: 1,
+        ..Default::default()
+    }
+    .generate();
+    (cluster, trace)
+}
+
+fn lanes<'a>(
+    cluster: &Arc<Cluster>,
+    cost: CostParams,
+    hours: usize,
+    n_coca: usize,
+) -> Vec<Box<dyn Policy + 'a>> {
+    let mut lanes: Vec<Box<dyn Policy + 'a>> = Vec::new();
+    for i in 0..n_coca {
+        let cfg = CocaConfig {
+            v: VSchedule::Constant(1e4 * 10f64.powi(i as i32)),
+            frame_length: hours,
+            horizon: hours,
+            alpha: 1.0,
+            rec_total: 2_000.0,
+        };
+        lanes.push(Box::new(CocaController::new(
+            Arc::clone(cluster),
+            cost,
+            cfg,
+            SymmetricSolver::new(),
+        )));
+    }
+    lanes.push(Box::new(CarbonUnaware::new(Arc::clone(cluster), cost, SymmetricSolver::new())));
+    lanes
+}
+
+fn bench_lockstep_vs_sequential(c: &mut Criterion) {
+    let hours = 240;
+    let (cluster, trace) = setup(hours, 16);
+    let cost = CostParams::default();
+    let n_coca = 3; // 3 COCA variants + 1 carbon-unaware = 4 lanes
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("lockstep_4lanes_single_pass", |b| {
+        b.iter(|| {
+            let outs = run_lockstep(
+                Arc::clone(&cluster),
+                &trace,
+                cost,
+                2_000.0,
+                lanes(&cluster, cost, hours, n_coca),
+            )
+            .expect("lockstep run");
+            black_box(outs)
+        })
+    });
+    group.bench_function("sequential_4lanes_4_passes", |b| {
+        b.iter(|| {
+            let mut outs = Vec::new();
+            for lane in lanes(&cluster, cost, hours, n_coca) {
+                outs.extend(
+                    run_lockstep(Arc::clone(&cluster), &trace, cost, 2_000.0, vec![lane])
+                        .expect("single run"),
+                );
+            }
+            black_box(outs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lockstep_vs_sequential);
+criterion_main!(benches);

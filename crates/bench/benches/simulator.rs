@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use coca_baselines::CarbonUnaware;
 use coca_core::symmetric::SymmetricSolver;
@@ -10,8 +11,8 @@ use coca_core::{CocaConfig, CocaController, VSchedule};
 use coca_dcsim::{Cluster, CostParams, SlotSimulator};
 use coca_traces::{TraceConfig, WorkloadKind};
 
-fn setup(hours: usize, groups: usize) -> (Cluster, coca_traces::EnvironmentTrace) {
-    let cluster = Cluster::scaled_paper_datacenter(groups, 100);
+fn setup(hours: usize, groups: usize) -> (Arc<Cluster>, coca_traces::EnvironmentTrace) {
+    let cluster = Arc::new(Cluster::scaled_paper_datacenter(groups, 100));
     let trace = TraceConfig {
         hours,
         workload_kind: WorkloadKind::Fiu,
@@ -41,17 +42,18 @@ fn bench_coca_month(c: &mut Criterion) {
                 alpha: 1.0,
                 rec_total: 5_000.0,
             };
-            let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+            let mut coca =
+                CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
             let sim = SlotSimulator::new(&cluster, &trace, cost, 5_000.0);
             black_box(sim.run(&mut coca).expect("run"))
         })
     });
     group.bench_function("carbon_unaware_month_40groups", |b| {
         b.iter(|| {
-            black_box(
-                CarbonUnaware::simulate(&cluster, cost, &trace, SymmetricSolver::new(), 0.0)
-                    .expect("run"),
-            )
+            let mut unaware =
+                CarbonUnaware::new(Arc::clone(&cluster), cost, SymmetricSolver::new());
+            let sim = SlotSimulator::new(&cluster, &trace, cost, 0.0);
+            black_box(sim.run(&mut unaware).expect("run"))
         })
     });
     group.finish();
@@ -75,7 +77,8 @@ fn bench_switching_accounting(c: &mut Criterion) {
                     alpha: 1.0,
                     rec_total: 1_000.0,
                 };
-                let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+                let mut coca =
+                    CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
                 let sim = SlotSimulator::new(&cluster, &trace, cost, 1_000.0);
                 black_box(sim.run(&mut coca).expect("run"))
             })

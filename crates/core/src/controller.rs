@@ -15,9 +15,11 @@
 //! The controller is generic over the [`P3Solver`]: GSD (sequential or
 //! distributed) for fidelity, the symmetric solver for speed.
 
+use std::sync::Arc;
+
 use coca_dcsim::dispatch::SlotProblem;
-use coca_dcsim::{Cluster, CostParams, Decision, Policy, SlotFeedback, SlotObservation};
-use serde::{Deserialize, Serialize};
+use coca_dcsim::{Cluster, CostParams, Decision, Policy, SimError, SlotFeedback, SlotObservation};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::deficit::DeficitQueue;
 use crate::solver::P3Solver;
@@ -75,8 +77,12 @@ impl CocaConfig {
 }
 
 /// The COCA online controller (implements [`Policy`]).
-pub struct CocaController<'a, S> {
-    cluster: &'a Cluster,
+///
+/// Holds the fleet by `Arc` so it is `Send + 'static` — lockstep engine
+/// lanes and sweep workers share the cluster instead of re-borrowing
+/// per-run setup state.
+pub struct CocaController<S> {
+    cluster: Arc<Cluster>,
     cost: CostParams,
     cfg: CocaConfig,
     solver: S,
@@ -86,11 +92,11 @@ pub struct CocaController<'a, S> {
     pub q_history: Vec<f64>,
 }
 
-impl<'a, S: P3Solver> CocaController<'a, S> {
+impl<S: P3Solver> CocaController<S> {
     /// Creates a controller. Panics on invalid configuration (constructing
     /// a controller is a programming-time decision; use
     /// [`CocaConfig::validate`] for user-supplied configs).
-    pub fn new(cluster: &'a Cluster, cost: CostParams, cfg: CocaConfig, solver: S) -> Self {
+    pub fn new(cluster: Arc<Cluster>, cost: CostParams, cfg: CocaConfig, solver: S) -> Self {
         cfg.validate().expect("valid CocaConfig");
         cost.validate().expect("valid CostParams");
         let deficit = DeficitQueue::new(cfg.alpha, cfg.rec_total, cfg.horizon);
@@ -123,7 +129,7 @@ impl<'a, S: P3Solver> CocaController<'a, S> {
     }
 }
 
-impl<S: P3Solver> Policy for CocaController<'_, S> {
+impl<S: P3Solver> Policy for CocaController<S> {
     fn name(&self) -> &str {
         "coca"
     }
@@ -144,7 +150,7 @@ impl<S: P3Solver> Policy for CocaController<'_, S> {
         self.q_history.push(q);
 
         let problem = SlotProblem {
-            cluster: self.cluster,
+            cluster: &self.cluster,
             arrival_rate: obs.arrival_rate,
             onsite: obs.onsite,
             energy_weight: v * obs.price + q,
@@ -167,6 +173,42 @@ impl<S: P3Solver> Policy for CocaController<'_, S> {
         self.deficit = DeficitQueue::new(self.cfg.alpha, self.cfg.rec_total, self.cfg.horizon);
         self.q_history.clear();
         self.solver.reset();
+    }
+
+    /// Captures everything decision-relevant: the carbon-deficit queue,
+    /// the q-history diagnostics, and the solver's warm-start state (via
+    /// [`P3Solver::snapshot_state`]). With a snapshot-capable solver the
+    /// restored controller continues bit-identically.
+    fn snapshot(&self) -> coca_dcsim::Result<Value> {
+        let deficit = self
+            .deficit
+            .serialize_value()
+            .map_err(|e| SimError::Internal(format!("deficit snapshot: {e}")))?;
+        let q_history = self
+            .q_history
+            .serialize_value()
+            .map_err(|e| SimError::Internal(format!("q_history snapshot: {e}")))?;
+        Ok(Value::Map(vec![
+            ("deficit".to_string(), deficit),
+            ("q_history".to_string(), q_history),
+            ("solver".to_string(), self.solver.snapshot_state()?),
+        ]))
+    }
+
+    fn restore(&mut self, state: &Value) -> coca_dcsim::Result<()> {
+        let field = |name: &str| {
+            state.get_field(name).ok_or_else(|| {
+                SimError::InvalidConfig(format!("coca snapshot missing field `{name}`"))
+            })
+        };
+        let deficit = DeficitQueue::deserialize_value(field("deficit")?)
+            .map_err(|e| SimError::InvalidConfig(format!("coca snapshot deficit: {e}")))?;
+        let q_history = Vec::<f64>::deserialize_value(field("q_history")?)
+            .map_err(|e| SimError::InvalidConfig(format!("coca snapshot q_history: {e}")))?;
+        self.solver.restore_state(field("solver")?)?;
+        self.deficit = deficit;
+        self.q_history = q_history;
+        Ok(())
     }
 }
 
@@ -218,11 +260,11 @@ mod tests {
 
     #[test]
     fn runs_over_a_trace_and_tracks_deficit() {
-        let cluster = Cluster::homogeneous(4, 20);
+        let cluster = Arc::new(Cluster::homogeneous(4, 20));
         let trace = small_trace(72);
         let cost = CostParams::default();
         let cfg = config(72, 100.0, 50.0);
-        let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+        let mut coca = CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
         let sim = SlotSimulator::new(&cluster, &trace, cost, 50.0);
         let out = sim.run(&mut coca).unwrap();
         assert_eq!(out.len(), 72);
@@ -233,7 +275,7 @@ mod tests {
 
     #[test]
     fn frame_reset_zeroes_queue() {
-        let cluster = Cluster::homogeneous(4, 20);
+        let cluster = Arc::new(Cluster::homogeneous(4, 20));
         let trace = small_trace(48);
         let cost = CostParams::default();
         // Two frames of 24 slots; near-zero allowance to force a deficit.
@@ -244,7 +286,7 @@ mod tests {
             alpha: 1.0,
             rec_total: 0.0,
         };
-        let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+        let mut coca = CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
         let sim = SlotSimulator::new(&cluster, &trace, cost, 0.0);
         let _ = sim.run(&mut coca).unwrap();
         // The queue accumulated during frame 0 (tiny allowance)…
@@ -260,12 +302,13 @@ mod tests {
     fn larger_v_uses_more_electricity() {
         // Fig. 2 qualitative check at small scale: larger V → less weight on
         // the deficit queue → (weakly) more brown energy, lower cost.
-        let cluster = Cluster::homogeneous(4, 20);
+        let cluster = Arc::new(Cluster::homogeneous(4, 20));
         let trace = small_trace(96);
         let cost = CostParams::default();
         let run = |v: f64| {
             let cfg = config(96, v, 10.0);
-            let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+            let mut coca =
+                CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
             let sim = SlotSimulator::new(&cluster, &trace, cost, 10.0);
             sim.run(&mut coca).unwrap()
         };
@@ -291,7 +334,7 @@ mod tests {
         // trace must land within a few percent of the symmetric solver.
         use crate::gsd::{GsdOptions, GsdSolver};
         use coca_opt::schedule::TemperatureSchedule;
-        let cluster = Cluster::homogeneous(4, 20);
+        let cluster = Arc::new(Cluster::homogeneous(4, 20));
         let trace = small_trace(36);
         let cost = CostParams::default();
         let run_with = |use_gsd: bool| -> f64 {
@@ -304,10 +347,11 @@ mod tests {
                     seed: 3,
                     ..Default::default()
                 });
-                let mut coca = CocaController::new(&cluster, cost, cfg, solver);
+                let mut coca = CocaController::new(Arc::clone(&cluster), cost, cfg, solver);
                 sim.run(&mut coca).unwrap().avg_hourly_cost()
             } else {
-                let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+                let mut coca =
+                    CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
                 sim.run(&mut coca).unwrap().avg_hourly_cost()
             }
         };
@@ -319,10 +363,10 @@ mod tests {
 
     #[test]
     fn reset_restores_initial_state() {
-        let cluster = Cluster::homogeneous(2, 10);
+        let cluster = Arc::new(Cluster::homogeneous(2, 10));
         let cost = CostParams::default();
         let cfg = config(24, 100.0, 5.0);
-        let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+        let mut coca = CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
         coca.feedback(&SlotFeedback {
             t: 0,
             offsite: 0.0,

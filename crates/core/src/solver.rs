@@ -40,6 +40,35 @@ pub trait P3Solver {
 
     /// Short identifier for reports.
     fn name(&self) -> &'static str;
+
+    /// Serializes any evolving state that affects solve results — warm
+    /// starts, caches whose hits change outputs — for engine checkpoints.
+    ///
+    /// Solvers overriding this make checkpoint/resume *exact*: restoring
+    /// the snapshot and replaying the remaining slots reproduces the
+    /// uninterrupted run bit-for-bit (see `SymmetricSolver`). The default
+    /// (`Value::Null`) declares "nothing worth saving"; paired with the
+    /// default [`P3Solver::restore_state`] it makes resume behave like a
+    /// fresh solver — correct, but warm-start history (and, for seeded
+    /// stochastic solvers like GSD, the RNG stream) restarts, so resumed
+    /// results may differ within solver tolerance.
+    fn snapshot_state(&self) -> Result<serde::Value, SimError> {
+        Ok(serde::Value::Null)
+    }
+
+    /// Restores state captured by [`P3Solver::snapshot_state`]. The
+    /// default accepts only `Value::Null` and resets.
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), SimError> {
+        if matches!(state, serde::Value::Null) {
+            self.reset();
+            Ok(())
+        } else {
+            Err(SimError::InvalidConfig(format!(
+                "solver `{}` does not implement snapshot/restore but was given a non-null snapshot",
+                self.name()
+            )))
+        }
+    }
 }
 
 impl<S: P3Solver + ?Sized> P3Solver for Box<S> {
@@ -51,6 +80,12 @@ impl<S: P3Solver + ?Sized> P3Solver for Box<S> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn snapshot_state(&self) -> Result<serde::Value, SimError> {
+        (**self).snapshot_state()
+    }
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), SimError> {
+        (**self).restore_state(state)
     }
 }
 

@@ -1,0 +1,643 @@
+//! The unified simulation runtime: a streaming slot engine that drives N
+//! policies in lockstep over a single trace pass and checkpoints at any
+//! slot boundary.
+//!
+//! This replaces the monolithic `SlotSimulator::run` loop (which re-walked
+//! the trace once per policy) with three composable pieces:
+//!
+//! * [`SlotSource`] — where slots come from. A materialized
+//!   [`EnvironmentTrace`] is one impl; [`FnSource`] generates slots on the
+//!   fly so unbounded synthetic traces never have to be materialized.
+//! * [`SimEngine`] — advances slot-by-slot via [`SimEngine::step`]. Each
+//!   step prepares the slot environment once (overestimation, overload
+//!   check, observation) and then runs every registered policy lane over
+//!   it, so an N-policy comparison costs one trace pass instead of N.
+//! * [`RecordSink`] — where per-slot records go (one stream per lane).
+//!
+//! ## Checkpoint format
+//!
+//! [`SimEngine::checkpoint`] captures an [`EngineState`]: the next slot
+//! index, the run configuration scalars, and one [`LaneState`] per lane
+//! (policy name, previous speed vector for switching-energy accounting,
+//! the policy's own [`Policy::snapshot`] value, and the records collected
+//! so far). The state derives `Serialize`/`Deserialize`, so it round-trips
+//! through `serde_json`. [`SimEngine::restore`] is the inverse; the
+//! engine/policy contract is that a restored run continues byte-identical
+//! to the uninterrupted one. Policies whose solvers carry warm-start state
+//! must include it in their snapshot (see `SymmetricSolver`), because warm
+//! starts change solve results.
+
+use std::sync::Arc;
+
+use coca_traces::{EnvironmentTrace, SlotEnv};
+use serde::{Deserialize, Serialize, Value};
+
+use crate::cluster::Cluster;
+use crate::dispatch::{evaluate_dispatch, SlotProblem};
+use crate::metrics::{RecordSink, SimOutcome, SlotRecord, VecSink};
+use crate::policy::{Policy, SlotFeedback, SlotObservation};
+use crate::slot_sim::CostParams;
+use crate::SimError;
+
+/// A stream of slot environments, addressed by slot index.
+///
+/// The engine pulls slots strictly in order (`0, 1, 2, …`); returning
+/// `None` ends the run. Sources may therefore generate slots lazily and
+/// never materialize the full trace.
+pub trait SlotSource {
+    /// The environment for slot `t`, or `None` past the end of the stream.
+    fn slot(&mut self, t: usize) -> Option<SlotEnv>;
+
+    /// Number of slots, when known up front (used only for preallocation).
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Validates the source before the run starts. Default: nothing to
+    /// check (generator sources validate per-slot instead).
+    fn validate(&self) -> crate::Result<()> {
+        Ok(())
+    }
+}
+
+impl SlotSource for &EnvironmentTrace {
+    fn slot(&mut self, t: usize) -> Option<SlotEnv> {
+        (t < self.len()).then(|| EnvironmentTrace::slot(self, t))
+    }
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.len())
+    }
+    fn validate(&self) -> crate::Result<()> {
+        EnvironmentTrace::validate(self).map_err(SimError::InvalidConfig)
+    }
+}
+
+/// An owned, shareable materialized trace source.
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    trace: Arc<EnvironmentTrace>,
+}
+
+impl TraceSource {
+    /// Wraps a shared trace.
+    pub fn new(trace: Arc<EnvironmentTrace>) -> Self {
+        Self { trace }
+    }
+}
+
+impl SlotSource for TraceSource {
+    fn slot(&mut self, t: usize) -> Option<SlotEnv> {
+        (t < self.trace.len()).then(|| self.trace.slot(t))
+    }
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.trace.len())
+    }
+    fn validate(&self) -> crate::Result<()> {
+        self.trace.validate().map_err(SimError::InvalidConfig)
+    }
+}
+
+/// A generator-backed source: slots are produced on demand by a closure,
+/// so arbitrarily long synthetic traces run in O(1) memory (pair with
+/// [`crate::metrics::SummarySink`] to keep the whole run O(1)).
+pub struct FnSource<F> {
+    generate: F,
+    len: Option<usize>,
+}
+
+impl<F: FnMut(usize) -> Option<SlotEnv>> FnSource<F> {
+    /// Unbounded source; the closure signals the end by returning `None`.
+    pub fn new(generate: F) -> Self {
+        Self { generate, len: None }
+    }
+
+    /// Source truncated to `len` slots (the closure is still consulted and
+    /// may end the stream earlier).
+    pub fn with_len(generate: F, len: usize) -> Self {
+        Self { generate, len: Some(len) }
+    }
+}
+
+impl<F: FnMut(usize) -> Option<SlotEnv>> SlotSource for FnSource<F> {
+    fn slot(&mut self, t: usize) -> Option<SlotEnv> {
+        if self.len.is_some_and(|n| t >= n) {
+            return None;
+        }
+        (self.generate)(t)
+    }
+    fn len_hint(&self) -> Option<usize> {
+        self.len
+    }
+}
+
+/// Result of one [`SimEngine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// One slot was simulated across all lanes.
+    Advanced,
+    /// The source is exhausted; nothing was simulated.
+    Finished,
+}
+
+/// One policy lane: the policy, its switching-energy memory, and its
+/// record stream.
+struct Lane<'p> {
+    policy: Box<dyn Policy + 'p>,
+    prev_levels: Vec<usize>,
+    sink: Box<dyn RecordSink + 'p>,
+}
+
+/// Serializable checkpoint of one lane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaneState {
+    /// Policy name at checkpoint time (checked on restore).
+    pub policy: String,
+    /// Speed vector of the previous slot (switching-energy accounting).
+    pub prev_levels: Vec<usize>,
+    /// The policy's own [`Policy::snapshot`] value.
+    pub policy_state: Value,
+    /// Records collected so far (requires a sink that materializes them).
+    pub records: Vec<SlotRecord>,
+}
+
+/// Serializable checkpoint of a whole engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineState {
+    /// Next slot index to simulate.
+    pub t: usize,
+    /// Total RECs Z for the period (kWh) — sanity-checked on restore.
+    pub rec_total: f64,
+    /// Workload overestimation factor φ.
+    pub overestimation: f64,
+    /// One state per registered lane, in lane order.
+    pub lanes: Vec<LaneState>,
+}
+
+/// The streaming multi-policy slot engine.
+///
+/// Construction fixes the fleet, the source, and the cost model; lanes are
+/// then added with [`SimEngine::add_policy`] and the run advances with
+/// [`SimEngine::step`] / [`SimEngine::run_to_end`]. Lanes see identical
+/// observations, so one engine pass replaces N `SlotSimulator` passes.
+pub struct SimEngine<'p, Src> {
+    cluster: Arc<Cluster>,
+    source: Src,
+    cost: CostParams,
+    rec_total: f64,
+    overestimation: f64,
+    max_servable: f64,
+    choice_counts: Vec<usize>,
+    t: usize,
+    lanes: Vec<Lane<'p>>,
+}
+
+impl<'p, Src: SlotSource> SimEngine<'p, Src> {
+    /// Creates an engine with no lanes and φ = 1.
+    pub fn new(
+        cluster: Arc<Cluster>,
+        source: Src,
+        cost: CostParams,
+        rec_total: f64,
+    ) -> crate::Result<Self> {
+        cost.validate()?;
+        if !(rec_total.is_finite() && rec_total >= 0.0) {
+            return Err(SimError::InvalidConfig(format!("rec_total {rec_total} invalid")));
+        }
+        source.validate()?;
+        let max_servable = cost.gamma * cluster.max_capacity();
+        let choice_counts = cluster.choice_counts();
+        Ok(Self {
+            cluster,
+            source,
+            cost,
+            rec_total,
+            overestimation: 1.0,
+            max_servable,
+            choice_counts,
+            t: 0,
+            lanes: Vec::new(),
+        })
+    }
+
+    /// Sets the workload overestimation factor φ ≥ 1 (paper Fig. 5(c)).
+    pub fn set_overestimation(&mut self, phi: f64) -> crate::Result<()> {
+        if !(phi.is_finite() && phi >= 1.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "overestimation factor {phi} must be ≥ 1"
+            )));
+        }
+        self.overestimation = phi;
+        Ok(())
+    }
+
+    /// Registers a policy lane with the default materializing sink.
+    /// Returns the lane index.
+    pub fn add_policy(&mut self, policy: Box<dyn Policy + 'p>) -> usize {
+        self.add_policy_with_sink(policy, Box::new(VecSink::new()))
+    }
+
+    /// Registers a policy lane with a custom record sink.
+    pub fn add_policy_with_sink(
+        &mut self,
+        policy: Box<dyn Policy + 'p>,
+        sink: Box<dyn RecordSink + 'p>,
+    ) -> usize {
+        let prev_levels = self.cluster.all_off_vector();
+        self.lanes.push(Lane { policy, prev_levels, sink });
+        self.lanes.len() - 1
+    }
+
+    /// Next slot index to be simulated.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Number of registered lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The managed fleet.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// Simulates the next slot across all lanes.
+    ///
+    /// Per slot the engine prepares the environment once — applies φ to
+    /// the observed arrival rate, rejects overload against `γ·Σ capacity`
+    /// — and then, per lane: asks the policy, validates the decision
+    /// (constraints 7–9 plus the paper-invariant hooks), re-dispatches the
+    /// planned shares onto the realized rate, accounts energy/switching/
+    /// cost into a [`SlotRecord`], and feeds realized values back to the
+    /// policy. Semantics are identical to the historical
+    /// `SlotSimulator::run` loop body.
+    pub fn step(&mut self) -> crate::Result<StepStatus> {
+        let t = self.t;
+        let Some(env) = self.source.slot(t) else {
+            return Ok(StepStatus::Finished);
+        };
+        let planned_rate = env.arrival_rate * self.overestimation;
+        if planned_rate > self.max_servable {
+            return Err(SimError::Overload {
+                slot: t,
+                arrival_rate: planned_rate,
+                max_capacity: self.max_servable,
+            });
+        }
+        let obs = SlotObservation {
+            t,
+            arrival_rate: planned_rate,
+            onsite: env.onsite,
+            price: env.price,
+        };
+        // Re-dispatch scale: planned shares onto the realized arrival rate.
+        // φ ≥ 1 only ever scales loads down, so caps stay satisfied.
+        let scale = if planned_rate > 0.0 { env.arrival_rate / planned_rate } else { 0.0 };
+
+        for lane in &mut self.lanes {
+            let decision = lane.policy.decide(&obs)?;
+            self.cluster.validate_levels(&decision.levels)?;
+            decision.validate_totals(planned_rate)?;
+            // Paper-invariant hooks: constraints (8) and (9) on what the
+            // policy actually returned, independent of the hard validation
+            // above (strict mode turns these into unconditional panics).
+            coca_opt::invariant::global().decision(
+                &decision.levels,
+                &decision.loads,
+                &self.choice_counts,
+                planned_rate,
+            );
+
+            let actual_loads: Vec<f64> = decision.loads.iter().map(|l| l * scale).collect();
+            let problem = SlotProblem {
+                cluster: &self.cluster,
+                arrival_rate: env.arrival_rate,
+                onsite: env.onsite,
+                energy_weight: env.price,
+                delay_weight: self.cost.beta,
+                gamma: self.cost.gamma,
+                pue: self.cost.pue,
+            };
+            let outcome = evaluate_dispatch(&problem, &decision.levels, &actual_loads)?;
+
+            // Switching energy: servers transitioning off → on.
+            let turned_on: usize = self
+                .cluster
+                .groups()
+                .iter()
+                .zip(lane.prev_levels.iter().zip(&decision.levels))
+                .map(|(g, (&prev, &cur))| if prev == 0 && cur > 0 { g.count } else { 0 })
+                .sum();
+            let switching_energy = turned_on as f64 * self.cost.switch_energy_kwh;
+
+            // Slot energy (kWh) equals power (kW) over the 1-hour slot;
+            // switching draw cannot be offset by the on-site supply that
+            // was already netted in `outcome.brown`.
+            let facility_energy = outcome.facility_power + switching_energy;
+            let brown_energy = outcome.brown + switching_energy;
+            let electricity_cost = env.price * brown_energy;
+            let delay_cost = self.cost.beta * outcome.delay;
+            let total_cost = electricity_cost + delay_cost;
+
+            lane.sink
+                .record(&SlotRecord {
+                    t,
+                    arrival_rate: env.arrival_rate,
+                    price: env.price,
+                    onsite: env.onsite,
+                    offsite: env.offsite,
+                    facility_energy,
+                    brown_energy,
+                    switching_energy,
+                    electricity_cost,
+                    delay_cost,
+                    total_cost,
+                    delay: outcome.delay,
+                    servers_on: self.cluster.servers_on(&decision.levels),
+                })
+                .map_err(SimError::Internal)?;
+
+            lane.policy.feedback(&SlotFeedback {
+                t,
+                offsite: env.offsite,
+                brown_energy,
+                facility_energy,
+                cost: total_cost,
+            });
+            lane.prev_levels = decision.levels;
+        }
+        self.t += 1;
+        Ok(StepStatus::Advanced)
+    }
+
+    /// Steps until the source is exhausted; returns the number of slots
+    /// simulated by this call.
+    pub fn run_to_end(&mut self) -> crate::Result<usize> {
+        let mut advanced = 0;
+        while self.step()? == StepStatus::Advanced {
+            advanced += 1;
+        }
+        Ok(advanced)
+    }
+
+    /// Finishes the run and produces one [`SimOutcome`] per lane, in lane
+    /// order. Errors if any lane's sink does not materialize records.
+    pub fn into_outcomes(self) -> crate::Result<Vec<SimOutcome>> {
+        let rec_total = self.rec_total;
+        self.lanes
+            .into_iter()
+            .map(|mut lane| {
+                let records = lane.sink.take_records().ok_or_else(|| {
+                    SimError::InvalidConfig(format!(
+                        "lane `{}` uses a non-materializing sink; read the sink instead",
+                        lane.policy.name()
+                    ))
+                })?;
+                Ok(SimOutcome { policy: lane.policy.name().to_string(), records, rec_total })
+            })
+            .collect()
+    }
+
+    /// Serializes the full run state at the current slot boundary.
+    ///
+    /// Requires every lane's sink to materialize its records (the default
+    /// [`VecSink`] does). Call between steps — typically at frame
+    /// boundaries (`t % frame_length == 0`) so COCA's deficit queue is at
+    /// a natural reset point, though any boundary is exact.
+    pub fn checkpoint(&self) -> crate::Result<EngineState> {
+        let lanes = self
+            .lanes
+            .iter()
+            .map(|lane| {
+                let records = lane.sink.collected().ok_or_else(|| {
+                    SimError::InvalidConfig(format!(
+                        "lane `{}` uses a non-materializing sink; checkpoint unsupported",
+                        lane.policy.name()
+                    ))
+                })?;
+                Ok(LaneState {
+                    policy: lane.policy.name().to_string(),
+                    prev_levels: lane.prev_levels.clone(),
+                    policy_state: lane.policy.snapshot()?,
+                    records: records.to_vec(),
+                })
+            })
+            .collect::<crate::Result<Vec<_>>>()?;
+        Ok(EngineState {
+            t: self.t,
+            rec_total: self.rec_total,
+            overestimation: self.overestimation,
+            lanes,
+        })
+    }
+
+    /// Restores a checkpoint into this engine. The engine must have been
+    /// constructed with the same cluster/source/cost configuration and the
+    /// same lanes (same policies, same order) as the checkpointed one.
+    pub fn restore(&mut self, state: &EngineState) -> crate::Result<()> {
+        if state.lanes.len() != self.lanes.len() {
+            return Err(SimError::InvalidConfig(format!(
+                "checkpoint has {} lanes, engine has {}",
+                state.lanes.len(),
+                self.lanes.len()
+            )));
+        }
+        if (state.rec_total - self.rec_total).abs() > 1e-9 {
+            return Err(SimError::InvalidConfig(format!(
+                "checkpoint rec_total {} does not match engine {}",
+                state.rec_total, self.rec_total
+            )));
+        }
+        for (lane, ls) in self.lanes.iter_mut().zip(&state.lanes) {
+            if lane.policy.name() != ls.policy {
+                return Err(SimError::InvalidConfig(format!(
+                    "checkpoint lane `{}` does not match engine lane `{}`",
+                    ls.policy,
+                    lane.policy.name()
+                )));
+            }
+            if ls.prev_levels.len() != self.cluster.num_groups() {
+                return Err(SimError::InvalidConfig(format!(
+                    "checkpoint prev_levels has {} groups, cluster has {}",
+                    ls.prev_levels.len(),
+                    self.cluster.num_groups()
+                )));
+            }
+            lane.policy.restore(&ls.policy_state)?;
+            lane.sink.restore_records(&ls.records).map_err(SimError::Internal)?;
+            lane.prev_levels = ls.prev_levels.clone();
+        }
+        self.overestimation = state.overestimation;
+        self.t = state.t;
+        Ok(())
+    }
+}
+
+/// Convenience: runs `policies` in lockstep over a materialized trace and
+/// returns one [`SimOutcome`] per policy, in input order.
+pub fn run_lockstep<'p>(
+    cluster: Arc<Cluster>,
+    trace: &EnvironmentTrace,
+    cost: CostParams,
+    rec_total: f64,
+    policies: Vec<Box<dyn Policy + 'p>>,
+) -> crate::Result<Vec<SimOutcome>> {
+    let mut engine = SimEngine::new(cluster, trace, cost, rec_total)?;
+    for p in policies {
+        engine.add_policy(p);
+    }
+    engine.run_to_end()?;
+    engine.into_outcomes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SummarySink;
+    use crate::policy::StaticLevels;
+    use coca_traces::TraceConfig;
+
+    fn small() -> (Arc<Cluster>, EnvironmentTrace, CostParams) {
+        let cluster = Arc::new(Cluster::homogeneous(4, 20));
+        let trace = TraceConfig {
+            hours: 48,
+            peak_arrival_rate: 400.0,
+            onsite_energy_kwh: 50.0,
+            offsite_energy_kwh: 100.0,
+            ..Default::default()
+        }
+        .generate();
+        (cluster, trace, CostParams::default())
+    }
+
+    #[test]
+    fn lockstep_matches_sequential_passes() {
+        let (cluster, trace, cost) = small();
+        let mk = |levels: Vec<usize>| {
+            Box::new(StaticLevels::new(Arc::clone(&cluster), cost, levels).unwrap())
+                as Box<dyn Policy>
+        };
+        let full = cluster.full_speed_vector();
+        // Second lane: one group powered off (capacity still covers peak).
+        let mut partial = full.clone();
+        partial[0] = 0;
+
+        let lockstep = run_lockstep(
+            Arc::clone(&cluster),
+            &trace,
+            cost,
+            10.0,
+            vec![mk(full.clone()), mk(partial.clone())],
+        )
+        .unwrap();
+
+        for (levels, got) in [full, partial].into_iter().zip(&lockstep) {
+            let solo =
+                run_lockstep(Arc::clone(&cluster), &trace, cost, 10.0, vec![mk(levels)]).unwrap();
+            assert_eq!(&solo[0], got, "lockstep lane must equal its solo pass");
+        }
+    }
+
+    #[test]
+    fn step_reports_finished_at_end() {
+        let (cluster, trace, cost) = small();
+        let mut engine =
+            SimEngine::new(Arc::clone(&cluster), &trace, cost, 0.0).unwrap();
+        engine.add_policy(Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)));
+        let n = engine.run_to_end().unwrap();
+        assert_eq!(n, 48);
+        assert_eq!(engine.t(), 48);
+        assert_eq!(engine.step().unwrap(), StepStatus::Finished);
+        let outs = engine.into_outcomes().unwrap();
+        assert_eq!(outs[0].len(), 48);
+    }
+
+    #[test]
+    fn generator_source_streams_without_materialization() {
+        let (cluster, _, cost) = small();
+        let source = FnSource::with_len(
+            |t| {
+                Some(SlotEnv {
+                    t,
+                    arrival_rate: 200.0 + 100.0 * (t as f64 * 0.3).sin(),
+                    onsite: 20.0,
+                    price: 0.05,
+                    offsite: 30.0,
+                })
+            },
+            1000,
+        );
+        let mut engine = SimEngine::new(Arc::clone(&cluster), source, cost, 0.0).unwrap();
+        engine.add_policy_with_sink(
+            Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)),
+            Box::new(SummarySink::new()),
+        );
+        assert_eq!(engine.run_to_end().unwrap(), 1000);
+        // A summary lane cannot produce a SimOutcome or a checkpoint.
+        assert!(engine.checkpoint().is_err());
+        assert!(engine.into_outcomes().is_err());
+    }
+
+    #[test]
+    fn checkpoint_restore_is_exact() {
+        let (cluster, trace, cost) = small();
+        let cost = CostParams { switch_energy_kwh: 0.0231, ..cost };
+        let mk = || {
+            Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)) as Box<dyn Policy>
+        };
+
+        // Uninterrupted reference run.
+        let reference =
+            run_lockstep(Arc::clone(&cluster), &trace, cost, 5.0, vec![mk()]).unwrap();
+
+        // Run to slot 20, checkpoint, round-trip through JSON, resume in a
+        // brand-new engine.
+        let mut engine = SimEngine::new(Arc::clone(&cluster), &trace, cost, 5.0).unwrap();
+        engine.add_policy(mk());
+        for _ in 0..20 {
+            assert_eq!(engine.step().unwrap(), StepStatus::Advanced);
+        }
+        let json = serde_json::to_string(&engine.checkpoint().unwrap()).unwrap();
+        drop(engine);
+
+        let state: EngineState = serde_json::from_str(&json).unwrap();
+        let mut resumed = SimEngine::new(Arc::clone(&cluster), &trace, cost, 5.0).unwrap();
+        resumed.add_policy(mk());
+        resumed.restore(&state).unwrap();
+        assert_eq!(resumed.t(), 20);
+        resumed.run_to_end().unwrap();
+        let outs = resumed.into_outcomes().unwrap();
+        assert_eq!(outs[0], reference[0], "resumed run must be byte-identical");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shapes() {
+        let (cluster, trace, cost) = small();
+        let mut engine = SimEngine::new(Arc::clone(&cluster), &trace, cost, 0.0).unwrap();
+        engine.add_policy(Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)));
+        let mut state = engine.checkpoint().unwrap();
+        state.lanes.clear();
+        assert!(engine.restore(&state).is_err(), "lane-count mismatch");
+        let mut state = engine.checkpoint().unwrap();
+        state.lanes[0].policy = "someone-else".into();
+        assert!(engine.restore(&state).is_err(), "policy-name mismatch");
+        let mut state = engine.checkpoint().unwrap();
+        state.rec_total = 99.0;
+        assert!(engine.restore(&state).is_err(), "rec_total mismatch");
+    }
+
+    #[test]
+    fn engine_validates_configuration() {
+        let (cluster, trace, _) = small();
+        let bad = CostParams { gamma: 1.5, ..Default::default() };
+        assert!(SimEngine::new(Arc::clone(&cluster), &trace, bad, 0.0).is_err());
+        assert!(
+            SimEngine::new(Arc::clone(&cluster), &trace, CostParams::default(), -1.0).is_err()
+        );
+        let mut ok =
+            SimEngine::new(Arc::clone(&cluster), &trace, CostParams::default(), 0.0).unwrap();
+        assert!(ok.set_overestimation(0.5).is_err());
+        assert!(ok.set_overestimation(1.2).is_ok());
+    }
+}

@@ -19,9 +19,14 @@
 //!   engines: delta-maintained queue-type multiset, warm-started water
 //!   levels, and a state-cost cache.
 //! * [`policy`] — the [`Policy`] trait implemented by COCA and all
-//!   baselines, plus the per-slot observation/feedback types.
-//! * [`slot_sim`] — the trace-driven hourly simulator behind every figure of
-//!   Sec. 5 (cost/energy/deficit accounting, switching costs, workload
+//!   baselines, plus the per-slot observation/feedback types and the
+//!   snapshot/restore hooks behind engine checkpoints.
+//! * [`engine`] — the unified simulation runtime: [`SimEngine`] advances
+//!   slot-by-slot from a [`SlotSource`], drives N policies in lockstep
+//!   over one trace pass, streams records into [`RecordSink`]s, and
+//!   checkpoints/restores via a serializable [`EngineState`].
+//! * [`slot_sim`] — the single-policy convenience wrapper over the engine
+//!   (cost/energy/deficit accounting, switching costs, workload
 //!   overestimation).
 //! * [`eventsim`] — a discrete-event M/G/1/PS simulator (virtual-time
 //!   processor sharing) used to validate the analytic delay model at small
@@ -37,6 +42,7 @@
 pub mod batch;
 pub mod cluster;
 pub mod dispatch;
+pub mod engine;
 pub mod eventsim;
 pub mod group;
 pub mod incremental;
@@ -50,11 +56,15 @@ mod error;
 
 pub use cluster::{Cluster, ClusterBuilder};
 pub use dispatch::{optimal_dispatch, DispatchOutcome, SlotProblem};
+pub use engine::{
+    run_lockstep, EngineState, FnSource, LaneState, SimEngine, SlotSource, StepStatus,
+    TraceSource,
+};
 pub use error::SimError;
 pub use group::ServerGroup;
 pub use incremental::{EvalStats, SlotEvalContext, StateCostCache, ZobristTable};
-pub use metrics::{SimOutcome, SlotRecord};
-pub use policy::{Decision, Policy, SlotFeedback, SlotObservation};
+pub use metrics::{RecordSink, SimOutcome, SlotRecord, SummarySink, VecSink};
+pub use policy::{Decision, Policy, SlotFeedback, SlotObservation, StaticLevels};
 pub use server::{ServerClass, SpeedLevel};
 pub use slot_sim::{CostParams, SlotSimulator};
 

@@ -158,6 +158,105 @@ impl SimOutcome {
     }
 }
 
+/// Consumer of the engine's per-slot record stream.
+///
+/// Figures, reports, and tests all read the same [`SlotRecord`] stream; a
+/// sink decides what to keep. [`VecSink`] materializes every record (the
+/// default, and the only sink that supports checkpointing and
+/// [`SimOutcome`] extraction); [`SummarySink`] keeps O(1) running totals
+/// for unbounded generator traces that must not be materialized.
+pub trait RecordSink {
+    /// Receives the record for one completed slot. Records arrive in slot
+    /// order, exactly once per slot.
+    fn record(&mut self, rec: &SlotRecord) -> Result<(), String>;
+
+    /// Borrows the materialized records, if this sink keeps them.
+    /// Sinks that aggregate (or forward elsewhere) return `None`; such
+    /// sinks cannot participate in checkpoints or produce a `SimOutcome`.
+    fn collected(&self) -> Option<&[SlotRecord]> {
+        None
+    }
+
+    /// Takes the materialized records out of the sink, if kept.
+    fn take_records(&mut self) -> Option<Vec<SlotRecord>> {
+        None
+    }
+
+    /// Replaces the sink's state with previously checkpointed records.
+    /// Returns an error for sinks that cannot restore.
+    fn restore_records(&mut self, _records: &[SlotRecord]) -> Result<(), String> {
+        Err("this RecordSink does not support checkpoint restore".to_string())
+    }
+}
+
+/// The default sink: keeps every record in memory, in slot order.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    records: Vec<SlotRecord>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RecordSink for VecSink {
+    fn record(&mut self, rec: &SlotRecord) -> Result<(), String> {
+        self.records.push(*rec);
+        Ok(())
+    }
+    fn collected(&self) -> Option<&[SlotRecord]> {
+        Some(&self.records)
+    }
+    fn take_records(&mut self) -> Option<Vec<SlotRecord>> {
+        Some(std::mem::take(&mut self.records))
+    }
+    fn restore_records(&mut self, records: &[SlotRecord]) -> Result<(), String> {
+        self.records = records.to_vec();
+        Ok(())
+    }
+}
+
+/// O(1)-memory sink: running totals only. For unbounded generator traces.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct SummarySink {
+    /// Slots consumed.
+    pub slots: usize,
+    /// Σ g(t) ($).
+    pub total_cost: f64,
+    /// Σ y(t) (kWh).
+    pub total_brown_energy: f64,
+    /// Σ f(t) (kWh).
+    pub total_offsite: f64,
+    /// Σ facility energy (kWh).
+    pub total_facility_energy: f64,
+}
+
+impl SummarySink {
+    /// Creates a zeroed summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Average hourly total cost over the consumed slots.
+    pub fn avg_hourly_cost(&self) -> f64 {
+        if self.slots == 0 { 0.0 } else { self.total_cost / self.slots as f64 }
+    }
+}
+
+impl RecordSink for SummarySink {
+    fn record(&mut self, rec: &SlotRecord) -> Result<(), String> {
+        self.slots += 1;
+        self.total_cost += rec.total_cost;
+        self.total_brown_energy += rec.brown_energy;
+        self.total_offsite += rec.offsite;
+        self.total_facility_energy += rec.facility_energy;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +336,34 @@ mod tests {
         let json = serde_json::to_string(&o).unwrap();
         let back: SimOutcome = serde_json::from_str(&json).unwrap();
         assert_eq!(o, back);
+    }
+
+    #[test]
+    fn vec_sink_collects_and_restores() {
+        let mut sink = VecSink::new();
+        let r0 = record(0, 10.0, 4.0, 2.0);
+        let r1 = record(1, 6.0, 4.0, 4.0);
+        sink.record(&r0).unwrap();
+        sink.record(&r1).unwrap();
+        assert_eq!(sink.collected().unwrap().len(), 2);
+        let taken = sink.take_records().unwrap();
+        assert_eq!(taken, vec![r0, r1]);
+        assert!(sink.collected().unwrap().is_empty());
+        sink.restore_records(&taken).unwrap();
+        assert_eq!(sink.collected().unwrap(), &[r0, r1]);
+    }
+
+    #[test]
+    fn summary_sink_aggregates_without_materializing() {
+        let mut sink = SummarySink::new();
+        sink.record(&record(0, 10.0, 4.0, 2.0)).unwrap();
+        sink.record(&record(1, 6.0, 4.0, 4.0)).unwrap();
+        assert_eq!(sink.slots, 2);
+        assert!((sink.avg_hourly_cost() - 3.0).abs() < 1e-12);
+        assert_eq!(sink.total_brown_energy, 16.0);
+        assert!(sink.collected().is_none());
+        assert!(sink.take_records().is_none());
+        assert!(sink.restore_records(&[]).is_err());
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! off-site supply f(t) is only revealed *after* the slot through
 //! [`SlotFeedback`], matching the paper's queue-update timing.
 
+use std::sync::Arc;
+
 use crate::SimError;
+use serde::Value;
 
 /// What a policy observes at the start of a slot.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,22 +93,51 @@ pub trait Policy {
     /// Resets internal state so the policy can be reused on a fresh run.
     /// Default: no state.
     fn reset(&mut self) {}
+
+    /// Serializes the policy's evolving state for an engine checkpoint.
+    ///
+    /// The contract is: `restore(snapshot())` followed by the remaining
+    /// slots must produce byte-identical decisions to an uninterrupted
+    /// run. Stateless policies keep the default (`Value::Null`); stateful
+    /// ones must capture *everything* decision-relevant — including warm
+    /// starts inside their solver if those affect solve results.
+    fn snapshot(&self) -> crate::Result<Value> {
+        Ok(Value::Null)
+    }
+
+    /// Restores state captured by [`Policy::snapshot`].
+    ///
+    /// The default accepts only `Value::Null` (the stateless snapshot) and
+    /// resets; anything else is an error so a stateful policy that forgot
+    /// to implement the pair fails loudly instead of resuming wrong.
+    fn restore(&mut self, state: &Value) -> crate::Result<()> {
+        if matches!(state, Value::Null) {
+            self.reset();
+            Ok(())
+        } else {
+            Err(SimError::InvalidConfig(format!(
+                "policy `{}` does not implement snapshot/restore but was given a non-null snapshot",
+                self.name()
+            )))
+        }
+    }
 }
 
 /// The simplest useful policy: a fixed speed vector with cost-optimal load
 /// distribution each slot. Serves as a baseline building block ("all-on at
 /// full speed" is the classic static provisioning) and as a reference
-/// implementation of the [`Policy`] trait.
-pub struct StaticLevels<'a> {
-    cluster: &'a crate::cluster::Cluster,
+/// implementation of the [`Policy`] trait. Holds the fleet by `Arc` so it
+/// is `Send + 'static` and usable from sweep workers and lockstep lanes.
+pub struct StaticLevels {
+    cluster: Arc<crate::cluster::Cluster>,
     cost: crate::slot_sim::CostParams,
     levels: Vec<usize>,
 }
 
-impl<'a> StaticLevels<'a> {
+impl StaticLevels {
     /// Creates the policy; the speed vector is validated against the fleet.
     pub fn new(
-        cluster: &'a crate::cluster::Cluster,
+        cluster: Arc<crate::cluster::Cluster>,
         cost: crate::slot_sim::CostParams,
         levels: Vec<usize>,
     ) -> crate::Result<Self> {
@@ -116,21 +148,27 @@ impl<'a> StaticLevels<'a> {
 
     /// Everything at top speed.
     pub fn full_speed(
-        cluster: &'a crate::cluster::Cluster,
+        cluster: Arc<crate::cluster::Cluster>,
         cost: crate::slot_sim::CostParams,
     ) -> Self {
-        Self { cluster, cost, levels: cluster.full_speed_vector() }
+        let levels = cluster.full_speed_vector();
+        Self { cluster, cost, levels }
+    }
+
+    /// The fixed speed vector this policy provisions every slot.
+    pub fn levels(&self) -> &[usize] {
+        &self.levels
     }
 }
 
-impl Policy for StaticLevels<'_> {
+impl Policy for StaticLevels {
     fn name(&self) -> &str {
         "static-levels"
     }
 
     fn decide(&mut self, obs: &SlotObservation) -> crate::Result<Decision> {
         let problem = crate::dispatch::SlotProblem {
-            cluster: self.cluster,
+            cluster: &self.cluster,
             arrival_rate: obs.arrival_rate,
             onsite: obs.onsite,
             energy_weight: obs.price,
@@ -155,6 +193,33 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
     }
     fn reset(&mut self) {
         (**self).reset()
+    }
+    fn snapshot(&self) -> crate::Result<Value> {
+        (**self).snapshot()
+    }
+    fn restore(&mut self, state: &Value) -> crate::Result<()> {
+        (**self).restore(state)
+    }
+}
+
+impl<P: Policy + ?Sized> Policy for &mut P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn decide(&mut self, obs: &SlotObservation) -> crate::Result<Decision> {
+        (**self).decide(obs)
+    }
+    fn feedback(&mut self, fb: &SlotFeedback) {
+        (**self).feedback(fb)
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn snapshot(&self) -> crate::Result<Value> {
+        (**self).snapshot()
+    }
+    fn restore(&mut self, state: &Value) -> crate::Result<()> {
+        (**self).restore(state)
     }
 }
 
@@ -187,7 +252,7 @@ mod tests {
     fn static_levels_runs_over_a_trace() {
         use crate::cluster::Cluster;
         use crate::slot_sim::{CostParams, SlotSimulator};
-        let cluster = Cluster::homogeneous(3, 10);
+        let cluster = Arc::new(Cluster::homogeneous(3, 10));
         let cost = CostParams::default();
         let trace = coca_traces::TraceConfig {
             hours: 24,
@@ -197,15 +262,28 @@ mod tests {
             ..Default::default()
         }
         .generate();
-        let mut policy = super::StaticLevels::full_speed(&cluster, cost);
+        let mut policy = super::StaticLevels::full_speed(Arc::clone(&cluster), cost);
         let out = SlotSimulator::new(&cluster, &trace, cost, 0.0).run(&mut policy).unwrap();
         assert_eq!(out.len(), 24);
         assert_eq!(out.policy, "static-levels");
         assert!(out.records.iter().all(|r| r.servers_on == 30));
         // Custom (partial) vector and validation.
-        let p = super::StaticLevels::new(&cluster, cost, vec![4, 0, 2]).unwrap();
-        assert_eq!(p.levels, vec![4, 0, 2]);
-        assert!(super::StaticLevels::new(&cluster, cost, vec![9, 0, 0]).is_err());
+        let p = super::StaticLevels::new(Arc::clone(&cluster), cost, vec![4, 0, 2]).unwrap();
+        assert_eq!(p.levels(), &[4, 0, 2]);
+        assert!(super::StaticLevels::new(cluster, cost, vec![9, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn default_snapshot_restore_contract() {
+        let mut p = Fixed;
+        let snap = p.snapshot().unwrap();
+        assert!(matches!(snap, Value::Null));
+        assert!(p.restore(&snap).is_ok());
+        assert!(p.restore(&Value::Int(3)).is_err(), "non-null rejected by default");
+        // Blanket impls forward the hooks.
+        let by_ref: &mut dyn Policy = &mut p;
+        assert!(matches!(by_ref.snapshot().unwrap(), Value::Null));
+        assert!(by_ref.restore(&Value::Null).is_ok());
     }
 
     #[test]

@@ -7,11 +7,19 @@
 //! rate, (4) accounts energy, switching, and costs, and (5) feeds the
 //! realized off-site supply and brown energy back to the policy (which is
 //! how COCA updates its carbon-deficit queue).
+//!
+//! Since the [`crate::engine`] refactor this type is a borrowed-reference
+//! convenience wrapper: `run` registers the policy as a single lane on a
+//! [`SimEngine`] and drives it to the end, so there is exactly one slot
+//! loop in the workspace. Multi-policy lockstep runs, streaming sources,
+//! and checkpoint/resume live on the engine directly.
+
+use std::sync::Arc;
 
 use crate::cluster::Cluster;
-use crate::dispatch::{evaluate_dispatch, SlotProblem};
-use crate::metrics::{SimOutcome, SlotRecord};
-use crate::policy::{Policy, SlotFeedback, SlotObservation};
+use crate::engine::SimEngine;
+use crate::metrics::SimOutcome;
+use crate::policy::Policy;
 use crate::SimError;
 use coca_traces::EnvironmentTrace;
 use serde::{Deserialize, Serialize};
@@ -81,165 +89,32 @@ impl<'a> SlotSimulator<'a> {
         Self { cluster, trace, cost, rec_total, overestimation: 1.0 }
     }
 
-    /// Runs the policy over the whole trace.
+    /// Runs the policy over the whole trace (a single-lane engine pass).
     pub fn run(&self, policy: &mut dyn Policy) -> crate::Result<SimOutcome> {
-        self.cost.validate()?;
-        if !(self.overestimation >= 1.0 && self.overestimation.is_finite()) {
-            return Err(SimError::InvalidConfig(format!(
-                "overestimation factor {} must be ≥ 1",
-                self.overestimation
-            )));
-        }
-        if !(self.rec_total.is_finite() && self.rec_total >= 0.0) {
-            return Err(SimError::InvalidConfig(format!("rec_total {} invalid", self.rec_total)));
-        }
-        self.trace
-            .validate()
-            .map_err(SimError::InvalidConfig)?;
-        let max_servable = self.cost.gamma * self.cluster.max_capacity();
-
-        let mut records = Vec::with_capacity(self.trace.len());
-        let mut prev_levels = self.cluster.all_off_vector();
-
-        for t in 0..self.trace.len() {
-            let env = self.trace.slot(t);
-            let planned_rate = env.arrival_rate * self.overestimation;
-            if planned_rate > max_servable {
-                return Err(SimError::Overload {
-                    slot: t,
-                    arrival_rate: planned_rate,
-                    max_capacity: max_servable,
-                });
-            }
-            let obs = SlotObservation {
-                t,
-                arrival_rate: planned_rate,
-                onsite: env.onsite,
-                price: env.price,
-            };
-            let decision = policy.decide(&obs)?;
-            self.cluster.validate_levels(&decision.levels)?;
-            decision.validate_totals(planned_rate)?;
-            // Paper-invariant hooks: constraints (8) and (9) on what the
-            // policy actually returned, independent of the hard validation
-            // above (strict mode turns these into unconditional panics).
-            coca_opt::invariant::global().decision(
-                &decision.levels,
-                &decision.loads,
-                &self.cluster.choice_counts(),
-                planned_rate,
-            );
-
-            // Re-dispatch the planned shares onto the realized arrival rate.
-            // φ ≥ 1 only ever scales loads down, so caps stay satisfied.
-            let scale = if planned_rate > 0.0 { env.arrival_rate / planned_rate } else { 0.0 };
-            let actual_loads: Vec<f64> = decision.loads.iter().map(|l| l * scale).collect();
-
-            let problem = SlotProblem {
-                cluster: self.cluster,
-                arrival_rate: env.arrival_rate,
-                onsite: env.onsite,
-                energy_weight: env.price,
-                delay_weight: self.cost.beta,
-                gamma: self.cost.gamma,
-                pue: self.cost.pue,
-            };
-            let outcome = evaluate_dispatch(&problem, &decision.levels, &actual_loads)?;
-
-            // Switching energy: servers transitioning off → on.
-            let turned_on: usize = self
-                .cluster
-                .groups()
-                .iter()
-                .zip(prev_levels.iter().zip(&decision.levels))
-                .map(|(g, (&prev, &cur))| if prev == 0 && cur > 0 { g.count } else { 0 })
-                .sum();
-            let switching_energy = turned_on as f64 * self.cost.switch_energy_kwh;
-
-            // Slot energy (kWh) equals power (kW) over the 1-hour slot;
-            // switching draw cannot be offset by the on-site supply that was
-            // already netted in `outcome.brown`.
-            let facility_energy = outcome.facility_power + switching_energy;
-            let brown_energy = outcome.brown + switching_energy;
-            let electricity_cost = env.price * brown_energy;
-            let delay_cost = self.cost.beta * outcome.delay;
-            let total_cost = electricity_cost + delay_cost;
-
-            records.push(SlotRecord {
-                t,
-                arrival_rate: env.arrival_rate,
-                price: env.price,
-                onsite: env.onsite,
-                offsite: env.offsite,
-                facility_energy,
-                brown_energy,
-                switching_energy,
-                electricity_cost,
-                delay_cost,
-                total_cost,
-                delay: outcome.delay,
-                servers_on: self.cluster.servers_on(&decision.levels),
-            });
-
-            policy.feedback(&SlotFeedback {
-                t,
-                offsite: env.offsite,
-                brown_energy,
-                facility_energy,
-                cost: total_cost,
-            });
-            prev_levels = decision.levels;
-        }
-
-        Ok(SimOutcome { policy: policy.name().to_string(), records, rec_total: self.rec_total })
+        let mut engine = SimEngine::new(
+            Arc::new(self.cluster.clone()),
+            self.trace,
+            self.cost,
+            self.rec_total,
+        )?;
+        engine.set_overestimation(self.overestimation)?;
+        engine.add_policy(Box::new(policy));
+        engine.run_to_end()?;
+        engine
+            .into_outcomes()?
+            .pop()
+            .ok_or_else(|| SimError::Internal("engine produced no outcome".to_string()))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dispatch::optimal_dispatch;
-    use crate::policy::Decision;
+    use crate::policy::{Decision, SlotObservation, StaticLevels};
     use coca_traces::TraceConfig;
 
-    /// Always-on full-speed policy dispatching optimally for the plain cost.
-    struct FullSpeed {
-        levels: Vec<usize>,
-    }
-
-    impl FullSpeed {
-        fn new(cluster: &Cluster) -> Self {
-            Self { levels: cluster.full_speed_vector() }
-        }
-    }
-
-    struct FullSpeedPolicy<'a> {
-        cluster: &'a Cluster,
-        cost: CostParams,
-        inner: FullSpeed,
-    }
-
-    impl Policy for FullSpeedPolicy<'_> {
-        fn name(&self) -> &str {
-            "full-speed"
-        }
-        fn decide(&mut self, obs: &SlotObservation) -> crate::Result<Decision> {
-            let p = SlotProblem {
-                cluster: self.cluster,
-                arrival_rate: obs.arrival_rate,
-                onsite: obs.onsite,
-                energy_weight: obs.price,
-                delay_weight: self.cost.beta,
-                gamma: self.cost.gamma,
-                pue: self.cost.pue,
-            };
-            let out = optimal_dispatch(&p, &self.inner.levels)?;
-            Ok(Decision { levels: self.inner.levels.clone(), loads: out.loads })
-        }
-    }
-
-    fn small_setup() -> (Cluster, coca_traces::EnvironmentTrace) {
-        let cluster = Cluster::homogeneous(4, 20);
+    fn small_setup() -> (Arc<Cluster>, coca_traces::EnvironmentTrace) {
+        let cluster = Arc::new(Cluster::homogeneous(4, 20));
         // Peak workload at ~50% of the 800 req/s capacity.
         let trace = TraceConfig {
             hours: 48,
@@ -257,11 +132,10 @@ mod tests {
         let (cluster, trace) = small_setup();
         let cost = CostParams::default();
         let sim = SlotSimulator::new(&cluster, &trace, cost, 10.0);
-        let mut policy =
-            FullSpeedPolicy { cluster: &cluster, cost, inner: FullSpeed::new(&cluster) };
+        let mut policy = StaticLevels::full_speed(Arc::clone(&cluster), cost);
         let out = sim.run(&mut policy).unwrap();
         assert_eq!(out.len(), 48);
-        assert_eq!(out.policy, "full-speed");
+        assert_eq!(out.policy, "static-levels");
         for r in &out.records {
             assert!(r.total_cost > 0.0);
             assert!(r.facility_energy > 0.0);
@@ -275,8 +149,7 @@ mod tests {
         let (cluster, trace) = small_setup();
         let cost = CostParams { switch_energy_kwh: 0.0231, ..Default::default() };
         let sim = SlotSimulator::new(&cluster, &trace, cost, 10.0);
-        let mut policy =
-            FullSpeedPolicy { cluster: &cluster, cost, inner: FullSpeed::new(&cluster) };
+        let mut policy = StaticLevels::full_speed(Arc::clone(&cluster), cost);
         let out = sim.run(&mut policy).unwrap();
         // All 80 servers power on in slot 0, then stay on.
         assert!((out.records[0].switching_energy - 80.0 * 0.0231).abs() < 1e-9);
@@ -290,32 +163,22 @@ mod tests {
         let cost = CostParams::default();
         let mut sim = SlotSimulator::new(&cluster, &trace, cost, 10.0);
         sim.overestimation = 1.2;
-        struct Probe<'a> {
-            cluster: &'a Cluster,
-            cost: CostParams,
+        /// Wraps the canonical static-levels policy and records what it saw.
+        struct Probe {
+            inner: StaticLevels,
             seen: Vec<f64>,
         }
-        impl Policy for Probe<'_> {
+        impl Policy for Probe {
             fn name(&self) -> &str {
                 "probe"
             }
             fn decide(&mut self, obs: &SlotObservation) -> crate::Result<Decision> {
                 self.seen.push(obs.arrival_rate);
-                let p = SlotProblem {
-                    cluster: self.cluster,
-                    arrival_rate: obs.arrival_rate,
-                    onsite: obs.onsite,
-                    energy_weight: obs.price,
-                    delay_weight: self.cost.beta,
-                    gamma: self.cost.gamma,
-                    pue: self.cost.pue,
-                };
-                let levels = self.cluster.full_speed_vector();
-                let out = optimal_dispatch(&p, &levels)?;
-                Ok(Decision { levels, loads: out.loads })
+                self.inner.decide(obs)
             }
         }
-        let mut policy = Probe { cluster: &cluster, cost, seen: vec![] };
+        let mut policy =
+            Probe { inner: StaticLevels::full_speed(Arc::clone(&cluster), cost), seen: vec![] };
         let out = sim.run(&mut policy).unwrap();
         for (seen, r) in policy.seen.iter().zip(&out.records) {
             assert!((seen - r.arrival_rate * 1.2).abs() < 1e-6, "observation inflated by φ");

@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the COCA paper.
 //!
 //! ```text
-//! repro [--scale small|medium|paper] [--out DIR] [--strict] <command>
+//! repro [--scale small|medium|paper] [--out DIR] [--strict] [--resume] <command>
 //!
 //! commands:
 //!   fig1       workload traces (Fig. 1a/1b)
@@ -18,6 +18,14 @@
 //! Results are printed as aligned tables (long series are thinned) and
 //! written in full as CSV under `--out` (default `results/`).
 //!
+//! Long runs checkpoint the engine state at frame boundaries to
+//! `<out>/checkpoint_<command>.json`; after an interruption, rerunning with
+//! `--resume` restarts from the last frame checkpoint instead of slot 0.
+//!
+//! The calibrated V* is computed **once** per invocation and shared by
+//! every subcommand that needs it (fig3, fig5c/d, portfolio, ablation,
+//! summary) — `all` no longer re-runs the bisection per figure.
+//!
 //! `--strict` turns the runtime paper-invariant checks
 //! ([`coca_core::invariant`]) into unconditional panics, release build
 //! included — use it to certify that a full reproduction run never strays
@@ -26,10 +34,13 @@
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
+use coca_core::VSchedule;
 use coca_experiments::figures::{self, Figure};
 use coca_experiments::report::{print_table, write_csv};
+use coca_experiments::runtime::{run_lockstep_checkpointed, Checkpointing};
 use coca_experiments::setup::{ExperimentScale, PaperSetup};
 use coca_traces::WorkloadKind;
 
@@ -38,6 +49,7 @@ struct Args {
     scale_name: String,
     out: PathBuf,
     command: String,
+    resume: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale_name = "medium".to_string();
     let mut out = PathBuf::from("results");
     let mut command = None;
+    let mut resume = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -64,12 +77,19 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--strict must come before invariant checks run".into());
                 }
             }
+            "--resume" => resume = true,
             "--help" | "-h" => return Err("help".into()),
             cmd if command.is_none() && !cmd.starts_with('-') => command = Some(cmd.to_string()),
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    Ok(Args { scale, scale_name, out, command: command.unwrap_or_else(|| "all".into()) })
+    Ok(Args {
+        scale,
+        scale_name,
+        out,
+        command: command.unwrap_or_else(|| "all".into()),
+        resume,
+    })
 }
 
 fn emit(args: &Args, stem: &str, fig: &Figure) {
@@ -135,9 +155,7 @@ fn fig2(args: &Args, setup: &PaperSetup) {
     emit(args, "fig2d_movavg_deficit", &d);
 }
 
-fn fig3(args: &Args, setup: &PaperSetup) -> f64 {
-    let v = figures::calibrate_v(setup, 7).expect("calibration");
-    eprintln!("[fig3] calibrated V = {v:.1}");
+fn fig3(args: &Args, setup: &PaperSetup, v: f64) -> f64 {
     let window = 48.min(setup.trace.len());
     let (a, b, saving) = figures::fig3_vs_perfect_hp(setup, v, window).expect("fig3 runs");
     emit(args, "fig3a_cumavg_cost", &a);
@@ -160,7 +178,7 @@ fn fig4(args: &Args, setup: &PaperSetup) {
     emit(args, "fig4b_gsd_initials", &b);
 }
 
-fn fig5(args: &Args, setup_fiu: &PaperSetup) {
+fn fig5(args: &Args, setup_fiu: &PaperSetup, v: f64) {
     let fractions = [0.85, 0.90, 0.92, 1.00, 1.05];
     let (fig_a, rows) = figures::fig5_budget_sweep(setup_fiu, &fractions, 5).expect("fig5a runs");
     emit(args, "fig5a_budget_fiu", &fig_a);
@@ -181,7 +199,6 @@ fn fig5(args: &Args, setup_fiu: &PaperSetup) {
         );
     }
 
-    let v = figures::calibrate_v(setup_fiu, 6).expect("calibration");
     let c = figures::fig5_overestimation(setup_fiu, v, &[1.0, 1.05, 1.10, 1.15, 1.20])
         .expect("fig5c runs");
     emit(args, "fig5c_overestimation", &c);
@@ -190,8 +207,7 @@ fn fig5(args: &Args, setup_fiu: &PaperSetup) {
     emit(args, "fig5d_switching", &d);
 }
 
-fn ablation(setup: &PaperSetup) {
-    let v = figures::calibrate_v(setup, 6).expect("calibration");
+fn ablation(setup: &PaperSetup, v: f64) {
     let rows = figures::ablation_frame_reset(setup, v, &[1, 2, 4, 12]).expect("ablation");
     println!("
 ## Ablation: deficit-queue frame reset (constant V = {v:.0})");
@@ -202,16 +218,29 @@ fn ablation(setup: &PaperSetup) {
     println!("(more frames = more resets = weaker neutrality pressure at fixed V)");
 }
 
-fn portfolio(args: &Args, setup: &PaperSetup) {
-    let v = figures::calibrate_v(setup, 6).expect("calibration");
+fn portfolio(args: &Args, setup: &PaperSetup, v: f64) {
     let fig = figures::portfolio_sensitivity(setup, v, &[0.2, 0.4, 0.6, 0.8]).expect("portfolio");
     emit(args, "portfolio_sensitivity", &fig);
 }
 
-fn summary(args: &Args, setup: &PaperSetup) {
-    let v = figures::calibrate_v(setup, 7).expect("calibration");
-    let out = figures::run_coca(setup, coca_core::VSchedule::Constant(v), setup.trace.len())
-        .expect("coca run");
+fn summary(args: &Args, setup: &PaperSetup, v: f64) {
+    // The headline COCA year runs through the checkpointed runtime: frame
+    // snapshots land in `<out>/checkpoint_summary.json`, and `--resume`
+    // picks up from the last one after an interruption.
+    let ckpt_path = args.out.join("checkpoint_summary.json");
+    let every = (setup.trace.len() / 8).max(1);
+    let coca = figures::coca_policy(setup, VSchedule::Constant(v), setup.trace.len());
+    let out = run_lockstep_checkpointed(
+        Arc::clone(&setup.cluster),
+        &setup.trace,
+        setup.cost,
+        setup.rec_total,
+        vec![Box::new(coca)],
+        Some(Checkpointing { path: &ckpt_path, every, resume: args.resume }),
+    )
+    .expect("coca run")
+    .pop()
+    .expect("coca outcome");
     let window = 48.min(setup.trace.len());
     let (_, _, saving) = figures::fig3_vs_perfect_hp(setup, v, window).expect("fig3");
     println!("\n## Summary (scale = {}, budget = 92%)", args.scale_name);
@@ -228,6 +257,11 @@ fn summary(args: &Args, setup: &PaperSetup) {
     );
 }
 
+/// Commands whose figures depend on the calibrated V*.
+fn needs_calibration(command: &str) -> bool {
+    matches!(command, "fig3" | "fig5" | "portfolio" | "ablation" | "summary" | "all")
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -236,7 +270,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: repro [--scale small|medium|paper] [--out DIR] [--strict] \
+                "usage: repro [--scale small|medium|paper] [--out DIR] [--strict] [--resume] \
                  [fig1|fig2|fig3|fig4|fig5|portfolio|ablation|summary|all]"
             );
             return if e == "help" { ExitCode::SUCCESS } else { ExitCode::from(2) };
@@ -245,27 +279,38 @@ fn main() -> ExitCode {
     let t0 = Instant::now();
     let needs_setup = args.command != "fig1";
     let setup = if needs_setup { Some(build_setup(&args, WorkloadKind::Fiu)) } else { None };
+    // Calibrate V* once and share it across every subcommand that needs it.
+    let v_star = if needs_calibration(&args.command) {
+        let s = setup.as_ref().unwrap();
+        let tc = Instant::now();
+        let v = figures::calibrate_v(s, 7).expect("calibration");
+        eprintln!("[calibrate] V* = {v:.1} ({:.1?})", tc.elapsed());
+        Some(v)
+    } else {
+        None
+    };
     match args.command.as_str() {
         "fig1" => fig1(&args),
         "fig2" => fig2(&args, setup.as_ref().unwrap()),
         "fig3" => {
-            fig3(&args, setup.as_ref().unwrap());
+            fig3(&args, setup.as_ref().unwrap(), v_star.unwrap());
         }
         "fig4" => fig4(&args, setup.as_ref().unwrap()),
-        "fig5" => fig5(&args, setup.as_ref().unwrap()),
-        "portfolio" => portfolio(&args, setup.as_ref().unwrap()),
-        "ablation" => ablation(setup.as_ref().unwrap()),
-        "summary" => summary(&args, setup.as_ref().unwrap()),
+        "fig5" => fig5(&args, setup.as_ref().unwrap(), v_star.unwrap()),
+        "portfolio" => portfolio(&args, setup.as_ref().unwrap(), v_star.unwrap()),
+        "ablation" => ablation(setup.as_ref().unwrap(), v_star.unwrap()),
+        "summary" => summary(&args, setup.as_ref().unwrap(), v_star.unwrap()),
         "all" => {
             let s = setup.as_ref().unwrap();
+            let v = v_star.unwrap();
             fig1(&args);
             fig2(&args, s);
-            fig3(&args, s);
+            fig3(&args, s, v);
             fig4(&args, s);
-            fig5(&args, s);
-            portfolio(&args, s);
-            ablation(s);
-            summary(&args, s);
+            fig5(&args, s, v);
+            portfolio(&args, s, v);
+            ablation(s, v);
+            summary(&args, s, v);
         }
         other => {
             eprintln!("unknown command {other:?}");

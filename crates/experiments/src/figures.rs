@@ -1,18 +1,27 @@
 //! One function per paper figure. Each returns [`Series`] data that the
 //! `repro` binary prints/saves and the integration tests assert on.
+//!
+//! Sweeps run through the [`SimEngine`](coca_dcsim::SimEngine): independent
+//! policy variants (V values, baselines) become **lockstep lanes** sharing
+//! one trace pass, and lane sets are split across worker threads with
+//! [`crate::parallel::sweep`]. On a single core the whole sweep collapses
+//! to exactly one pass over the trace.
 
-use coca_baselines::{CarbonUnaware, OfflineOpt, PerfectHp};
+use std::sync::Arc;
+
+use coca_baselines::{OfflineOpt, PerfectHp};
 use coca_core::gsd::{GsdOptions, GsdSolver};
 use coca_core::solver::P3Solver;
 use coca_core::symmetric::SymmetricSolver;
 use coca_core::{CocaConfig, CocaController, VSchedule};
 use coca_dcsim::dispatch::SlotProblem;
-use coca_dcsim::{SimError, SimOutcome, SlotSimulator};
+use coca_dcsim::{run_lockstep, Policy, SimEngine, SimError, SimOutcome};
 use coca_opt::schedule::TemperatureSchedule;
 use coca_traces::{WorkloadKind, WorkloadTrace, HOURS_PER_WEEK, HOURS_PER_YEAR};
 
+use crate::parallel;
 use crate::report::Series;
-use crate::setup::PaperSetup;
+use crate::setup::{unaware_reference, PaperSetup};
 
 /// A figure: a title, an x-axis label, and one or more curves.
 #[derive(Debug, Clone)]
@@ -31,13 +40,12 @@ impl Figure {
     }
 }
 
-/// Runs COCA over the setup's trace with the given V schedule and frame
-/// length, returning the simulation outcome.
-pub fn run_coca(
+/// Builds a symmetric-solver COCA controller for the setup's scenario.
+pub fn coca_policy(
     setup: &PaperSetup,
     v: VSchedule,
     frame_length: usize,
-) -> Result<SimOutcome, SimError> {
+) -> CocaController<SymmetricSolver> {
     let cfg = CocaConfig {
         v,
         frame_length,
@@ -45,9 +53,73 @@ pub fn run_coca(
         alpha: 1.0,
         rec_total: setup.rec_total,
     };
-    let mut coca =
-        CocaController::new(&setup.cluster, setup.cost, cfg, SymmetricSolver::new());
-    SlotSimulator::new(&setup.cluster, &setup.trace, setup.cost, setup.rec_total).run(&mut coca)
+    CocaController::new(Arc::clone(&setup.cluster), setup.cost, cfg, SymmetricSolver::new())
+}
+
+/// Runs COCA over the setup's trace with the given V schedule and frame
+/// length, returning the simulation outcome.
+pub fn run_coca(
+    setup: &PaperSetup,
+    v: VSchedule,
+    frame_length: usize,
+) -> Result<SimOutcome, SimError> {
+    let coca = coca_policy(setup, v, frame_length);
+    run_lockstep(
+        Arc::clone(&setup.cluster),
+        &setup.trace,
+        setup.cost,
+        setup.rec_total,
+        vec![Box::new(coca)],
+    )?
+    .pop()
+    .ok_or_else(|| SimError::Internal("engine produced no outcome".into()))
+}
+
+/// Runs one policy per item over the setup's trace, lockstep within worker
+/// chunks: items are split into `available_parallelism` contiguous chunks
+/// via [`parallel::sweep`], and each chunk's policies advance through a
+/// **single shared trace pass** in a [`SimEngine`]. Outcomes come back in
+/// item order.
+pub fn lockstep_sweep<T, F>(
+    setup: &PaperSetup,
+    items: Vec<T>,
+    make_policy: F,
+) -> Result<Vec<SimOutcome>, SimError>
+where
+    T: Send,
+    F: for<'s> Fn(&'s PaperSetup, T) -> Box<dyn Policy + 's> + Sync,
+{
+    if items.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let chunk_size = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let results = parallel::sweep(chunks, 0, |chunk: Vec<T>| {
+        let policies: Vec<Box<dyn Policy + '_>> =
+            chunk.into_iter().map(|item| make_policy(setup, item)).collect();
+        run_lockstep(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            setup.cost,
+            setup.rec_total,
+            policies,
+        )
+    });
+    let mut outs = Vec::new();
+    for chunk in results {
+        outs.extend(chunk?);
+    }
+    Ok(outs)
 }
 
 /// Finds the largest constant V whose COCA run stays within the carbon
@@ -104,22 +176,27 @@ pub fn fig1_workloads(seed: u64) -> (Figure, Figure) {
 }
 
 /// Fig. 2(a)(b): average hourly cost and carbon deficit vs constant V.
+///
+/// Every V value — plus the carbon-unaware reference (the V → ∞ limit) —
+/// is one lockstep lane. Lanes are chunked across worker threads; each
+/// chunk shares a single trace pass, so on one core the whole figure is a
+/// single pass instead of `|vs| + 1` passes.
 pub fn fig2_constant_v(setup: &PaperSetup, vs: &[f64]) -> Result<(Figure, Figure), SimError> {
-    let mut cost = Vec::with_capacity(vs.len());
-    let mut deficit = Vec::with_capacity(vs.len());
-    for &v in vs {
-        let out = run_coca(setup, VSchedule::Constant(v), setup.trace.len())?;
-        cost.push(out.avg_hourly_cost());
-        deficit.push(out.avg_hourly_deficit());
-    }
-    // Reference: the carbon-unaware policy (V → ∞ limit).
-    let unaware = CarbonUnaware::simulate(
-        &setup.cluster,
-        setup.cost,
-        &setup.trace,
-        SymmetricSolver::new(),
-        setup.rec_total,
-    )?;
+    // `Some(v)` is a COCA lane at constant V; `None` the unaware reference.
+    let lanes: Vec<Option<f64>> =
+        vs.iter().copied().map(Some).chain(std::iter::once(None)).collect();
+    let outs = lockstep_sweep(setup, lanes, |setup, lane| match lane {
+        Some(v) => Box::new(coca_policy(setup, VSchedule::Constant(v), setup.trace.len())),
+        None => Box::new(coca_baselines::CarbonUnaware::new(
+            Arc::clone(&setup.cluster),
+            setup.cost,
+            SymmetricSolver::new(),
+        )),
+    })?;
+    let unaware = outs.last().expect("unaware lane present").clone();
+    let cost: Vec<f64> = outs[..vs.len()].iter().map(SimOutcome::avg_hourly_cost).collect();
+    let deficit: Vec<f64> =
+        outs[..vs.len()].iter().map(SimOutcome::avg_hourly_deficit).collect();
     let a = Figure::new(
         "Fig. 2(a) average hourly cost vs V",
         "V",
@@ -168,12 +245,23 @@ pub fn fig2_varying_v(
         s.trace = s.trace.window(0, trimmed);
         s
     };
-    let vary = run_coca(
-        &setup,
+    // Both schedules share one lockstep trace pass.
+    let schedules = vec![
         VSchedule::quarterly(increasing.0, increasing.1, increasing.2, increasing.3),
-        frame,
+        VSchedule::Constant(constant),
+    ];
+    let mut outs = run_lockstep(
+        Arc::clone(&setup.cluster),
+        &setup.trace,
+        setup.cost,
+        setup.rec_total,
+        schedules
+            .into_iter()
+            .map(|v| Box::new(coca_policy(&setup, v, frame)) as Box<dyn Policy + '_>)
+            .collect(),
     )?;
-    let cons = run_coca(&setup, VSchedule::Constant(constant), frame)?;
+    let cons = outs.pop().ok_or_else(|| SimError::Internal("missing constant-V lane".into()))?;
+    let vary = outs.pop().ok_or_else(|| SimError::Internal("missing varying-V lane".into()))?;
     let c = Figure::new(
         "Fig. 2(c) moving average cost, varying vs constant V",
         "hour",
@@ -201,11 +289,24 @@ pub fn fig3_vs_perfect_hp(
     v: f64,
     window: usize,
 ) -> Result<(Figure, Figure, f64), SimError> {
-    let coca = run_coca(setup, VSchedule::Constant(v), setup.trace.len())?;
-    let mut hp: PerfectHp<'_, SymmetricSolver> =
-        PerfectHp::new(&setup.cluster, setup.cost, &setup.trace, setup.rec_total, window)?;
-    let hp_out = SlotSimulator::new(&setup.cluster, &setup.trace, setup.cost, setup.rec_total)
-        .run(&mut hp)?;
+    // COCA and PerfectHP advance in lockstep over one trace pass.
+    let hp: PerfectHp<SymmetricSolver> = PerfectHp::new(
+        Arc::clone(&setup.cluster),
+        setup.cost,
+        &setup.trace,
+        setup.rec_total,
+        window,
+    )?;
+    let coca_lane = coca_policy(setup, VSchedule::Constant(v), setup.trace.len());
+    let mut outs = run_lockstep(
+        Arc::clone(&setup.cluster),
+        &setup.trace,
+        setup.cost,
+        setup.rec_total,
+        vec![Box::new(coca_lane), Box::new(hp)],
+    )?;
+    let hp_out = outs.pop().ok_or_else(|| SimError::Internal("missing PerfectHP lane".into()))?;
+    let coca = outs.pop().ok_or_else(|| SimError::Internal("missing COCA lane".into()))?;
     let saving = 1.0 - coca.avg_hourly_cost() / hp_out.avg_hourly_cost();
     let a = Figure::new(
         "Fig. 3(a) cumulative average hourly cost",
@@ -338,31 +439,27 @@ pub fn fig5_budget_sweep(
     fractions: &[f64],
     calib_probes: usize,
 ) -> Result<(Figure, Vec<BudgetSweepRow>), SimError> {
-    let unaware = CarbonUnaware::simulate(
-        &base.cluster,
-        base.cost,
-        &base.trace,
-        SymmetricSolver::new(),
-        base.rec_total,
-    )?;
+    let unaware = unaware_reference(&base.cluster, base.cost, &base.trace, base.rec_total)?;
     let unaware_cost = unaware.avg_hourly_cost();
 
-    let mut rows = Vec::new();
-    for &frac in fractions {
+    // Budget points are independent (each re-calibrates V against its own
+    // budget), so the sweep fans them out across worker threads.
+    let results = parallel::sweep(fractions.to_vec(), 0, |frac: f64| -> Result<BudgetSweepRow, SimError> {
         let setup = base.with_budget_fraction(frac);
         let v = calibrate_v(&setup, calib_probes)?;
         let coca_out = run_coca(&setup, VSchedule::Constant(v), setup.trace.len())?;
         let mut solver = SymmetricSolver::new();
         let opt = OfflineOpt::plan(&setup.cluster, setup.cost, &setup.trace, setup.budget_kwh, &mut solver)?;
         let opt_cost = opt.total_planned_cost() / setup.trace.len() as f64;
-        rows.push(BudgetSweepRow {
+        Ok(BudgetSweepRow {
             budget_fraction: frac,
             coca: coca_out.avg_hourly_cost() / unaware_cost,
             opt: opt_cost / unaware_cost,
             coca_neutral: coca_out.total_brown_energy() <= setup.budget_kwh * 1.005,
             v_used: v,
-        });
-    }
+        })
+    });
+    let rows = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     let fig = Figure::new(
         "Fig. 5(a/b) normalized cost vs carbon budget",
         "budget (normalized)",
@@ -382,22 +479,26 @@ pub fn fig5_budget_sweep(
 /// Fig. 5(c): total cost vs workload overestimation factor φ, normalized to
 /// φ = 1.
 pub fn fig5_overestimation(setup: &PaperSetup, v: f64, phis: &[f64]) -> Result<Figure, SimError> {
-    let mut costs = Vec::new();
-    for &phi in phis {
-        let cfg = CocaConfig {
-            v: VSchedule::Constant(v),
-            frame_length: setup.trace.len(),
-            horizon: setup.trace.len(),
-            alpha: 1.0,
-            rec_total: setup.rec_total,
-        };
-        let mut coca =
-            CocaController::new(&setup.cluster, setup.cost, cfg, SymmetricSolver::new());
-        let mut sim =
-            SlotSimulator::new(&setup.cluster, &setup.trace, setup.cost, setup.rec_total);
-        sim.overestimation = phi;
-        costs.push(sim.run(&mut coca)?.avg_hourly_cost());
-    }
+    // Each φ changes the engine's shared per-slot env prep, so every φ is
+    // its own engine; the points fan out across worker threads.
+    let results = parallel::sweep(phis.to_vec(), 0, |phi: f64| -> Result<f64, SimError> {
+        let mut engine = SimEngine::new(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            setup.cost,
+            setup.rec_total,
+        )?;
+        engine.set_overestimation(phi)?;
+        let _ = engine
+            .add_policy(Box::new(coca_policy(setup, VSchedule::Constant(v), setup.trace.len())));
+        let _ = engine.run_to_end()?;
+        let out = engine
+            .into_outcomes()?
+            .pop()
+            .ok_or_else(|| SimError::Internal("engine produced no outcome".into()))?;
+        Ok(out.avg_hourly_cost())
+    });
+    let costs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     let base = costs[0];
     let normalized = costs.iter().map(|c| c / base).collect();
     Ok(Figure::new(
@@ -410,8 +511,9 @@ pub fn fig5_overestimation(setup: &PaperSetup, v: f64, phis: &[f64]) -> Result<F
 /// Fig. 5(d): total cost vs per-server switching energy (kWh), normalized
 /// to zero switching cost.
 pub fn fig5_switching(setup: &PaperSetup, v: f64, switch_kwh: &[f64]) -> Result<Figure, SimError> {
-    let mut costs = Vec::new();
-    for &sw in switch_kwh {
+    // Switching energy enters the engine's cost accounting, so each point
+    // is its own engine run; the points fan out across worker threads.
+    let results = parallel::sweep(switch_kwh.to_vec(), 0, |sw: f64| -> Result<f64, SimError> {
         let mut cost = setup.cost;
         cost.switch_energy_kwh = sw;
         let cfg = CocaConfig {
@@ -421,11 +523,20 @@ pub fn fig5_switching(setup: &PaperSetup, v: f64, switch_kwh: &[f64]) -> Result<
             alpha: 1.0,
             rec_total: setup.rec_total,
         };
-        let mut coca = CocaController::new(&setup.cluster, cost, cfg, SymmetricSolver::new());
-        let out =
-            SlotSimulator::new(&setup.cluster, &setup.trace, cost, setup.rec_total).run(&mut coca)?;
-        costs.push(out.avg_hourly_cost());
-    }
+        let coca =
+            CocaController::new(Arc::clone(&setup.cluster), cost, cfg, SymmetricSolver::new());
+        let out = run_lockstep(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            cost,
+            setup.rec_total,
+            vec![Box::new(coca)],
+        )?
+        .pop()
+        .ok_or_else(|| SimError::Internal("engine produced no outcome".into()))?;
+        Ok(out.avg_hourly_cost())
+    });
+    let costs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     let base = costs[0];
     let normalized = costs.iter().map(|c| c / base).collect();
     Ok(Figure::new(
@@ -474,9 +585,19 @@ pub fn ablation_frame_reset(
             alpha: 1.0,
             rec_total: s.rec_total * trimmed as f64 / setup.trace.len() as f64,
         };
-        let mut coca = CocaController::new(&s.cluster, s.cost, cfg, SymmetricSolver::new());
-        let out = SlotSimulator::new(&s.cluster, &s.trace, s.cost, s.rec_total)
-            .run(&mut coca)?;
+        let mut coca =
+            CocaController::new(Arc::clone(&s.cluster), s.cost, cfg, SymmetricSolver::new());
+        // `&mut coca` as the lane keeps the controller borrowed, not moved,
+        // so its peak deficit stays readable after the run.
+        let out = run_lockstep(
+            Arc::clone(&s.cluster),
+            &s.trace,
+            s.cost,
+            s.rec_total,
+            vec![Box::new(&mut coca) as Box<dyn Policy + '_>],
+        )?
+        .pop()
+        .ok_or_else(|| SimError::Internal("engine produced no outcome".into()))?;
         let budget = s.budget_kwh * trimmed as f64 / setup.trace.len() as f64;
         rows.push(AblationRow {
             frames,
@@ -496,8 +617,9 @@ pub fn portfolio_sensitivity(
     v: f64,
     offsite_shares: &[f64],
 ) -> Result<Figure, SimError> {
-    let mut costs = Vec::new();
-    for &share in offsite_shares {
+    // Each mix reshapes the off-site trace, so each point is its own
+    // engine run; the points fan out across worker threads.
+    let results = parallel::sweep(offsite_shares.to_vec(), 0, |share: f64| -> Result<f64, SimError> {
         let mut s = setup.clone();
         s.trace.offsite = coca_traces::renewable::generate(
             &coca_traces::renewable::RenewableConfig {
@@ -509,8 +631,9 @@ pub fn portfolio_sensitivity(
         );
         s.rec_total = (1.0 - share) * s.budget_kwh;
         let out = run_coca(&s, VSchedule::Constant(v), s.trace.len())?;
-        costs.push(out.avg_hourly_cost());
-    }
+        Ok(out.avg_hourly_cost())
+    });
+    let costs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     let base = costs[0];
     let normalized = costs.iter().map(|c| c / base).collect();
     Ok(Figure::new(

@@ -13,6 +13,9 @@
 //! * [`report`] — plain-text table/series printing and CSV output.
 //! * [`parallel`] — order-preserving multi-threaded sweeps for independent
 //!   experiment points.
+//! * [`runtime`] — checkpointed lockstep runs: frame-boundary snapshots of
+//!   the engine state so interrupted reproductions resume with
+//!   `repro --resume`.
 //!
 //! Run `cargo run --release -p coca-experiments --bin repro -- all` to
 //! regenerate everything; see `EXPERIMENTS.md` for recorded results.
@@ -22,6 +25,7 @@
 pub mod figures;
 pub mod parallel;
 pub mod report;
+pub mod runtime;
 pub mod setup;
 
 pub use report::Series;

@@ -1,0 +1,211 @@
+//! Checkpointed lockstep runs for long reproductions.
+//!
+//! Drives a [`SimEngine`] slot by slot and persists its serializable
+//! [`EngineState`] to disk every `every` slots (the caller passes a frame
+//! length), so an interrupted `repro` invocation can restart from the last
+//! frame boundary with `--resume` instead of recomputing the whole year.
+//!
+//! The checkpoint file is JSON (`serde_json` over the engine's
+//! `EngineState`), written atomically (temp file + rename) and deleted on
+//! successful completion. A checkpoint that fails to parse or does not
+//! match the engine's configuration (lane count, policy names, `rec_total`)
+//! is ignored with a warning — the run then starts from slot 0.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use coca_dcsim::{
+    Cluster, CostParams, EngineState, Policy, SimEngine, SimError, SimOutcome, StepStatus,
+};
+use coca_traces::EnvironmentTrace;
+
+/// Where and how often to checkpoint a [`run_lockstep_checkpointed`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct Checkpointing<'a> {
+    /// Checkpoint file path (created on the first boundary, removed on
+    /// successful completion).
+    pub path: &'a Path,
+    /// Slots between checkpoints — pass the run's frame length so snapshots
+    /// land on frame boundaries. Clamped to ≥ 1.
+    pub every: usize,
+    /// Restore from `path` if a compatible checkpoint exists there.
+    pub resume: bool,
+}
+
+/// Serializes an [`EngineState`] to `path` as JSON, atomically.
+pub fn write_checkpoint(path: &Path, state: &EngineState) -> Result<(), SimError> {
+    let json = serde_json::to_string(state)
+        .map_err(|e| SimError::Internal(format!("checkpoint serialization failed: {e}")))?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                SimError::Internal(format!("cannot create {}: {e}", dir.display()))
+            })?;
+        }
+    }
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, json)
+        .map_err(|e| SimError::Internal(format!("cannot write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| SimError::Internal(format!("cannot rename {}: {e}", tmp.display())))
+}
+
+/// Reads an [`EngineState`] previously written by [`write_checkpoint`].
+pub fn read_checkpoint(path: &Path) -> Result<EngineState, SimError> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| SimError::Internal(format!("cannot read {}: {e}", path.display())))?;
+    serde_json::from_str(&json)
+        .map_err(|e| SimError::Internal(format!("checkpoint parse failed: {e}")))
+}
+
+/// Runs `policies` in lockstep over `trace`, checkpointing at frame
+/// boundaries when `ckpt` is given. Semantically identical to
+/// [`coca_dcsim::run_lockstep`] — same outcomes, slot for slot — plus the
+/// persistence side effects described in the module docs.
+pub fn run_lockstep_checkpointed<'p>(
+    cluster: Arc<Cluster>,
+    trace: &EnvironmentTrace,
+    cost: CostParams,
+    rec_total: f64,
+    policies: Vec<Box<dyn Policy + 'p>>,
+    ckpt: Option<Checkpointing<'_>>,
+) -> Result<Vec<SimOutcome>, SimError> {
+    let mut engine = SimEngine::new(cluster, trace, cost, rec_total)?;
+    for policy in policies {
+        let _ = engine.add_policy(policy);
+    }
+    if let Some(c) = &ckpt {
+        if c.resume && c.path.exists() {
+            match read_checkpoint(c.path).and_then(|state| {
+                engine.restore(&state)?;
+                Ok(state.t)
+            }) {
+                Ok(t) => eprintln!("[resume] continuing from slot {t} ({})", c.path.display()),
+                Err(e) => eprintln!("[resume] ignoring checkpoint {}: {e}", c.path.display()),
+            }
+        }
+    }
+    while engine.step()? == StepStatus::Advanced {
+        if let Some(c) = &ckpt {
+            if engine.t() % c.every.max(1) == 0 {
+                write_checkpoint(c.path, &engine.checkpoint()?)?;
+            }
+        }
+    }
+    if let Some(c) = &ckpt {
+        // The run completed; a stale checkpoint would hijack the next one.
+        let _ = std::fs::remove_file(c.path);
+    }
+    engine.into_outcomes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::coca_policy;
+    use crate::setup::{ExperimentScale, PaperSetup};
+    use coca_core::VSchedule;
+    use coca_dcsim::run_lockstep;
+    use coca_traces::WorkloadKind;
+
+    fn small_setup() -> PaperSetup {
+        let mut scale = ExperimentScale::small();
+        scale.hours = 72;
+        PaperSetup::build(scale, WorkloadKind::Fiu, 0.92).unwrap()
+    }
+
+    fn lanes(setup: &PaperSetup) -> Vec<Box<dyn Policy + '_>> {
+        vec![Box::new(coca_policy(setup, VSchedule::Constant(50.0), 24))]
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_and_cleans_up() {
+        let setup = small_setup();
+        let dir = std::env::temp_dir().join("coca_runtime_test_clean");
+        let path = dir.join("ckpt.json");
+        let ckpt = Checkpointing { path: &path, every: 24, resume: false };
+        let out = run_lockstep_checkpointed(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            setup.cost,
+            setup.rec_total,
+            lanes(&setup),
+            Some(ckpt),
+        )
+        .unwrap();
+        let reference = run_lockstep(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            setup.cost,
+            setup.rec_total,
+            lanes(&setup),
+        )
+        .unwrap();
+        assert_eq!(out, reference, "checkpointing must not change results");
+        assert!(!path.exists(), "checkpoint removed after completion");
+    }
+
+    #[test]
+    fn resume_from_frame_boundary_reproduces_uninterrupted_run() {
+        let setup = small_setup();
+        let dir = std::env::temp_dir().join("coca_runtime_test_resume");
+        let path = dir.join("ckpt.json");
+
+        // Simulate an interrupted run: advance 24 slots (one frame), write
+        // the checkpoint exactly as the runner would, then drop the engine.
+        let mut engine = SimEngine::new(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            setup.cost,
+            setup.rec_total,
+        )
+        .unwrap();
+        for policy in lanes(&setup) {
+            let _ = engine.add_policy(policy);
+        }
+        for _ in 0..24 {
+            assert_eq!(engine.step().unwrap(), StepStatus::Advanced);
+        }
+        write_checkpoint(&path, &engine.checkpoint().unwrap()).unwrap();
+        drop(engine);
+
+        let resumed = run_lockstep_checkpointed(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            setup.cost,
+            setup.rec_total,
+            lanes(&setup),
+            Some(Checkpointing { path: &path, every: 24, resume: true }),
+        )
+        .unwrap();
+        let uninterrupted = run_lockstep(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            setup.cost,
+            setup.rec_total,
+            lanes(&setup),
+        )
+        .unwrap();
+        assert_eq!(resumed, uninterrupted, "resume must reproduce the full run exactly");
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn incompatible_checkpoint_is_ignored() {
+        let setup = small_setup();
+        let dir = std::env::temp_dir().join("coca_runtime_test_incompat");
+        let path = dir.join("ckpt.json");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, "{not json").unwrap();
+        let out = run_lockstep_checkpointed(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            setup.cost,
+            setup.rec_total,
+            lanes(&setup),
+            Some(Checkpointing { path: &path, every: 24, resume: true }),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1, "run falls back to a fresh start");
+    }
+}

@@ -11,10 +11,28 @@
 //! 5. set the carbon budget to `budget_fraction · E_unaware` (default
 //!    92 %), split 40 % off-site renewables / 60 % RECs.
 
+use std::sync::Arc;
+
 use coca_baselines::CarbonUnaware;
 use coca_core::symmetric::SymmetricSolver;
-use coca_dcsim::{Cluster, CostParams, SimError};
+use coca_dcsim::{run_lockstep, Cluster, CostParams, SimError, SimOutcome};
 use coca_traces::{renewable, EnvironmentTrace, TraceConfig, WorkloadKind};
+
+/// Runs the carbon-unaware reference policy over `trace` through the
+/// simulation engine (the bespoke `CarbonUnaware::simulate` shortcut was
+/// removed with the `SimEngine` refactor — every policy, references
+/// included, goes through the same slot loop).
+pub fn unaware_reference(
+    cluster: &Arc<Cluster>,
+    cost: CostParams,
+    trace: &EnvironmentTrace,
+    rec_total: f64,
+) -> Result<SimOutcome, SimError> {
+    let policy = CarbonUnaware::new(Arc::clone(cluster), cost, SymmetricSolver::new());
+    run_lockstep(Arc::clone(cluster), trace, cost, rec_total, vec![Box::new(policy)])?
+        .pop()
+        .ok_or_else(|| SimError::Internal("engine produced no outcome".into()))
+}
 
 /// How big an experiment to run. The paper scale needs minutes per figure;
 /// the reduced scales keep integration tests fast while exercising the
@@ -59,8 +77,8 @@ impl ExperimentScale {
 /// A fully calibrated experiment scenario.
 #[derive(Debug, Clone)]
 pub struct PaperSetup {
-    /// The fleet.
-    pub cluster: Cluster,
+    /// The fleet, shared with the engines that simulate it.
+    pub cluster: Arc<Cluster>,
     /// Calibrated environment (workload, on-site, off-site, price).
     pub trace: EnvironmentTrace,
     /// Cost parameters (β = 10, γ = 0.95, PUE 1.0 by default).
@@ -84,7 +102,7 @@ impl PaperSetup {
         budget_fraction: f64,
     ) -> Result<Self, SimError> {
         assert!(budget_fraction > 0.0);
-        let cluster = Cluster::scaled_paper_datacenter(scale.groups, scale.servers_per_group);
+        let cluster = Arc::new(Cluster::scaled_paper_datacenter(scale.groups, scale.servers_per_group));
         let cost = CostParams::default();
         let peak = scale.peak_util * cluster.max_capacity();
 
@@ -102,12 +120,11 @@ impl PaperSetup {
         let mut trace = base_cfg.generate();
 
         // Step 2: facility consumption without renewables.
-        let e_full =
-            CarbonUnaware::simulate(&cluster, cost, &trace, SymmetricSolver::new(), 0.0)?
-                .records
-                .iter()
-                .map(|r| r.facility_energy)
-                .sum::<f64>();
+        let e_full = unaware_reference(&cluster, cost, &trace, 0.0)?
+            .records
+            .iter()
+            .map(|r| r.facility_energy)
+            .sum::<f64>();
 
         // Step 3: on-site ≈ 20 % of consumption.
         trace.onsite = renewable::generate(
@@ -121,7 +138,7 @@ impl PaperSetup {
 
         // Step 4: reference brown consumption with on-site in place.
         let unaware_brown_kwh =
-            CarbonUnaware::annual_consumption(&cluster, cost, &trace, SymmetricSolver::new())?;
+            unaware_reference(&cluster, cost, &trace, 0.0)?.total_brown_energy();
 
         // Step 5: budget split 40 % off-site / 60 % RECs.
         let budget_kwh = budget_fraction * unaware_brown_kwh;
@@ -153,7 +170,7 @@ impl PaperSetup {
             self.scale.hours,
         );
         Self {
-            cluster: self.cluster.clone(),
+            cluster: Arc::clone(&self.cluster),
             trace,
             cost: self.cost,
             unaware_brown_kwh: self.unaware_brown_kwh,

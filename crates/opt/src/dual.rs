@@ -77,6 +77,8 @@ where
         *sweeps += 1;
         let mut cost = 0.0;
         let mut usage = 0.0;
+        // Offline dual sweep: evaluates the full horizon per μ probe, by
+        // design not a streaming simulation pass. audit:allow(slot-loop)
         for t in 0..num_slots {
             let (c, y) = slot(t, mu);
             cost += c;

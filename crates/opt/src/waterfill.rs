@@ -1367,7 +1367,7 @@ mod tests {
         assert!(warm.lambdas().iter().all(|&l| l == 0.0));
         assert!(out.water_level.is_none());
         // Saturated.
-        let out = warm.solve(&problem(&qs, 27.0, 1.0, 1.0, 0.0)).unwrap();
+        let _ = warm.solve(&problem(&qs, 27.0, 1.0, 1.0, 0.0)).unwrap();
         assert!(warm.lambdas().iter().all(|&l| (l - 9.0).abs() < 1e-9));
         // W = 0 greedy delegation.
         let p = problem(&qs, 6.0, 1.0, 0.0, 0.0);

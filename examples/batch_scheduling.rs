@@ -12,14 +12,16 @@
 //! compares how much of the batch energy each covers with on-site
 //! renewables.
 
+use std::sync::Arc;
+
 use coca::core::symmetric::SymmetricSolver;
 use coca::core::{CocaConfig, CocaController, VSchedule};
 use coca::dcsim::batch::{BatchJob, BatchPolicy, BatchScheduler, BatchSlotBudget};
-use coca::dcsim::{Cluster, CostParams, SlotSimulator};
+use coca::dcsim::{run_lockstep, Cluster, CostParams};
 use coca::traces::{TraceConfig, WorkloadKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cluster = Cluster::scaled_paper_datacenter(8, 50);
+    let cluster = Arc::new(Cluster::scaled_paper_datacenter(8, 50));
     let cost = CostParams::default();
     let hours = 7 * 24;
     let trace = TraceConfig {
@@ -42,8 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         alpha: 1.0,
         rec_total: 3_000.0,
     };
-    let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
-    let outcome = SlotSimulator::new(&cluster, &trace, cost, 3_000.0).run(&mut coca)?;
+    let coca = CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
+    let outcome = run_lockstep(Arc::clone(&cluster), &trace, cost, 3_000.0, vec![Box::new(coca)])?
+        .pop()
+        .expect("one lane, one outcome");
 
     // Headroom the interactive tier leaves per slot: idle servers (as
     // server-hours) and unabsorbed on-site renewable energy.

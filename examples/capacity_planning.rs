@@ -10,13 +10,15 @@
 //! operator would consult before committing to a REC purchase, plus the
 //! marginal cost of the last 5 % of decarbonization.
 
+use std::sync::Arc;
+
 use coca::baselines::{CarbonUnaware, OfflineOpt};
 use coca::core::symmetric::SymmetricSolver;
-use coca::dcsim::{Cluster, CostParams};
+use coca::dcsim::{run_lockstep, Cluster, CostParams};
 use coca::traces::{TraceConfig, WorkloadKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cluster = Cluster::scaled_paper_datacenter(8, 50);
+    let cluster = Arc::new(Cluster::scaled_paper_datacenter(8, 50));
     let cost = CostParams::default();
     let hours = 8 * 7 * 24; // an 8-week planning window
     let trace = TraceConfig {
@@ -31,15 +33,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     .generate();
 
-    let unaware = CarbonUnaware::annual_consumption(&cluster, cost, &trace, SymmetricSolver::new())?;
-    let unaware_cost = CarbonUnaware::simulate(
-        &cluster,
-        cost,
+    // One engine pass of the reference policy gives both the consumption
+    // and the cost baseline.
+    let reference = run_lockstep(
+        Arc::clone(&cluster),
         &trace,
-        SymmetricSolver::new(),
+        cost,
         0.0,
+        vec![Box::new(CarbonUnaware::new(Arc::clone(&cluster), cost, SymmetricSolver::new()))],
     )?
-    .total_cost();
+    .pop()
+    .expect("one lane, one outcome");
+    let unaware = reference.total_brown_energy();
+    let unaware_cost = reference.total_cost();
     println!("reference (carbon-unaware): {:.1} MWh brown, total cost ${:.0}", unaware / 1000.0, unaware_cost);
 
     println!("\n{:>8} {:>12} {:>12} {:>12} {:>10}", "budget", "MWh", "cost $", "vs unaware", "mu*");

@@ -9,10 +9,12 @@
 //! running deficit, and an ASCII sparkline of the carbon-deficit queue —
 //! the signal that drives COCA's decisions.
 
+use std::sync::Arc;
+
 use coca::baselines::CarbonUnaware;
 use coca::core::symmetric::SymmetricSolver;
 use coca::core::{CocaConfig, CocaController, VSchedule};
-use coca::dcsim::{Cluster, CostParams, SimOutcome, SlotSimulator};
+use coca::dcsim::{run_lockstep, Cluster, CostParams, Policy, SimOutcome};
 use coca::traces::{TraceConfig, WorkloadKind, HOURS_PER_YEAR};
 
 const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -42,7 +44,7 @@ fn monthly(outcome: &SimOutcome, f: impl Fn(&coca::dcsim::SlotRecord) -> f64) ->
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cluster = Cluster::scaled_paper_datacenter(8, 50);
+    let cluster = Arc::new(Cluster::scaled_paper_datacenter(8, 50));
     let cost = CostParams::default();
     let trace = TraceConfig {
         hours: HOURS_PER_YEAR,
@@ -56,8 +58,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     .generate();
 
-    let unaware_brown =
-        CarbonUnaware::annual_consumption(&cluster, cost, &trace, SymmetricSolver::new())?;
+    // Reference consumption: one engine pass of the carbon-unaware policy.
+    let unaware_brown = run_lockstep(
+        Arc::clone(&cluster),
+        &trace,
+        cost,
+        0.0,
+        vec![Box::new(CarbonUnaware::new(Arc::clone(&cluster), cost, SymmetricSolver::new()))],
+    )?
+    .pop()
+    .expect("one lane, one outcome")
+    .total_brown_energy();
     let budget = 0.92 * unaware_brown;
     let rec_total = (budget - trace.total_offsite()).max(0.0);
 
@@ -68,17 +79,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         alpha: 1.0,
         rec_total,
     };
-    let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
-    let sim = SlotSimulator::new(&cluster, &trace, cost, rec_total);
-    let outcome = sim.run(&mut coca)?;
-
-    let unaware_outcome = CarbonUnaware::simulate(
-        &cluster,
-        cost,
+    let mut coca = CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
+    // COCA and the unaware operator advance in lockstep through a single
+    // pass over the year; `&mut coca` keeps the queue history readable.
+    let mut outcomes = run_lockstep(
+        Arc::clone(&cluster),
         &trace,
-        SymmetricSolver::new(),
+        cost,
         rec_total,
+        vec![
+            Box::new(&mut coca) as Box<dyn Policy + '_>,
+            Box::new(CarbonUnaware::new(Arc::clone(&cluster), cost, SymmetricSolver::new())),
+        ],
     )?;
+    let unaware_outcome = outcomes.pop().expect("unaware lane");
+    let outcome = outcomes.pop().expect("coca lane");
 
     println!("== Carbon dashboard: COCA vs carbon-unaware ==");
     println!("fleet: {} servers, budget {:.0} MWh (92% of unaware)", cluster.num_servers(), budget / 1000.0);

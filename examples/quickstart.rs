@@ -7,16 +7,20 @@
 //! Builds a small heterogeneous data center, generates a month of synthetic
 //! environment (workload, renewables, prices), runs COCA with a carbon
 //! budget of 90 % of the carbon-unaware consumption, and prints the outcome.
+//! Both runs go through the streaming [`coca::dcsim::SimEngine`] via
+//! [`run_lockstep`].
+
+use std::sync::Arc;
 
 use coca::baselines::CarbonUnaware;
 use coca::core::symmetric::SymmetricSolver;
 use coca::core::{CocaConfig, CocaController, VSchedule};
-use coca::dcsim::{Cluster, CostParams, SlotSimulator};
+use coca::dcsim::{run_lockstep, Cluster, CostParams, Policy};
 use coca::traces::{TraceConfig, WorkloadKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 800-server fleet: 8 groups of 100 servers (4 heterogeneous classes).
-    let cluster = Cluster::scaled_paper_datacenter(8, 100);
+    let cluster = Arc::new(Cluster::scaled_paper_datacenter(8, 100));
     let cost = CostParams::default(); // β = 10, γ = 0.95, PUE 1.0
 
     // One month of hourly environment; peak load ≈ half the fleet capacity.
@@ -34,15 +38,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .generate();
 
     // Reference: what would a carbon-unaware operator consume?
-    let unaware =
-        CarbonUnaware::annual_consumption(&cluster, cost, &trace, SymmetricSolver::new())?;
+    let reference = CarbonUnaware::new(Arc::clone(&cluster), cost, SymmetricSolver::new());
+    let unaware = run_lockstep(Arc::clone(&cluster), &trace, cost, 0.0, vec![Box::new(reference)])?
+        .pop()
+        .expect("one lane, one outcome")
+        .total_brown_energy();
     println!("carbon-unaware consumption : {:.1} MWh", unaware / 1000.0);
 
     // Carbon budget: 90 % of that, as off-site renewables + RECs.
     let budget = 0.90 * unaware;
-    let rec_total = budget - trace.offsite.iter().sum::<f64>();
+    let rec_total = (budget - trace.offsite.iter().sum::<f64>()).max(0.0);
     println!("carbon budget              : {:.1} MWh (RECs: {:.1} MWh)",
-        budget / 1000.0, rec_total.max(0.0) / 1000.0);
+        budget / 1000.0, rec_total / 1000.0);
 
     // The COCA controller: single frame, constant V.
     let cfg = CocaConfig {
@@ -50,12 +57,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         frame_length: hours,
         horizon: hours,
         alpha: 1.0,
-        rec_total: rec_total.max(0.0),
+        rec_total,
     };
-    let mut coca = CocaController::new(&cluster, cost, cfg, SymmetricSolver::new());
+    let mut coca = CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
 
-    let sim = SlotSimulator::new(&cluster, &trace, cost, rec_total.max(0.0));
-    let outcome = sim.run(&mut coca)?;
+    // Lending `&mut coca` as the lane keeps the controller readable after
+    // the run (for its peak deficit-queue length).
+    let outcome = run_lockstep(
+        Arc::clone(&cluster),
+        &trace,
+        cost,
+        rec_total,
+        vec![Box::new(&mut coca) as Box<dyn Policy + '_>],
+    )?
+    .pop()
+    .expect("one lane, one outcome");
 
     println!("\n== COCA over {} hours ==", outcome.len());
     println!("average hourly cost        : ${:.2}", outcome.avg_hourly_cost());

@@ -7,8 +7,9 @@
 //!   distributed optimizer (Algorithm 2), the carbon-deficit queue and the
 //!   Lyapunov performance bounds (Theorem 2).
 //! * [`dcsim`] — the data-center model (heterogeneous servers, DVFS ladders,
-//!   M/G/1/PS delay costs, power/PUE accounting) plus the slot-level and
-//!   discrete-event simulators.
+//!   M/G/1/PS delay costs, power/PUE accounting) plus the streaming
+//!   [`SimEngine`](coca_dcsim::SimEngine) (lockstep multi-policy runs,
+//!   checkpoint/resume) and the discrete-event simulator.
 //! * [`traces`] — synthetic environment traces: FIU/MSR-style workloads,
 //!   solar and wind generation, hourly electricity prices; CSV round-trip.
 //! * [`opt`] — optimization primitives (water-filling, bisection, Gibbs
@@ -32,8 +33,9 @@ pub mod prelude {
     pub use coca_baselines::{CarbonUnaware, OfflineOpt, PerfectHp};
     pub use coca_core::{CocaConfig, CocaController, DeficitQueue, GsdOptions};
     pub use coca_dcsim::{
-        Cluster, ClusterBuilder, CostParams, Policy, ServerClass, SimOutcome, SlotObservation,
-        SlotSimulator,
+        run_lockstep, Cluster, ClusterBuilder, CostParams, EngineState, Policy, RecordSink,
+        ServerClass, SimEngine, SimOutcome, SlotObservation, SlotSimulator, SlotSource,
+        SummarySink, VecSink,
     };
     pub use coca_traces::{EnvironmentTrace, TraceConfig};
 }

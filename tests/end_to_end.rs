@@ -2,13 +2,15 @@
 //! all four policies, and the cost/neutrality orderings the paper's
 //! evaluation relies on.
 
-use coca::baselines::{CarbonUnaware, OfflineOpt, PerfectHp};
+use std::sync::Arc;
+
+use coca::baselines::{OfflineOpt, PerfectHp};
 use coca::core::symmetric::SymmetricSolver;
 use coca::core::VSchedule;
 use coca::dcsim::SlotSimulator;
 use coca::traces::WorkloadKind;
 use coca_experiments::figures::{calibrate_v, run_coca};
-use coca_experiments::setup::{ExperimentScale, PaperSetup};
+use coca_experiments::setup::{unaware_reference, ExperimentScale, PaperSetup};
 
 fn small_setup() -> PaperSetup {
     PaperSetup::build(ExperimentScale::small(), WorkloadKind::Fiu, 0.92).expect("setup")
@@ -25,14 +27,8 @@ fn calibrated_coca_is_carbon_neutral_and_near_unaware_cost() {
         coca.total_brown_energy(),
         setup.budget_kwh
     );
-    let unaware = CarbonUnaware::simulate(
-        &setup.cluster,
-        setup.cost,
-        &setup.trace,
-        SymmetricSolver::new(),
-        setup.rec_total,
-    )
-    .expect("unaware");
+    let unaware = unaware_reference(&setup.cluster, setup.cost, &setup.trace, setup.rec_total)
+        .expect("unaware");
     // Unconstrained minimization lower-bounds every constrained policy.
     assert!(coca.avg_hourly_cost() >= unaware.avg_hourly_cost() - 1e-9);
     // Paper Fig. 5(a): at a 92% budget the cost premium is a few percent.
@@ -48,14 +44,8 @@ fn calibrated_coca_is_carbon_neutral_and_near_unaware_cost() {
 fn policy_cost_ordering_holds() {
     let setup = small_setup();
     // Unaware ≤ OPT ≤ (any online policy meeting the same budget, roughly).
-    let unaware = CarbonUnaware::simulate(
-        &setup.cluster,
-        setup.cost,
-        &setup.trace,
-        SymmetricSolver::new(),
-        setup.rec_total,
-    )
-    .expect("unaware");
+    let unaware = unaware_reference(&setup.cluster, setup.cost, &setup.trace, setup.rec_total)
+        .expect("unaware");
     let mut solver = SymmetricSolver::new();
     let opt = OfflineOpt::plan(&setup.cluster, setup.cost, &setup.trace, setup.budget_kwh, &mut solver)
         .expect("opt plan");
@@ -82,8 +72,8 @@ fn coca_beats_perfect_hp_while_being_more_neutral() {
     let setup = small_setup();
     let v = calibrate_v(&setup, 6).expect("calibration");
     let coca = run_coca(&setup, VSchedule::Constant(v), setup.trace.len()).expect("coca");
-    let mut hp: PerfectHp<'_, SymmetricSolver> =
-        PerfectHp::new(&setup.cluster, setup.cost, &setup.trace, setup.rec_total, 48)
+    let mut hp: PerfectHp<SymmetricSolver> =
+        PerfectHp::new(Arc::clone(&setup.cluster), setup.cost, &setup.trace, setup.rec_total, 48)
             .expect("perfect-hp");
     let hp_out = SlotSimulator::new(&setup.cluster, &setup.trace, setup.cost, setup.rec_total)
         .run(&mut hp)

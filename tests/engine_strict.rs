@@ -1,0 +1,88 @@
+//! Lockstep equivalence under `COCA_STRICT_INVARIANTS=1` (ISSUE PR 3
+//! acceptance criterion): with every runtime paper-invariant check promoted
+//! to an unconditional panic, an N-policy lockstep run must still complete
+//! and still match N individual passes.
+//!
+//! Separate test binary because strict mode is a process-wide switch that
+//! must be set before the first invariant check fires.
+
+use std::sync::Arc;
+
+use coca::baselines::CarbonUnaware;
+use coca::core::symmetric::SymmetricSolver;
+use coca::core::{invariant, CocaConfig, CocaController, VSchedule};
+use coca::dcsim::{run_lockstep, Cluster, CostParams, Policy};
+use coca::traces::{EnvironmentTrace, TraceConfig, WorkloadKind};
+
+fn policy_set<'a>(
+    cluster: &Arc<Cluster>,
+    cost: CostParams,
+    horizon: usize,
+    rec_total: f64,
+) -> Vec<Box<dyn Policy + 'a>> {
+    let mut set: Vec<Box<dyn Policy + 'a>> = Vec::new();
+    for v in [30.0, 3_000.0] {
+        let cfg = CocaConfig {
+            v: VSchedule::Constant(v),
+            frame_length: horizon,
+            horizon,
+            alpha: 1.0,
+            rec_total,
+        };
+        set.push(Box::new(CocaController::new(
+            Arc::clone(cluster),
+            cost,
+            cfg,
+            SymmetricSolver::new(),
+        )));
+    }
+    set.push(Box::new(CarbonUnaware::new(Arc::clone(cluster), cost, SymmetricSolver::new())));
+    set
+}
+
+#[test]
+fn strict_lockstep_matches_individual_passes() {
+    assert!(invariant::force_strict(), "must run before any invariant check");
+    assert!(invariant::global().is_strict());
+
+    let cluster = Arc::new(Cluster::homogeneous(4, 20));
+    let cost = CostParams::default();
+    let env: EnvironmentTrace = TraceConfig {
+        hours: 48,
+        workload_kind: WorkloadKind::Fiu,
+        peak_arrival_rate: 400.0,
+        onsite_energy_kwh: 10.0,
+        offsite_energy_kwh: 40.0,
+        ..Default::default()
+    }
+    .generate();
+    let rec_total = 25.0;
+
+    let lockstep = run_lockstep(
+        Arc::clone(&cluster),
+        &env,
+        cost,
+        rec_total,
+        policy_set(&cluster, cost, env.len(), rec_total),
+    )
+    .expect("strict lockstep run");
+
+    for (i, policy) in policy_set(&cluster, cost, env.len(), rec_total).into_iter().enumerate() {
+        let solo = run_lockstep(Arc::clone(&cluster), &env, cost, rec_total, vec![policy])
+            .expect("strict individual run")
+            .pop()
+            .expect("one outcome");
+        assert_eq!(
+            lockstep[i], solo,
+            "lane {i}: strict lockstep outcome deviates from individual pass"
+        );
+    }
+
+    // The runs above must actually have exercised the decision checks.
+    let counts = invariant::counts();
+    let decisions = counts
+        .iter()
+        .find(|(name, _)| name.contains("decision") || name.contains("load"))
+        .map_or(0, |(_, c)| *c);
+    assert!(decisions > 0 || counts.iter().any(|(_, c)| *c > 0), "no invariant checks fired");
+}

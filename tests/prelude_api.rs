@@ -1,15 +1,19 @@
 //! The facade's prelude must be sufficient to assemble and run the full
 //! COCA pipeline — this is the "downstream user" smoke test.
 
+use std::sync::Arc;
+
 use coca::prelude::*;
 
 #[test]
 fn prelude_covers_the_whole_pipeline() {
     // Build a fleet with the builder.
-    let cluster = ClusterBuilder::new()
-        .add_groups(ServerClass::amd_opteron_2380(), 4, 10)
-        .build()
-        .expect("cluster");
+    let cluster = Arc::new(
+        ClusterBuilder::new()
+            .add_groups(ServerClass::amd_opteron_2380(), 4, 10)
+            .build()
+            .expect("cluster"),
+    );
     assert_eq!(cluster.num_servers(), 40);
 
     // Generate an environment.
@@ -33,7 +37,7 @@ fn prelude_covers_the_whole_pipeline() {
         rec_total,
     };
     let mut controller = CocaController::new(
-        &cluster,
+        Arc::clone(&cluster),
         cost,
         cfg,
         coca::core::symmetric::SymmetricSolver::new(),
@@ -49,9 +53,59 @@ fn prelude_covers_the_whole_pipeline() {
     let mut solver = coca::core::symmetric::SymmetricSolver::new();
     let opt = OfflineOpt::plan(&cluster, cost, &trace, 1e9, &mut solver).expect("opt");
     assert_eq!(opt.len(), 48);
-    let _unaware = CarbonUnaware::new(&cluster, cost, coca::core::symmetric::SymmetricSolver::new());
-    let _hp: PerfectHp<'_, coca::core::symmetric::SymmetricSolver> =
-        PerfectHp::new(&cluster, cost, &trace, rec_total, 24).expect("hp");
+    let _unaware = CarbonUnaware::new(
+        Arc::clone(&cluster),
+        cost,
+        coca::core::symmetric::SymmetricSolver::new(),
+    );
+    let _hp: PerfectHp<coca::core::symmetric::SymmetricSolver> =
+        PerfectHp::new(Arc::clone(&cluster), cost, &trace, rec_total, 24).expect("hp");
+}
+
+#[test]
+fn engine_api_reachable_from_prelude() {
+    // The streaming engine surface: SimEngine, SlotSource, sinks,
+    // run_lockstep, EngineState are all prelude items.
+    let cluster = Arc::new(Cluster::homogeneous(2, 5));
+    let trace = TraceConfig {
+        hours: 12,
+        peak_arrival_rate: 0.4 * cluster.max_capacity(),
+        onsite_energy_kwh: 5.0,
+        offsite_energy_kwh: 5.0,
+        ..Default::default()
+    }
+    .generate();
+    let cost = CostParams::default();
+    let mut engine =
+        SimEngine::new(Arc::clone(&cluster), &trace, cost, 10.0).expect("engine");
+    let _lane = engine.add_policy(Box::new(CarbonUnaware::new(
+        Arc::clone(&cluster),
+        cost,
+        coca::core::symmetric::SymmetricSolver::new(),
+    )));
+    let _slots = engine.run_to_end().expect("run");
+    let state: EngineState = engine.checkpoint().expect("checkpoint");
+    assert_eq!(state.lanes.len(), 1);
+    let outcomes = engine.into_outcomes().expect("outcomes");
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].len(), 12);
+
+    // run_lockstep + sinks are usable too.
+    let again = run_lockstep(
+        Arc::clone(&cluster),
+        &trace,
+        cost,
+        10.0,
+        vec![Box::new(CarbonUnaware::new(
+            Arc::clone(&cluster),
+            cost,
+            coca::core::symmetric::SymmetricSolver::new(),
+        )) as Box<dyn Policy>],
+    )
+    .expect("lockstep");
+    assert_eq!(again[0].cost_series(), outcomes[0].cost_series());
+    let _sink: Box<dyn RecordSink> = Box::new(VecSink::new());
+    let _summary = SummarySink::new();
 }
 
 #[test]

@@ -6,7 +6,7 @@ use coca::core::lyapunov::{
 };
 use coca::core::symmetric::SymmetricSolver;
 use coca::core::{CocaConfig, CocaController, VSchedule};
-use coca::baselines::{CarbonUnaware, OfflineOpt};
+use coca::baselines::OfflineOpt;
 use coca::dcsim::SlotSimulator;
 use coca::traces::WorkloadKind;
 use coca_experiments::setup::{ExperimentScale, PaperSetup};
@@ -32,7 +32,8 @@ fn run(s: &PaperSetup, v: f64, frame: usize) -> (f64, f64, f64) {
         alpha: 1.0,
         rec_total: s.rec_total,
     };
-    let mut coca = CocaController::new(&s.cluster, s.cost, cfg, SymmetricSolver::new());
+    let mut coca =
+        CocaController::new(std::sync::Arc::clone(&s.cluster), s.cost, cfg, SymmetricSolver::new());
     let out = SlotSimulator::new(&s.cluster, &s.trace, s.cost, s.rec_total)
         .run(&mut coca)
         .expect("run");
@@ -78,14 +79,8 @@ fn neutrality_bound_19_holds() {
     let g_star = opt.total_planned_cost() / t as f64;
     // g_min: the cheapest feasible hourly cost over the period (0 is always
     // a sound lower bound; use the unaware minimum for a tighter one).
-    let unaware = CarbonUnaware::simulate(
-        &s.cluster,
-        s.cost,
-        &s.trace,
-        SymmetricSolver::new(),
-        s.rec_total,
-    )
-    .expect("unaware");
+    let unaware = coca_experiments::setup::unaware_reference(&s.cluster, s.cost, &s.trace, s.rec_total)
+        .expect("unaware");
     let g_min = unaware.min_hourly_cost().min(g_star);
 
     let allowance_avg = (s.trace.total_offsite() + s.rec_total) / t as f64;
@@ -151,7 +146,8 @@ fn frame_resets_bound_each_frame_independently() {
         rec_total: rec_per_slot * (t * 4) as f64,
     };
     let trace = s.trace.window(0, t * 4);
-    let mut coca = CocaController::new(&s.cluster, s.cost, cfg, SymmetricSolver::new());
+    let mut coca =
+        CocaController::new(std::sync::Arc::clone(&s.cluster), s.cost, cfg, SymmetricSolver::new());
     let out = SlotSimulator::new(&s.cluster, &trace, s.cost, rec_per_slot * (t * 4) as f64)
         .run(&mut coca)
         .expect("run");

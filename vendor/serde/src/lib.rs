@@ -95,6 +95,18 @@ pub fn field<'v>(v: &'v Value, strukt: &str, name: &str) -> Result<&'v Value, Er
         .ok_or_else(|| Error::custom(format!("missing field `{name}` for `{strukt}`")))
 }
 
+impl Serialize for Value {
+    fn serialize_value(&self) -> Result<Value, Error> {
+        Ok(self.clone())
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn serialize_value(&self) -> Result<Value, Error> {
         Ok(Value::Bool(*self))
