@@ -1,0 +1,30 @@
+//! Fixture: direct prints in library code. Linted by
+//! `tests/lint_fixtures.rs`; never compiled.
+
+pub fn report_progress(t: usize) {
+    println!("slot {t}");
+}
+
+pub fn warn_resume(path: &str) {
+    eprintln!("resume from {path}");
+}
+
+pub fn debug_dump(x: f64) {
+    let _ = dbg!(x);
+}
+
+pub fn partial(msg: &str) {
+    print!("{msg}");
+}
+
+pub fn waived(msg: &str) {
+    // Operator-facing CLI output by design. audit:allow(no-print)
+    eprintln!("{msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn chatter() {
+        println!("test chatter is fine");
+    }
+}

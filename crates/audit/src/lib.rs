@@ -34,6 +34,11 @@
 //!   `crates/dcsim/src/engine.rs` and the traces crate. All per-slot
 //!   passes must flow through `SimEngine`/`SlotSource` so lockstep runs,
 //!   checkpointing, and record routing share one set of semantics.
+//! - [`rules::NO_PRINT`] — no direct `println!`/`eprintln!`/`print!`/
+//!   `eprint!`/`dbg!` in non-test code outside the designated print
+//!   surfaces (`crates/experiments/src/bin/`, `crates/obs/src/`, and the
+//!   audit CLI). Diagnostics must go through `coca_obs::logger`, which
+//!   carries span context and honors `repro --quiet`.
 //!
 //! Any finding can be waived with a `// audit:allow(<rule>)` comment on
 //! the offending line or the line above it; waivers are reported and
@@ -61,6 +66,7 @@ const LINTED_CRATES: &[&str] = &[
     "crates/core",
     "crates/dcsim",
     "crates/experiments",
+    "crates/obs",
     "crates/opt",
     "crates/traces",
 ];

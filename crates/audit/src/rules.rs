@@ -16,6 +16,9 @@ pub const MUST_USE: &str = "must-use";
 pub const HOT_ALLOC: &str = "hot-alloc";
 /// Rule id: no hand-rolled slot loops outside the streaming engine.
 pub const SLOT_LOOP: &str = "slot-loop";
+/// Rule id: no direct `println!`/`eprintln!`/`dbg!` outside the designated
+/// print surfaces.
+pub const NO_PRINT: &str = "no-print";
 
 /// Solver hot paths: a panic or NaN here aborts or corrupts the per-slot
 /// control loop whose behavior the paper's Theorem 2 bounds.
@@ -39,6 +42,13 @@ const MUST_USE_CRATES: &[&str] = &["crates/opt/", "crates/core/", "crates/dcsim/
 /// an indexed pass and produces the very data the engine streams).
 const SLOT_LOOP_ALLOWED: &[&str] = &["crates/dcsim/src/engine.rs", "crates/traces/"];
 
+/// Paths allowed to print directly: the repro binary (stdout result tables
+/// are its product), the observability crate (the logger owns the single
+/// stderr emitter), and the audit CLI itself. Everything else must route
+/// diagnostics through `coca_obs::logger`.
+const PRINT_ALLOWED: &[&str] =
+    &["crates/experiments/src/bin/", "crates/obs/src/", "crates/audit/src/main.rs"];
+
 /// How many preceding lines count as "nearby" when looking for a guard
 /// before a NaN-capable operation.
 const GUARD_WINDOW: usize = 12;
@@ -54,6 +64,9 @@ pub fn apply_all(file: &SourceFile, report: &mut Report) {
     hot_alloc(file, report);
     if !SLOT_LOOP_ALLOWED.iter().any(|p| file.path.contains(p)) {
         slot_loop(file, report);
+    }
+    if !PRINT_ALLOWED.iter().any(|p| file.path.contains(p)) {
+        no_print(file, report);
     }
     if MUST_USE_CRATES.iter().any(|p| file.path.contains(p)) {
         must_use(file, report);
@@ -450,6 +463,55 @@ fn slot_loop(file: &SourceFile, report: &mut Report) {
     }
 }
 
+/// True when `name` occurs in `code` at a position not preceded by an
+/// identifier character — so `println!` does not also match inside
+/// `eprintln!`.
+fn macro_site(code: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(off) = code[from..].find(name) {
+        let at = from + off;
+        let boundary = at == 0 || {
+            let b = code.as_bytes()[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if boundary {
+            return true;
+        }
+        from = at + name.len();
+    }
+    false
+}
+
+/// `no-print`: no `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in
+/// non-test code outside the designated print surfaces. Library and
+/// harness diagnostics must go through `coca_obs::logger` (span context,
+/// `--quiet` gating) so CI-parsed stdout/stderr stays structured.
+fn no_print(file: &SourceFile, report: &mut Report) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (needle, what) in [
+            ("eprintln!", "`eprintln!`"),
+            ("println!", "`println!`"),
+            ("eprint!", "`eprint!`"),
+            ("print!", "`print!`"),
+            ("dbg!", "`dbg!`"),
+        ] {
+            if macro_site(&line.code, needle) {
+                emit(
+                    file,
+                    idx,
+                    NO_PRINT,
+                    format!("{what} in library code; route diagnostics through `coca_obs::logger`"),
+                    report,
+                );
+                break; // one finding per line: eprintln! must not double-report as print!
+            }
+        }
+    }
+}
+
 /// `must-use`: `pub struct Foo{Solution,Outcome,Result}` must carry
 /// `#[must_use]` among its attributes.
 fn must_use(file: &SourceFile, report: &mut Report) {
@@ -638,6 +700,30 @@ fn delta(&mut self) {
         let plain = "fn f(parts: &[f64]) { for pi in 0..parts.len() { g(pi); } }\n";
         let r = lint("crates/core/src/symmetric.rs", plain);
         assert_eq!(r.unwaived().filter(|v| v.rule == SLOT_LOOP).count(), 0, "{r}");
+    }
+
+    #[test]
+    fn no_print_fires_outside_allowed_paths_only() {
+        let src = "fn f() { println!(\"x\"); }\n";
+        let lib = lint("crates/experiments/src/runtime.rs", src);
+        assert_eq!(lib.unwaived().filter(|v| v.rule == NO_PRINT).count(), 1);
+        for allowed in [
+            "crates/experiments/src/bin/repro.rs",
+            "crates/obs/src/logger.rs",
+            "crates/audit/src/main.rs",
+        ] {
+            let r = lint(allowed, src);
+            assert_eq!(r.unwaived().filter(|v| v.rule == NO_PRINT).count(), 0, "{allowed}");
+        }
+    }
+
+    #[test]
+    fn no_print_reports_once_per_line_and_skips_strings() {
+        let r = lint("crates/core/src/gsd.rs", "fn f() { eprintln!(\"println! here\"); }\n");
+        assert_eq!(r.violations.iter().filter(|v| v.rule == NO_PRINT).count(), 1, "{r}");
+        assert!(r.violations.iter().any(|v| v.message.contains("`eprintln!`")), "{r}");
+        let quiet = lint("crates/core/src/gsd.rs", "fn f() { let s = \"println!\"; use_it(s); }\n");
+        assert_eq!(quiet.violations.iter().filter(|v| v.rule == NO_PRINT).count(), 0, "{quiet}");
     }
 
     #[test]

@@ -151,6 +151,40 @@ fn slot_loop_fixture_is_quiet_in_engine_and_traces() {
 }
 
 #[test]
+fn no_print_fixture_flags_each_print_site() {
+    let r = lint_fixture(
+        "crates/experiments/src/fixture.rs",
+        include_str!("../fixtures/no_print.rs"),
+    );
+    assert_eq!(
+        triples(&r),
+        vec![
+            ("no-print", 5, false),  // println!
+            ("no-print", 9, false),  // eprintln!
+            ("no-print", 13, false), // dbg!
+            ("no-print", 17, false), // print!
+            ("no-print", 22, true),  // waived via audit:allow(no-print)
+        ],
+        "{r}"
+    );
+}
+
+#[test]
+fn no_print_fixture_is_quiet_on_designated_print_surfaces() {
+    for allowed in [
+        "crates/experiments/src/bin/repro.rs",
+        "crates/obs/src/logger.rs",
+        "crates/audit/src/main.rs",
+    ] {
+        let r = lint_fixture(allowed, include_str!("../fixtures/no_print.rs"));
+        assert!(
+            r.violations.iter().all(|v| v.rule != "no-print"),
+            "{allowed}: {r}"
+        );
+    }
+}
+
+#[test]
 fn clean_fixture_passes_every_rule_even_on_a_hot_path() {
     let r = lint_fixture(
         "crates/core/src/solver.rs",

@@ -76,6 +76,7 @@ impl<S: P3Solver> Policy for CarbonUnaware<S> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated SlotSimulator facade
 mod tests {
     use super::*;
     use coca_core::symmetric::SymmetricSolver;

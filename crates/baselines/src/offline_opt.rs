@@ -214,6 +214,7 @@ impl Policy for OfflineOpt {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated SlotSimulator facade
 mod tests {
     use super::*;
     use crate::carbon_unaware::CarbonUnaware;

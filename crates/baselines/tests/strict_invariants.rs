@@ -8,6 +8,8 @@
 //! `COCA_STRICT_INVARIANTS=1`) that must be set before the first check runs;
 //! a shared test binary would race its unit tests against the switch.
 
+#![allow(deprecated)] // exercises the deprecated SlotSimulator facade
+
 use std::sync::Arc;
 
 use coca_baselines::budgeted::solve_capped;

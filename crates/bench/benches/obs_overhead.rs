@@ -1,0 +1,81 @@
+//! Observer overhead: the lockstep engine driven bare, with the no-op
+//! observer attached, and with the full metrics observer attached. The
+//! acceptance bar for PR 4 is no-op-observer within 3% of unobserved —
+//! the hot path must pay nothing when nobody is watching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use coca_core::symmetric::SymmetricSolver;
+use coca_core::{CocaConfig, CocaController, VSchedule};
+use coca_dcsim::{Cluster, CostParams, EngineBuilder, Policy};
+use coca_obs::{EngineObserver, MetricsObserver, MetricsRegistry, NoopObserver};
+use coca_traces::{EnvironmentTrace, TraceConfig, WorkloadKind};
+
+fn setup(hours: usize) -> (Arc<Cluster>, EnvironmentTrace) {
+    let cluster = Arc::new(Cluster::scaled_paper_datacenter(8, 50));
+    let trace = TraceConfig {
+        hours,
+        workload_kind: WorkloadKind::Fiu,
+        peak_arrival_rate: 0.5 * cluster.max_capacity(),
+        onsite_energy_kwh: 10.0 * hours as f64,
+        offsite_energy_kwh: 20.0 * hours as f64,
+        mean_price: 0.5,
+        seed: 1,
+        ..Default::default()
+    }
+    .generate();
+    (cluster, trace)
+}
+
+fn lane(cluster: &Arc<Cluster>, cost: CostParams, hours: usize) -> Box<dyn Policy> {
+    let cfg = CocaConfig {
+        v: VSchedule::Constant(1e5),
+        frame_length: hours,
+        horizon: hours,
+        alpha: 1.0,
+        rec_total: 2_000.0,
+    };
+    Box::new(CocaController::new(Arc::clone(cluster), cost, cfg, SymmetricSolver::new()))
+}
+
+fn run_once(
+    cluster: &Arc<Cluster>,
+    trace: &EnvironmentTrace,
+    cost: CostParams,
+    hours: usize,
+    observer: Option<Arc<dyn EngineObserver + Send + Sync>>,
+) -> Vec<coca_dcsim::SimOutcome> {
+    let mut builder =
+        EngineBuilder::new(Arc::clone(cluster), cost).rec_total(2_000.0).policy(lane(cluster, cost, hours));
+    if let Some(obs) = observer {
+        builder = builder.observer(obs);
+    }
+    builder.build(trace).expect("engine").run_and_finish().expect("run")
+}
+
+fn bench_observer_overhead(c: &mut Criterion) {
+    let hours = 240;
+    let (cluster, trace) = setup(hours);
+    let cost = CostParams::default();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_function("lockstep_unobserved", |b| {
+        b.iter(|| black_box(run_once(&cluster, &trace, cost, hours, None)))
+    });
+    group.bench_function("lockstep_noop_observer", |b| {
+        b.iter(|| black_box(run_once(&cluster, &trace, cost, hours, Some(Arc::new(NoopObserver)))))
+    });
+    let registry = Arc::new(MetricsRegistry::new());
+    group.bench_function("lockstep_metrics_observer", |b| {
+        b.iter(|| {
+            let obs = Arc::new(MetricsObserver::new(Arc::clone(&registry)));
+            black_box(run_once(&cluster, &trace, cost, hours, Some(obs)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_observer_overhead);
+criterion_main!(benches);

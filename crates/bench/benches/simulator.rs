@@ -1,6 +1,8 @@
 //! Slot-simulator throughput: how fast a full COCA year runs — the number
 //! that bounds every figure sweep in the experiment harness.
 
+#![allow(deprecated)] // benches the deprecated SlotSimulator facade too
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use coca_dcsim::dispatch::SlotProblem;
 use coca_dcsim::{Cluster, CostParams, Decision, Policy, SimError, SlotFeedback, SlotObservation};
+use coca_obs::SolverObserver;
 use serde::{Deserialize, Serialize, Value};
 
 use crate::deficit::DeficitQueue;
@@ -87,6 +88,7 @@ pub struct CocaController<S> {
     cfg: CocaConfig,
     solver: S,
     deficit: DeficitQueue,
+    observer: Option<Arc<dyn SolverObserver + Send + Sync>>,
     /// q(t) observed at each decision epoch (diagnostics; Theorem 2 relates
     /// its peak to the neutrality deviation).
     pub q_history: Vec<f64>,
@@ -100,7 +102,15 @@ impl<S: P3Solver> CocaController<S> {
         cfg.validate().expect("valid CocaConfig");
         cost.validate().expect("valid CostParams");
         let deficit = DeficitQueue::new(cfg.alpha, cfg.rec_total, cfg.horizon);
-        Self { cluster, cost, cfg, solver, deficit, q_history: Vec::new() }
+        Self { cluster, cost, cfg, solver, deficit, observer: None, q_history: Vec::new() }
+    }
+
+    /// Attaches a solver observer: the controller reports frame resets and
+    /// the deficit-queue trajectory (eq. 17). Per-solve events come from
+    /// the solver itself — attach the same observer there too (via
+    /// [`Self::solver_mut`] or before construction).
+    pub fn set_observer(&mut self, observer: Arc<dyn SolverObserver + Send + Sync>) {
+        self.observer = Some(observer);
     }
 
     /// Current carbon-deficit queue length.
@@ -123,6 +133,12 @@ impl<S: P3Solver> CocaController<S> {
         &self.solver
     }
 
+    /// Mutably borrow the underlying solver (e.g. to attach an observer
+    /// after construction).
+    pub fn solver_mut(&mut self) -> &mut S {
+        &mut self.solver
+    }
+
     /// Configuration accessor.
     pub fn config(&self) -> &CocaConfig {
         &self.cfg
@@ -139,6 +155,9 @@ impl<S: P3Solver> Policy for CocaController<S> {
         // previous frame's deficit bleeding over (Algorithm 1 lines 2–4).
         if obs.t.is_multiple_of(self.cfg.frame_length) {
             self.deficit.reset();
+            if let Some(o) = &self.observer {
+                o.on_frame_reset(obs.t);
+            }
         }
         let v = self.v_at(obs.t);
         let q = self.deficit.len();
@@ -148,6 +167,9 @@ impl<S: P3Solver> Policy for CocaController<S> {
         inv.deficit_nonnegative(q);
         inv.frame_reset(obs.t, self.cfg.frame_length, self.deficit.updates_since_reset());
         self.q_history.push(q);
+        if let Some(o) = &self.observer {
+            o.on_deficit(obs.t, q);
+        }
 
         let problem = SlotProblem {
             cluster: &self.cluster,
@@ -213,6 +235,7 @@ impl<S: P3Solver> Policy for CocaController<S> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated SlotSimulator facade
 mod tests {
     use super::*;
     use crate::symmetric::SymmetricSolver;
@@ -359,6 +382,44 @@ mod tests {
         let sym_cost = run_with(false);
         let rel = (gsd_cost - sym_cost).abs() / sym_cost;
         assert!(rel < 0.05, "gsd {gsd_cost} vs symmetric {sym_cost}");
+    }
+
+    #[test]
+    fn observer_sees_deficit_frame_and_solve_events() {
+        use coca_obs::{MetricsObserver, MetricsRegistry};
+        let registry = Arc::new(MetricsRegistry::new());
+        let observer = Arc::new(MetricsObserver::new(Arc::clone(&registry)));
+
+        let cluster = Arc::new(Cluster::homogeneous(4, 20));
+        let trace = small_trace(48);
+        let cost = CostParams::default();
+        let cfg = CocaConfig {
+            v: VSchedule::PerFrame(vec![50.0, 200.0]),
+            frame_length: 24,
+            horizon: 48,
+            alpha: 1.0,
+            rec_total: 0.0,
+        };
+        let mut solver = SymmetricSolver::new();
+        solver.set_observer(Arc::clone(&observer) as _);
+        let mut coca = CocaController::new(Arc::clone(&cluster), cost, cfg, solver);
+        coca.set_observer(Arc::clone(&observer) as _);
+        let sim = SlotSimulator::new(&cluster, &trace, cost, 0.0);
+        let _ = sim.run(&mut coca).unwrap();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("coca_frame_resets_total"), Some(2), "t=0 and t=24");
+        assert_eq!(snap.counter("solver_solves_total"), Some(48), "one solve per slot");
+        let q = snap.gauge("coca_deficit_queue_kwh").unwrap();
+        assert_eq!(q.trajectory.len(), 48, "one deficit sample per decision");
+        assert_eq!(
+            q.trajectory.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+            coca.q_history,
+            "trajectory mirrors q_history"
+        );
+        // Deterministic solver: no acceptance-ratio samples.
+        assert_eq!(snap.histogram("gsd_acceptance_ratio").unwrap().count, 0);
+        assert!(coca.solver().stats().iterations > 0);
     }
 
     #[test]

@@ -14,16 +14,19 @@
 //! the test-suite against [`ExhaustiveSolver`](crate::solver::ExhaustiveSolver)
 //! and against the closed-form Gibbs stationary distribution.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use coca_dcsim::dispatch::{optimal_dispatch, SlotProblem};
 use coca_dcsim::incremental::SlotEvalContext;
 use coca_dcsim::SimError;
+use coca_obs::SolverObserver;
 use coca_opt::gibbs::{run_gibbs, GibbsOptions};
 use coca_opt::schedule::TemperatureSchedule;
 
-use crate::solver::{P3Solution, P3Solver};
+use crate::solver::{P3Solution, P3Solver, SolveStats};
 
 /// Cost assigned to infeasible speed vectors: large enough that the chain
 /// never prefers them, finite so the Gibbs acceptance rule stays defined.
@@ -80,26 +83,34 @@ pub struct GsdSolver {
     opts: GsdOptions,
     rng: StdRng,
     warm: Option<Vec<usize>>,
+    stats: SolveStats,
+    observer: Option<Arc<dyn SolverObserver + Send + Sync>>,
     /// Kept-state cost after every iteration of the most recent solve
     /// (empty unless `record_trace` is set).
     pub last_trace: Vec<f64>,
     /// Iterations actually run in the most recent solve.
+    #[deprecated(since = "0.1.0", note = "use `stats().iterations`")]
     pub last_iterations: usize,
     /// Accepted proposals in the most recent solve.
+    #[deprecated(since = "0.1.0", note = "use `stats().accepted`")]
     pub last_accepted: usize,
     /// Proposal evaluations answered by the state-cost cache in the most
     /// recent solve (0 on the cold path).
+    #[deprecated(since = "0.1.0", note = "use `stats().cache_hits`")]
     pub last_cache_hits: u64,
     /// Proposal evaluations that ran a full water-filling solve in the
     /// most recent solve (0 on the cold path).
+    #[deprecated(since = "0.1.0", note = "use `stats().cache_misses`")]
     pub last_cache_misses: u64,
     /// Water-level function evaluations spent inside bisections in the
     /// most recent solve (0 on the cold path) — the actual numeric work
     /// behind the proposals, which benches and Fig. 4 traces report next
     /// to the proposal counts.
+    #[deprecated(since = "0.1.0", note = "use `stats().bisection_evals`")]
     pub last_bisection_iters: u64,
 }
 
+#[allow(deprecated)] // keeps the deprecated mirror fields populated
 impl GsdSolver {
     /// Creates a solver with the given options.
     pub fn new(opts: GsdOptions) -> Self {
@@ -108,12 +119,40 @@ impl GsdSolver {
             opts,
             rng,
             warm: None,
+            stats: SolveStats::default(),
+            observer: None,
             last_trace: Vec::new(),
             last_iterations: 0,
             last_accepted: 0,
             last_cache_hits: 0,
             last_cache_misses: 0,
             last_bisection_iters: 0,
+        }
+    }
+
+    /// Work counters of the most recent solve.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// Attaches a solver observer; [`coca_obs::SolveEvent`]s are emitted
+    /// after every solve.
+    pub fn set_observer(&mut self, observer: Arc<dyn SolverObserver + Send + Sync>) {
+        self.observer = Some(observer);
+    }
+
+    /// Records the counters for the solve that just completed: the single
+    /// source of truth is `stats`; the deprecated `last_*` fields mirror
+    /// it until they are removed.
+    fn finish_solve(&mut self, stats: SolveStats) {
+        self.stats = stats;
+        self.last_iterations = stats.iterations;
+        self.last_accepted = stats.accepted;
+        self.last_cache_hits = stats.cache_hits;
+        self.last_cache_misses = stats.cache_misses;
+        self.last_bisection_iters = stats.bisection_evals;
+        if let Some(o) = &self.observer {
+            o.on_solve(&stats.to_event("gsd"));
         }
     }
 
@@ -169,7 +208,7 @@ impl P3Solver for GsdSolver {
             patience: self.opts.patience,
             record_trace: self.opts.record_trace,
         };
-        let outcome = if self.opts.incremental {
+        let (outcome, eval_stats) = if self.opts.incremental {
             // Slot-scoped incremental oracle: delta-updated type multiset,
             // warm-started water levels, state-cost cache. The context dies
             // with this solve — its cache is only valid for this slot's
@@ -186,26 +225,26 @@ impl P3Solver for GsdSolver {
                 &mut self.rng,
             )
             .map_err(SimError::Opt)?;
-            self.last_cache_hits = ctx.stats.cache_hits;
-            self.last_cache_misses = ctx.stats.cache_misses;
-            self.last_bisection_iters = ctx.stats.bisection_evals;
-            outcome
+            (outcome, (ctx.stats.cache_hits, ctx.stats.cache_misses, ctx.stats.bisection_evals))
         } else {
-            self.last_cache_hits = 0;
-            self.last_cache_misses = 0;
-            self.last_bisection_iters = 0;
-            run_gibbs(
+            let outcome = run_gibbs(
                 &counts,
                 &initial,
                 |state| Self::state_cost(problem, state),
                 &gibbs_opts,
                 &mut self.rng,
             )
-            .map_err(SimError::Opt)?
+            .map_err(SimError::Opt)?;
+            (outcome, (0, 0, 0))
         };
         self.last_trace = outcome.trace;
-        self.last_iterations = outcome.iterations_run;
-        self.last_accepted = outcome.accepted;
+        self.finish_solve(SolveStats {
+            iterations: outcome.iterations_run,
+            accepted: outcome.accepted,
+            cache_hits: eval_stats.0,
+            cache_misses: eval_stats.1,
+            bisection_evals: eval_stats.2,
+        });
 
         let levels = outcome.best_state;
         if !problem.is_feasible(&levels) {
@@ -220,10 +259,12 @@ impl P3Solver for GsdSolver {
         Ok(P3Solution { loads: out.loads.clone(), levels, outcome: out })
     }
 
+    #[allow(deprecated)] // zeroes the deprecated mirror fields too
     fn reset(&mut self) {
         self.warm = None;
         self.rng = StdRng::seed_from_u64(self.opts.seed);
         self.last_trace.clear();
+        self.stats = SolveStats::default();
         self.last_iterations = 0;
         self.last_accepted = 0;
         self.last_cache_hits = 0;
@@ -398,12 +439,18 @@ mod tests {
         // The incremental engine reports its evaluation work; the cold
         // path zeroes the counters. (Self-proposals are no-ops in the
         // Gibbs driver, so evaluations ≤ iterations + initial eval.)
-        let evals = inc.last_cache_hits + inc.last_cache_misses;
+        let evals = inc.stats().cache_hits + inc.stats().cache_misses;
         assert!(evals > 0 && evals <= 400 + 1, "evals = {evals}");
-        assert!(inc.last_cache_hits > 0, "revert-heavy chains revisit states");
-        assert!(inc.last_bisection_iters > 0);
-        assert_eq!(cold.last_cache_hits, 0);
-        assert_eq!(cold.last_bisection_iters, 0);
+        assert!(inc.stats().cache_hits > 0, "revert-heavy chains revisit states");
+        assert!(inc.stats().bisection_evals > 0);
+        assert_eq!(cold.stats().cache_hits, 0);
+        assert_eq!(cold.stats().bisection_evals, 0);
+        // The deprecated mirror fields stay in sync until removal.
+        #[allow(deprecated)]
+        {
+            assert_eq!(inc.last_cache_hits, inc.stats().cache_hits);
+            assert_eq!(inc.last_bisection_iters, inc.stats().bisection_evals);
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! the exhaustive optimum on small fleets.
 
 use std::cell::Cell;
+use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use rand::rngs::StdRng;
@@ -54,8 +55,10 @@ use coca_opt::bisect::{grow_upper_bracket, illinois_increasing, BisectOptions};
 use coca_opt::gibbs::{run_gibbs, GibbsOptions};
 use coca_opt::waterfill::WARM_BRACKET_SPAN;
 
+use coca_obs::SolverObserver;
+
 use crate::gsd::{GsdOptions, INFEASIBLE_COST};
-use crate::solver::{P3Solution, P3Solver};
+use crate::solver::{P3Solution, P3Solver, SolveStats};
 
 /// Requests the coordinator sends to a server agent.
 #[derive(Debug, Clone)]
@@ -426,8 +429,7 @@ impl<'a> Coordinator<'a> {
 
     // audit:hot-path: begin — per-proposal diff-sync (one message per changed group)
     fn sync(&mut self, state: &[usize]) {
-        for gi in 0..state.len() {
-            let new = state[gi];
+        for (gi, &new) in state.iter().enumerate() {
             if new != self.mirror[gi] {
                 self.pool.set_level(gi, new);
                 self.agg_dirty[self.pool.owner[gi].0] = true;
@@ -584,16 +586,22 @@ pub struct DistributedGsdSolver {
     pub num_workers: usize,
     /// Oracle calls answered by the coordinator's state-cost cache in the
     /// last `solve` (no messaging at all on a hit).
+    #[deprecated(since = "0.1.0", note = "use `stats().cache_hits`")]
     pub last_cache_hits: u64,
     /// Oracle calls that ran full broadcast/reduce rounds in the last
     /// `solve`.
+    #[deprecated(since = "0.1.0", note = "use `stats().cache_misses`")]
     pub last_cache_misses: u64,
     /// `TotalAt` broadcast rounds spent inside ν-bisections in the last
     /// `solve` — the dominant messaging cost of an evaluation.
+    #[deprecated(since = "0.1.0", note = "use `stats().bisection_evals`")]
     pub last_bisection_iters: u64,
+    stats: SolveStats,
+    observer: Option<Arc<dyn SolverObserver + Send + Sync>>,
     warm: Option<Vec<usize>>,
 }
 
+#[allow(deprecated)] // keeps the deprecated mirror fields populated
 impl DistributedGsdSolver {
     /// Creates a solver with the given GSD options and worker count.
     pub fn new(opts: GsdOptions, num_workers: usize) -> Self {
@@ -604,7 +612,32 @@ impl DistributedGsdSolver {
             last_cache_hits: 0,
             last_cache_misses: 0,
             last_bisection_iters: 0,
+            stats: SolveStats::default(),
+            observer: None,
             warm: None,
+        }
+    }
+
+    /// Work counters of the most recent solve.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// Attaches a solver observer; [`coca_obs::SolveEvent`]s are emitted
+    /// after every solve.
+    pub fn set_observer(&mut self, observer: Arc<dyn SolverObserver + Send + Sync>) {
+        self.observer = Some(observer);
+    }
+
+    /// Records the counters for the solve that just completed (`stats` is
+    /// the source of truth; the deprecated `last_*` fields mirror it).
+    fn finish_solve(&mut self, stats: SolveStats) {
+        self.stats = stats;
+        self.last_cache_hits = stats.cache_hits;
+        self.last_cache_misses = stats.cache_misses;
+        self.last_bisection_iters = stats.bisection_evals;
+        if let Some(o) = &self.observer {
+            o.on_solve(&stats.to_event("gsd-distributed"));
         }
     }
 
@@ -677,9 +710,13 @@ impl P3Solver for DistributedGsdSolver {
             SimError::Internal("distributed GSD agent thread panicked".into())
         })??;
 
-        self.last_cache_hits = stats.cache_hits;
-        self.last_cache_misses = stats.cache_misses;
-        self.last_bisection_iters = stats.bisection_evals;
+        self.finish_solve(SolveStats {
+            iterations: result.iterations_run,
+            accepted: result.accepted,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            bisection_evals: stats.bisection_evals,
+        });
 
         let levels = result.best_state;
         if !problem.is_feasible(&levels) {
@@ -694,8 +731,10 @@ impl P3Solver for DistributedGsdSolver {
         Ok(P3Solution { loads: out.loads.clone(), levels, outcome: out })
     }
 
+    #[allow(deprecated)] // zeroes the deprecated mirror fields too
     fn reset(&mut self) {
         self.warm = None;
+        self.stats = SolveStats::default();
         self.last_cache_hits = 0;
         self.last_cache_misses = 0;
         self.last_bisection_iters = 0;
@@ -822,11 +861,12 @@ mod tests {
         );
         let sol = solver.solve(&p).unwrap();
         assert!(p.is_feasible(&sol.levels));
-        assert!(solver.last_cache_misses > 0);
-        assert!(solver.last_cache_hits > 0, "Gibbs chains revisit states");
-        assert!(solver.last_bisection_iters > 0);
+        assert!(solver.stats().cache_misses > 0);
+        assert!(solver.stats().cache_hits > 0, "Gibbs chains revisit states");
+        assert!(solver.stats().bisection_evals > 0);
+        assert!(solver.stats().iterations > 0);
         solver.reset();
-        assert_eq!(solver.last_cache_hits, 0);
+        assert_eq!(solver.stats().cache_hits, 0);
     }
 
     #[test]

@@ -56,6 +56,6 @@ pub use controller::{CocaConfig, CocaController};
 pub use deficit::DeficitQueue;
 pub use gsd::{GsdOptions, GsdSolver};
 pub use gsd_distributed::DistributedGsdSolver;
-pub use solver::{ExhaustiveSolver, P3Solution, P3Solver};
+pub use solver::{ExhaustiveSolver, P3Solution, P3Solver, SolveStats};
 pub use symmetric::SymmetricSolver;
 pub use vschedule::VSchedule;

@@ -29,6 +29,42 @@ pub struct P3Solution {
     pub outcome: DispatchOutcome,
 }
 
+/// Work counters for the most recent [`P3Solver::solve`] call, returned
+/// by reference from the concrete solvers' `stats()` accessors (this
+/// replaces the scattered `last_cache_hits` / `last_cache_misses` /
+/// `last_bisection_iters` fields, which are deprecated).
+///
+/// The fields mirror [`coca_obs::SolveEvent`]; [`SolveStats::to_event`]
+/// is the bridge the solvers use to notify their
+/// [`SolverObserver`](coca_obs::SolverObserver).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Proposal iterations run (GSD) or descent rounds (symmetric).
+    pub iterations: usize,
+    /// Accepted proposals (GSD chains; 0 for deterministic solvers).
+    pub accepted: usize,
+    /// Proposal evaluations answered by the state-cost cache.
+    pub cache_hits: u64,
+    /// Proposal evaluations that ran a full water-filling solve.
+    pub cache_misses: u64,
+    /// Water-level evaluations spent inside bisections.
+    pub bisection_evals: u64,
+}
+
+impl SolveStats {
+    /// Packages the stats as a [`coca_obs::SolveEvent`] for `solver`.
+    pub fn to_event(self, solver: &'static str) -> coca_obs::SolveEvent {
+        coca_obs::SolveEvent {
+            solver,
+            iterations: self.iterations,
+            accepted: self.accepted,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            bisection_evals: self.bisection_evals,
+        }
+    }
+}
+
 /// A solver for the per-slot problem P3.
 pub trait P3Solver {
     /// Solves the instance. Implementations must return a feasible solution

@@ -13,10 +13,13 @@
 //! This solver is the workhorse for the year-long experiment sweeps; GSD
 //! remains the reference algorithm (and the subject of Fig. 4).
 
+use std::sync::Arc;
+
 use coca_dcsim::dispatch::{optimal_dispatch, SlotProblem};
 use coca_dcsim::{Cluster, SimError};
+use coca_obs::SolverObserver;
 
-use crate::solver::{P3Solution, P3Solver};
+use crate::solver::{P3Solution, P3Solver, SolveStats};
 
 /// Per-partition decision: `active` groups at speed `level`, rest off.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +50,8 @@ pub struct SymmetricSolver {
     /// Maximum coordinate-descent rounds (each round sweeps all partitions).
     pub max_rounds: usize,
     warm: Option<Vec<PartState>>,
+    stats: SolveStats,
+    observer: Option<Arc<dyn SolverObserver + Send + Sync>>,
 }
 
 impl Default for SymmetricSolver {
@@ -58,7 +63,19 @@ impl Default for SymmetricSolver {
 impl SymmetricSolver {
     /// Creates the solver with the default round budget.
     pub fn new() -> Self {
-        Self { max_rounds: 6, warm: None }
+        Self { max_rounds: 6, warm: None, stats: SolveStats::default(), observer: None }
+    }
+
+    /// Work counters of the most recent solve (`iterations` counts descent
+    /// rounds across both starts; the chain-specific fields stay zero).
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// Attaches a solver observer; [`coca_obs::SolveEvent`]s are emitted
+    /// after every solve.
+    pub fn set_observer(&mut self, observer: Arc<dyn SolverObserver + Send + Sync>) {
+        self.observer = Some(observer);
     }
 
     fn partitions(cluster: &Cluster) -> Vec<Partition> {
@@ -147,15 +164,13 @@ impl P3Solver for SymmetricSolver {
         // basin when the instance changes abruptly (e.g. multiplier probes
         // in the budgeted solvers). A second descent from the full-speed
         // state keeps the solver honest; the better result wins.
-        let (state, _cost) = match warm_state {
+        let (state, _cost, rounds) = match warm_state {
             Some(w) => {
                 let a = self.descend(problem, &parts, w, n_groups);
                 let b = self.descend(problem, &parts, full, n_groups);
-                if a.1 <= b.1 {
-                    a
-                } else {
-                    b
-                }
+                let rounds = a.2 + b.2;
+                let (s, c, _) = if a.1 <= b.1 { a } else { b };
+                (s, c, rounds)
             }
             None => self.descend(problem, &parts, full, n_groups),
         };
@@ -163,11 +178,16 @@ impl P3Solver for SymmetricSolver {
         let levels = Self::levels_of(&parts, &state, n_groups);
         let out = optimal_dispatch(problem, &levels)?;
         self.warm = Some(state);
+        self.stats = SolveStats { iterations: rounds, ..SolveStats::default() };
+        if let Some(o) = &self.observer {
+            o.on_solve(&self.stats.to_event("symmetric"));
+        }
         Ok(P3Solution { loads: out.loads.clone(), levels, outcome: out })
     }
 
     fn reset(&mut self) {
         self.warm = None;
+        self.stats = SolveStats::default();
     }
 
     fn name(&self) -> &'static str {
@@ -234,14 +254,14 @@ impl P3Solver for SymmetricSolver {
 
 impl SymmetricSolver {
     /// Coordinate descent from a feasible starting state; returns the final
-    /// state and its objective.
+    /// state, its objective, and the number of rounds executed.
     fn descend(
         &self,
         problem: &SlotProblem<'_>,
         parts: &[Partition],
         mut state: Vec<PartState>,
         _n_groups: usize,
-    ) -> (Vec<PartState>, f64) {
+    ) -> (Vec<PartState>, f64, usize) {
         // Fast objective evaluation: each partition in state (ℓ, n) is one
         // weighted queue type, so the inner water-filling runs over at most
         // one spec per partition instead of one per group. This is the hot
@@ -284,7 +304,9 @@ impl SymmetricSolver {
 
         debug_assert!(problem.gamma > 0.0, "gamma validated by SlotProblem::validate");
         let required_capacity = problem.arrival_rate / problem.gamma;
+        let mut rounds = 0;
         for _round in 0..self.max_rounds {
+            rounds += 1;
             let mut improved = false;
             for pi in 0..parts.len() {
                 let p = &parts[pi];
@@ -363,7 +385,7 @@ impl SymmetricSolver {
                 break;
             }
         }
-        (state, best_cost)
+        (state, best_cost, rounds)
     }
 }
 

@@ -26,9 +26,24 @@
 //! to the uninterrupted one. Policies whose solvers carry warm-start state
 //! must include it in their snapshot (see `SymmetricSolver`), because warm
 //! starts change solve results.
+//!
+//! ## Observability
+//!
+//! An [`EngineObserver`](coca_obs::EngineObserver) can be attached — via
+//! [`EngineBuilder::observer`] or [`SimEngine::set_observer`] — to watch
+//! the slot loop: `on_slot_start` / `on_slot_end` around every step,
+//! per-phase wall-clock (`EnvPrep` / `Solve` / `Record`) when the observer
+//! opts into timing, and `on_checkpoint` at serialization points. The
+//! default observer is [`NoopObserver`](coca_obs::NoopObserver) and the
+//! engine gates every `Instant::now()` on
+//! [`timing_enabled`](coca_obs::EngineObserver::timing_enabled), so the
+//! unobserved hot path pays only a virtual call to an empty method per
+//! event (the zero-allocation test pins that it allocates nothing).
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use coca_obs::{EngineObserver, NoopObserver, Phase};
 use coca_traces::{EnvironmentTrace, SlotEnv};
 use serde::{Deserialize, Serialize, Value};
 
@@ -189,6 +204,10 @@ pub struct SimEngine<'p, Src> {
     choice_counts: Vec<usize>,
     t: usize,
     lanes: Vec<Lane<'p>>,
+    observer: Arc<dyn EngineObserver + Send + Sync>,
+    /// Cached `observer.timing_enabled()` so the hot path checks a bool
+    /// instead of making a virtual call before every `Instant::now()`.
+    timing: bool,
 }
 
 impl<'p, Src: SlotSource> SimEngine<'p, Src> {
@@ -216,7 +235,17 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
             choice_counts,
             t: 0,
             lanes: Vec::new(),
+            observer: Arc::new(NoopObserver),
+            timing: false,
         })
+    }
+
+    /// Attaches an engine observer (replacing the default no-op one). The
+    /// observer's [`timing_enabled`](EngineObserver::timing_enabled)
+    /// answer is cached here, so it must be constant per observer.
+    pub fn set_observer(&mut self, observer: Arc<dyn EngineObserver + Send + Sync>) {
+        self.timing = observer.timing_enabled();
+        self.observer = observer;
     }
 
     /// Sets the workload overestimation factor φ ≥ 1 (paper Fig. 5(c)).
@@ -274,9 +303,14 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
     /// `SlotSimulator::run` loop body.
     pub fn step(&mut self) -> crate::Result<StepStatus> {
         let t = self.t;
+        // Timing is opt-in (observer.timing_enabled()): unobserved runs
+        // never touch Instant. The source pull below is part of env prep,
+        // so its timer starts before on_slot_start fires.
+        let env_start = if self.timing { Some(Instant::now()) } else { None };
         let Some(env) = self.source.slot(t) else {
             return Ok(StepStatus::Finished);
         };
+        self.observer.on_slot_start(t);
         let planned_rate = env.arrival_rate * self.overestimation;
         if planned_rate > self.max_servable {
             return Err(SimError::Overload {
@@ -294,9 +328,22 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
         // Re-dispatch scale: planned shares onto the realized arrival rate.
         // φ ≥ 1 only ever scales loads down, so caps stay satisfied.
         let scale = if planned_rate > 0.0 { env.arrival_rate / planned_rate } else { 0.0 };
+        if let Some(start) = env_start {
+            self.observer.on_phase(Phase::EnvPrep, start.elapsed());
+        }
 
+        let mut solve_time = Duration::ZERO;
+        let mut record_time = Duration::ZERO;
         for lane in &mut self.lanes {
-            let decision = lane.policy.decide(&obs)?;
+            let decision = if self.timing {
+                let start = Instant::now();
+                let d = lane.policy.decide(&obs)?;
+                solve_time += start.elapsed();
+                d
+            } else {
+                lane.policy.decide(&obs)?
+            };
+            let record_start = if self.timing { Some(Instant::now()) } else { None };
             self.cluster.validate_levels(&decision.levels)?;
             decision.validate_totals(planned_rate)?;
             // Paper-invariant hooks: constraints (8) and (9) on what the
@@ -366,8 +413,16 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
                 cost: total_cost,
             });
             lane.prev_levels = decision.levels;
+            if let Some(start) = record_start {
+                record_time += start.elapsed();
+            }
+        }
+        if self.timing {
+            self.observer.on_phase(Phase::Solve, solve_time);
+            self.observer.on_phase(Phase::Record, record_time);
         }
         self.t += 1;
+        self.observer.on_slot_end(t, self.lanes.len());
         Ok(StepStatus::Advanced)
     }
 
@@ -379,6 +434,14 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
             advanced += 1;
         }
         Ok(advanced)
+    }
+
+    /// Runs to the end of the source and returns one [`SimOutcome`] per
+    /// lane ([`run_to_end`](Self::run_to_end) +
+    /// [`into_outcomes`](Self::into_outcomes)).
+    pub fn run_and_finish(mut self) -> crate::Result<Vec<SimOutcome>> {
+        self.run_to_end()?;
+        self.into_outcomes()
     }
 
     /// Finishes the run and produces one [`SimOutcome`] per lane, in lane
@@ -424,6 +487,7 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
                 })
             })
             .collect::<crate::Result<Vec<_>>>()?;
+        self.observer.on_checkpoint(self.t);
         Ok(EngineState {
             t: self.t,
             rec_total: self.rec_total,
@@ -471,6 +535,98 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
         self.overestimation = state.overestimation;
         self.t = state.t;
         Ok(())
+    }
+}
+
+/// Fluent constructor for [`SimEngine`]: collects the run configuration
+/// (φ, RECs, observer, lanes) and assembles the engine in one
+/// [`build`](EngineBuilder::build) call, so adding a knob never grows the
+/// positional `SimEngine::new` signature again.
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use coca_dcsim::{CostParams, EngineBuilder, StaticLevels};
+/// # use coca_dcsim::cluster::Cluster;
+/// # use coca_traces::TraceConfig;
+/// let cluster = Arc::new(Cluster::homogeneous(2, 10));
+/// let trace = TraceConfig { hours: 4, peak_arrival_rate: 50.0, ..Default::default() }.generate();
+/// let cost = CostParams::default();
+/// let mut engine = EngineBuilder::new(Arc::clone(&cluster), cost)
+///     .rec_total(5.0)
+///     .overestimation(1.1)
+///     .policy(Box::new(StaticLevels::full_speed(cluster, cost)))
+///     .build(&trace)
+///     .unwrap();
+/// engine.run_to_end().unwrap();
+/// ```
+#[must_use = "a builder does nothing until `build` is called"]
+pub struct EngineBuilder<'p> {
+    cluster: Arc<Cluster>,
+    cost: CostParams,
+    rec_total: f64,
+    overestimation: f64,
+    observer: Option<Arc<dyn EngineObserver + Send + Sync>>,
+    lanes: Vec<(Box<dyn Policy + 'p>, Box<dyn RecordSink + 'p>)>,
+}
+
+impl<'p> EngineBuilder<'p> {
+    /// Starts a builder for `cluster` under `cost`; defaults are
+    /// `rec_total = 0`, `φ = 1`, no observer, no lanes.
+    pub fn new(cluster: Arc<Cluster>, cost: CostParams) -> Self {
+        Self {
+            cluster,
+            cost,
+            rec_total: 0.0,
+            overestimation: 1.0,
+            observer: None,
+            lanes: Vec::new(),
+        }
+    }
+
+    /// Total RECs Z for the period (kWh); validated by `build`.
+    pub fn rec_total(mut self, z: f64) -> Self {
+        self.rec_total = z;
+        self
+    }
+
+    /// Workload overestimation factor φ ≥ 1; validated by `build`.
+    pub fn overestimation(mut self, phi: f64) -> Self {
+        self.overestimation = phi;
+        self
+    }
+
+    /// Attaches an engine observer (see [`SimEngine::set_observer`]).
+    pub fn observer(mut self, observer: Arc<dyn EngineObserver + Send + Sync>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Adds a policy lane with the default materializing [`VecSink`].
+    pub fn policy(self, policy: Box<dyn Policy + 'p>) -> Self {
+        self.policy_with_sink(policy, Box::new(VecSink::new()))
+    }
+
+    /// Adds a policy lane with a custom record sink.
+    pub fn policy_with_sink(
+        mut self,
+        policy: Box<dyn Policy + 'p>,
+        sink: Box<dyn RecordSink + 'p>,
+    ) -> Self {
+        self.lanes.push((policy, sink));
+        self
+    }
+
+    /// Validates the configuration and assembles the engine over `source`.
+    pub fn build<Src: SlotSource>(self, source: Src) -> crate::Result<SimEngine<'p, Src>> {
+        let mut engine = SimEngine::new(self.cluster, source, self.cost, self.rec_total)?;
+        engine.set_overestimation(self.overestimation)?;
+        if let Some(observer) = self.observer {
+            engine.set_observer(observer);
+        }
+        for (policy, sink) in self.lanes {
+            engine.add_policy_with_sink(policy, sink);
+        }
+        Ok(engine)
     }
 }
 
@@ -625,6 +781,33 @@ mod tests {
         let mut state = engine.checkpoint().unwrap();
         state.rec_total = 99.0;
         assert!(engine.restore(&state).is_err(), "rec_total mismatch");
+    }
+
+    #[test]
+    fn builder_assembles_a_configured_engine() {
+        let (cluster, trace, cost) = small();
+        let built = EngineBuilder::new(Arc::clone(&cluster), cost)
+            .rec_total(10.0)
+            .policy(Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)))
+            .build(&trace)
+            .unwrap()
+            .run_and_finish()
+            .unwrap();
+        let direct = run_lockstep(
+            Arc::clone(&cluster),
+            &trace,
+            cost,
+            10.0,
+            vec![Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost))],
+        )
+        .unwrap();
+        assert_eq!(built, direct);
+
+        // Builder validation mirrors the setters'.
+        assert!(EngineBuilder::new(Arc::clone(&cluster), cost)
+            .overestimation(0.5)
+            .build(&trace)
+            .is_err());
     }
 
     #[test]

@@ -57,8 +57,8 @@ mod error;
 pub use cluster::{Cluster, ClusterBuilder};
 pub use dispatch::{optimal_dispatch, DispatchOutcome, SlotProblem};
 pub use engine::{
-    run_lockstep, EngineState, FnSource, LaneState, SimEngine, SlotSource, StepStatus,
-    TraceSource,
+    run_lockstep, EngineBuilder, EngineState, FnSource, LaneState, SimEngine, SlotSource,
+    StepStatus, TraceSource,
 };
 pub use error::SimError;
 pub use group::ServerGroup;
@@ -66,7 +66,9 @@ pub use incremental::{EvalStats, SlotEvalContext, StateCostCache, ZobristTable};
 pub use metrics::{RecordSink, SimOutcome, SlotRecord, SummarySink, VecSink};
 pub use policy::{Decision, Policy, SlotFeedback, SlotObservation, StaticLevels};
 pub use server::{ServerClass, SpeedLevel};
-pub use slot_sim::{CostParams, SlotSimulator};
+pub use slot_sim::CostParams;
+#[allow(deprecated)]
+pub use slot_sim::SlotSimulator;
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, SimError>;

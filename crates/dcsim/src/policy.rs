@@ -249,6 +249,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn static_levels_runs_over_a_trace() {
         use crate::cluster::Cluster;
         use crate::slot_sim::{CostParams, SlotSimulator};

@@ -68,6 +68,12 @@ impl CostParams {
 }
 
 /// Trace-driven hourly simulator.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SimEngine` / `EngineBuilder` directly; this facade runs a \
+            single-lane engine pass and supports none of the multi-lane, \
+            streaming, checkpoint, or observer features"
+)]
 #[derive(Debug, Clone)]
 pub struct SlotSimulator<'a> {
     /// The managed fleet.
@@ -83,6 +89,7 @@ pub struct SlotSimulator<'a> {
     pub overestimation: f64,
 }
 
+#[allow(deprecated)]
 impl<'a> SlotSimulator<'a> {
     /// Creates a simulator with φ = 1 (no overestimation).
     pub fn new(cluster: &'a Cluster, trace: &'a EnvironmentTrace, cost: CostParams, rec_total: f64) -> Self {
@@ -108,6 +115,7 @@ impl<'a> SlotSimulator<'a> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::policy::{Decision, SlotObservation, StaticLevels};

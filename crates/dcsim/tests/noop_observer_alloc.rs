@@ -1,0 +1,93 @@
+//! The no-op-observer contract: attaching [`NoopObserver`] to a
+//! [`SimEngine`] must leave the per-slot hot path allocation-identical to
+//! an unobserved engine (`timing_enabled` is `false`, so the engine also
+//! skips its `Instant::now()` bracketing — this test pins the allocation
+//! half of that bargain with a counting global allocator).
+//!
+//! Lives in its own integration-test binary because the global allocator
+//! is process-wide and the count would be polluted by concurrent tests'
+//! allocations; cargo runs each test binary's tests in one process, so
+//! this file holds exactly one test.
+
+#![allow(unsafe_code)] // the GlobalAlloc impl below is the entire reason this binary exists
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use coca_dcsim::{Cluster, CostParams, EngineBuilder, StaticLevels, StepStatus};
+use coca_obs::NoopObserver;
+use coca_traces::TraceConfig;
+
+/// Forwards to the system allocator, counting allocation calls.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs the whole trace through a fresh engine and returns the allocation
+/// count attributable to the `step()` loop alone (setup excluded).
+fn allocations_for_run(observed: bool) -> u64 {
+    let cluster = Arc::new(Cluster::homogeneous(4, 10));
+    let trace = TraceConfig {
+        hours: 48,
+        peak_arrival_rate: 0.4 * cluster.max_capacity(),
+        onsite_energy_kwh: 10.0,
+        offsite_energy_kwh: 10.0,
+        ..Default::default()
+    }
+    .generate();
+    let cost = CostParams::default();
+    let mut builder = EngineBuilder::new(Arc::clone(&cluster), cost)
+        .policy(Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)));
+    if observed {
+        builder = builder.observer(Arc::new(NoopObserver));
+    }
+    let mut engine = builder.build(&trace).expect("engine");
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    while engine.step().expect("step") == StepStatus::Advanced {}
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    drop(engine);
+    after - before
+}
+
+/// Minimum over several passes: the engine's own count is deterministic,
+/// but the libtest harness thread allocates concurrently (timers, slow-test
+/// watchdog) and can land 1–2 allocations inside a measured window. The
+/// minimum strips that cross-thread noise while still catching any real
+/// per-step (or even per-run) observer allocation.
+fn min_allocations(observed: bool) -> u64 {
+    (0..5).map(|_| allocations_for_run(observed)).min().expect("non-empty")
+}
+
+#[test]
+fn noop_observer_adds_zero_allocations_to_the_step_loop() {
+    // Warm-up pass absorbs lazy one-time allocations (TLS, rng tables, …)
+    // so the measured passes see identical amortization behavior.
+    let _ = allocations_for_run(false);
+    let unobserved = min_allocations(false);
+    let observed = min_allocations(true);
+    assert!(unobserved > 0, "the step loop does allocate (records, loads)");
+    assert_eq!(
+        observed, unobserved,
+        "attaching NoopObserver must not add a single allocation to step()"
+    );
+}

@@ -1,0 +1,123 @@
+//! Engine-observer contract tests: the per-slot event ordering documented
+//! on [`EngineObserver`], and checkpoint notification.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use coca_dcsim::{Cluster, CostParams, EngineBuilder, StaticLevels, StepStatus};
+use coca_obs::{EngineObserver, Phase};
+use coca_traces::TraceConfig;
+
+/// Records every engine event as a compact string, with timing enabled so
+/// the phase hooks fire.
+#[derive(Debug, Default)]
+struct Recorder {
+    events: Mutex<Vec<String>>,
+}
+
+impl Recorder {
+    fn push(&self, s: String) {
+        self.events.lock().expect("recorder lock").push(s);
+    }
+
+    fn take(&self) -> Vec<String> {
+        std::mem::take(&mut *self.events.lock().expect("recorder lock"))
+    }
+}
+
+impl EngineObserver for Recorder {
+    fn on_slot_start(&self, t: usize) {
+        self.push(format!("start:{t}"));
+    }
+
+    fn on_slot_end(&self, t: usize, lanes: usize) {
+        self.push(format!("end:{t}:{lanes}"));
+    }
+
+    fn on_phase(&self, phase: Phase, _elapsed: Duration) {
+        self.push(format!("phase:{}", phase.name()));
+    }
+
+    fn on_checkpoint(&self, t: usize) {
+        self.push(format!("checkpoint:{t}"));
+    }
+
+    fn timing_enabled(&self) -> bool {
+        true
+    }
+}
+
+fn fixture() -> (Arc<Cluster>, coca_traces::EnvironmentTrace, CostParams) {
+    let cluster = Arc::new(Cluster::homogeneous(2, 5));
+    let trace = TraceConfig {
+        hours: 3,
+        peak_arrival_rate: 0.4 * cluster.max_capacity(),
+        onsite_energy_kwh: 2.0,
+        offsite_energy_kwh: 2.0,
+        ..Default::default()
+    }
+    .generate();
+    (cluster, trace, CostParams::default())
+}
+
+#[test]
+fn per_slot_event_order_is_start_phases_end() {
+    let (cluster, trace, cost) = fixture();
+    let recorder = Arc::new(Recorder::default());
+    let mut engine = EngineBuilder::new(Arc::clone(&cluster), cost)
+        .observer(Arc::clone(&recorder) as _)
+        .policy(Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)))
+        .policy(Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)))
+        .build(&trace)
+        .expect("engine");
+
+    assert_eq!(engine.step().expect("step"), StepStatus::Advanced);
+    assert_eq!(
+        recorder.take(),
+        vec!["start:0", "phase:env_prep", "phase:solve", "phase:record", "end:0:2"],
+        "documented per-slot order: start, env_prep, solve, record, end"
+    );
+
+    let _ = engine.run_to_end().expect("run");
+    let rest = recorder.take();
+    assert_eq!(
+        rest,
+        vec![
+            "start:1", "phase:env_prep", "phase:solve", "phase:record", "end:1:2",
+            "start:2", "phase:env_prep", "phase:solve", "phase:record", "end:2:2",
+        ],
+        "remaining slots keep the same order; the Finished probe emits nothing"
+    );
+}
+
+#[test]
+fn checkpoint_notifies_observer_with_current_slot() {
+    let (cluster, trace, cost) = fixture();
+    let recorder = Arc::new(Recorder::default());
+    let mut engine = EngineBuilder::new(Arc::clone(&cluster), cost)
+        .observer(Arc::clone(&recorder) as _)
+        .policy(Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)))
+        .build(&trace)
+        .expect("engine");
+    let _ = engine.step().expect("step");
+    let _ = engine.step().expect("step");
+    let _ = engine.checkpoint().expect("checkpoint");
+    let events = recorder.take();
+    assert_eq!(events.last().map(String::as_str), Some("checkpoint:2"), "{events:?}");
+}
+
+#[test]
+fn restore_does_not_emit_slot_events() {
+    let (cluster, trace, cost) = fixture();
+    let recorder = Arc::new(Recorder::default());
+    let mut engine = EngineBuilder::new(Arc::clone(&cluster), cost)
+        .observer(Arc::clone(&recorder) as _)
+        .policy(Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)))
+        .build(&trace)
+        .expect("engine");
+    let _ = engine.step().expect("step");
+    let state = engine.checkpoint().expect("checkpoint");
+    let _ = recorder.take();
+    engine.restore(&state).expect("restore");
+    assert_eq!(recorder.take(), Vec::<String>::new(), "restore is not a simulated slot");
+}

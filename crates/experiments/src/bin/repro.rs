@@ -30,6 +30,13 @@
 //! ([`coca_core::invariant`]) into unconditional panics, release build
 //! included — use it to certify that a full reproduction run never strays
 //! from the paper's constraints.
+//!
+//! Diagnostics go through the span-style [`coca_obs::logger`] on stderr
+//! (`--quiet` drops everything below error level); results stay on stdout.
+//! `--metrics PATH` additionally runs a short instrumented GSD-backed COCA
+//! probe with a [`MetricsObserver`] attached to the engine, solver and
+//! controller, and writes the registry snapshot (JSON) to PATH — CI
+//! validates it against `schemas/metrics.schema.json`.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -37,11 +44,15 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use coca_core::VSchedule;
+use coca_core::{CocaConfig, CocaController, VSchedule};
+use coca_core::gsd::{GsdOptions, GsdSolver};
+use coca_dcsim::{EngineBuilder, StepStatus};
 use coca_experiments::figures::{self, Figure};
 use coca_experiments::report::{print_table, write_csv};
 use coca_experiments::runtime::{run_lockstep_checkpointed, Checkpointing};
 use coca_experiments::setup::{ExperimentScale, PaperSetup};
+use coca_obs::logger::{self, Level, Span};
+use coca_obs::{MetricsObserver, MetricsRegistry};
 use coca_traces::WorkloadKind;
 
 struct Args {
@@ -50,6 +61,7 @@ struct Args {
     out: PathBuf,
     command: String,
     resume: bool,
+    metrics: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
     let mut out = PathBuf::from("results");
     let mut command = None;
     let mut resume = false;
+    let mut metrics = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -78,6 +91,10 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--resume" => resume = true,
+            "--metrics" => {
+                metrics = Some(PathBuf::from(it.next().ok_or("--metrics needs a value")?));
+            }
+            "--quiet" => logger::set_level(Level::Error),
             "--help" | "-h" => return Err("help".into()),
             cmd if command.is_none() && !cmd.starts_with('-') => command = Some(cmd.to_string()),
             other => return Err(format!("unexpected argument {other:?}")),
@@ -89,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
         out,
         command: command.unwrap_or_else(|| "all".into()),
         resume,
+        metrics,
     })
 }
 
@@ -99,7 +117,7 @@ fn emit(args: &Args, stem: &str, fig: &Figure) {
     print_table(&fig.title, &fig.x_label, &thinned, &mut stdout).ok();
     let path = args.out.join(format!("{stem}.csv"));
     if let Err(e) = write_csv(&path, &fig.x_label, &fig.series) {
-        eprintln!("warning: could not write {}: {e}", path.display());
+        logger::error(&Span::new("csv"), &format!("could not write {}: {e}", path.display()));
     } else {
         writeln!(stdout, "(full series -> {})", path.display()).ok();
     }
@@ -113,15 +131,18 @@ fn movavg_window(hours: usize) -> usize {
 fn build_setup(args: &Args, workload: WorkloadKind) -> PaperSetup {
     let t0 = Instant::now();
     let setup = PaperSetup::build(args.scale, workload, 0.92).expect("setup builds");
-    eprintln!(
-        "[setup {:?}] groups={} servers={} hours={} unaware={:.1} MWh budget={:.1} MWh ({:.1?})",
-        workload,
-        setup.cluster.num_groups(),
-        setup.cluster.num_servers(),
-        setup.trace.len(),
-        setup.unaware_brown_kwh / 1000.0,
-        setup.budget_kwh / 1000.0,
-        t0.elapsed()
+    logger::info(
+        &Span::new("setup"),
+        &format!(
+            "{:?}: groups={} servers={} hours={} unaware={:.1} MWh budget={:.1} MWh ({:.1?})",
+            workload,
+            setup.cluster.num_groups(),
+            setup.cluster.num_servers(),
+            setup.trace.len(),
+            setup.unaware_brown_kwh / 1000.0,
+            setup.budget_kwh / 1000.0,
+            t0.elapsed()
+        ),
     );
     setup
 }
@@ -137,7 +158,7 @@ fn fig2(args: &Args, setup: &PaperSetup) {
     // sweep covers the cost/neutrality transition at every scale (the
     // paper's absolute "V ≈ 240" reflects its undisclosed unit scaling).
     let v0 = setup.characteristic_v();
-    eprintln!("[fig2] characteristic V0 = {v0:.1}");
+    logger::info(&Span::new("fig2"), &format!("characteristic V0 = {v0:.1}"));
     let vs: Vec<f64> =
         [0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0].iter().map(|m| m * v0).collect();
     let (a, b) = figures::fig2_constant_v(setup, &vs).expect("fig2 runs");
@@ -160,7 +181,9 @@ fn fig3(args: &Args, setup: &PaperSetup, v: f64) -> f64 {
     let (a, b, saving) = figures::fig3_vs_perfect_hp(setup, v, window).expect("fig3 runs");
     emit(args, "fig3a_cumavg_cost", &a);
     emit(args, "fig3b_cumavg_deficit", &b);
-    println!("\nCOCA cost saving vs PerfectHP: {:.1}% (paper: >25%)", saving * 100.0);
+    let mut stdout = std::io::stdout().lock();
+    writeln!(stdout, "\nCOCA cost saving vs PerfectHP: {:.1}% (paper: >25%)", saving * 100.0)
+        .ok();
     saving
 }
 
@@ -182,21 +205,31 @@ fn fig5(args: &Args, setup_fiu: &PaperSetup, v: f64) {
     let fractions = [0.85, 0.90, 0.92, 1.00, 1.05];
     let (fig_a, rows) = figures::fig5_budget_sweep(setup_fiu, &fractions, 5).expect("fig5a runs");
     emit(args, "fig5a_budget_fiu", &fig_a);
-    for r in &rows {
-        println!(
-            "  budget {:.2}: coca {:.4} (neutral: {}, V={:.1}) opt {:.4}",
-            r.budget_fraction, r.coca, r.coca_neutral, r.v_used, r.opt
-        );
+    {
+        let mut stdout = std::io::stdout().lock();
+        for r in &rows {
+            writeln!(
+                stdout,
+                "  budget {:.2}: coca {:.4} (neutral: {}, V={:.1}) opt {:.4}",
+                r.budget_fraction, r.coca, r.coca_neutral, r.v_used, r.opt
+            )
+            .ok();
+        }
     }
 
     let setup_msr = build_setup(args, WorkloadKind::Msr);
     let (fig_b, rows_b) = figures::fig5_budget_sweep(&setup_msr, &fractions, 5).expect("fig5b runs");
     emit(args, "fig5b_budget_msr", &fig_b);
-    for r in &rows_b {
-        println!(
-            "  [msr] budget {:.2}: coca {:.4} (neutral: {}) opt {:.4}",
-            r.budget_fraction, r.coca, r.coca_neutral, r.opt
-        );
+    {
+        let mut stdout = std::io::stdout().lock();
+        for r in &rows_b {
+            writeln!(
+                stdout,
+                "  [msr] budget {:.2}: coca {:.4} (neutral: {}) opt {:.4}",
+                r.budget_fraction, r.coca, r.coca_neutral, r.opt
+            )
+            .ok();
+        }
     }
 
     let c = figures::fig5_overestimation(setup_fiu, v, &[1.0, 1.05, 1.10, 1.15, 1.20])
@@ -209,13 +242,19 @@ fn fig5(args: &Args, setup_fiu: &PaperSetup, v: f64) {
 
 fn ablation(setup: &PaperSetup, v: f64) {
     let rows = figures::ablation_frame_reset(setup, v, &[1, 2, 4, 12]).expect("ablation");
-    println!("
-## Ablation: deficit-queue frame reset (constant V = {v:.0})");
-    println!("{:>8} {:>14} {:>16} {:>14}", "frames", "avg cost", "brown/budget", "peak queue");
+    let mut stdout = std::io::stdout().lock();
+    writeln!(stdout, "\n## Ablation: deficit-queue frame reset (constant V = {v:.0})").ok();
+    writeln!(stdout, "{:>8} {:>14} {:>16} {:>14}", "frames", "avg cost", "brown/budget", "peak queue")
+        .ok();
     for r in &rows {
-        println!("{:>8} {:>14.3} {:>16.4} {:>14.1}", r.frames, r.cost, r.brown_over_budget, r.peak_queue);
+        writeln!(
+            stdout,
+            "{:>8} {:>14.3} {:>16.4} {:>14.1}",
+            r.frames, r.cost, r.brown_over_budget, r.peak_queue
+        )
+        .ok();
     }
-    println!("(more frames = more resets = weaker neutrality pressure at fixed V)");
+    writeln!(stdout, "(more frames = more resets = weaker neutrality pressure at fixed V)").ok();
 }
 
 fn portfolio(args: &Args, setup: &PaperSetup, v: f64) {
@@ -237,24 +276,26 @@ fn summary(args: &Args, setup: &PaperSetup, v: f64) {
         setup.rec_total,
         vec![Box::new(coca)],
         Some(Checkpointing { path: &ckpt_path, every, resume: args.resume }),
+        None,
     )
     .expect("coca run")
     .pop()
     .expect("coca outcome");
     let window = 48.min(setup.trace.len());
     let (_, _, saving) = figures::fig3_vs_perfect_hp(setup, v, window).expect("fig3");
-    println!("\n## Summary (scale = {}, budget = 92%)", args.scale_name);
-    println!("calibrated V*                 : {v:.1}");
-    println!(
+    let mut stdout = std::io::stdout().lock();
+    writeln!(stdout, "\n## Summary (scale = {}, budget = 92%)", args.scale_name).ok();
+    writeln!(stdout, "calibrated V*                 : {v:.1}").ok();
+    writeln!(
+        stdout,
         "COCA brown energy / budget    : {:.4} (neutral: {})",
         out.total_brown_energy() / setup.budget_kwh,
         out.is_carbon_neutral() || out.total_brown_energy() <= setup.budget_kwh
-    );
-    println!("COCA avg hourly cost          : {:.3}", out.avg_hourly_cost());
-    println!(
-        "cost saving vs PerfectHP      : {:.1}%  (paper: >25%)",
-        saving * 100.0
-    );
+    )
+    .ok();
+    writeln!(stdout, "COCA avg hourly cost          : {:.3}", out.avg_hourly_cost()).ok();
+    writeln!(stdout, "cost saving vs PerfectHP      : {:.1}%  (paper: >25%)", saving * 100.0)
+        .ok();
 }
 
 /// Commands whose figures depend on the calibrated V*.
@@ -262,15 +303,67 @@ fn needs_calibration(command: &str) -> bool {
     matches!(command, "fig3" | "fig5" | "portfolio" | "ablation" | "summary" | "all")
 }
 
+/// The instrumented probe behind `--metrics`: a GSD-backed COCA run over a
+/// short window of the scenario, with one [`MetricsObserver`] watching the
+/// engine (slots, checkpoints, phase timers), the GSD solver (cache and
+/// acceptance statistics) and the controller (deficit queue, frame resets)
+/// — so the snapshot carries every metric family the checked-in schema
+/// requires. Progress goes through the logger once per frame.
+fn metrics_probe(setup: &PaperSetup, path: &std::path::Path) -> Result<(), String> {
+    let registry = Arc::new(MetricsRegistry::new());
+    let observer = Arc::new(MetricsObserver::new(Arc::clone(&registry)));
+    let hours = setup.trace.len().min(72);
+    let frame = 24.min(hours).max(1);
+    let trace = setup.trace.window(0, hours);
+    let rec_total = setup.rec_total * hours as f64 / setup.trace.len() as f64;
+    let mut gsd = GsdSolver::new(GsdOptions { iterations: 200, seed: 1500, ..Default::default() });
+    gsd.set_observer(Arc::clone(&observer) as _);
+    let cfg = CocaConfig {
+        v: VSchedule::Constant(setup.characteristic_v()),
+        frame_length: frame,
+        horizon: hours,
+        alpha: 1.0,
+        rec_total,
+    };
+    let mut coca = CocaController::new(Arc::clone(&setup.cluster), setup.cost, cfg, gsd);
+    coca.set_observer(Arc::clone(&observer) as _);
+    let mut engine = EngineBuilder::new(Arc::clone(&setup.cluster), setup.cost)
+        .rec_total(rec_total)
+        .observer(Arc::clone(&observer) as _)
+        .policy(Box::new(coca))
+        .build(&trace)
+        .map_err(|e| format!("probe engine: {e}"))?;
+    while engine.step().map_err(|e| format!("probe step: {e}"))? == StepStatus::Advanced {
+        let t = engine.t();
+        if t % frame == 0 {
+            logger::info(
+                &Span::new("metrics").slot(t).frame(t / frame).lane("coca-gsd"),
+                &format!("probe progress: {t}/{hours} slots"),
+            );
+        }
+    }
+    let json = registry.snapshot().to_json()?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    logger::info(&Span::new("metrics"), &format!("snapshot -> {}", path.display()));
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             if e != "help" {
-                eprintln!("error: {e}\n");
+                logger::error(&Span::new("args"), &e);
             }
             eprintln!(
                 "usage: repro [--scale small|medium|paper] [--out DIR] [--strict] [--resume] \
+                 [--quiet] [--metrics PATH] \
                  [fig1|fig2|fig3|fig4|fig5|portfolio|ablation|summary|all]"
             );
             return if e == "help" { ExitCode::SUCCESS } else { ExitCode::from(2) };
@@ -284,7 +377,7 @@ fn main() -> ExitCode {
         let s = setup.as_ref().unwrap();
         let tc = Instant::now();
         let v = figures::calibrate_v(s, 7).expect("calibration");
-        eprintln!("[calibrate] V* = {v:.1} ({:.1?})", tc.elapsed());
+        logger::info(&Span::new("calibrate"), &format!("V* = {v:.1} ({:.1?})", tc.elapsed()));
         Some(v)
     } else {
         None
@@ -313,10 +406,24 @@ fn main() -> ExitCode {
             summary(&args, s, v);
         }
         other => {
-            eprintln!("unknown command {other:?}");
+            logger::error(&Span::new("args"), &format!("unknown command {other:?}"));
             return ExitCode::from(2);
         }
     }
-    eprintln!("\n[done in {:.1?}]", t0.elapsed());
+    if let Some(path) = args.metrics.clone() {
+        let owned;
+        let s = match setup.as_ref() {
+            Some(s) => s,
+            None => {
+                owned = build_setup(&args, WorkloadKind::Fiu);
+                &owned
+            }
+        };
+        if let Err(e) = metrics_probe(s, &path) {
+            logger::error(&Span::new("metrics"), &e);
+            return ExitCode::from(1);
+        }
+    }
+    logger::info(&Span::new("repro"), &format!("done in {:.1?}", t0.elapsed()));
     ExitCode::SUCCESS
 }

@@ -15,8 +15,10 @@ use std::path::Path;
 use std::sync::Arc;
 
 use coca_dcsim::{
-    Cluster, CostParams, EngineState, Policy, SimEngine, SimError, SimOutcome, StepStatus,
+    Cluster, CostParams, EngineBuilder, EngineState, Policy, SimError, SimOutcome, StepStatus,
 };
+use coca_obs::logger::{self, Span};
+use coca_obs::EngineObserver;
 use coca_traces::EnvironmentTrace;
 
 /// Where and how often to checkpoint a [`run_lockstep_checkpointed`] call.
@@ -62,6 +64,11 @@ pub fn read_checkpoint(path: &Path) -> Result<EngineState, SimError> {
 /// boundaries when `ckpt` is given. Semantically identical to
 /// [`coca_dcsim::run_lockstep`] — same outcomes, slot for slot — plus the
 /// persistence side effects described in the module docs.
+///
+/// Resume/checkpoint diagnostics go through [`coca_obs::logger`] (so
+/// `repro --quiet` silences the informational ones), and an optional
+/// [`EngineObserver`] — e.g. a [`coca_obs::MetricsObserver`] — can watch
+/// the run's slots, phases and checkpoints.
 pub fn run_lockstep_checkpointed<'p>(
     cluster: Arc<Cluster>,
     trace: &EnvironmentTrace,
@@ -69,26 +76,43 @@ pub fn run_lockstep_checkpointed<'p>(
     rec_total: f64,
     policies: Vec<Box<dyn Policy + 'p>>,
     ckpt: Option<Checkpointing<'_>>,
+    observer: Option<Arc<dyn EngineObserver + Send + Sync>>,
 ) -> Result<Vec<SimOutcome>, SimError> {
-    let mut engine = SimEngine::new(cluster, trace, cost, rec_total)?;
-    for policy in policies {
-        let _ = engine.add_policy(policy);
+    let mut builder = EngineBuilder::new(cluster, cost).rec_total(rec_total);
+    if let Some(obs) = observer {
+        builder = builder.observer(obs);
     }
+    for policy in policies {
+        builder = builder.policy(policy);
+    }
+    let mut engine = builder.build(trace)?;
     if let Some(c) = &ckpt {
         if c.resume && c.path.exists() {
+            let every = c.every.max(1);
             match read_checkpoint(c.path).and_then(|state| {
                 engine.restore(&state)?;
                 Ok(state.t)
             }) {
-                Ok(t) => eprintln!("[resume] continuing from slot {t} ({})", c.path.display()),
-                Err(e) => eprintln!("[resume] ignoring checkpoint {}: {e}", c.path.display()),
+                Ok(t) => logger::info(
+                    &Span::new("resume").slot(t).frame(t / every),
+                    &format!("continuing from checkpoint {}", c.path.display()),
+                ),
+                Err(e) => logger::error(
+                    &Span::new("resume"),
+                    &format!("ignoring checkpoint {}: {e}", c.path.display()),
+                ),
             }
         }
     }
     while engine.step()? == StepStatus::Advanced {
         if let Some(c) = &ckpt {
-            if engine.t() % c.every.max(1) == 0 {
+            let every = c.every.max(1);
+            if engine.t() % every == 0 {
                 write_checkpoint(c.path, &engine.checkpoint()?)?;
+                logger::debug(
+                    &Span::new("checkpoint").slot(engine.t()).frame(engine.t() / every),
+                    &format!("state written to {}", c.path.display()),
+                );
             }
         }
     }
@@ -105,7 +129,7 @@ mod tests {
     use crate::figures::coca_policy;
     use crate::setup::{ExperimentScale, PaperSetup};
     use coca_core::VSchedule;
-    use coca_dcsim::run_lockstep;
+    use coca_dcsim::{run_lockstep, SimEngine};
     use coca_traces::WorkloadKind;
 
     fn small_setup() -> PaperSetup {
@@ -131,6 +155,7 @@ mod tests {
             setup.rec_total,
             lanes(&setup),
             Some(ckpt),
+            None,
         )
         .unwrap();
         let reference = run_lockstep(
@@ -176,6 +201,7 @@ mod tests {
             setup.rec_total,
             lanes(&setup),
             Some(Checkpointing { path: &path, every: 24, resume: true }),
+            None,
         )
         .unwrap();
         let uninterrupted = run_lockstep(
@@ -188,6 +214,31 @@ mod tests {
         .unwrap();
         assert_eq!(resumed, uninterrupted, "resume must reproduce the full run exactly");
         assert!(!path.exists());
+    }
+
+    #[test]
+    fn observer_sees_checkpointed_run() {
+        let setup = small_setup();
+        let dir = std::env::temp_dir().join("coca_runtime_test_observer");
+        let path = dir.join("ckpt.json");
+        let registry = Arc::new(coca_obs::MetricsRegistry::new());
+        let observer = Arc::new(coca_obs::MetricsObserver::new(Arc::clone(&registry)));
+        let _ = run_lockstep_checkpointed(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            setup.cost,
+            setup.rec_total,
+            lanes(&setup),
+            Some(Checkpointing { path: &path, every: 24, resume: false }),
+            Some(observer),
+        )
+        .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine_slots_total"), Some(72));
+        // 72 slots / every=24 → boundaries at t=24, 48, 72.
+        assert_eq!(snap.counter("engine_checkpoints_total"), Some(3));
+        let timers = snap.histogram("engine_phase_solve_seconds").expect("solve timer");
+        assert_eq!(timers.count, 72);
     }
 
     #[test]
@@ -204,6 +255,7 @@ mod tests {
             setup.rec_total,
             lanes(&setup),
             Some(Checkpointing { path: &path, every: 24, resume: true }),
+            None,
         )
         .unwrap();
         assert_eq!(out.len(), 1, "run falls back to a fresh start");

@@ -1,0 +1,57 @@
+//! `validate-metrics` — checks a `repro --metrics` snapshot against the
+//! checked-in schema.
+//!
+//! ```text
+//! validate-metrics <snapshot.json> <schema.json>
+//! ```
+//!
+//! Exits 0 when every schema requirement is met, 1 with a full list of
+//! failed requirements otherwise, and 2 on usage or I/O errors. CI runs
+//! this against `schemas/metrics.schema.json` so an accidentally unwired
+//! observer (empty snapshot, zeroed counters) fails the build instead of
+//! silently shipping.
+
+use std::process::ExitCode;
+
+use coca_obs::{MetricsSchema, MetricsSnapshot};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(snapshot_path), Some(schema_path), None) = (args.next(), args.next(), args.next())
+    else {
+        eprintln!("usage: validate-metrics <snapshot.json> <schema.json>");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let result = read(&snapshot_path)
+        .and_then(|s| MetricsSnapshot::from_json(&s))
+        .and_then(|snapshot| {
+            let schema = read(&schema_path).and_then(|s| MetricsSchema::from_json(&s))?;
+            Ok((snapshot, schema))
+        });
+    let (snapshot, schema) = match result {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("validate-metrics: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match schema.validate(&snapshot) {
+        Ok(()) => {
+            println!(
+                "validate-metrics: {snapshot_path} satisfies {schema_path} \
+                 ({} counters, {} gauges, {} histograms)",
+                snapshot.counters.len(),
+                snapshot.gauges.len(),
+                snapshot.histograms.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate-metrics: {snapshot_path} fails {schema_path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

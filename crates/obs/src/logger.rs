@@ -1,0 +1,161 @@
+//! Span-style structured logging for runs whose stdout is parsed by CI.
+//!
+//! Every diagnostic line carries its context (`[resume t=24 lane=coca]
+//! …`) and goes to **stderr**, leaving stdout to result tables and CSV
+//! pointers. Verbosity is a process-global level:
+//!
+//! * [`Level::Error`] — always printed (broken checkpoints, I/O failures);
+//! * [`Level::Info`] — progress and setup diagnostics, suppressed by
+//!   `repro --quiet`;
+//! * [`Level::Debug`] — opt-in chatter, printed only after
+//!   [`set_level`]`(Level::Debug)`.
+//!
+//! The module is deliberately tiny: no timestamps (runs are deterministic
+//! and CI-diffed), no targets, no global registration — a [`Span`] is just
+//! the `component / slot / frame / lane` coordinates the COCA runtime
+//! naturally has in hand.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered from always-printed to opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Failures the operator must see even under `--quiet`.
+    Error = 0,
+    /// Progress and setup diagnostics (default).
+    Info = 1,
+    /// Opt-in chatter.
+    Debug = 2,
+}
+
+/// Process-global verbosity: messages with `level > verbosity` are
+/// dropped. Stored as the `Level` discriminant.
+static VERBOSITY: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the global verbosity (e.g. [`Level::Error`] for `--quiet`).
+pub fn set_level(level: Level) {
+    VERBOSITY.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `level` would currently be printed.
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= VERBOSITY.load(Ordering::Relaxed)
+}
+
+/// Structured context for a log line: which component is speaking and
+/// where in the run it is. All coordinates are optional.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Span<'a> {
+    /// Component/phase identifier (`"setup"`, `"resume"`, `"calibrate"`…).
+    pub component: &'a str,
+    /// Slot index `t`, when the line is about a specific slot.
+    pub slot: Option<usize>,
+    /// Frame index, when relevant.
+    pub frame: Option<usize>,
+    /// Lane / policy name, when the line is about one lane.
+    pub lane: Option<&'a str>,
+}
+
+impl<'a> Span<'a> {
+    /// A span with only a component name.
+    pub fn new(component: &'a str) -> Self {
+        Self { component, slot: None, frame: None, lane: None }
+    }
+
+    /// Attaches a slot coordinate.
+    pub fn slot(mut self, t: usize) -> Self {
+        self.slot = Some(t);
+        self
+    }
+
+    /// Attaches a frame coordinate.
+    pub fn frame(mut self, frame: usize) -> Self {
+        self.frame = Some(frame);
+        self
+    }
+
+    /// Attaches a lane / policy name.
+    pub fn lane(mut self, lane: &'a str) -> Self {
+        self.lane = Some(lane);
+        self
+    }
+
+    /// Renders the span prefix, e.g. `[resume t=24 lane=coca]`.
+    pub fn prefix(&self) -> String {
+        let mut s = String::from("[");
+        s.push_str(self.component);
+        if let Some(t) = self.slot {
+            s.push_str(&format!(" t={t}"));
+        }
+        if let Some(f) = self.frame {
+            s.push_str(&format!(" frame={f}"));
+        }
+        if let Some(l) = self.lane {
+            s.push_str(&format!(" lane={l}"));
+        }
+        s.push(']');
+        s
+    }
+}
+
+/// Formats the full log line (pure; used by the emitters and the tests).
+pub fn format_line(level: Level, span: &Span<'_>, msg: &str) -> String {
+    match level {
+        Level::Error => format!("{} error: {msg}", span.prefix()),
+        _ => format!("{} {msg}", span.prefix()),
+    }
+}
+
+fn emit(level: Level, span: &Span<'_>, msg: &str) {
+    if enabled(level) {
+        eprintln!("{}", format_line(level, span, msg));
+    }
+}
+
+/// Logs at [`Level::Error`] (printed even under `--quiet`).
+pub fn error(span: &Span<'_>, msg: &str) {
+    emit(Level::Error, span, msg);
+}
+
+/// Logs at [`Level::Info`].
+pub fn info(span: &Span<'_>, msg: &str) {
+    emit(Level::Info, span, msg);
+}
+
+/// Logs at [`Level::Debug`].
+pub fn debug(span: &Span<'_>, msg: &str) {
+    emit(Level::Debug, span, msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_prefix_renders_coordinates_in_order() {
+        let s = Span::new("resume").slot(24).frame(1).lane("coca");
+        assert_eq!(s.prefix(), "[resume t=24 frame=1 lane=coca]");
+        assert_eq!(Span::new("setup").prefix(), "[setup]");
+    }
+
+    #[test]
+    fn format_line_marks_errors() {
+        let s = Span::new("ckpt");
+        assert_eq!(format_line(Level::Error, &s, "boom"), "[ckpt] error: boom");
+        assert_eq!(format_line(Level::Info, &s, "ok"), "[ckpt] ok");
+    }
+
+    #[test]
+    fn verbosity_gates_levels() {
+        // Note: global state; keep the default restored for other tests.
+        set_level(Level::Error);
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        set_level(Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+    }
+}

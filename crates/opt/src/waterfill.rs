@@ -874,7 +874,7 @@ impl WarmWaterfill {
                         self.last_evals += evals.get();
                         return Ok(nu);
                     }
-                    if !(slope > 0.0) {
+                    if slope.is_nan() || slope <= 0.0 {
                         break;
                     }
                     let next = nu - g / slope;

@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             delta,
             sol.outcome.objective,
             gsd.last_trace.last().copied().unwrap_or(f64::NAN),
-            gsd.last_accepted
+            gsd.stats().accepted
         );
     }
 

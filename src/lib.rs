@@ -12,6 +12,9 @@
 //!   checkpoint/resume) and the discrete-event simulator.
 //! * [`traces`] — synthetic environment traces: FIU/MSR-style workloads,
 //!   solar and wind generation, hourly electricity prices; CSV round-trip.
+//! * [`obs`] — the structured observability layer: engine/solver observer
+//!   traits, the lock-free metrics registry (JSON + Prometheus exporters),
+//!   and the span-style logger behind `repro`'s diagnostics.
 //! * [`opt`] — optimization primitives (water-filling, bisection, Gibbs
 //!   sampling, Lagrangian duals).
 //! * [`baselines`] — PerfectHP, the carbon-unaware minimizer and the offline
@@ -25,17 +28,36 @@
 pub use coca_baselines as baselines;
 pub use coca_core as core;
 pub use coca_dcsim as dcsim;
+pub use coca_obs as obs;
 pub use coca_opt as opt;
 pub use coca_traces as traces;
 
 /// Commonly used items, importable with `use coca::prelude::*`.
+///
+/// The canonical run surface is the streaming engine —
+/// [`EngineBuilder`](coca_dcsim::EngineBuilder) →
+/// [`SimEngine`](coca_dcsim::SimEngine) → [`SimOutcome`](coca_dcsim::SimOutcome)
+/// — with observability attached through the
+/// [`coca_obs`] observer/metrics types. The legacy
+/// [`SlotSimulator`](coca_dcsim::SlotSimulator) facade remains exported
+/// (and deprecated) for one release so downstream code migrates on a
+/// warning, not a break.
 pub mod prelude {
     pub use coca_baselines::{CarbonUnaware, OfflineOpt, PerfectHp};
-    pub use coca_core::{CocaConfig, CocaController, DeficitQueue, GsdOptions};
+    pub use coca_core::{
+        CocaConfig, CocaController, DeficitQueue, GsdOptions, GsdSolver, P3Solver, SolveStats,
+        SymmetricSolver, VSchedule,
+    };
     pub use coca_dcsim::{
-        run_lockstep, Cluster, ClusterBuilder, CostParams, EngineState, Policy, RecordSink,
-        ServerClass, SimEngine, SimOutcome, SlotObservation, SlotSimulator, SlotSource,
+        run_lockstep, Cluster, ClusterBuilder, CostParams, EngineBuilder, EngineState, Policy,
+        RecordSink, ServerClass, SimEngine, SimOutcome, SlotObservation, SlotSource, StepStatus,
         SummarySink, VecSink,
+    };
+    #[allow(deprecated)] // the deprecation warning must fire at *use* sites, not here
+    pub use coca_dcsim::SlotSimulator;
+    pub use coca_obs::{
+        EngineObserver, MetricsObserver, MetricsRegistry, MetricsSnapshot, NoopObserver, Phase,
+        SolveEvent, SolverObserver,
     };
     pub use coca_traces::{EnvironmentTrace, TraceConfig};
 }

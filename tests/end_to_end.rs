@@ -2,6 +2,8 @@
 //! all four policies, and the cost/neutrality orderings the paper's
 //! evaluation relies on.
 
+#![allow(deprecated)] // pins the deprecated SlotSimulator facade end to end
+
 use std::sync::Arc;
 
 use coca::baselines::{OfflineOpt, PerfectHp};

@@ -30,36 +30,81 @@ fn prelude_covers_the_whole_pipeline() {
     let cost = CostParams::default();
     let rec_total = 100.0;
     let cfg = CocaConfig {
-        v: coca::core::VSchedule::Constant(100.0),
+        v: VSchedule::Constant(100.0),
         frame_length: 48,
         horizon: 48,
         alpha: 1.0,
         rec_total,
     };
-    let mut controller = CocaController::new(
-        Arc::clone(&cluster),
-        cost,
-        cfg,
-        coca::core::symmetric::SymmetricSolver::new(),
-    );
 
-    // Run and inspect.
-    let sim = SlotSimulator::new(&cluster, &trace, cost, rec_total);
-    let outcome: SimOutcome = sim.run(&mut controller).expect("run");
+    // Observability: one MetricsObserver watches both the engine and the
+    // controller/solver, everything reachable from the prelude.
+    let registry = Arc::new(MetricsRegistry::new());
+    let observer = Arc::new(MetricsObserver::new(Arc::clone(&registry)));
+    let mut solver = SymmetricSolver::new();
+    solver.set_observer(Arc::clone(&observer) as _);
+    let mut controller = CocaController::new(Arc::clone(&cluster), cost, cfg, solver);
+    controller.set_observer(Arc::clone(&observer) as _);
+
+    // Run through the builder → engine surface and inspect.
+    let outcomes = EngineBuilder::new(Arc::clone(&cluster), cost)
+        .rec_total(rec_total)
+        .observer(Arc::clone(&observer) as _)
+        .policy(Box::new(controller))
+        .build(&trace)
+        .expect("engine")
+        .run_and_finish()
+        .expect("run");
+    let outcome: &SimOutcome = &outcomes[0];
     assert_eq!(outcome.len(), 48);
     assert!(outcome.avg_hourly_cost() > 0.0);
 
+    // The observer saw the run; the snapshot round-trips through JSON.
+    let snap: MetricsSnapshot = registry.snapshot();
+    assert_eq!(snap.counter("engine_slots_total"), Some(48));
+    assert_eq!(snap.counter("solver_solves_total"), Some(48));
+    assert_eq!(snap.gauge("coca_deficit_queue_kwh").expect("gauge").trajectory.len(), 48);
+    let back = MetricsSnapshot::from_json(&snap.to_json().expect("json")).expect("parse");
+    assert_eq!(back, snap);
+
     // The baselines are reachable from the prelude too.
-    let mut solver = coca::core::symmetric::SymmetricSolver::new();
+    let mut solver = SymmetricSolver::new();
     let opt = OfflineOpt::plan(&cluster, cost, &trace, 1e9, &mut solver).expect("opt");
     assert_eq!(opt.len(), 48);
-    let _unaware = CarbonUnaware::new(
-        Arc::clone(&cluster),
-        cost,
-        coca::core::symmetric::SymmetricSolver::new(),
-    );
-    let _hp: PerfectHp<coca::core::symmetric::SymmetricSolver> =
+    let _unaware = CarbonUnaware::new(Arc::clone(&cluster), cost, SymmetricSolver::new());
+    let _hp: PerfectHp<SymmetricSolver> =
         PerfectHp::new(Arc::clone(&cluster), cost, &trace, rec_total, 24).expect("hp");
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_slot_simulator_facade_still_works() {
+    // SlotSimulator stays exported (deprecated) for one release; the facade
+    // must keep producing the same numbers as a single-lane engine pass.
+    let cluster = Arc::new(Cluster::homogeneous(2, 5));
+    let trace = TraceConfig {
+        hours: 12,
+        peak_arrival_rate: 0.4 * cluster.max_capacity(),
+        onsite_energy_kwh: 5.0,
+        offsite_energy_kwh: 5.0,
+        ..Default::default()
+    }
+    .generate();
+    let cost = CostParams::default();
+    let sim = SlotSimulator::new(&cluster, &trace, cost, 10.0);
+    let mut policy = CarbonUnaware::new(Arc::clone(&cluster), cost, SymmetricSolver::new());
+    let legacy = sim.run(&mut policy).expect("facade run");
+
+    let modern = run_lockstep(
+        Arc::clone(&cluster),
+        &trace,
+        cost,
+        10.0,
+        vec![Box::new(CarbonUnaware::new(Arc::clone(&cluster), cost, SymmetricSolver::new()))
+            as Box<dyn Policy>],
+    )
+    .expect("lockstep");
+    assert_eq!(legacy, modern[0]);
 }
 
 #[test]
@@ -78,11 +123,13 @@ fn engine_api_reachable_from_prelude() {
     let cost = CostParams::default();
     let mut engine =
         SimEngine::new(Arc::clone(&cluster), &trace, cost, 10.0).expect("engine");
+    engine.set_observer(Arc::new(NoopObserver));
     let _lane = engine.add_policy(Box::new(CarbonUnaware::new(
         Arc::clone(&cluster),
         cost,
-        coca::core::symmetric::SymmetricSolver::new(),
+        SymmetricSolver::new(),
     )));
+    assert_eq!(engine.step().expect("step"), StepStatus::Advanced);
     let _slots = engine.run_to_end().expect("run");
     let state: EngineState = engine.checkpoint().expect("checkpoint");
     assert_eq!(state.lanes.len(), 1);
@@ -99,7 +146,7 @@ fn engine_api_reachable_from_prelude() {
         vec![Box::new(CarbonUnaware::new(
             Arc::clone(&cluster),
             cost,
-            coca::core::symmetric::SymmetricSolver::new(),
+            SymmetricSolver::new(),
         )) as Box<dyn Policy>],
     )
     .expect("lockstep");
@@ -115,7 +162,23 @@ fn deficit_queue_and_gsd_options_exported() {
     assert!(q.len() > 0.0);
     let opts = GsdOptions::default();
     assert_eq!(opts.iterations, 500);
+    let mut gsd = GsdSolver::new(opts);
+    let stats: &SolveStats = gsd.stats();
+    assert_eq!(stats.iterations, 0);
+    gsd.set_observer(Arc::new(NoopObserver));
     // A policy observation can be constructed by library users.
     let obs = SlotObservation { t: 0, arrival_rate: 1.0, onsite: 0.0, price: 0.05 };
     assert_eq!(obs.t, 0);
+    // Observer vocabulary is prelude-reachable.
+    assert_eq!(Phase::Solve.name(), "solve");
+    let ev = SolveEvent {
+        solver: "gsd",
+        iterations: 1,
+        accepted: 1,
+        cache_hits: 0,
+        cache_misses: 1,
+        bisection_evals: 4,
+    };
+    SolverObserver::on_solve(&NoopObserver, &ev);
+    assert!(!EngineObserver::timing_enabled(&NoopObserver));
 }

@@ -1,6 +1,8 @@
 //! Empirical validation of Theorem 2: the Lyapunov performance bounds of
 //! COCA hold on simulated runs, and the qualitative V trade-off matches.
 
+#![allow(deprecated)] // pins the deprecated SlotSimulator facade
+
 use coca::core::lyapunov::{
     cost_upper_bound, neutrality_slack_bound, queue_length_bound, DriftConstants, EnvBounds,
 };
