@@ -1,0 +1,18 @@
+//! Deprecated-definitions fixture, paired with `deprecated_use.rs`: the
+//! defining file keeps its own mirrors in sync and is exempt by design.
+
+#[deprecated(note = "use the engine instead")]
+pub struct OldFacade {
+    pub total: f64,
+}
+
+pub struct Stats {
+    #[deprecated(note = "read stats() instead")]
+    pub last_iters: usize,
+}
+
+impl Stats {
+    fn sync(&mut self) {
+        self.last_iters = 0;
+    }
+}

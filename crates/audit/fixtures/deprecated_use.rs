@@ -1,0 +1,27 @@
+//! Deprecated-use fixture, paired with `deprecated_def.rs`: every use
+//! outside the defining file must migrate or carry an explicit waiver —
+//! test code included.
+
+fn builds_the_old_facade() -> OldFacade {
+    OldFacade { total: 0.0 }
+}
+
+fn reads_the_mirror(s: &Stats) -> usize {
+    s.last_iters
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn honored_compat_waiver() {
+        // audit:allow(deprecated-api)
+        let f = OldFacade { total: 1.0 };
+        assert!(f.total >= 0.0);
+    }
+
+    #[test]
+    fn mismatched_waiver_stays_unwaived() {
+        // audit:allow(unit-mix)
+        let _ = OldFacade { total: 2.0 };
+    }
+}

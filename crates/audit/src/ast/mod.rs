@@ -1,0 +1,104 @@
+//! AST engine for the semantic lint rules.
+//!
+//! The registry-less build environment rules out `syn`, so this module is
+//! the workspace's own substitute, scoped to what a linter needs:
+//!
+//! * [`lexer`] — a tolerant, span-tracking lexer whose comments survive as
+//!   trivia (the semantic rules read `audit:…(…)` annotations from them);
+//! * [`tree`] — balanced token trees over the token stream;
+//! * [`visit`] — the run visitor and the expression-level pattern helpers
+//!   (method calls, argument splitting, statement bounds, operand terms)
+//!   every semantic rule builds on.
+//!
+//! Compared to the line pass in [`crate::scan`], rules written against
+//! this layer see *structure*: a `compare_exchange` call knows its
+//! argument list even when it spans four lines, and a `+` knows its
+//! operands even through field chains and calls. The two layers coexist —
+//! the original line rules still run against [`crate::scan::SourceFile`],
+//! and each parsed [`Ast`] carries a reference back to the same text via
+//! line numbers, so waivers and `#[cfg(test)]` regions resolve uniformly.
+
+pub mod lexer;
+pub mod tree;
+pub mod visit;
+
+pub use lexer::{Comment, TokKind, Token};
+pub use tree::{Delim, Group, Node};
+
+/// One parsed source file: token forest plus comment trivia.
+#[derive(Debug)]
+pub struct Ast {
+    /// Workspace-relative path, used in reports.
+    pub path: String,
+    /// Top-level token forest.
+    pub nodes: Vec<Node>,
+    /// Comment trivia in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Ast {
+    /// Parses `text`. Never fails — unlexable regions degrade to puncts
+    /// and imbalanced brackets are recovered (see [`tree::build`]).
+    pub fn parse(path: &str, text: &str) -> Self {
+        let (tokens, comments) = lexer::lex(text);
+        Ast { path: path.to_string(), nodes: tree::build(tokens), comments }
+    }
+
+    /// Looks up an `audit:<key>(<payload>)` annotation covering `line`
+    /// (1-based): on the line itself or the line immediately above —
+    /// the same placement convention as `audit:allow` waivers. Returns
+    /// the payload text, trimmed (possibly empty for `audit:key()`).
+    ///
+    /// The annotation must *start* the comment (after the comment
+    /// leader), like the hot-path region markers — so doc prose that
+    /// merely mentions the syntax cannot bind or satisfy anything.
+    pub fn annotation(&self, line: usize, key: &str) -> Option<String> {
+        let needle = format!("audit:{key}(");
+        self.comments
+            .iter()
+            .filter(|c| c.line == line || c.line + 1 == line)
+            .find_map(|c| {
+                let rest = annotation_payload(&c.text, &needle)?;
+                let end = rest.find(')')?;
+                Some(rest[..end].trim().to_string())
+            })
+    }
+}
+
+/// Strips the comment leader and returns the text after `needle` when the
+/// comment *starts* with it.
+pub(crate) fn annotation_payload<'a>(comment: &'a str, needle: &str) -> Option<&'a str> {
+    comment.trim_start_matches(['/', '*', '!']).trim_start().strip_prefix(needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotation_same_line_and_line_above() {
+        let src = "\
+// audit:unit(kwh)
+let battery = 0.0;
+let x = 1; // audit:atomic(single cell)
+";
+        let ast = Ast::parse("x.rs", src);
+        assert_eq!(ast.annotation(2, "unit").as_deref(), Some("kwh"));
+        assert_eq!(ast.annotation(3, "atomic").as_deref(), Some("single cell"));
+        assert_eq!(ast.annotation(2, "atomic"), None);
+        assert_eq!(ast.annotation(1, "unit").as_deref(), Some("kwh"));
+    }
+
+    #[test]
+    fn empty_annotation_payload_is_distinguishable() {
+        let ast = Ast::parse("x.rs", "x.load(o); // audit:atomic()\n");
+        assert_eq!(ast.annotation(1, "atomic").as_deref(), Some(""));
+    }
+
+    #[test]
+    fn prose_mentioning_the_syntax_is_not_an_annotation() {
+        let src = "// docs explain the audit:atomic(contract) convention\nx.load(o);\n";
+        let ast = Ast::parse("x.rs", src);
+        assert_eq!(ast.annotation(2, "atomic"), None);
+    }
+}

@@ -1,0 +1,62 @@
+//! `validate-audit` — checks a `coca-audit lint --format json` report
+//! against the checked-in schema.
+//!
+//! ```text
+//! validate-audit <report.json> <schema.json>
+//! ```
+//!
+//! Exits 0 when the report conforms, 1 with the full list of failed
+//! requirements otherwise, and 2 on usage or I/O errors. CI runs this
+//! against `schemas/audit.schema.json` so a format drift in the JSON
+//! emitter fails the build instead of silently breaking downstream
+//! consumers of the report.
+
+use std::process::ExitCode;
+
+use serde::Value;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(report_path), Some(schema_path), None) = (args.next(), args.next(), args.next())
+    else {
+        eprintln!("usage: validate-audit <report.json> <schema.json>");
+        return ExitCode::from(2);
+    };
+    let read_json = |path: &str| -> Result<Value, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let (report, schema) = match (read_json(&report_path), read_json(&schema_path)) {
+        (Ok(r), Ok(s)) => (r, s),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("validate-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match coca_audit::schema::validate(&schema, &report) {
+        Ok(()) => {
+            let findings = report
+                .get_field("summary")
+                .and_then(|s| s.get_field("total"))
+                .map_or_else(
+                    || "?".to_string(),
+                    |v| match v {
+                        serde::Value::Int(n) => n.to_string(),
+                        other => format!("{other:?}"),
+                    },
+                );
+            println!(
+                "validate-audit: {report_path} satisfies {schema_path} ({findings} findings)"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            eprintln!("validate-audit: {report_path} fails {schema_path}:");
+            for e in &errors {
+                eprintln!("  {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

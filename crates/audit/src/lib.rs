@@ -1,56 +1,59 @@
-//! Dependency-free static lint pass for the COCA workspace.
+//! Static lint pass for the COCA workspace — line rules plus an AST
+//! engine with semantic rules (v2).
 //!
 //! The build environment has no registry access, so this cannot lean on
-//! syn/quote or an off-the-shelf linter: the scanner in [`scan`] is a
-//! line/token pass that strips comments and string literals, tracks
-//! `#[cfg(test)]` regions by brace depth, and collects
-//! `// audit:allow(<rule>)` waiver comments. The rules in [`rules`] encode
-//! conventions that protect the paper-level guarantees:
+//! syn/quote or an off-the-shelf linter. v1 was a pure line/token pass;
+//! v2 adds a hand-rolled AST layer ([`ast`]: span-tracking lexer with
+//! comment trivia, balanced token trees, a run visitor) and rebuilds the
+//! pass as two cooperating engines over the same sources:
+//!
+//! **Line rules** ([`rules`], over [`scan::SourceFile`]):
 //!
 //! - [`rules::NO_PANIC`] — no bare `unwrap()` / `expect(` / `panic!` in
-//!   solver hot paths. A panic mid-slot would abort the control loop the
-//!   paper's Theorem 2 bounds depend on; hot paths must surface typed
-//!   errors instead.
-//! - [`rules::FLOAT_EQ`] — no raw f64 `==`/`!=` comparisons anywhere in
-//!   non-test code. KKT residuals, deficit queues, and acceptance
-//!   probabilities are all continuous quantities; exact comparison hides
-//!   tolerance bugs.
+//!   solver hot paths; hot paths must surface typed errors.
+//! - [`rules::FLOAT_EQ`] — no raw f64 `==`/`!=` comparisons in non-test
+//!   code; continuous quantities compare against tolerances.
 //! - [`rules::NAN_GUARD`] — no `ln`/`sqrt`/identifier division in hot
-//!   paths without a nearby guard (`assert`/`is_finite`/`.max(`/explicit
-//!   bound check) on the operand. NaN is absorbing through every solver
-//!   recurrence.
-//! - [`rules::MUST_USE`] — solver result types (`*Solution`, `*Outcome`,
-//!   `*Result` structs in `coca-opt`/`coca-core`/`coca-dcsim`) must carry
-//!   `#[must_use]` so a dropped solve is a compile-time warning.
-//! - [`rules::HOT_ALLOC`] — no heap-allocation keywords (`Vec::new`,
-//!   `vec![`, `.to_vec(`, `.clone()`, `.collect(`, `Box::new`, `format!`,
-//!   `String::new`, `with_capacity`, `.to_string(`) inside a declared
-//!   `// audit:hot-path: begin` / `end` region. These regions mark the
-//!   per-proposal delta-update paths of the incremental P3 engine, which
-//!   run ~500× per slot and must stay allocation-free; reusing retained
-//!   scratch capacity (`clear()` + `push`) is allowed.
-//! - [`rules::SLOT_LOOP`] — no hand-rolled per-slot simulation loops
-//!   (`for t in 0..trace.len()` patterns) in non-test code outside
-//!   `crates/dcsim/src/engine.rs` and the traces crate. All per-slot
-//!   passes must flow through `SimEngine`/`SlotSource` so lockstep runs,
-//!   checkpointing, and record routing share one set of semantics.
-//! - [`rules::NO_PRINT`] — no direct `println!`/`eprintln!`/`print!`/
-//!   `eprint!`/`dbg!` in non-test code outside the designated print
-//!   surfaces (`crates/experiments/src/bin/`, `crates/obs/src/`, and the
-//!   audit CLI). Diagnostics must go through `coca_obs::logger`, which
-//!   carries span context and honors `repro --quiet`.
+//!   paths without a nearby guard on the operand.
+//! - [`rules::MUST_USE`] — solver result types must carry `#[must_use]`.
+//! - [`rules::HOT_ALLOC`] — no heap allocation inside declared
+//!   `audit:hot-path` regions.
+//! - [`rules::SLOT_LOOP`] — no hand-rolled per-slot loops outside the
+//!   streaming engine; slots flow through `SimEngine`/`SlotSource`.
+//! - [`rules::NO_PRINT`] — diagnostics go through `coca_obs::logger`, not
+//!   direct prints, outside the designated print surfaces.
 //!
-//! Any finding can be waived with a `// audit:allow(<rule>)` comment on
-//! the offending line or the line above it; waivers are reported and
-//! counted but do not fail the run. The `coca-audit` binary
-//! (`cargo run -p coca-audit -- lint`) exits non-zero on unwaived
-//! violations.
+//! **Semantic rules** ([`semantic`], over [`ast::Ast`]):
+//!
+//! - [`semantic::UNIT_MIX`] — units-of-measure dataflow: terms tagged
+//!   kWh / kW / USD (identifier suffixes, `// audit:unit(<tag>)`
+//!   annotations, known core types) must not meet across `+`, `-`,
+//!   compound assignment, or comparisons.
+//! - [`semantic::ATOMIC_ORDERING`] — every atomic op carries an
+//!   `// audit:atomic(<contract>)` annotation; CAS failure ordering must
+//!   not exceed success ordering; CAS results must not be dropped.
+//! - [`semantic::DEPRECATED_API`] — no internal use of items the
+//!   workspace marks `#[deprecated]`, outside the defining file and
+//!   explicitly waived compat tests. (This rule is cross-file: the
+//!   driver indexes the whole workspace before linting.)
+//!
+//! Any finding can be waived with `// audit:allow(<rule>)` on the
+//! offending line or the line above; waivers are reported and counted but
+//! do not fail the run. The `coca-audit` binary
+//! (`cargo run -p coca-audit -- lint [--format text|json|sarif]`) exits
+//! non-zero on unwaived violations; `schemas/audit.schema.json` pins the
+//! JSON format and the `validate-audit` binary ([`schema`]) checks it in
+//! CI. The lint engines are dependency-free; the machine formats reuse
+//! the workspace's vendored serde/serde_json shims.
 
 #![deny(missing_docs, unsafe_code)]
 
+pub mod ast;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod schema;
+pub mod semantic;
 
 use std::path::{Path, PathBuf};
 
@@ -69,6 +72,21 @@ const LINTED_CRATES: &[&str] = &[
     "crates/obs",
     "crates/opt",
     "crates/traces",
+];
+
+/// Every rule id the pass can emit, in stable order (used by the SARIF
+/// driver metadata and the JSON schema's enum).
+pub const ALL_RULES: &[&str] = &[
+    rules::NO_PANIC,
+    rules::FLOAT_EQ,
+    rules::NAN_GUARD,
+    rules::MUST_USE,
+    rules::HOT_ALLOC,
+    rules::SLOT_LOOP,
+    rules::NO_PRINT,
+    semantic::UNIT_MIX,
+    semantic::ATOMIC_ORDERING,
+    semantic::DEPRECATED_API,
 ];
 
 /// Recursively collects `.rs` files under `dir`, sorted for stable output.
@@ -108,7 +126,7 @@ pub fn run_lint(workspace_root: &Path) -> std::io::Result<Report> {
             format!("no linted crate sources under {}", workspace_root.display()),
         ));
     }
-    let mut report = Report::default();
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let text = std::fs::read_to_string(&path)?;
         let rel = path
@@ -116,14 +134,40 @@ pub fn run_lint(workspace_root: &Path) -> std::io::Result<Report> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        lint_source(&rel, &text, &mut report);
+        sources.push((rel, text));
     }
-    Ok(report)
+    Ok(lint_sources(&sources))
 }
 
-/// Lints a single file's contents (entry point shared by the binary and
-/// the fixture self-tests).
+/// Lints a set of in-memory sources with the full two-pass pipeline:
+/// pass 1 parses everything and indexes `#[deprecated]` items across the
+/// set; pass 2 applies every line and semantic rule per file. The report
+/// is sorted by `(file, line, rule)`.
+pub fn lint_sources(sources: &[(String, String)]) -> Report {
+    let parsed: Vec<(SourceFile, ast::Ast)> = sources
+        .iter()
+        .map(|(rel, text)| (SourceFile::parse(rel, text), ast::Ast::parse(rel, text)))
+        .collect();
+    let index = semantic::deprecated::DeprecatedIndex::build(parsed.iter().map(|(_, a)| a));
+    let mut report = Report::default();
+    for (file, ast) in &parsed {
+        rules::apply_all(file, &mut report);
+        semantic::apply_all(file, ast, &index, &mut report);
+    }
+    report.sort();
+    report
+}
+
+/// Lints a single file's contents (entry point shared by the fixture
+/// self-tests and the rule unit tests). Cross-file state degenerates: the
+/// deprecated index covers only this file, and uses inside the defining
+/// file are exempt by design — use [`lint_sources`] to exercise
+/// `deprecated-api`.
 pub fn lint_source(rel_path: &str, text: &str, report: &mut Report) {
     let file = SourceFile::parse(rel_path, text);
+    let ast = ast::Ast::parse(rel_path, text);
+    let index = semantic::deprecated::DeprecatedIndex::build([&ast]);
     rules::apply_all(&file, report);
+    semantic::apply_all(&file, &ast, &index, report);
+    report.sort();
 }

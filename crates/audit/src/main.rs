@@ -1,33 +1,54 @@
 //! `coca-audit` — the workspace lint driver.
 //!
 //! ```text
-//! cargo run -p coca-audit -- lint [--root <workspace-root>]
+//! cargo run -p coca-audit -- lint [--root <workspace-root>] [--format text|json|sarif]
 //! ```
 //!
-//! Prints every finding (waived ones are marked) and exits non-zero when
-//! any unwaived violation remains. See the crate docs of `coca_audit` for
-//! the rule set and the `// audit:allow(<rule>)` waiver convention.
+//! `text` (default) prints every finding with waived ones marked; `json`
+//! emits the v2 report format pinned by `schemas/audit.schema.json`;
+//! `sarif` emits a SARIF 2.1.0 log suitable for GitHub code-scanning
+//! annotations. All formats exit non-zero when any unwaived violation
+//! remains. See the crate docs of `coca_audit` for the rule set and the
+//! `// audit:allow(<rule>)` waiver convention.
+
+//! Invoking the binary with no arguments is equivalent to `lint` with the
+//! defaults.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Output rendering of the lint report.
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn usage() -> ExitCode {
-    eprintln!("usage: coca-audit lint [--root <workspace-root>]");
+    eprintln!("usage: coca-audit lint [--root <workspace-root>] [--format text|json|sarif]");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let Some(cmd) = args.next() else { return usage() };
-    if cmd != "lint" {
-        return usage();
+    if let Some(cmd) = args.next() {
+        if cmd != "lint" {
+            return usage();
+        }
     }
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage(),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                _ => return usage(),
             },
             _ => return usage(),
         }
@@ -42,7 +63,11 @@ fn main() -> ExitCode {
 
     match coca_audit::run_lint(&root) {
         Ok(report) => {
-            println!("{report}");
+            match format {
+                Format::Text => println!("{report}"),
+                Format::Json => println!("{}", report.to_json()),
+                Format::Sarif => println!("{}", report.to_sarif(coca_audit::ALL_RULES)),
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {

@@ -1,6 +1,9 @@
-//! Violation records and the aggregated lint report.
+//! Violation records, the aggregated lint report, and its machine-readable
+//! renderings (JSON and SARIF 2.1.0).
 
 use std::fmt;
+
+use serde::Value;
 
 /// One rule violation at a specific source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +66,122 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.unwaived_count() == 0
     }
+
+    /// Stable-sorts findings by `(file, line, rule)` so multi-rule,
+    /// multi-pass runs render deterministically.
+    pub fn sort(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// The report as a JSON value (shape pinned by
+    /// `schemas/audit.schema.json`).
+    fn json_value(&self) -> Value {
+        let violations = self
+            .violations
+            .iter()
+            .map(|v| {
+                Value::Map(vec![
+                    ("file".into(), Value::Str(v.file.clone())),
+                    ("line".into(), Value::Int(v.line as i64)),
+                    ("rule".into(), Value::Str(v.rule.to_string())),
+                    ("message".into(), Value::Str(v.message.clone())),
+                    ("waived".into(), Value::Bool(v.waived)),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("version".into(), Value::Int(2)),
+            (
+                "summary".into(),
+                Value::Map(vec![
+                    ("total".into(), Value::Int(self.violations.len() as i64)),
+                    ("waived".into(), Value::Int(self.waived_count() as i64)),
+                    ("unwaived".into(), Value::Int(self.unwaived_count() as i64)),
+                ]),
+            ),
+            ("violations".into(), Value::Seq(violations)),
+        ])
+    }
+
+    /// Renders the report as the v2 JSON format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.json_value()).expect("report JSON has no non-finite floats")
+    }
+
+    /// Renders the report as a SARIF 2.1.0 log: one run, one result per
+    /// finding. Unwaived findings are `error`-level, waived ones `note` —
+    /// so GitHub's SARIF ingestion annotates the diff with exactly the
+    /// findings that fail the build, while waivers stay visible.
+    pub fn to_sarif(&self, rule_ids: &[&str]) -> String {
+        let rules = rule_ids
+            .iter()
+            .map(|id| Value::Map(vec![("id".into(), Value::Str((*id).to_string()))]))
+            .collect();
+        let results = self
+            .violations
+            .iter()
+            .map(|v| {
+                Value::Map(vec![
+                    ("ruleId".into(), Value::Str(v.rule.to_string())),
+                    (
+                        "level".into(),
+                        Value::Str(if v.waived { "note" } else { "error" }.into()),
+                    ),
+                    (
+                        "message".into(),
+                        Value::Map(vec![("text".into(), Value::Str(v.message.clone()))]),
+                    ),
+                    (
+                        "locations".into(),
+                        Value::Seq(vec![Value::Map(vec![(
+                            "physicalLocation".into(),
+                            Value::Map(vec![
+                                (
+                                    "artifactLocation".into(),
+                                    Value::Map(vec![(
+                                        "uri".into(),
+                                        Value::Str(v.file.clone()),
+                                    )]),
+                                ),
+                                (
+                                    "region".into(),
+                                    Value::Map(vec![(
+                                        "startLine".into(),
+                                        Value::Int(v.line as i64),
+                                    )]),
+                                ),
+                            ]),
+                        )])]),
+                    ),
+                ])
+            })
+            .collect();
+        let sarif = Value::Map(vec![
+            (
+                "$schema".into(),
+                Value::Str("https://json.schemastore.org/sarif-2.1.0.json".into()),
+            ),
+            ("version".into(), Value::Str("2.1.0".into())),
+            (
+                "runs".into(),
+                Value::Seq(vec![Value::Map(vec![
+                    (
+                        "tool".into(),
+                        Value::Map(vec![(
+                            "driver".into(),
+                            Value::Map(vec![
+                                ("name".into(), Value::Str("coca-audit".into())),
+                                ("rules".into(), Value::Seq(rules)),
+                            ]),
+                        )]),
+                    ),
+                    ("results".into(), Value::Seq(results)),
+                ])]),
+            ),
+        ]);
+        serde_json::to_string(&sarif).expect("SARIF value has no non-finite floats")
+    }
 }
 
 impl fmt::Display for Report {
@@ -109,5 +228,70 @@ mod tests {
         assert!(text.contains("a.rs:3: [no-panic] bare unwrap"));
         assert!(text.contains("(waived)"));
         assert!(text.contains("2 violation(s), 1 waived, 1 unwaived"));
+    }
+
+    fn sample() -> Report {
+        let mut r = Report::default();
+        r.push(Violation {
+            file: "b.rs".into(),
+            line: 9,
+            rule: "unit-mix",
+            message: "mixes".into(),
+            waived: true,
+        });
+        r.push(Violation {
+            file: "a.rs".into(),
+            line: 3,
+            rule: "no-panic",
+            message: "bare unwrap".into(),
+            waived: false,
+        });
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn sort_orders_by_file_line_rule() {
+        let r = sample();
+        assert_eq!(r.violations[0].file, "a.rs");
+        assert_eq!(r.violations[1].file, "b.rs");
+    }
+
+    #[test]
+    fn json_rendering_round_trips_and_counts() {
+        let r = sample();
+        let v: serde::Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(v.get_field("version"), Some(&Value::Int(2)));
+        let summary = v.get_field("summary").unwrap();
+        assert_eq!(summary.get_field("total"), Some(&Value::Int(2)));
+        assert_eq!(summary.get_field("waived"), Some(&Value::Int(1)));
+        assert_eq!(summary.get_field("unwaived"), Some(&Value::Int(1)));
+        let violations = v.get_field("violations").unwrap().as_seq().unwrap();
+        assert_eq!(violations.len(), 2);
+        assert_eq!(violations[0].get_field("rule"), Some(&Value::Str("no-panic".into())));
+        assert_eq!(violations[0].get_field("waived"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn sarif_rendering_levels_and_locations() {
+        let r = sample();
+        let v: serde::Value = serde_json::from_str(&r.to_sarif(&["no-panic", "unit-mix"])).unwrap();
+        assert_eq!(v.get_field("version"), Some(&Value::Str("2.1.0".into())));
+        let runs = v.get_field("runs").unwrap().as_seq().unwrap();
+        let results = runs[0].get_field("results").unwrap().as_seq().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get_field("level"), Some(&Value::Str("error".into())));
+        assert_eq!(results[1].get_field("level"), Some(&Value::Str("note".into())));
+        let loc = results[0].get_field("locations").unwrap().as_seq().unwrap()[0]
+            .get_field("physicalLocation")
+            .unwrap();
+        assert_eq!(
+            loc.get_field("artifactLocation").unwrap().get_field("uri"),
+            Some(&Value::Str("a.rs".into()))
+        );
+        assert_eq!(
+            loc.get_field("region").unwrap().get_field("startLine"),
+            Some(&Value::Int(3))
+        );
     }
 }

@@ -46,8 +46,12 @@ const SLOT_LOOP_ALLOWED: &[&str] = &["crates/dcsim/src/engine.rs", "crates/trace
 /// are its product), the observability crate (the logger owns the single
 /// stderr emitter), and the audit CLI itself. Everything else must route
 /// diagnostics through `coca_obs::logger`.
-const PRINT_ALLOWED: &[&str] =
-    &["crates/experiments/src/bin/", "crates/obs/src/", "crates/audit/src/main.rs"];
+const PRINT_ALLOWED: &[&str] = &[
+    "crates/experiments/src/bin/",
+    "crates/obs/src/",
+    "crates/audit/src/main.rs",
+    "crates/audit/src/bin/",
+];
 
 /// How many preceding lines count as "nearby" when looking for a guard
 /// before a NaN-capable operation.

@@ -1,0 +1,146 @@
+//! Minimal JSON-Schema subset validator for the audit report format.
+//!
+//! `schemas/audit.schema.json` pins the shape of `coca-audit lint
+//! --format json`, and the `validate-audit` binary checks a live report
+//! against it in CI — so a format drift (renamed field, stringly-typed
+//! line number) fails the build instead of silently breaking downstream
+//! consumers. Full JSON-Schema is far more than that needs; this module
+//! implements the subset the checked-in schema uses:
+//!
+//! `type` (object / array / string / integer / number / boolean),
+//! `required`, `properties`, `items`, `enum` (strings and integers), and
+//! `minimum`. Unknown keywords are ignored, like every JSON-Schema
+//! validator; *using* an unsupported keyword in the schema therefore
+//! weakens the check rather than failing it, which is the standard
+//! trade-off.
+
+use serde::Value;
+
+/// Validates `value` against `schema`, returning every failure as a
+/// `path: message` line.
+///
+/// # Errors
+/// Returns the list of failed requirements (empty-list success is
+/// expressed as `Ok`).
+pub fn validate(schema: &Value, value: &Value) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    check(schema, value, "$", &mut errors);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::Int(_) => "integer",
+        Value::Float(_) => "number",
+        Value::Str(_) => "string",
+        Value::Seq(_) => "array",
+        Value::Map(_) => "object",
+    }
+}
+
+fn check(schema: &Value, value: &Value, path: &str, errors: &mut Vec<String>) {
+    if let Some(Value::Str(want)) = schema.get_field("type") {
+        let got = type_name(value);
+        let ok = match want.as_str() {
+            "number" => matches!(value, Value::Int(_) | Value::Float(_)),
+            w => w == got,
+        };
+        if !ok {
+            errors.push(format!("{path}: expected {want}, got {got}"));
+            return; // further keyword checks would only cascade
+        }
+    }
+    if let Some(Value::Int(min)) = schema.get_field("minimum") {
+        let below = match value {
+            Value::Int(i) => i < min,
+            Value::Float(f) => *f < *min as f64,
+            _ => false,
+        };
+        if below {
+            errors.push(format!("{path}: value below minimum {min}"));
+        }
+    }
+    if let Some(Value::Seq(allowed)) = schema.get_field("enum") {
+        if !allowed.contains(value) {
+            errors.push(format!("{path}: value not in enum"));
+        }
+    }
+    if let Some(Value::Seq(required)) = schema.get_field("required") {
+        for name in required {
+            if let Value::Str(name) = name {
+                if value.get_field(name).is_none() {
+                    errors.push(format!("{path}: missing required field `{name}`"));
+                }
+            }
+        }
+    }
+    if let Some(props) = schema.get_field("properties").and_then(Value::as_map) {
+        for (name, sub) in props {
+            if let Some(field) = value.get_field(name) {
+                check(sub, field, &format!("{path}.{name}"), errors);
+            }
+        }
+    }
+    if let Some(items) = schema.get_field("items") {
+        if let Some(seq) = value.as_seq() {
+            for (i, item) in seq.iter().enumerate() {
+                check(items, item, &format!("{path}[{i}]"), errors);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Value {
+        serde_json::from_str(s).unwrap()
+    }
+
+    #[test]
+    fn accepts_conforming_value() {
+        let schema = parse(
+            r#"{"type":"object","required":["n","xs"],
+                "properties":{"n":{"type":"integer","minimum":1},
+                              "xs":{"type":"array","items":{"type":"string","enum":["a","b"]}}}}"#,
+        );
+        let value = parse(r#"{"n":3,"xs":["a","b","a"]}"#);
+        assert_eq!(validate(&schema, &value), Ok(()));
+    }
+
+    #[test]
+    fn reports_each_failure_with_a_path() {
+        let schema = parse(
+            r#"{"type":"object","required":["n","missing"],
+                "properties":{"n":{"type":"integer","minimum":5},
+                              "xs":{"type":"array","items":{"type":"string"}}}}"#,
+        );
+        let value = parse(r#"{"n":3,"xs":["ok",7]}"#);
+        let errs = validate(&schema, &value).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("missing required field `missing`")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("$.n") && e.contains("minimum")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("$.xs[1]") && e.contains("string")), "{errs:?}");
+    }
+
+    #[test]
+    fn type_mismatch_short_circuits_nested_checks() {
+        let schema = parse(r#"{"type":"object","required":["a"]}"#);
+        let errs = validate(&schema, &parse("[1]")).unwrap_err();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+    }
+
+    #[test]
+    fn number_accepts_both_int_and_float() {
+        let schema = parse(r#"{"type":"number"}"#);
+        assert!(validate(&schema, &parse("1")).is_ok());
+        assert!(validate(&schema, &parse("1.5")).is_ok());
+        assert!(validate(&schema, &parse("\"1\"")).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! `deprecated-api`: the workspace must not lean on its own deprecated
+//! surface.
+//!
+//! A `#[deprecated]` marker only helps if usage actually drains. rustc
+//! warns, but warnings are easy to `#[allow]` away and easy to stop
+//! reading; this rule makes residual usage an *audit* decision instead.
+//! Two passes:
+//!
+//! 1. **Index** ([`DeprecatedIndex::build`]) — every item the workspace
+//!    marks `#[deprecated]` (functions, types, consts, statics, and
+//!    struct fields), with its defining file and line.
+//! 2. **Uses** ([`check`]) — any identifier matching an indexed name in a
+//!    *different* file is flagged, test code included. The defining file
+//!    is exempt: keeping a deprecated mirror field updated from the
+//!    non-deprecated path is exactly what a compat shim does. Everything
+//!    else must migrate or carry an explicit
+//!    `// audit:allow(deprecated-api)` waiver — which is how "compat
+//!    test" becomes a reviewed, greppable label rather than a habit.
+//!
+//! Matching is by name, not by resolved path — this linter has no name
+//! resolution. The deprecated surface of this workspace (`SlotSimulator`,
+//! the `last_*` solver mirrors) is distinctive enough that name matching
+//! is exact in practice; a clash with an unrelated local name would be
+//! waived at the use site with a comment saying so.
+
+use std::collections::HashMap;
+
+use super::{emit, DEPRECATED_API};
+use crate::ast::{Ast, Delim, Node, TokKind};
+use crate::report::Report;
+use crate::scan::SourceFile;
+
+/// Workspace-wide index of `#[deprecated]` items: name → definition
+/// sites. A name may be deprecated in several files (the distributed
+/// solver mirrors the single-DC solver's deprecated fields name-for-name),
+/// and each defining file is exempt for its own mirrors.
+#[derive(Debug, Default)]
+pub struct DeprecatedIndex {
+    items: HashMap<String, Vec<(String, usize)>>,
+}
+
+/// Item keywords whose following identifier is the item name.
+const ITEM_KWS: &[&str] =
+    &["fn", "struct", "enum", "union", "trait", "type", "mod", "static", "const"];
+
+impl DeprecatedIndex {
+    /// Builds the index over every parsed file.
+    pub fn build<'a>(asts: impl IntoIterator<Item = &'a Ast>) -> Self {
+        let mut index = DeprecatedIndex::default();
+        for ast in asts {
+            collect(&ast.nodes, &ast.path, &mut index.items);
+        }
+        index
+    }
+
+    /// Definition sites of a deprecated item, if `name` is one.
+    pub fn lookup(&self, name: &str) -> Option<&[(String, usize)]> {
+        self.items.get(name).map(Vec::as_slice)
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no deprecated items exist.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Recursively collects deprecated item names from a run and its groups.
+fn collect(nodes: &[Node], path: &str, items: &mut HashMap<String, Vec<(String, usize)>>) {
+    let mut i = 0;
+    while i < nodes.len() {
+        if let Node::Group(g) = &nodes[i] {
+            collect(&g.children, path, items);
+        }
+        // `#` `[deprecated …]` attribute?
+        let is_attr = nodes[i].is_punct("#")
+            && nodes.get(i + 1).and_then(Node::group).is_some_and(|g| {
+                g.delim == Delim::Bracket
+                    && g.children.first().is_some_and(|n| n.is_ident("deprecated"))
+            });
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        let line = nodes[i].line();
+        // Walk forward over stacked attributes and modifiers to the name.
+        let mut k = i + 2;
+        let mut name: Option<&str> = None;
+        while k < nodes.len() {
+            let n = &nodes[k];
+            // Another attribute.
+            if n.is_punct("#")
+                && nodes.get(k + 1).and_then(Node::group).is_some_and(|g| g.delim == Delim::Bracket)
+            {
+                k += 2;
+                continue;
+            }
+            // Visibility / modifiers.
+            if n.is_ident("pub") {
+                k += 1;
+                if nodes.get(k).and_then(Node::group).is_some_and(|g| g.delim == Delim::Paren) {
+                    k += 1; // pub(crate)
+                }
+                continue;
+            }
+            if n.is_ident("unsafe") || n.is_ident("async") || n.is_ident("extern") {
+                k += 1;
+                continue;
+            }
+            if let Some(kw) = n.ident().filter(|t| ITEM_KWS.contains(t)) {
+                // `const fn` — `const` here is a modifier, not an item.
+                if kw == "const" && nodes.get(k + 1).is_some_and(|n| n.is_ident("fn")) {
+                    k += 1;
+                    continue;
+                }
+                name = nodes.get(k + 1).and_then(Node::ident);
+                break;
+            }
+            // Struct field: `name :` (after optional pub handled above).
+            if let Some(field) = n.ident() {
+                if nodes.get(k + 1).is_some_and(|nn| nn.is_punct(":")) {
+                    name = Some(field);
+                }
+                break;
+            }
+            break;
+        }
+        if let Some(name) = name {
+            items.entry(name.to_string()).or_default().push((path.to_string(), line));
+        }
+        i += 2;
+    }
+}
+
+/// Collects every identifier leaf with its line, depth-first.
+fn ident_tokens<'a>(nodes: &'a [Node], out: &mut Vec<(&'a str, usize)>) {
+    for n in nodes {
+        match n {
+            Node::Tok(t) if t.kind == TokKind::Ident => out.push((&t.text, t.line)),
+            Node::Tok(_) => {}
+            Node::Group(g) => ident_tokens(&g.children, out),
+        }
+    }
+}
+
+/// Flags uses of indexed deprecated names outside their defining file.
+pub fn check(file: &SourceFile, ast: &Ast, index: &DeprecatedIndex, report: &mut Report) {
+    if index.is_empty() {
+        return;
+    }
+    let mut idents = Vec::new();
+    ident_tokens(&ast.nodes, &mut idents);
+    for (name, line) in idents {
+        let Some(defs) = index.lookup(name) else { continue };
+        if defs.iter().any(|(def_file, _)| def_file == &ast.path) {
+            continue; // defining file: mirror writes and self-tests are its job
+        }
+        let (def_file, def_line) = &defs[0];
+        emit(
+            file,
+            line,
+            DEPRECATED_API,
+            format!(
+                "`{name}` is #[deprecated] (defined at {def_file}:{def_line}); \
+                 migrate off it, or waive an intentional compat test"
+            ),
+            report,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_files(def_src: &str, use_src: &str) -> Report {
+        let def_ast = Ast::parse("crates/core/src/old.rs", def_src);
+        let use_ast = Ast::parse("crates/core/src/new.rs", use_src);
+        let index = DeprecatedIndex::build([&def_ast, &use_ast]);
+        let mut r = Report::default();
+        let def_file = SourceFile::parse("crates/core/src/old.rs", def_src);
+        let use_file = SourceFile::parse("crates/core/src/new.rs", use_src);
+        check(&def_file, &def_ast, &index, &mut r);
+        check(&use_file, &use_ast, &index, &mut r);
+        r
+    }
+
+    #[test]
+    fn indexes_functions_structs_and_fields() {
+        let src = "\
+#[deprecated(note = \"x\")]
+pub fn old_fn() {}
+#[deprecated]
+pub struct OldThing {
+    pub ok: u8,
+}
+pub struct S {
+    #[deprecated]
+    pub last_iters: usize,
+    pub fine: usize,
+}
+#[deprecated]
+pub const OLD_K: usize = 1;
+";
+        let ast = Ast::parse("a.rs", src);
+        let idx = DeprecatedIndex::build([&ast]);
+        assert!(idx.lookup("old_fn").is_some());
+        assert!(idx.lookup("OldThing").is_some());
+        assert!(idx.lookup("last_iters").is_some());
+        assert!(idx.lookup("OLD_K").is_some());
+        assert!(idx.lookup("ok").is_none());
+        assert!(idx.lookup("fine").is_none());
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn cross_file_use_is_flagged_same_file_is_not() {
+        let def = "\
+pub struct S {
+    #[deprecated]
+    pub last_iters: usize,
+}
+impl S {
+    fn sync(&mut self) { self.last_iters = 1; }
+}
+";
+        let user = "fn f(s: &S) -> usize { s.last_iters }\n";
+        let r = two_files(def, user);
+        assert_eq!(r.unwaived_count(), 1, "{r}");
+        assert_eq!(r.violations[0].file, "crates/core/src/new.rs");
+        assert!(r.violations[0].message.contains("old.rs:2"), "{r}");
+    }
+
+    #[test]
+    fn waived_compat_test_is_tolerated() {
+        let def = "#[deprecated]\npub fn old_fn() {}\n";
+        let user = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compat() {
+        // audit:allow(deprecated-api)
+        old_fn();
+    }
+}
+";
+        let r = two_files(def, user);
+        assert_eq!(r.unwaived_count(), 0, "{r}");
+        assert_eq!(r.waived_count(), 1);
+    }
+
+    #[test]
+    fn unwaived_test_use_is_still_flagged() {
+        let def = "#[deprecated]\npub fn old_fn() {}\n";
+        let user = "#[cfg(test)]\nmod tests {\n    fn t() { old_fn(); }\n}\n";
+        let r = two_files(def, user);
+        assert_eq!(r.unwaived_count(), 1, "{r}");
+    }
+}

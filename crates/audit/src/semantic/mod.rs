@@ -1,0 +1,79 @@
+//! Semantic (AST-backed) lint rules.
+//!
+//! These rules run against the token-tree layer in [`crate::ast`] rather
+//! than sanitized lines, which lets them see expression structure: operand
+//! chains, argument lists spanning lines, attribute/item shapes. Three
+//! families:
+//!
+//! - [`units`] (`unit-mix`) — a units-of-measure dataflow lint. Identifier
+//!   suffixes (`_kwh`, `_kw`, `_usd`), `// audit:unit(<tag>)` annotations,
+//!   and known dimension-carrying core types tag terms with kWh / kW /
+//!   USD; `+`, `-`, compound assignment, and comparisons between terms of
+//!   *different* known units are flagged. The COCA objective deliberately
+//!   mixes dimensions in one place (`V·g + q·[p−r]⁺`, eq. 17) — that site
+//!   carries a reasoned waiver rather than an exemption in the rule.
+//! - [`atomic`] (`atomic-ordering`) — every atomic operation
+//!   (`load`/`store`/`swap`/`fetch_*`/`compare_exchange*` with an
+//!   explicit `Ordering` argument) must carry an
+//!   `// audit:atomic(<contract>)` annotation stating its ordering
+//!   contract; CAS calls must not use a failure ordering stronger than
+//!   the success ordering, and must not silently drop their `Result`.
+//! - [`deprecated`] (`deprecated-api`) — internal code must not use items
+//!   the workspace itself marks `#[deprecated]`; the only tolerated uses
+//!   are the defining file's own mirror writes and explicitly waived
+//!   compat tests.
+//!
+//! All three honor the same `// audit:allow(<rule>)` waiver convention as
+//! the line rules, resolved through the shared [`SourceFile`] line data.
+
+pub mod atomic;
+pub mod deprecated;
+pub mod units;
+
+use crate::ast::Ast;
+use crate::report::{Report, Violation};
+use crate::scan::SourceFile;
+
+/// Rule id: arithmetic/comparison across different units of measure.
+pub const UNIT_MIX: &str = "unit-mix";
+/// Rule id: undocumented or contradictory atomic-ordering usage.
+pub const ATOMIC_ORDERING: &str = "atomic-ordering";
+/// Rule id: internal use of a workspace-`#[deprecated]` item.
+pub const DEPRECATED_API: &str = "deprecated-api";
+
+/// Runs every semantic rule over one parsed file. `index` is the
+/// workspace-wide deprecated-item index (built by the two-pass driver in
+/// [`crate::lint_files`]).
+pub fn apply_all(
+    file: &SourceFile,
+    ast: &Ast,
+    index: &deprecated::DeprecatedIndex,
+    report: &mut Report,
+) {
+    units::check(file, ast, report);
+    atomic::check(file, ast, report);
+    deprecated::check(file, ast, index, report);
+}
+
+/// Records a finding at a 1-based `line`, resolving waiver status through
+/// the shared line data.
+pub(crate) fn emit(
+    file: &SourceFile,
+    line: usize,
+    rule: &'static str,
+    message: String,
+    report: &mut Report,
+) {
+    report.push(Violation {
+        file: file.path.clone(),
+        line,
+        rule,
+        message,
+        waived: file.waived(line.saturating_sub(1), rule),
+    });
+}
+
+/// True when the 1-based `line` sits inside a `#[cfg(test)]` region.
+pub(crate) fn in_test(file: &SourceFile, line: usize) -> bool {
+    file.lines.get(line.saturating_sub(1)).is_some_and(|l| l.in_test)
+}

@@ -10,7 +10,7 @@
 
 use std::path::Path;
 
-use coca_audit::{lint_source, run_lint, Report};
+use coca_audit::{lint_source, lint_sources, run_lint, Report};
 
 /// Lints fixture `text` as if it lived at `pretend_path`.
 fn lint_fixture(pretend_path: &str, text: &str) -> Report {
@@ -182,6 +182,77 @@ fn no_print_fixture_is_quiet_on_designated_print_surfaces() {
             "{allowed}: {r}"
         );
     }
+}
+
+#[test]
+fn unit_mix_fixture_flags_cross_unit_arithmetic() {
+    let r = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("../fixtures/unit_mix.rs"),
+    );
+    assert_eq!(
+        triples(&r),
+        vec![
+            ("unit-mix", 5, false),  // battery_kwh + total_usd (suffix inference)
+            ("unit-mix", 11, false), // annotated kWh binding < cost_usd
+            ("unit-mix", 30, true),  // waived via audit:allow(unit-mix)
+            ("unit-mix", 35, false), // float-eq waiver does not cover unit-mix
+        ],
+        "{r}"
+    );
+}
+
+#[test]
+fn atomic_ordering_fixture_flags_each_contract_gap() {
+    let r = lint_fixture(
+        "crates/obs/src/fixture.rs",
+        include_str!("../fixtures/atomic_ordering.rs"),
+    );
+    assert_eq!(
+        triples(&r),
+        vec![
+            ("atomic-ordering", 8, false),  // load without a contract annotation
+            ("atomic-ordering", 18, false), // audit:atomic() with empty contract
+            ("atomic-ordering", 23, false), // CAS failure ordering stronger than success
+            ("atomic-ordering", 28, false), // CAS result silently dropped
+            ("atomic-ordering", 37, true),  // waived via audit:allow(atomic-ordering)
+            ("atomic-ordering", 42, false), // no-print waiver does not cover atomic-ordering
+        ],
+        "{r}"
+    );
+}
+
+#[test]
+fn deprecated_api_fixture_flags_cross_file_uses_only() {
+    let sources = vec![
+        (
+            "crates/dcsim/src/fixture_old.rs".to_string(),
+            include_str!("../fixtures/deprecated_def.rs").to_string(),
+        ),
+        (
+            "crates/dcsim/src/fixture_new.rs".to_string(),
+            include_str!("../fixtures/deprecated_use.rs").to_string(),
+        ),
+    ];
+    let r = lint_sources(&sources);
+    let dep: Vec<_> = r
+        .violations
+        .iter()
+        .filter(|v| v.rule == "deprecated-api")
+        .map(|v| (v.file.as_str(), v.line, v.waived))
+        .collect();
+    assert_eq!(
+        dep,
+        vec![
+            // The defining file's own mirror writes never appear here.
+            ("crates/dcsim/src/fixture_new.rs", 5, false),  // OldFacade in a signature
+            ("crates/dcsim/src/fixture_new.rs", 6, false),  // OldFacade constructed
+            ("crates/dcsim/src/fixture_new.rs", 10, false), // deprecated mirror field read
+            ("crates/dcsim/src/fixture_new.rs", 18, true),  // waived compat test
+            ("crates/dcsim/src/fixture_new.rs", 25, false), // unit-mix waiver does not cover it
+        ],
+        "{r}"
+    );
 }
 
 #[test]

@@ -76,11 +76,10 @@ impl<S: P3Solver> Policy for CarbonUnaware<S> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated SlotSimulator facade
 mod tests {
     use super::*;
     use coca_core::symmetric::SymmetricSolver;
-    use coca_dcsim::SlotSimulator;
+    use coca_dcsim::run_lockstep;
     use coca_traces::{EnvironmentTrace, TraceConfig};
 
     fn setup() -> (Arc<Cluster>, EnvironmentTrace) {
@@ -102,8 +101,11 @@ mod tests {
         rec_total: f64,
     ) -> coca_dcsim::SimOutcome {
         let cost = CostParams::default();
-        let mut policy = CarbonUnaware::new(Arc::clone(cluster), cost, SymmetricSolver::new());
-        SlotSimulator::new(cluster, trace, cost, rec_total).run(&mut policy).unwrap()
+        let policy = CarbonUnaware::new(Arc::clone(cluster), cost, SymmetricSolver::new());
+        run_lockstep(Arc::clone(cluster), trace, cost, rec_total, vec![Box::new(policy)])
+            .unwrap()
+            .pop()
+            .unwrap()
     }
 
     #[test]

@@ -214,12 +214,11 @@ impl Policy for OfflineOpt {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated SlotSimulator facade
 mod tests {
     use super::*;
     use crate::carbon_unaware::CarbonUnaware;
     use coca_core::symmetric::SymmetricSolver;
-    use coca_dcsim::{SimOutcome, SlotSimulator};
+    use coca_dcsim::{run_lockstep, SimOutcome};
     use coca_traces::TraceConfig;
     use std::sync::Arc;
 
@@ -239,8 +238,11 @@ mod tests {
     /// Carbon-unaware reference run through the engine (the budget
     /// normalization the paper derives from this policy's consumption).
     fn unaware_run(cluster: &Arc<Cluster>, cost: CostParams, trace: &EnvironmentTrace) -> SimOutcome {
-        let mut cu = CarbonUnaware::new(Arc::clone(cluster), cost, SymmetricSolver::new());
-        SlotSimulator::new(cluster, trace, cost, 0.0).run(&mut cu).unwrap()
+        let cu = CarbonUnaware::new(Arc::clone(cluster), cost, SymmetricSolver::new());
+        run_lockstep(Arc::clone(cluster), trace, cost, 0.0, vec![Box::new(cu)])
+            .unwrap()
+            .pop()
+            .unwrap()
     }
 
     fn unaware_consumption(cluster: &Arc<Cluster>, cost: CostParams, trace: &EnvironmentTrace) -> f64 {
@@ -287,7 +289,10 @@ mod tests {
         let mut solver = SymmetricSolver::new();
         let budget = unaware_consumption(&cluster, cost, &trace) * 0.9;
         let mut opt = OfflineOpt::plan(&cluster, cost, &trace, budget, &mut solver).unwrap();
-        let out = SlotSimulator::new(&cluster, &trace, cost, 0.0).run(&mut opt).unwrap();
+        let out = run_lockstep(Arc::clone(&cluster), &trace, cost, 0.0, vec![Box::new(&mut opt)])
+            .unwrap()
+            .pop()
+            .unwrap();
         assert!((out.total_cost() - opt.total_planned_cost()).abs() < 1e-6 * out.total_cost());
         assert!(
             (out.total_brown_energy() - opt.total_planned_brown()).abs()

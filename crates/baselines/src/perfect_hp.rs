@@ -159,11 +159,10 @@ impl<S: P3Solver> Policy for PerfectHp<S> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated SlotSimulator facade
 mod tests {
     use super::*;
     use coca_core::symmetric::SymmetricSolver;
-    use coca_dcsim::SlotSimulator;
+    use coca_dcsim::run_lockstep;
     use coca_traces::TraceConfig;
 
     fn setup(hours: usize) -> (Arc<Cluster>, EnvironmentTrace) {
@@ -207,9 +206,12 @@ mod tests {
     fn runs_over_trace() {
         let (cluster, trace) = setup(96);
         let cost = CostParams::default();
-        let mut hp: PerfectHp<SymmetricSolver> =
+        let hp: PerfectHp<SymmetricSolver> =
             PerfectHp::new(Arc::clone(&cluster), cost, &trace, 30.0, 48).unwrap();
-        let out = SlotSimulator::new(&cluster, &trace, cost, 30.0).run(&mut hp).unwrap();
+        let out = run_lockstep(Arc::clone(&cluster), &trace, cost, 30.0, vec![Box::new(hp)])
+            .unwrap()
+            .pop()
+            .unwrap();
         assert_eq!(out.len(), 96);
         assert!(out.avg_hourly_cost() > 0.0);
     }
@@ -224,13 +226,22 @@ mod tests {
         let cost = CostParams::default();
         let mut hp: PerfectHp<SymmetricSolver> =
             PerfectHp::new(Arc::clone(&cluster), cost, &trace, 0.0, 48).unwrap();
-        let hp_out = SlotSimulator::new(&cluster, &trace, cost, 0.0).run(&mut hp).unwrap();
-        let mut cu = crate::carbon_unaware::CarbonUnaware::new(
+        let cu = crate::carbon_unaware::CarbonUnaware::new(
             Arc::clone(&cluster),
             cost,
             SymmetricSolver::new(),
         );
-        let cu_out = SlotSimulator::new(&cluster, &trace, cost, 0.0).run(&mut cu).unwrap();
+        // One lockstep engine pass: both lanes see identical observations.
+        let mut outs = run_lockstep(
+            Arc::clone(&cluster),
+            &trace,
+            cost,
+            0.0,
+            vec![Box::new(&mut hp), Box::new(cu)],
+        )
+        .unwrap();
+        let cu_out = outs.pop().unwrap();
+        let hp_out = outs.pop().unwrap();
         assert!(
             (hp_out.avg_hourly_cost() - cu_out.avg_hourly_cost()).abs()
                 < 1e-6 * cu_out.avg_hourly_cost(),

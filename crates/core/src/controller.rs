@@ -160,7 +160,9 @@ impl<S: P3Solver> Policy for CocaController<S> {
             }
         }
         let v = self.v_at(obs.t);
-        let q = self.deficit.len();
+        // audit:unit(usd) — w(t): electricity spot price (USD per kWh; the lint tracks the numerator)
+        let w = obs.price;
+        let q = self.deficit.len(); // audit:unit(kwh)
         // Paper-invariant hooks: eq. 17 clamping and the Algorithm-1
         // frame-boundary reset discipline.
         let inv = crate::invariant::global();
@@ -175,7 +177,8 @@ impl<S: P3Solver> Policy for CocaController<S> {
             cluster: &self.cluster,
             arrival_rate: obs.arrival_rate,
             onsite: obs.onsite,
-            energy_weight: v * obs.price + q,
+            // audit:allow(unit-mix) — eq. (10): A = V·w + q deliberately adds a price to a kWh queue; the Lyapunov weight is unit-free by construction
+            energy_weight: v * w + q,
             delay_weight: v * self.cost.beta,
             gamma: self.cost.gamma,
             pue: self.cost.pue,
@@ -235,12 +238,25 @@ impl<S: P3Solver> Policy for CocaController<S> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated SlotSimulator facade
 mod tests {
     use super::*;
     use crate::symmetric::SymmetricSolver;
-    use coca_dcsim::SlotSimulator;
+    use coca_dcsim::{run_lockstep, Policy, SimOutcome};
     use coca_traces::{TraceConfig, WorkloadKind};
+
+    /// Single-lane engine pass (the `SlotSimulator` facade is deprecated).
+    fn run_sim(
+        cluster: &Arc<Cluster>,
+        trace: &coca_traces::EnvironmentTrace,
+        cost: CostParams,
+        rec_total: f64,
+        policy: Box<dyn Policy + '_>,
+    ) -> SimOutcome {
+        run_lockstep(Arc::clone(cluster), trace, cost, rec_total, vec![policy])
+            .unwrap()
+            .pop()
+            .unwrap()
+    }
 
     fn config(horizon: usize, v: f64, rec: f64) -> CocaConfig {
         CocaConfig {
@@ -288,8 +304,7 @@ mod tests {
         let cost = CostParams::default();
         let cfg = config(72, 100.0, 50.0);
         let mut coca = CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
-        let sim = SlotSimulator::new(&cluster, &trace, cost, 50.0);
-        let out = sim.run(&mut coca).unwrap();
+        let out = run_sim(&cluster, &trace, cost, 50.0, Box::new(&mut coca));
         assert_eq!(out.len(), 72);
         assert_eq!(coca.q_history.len(), 72);
         assert!(coca.q_history[0] == 0.0, "queue starts empty");
@@ -310,8 +325,7 @@ mod tests {
             rec_total: 0.0,
         };
         let mut coca = CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
-        let sim = SlotSimulator::new(&cluster, &trace, cost, 0.0);
-        let _ = sim.run(&mut coca).unwrap();
+        let _ = run_sim(&cluster, &trace, cost, 0.0, Box::new(&mut coca));
         // The queue accumulated during frame 0 (tiny allowance)…
         assert!(coca.q_history[1..24].iter().any(|&q| q > 0.0));
         // …and was reset at the frame boundary (slot 24 decision sees q=0).
@@ -330,10 +344,8 @@ mod tests {
         let cost = CostParams::default();
         let run = |v: f64| {
             let cfg = config(96, v, 10.0);
-            let mut coca =
-                CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
-            let sim = SlotSimulator::new(&cluster, &trace, cost, 10.0);
-            sim.run(&mut coca).unwrap()
+            let coca = CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
+            run_sim(&cluster, &trace, cost, 10.0, Box::new(coca))
         };
         let small_v = run(0.05);
         let large_v = run(5000.0);
@@ -362,7 +374,6 @@ mod tests {
         let cost = CostParams::default();
         let run_with = |use_gsd: bool| -> f64 {
             let cfg = config(36, 200.0, 20.0);
-            let sim = SlotSimulator::new(&cluster, &trace, cost, 20.0);
             if use_gsd {
                 let solver = GsdSolver::new(GsdOptions {
                     iterations: 600,
@@ -370,12 +381,12 @@ mod tests {
                     seed: 3,
                     ..Default::default()
                 });
-                let mut coca = CocaController::new(Arc::clone(&cluster), cost, cfg, solver);
-                sim.run(&mut coca).unwrap().avg_hourly_cost()
+                let coca = CocaController::new(Arc::clone(&cluster), cost, cfg, solver);
+                run_sim(&cluster, &trace, cost, 20.0, Box::new(coca)).avg_hourly_cost()
             } else {
-                let mut coca =
+                let coca =
                     CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
-                sim.run(&mut coca).unwrap().avg_hourly_cost()
+                run_sim(&cluster, &trace, cost, 20.0, Box::new(coca)).avg_hourly_cost()
             }
         };
         let gsd_cost = run_with(true);
@@ -404,8 +415,7 @@ mod tests {
         solver.set_observer(Arc::clone(&observer) as _);
         let mut coca = CocaController::new(Arc::clone(&cluster), cost, cfg, solver);
         coca.set_observer(Arc::clone(&observer) as _);
-        let sim = SlotSimulator::new(&cluster, &trace, cost, 0.0);
-        let _ = sim.run(&mut coca).unwrap();
+        let _ = run_sim(&cluster, &trace, cost, 0.0, Box::new(&mut coca));
 
         let snap = registry.snapshot();
         assert_eq!(snap.counter("coca_frame_resets_total"), Some(2), "t=0 and t=24");

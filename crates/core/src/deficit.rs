@@ -29,12 +29,12 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeficitQueue {
     /// Current queue length q(t) (kWh of over-budget brown energy).
-    q: f64,
+    q: f64, // audit:unit(kwh)
     /// Electricity-capping aggressiveness α (paper eq. 10; α = 1 means the
     /// budget is exactly the off-site renewables + RECs).
     alpha: f64,
     /// Per-slot REC allowance `z = α·Z/J` (kWh).
-    z: f64,
+    z: f64, // audit:unit(kwh)
     /// Largest queue length ever observed (for Theorem-2 diagnostics).
     max_q: f64,
     /// Number of updates applied since the last reset.

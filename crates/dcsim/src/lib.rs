@@ -68,6 +68,7 @@ pub use policy::{Decision, Policy, SlotFeedback, SlotObservation, StaticLevels};
 pub use server::{ServerClass, SpeedLevel};
 pub use slot_sim::CostParams;
 #[allow(deprecated)]
+// audit:allow(deprecated-api) — the compat re-export itself; it goes away last, once external callers are on `SimEngine`
 pub use slot_sim::SlotSimulator;
 
 /// Convenience result alias.

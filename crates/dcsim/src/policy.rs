@@ -249,10 +249,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn static_levels_runs_over_a_trace() {
         use crate::cluster::Cluster;
-        use crate::slot_sim::{CostParams, SlotSimulator};
+        use crate::engine::run_lockstep;
+        use crate::slot_sim::CostParams;
         let cluster = Arc::new(Cluster::homogeneous(3, 10));
         let cost = CostParams::default();
         let trace = coca_traces::TraceConfig {
@@ -263,8 +263,11 @@ mod tests {
             ..Default::default()
         }
         .generate();
-        let mut policy = super::StaticLevels::full_speed(Arc::clone(&cluster), cost);
-        let out = SlotSimulator::new(&cluster, &trace, cost, 0.0).run(&mut policy).unwrap();
+        let policy = super::StaticLevels::full_speed(Arc::clone(&cluster), cost);
+        let out = run_lockstep(Arc::clone(&cluster), &trace, cost, 0.0, vec![Box::new(policy)])
+            .unwrap()
+            .pop()
+            .unwrap();
         assert_eq!(out.len(), 24);
         assert_eq!(out.policy, "static-levels");
         assert!(out.records.iter().all(|r| r.servers_on == 30));

@@ -39,6 +39,7 @@ pub mod observer;
 pub mod snapshot;
 
 mod metrics_observer;
+mod sync;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use metrics_observer::MetricsObserver;

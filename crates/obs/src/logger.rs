@@ -34,11 +34,13 @@ static VERBOSITY: AtomicU8 = AtomicU8::new(Level::Info as u8);
 
 /// Sets the global verbosity (e.g. [`Level::Error`] for `--quiet`).
 pub fn set_level(level: Level) {
+    // audit:atomic(last-write-wins global verbosity byte; relaxed)
     VERBOSITY.store(level as u8, Ordering::Relaxed);
 }
 
 /// Whether a message at `level` would currently be printed.
 pub fn enabled(level: Level) -> bool {
+    // audit:atomic(advisory read; a stale level misroutes one line at worst)
     (level as u8) <= VERBOSITY.load(Ordering::Relaxed)
 }
 

@@ -11,19 +11,53 @@
 //! Floating-point accumulation (histogram sums, gauge values) is stored as
 //! `f64::to_bits` in an `AtomicU64` and updated with a compare-exchange
 //! loop, keeping the whole registry `Send + Sync` without wider locks.
+//!
+//! ## The `Relaxed`-only memory contract
+//!
+//! Every atomic in this module uses `Ordering::Relaxed`, and that is a
+//! *contract*, not an oversight: each atomic is an **independent
+//! statistic** — no code anywhere reads one metric to decide whether
+//! another metric's write has happened, so there is no cross-variable
+//! ordering to pay for. Two disciplines keep that sound:
+//!
+//! 1. **No check-then-act across atomics.** Read-modify-write is always a
+//!    single `fetch_*` or a `compare_exchange_weak` retry loop on *one*
+//!    cell ([`atomic_f64_add`]); nothing loads cell A to guard a store to
+//!    cell B.
+//! 2. **Snapshot reads order `count` before `buckets`.** The one
+//!    cross-cell *consistency* (not ordering) guarantee we expose is
+//!    `count ≤ Σ buckets` in a [`Histogram`] snapshot; see
+//!    [`Histogram::consistent_read`] for why the read order delivers it.
+//!
+//! Both disciplines are pinned dynamically: `tests/loom.rs` model-checks
+//! the primitives under every interleaving (`RUSTFLAGS="--cfg loom"`), and
+//! the `atomic-ordering` audit lint statically requires the
+//! `// audit:atomic(<contract>)` annotations below on every atomic op.
+//! The atomics come from [`crate::sync`], which swaps in loom's
+//! instrumented mocks under `--cfg loom`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
 use crate::snapshot::{CounterSnapshot, GaugeSnapshot, HistogramSnapshot, MetricsSnapshot};
+use crate::sync::{AtomicU64, Ordering};
 
 /// Adds `v` to an f64 stored as bits in an atomic, lock-free.
+///
+/// The retry loop uses `compare_exchange_weak` (not the strong variant):
+/// the loop re-reads and retries on failure anyway, so a spurious failure
+/// costs one extra iteration and the weak form compiles to the cheaper
+/// LL/SC loop on ARM. Failure ordering matches success ordering
+/// (`Relaxed`/`Relaxed`) — the loop derives nothing from the failed read
+/// beyond the refreshed value, so a stronger failure ordering would buy
+/// no correctness, only fence traffic.
 fn atomic_f64_add(bits: &AtomicU64, v: f64) {
+    // audit:atomic(relaxed seed read; CAS loop below revalidates)
     let mut cur = bits.load(Ordering::Relaxed);
     loop {
         let next = (f64::from_bits(cur) + v).to_bits();
+        // audit:atomic(single-cell RMW retry loop; relaxed success==failure)
         match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(seen) => cur = seen,
@@ -45,11 +79,13 @@ impl Counter {
 
     /// Increments by `n`.
     pub fn add(&self, n: u64) {
+        // audit:atomic(independent statistic; single-cell RMW, relaxed)
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // audit:atomic(diagnostic read; no cross-variable ordering)
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -69,13 +105,17 @@ impl Default for Gauge {
 }
 
 impl Gauge {
-    /// Sets the instantaneous value (no trajectory point).
+    /// Sets the instantaneous value (no trajectory point). Last write
+    /// wins; a torn value is impossible because the full f64 bit pattern
+    /// moves in one atomic store.
     pub fn set(&self, v: f64) {
+        // audit:atomic(last-write-wins publish of a whole f64; relaxed)
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // audit:atomic(diagnostic read; no cross-variable ordering)
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 
@@ -138,7 +178,12 @@ impl Histogram {
         } else {
             self.bounds.len()
         };
+        // Bucket before count: with snapshot reads going count-first
+        // ([`Histogram::consistent_read`]), every observation included in
+        // a read `count` has already landed in its bucket.
+        // audit:atomic(independent statistic; bucket incremented before count)
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // audit:atomic(independent statistic; count incremented after bucket)
         self.count.fetch_add(1, Ordering::Relaxed);
         if v.is_finite() {
             atomic_f64_add(&self.sum_bits, v);
@@ -153,17 +198,41 @@ impl Histogram {
     /// Per-bucket observation counts; the last entry is the overflow
     /// bucket (`> bounds.last()`).
     pub fn bucket_counts(&self) -> Vec<u64> {
+        // audit:atomic(diagnostic reads; consistency via consistent_read)
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
     }
 
     /// Sum of all finite observations.
     pub fn sum(&self) -> f64 {
+        // audit:atomic(diagnostic read; no cross-variable ordering)
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 
     /// Total number of observations.
     pub fn count(&self) -> u64 {
+        // audit:atomic(diagnostic read; no cross-variable ordering)
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Reads `(count, buckets, sum)` with the cross-cell consistency
+    /// guarantee `count ≤ Σ buckets`.
+    ///
+    /// The guarantee comes purely from read/write order, not memory
+    /// ordering: [`Histogram::observe`] increments the bucket *before*
+    /// `count`, and this method reads `count` *before* the buckets, so
+    /// every observation included in the returned `count` has already
+    /// made its bucket increment visible, while observations racing the
+    /// snapshot can at worst appear in a bucket without being counted
+    /// yet. (Reading buckets first would allow the reverse — a snapshot
+    /// claiming more observations than its buckets hold — which is the
+    /// inconsistency the loom model test pins.) `sum` is read last and is
+    /// only monotonically related to `count`: it may include finite
+    /// observations newer than the returned counts.
+    pub fn consistent_read(&self) -> (u64, Vec<u64>, f64) {
+        let count = self.count();
+        let buckets = self.bucket_counts();
+        let sum = self.sum();
+        (count, buckets, sum)
     }
 }
 
@@ -250,12 +319,19 @@ impl MetricsRegistry {
             .histograms
             .read()
             .iter()
-            .map(|(n, h)| HistogramSnapshot {
-                name: n.clone(),
-                bounds: h.bounds().to_vec(),
-                buckets: h.bucket_counts(),
-                sum: h.sum(),
-                count: h.count(),
+            .map(|(n, h)| {
+                // `consistent_read` — not ad-hoc field reads — so a
+                // snapshot racing live observers keeps count ≤ Σ buckets
+                // (struct-literal order used to read buckets first, which
+                // allowed the reverse; the loom model pins this).
+                let (count, buckets, sum) = h.consistent_read();
+                HistogramSnapshot {
+                    name: n.clone(),
+                    bounds: h.bounds().to_vec(),
+                    buckets,
+                    sum,
+                    count,
+                }
             })
             .collect();
         MetricsSnapshot { counters, gauges, histograms }
@@ -324,6 +400,10 @@ mod tests {
 
     #[test]
     fn concurrent_updates_are_lossless() {
+        // Scaled down under miri: the interpreter runs each iteration a
+        // few orders of magnitude slower, and losing an update would show
+        // up just as surely over 50 iterations as over 1000.
+        let iters: u64 = if cfg!(miri) { 50 } else { 1000 };
         let reg = Arc::new(MetricsRegistry::new());
         let c = reg.counter("n");
         let h = reg.histogram("v", &[0.5]).unwrap();
@@ -331,7 +411,7 @@ mod tests {
             .map(|_| {
                 let (c, h) = (Arc::clone(&c), Arc::clone(&h));
                 std::thread::spawn(move || {
-                    for _ in 0..1000 {
+                    for _ in 0..iters {
                         c.inc();
                         h.observe(0.25);
                     }
@@ -341,9 +421,21 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
-        assert_eq!(c.get(), 4000);
-        assert_eq!(h.count(), 4000);
-        assert!((h.sum() - 1000.0).abs() < 1e-6);
+        assert_eq!(c.get(), 4 * iters);
+        assert_eq!(h.count(), 4 * iters);
+        assert!((h.sum() - iters as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn consistent_read_orders_count_before_buckets() {
+        let h = Histogram::new(&[1.0]).unwrap();
+        h.observe(0.5);
+        h.observe(2.0);
+        let (count, buckets, sum) = h.consistent_read();
+        assert_eq!(count, 2);
+        assert_eq!(buckets, vec![1, 1]);
+        assert!((sum - 2.5).abs() < 1e-12);
+        assert!(count <= buckets.iter().sum::<u64>());
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//! Atomics facade: `std::sync::atomic` in production, `loom`'s
+//! scheduling-point-instrumented mocks under `RUSTFLAGS="--cfg loom"`.
+//!
+//! Only the lock-free metrics primitives ([`crate::metrics`]) route their
+//! atomics through this module — they are the types whose interleavings
+//! `tests/loom.rs` model-checks. The logger keeps plain `std` atomics: a
+//! process-global verbosity byte has no cross-thread protocol to verify,
+//! and loom types may only be touched inside a `loom::model` execution.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, Ordering};

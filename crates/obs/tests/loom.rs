@@ -1,0 +1,122 @@
+//! Loom model tests for the lock-free metrics primitives.
+//!
+//! Compiled (and only meaningful) under `RUSTFLAGS="--cfg loom"`, which
+//! swaps `coca_obs`'s atomics onto the loom model checker via the crate's
+//! `sync` facade. Each test explores *every* interleaving of whole atomic
+//! operations (see `vendor/loom` for the checker and its honestly-stated
+//! scope: sequentially consistent interleavings, not weak-memory
+//! reorderings) and pins the contracts the `Relaxed`-only registry rests
+//! on:
+//!
+//! * counter increments and the f64-bits CAS accumulation never lose an
+//!   update under any interleaving;
+//! * a gauge is last-write-wins with no torn values;
+//! * a histogram snapshot racing live observers always satisfies
+//!   `count ≤ Σ buckets` (the read-order guarantee of
+//!   `Histogram::consistent_read`).
+//!
+//! Run with:
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p coca-obs --test loom --release
+//! ```
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use loom::thread;
+
+use coca_obs::{Counter, Gauge, Histogram};
+
+#[test]
+fn counter_increments_are_lossless() {
+    loom::model(|| {
+        let c = Arc::new(Counter::default());
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    c.inc();
+                    c.add(2);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 6);
+    });
+}
+
+#[test]
+fn gauge_is_last_write_wins_with_no_torn_values() {
+    loom::model(|| {
+        let g = Arc::new(Gauge::default());
+        let writer = {
+            let g = Arc::clone(&g);
+            thread::spawn(move || g.set(1.25))
+        };
+        g.set(2.5);
+        // A concurrent read observes a complete bit pattern: one of the
+        // values ever stored, never a mix of two writes.
+        let seen = g.get();
+        assert!(
+            seen == 0.0 || seen == 1.25 || seen == 2.5,
+            "torn gauge value {seen}"
+        );
+        writer.join().unwrap();
+        let end = g.get();
+        assert!(end == 1.25 || end == 2.5, "final value {end} not last-write-wins");
+    });
+}
+
+#[test]
+fn f64_bits_cas_accumulation_is_lossless() {
+    loom::model(|| {
+        let h = Arc::new(Histogram::new(&[10.0]).expect("bounds"));
+        let handles: Vec<_> = [0.5, 2.25]
+            .into_iter()
+            .map(|v| {
+                let h = Arc::clone(&h);
+                thread::spawn(move || h.observe(v))
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        // Both observations must survive: the CAS retry loop may not lose
+        // an add under any interleaving.
+        assert_eq!(h.count(), 2);
+        let sum = h.sum();
+        assert!((sum - 2.75).abs() < 1e-12, "lost f64 accumulation: sum={sum}");
+    });
+}
+
+#[test]
+fn snapshot_count_never_exceeds_bucket_sum() {
+    // Three threads (two observers + the snapshotting main thread) make
+    // the schedule space large; bounding preemptions keeps the model
+    // tractable while still covering the racy schedules (an unbounded run
+    // of the same model also passes, it just takes minutes, not seconds).
+    let mut b = loom::model::Builder::new();
+    b.preemption_bound = Some(3);
+    b.check(|| {
+        let h = Arc::new(Histogram::new(&[1.0]).expect("bounds"));
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let h = Arc::clone(&h);
+                thread::spawn(move || h.observe(i as f64))
+            })
+            .collect();
+        let (count, buckets, _sum) = h.consistent_read();
+        assert!(
+            count <= buckets.iter().sum::<u64>(),
+            "snapshot claims {count} observations but buckets hold {buckets:?}"
+        );
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let (count, buckets, sum) = h.consistent_read();
+        assert_eq!(count, 2, "quiescent count exact");
+        assert_eq!(buckets.iter().sum::<u64>(), 2);
+        assert!((sum - 1.0).abs() < 1e-12);
+    });
+}

@@ -77,6 +77,7 @@ static COUNTS: [AtomicU64; NUM_CHECKS] = [
 pub fn counts() -> [(&'static str, u64); NUM_CHECKS] {
     let mut out = [("", 0); NUM_CHECKS];
     for (i, slot) in out.iter_mut().enumerate() {
+        // audit:atomic(statistical counter read; relaxed, no ordering with check outcomes)
         *slot = (CHECK_NAMES[i], COUNTS[i].load(Ordering::Relaxed));
     }
     out
@@ -111,6 +112,7 @@ impl InvariantSet {
 
     /// Records that `check` ran and reacts to the outcome per the mode.
     fn enforce(&self, check: Check, ok: bool, msg: impl FnOnce() -> String) {
+        // audit:atomic(lossless tally; relaxed RMW, no cross-cell ordering needed)
         COUNTS[check as usize].fetch_add(1, Ordering::Relaxed);
         if ok {
             return;

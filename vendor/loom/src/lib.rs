@@ -1,0 +1,42 @@
+//! Offline shim of the `loom` concurrency model checker.
+//!
+//! The build environment has no registry access, so — like the serde and
+//! rand shims under `vendor/` — this implements exactly the subset of the
+//! upstream API the workspace uses, with real checking behind it rather
+//! than a no-op:
+//!
+//! * [`model`] runs a closure under a **deterministic scheduler** that
+//!   serializes all spawned threads and explores thread interleavings by
+//!   depth-first search over scheduling decisions. Every operation on a
+//!   [`sync::atomic`] type is a scheduling point; the search reruns the
+//!   closure once per distinct schedule until the space (optionally
+//!   preemption-bounded, see [`model::Builder`]) is exhausted.
+//! * A panic (e.g. a failed assertion) in any thread under any explored
+//!   schedule aborts the search and re-panics with the offending schedule
+//!   attached, so a lost update or torn accumulation surfaces as a test
+//!   failure naming the interleaving that produced it.
+//!
+//! **Scope, honestly stated:** unlike upstream loom, this shim models
+//! *sequentially consistent interleavings only* — it permutes the order in
+//! which whole atomic operations execute, but does not model C11 weak-memory
+//! reorderings, so it cannot distinguish `Relaxed` from `SeqCst`. That is
+//! the right tool for the COCA metrics registry, whose contract is
+//! "independent `Relaxed` counters, no cross-variable ordering": the bugs
+//! that contract can hide are interleaving bugs (lost CAS updates,
+//! check-then-act races, inconsistent multi-variable reads), which this
+//! shim finds exhaustively. Ordering-sensitivity itself is covered
+//! statically by the `atomic-ordering` audit lint.
+
+#![deny(missing_docs)]
+
+pub mod sync;
+pub mod thread;
+
+mod scheduler;
+
+pub use scheduler::model;
+
+/// Upstream-compatible access to [`model::Builder`].
+pub mod model {
+    pub use crate::scheduler::Builder;
+}

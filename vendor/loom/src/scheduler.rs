@@ -1,0 +1,337 @@
+//! The deterministic scheduler behind [`crate::model`].
+//!
+//! One *execution* runs the model closure with every controlled thread
+//! serialized: exactly one thread is ever runnable-and-running, and each
+//! atomic operation (plus spawn/join/exit) is a *scheduling point* where
+//! the scheduler picks which thread runs next. The sequence of picks is a
+//! *schedule*; depth-first search enumerates schedules by replaying a
+//! recorded prefix and taking the first untried branch at its end.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Per-thread scheduler state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum State {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Waiting for the thread with this id to finish.
+    Blocked(usize),
+    /// Done; never scheduled again.
+    Finished,
+}
+
+/// One recorded scheduling decision: which option index was taken out of
+/// how many were available at that point.
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    chosen: usize,
+    options: usize,
+}
+
+struct Sched {
+    states: Vec<State>,
+    /// Id of the thread allowed to run, `None` once all are finished.
+    current: Option<usize>,
+    /// Replay prefix for this execution (choice indices).
+    prefix: Vec<usize>,
+    /// Decisions actually taken this execution (replay + fresh).
+    decisions: Vec<Decision>,
+    /// Preemptive switches taken so far this execution.
+    preemptions: usize,
+    /// Cap on preemptive switches (usize::MAX = unbounded/exhaustive).
+    preemption_bound: usize,
+    /// Set on the first panic in any controlled thread; aborts the search.
+    panic_note: Option<String>,
+    /// OS handles of spawned threads, drained at end of execution.
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Execution {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The `(execution, thread id)` context of the calling OS thread, if it is
+/// a controlled thread of a live model execution.
+pub(crate) fn context() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_context(ctx: Option<(Arc<Execution>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+impl Execution {
+    fn new(prefix: Vec<usize>, preemption_bound: usize) -> Self {
+        Self {
+            sched: Mutex::new(Sched {
+                states: vec![State::Runnable],
+                current: Some(0),
+                prefix,
+                decisions: Vec::new(),
+                preemptions: 0,
+                preemption_bound,
+                panic_note: None,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Picks the next thread to run. `from` is the deciding thread when it
+    /// is itself still runnable (so "keep running" is option 0 and any
+    /// other pick counts as a preemption); `None` when the deciding thread
+    /// just blocked or finished.
+    fn schedule_next(&self, s: &mut Sched, from: Option<usize>) {
+        let mut options: Vec<usize> = (0..s.states.len())
+            .filter(|&i| s.states[i] == State::Runnable)
+            .collect();
+        if let Some(me) = from {
+            // Rotate so the incumbent is option 0: choice 0 never preempts.
+            if let Some(pos) = options.iter().position(|&i| i == me) {
+                options.rotate_left(pos);
+            }
+        }
+        if options.is_empty() {
+            s.current = None;
+            self.cv.notify_all();
+            return;
+        }
+        let incumbent_runnable = from.is_some_and(|me| options[0] == me);
+        let effective = if incumbent_runnable && s.preemptions >= s.preemption_bound {
+            1 // bound reached: the incumbent must keep running
+        } else {
+            options.len()
+        };
+        let step = s.decisions.len();
+        let chosen = if step < s.prefix.len() {
+            s.prefix[step].min(effective - 1)
+        } else {
+            0
+        };
+        s.decisions.push(Decision { chosen, options: effective });
+        let next = options[chosen];
+        if incumbent_runnable && chosen != 0 {
+            s.preemptions += 1;
+        }
+        s.current = Some(next);
+        self.cv.notify_all();
+    }
+
+    /// A scheduling point for thread `me`: offer the scheduler a switch,
+    /// then wait until scheduled again. Returns immediately once the
+    /// execution is aborting after a panic (threads then free-run so the
+    /// harness can join them; memory safety is upheld by the real atomics
+    /// underneath).
+    pub(crate) fn switch(&self, me: usize) {
+        let mut s = self.sched.lock().expect("loom scheduler lock");
+        if s.panic_note.is_some() {
+            return;
+        }
+        self.schedule_next(&mut s, Some(me));
+        while s.panic_note.is_none() && s.current != Some(me) {
+            s = self.cv.wait(s).expect("loom scheduler lock");
+        }
+    }
+
+    /// Blocks until scheduled for the first time (entry point of spawned
+    /// threads).
+    fn wait_first_turn(&self, me: usize) {
+        let mut s = self.sched.lock().expect("loom scheduler lock");
+        while s.panic_note.is_none() && s.current != Some(me) {
+            s = self.cv.wait(s).expect("loom scheduler lock");
+        }
+    }
+
+    /// Marks `me` finished, wakes any joiners, and hands off the schedule.
+    fn exit(&self, me: usize) {
+        let mut s = self.sched.lock().expect("loom scheduler lock");
+        s.states[me] = State::Finished;
+        for st in s.states.iter_mut() {
+            if *st == State::Blocked(me) {
+                *st = State::Runnable;
+            }
+        }
+        if s.panic_note.is_none() {
+            self.schedule_next(&mut s, None);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Registers a new controlled thread, returning its id.
+    fn register_thread(&self) -> usize {
+        let mut s = self.sched.lock().expect("loom scheduler lock");
+        s.states.push(State::Runnable);
+        s.states.len() - 1
+    }
+
+    fn keep_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.sched.lock().expect("loom scheduler lock").os_handles.push(h);
+    }
+
+    /// Blocks `me` on `target` finishing, scheduling someone else
+    /// meanwhile.
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        loop {
+            let mut s = self.sched.lock().expect("loom scheduler lock");
+            if s.panic_note.is_some() || s.states[target] == State::Finished {
+                return;
+            }
+            s.states[me] = State::Blocked(target);
+            self.schedule_next(&mut s, None);
+            while s.panic_note.is_none() && s.current != Some(me) {
+                s = self.cv.wait(s).expect("loom scheduler lock");
+            }
+        }
+    }
+
+    /// Records the first panic and wakes everyone so the search can abort.
+    pub(crate) fn record_panic(&self, note: String) {
+        let mut s = self.sched.lock().expect("loom scheduler lock");
+        if s.panic_note.is_none() {
+            s.panic_note = Some(note);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Waits until every controlled thread has finished.
+    fn wait_all_finished(&self) {
+        let mut s = self.sched.lock().expect("loom scheduler lock");
+        while s.states.iter().any(|st| *st != State::Finished) {
+            if s.panic_note.is_some() {
+                // Free-running abort: OS joins below provide the barrier.
+                return;
+            }
+            s = self.cv.wait(s).expect("loom scheduler lock");
+        }
+    }
+}
+
+pub(crate) fn spawn_controlled(exec: &Arc<Execution>, body: impl FnOnce() + Send + 'static) -> usize {
+    let id = exec.register_thread();
+    let exec2 = Arc::clone(exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-{id}"))
+        .spawn(move || {
+            set_context(Some((Arc::clone(&exec2), id)));
+            exec2.wait_first_turn(id);
+            let result = catch_unwind(AssertUnwindSafe(body));
+            if let Err(payload) = result {
+                exec2.record_panic(panic_text(&payload));
+            }
+            exec2.exit(id);
+            set_context(None);
+        })
+        .expect("loom: failed to spawn OS thread");
+    exec.keep_os_handle(handle);
+    id
+}
+
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Configures and runs a model (upstream-compatible subset of
+/// `loom::model::Builder`).
+#[derive(Debug, Clone, Default)]
+pub struct Builder {
+    /// Maximum number of *preemptive* context switches to explore per
+    /// execution (`None` = unbounded, fully exhaustive). Bounding to 2–3
+    /// keeps larger models tractable while still covering the schedules
+    /// that expose almost all interleaving bugs.
+    pub preemption_bound: Option<usize>,
+    /// Maximum number of distinct executions before the checker gives up
+    /// with a panic (a runaway-model backstop, not a soundness knob).
+    /// Defaults to `LOOM_MAX_ITERATIONS` or 200 000.
+    pub max_iterations: Option<usize>,
+}
+
+impl Builder {
+    /// A builder with default (exhaustive) settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explores every schedule of `f` under this configuration.
+    pub fn check<F: Fn() + Send + Sync + 'static>(&self, f: F) {
+        let max_iterations = self
+            .max_iterations
+            .or_else(|| {
+                std::env::var("LOOM_MAX_ITERATIONS").ok().and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(200_000);
+        let bound = self.preemption_bound.unwrap_or(usize::MAX);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= max_iterations,
+                "loom: model not exhausted after {max_iterations} executions; \
+                 set a preemption_bound or raise LOOM_MAX_ITERATIONS"
+            );
+            let exec = Arc::new(Execution::new(prefix.clone(), bound));
+
+            set_context(Some((Arc::clone(&exec), 0)));
+            let result = catch_unwind(AssertUnwindSafe(&f));
+            if let Err(payload) = result {
+                exec.record_panic(panic_text(&payload));
+            }
+            exec.exit(0);
+            exec.wait_all_finished();
+            set_context(None);
+
+            let handles = {
+                let mut s = exec.sched.lock().expect("loom scheduler lock");
+                std::mem::take(&mut s.os_handles)
+            };
+            for h in handles {
+                let _ = h.join();
+            }
+
+            let s = exec.sched.lock().expect("loom scheduler lock");
+            if let Some(note) = &s.panic_note {
+                let schedule: Vec<usize> = s.decisions.iter().map(|d| d.chosen).collect();
+                panic!(
+                    "loom: model failed after {iterations} execution(s); \
+                     schedule {schedule:?}: {note}"
+                );
+            }
+            // DFS: extend from the deepest decision with an untried branch.
+            let mut next_prefix = None;
+            for (i, d) in s.decisions.iter().enumerate().rev() {
+                if d.chosen + 1 < d.options {
+                    let mut p: Vec<usize> =
+                        s.decisions[..i].iter().map(|d| d.chosen).collect();
+                    p.push(d.chosen + 1);
+                    next_prefix = Some(p);
+                    break;
+                }
+            }
+            drop(s);
+            match next_prefix {
+                Some(p) => prefix = p,
+                None => return, // schedule space exhausted
+            }
+        }
+    }
+}
+
+/// Explores every interleaving of `f` (exhaustive search; see
+/// [`Builder::preemption_bound`] for bounding larger models).
+pub fn model<F: Fn() + Send + Sync + 'static>(f: F) {
+    Builder::new().check(f);
+}

@@ -1,0 +1,99 @@
+//! Mock `std::sync` types for model executions.
+
+pub use std::sync::Arc;
+
+/// Mock atomics: every operation is a scheduling point, so the model
+/// checker explores all interleavings of whole atomic operations.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::scheduler;
+
+    /// Inserts a scheduling point when running under a model execution.
+    fn sched_point() {
+        if let Some((exec, me)) = scheduler::context() {
+            exec.switch(me);
+        }
+    }
+
+    macro_rules! mock_atomic {
+        ($name:ident, $inner:path, $prim:ty) => {
+            /// Scheduling-point-instrumented atomic (shim of the loom
+            /// type of the same name).
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $inner,
+            }
+
+            impl $name {
+                /// Creates the atomic with an initial value.
+                pub fn new(v: $prim) -> Self {
+                    Self { inner: <$inner>::new(v) }
+                }
+
+                /// Atomic load (scheduling point).
+                pub fn load(&self, order: Ordering) -> $prim {
+                    sched_point();
+                    self.inner.load(order)
+                }
+
+                /// Atomic store (scheduling point).
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    sched_point();
+                    self.inner.store(v, order);
+                }
+
+                /// Atomic swap (scheduling point).
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    sched_point();
+                    self.inner.swap(v, order)
+                }
+
+                /// Atomic add, returning the previous value (scheduling
+                /// point).
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    sched_point();
+                    self.inner.fetch_add(v, order)
+                }
+
+                /// Atomic subtract, returning the previous value
+                /// (scheduling point).
+                pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                    sched_point();
+                    self.inner.fetch_sub(v, order)
+                }
+
+                /// Atomic compare-exchange (scheduling point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    sched_point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Atomic compare-exchange allowed to fail spuriously
+                /// (scheduling point; the shim never fails spuriously,
+                /// which only narrows — never widens — the behaviors a
+                /// correct caller must handle).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    sched_point();
+                    self.inner.compare_exchange_weak(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    mock_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    mock_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    mock_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+}

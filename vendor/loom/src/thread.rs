@@ -1,0 +1,59 @@
+//! Mock `std::thread` for model executions.
+
+use std::sync::{Arc, Mutex};
+
+use crate::scheduler;
+
+/// Handle to a thread spawned under [`crate::model`].
+pub struct JoinHandle<T> {
+    exec: Arc<scheduler::Execution>,
+    id: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result, as
+    /// `std::thread::JoinHandle::join` does. `Err` carries the panic
+    /// message when the thread panicked under the explored schedule.
+    pub fn join(self) -> Result<T, String> {
+        let (exec, me) = scheduler::context()
+            .expect("loom::thread::JoinHandle::join outside a model execution");
+        debug_assert!(Arc::ptr_eq(&exec, &self.exec));
+        exec.join_wait(me, self.id);
+        self.result
+            .lock()
+            .expect("loom join-result lock")
+            .take()
+            .ok_or_else(|| "loom: joined thread panicked".to_string())
+    }
+}
+
+/// Spawns a controlled thread inside a model execution.
+///
+/// Panics when called outside [`crate::model`] — the shim has no
+/// free-running mode, which keeps accidental unmodelled use loud.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, me) =
+        scheduler::context().expect("loom::thread::spawn outside a model execution");
+    let result = Arc::new(Mutex::new(None));
+    let result2 = Arc::clone(&result);
+    let id = scheduler::spawn_controlled(&exec, move || {
+        let v = f();
+        *result2.lock().expect("loom join-result lock") = Some(v);
+    });
+    // Spawning is itself a scheduling point: the child may run first.
+    exec.switch(me);
+    JoinHandle { exec, id, result }
+}
+
+/// A pure scheduling point: offers the scheduler a switch without touching
+/// any shared state.
+pub fn yield_now() {
+    if let Some((exec, me)) = scheduler::context() {
+        exec.switch(me);
+    }
+}
