@@ -1,0 +1,22 @@
+//! Unit-flow fixture, library side: functions whose units are only
+//! visible through return expressions and parameter names.
+
+/// Sums the energy drawn over a trace. The unit lives on the local
+/// binding — callers only ever see a bare `total_energy(trace)` call.
+pub fn total_energy(trace: &[f64]) -> f64 {
+    let mut drawn_kwh = 0.0;
+    for x in trace {
+        drawn_kwh += x;
+    }
+    drawn_kwh
+}
+
+/// Accumulates a cost sample into the running total.
+pub fn add_cost(total_usd: f64, sample: f64) -> f64 {
+    total_usd + sample
+}
+
+/// Scales a reading; the first parameter deliberately carries no unit.
+pub fn scale(amount: f64, factor: f64) -> f64 {
+    amount * factor
+}

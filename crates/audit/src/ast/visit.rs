@@ -122,6 +122,10 @@ pub struct Term {
     pub key: String,
     /// Rendered chain for diagnostics.
     pub text: String,
+    /// True when the chain ends in a call's argument parentheses
+    /// (`cost(x)`, `self.energy()`): `key` then names the callee, and
+    /// interprocedural analyses may consult its return summary.
+    pub is_call: bool,
 }
 
 /// Scans the term ending just before `idx` (exclusive) in the run.
@@ -166,6 +170,32 @@ pub fn term_after(run: &[Node], idx: usize) -> Option<Term> {
     (end > first).then(|| make_term(&run[first..end]))
 }
 
+/// The term covering the *entire* run, or `None` when the run holds more
+/// than a single chain (an arithmetic expression, a block, a cast).
+/// Call-argument slices attribute a unit only when the whole argument is
+/// one term — `f(a_kwh)` carries kWh, `f(a_kwh * r)` carries nothing.
+pub fn term_spanning(run: &[Node]) -> Option<Term> {
+    let mut end = 0;
+    // Allow a leading unary borrow/deref/negation.
+    while run.get(end).is_some_and(|n| n.is_punct("&") || n.is_punct("*") || n.is_punct("-")) {
+        end += 1;
+    }
+    let first = end;
+    while let Some(n) = run.get(end) {
+        let chains = n.ident().is_some()
+            || n.is_punct(".")
+            || n.is_punct("::")
+            || n.tok().is_some_and(|t| t.kind == TokKind::Number)
+            || matches!(n, Node::Group(g) if g.delim != Delim::Brace);
+        if chains {
+            end += 1;
+        } else {
+            break;
+        }
+    }
+    (end == run.len() && end > first).then(|| make_term(&run[first..end]))
+}
+
 /// Builds a [`Term`] from a chain slice.
 fn make_term(chain: &[Node]) -> Term {
     let mut text = String::new();
@@ -195,7 +225,10 @@ fn make_term(chain: &[Node]) -> Term {
         .find_map(Node::ident)
         .unwrap_or_default()
         .to_string();
-    Term { key, text }
+    let is_call = matches!(chain.last(), Some(Node::Group(g)) if g.delim == Delim::Paren)
+        && chain.len() >= 2
+        && chain[chain.len() - 2].ident().is_some();
+    Term { key, text, is_call }
 }
 
 #[cfg(test)]
@@ -250,5 +283,29 @@ mod tests {
         let g = forest("a + cost_usd(x)");
         let plus = g.iter().position(|n| n.is_punct("+")).unwrap();
         assert_eq!(term_after(&g, plus + 1).unwrap().key, "cost_usd");
+    }
+
+    #[test]
+    fn terms_mark_calls() {
+        let f = forest("a + cost(x)");
+        let plus = f.iter().position(|n| n.is_punct("+")).unwrap();
+        assert!(term_after(&f, plus + 1).unwrap().is_call);
+        let g = forest("a + self.total_usd");
+        let plus = g.iter().position(|n| n.is_punct("+")).unwrap();
+        assert!(!term_after(&g, plus + 1).unwrap().is_call);
+        // An index expression ends in a bracket group, not a call.
+        let h = forest("a + xs[i]");
+        let plus = h.iter().position(|n| n.is_punct("+")).unwrap();
+        assert!(!term_after(&h, plus + 1).unwrap().is_call);
+    }
+
+    #[test]
+    fn term_spanning_requires_the_whole_run() {
+        let f = forest("stored(a, b)");
+        let t = term_spanning(&f).unwrap();
+        assert_eq!(t.key, "stored");
+        assert!(t.is_call);
+        assert!(term_spanning(&forest("a + b")).is_none());
+        assert!(term_spanning(&[]).is_none());
     }
 }

@@ -1,0 +1,164 @@
+//! Generic worklist fixpoint solver and the flat value lattice the
+//! interprocedural analyses iterate over.
+//!
+//! The solver is deliberately tiny: analyses own their state (per-function
+//! summaries), and the solver only schedules which node to revisit next.
+//! Monotone transfer functions over a finite-height lattice terminate on
+//! their own; a hard iteration cap backstops any non-monotone bug so a
+//! lint run can never spin.
+
+use std::collections::VecDeque;
+
+/// A flat three-point lattice over `T`: ⊥ (`Unknown`) below every
+/// `Known(t)`, ⊤ (`Conflict`) above all of them. `join` is the least
+/// upper bound; two different `Known` values join to `Conflict`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lattice<T> {
+    /// No information yet (⊥).
+    #[default]
+    Unknown,
+    /// Exactly one value observed.
+    Known(T),
+    /// Contradictory values observed (⊤).
+    Conflict,
+}
+
+impl<T: PartialEq + Copy> Lattice<T> {
+    /// Joins `other` into `self`; returns true when `self` changed.
+    pub fn join(&mut self, other: Self) -> bool {
+        let next = match (*self, other) {
+            (Lattice::Unknown, o) => o,
+            (s, Lattice::Unknown) => s,
+            (Lattice::Conflict, _) | (_, Lattice::Conflict) => Lattice::Conflict,
+            (Lattice::Known(a), Lattice::Known(b)) => {
+                if a == b {
+                    Lattice::Known(a)
+                } else {
+                    Lattice::Conflict
+                }
+            }
+        };
+        let changed = next != *self;
+        *self = next;
+        changed
+    }
+
+    /// The single known value, if exactly one was observed.
+    pub fn known(self) -> Option<T> {
+        match self {
+            Lattice::Known(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Worklist of node ids with membership dedup: pushing an already-queued
+/// id is a no-op, so each node appears at most once at a time.
+pub struct Worklist {
+    queue: VecDeque<usize>,
+    queued: Vec<bool>,
+}
+
+impl Worklist {
+    /// A worklist seeded with every id in `0..n` (the standard start
+    /// state: every node's transfer function runs at least once).
+    pub fn full(n: usize) -> Self {
+        Worklist { queue: (0..n).collect(), queued: vec![true; n] }
+    }
+
+    /// Schedules `id` unless it is already pending.
+    pub fn push(&mut self, id: usize) {
+        if let Some(q) = self.queued.get_mut(id) {
+            if !*q {
+                *q = true;
+                self.queue.push_back(id);
+            }
+        }
+    }
+
+    /// Next node to process, or `None` when the analysis has converged.
+    pub fn pop(&mut self) -> Option<usize> {
+        let id = self.queue.pop_front()?;
+        self.queued[id] = false;
+        Some(id)
+    }
+}
+
+/// Runs `step` over a worklist seeded with all of `0..n` until it drains.
+/// `step(id)` applies node `id`'s transfer function and returns the ids
+/// whose inputs it changed; those are re-queued. Returns the number of
+/// steps taken (tests assert convergence speed with it).
+///
+/// The cap of `64·n` steps is far above anything a monotone analysis over
+/// the three-point lattice can need (each node's state can only move up
+/// twice), and turns a hypothetical oscillation into a silent early stop
+/// instead of a hung lint run.
+pub fn solve(n: usize, mut step: impl FnMut(usize) -> Vec<usize>) -> usize {
+    let mut wl = Worklist::full(n);
+    let cap = 64 * n.max(1);
+    let mut steps = 0usize;
+    while let Some(id) = wl.pop() {
+        steps += 1;
+        if steps > cap {
+            break;
+        }
+        for dep in step(id) {
+            wl.push(dep);
+        }
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_join_moves_up_only() {
+        let mut v: Lattice<u8> = Lattice::Unknown;
+        assert!(!v.join(Lattice::Unknown));
+        assert!(v.join(Lattice::Known(3)));
+        assert!(!v.join(Lattice::Known(3)));
+        assert_eq!(v.known(), Some(3));
+        assert!(v.join(Lattice::Known(4)));
+        assert_eq!(v, Lattice::Conflict);
+        assert!(!v.join(Lattice::Known(9)), "top absorbs everything");
+    }
+
+    #[test]
+    fn worklist_dedups_pending_ids() {
+        let mut wl = Worklist::full(2);
+        wl.push(0); // already queued: no-op
+        assert_eq!(wl.pop(), Some(0));
+        assert_eq!(wl.pop(), Some(1));
+        assert_eq!(wl.pop(), None);
+        wl.push(1);
+        wl.push(1);
+        assert_eq!(wl.pop(), Some(1));
+        assert_eq!(wl.pop(), None);
+    }
+
+    #[test]
+    fn solve_reaches_fixpoint_on_a_cycle() {
+        // Two nodes propagating a max value around a cycle: converges.
+        let mut vals = [0u32, 5u32];
+        let steps = solve(2, |id| {
+            let other = 1 - id;
+            if vals[other] < vals[id] {
+                vals[other] = vals[id];
+                vec![other]
+            } else {
+                Vec::new()
+            }
+        });
+        assert_eq!(vals, [5, 5]);
+        assert!(steps <= 4, "converged in {steps} steps");
+    }
+
+    #[test]
+    fn solve_caps_runaway_steps() {
+        // Deliberately non-monotone step: always reports a change.
+        let steps = solve(1, |_| vec![0]);
+        assert_eq!(steps, 65, "capped at 64·n + the detecting step");
+    }
+}

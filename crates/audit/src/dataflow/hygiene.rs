@@ -1,0 +1,164 @@
+//! `stale-waiver`: waiver and annotation hygiene.
+//!
+//! Waivers and annotations are load-bearing documentation — a
+//! `// audit:allow(no-panic)` that no longer suppresses anything, or an
+//! `// audit:atomic(…)` next to code that stopped being atomic, is a lie
+//! waiting to mislead the next reader. This pass runs *after* every other
+//! rule and flags:
+//!
+//! - an `audit:allow(<rule>)` waiver that no finding of `<rule>` resolves
+//!   through (on its line or the line below);
+//! - an `audit:allow(<rule>)` naming a rule id the pass does not have;
+//! - an `audit:unit(<tag>)` annotation that binds no identifier;
+//! - an `audit:atomic(<contract>)` annotation with no atomic operation on
+//!   its line or the line below.
+//!
+//! Staleness is itself waivable — `audit:allow(stale-waiver)` on a waiver
+//! kept deliberately (e.g. documenting a rule that fires only on some
+//! platforms). That makes usage *depend on the pass's own findings*, so
+//! the check iterates to a fixpoint: each round recomputes which waivers
+//! are used given the findings of the previous round, until the finding
+//! set stabilizes. `stale-waiver` waivers themselves are exempt from
+//! staleness (a self-justifying waiver would oscillate forever — see the
+//! `self_waiver_does_not_oscillate` test).
+
+use std::collections::HashSet;
+
+use crate::ast::Ast;
+use crate::report::Report;
+use crate::scan::SourceFile;
+use crate::semantic::{atomic, units};
+use crate::Violation;
+
+/// One declared waiver site: file index, 0-based line index, rule id.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct WaiverSite {
+    file: usize,
+    line_idx: usize,
+    rule: String,
+}
+
+/// Computes which declared waivers are *used* by the given findings: a
+/// waived violation at 1-based line L resolves through a waiver on line
+/// index L-1 or L-2 (same resolution order as [`SourceFile::waived`]).
+fn used_waivers<'a>(
+    files: &[(SourceFile, Ast)],
+    findings: impl Iterator<Item = &'a Violation>,
+) -> HashSet<WaiverSite> {
+    let mut used = HashSet::new();
+    for v in findings.filter(|v| v.waived) {
+        let Some(file) = files.iter().position(|(f, _)| f.path == v.file) else { continue };
+        let lines = &files[file].0.lines;
+        let has = |idx: usize| {
+            lines.get(idx).is_some_and(|l| l.waivers.iter().any(|w| w == v.rule))
+        };
+        let idx = v.line.saturating_sub(1);
+        if has(idx) {
+            used.insert(WaiverSite { file, line_idx: idx, rule: v.rule.to_string() });
+        } else if idx > 0 && has(idx - 1) {
+            used.insert(WaiverSite { file, line_idx: idx - 1, rule: v.rule.to_string() });
+        }
+    }
+    used
+}
+
+/// Runs the pass and appends `stale-waiver` findings to `report`.
+/// `known_rules` is the full rule-id vocabulary ([`crate::ALL_RULES`]).
+pub fn check(files: &[(SourceFile, Ast)], known_rules: &[&str], report: &mut Report) {
+    // Annotation hygiene is independent of waiver usage: compute once.
+    let mut base: Vec<Violation> = Vec::new();
+    for (file, ast) in files {
+        for issue in build_unit_issues(ast) {
+            base.push(finding(
+                file,
+                issue.line,
+                format!("`audit:unit({})` does not cover any binding", issue.tag),
+            ));
+        }
+        let ops = atomic::op_lines(ast);
+        for c in &ast.comments {
+            if crate::ast::annotation_payload(&c.text, "audit:atomic(").is_none() {
+                continue;
+            }
+            if !ops.iter().any(|&l| l == c.line || l == c.line + 1) {
+                base.push(finding(
+                    file,
+                    c.line,
+                    "`audit:atomic(…)` annotation with no atomic operation on its line \
+                     or the line below"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
+    // Declared waivers, except `stale-waiver` ones (exempt from
+    // staleness to keep the fixpoint well-founded).
+    let mut declared: Vec<WaiverSite> = Vec::new();
+    for (fi, (file, _)) in files.iter().enumerate() {
+        for (idx, line) in file.lines.iter().enumerate() {
+            for rule in &line.waivers {
+                if rule != super::STALE_WAIVER {
+                    declared.push(WaiverSite { file: fi, line_idx: idx, rule: rule.clone() });
+                }
+            }
+        }
+    }
+
+    // Fixpoint over waiver usage: `audit:allow(stale-waiver)` waivers are
+    // used exactly when they suppress one of this pass's own findings.
+    let mut extra: Vec<Violation> = Vec::new();
+    for _round in 0..4 {
+        let used = used_waivers(
+            files,
+            report.violations.iter().chain(&base).chain(&extra),
+        );
+        let mut next = Vec::new();
+        for site in &declared {
+            let (file, _) = &files[site.file];
+            if !known_rules.contains(&site.rule.as_str()) {
+                next.push(finding(
+                    file,
+                    site.line_idx + 1,
+                    format!("`audit:allow({})` names an unknown rule id", site.rule),
+                ));
+            } else if !used.contains(site) {
+                next.push(finding(
+                    file,
+                    site.line_idx + 1,
+                    format!(
+                        "`audit:allow({})` suppresses no finding; delete the stale waiver",
+                        site.rule
+                    ),
+                ));
+            }
+        }
+        if next == extra {
+            break;
+        }
+        extra = next;
+    }
+
+    for v in base.into_iter().chain(extra) {
+        report.push(v);
+    }
+}
+
+/// Builds a `stale-waiver` violation at a 1-based line, resolving its own
+/// waiver status.
+fn finding(file: &SourceFile, line: usize, message: String) -> Violation {
+    Violation {
+        file: file.path.clone(),
+        line,
+        rule: super::STALE_WAIVER,
+        message,
+        waived: file.waived(line.saturating_sub(1), super::STALE_WAIVER),
+        related: Vec::new(),
+    }
+}
+
+/// Unbound `audit:unit` annotations of one file.
+fn build_unit_issues(ast: &Ast) -> Vec<units::EnvIssue> {
+    let (_, issues) = units::build_env(ast);
+    issues.into_iter().filter(|i| !i.unknown_tag).collect()
+}

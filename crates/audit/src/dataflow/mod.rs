@@ -1,0 +1,81 @@
+//! Interprocedural dataflow engine (v3).
+//!
+//! The per-file engines ([`crate::rules`], [`crate::semantic`]) see one
+//! file at a time. This module layers whole-workspace analyses on top of
+//! the same AST: a function [`symbols::SymbolTable`] and
+//! [`callgraph::CallGraph`] feed a generic [`fixpoint`] worklist solver,
+//! and three analyses ride on them:
+//!
+//! - [`unitflow`] (`unit-flow`) — propagates kWh / kW / USD tags through
+//!   parameters and returns, catching cross-unit arithmetic and
+//!   mis-unitted arguments any number of calls away from an annotation;
+//! - [`hotreach`] (`hot-path-reach`) — walks the call graph from every
+//!   call inside an `audit:hot-path` region and flags transitively
+//!   reachable allocation, locking, and IO, with the call chain attached
+//!   as related locations;
+//! - [`hygiene`] (`stale-waiver`) — flags waivers and annotations that no
+//!   longer suppress or tag anything, iterating because staleness
+//!   findings are themselves waivable.
+//!
+//! These run only in the multi-file driver ([`crate::lint_sources`]);
+//! single-file entry points keep their per-file semantics. Resolution is
+//! name/arity-based with no type inference — `DESIGN.md` §14 spells out
+//! the soundness caveats.
+
+pub mod callgraph;
+pub mod fixpoint;
+pub mod hotreach;
+pub mod hygiene;
+pub mod symbols;
+pub mod unitflow;
+
+use crate::ast::Ast;
+use crate::report::{Related, Report, Violation};
+use crate::scan::SourceFile;
+
+/// Rule id: cross-unit flow through function parameters or returns.
+pub const UNIT_FLOW: &str = "unit-flow";
+/// Rule id: hot-path region transitively reaches allocation/locking/IO.
+pub const HOT_PATH_REACH: &str = "hot-path-reach";
+/// Rule id: waiver or annotation that no longer does anything.
+pub const STALE_WAIVER: &str = "stale-waiver";
+
+/// Runs every interprocedural analysis over the parsed workspace.
+/// `report` must already contain the per-file findings — the hygiene pass
+/// reads them to decide which waivers are still earning their keep.
+pub fn apply_all(files: &[(SourceFile, Ast)], report: &mut Report) {
+    let symbols = symbols::SymbolTable::build(files);
+    let graph = callgraph::CallGraph::build(&symbols);
+    unitflow::check(files, &symbols, report);
+    hotreach::check(files, &symbols, &graph, report);
+    hygiene::check(files, crate::ALL_RULES, report);
+}
+
+/// Records a finding with related locations, resolving waiver status
+/// through the line data. Exact duplicates (same file/line/rule/message)
+/// are dropped — tolerant call resolution can discover the same defect
+/// through several candidate edges.
+pub(crate) fn emit(
+    file: &SourceFile,
+    line: usize,
+    rule: &'static str,
+    message: String,
+    related: Vec<Related>,
+    report: &mut Report,
+) {
+    let dup = report
+        .violations
+        .iter()
+        .any(|v| v.file == file.path && v.line == line && v.rule == rule && v.message == message);
+    if dup {
+        return;
+    }
+    report.push(Violation {
+        file: file.path.clone(),
+        line,
+        rule,
+        message,
+        waived: file.waived(line.saturating_sub(1), rule),
+        related,
+    });
+}

@@ -1,0 +1,387 @@
+//! Workspace-wide function symbol table.
+//!
+//! Pass 1 of the interprocedural analyses: walk every parsed file's token
+//! forest and record each `fn` item with a body — free functions, inherent
+//! methods (tagged with their `impl` type), and trait impl methods.
+//! Trait *declarations* (`fn f(…);` without a body) are skipped: there is
+//! nothing to analyze and resolving calls to them would only add noise.
+//!
+//! Resolution is name-based with arity filtering and owner-type
+//! preference — see [`SymbolTable::resolve`] for the exact tiering and
+//! `DESIGN.md` §14 for the soundness caveats. There is no type inference:
+//! a method call resolves to *every* same-name same-arity method in the
+//! workspace when the receiver type is unknown.
+
+use std::collections::HashMap;
+
+use crate::ast::tree::{Delim, Group, Node};
+use crate::ast::{Ast, TokKind};
+use crate::scan::SourceFile;
+
+/// Index of a function in [`SymbolTable::fns`].
+pub type FnId = usize;
+
+/// One function definition with a body.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Function name (last path segment as written at the definition).
+    pub name: String,
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// 1-based line of the `fn` name token.
+    pub line: usize,
+    /// Parameter names in order, excluding any `self` receiver. A
+    /// parameter bound by a destructuring pattern gets an empty name.
+    pub params: Vec<String>,
+    /// True for methods taking `self` (by value or reference).
+    pub has_self: bool,
+    /// The `impl` type this method belongs to, when directly inside an
+    /// `impl` block (`impl Cluster { fn new … }` → `Some("Cluster")`).
+    pub owner: Option<String>,
+    /// True when the definition sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// The body token tree (cloned out of the file's forest).
+    pub body: Group,
+}
+
+impl FnDef {
+    /// Number of declared parameters, excluding `self`.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+/// All function definitions across the linted file set, indexed by name.
+pub struct SymbolTable {
+    /// Every collected definition; a [`FnId`] indexes this vector.
+    pub fns: Vec<FnDef>,
+    by_name: HashMap<String, Vec<FnId>>,
+}
+
+/// How a call site spells its callee — drives resolution tiering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `recv.name(args)` — prefer methods (`self` receivers).
+    Method,
+    /// `Qualifier::name(args)` — prefer methods owned by `Qualifier`.
+    Qualified,
+    /// Bare `name(args)` — prefer free functions.
+    Free,
+}
+
+impl SymbolTable {
+    /// Builds the table over every parsed file.
+    pub fn build(files: &[(SourceFile, Ast)]) -> Self {
+        let mut fns = Vec::new();
+        for (file, ast) in files {
+            collect(&ast.nodes, file, None, &mut fns);
+        }
+        let mut by_name: HashMap<String, Vec<FnId>> = HashMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(id);
+        }
+        SymbolTable { fns, by_name }
+    }
+
+    /// Resolves a call to its candidate definitions, most specific tier
+    /// first; an empty result means the callee is outside the workspace
+    /// (std, vendored shims) or not a plain `fn` (closure, fn pointer).
+    ///
+    /// Tiering: (1) when the call is `Type::name(…)` and some candidate's
+    /// `impl` owner matches `Type`, only those; a qualifier that matches
+    /// *no* owner but starts uppercase is a foreign type and resolves to
+    /// nothing (so `Vec::new()` never aliases a workspace `new`). A
+    /// lowercase qualifier is a module path and falls through. (2) among
+    /// the remaining candidates, exact arity matches win — `argc` against
+    /// `arity()` for method calls and free functions, and additionally
+    /// `arity()+1` for qualified calls passing the receiver explicitly.
+    /// (3) otherwise every remaining candidate (tolerant fallback), so a
+    /// default-argument-style wrapper mismatch degrades to over-reporting
+    /// edges rather than silently dropping them.
+    pub fn resolve(&self, name: &str, argc: usize, qualifier: Option<&str>, kind: CallKind) -> Vec<FnId> {
+        let Some(all) = self.by_name.get(name) else { return Vec::new() };
+        let mut set: Vec<FnId> = all.clone();
+        if let Some(q) = qualifier {
+            let owned: Vec<FnId> =
+                set.iter().copied().filter(|&id| self.fns[id].owner.as_deref() == Some(q)).collect();
+            if !owned.is_empty() {
+                set = owned;
+            } else if q.starts_with(|c: char| c.is_ascii_uppercase()) {
+                return Vec::new(); // foreign type's associated fn
+            }
+        }
+        match kind {
+            CallKind::Method => {
+                set.retain(|&id| self.fns[id].has_self);
+            }
+            CallKind::Free => {
+                set.retain(|&id| !self.fns[id].has_self);
+            }
+            CallKind::Qualified => {}
+        }
+        let exact: Vec<FnId> = set
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let f = &self.fns[id];
+                f.arity() == argc
+                    || (kind == CallKind::Qualified && f.has_self && f.arity() + 1 == argc)
+            })
+            .collect();
+        if exact.is_empty() {
+            set
+        } else {
+            exact
+        }
+    }
+
+    /// Every definition sharing `name`, regardless of arity — used for
+    /// return-summary lookups where the argument count is unknown.
+    pub fn by_name(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Keywords that can be followed by a parenthesized expression and must
+/// never be read as a callee or a function name.
+pub(crate) const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "match", "return", "for", "loop", "in", "as", "move", "let", "mut",
+    "ref", "break", "continue", "unsafe", "async", "await", "fn", "impl", "where", "pub", "use",
+    "mod", "struct", "enum", "trait", "type", "const", "static", "dyn", "self", "Self", "super",
+    "crate", "true", "false",
+];
+
+/// Maps each brace-group index in `run` that is an `impl` body to the
+/// implemented type's name (`impl Foo { … }`, `impl Trait for Foo { … }`).
+fn impl_bodies(run: &[Node]) -> HashMap<usize, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < run.len() {
+        if !run[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // `impl` in type position (`-> impl Iterator`, `x: impl Fn()`,
+        // `type X = impl T`) opens no body; only item-position `impl`
+        // blocks do.
+        let type_position = i > 0
+            && run[i - 1]
+                .tok()
+                .is_some_and(|t| matches!(t.text.as_str(), "->" | ":" | "=" | "&" | "+" | ","));
+        if type_position {
+            i += 1;
+            continue;
+        }
+        let mut angle = 0i32;
+        let mut name: Option<String> = None;
+        let mut j = i + 1;
+        while j < run.len() {
+            match &run[j] {
+                Node::Tok(t) if t.is_punct("<") => angle += 1,
+                Node::Tok(t) if t.is_punct(">") => angle -= 1,
+                Node::Tok(t) if t.is_ident("for") && angle == 0 => name = None,
+                Node::Tok(t) if t.kind == TokKind::Ident && angle == 0 && name.is_none() => {
+                    let keyword = KEYWORDS.contains(&t.text.as_str());
+                    // Skip path-prefix segments (`impl coca_core::Cluster`).
+                    let prefixed = run.get(j + 1).is_some_and(|n| n.is_punct("::"));
+                    if !keyword && !prefixed {
+                        name = Some(t.text.clone());
+                    }
+                }
+                Node::Group(g) if g.delim == Delim::Brace => {
+                    if let Some(n) = name.take() {
+                        out.insert(j, n);
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// Walks one run, recording `fn` items and recursing into child groups
+/// with the right `impl` owner.
+fn collect(run: &[Node], file: &SourceFile, owner: Option<&str>, out: &mut Vec<FnDef>) {
+    let impls = impl_bodies(run);
+    for (i, n) in run.iter().enumerate() {
+        if let Node::Group(g) = n {
+            // Only a direct impl body confers ownership; any other group
+            // (a fn body, a mod) starts a fresh scope.
+            collect(&g.children, file, impls.get(&i).map(String::as_str), out);
+        } else if n.is_ident("fn") {
+            if let Some(def) = parse_fn(run, i, file, owner) {
+                out.push(def);
+            }
+        }
+    }
+}
+
+/// Parses the `fn` item whose `fn` keyword sits at `run[at]`. Returns
+/// `None` for bodyless declarations and `fn(…)` pointer types.
+fn parse_fn(run: &[Node], at: usize, file: &SourceFile, owner: Option<&str>) -> Option<FnDef> {
+    let name_tok = run.get(at + 1)?.tok()?;
+    if name_tok.kind != TokKind::Ident || KEYWORDS.contains(&name_tok.text.as_str()) {
+        return None; // `fn(u8) -> u8` type syntax, or recovery junk
+    }
+    let mut angle = 0i32;
+    let mut params: Option<&Group> = None;
+    for node in run.iter().skip(at + 2) {
+        match node {
+            Node::Tok(t) if t.is_punct("<") => angle += 1,
+            Node::Tok(t) if t.is_punct(">") => angle -= 1,
+            Node::Tok(t) if t.is_punct(";") && angle == 0 => return None, // trait decl
+            Node::Group(g) if g.delim == Delim::Paren && angle == 0 && params.is_none() => {
+                params = Some(g);
+            }
+            Node::Group(g) if g.delim == Delim::Brace && angle == 0 => {
+                let p = params?;
+                let (names, has_self) = param_names(p);
+                let line = name_tok.line;
+                return Some(FnDef {
+                    name: name_tok.text.clone(),
+                    file: file.path.clone(),
+                    line,
+                    params: names,
+                    has_self,
+                    owner: owner.map(str::to_string),
+                    in_test: file
+                        .lines
+                        .get(line.saturating_sub(1))
+                        .is_some_and(|l| l.in_test),
+                    body: g.clone(),
+                });
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts parameter names from a params group. `self` (with optional
+/// `&`/`mut` prefixes) is reported separately, not as a parameter.
+fn param_names(params: &Group) -> (Vec<String>, bool) {
+    let mut names = Vec::new();
+    let mut has_self = false;
+    for (idx, slice) in crate::ast::visit::split_commas(params).iter().enumerate() {
+        if slice.is_empty() {
+            continue;
+        }
+        // Name = last identifier before the first top-level `:` (skips
+        // `mut` / `ref` prefixes); `self` receivers have no `:` at all.
+        let colon = slice.iter().position(|n| n.is_punct(":"));
+        let head = &slice[..colon.unwrap_or(slice.len())];
+        if idx == 0 && colon.is_none() && head.iter().any(|n| n.is_ident("self")) {
+            has_self = true;
+            continue;
+        }
+        let name = head
+            .iter()
+            .rev()
+            .find_map(Node::ident)
+            .filter(|n| !matches!(*n, "mut" | "ref"))
+            .unwrap_or_default();
+        names.push(name.to_string());
+    }
+    (names, has_self)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(src: &str) -> SymbolTable {
+        let file = SourceFile::parse("crates/core/src/x.rs", src);
+        let ast = Ast::parse("crates/core/src/x.rs", src);
+        SymbolTable::build(&[(file, ast)])
+    }
+
+    #[test]
+    fn free_fns_and_methods_collected() {
+        let t = table(
+            "fn helper(a_kwh: f64, b: f64) -> f64 { a_kwh }\n\
+             struct Cluster;\n\
+             impl Cluster {\n    fn new(n: usize) -> Self { Cluster }\n\
+                 fn step(&mut self, dt: f64) {}\n}\n",
+        );
+        assert_eq!(t.fns.len(), 3);
+        let helper = &t.fns[t.by_name("helper")[0]];
+        assert_eq!(helper.params, vec!["a_kwh", "b"]);
+        assert!(!helper.has_self);
+        assert_eq!(helper.owner, None);
+        let new = &t.fns[t.by_name("new")[0]];
+        assert_eq!(new.owner.as_deref(), Some("Cluster"));
+        assert!(!new.has_self);
+        let step = &t.fns[t.by_name("step")[0]];
+        assert!(step.has_self);
+        assert_eq!(step.params, vec!["dt"]);
+    }
+
+    #[test]
+    fn trait_impl_owner_is_the_implementing_type() {
+        let t = table("impl Display for Report {\n    fn fmt(&self, f: &mut F) -> R { todo() }\n}\n");
+        assert_eq!(t.fns[0].owner.as_deref(), Some("Report"));
+    }
+
+    #[test]
+    fn bodyless_decls_and_fn_pointer_types_skipped() {
+        let t = table("trait T {\n    fn required(&self);\n}\nfn taker(f: fn(u8) -> u8) {}\n");
+        assert_eq!(t.fns.len(), 1);
+        assert_eq!(t.fns[0].name, "taker");
+        assert_eq!(t.fns[0].params, vec!["f"]);
+    }
+
+    #[test]
+    fn generics_do_not_confuse_param_detection() {
+        let t = table("fn g<T: Into<Vec<u8>>>(xs: T, n_kw: f64) -> f64 where T: Clone { n_kw }\n");
+        assert_eq!(t.fns[0].params, vec!["xs", "n_kw"]);
+    }
+
+    #[test]
+    fn resolution_tiers_by_owner_and_arity() {
+        let t = table(
+            "impl A {\n    fn make(x: u8) -> A { A }\n}\n\
+             impl B {\n    fn make(x: u8, y: u8) -> B { B }\n}\n\
+             fn make() -> u8 { 0 }\n",
+        );
+        // Owner match beats everything.
+        let a = t.resolve("make", 1, Some("A"), CallKind::Qualified);
+        assert_eq!(a.len(), 1);
+        assert_eq!(t.fns[a[0]].owner.as_deref(), Some("A"));
+        // Unknown uppercase qualifier: foreign type, no edges.
+        assert!(t.resolve("make", 0, Some("Vec"), CallKind::Qualified).is_empty());
+        // Bare call prefers free fns of matching arity.
+        let free = t.resolve("make", 0, None, CallKind::Free);
+        assert_eq!(free.len(), 1);
+        assert_eq!(t.fns[free[0]].owner, None);
+        // Unknown name resolves to nothing.
+        assert!(t.resolve("absent", 0, None, CallKind::Free).is_empty());
+    }
+
+    #[test]
+    fn nested_fns_in_bodies_are_collected_without_owner() {
+        let t = table("impl A {\n    fn outer(&self) {\n        fn inner(k: u8) {}\n    }\n}\n");
+        let inner = &t.fns[t.by_name("inner")[0]];
+        assert_eq!(inner.owner, None);
+        assert_eq!(t.fns[t.by_name("outer")[0]].owner.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn return_position_impl_is_not_an_impl_block() {
+        let t = table(
+            "fn it() -> impl Iterator<Item = u8> {\n    fn inner() {}\n    empty()\n}\n",
+        );
+        assert_eq!(t.fns[t.by_name("inner")[0]].owner, None);
+        assert_eq!(t.fns[t.by_name("it")[0]].params, Vec::<String>::new());
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let t = table("fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n");
+        assert!(!t.fns[t.by_name("real")[0]].in_test);
+        assert!(t.fns[t.by_name("helper")[0]].in_test);
+    }
+}

@@ -1,0 +1,463 @@
+//! `unit-flow`: interprocedural units-of-measure inference.
+//!
+//! The per-file `unit-mix` rule only sees units spelled *locally* —
+//! suffixes, annotations, ascriptions in the same file. This analysis
+//! propagates those same tags **through calls**: argument units flow into
+//! parameter summaries, return-expression units flow out as return
+//! summaries, and both iterate to a fixpoint over the call graph, so a
+//! kWh produced two calls away from any annotation still carries its
+//! dimension. Three checks ride on the converged summaries:
+//!
+//! 1. **argument vs declared parameter** — a call passing a kWh term into
+//!    a parameter whose own name/annotation declares USD;
+//! 2. **conflicting inference** — an undeclared parameter that receives
+//!    *different* known units from different call sites (the lattice hits
+//!    ⊤); each contributing site becomes a related location;
+//! 3. **inferred arithmetic mix** — a `+`/`-`/comparison whose operand
+//!    unit was only discoverable through a call's return summary (the
+//!    callee's name carries no suffix). Purely local mixes stay with
+//!    `unit-mix`; this check reports only what v1 cannot see, so no site
+//!    is double-reported.
+//!
+//! Findings are waivable at the *call/operator* site with
+//! `// audit:allow(unit-flow)`, and test code is exempt throughout.
+
+use std::collections::HashMap;
+
+use super::callgraph::{raw_calls, RawCall};
+use super::fixpoint::{solve, Lattice};
+use super::symbols::{CallKind, FnId, SymbolTable};
+use crate::ast::visit::{term_after, term_before, term_spanning, RunVisitor, Term};
+use crate::ast::{Ast, Node, TokKind};
+use crate::report::Related;
+use crate::scan::SourceFile;
+use crate::semantic::units::{build_env, suffix_unit, Env, Unit};
+use crate::Report;
+
+/// Operators requiring both operands to share a dimension. Bare `<`/`>`
+/// are excluded here — disambiguating them from generic brackets is the
+/// per-file rule's job, and re-deciding it would risk disagreeing.
+const SAME_DIM_OPS: &[&str] = &["+", "-", "+=", "-=", "<=", ">=", "==", "!="];
+
+/// Per-function summary: one lattice point per parameter plus the return.
+#[derive(Default)]
+struct Summary {
+    params: Vec<Lattice<Unit>>,
+    ret: Lattice<Unit>,
+}
+
+/// A resolved call with argument terms, cached per caller.
+struct Call {
+    raw: RawCall,
+    cands: Vec<FnId>,
+}
+
+/// Maps a call's argument index to the callee's parameter index —
+/// `Type::method(recv, a)` passes the receiver as argument 0.
+fn param_index(call: &Call, callee: &super::symbols::FnDef, arg: usize) -> Option<usize> {
+    if call.raw.kind == CallKind::Qualified
+        && callee.has_self
+        && call.raw.argc == callee.arity() + 1
+    {
+        arg.checked_sub(1)
+    } else {
+        Some(arg)
+    }
+}
+
+/// Return-expression terms of a body: every `return <term>` plus the
+/// single-chain tail expression, if any.
+fn return_terms(body: &crate::ast::Group) -> Vec<Term> {
+    struct Rets(Vec<Term>);
+    impl RunVisitor for Rets {
+        fn run(&mut self, run: &[Node], _depth: usize) {
+            for (i, n) in run.iter().enumerate() {
+                if n.is_ident("return") {
+                    if let Some(t) = term_after(run, i + 1) {
+                        self.0.push(t);
+                    }
+                }
+            }
+        }
+    }
+    let mut v = Rets(Vec::new());
+    crate::ast::visit::walk_runs(&body.children, &mut v);
+    let run = &body.children;
+    // The tail expression starts after the last top-level `;` *or* the
+    // last top-level brace group — `for`/`while`/`if` statements end in a
+    // block, not a semicolon. A body whose tail *is* a block expression
+    // yields no term here, an accepted miss (§14 soundness caveats).
+    let tail_start = (0..run.len())
+        .rev()
+        .find(|&k| {
+            run[k].is_punct(";")
+                || matches!(&run[k], Node::Group(g) if g.delim == crate::ast::Delim::Brace)
+        })
+        .map_or(0, |k| k + 1);
+    if let Some(t) = term_spanning(&run[tail_start..]) {
+        v.0.push(t);
+    }
+    v.0
+}
+
+/// The analysis context shared by seeding, transfer, and reporting.
+struct Flow<'a> {
+    symbols: &'a SymbolTable,
+    envs: Vec<Env>,
+    file_of: HashMap<&'a str, usize>,
+    calls: Vec<Vec<Call>>,
+    rets: Vec<Vec<Term>>,
+    declared: Vec<Vec<Option<Unit>>>,
+    ret_declared: Vec<Option<Unit>>,
+    state: Vec<Summary>,
+    /// Functions whose transfer must rerun when fn `k`'s summary moves.
+    dependents: Vec<Vec<FnId>>,
+}
+
+impl<'a> Flow<'a> {
+    fn build(files: &'a [(SourceFile, Ast)], symbols: &'a SymbolTable) -> Self {
+        let envs: Vec<Env> = files.iter().map(|(_, ast)| build_env(ast).0).collect();
+        let file_of: HashMap<&str, usize> =
+            files.iter().enumerate().map(|(i, (f, _))| (f.path.as_str(), i)).collect();
+        let n = symbols.fns.len();
+        let mut calls = Vec::with_capacity(n);
+        let mut rets = Vec::with_capacity(n);
+        let mut declared = Vec::with_capacity(n);
+        let mut ret_declared = Vec::with_capacity(n);
+        let mut state = Vec::with_capacity(n);
+        for f in &symbols.fns {
+            let env = &envs[file_of[f.file.as_str()]];
+            calls.push(
+                raw_calls(&f.body.children)
+                    .into_iter()
+                    .map(|raw| {
+                        let cands =
+                            symbols.resolve(&raw.name, raw.argc, raw.qualifier.as_deref(), raw.kind);
+                        Call { raw, cands }
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            rets.push(return_terms(&f.body));
+            declared.push(f.params.iter().map(|p| env.unit_of(p)).collect());
+            ret_declared.push(env.unit_of(&f.name));
+            state.push(Summary { params: vec![Lattice::Unknown; f.arity()], ret: Lattice::Unknown });
+        }
+        // Dependency edges: fn k's summary feeds every fn whose body
+        // names k — as a direct call or as a call term in an argument or
+        // return position.
+        let mut dependents: Vec<Vec<FnId>> = vec![Vec::new(); n];
+        for (c, cs) in calls.iter().enumerate() {
+            let mut note = |name: &str| {
+                for &k in symbols.by_name(name) {
+                    if !dependents[k].contains(&c) {
+                        dependents[k].push(c);
+                    }
+                }
+            };
+            for call in cs {
+                note(&call.raw.name);
+                for t in call.raw.args.iter().flatten() {
+                    if t.is_call {
+                        note(&t.key);
+                    }
+                }
+            }
+            for t in &rets[c] {
+                if t.is_call {
+                    note(&t.key);
+                }
+            }
+        }
+        let mut flow = Flow {
+            symbols,
+            envs,
+            file_of,
+            calls,
+            rets,
+            declared,
+            ret_declared,
+            state,
+            dependents,
+        };
+        // Seed: declared parameter/return units are facts, not inferences.
+        for k in 0..n {
+            for (i, d) in flow.declared[k].clone().into_iter().enumerate() {
+                if let Some(u) = d {
+                    flow.state[k].params[i].join(Lattice::Known(u));
+                }
+            }
+            if let Some(u) = flow.ret_declared[k] {
+                flow.state[k].ret.join(Lattice::Known(u));
+            }
+        }
+        flow
+    }
+
+    /// Joined return summary of every workspace fn named `name`; falls
+    /// back to the suffix convention for out-of-workspace callees.
+    fn ret_unit(&self, name: &str) -> Option<Unit> {
+        let ids = self.symbols.by_name(name);
+        if ids.is_empty() {
+            return suffix_unit(name);
+        }
+        let mut acc = Lattice::Unknown;
+        for &k in ids {
+            acc.join(self.state[k].ret);
+        }
+        acc.known()
+    }
+
+    /// Unit of a term in `env`'s file: local lookup for plain chains,
+    /// return summary for call chains.
+    fn term_unit(&self, term: &Term, env: &Env) -> Option<Unit> {
+        if term.is_call {
+            self.ret_unit(&term.key)
+        } else {
+            env.unit_of(&term.key)
+        }
+    }
+
+    /// True when `term`'s unit was only discoverable interprocedurally:
+    /// a call whose callee name carries no suffix but has a workspace
+    /// return summary. (`env` lookups and suffixed callees are v1
+    /// territory.)
+    fn inferred_only(&self, term: &Term) -> bool {
+        term.is_call
+            && suffix_unit(&term.key).is_none()
+            && !self.symbols.by_name(&term.key).is_empty()
+    }
+
+    /// One transfer step for caller `c`: push argument units into callee
+    /// parameter summaries, recompute `c`'s return summary. Returns the
+    /// fns whose inputs changed.
+    fn step(&mut self, c: FnId) -> Vec<FnId> {
+        let mut changed = Vec::new();
+        let env_idx = self.file_of[self.symbols.fns[c].file.as_str()];
+        for ci in 0..self.calls[c].len() {
+            for ki in 0..self.calls[c][ci].cands.len() {
+                let k = self.calls[c][ci].cands[ki];
+                for ai in 0..self.calls[c][ci].raw.args.len() {
+                    let Some(u) = self.calls[c][ci].raw.args[ai]
+                        .as_ref()
+                        .and_then(|t| self.term_unit(t, &self.envs[env_idx]))
+                    else {
+                        continue;
+                    };
+                    let Some(pi) =
+                        param_index(&self.calls[c][ci], &self.symbols.fns[k], ai)
+                    else {
+                        continue;
+                    };
+                    if pi < self.state[k].params.len()
+                        && self.state[k].params[pi].join(Lattice::Known(u))
+                        && !changed.contains(&k)
+                    {
+                        changed.push(k);
+                    }
+                }
+            }
+        }
+        let mut ret = Lattice::Unknown;
+        for t in &self.rets[c] {
+            if let Some(u) = self.term_unit(t, &self.envs[env_idx]) {
+                ret.join(Lattice::Known(u));
+            }
+        }
+        if self.state[c].ret.join(ret) {
+            for &d in &self.dependents[c] {
+                if !changed.contains(&d) {
+                    changed.push(d);
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// Runs the analysis and reports `unit-flow` findings.
+pub fn check(files: &[(SourceFile, Ast)], symbols: &SymbolTable, report: &mut Report) {
+    let mut flow = Flow::build(files, symbols);
+    let n = symbols.fns.len();
+    solve(n, |c| flow.step(c));
+
+    let in_test = |file: &SourceFile, line: usize| {
+        file.lines.get(line.saturating_sub(1)).is_some_and(|l| l.in_test)
+    };
+
+    // Check 1: argument unit vs declared parameter unit, per call site.
+    for c in 0..n {
+        let fi = flow.file_of[symbols.fns[c].file.as_str()];
+        let (file, _) = &files[fi];
+        for call in &flow.calls[c] {
+            if in_test(file, call.raw.line) {
+                continue;
+            }
+            for &k in &call.cands {
+                let callee = &symbols.fns[k];
+                for (ai, term) in call.raw.args.iter().enumerate() {
+                    let Some(term) = term else { continue };
+                    let Some(u) = flow.term_unit(term, &flow.envs[fi]) else { continue };
+                    let Some(pi) = param_index(call, callee, ai) else { continue };
+                    let Some(d) = flow.declared[k].get(pi).copied().flatten() else { continue };
+                    if d != u {
+                        super::emit(
+                            file,
+                            call.raw.line,
+                            super::UNIT_FLOW,
+                            format!(
+                                "`{}` ({}) flows into parameter `{}` ({}) of `{}`",
+                                term.text,
+                                u.label(),
+                                callee.params[pi],
+                                d.label(),
+                                callee.name
+                            ),
+                            vec![Related {
+                                file: callee.file.clone(),
+                                line: callee.line,
+                                message: format!(
+                                    "parameter `{}` declared {} here",
+                                    callee.params[pi],
+                                    d.label()
+                                ),
+                            }],
+                            report,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Check 2: undeclared parameters inferred to conflicting units.
+    // Recollect contributing sites so each one becomes a related location.
+    let mut sites: HashMap<(FnId, usize), Vec<(usize, usize, Unit, String)>> = HashMap::new();
+    for c in 0..n {
+        let fi = flow.file_of[symbols.fns[c].file.as_str()];
+        for call in &flow.calls[c] {
+            for &k in &call.cands {
+                for (ai, term) in call.raw.args.iter().enumerate() {
+                    let Some(term) = term else { continue };
+                    let Some(u) = flow.term_unit(term, &flow.envs[fi]) else { continue };
+                    let Some(pi) = param_index(call, &symbols.fns[k], ai) else { continue };
+                    if pi < symbols.fns[k].arity() {
+                        sites
+                            .entry((k, pi))
+                            .or_default()
+                            .push((fi, call.raw.line, u, term.text.clone()));
+                    }
+                }
+            }
+        }
+    }
+    let mut conflicts: Vec<(&(FnId, usize), &Vec<(usize, usize, Unit, String)>)> =
+        sites.iter().filter(|((k, pi), v)| {
+            flow.declared[*k].get(*pi).copied().flatten().is_none()
+                && !symbols.fns[*k].in_test
+                && v.iter().any(|s| s.2 != v[0].2)
+        }).collect();
+    conflicts.sort_by_key(|((k, pi), _)| (*k, *pi));
+    for ((k, pi), contributions) in conflicts {
+        let callee = &symbols.fns[*k];
+        let fi = flow.file_of[callee.file.as_str()];
+        let labels: Vec<&str> = {
+            let mut us: Vec<&str> = contributions.iter().map(|s| s.2.label()).collect();
+            us.sort_unstable();
+            us.dedup();
+            us
+        };
+        let related = contributions
+            .iter()
+            .map(|(sfi, line, u, text)| Related {
+                file: files[*sfi].0.path.clone(),
+                line: *line,
+                message: format!("`{}` ({}) passed here", text, u.label()),
+            })
+            .collect();
+        super::emit(
+            &files[fi].0,
+            callee.line,
+            super::UNIT_FLOW,
+            format!(
+                "parameter `{}` of `{}` receives conflicting units ({}) across call sites",
+                callee.params[*pi],
+                callee.name,
+                labels.join(" vs ")
+            ),
+            related,
+            report,
+        );
+    }
+
+    // Check 3: same-dimension operators whose mix is only visible through
+    // an inferred return summary.
+    for (fi, (file, ast)) in files.iter().enumerate() {
+        struct MixVisitor<'x, 'a> {
+            flow: &'x Flow<'a>,
+            fi: usize,
+            findings: Vec<(usize, String, Vec<Related>)>,
+        }
+        impl RunVisitor for MixVisitor<'_, '_> {
+            fn run(&mut self, nodes: &[Node], _depth: usize) {
+                for (i, nd) in nodes.iter().enumerate() {
+                    let Some(op) = nd.tok().filter(|t| t.kind == TokKind::Punct) else { continue };
+                    if !SAME_DIM_OPS.contains(&op.text.as_str()) {
+                        continue;
+                    }
+                    let Some(lhs) = term_before(nodes, i) else { continue };
+                    let Some(rhs) = term_after(nodes, i + 1) else { continue };
+                    if !(self.flow.inferred_only(&lhs) || self.flow.inferred_only(&rhs)) {
+                        continue; // v1's unit-mix already covers local tags
+                    }
+                    let env = &self.flow.envs[self.fi];
+                    let (Some(lu), Some(ru)) =
+                        (self.flow.term_unit(&lhs, env), self.flow.term_unit(&rhs, env))
+                    else {
+                        continue;
+                    };
+                    if lu == ru {
+                        continue;
+                    }
+                    let mut related = Vec::new();
+                    for t in [&lhs, &rhs] {
+                        if self.flow.inferred_only(t) {
+                            for &k in self.flow.symbols.by_name(&t.key) {
+                                if let Some(u) = self.flow.state[k].ret.known() {
+                                    related.push(Related {
+                                        file: self.flow.symbols.fns[k].file.clone(),
+                                        line: self.flow.symbols.fns[k].line,
+                                        message: format!(
+                                            "`{}` returns {} (inferred here)",
+                                            t.key,
+                                            u.label()
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    self.findings.push((
+                        op.line,
+                        format!(
+                            "`{}` ({}) {} `{}` ({}) mixes units inferred across calls",
+                            lhs.text,
+                            lu.label(),
+                            op.text,
+                            rhs.text,
+                            ru.label()
+                        ),
+                        related,
+                    ));
+                }
+            }
+        }
+        let mut v = MixVisitor { flow: &flow, fi, findings: Vec::new() };
+        crate::ast::visit::walk_runs(&ast.nodes, &mut v);
+        for (line, msg, related) in v.findings {
+            if in_test(file, line) {
+                continue;
+            }
+            super::emit(file, line, super::UNIT_FLOW, msg, related, report);
+        }
+    }
+}

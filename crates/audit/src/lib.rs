@@ -49,6 +49,7 @@
 #![deny(missing_docs, unsafe_code)]
 
 pub mod ast;
+pub mod dataflow;
 pub mod report;
 pub mod rules;
 pub mod scan;
@@ -87,6 +88,9 @@ pub const ALL_RULES: &[&str] = &[
     semantic::UNIT_MIX,
     semantic::ATOMIC_ORDERING,
     semantic::DEPRECATED_API,
+    dataflow::UNIT_FLOW,
+    dataflow::HOT_PATH_REACH,
+    dataflow::STALE_WAIVER,
 ];
 
 /// Recursively collects `.rs` files under `dir`, sorted for stable output.
@@ -139,10 +143,12 @@ pub fn run_lint(workspace_root: &Path) -> std::io::Result<Report> {
     Ok(lint_sources(&sources))
 }
 
-/// Lints a set of in-memory sources with the full two-pass pipeline:
+/// Lints a set of in-memory sources with the full multi-pass pipeline:
 /// pass 1 parses everything and indexes `#[deprecated]` items across the
-/// set; pass 2 applies every line and semantic rule per file. The report
-/// is sorted by `(file, line, rule)`.
+/// set; pass 2 applies every line and semantic rule per file; pass 3 runs
+/// the interprocedural [`dataflow`] analyses (`unit-flow`,
+/// `hot-path-reach`, and finally `stale-waiver` hygiene over the
+/// accumulated findings). The report is sorted by `(file, line, rule)`.
 pub fn lint_sources(sources: &[(String, String)]) -> Report {
     let parsed: Vec<(SourceFile, ast::Ast)> = sources
         .iter()
@@ -154,15 +160,17 @@ pub fn lint_sources(sources: &[(String, String)]) -> Report {
         rules::apply_all(file, &mut report);
         semantic::apply_all(file, ast, &index, &mut report);
     }
+    dataflow::apply_all(&parsed, &mut report);
     report.sort();
     report
 }
 
 /// Lints a single file's contents (entry point shared by the fixture
 /// self-tests and the rule unit tests). Cross-file state degenerates: the
-/// deprecated index covers only this file, and uses inside the defining
-/// file are exempt by design — use [`lint_sources`] to exercise
-/// `deprecated-api`.
+/// deprecated index covers only this file, uses inside the defining
+/// file are exempt by design, and the interprocedural [`dataflow`]
+/// analyses do not run at all — use [`lint_sources`] to exercise
+/// `deprecated-api`, `unit-flow`, `hot-path-reach`, or `stale-waiver`.
 pub fn lint_source(rel_path: &str, text: &str, report: &mut Report) {
     let file = SourceFile::parse(rel_path, text);
     let ast = ast::Ast::parse(rel_path, text);

@@ -5,6 +5,20 @@ use std::fmt;
 
 use serde::Value;
 
+/// A secondary source location attached to a finding — e.g. one hop of
+/// the call chain a hot-path reachability finding walked, or the callee
+/// definition a unit-flow finding inferred its unit from. Rendered as
+/// SARIF `relatedLocations`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Related {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What this location contributes to the finding.
+    pub message: String,
+}
+
 /// One rule violation at a specific source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -18,6 +32,9 @@ pub struct Violation {
     pub message: String,
     /// True when an `audit:allow` comment covers this site.
     pub waived: bool,
+    /// Secondary locations (call chains, inference sources); empty for
+    /// purely local findings.
+    pub related: Vec<Related>,
 }
 
 impl fmt::Display for Violation {
@@ -30,7 +47,11 @@ impl fmt::Display for Violation {
             self.rule,
             if self.waived { " (waived)" } else { "" },
             self.message
-        )
+        )?;
+        for r in &self.related {
+            write!(f, "\n    ↳ {}:{}: {}", r.file, r.line, r.message)?;
+        }
+        Ok(())
     }
 }
 
@@ -81,12 +102,24 @@ impl Report {
             .violations
             .iter()
             .map(|v| {
+                let related = v
+                    .related
+                    .iter()
+                    .map(|r| {
+                        Value::Map(vec![
+                            ("file".into(), Value::Str(r.file.clone())),
+                            ("line".into(), Value::Int(r.line as i64)),
+                            ("message".into(), Value::Str(r.message.clone())),
+                        ])
+                    })
+                    .collect();
                 Value::Map(vec![
                     ("file".into(), Value::Str(v.file.clone())),
                     ("line".into(), Value::Int(v.line as i64)),
                     ("rule".into(), Value::Str(v.rule.to_string())),
                     ("message".into(), Value::Str(v.message.clone())),
                     ("waived".into(), Value::Bool(v.waived)),
+                    ("related".into(), Value::Seq(related)),
                 ])
             })
             .collect();
@@ -118,11 +151,27 @@ impl Report {
             .iter()
             .map(|id| Value::Map(vec![("id".into(), Value::Str((*id).to_string()))]))
             .collect();
+        // The `physicalLocation` field for a (file, line) pair.
+        let physical = |file: &str, line: usize| {
+            (
+                "physicalLocation".to_string(),
+                Value::Map(vec![
+                    (
+                        "artifactLocation".into(),
+                        Value::Map(vec![("uri".into(), Value::Str(file.to_string()))]),
+                    ),
+                    (
+                        "region".into(),
+                        Value::Map(vec![("startLine".into(), Value::Int(line as i64))]),
+                    ),
+                ]),
+            )
+        };
         let results = self
             .violations
             .iter()
             .map(|v| {
-                Value::Map(vec![
+                let mut fields = vec![
                     ("ruleId".into(), Value::Str(v.rule.to_string())),
                     (
                         "level".into(),
@@ -134,27 +183,29 @@ impl Report {
                     ),
                     (
                         "locations".into(),
-                        Value::Seq(vec![Value::Map(vec![(
-                            "physicalLocation".into(),
-                            Value::Map(vec![
-                                (
-                                    "artifactLocation".into(),
-                                    Value::Map(vec![(
-                                        "uri".into(),
-                                        Value::Str(v.file.clone()),
-                                    )]),
-                                ),
-                                (
-                                    "region".into(),
-                                    Value::Map(vec![(
-                                        "startLine".into(),
-                                        Value::Int(v.line as i64),
-                                    )]),
-                                ),
-                            ]),
-                        )])]),
+                        Value::Seq(vec![Value::Map(vec![physical(&v.file, v.line)])]),
                     ),
-                ])
+                ];
+                if !v.related.is_empty() {
+                    let related = v
+                        .related
+                        .iter()
+                        .map(|r| {
+                            Value::Map(vec![
+                                physical(&r.file, r.line),
+                                (
+                                    "message".into(),
+                                    Value::Map(vec![(
+                                        "text".into(),
+                                        Value::Str(r.message.clone()),
+                                    )]),
+                                ),
+                            ])
+                        })
+                        .collect();
+                    fields.push(("relatedLocations".into(), Value::Seq(related)));
+                }
+                Value::Map(fields)
             })
             .collect();
         let sarif = Value::Map(vec![
@@ -213,6 +264,7 @@ mod tests {
             rule: "no-panic",
             message: "bare unwrap".into(),
             waived: false,
+            related: Vec::new(),
         });
         r.push(Violation {
             file: "a.rs".into(),
@@ -220,6 +272,7 @@ mod tests {
             rule: "nan-guard",
             message: "unguarded ln".into(),
             waived: true,
+            related: Vec::new(),
         });
         assert_eq!(r.unwaived_count(), 1);
         assert_eq!(r.waived_count(), 1);
@@ -238,6 +291,7 @@ mod tests {
             rule: "unit-mix",
             message: "mixes".into(),
             waived: true,
+            related: Vec::new(),
         });
         r.push(Violation {
             file: "a.rs".into(),
@@ -245,6 +299,11 @@ mod tests {
             rule: "no-panic",
             message: "bare unwrap".into(),
             waived: false,
+            related: vec![Related {
+                file: "c.rs".into(),
+                line: 7,
+                message: "called from here".into(),
+            }],
         });
         r.sort();
         r
@@ -270,6 +329,11 @@ mod tests {
         assert_eq!(violations.len(), 2);
         assert_eq!(violations[0].get_field("rule"), Some(&Value::Str("no-panic".into())));
         assert_eq!(violations[0].get_field("waived"), Some(&Value::Bool(false)));
+        let related = violations[0].get_field("related").unwrap().as_seq().unwrap();
+        assert_eq!(related.len(), 1);
+        assert_eq!(related[0].get_field("file"), Some(&Value::Str("c.rs".into())));
+        assert_eq!(related[0].get_field("line"), Some(&Value::Int(7)));
+        assert!(violations[1].get_field("related").unwrap().as_seq().unwrap().is_empty());
     }
 
     #[test]
@@ -293,5 +357,23 @@ mod tests {
             loc.get_field("region").unwrap().get_field("startLine"),
             Some(&Value::Int(3))
         );
+        // The no-panic finding carries one related location; the waived
+        // unit-mix one carries none (field omitted entirely).
+        let rel = results[0].get_field("relatedLocations").unwrap().as_seq().unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(
+            rel[0]
+                .get_field("physicalLocation")
+                .unwrap()
+                .get_field("artifactLocation")
+                .unwrap()
+                .get_field("uri"),
+            Some(&Value::Str("c.rs".into()))
+        );
+        assert_eq!(
+            rel[0].get_field("message").unwrap().get_field("text"),
+            Some(&Value::Str("called from here".into()))
+        );
+        assert!(results[1].get_field("relatedLocations").is_none());
     }
 }

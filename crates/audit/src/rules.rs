@@ -84,6 +84,7 @@ fn emit(file: &SourceFile, idx: usize, rule: &'static str, message: String, repo
         rule,
         message,
         waived: file.waived(idx, rule),
+        related: Vec::new(),
     });
 }
 

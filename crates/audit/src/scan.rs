@@ -249,7 +249,19 @@ fn hot_marker(comment: &str) -> Option<bool> {
 }
 
 /// Pulls every `audit:allow(a, b)` rule list out of a comment.
+///
+/// Doc comments (`///`, `//!`, `/**`, `/*!`) never declare waivers: they
+/// are rendered prose, and this crate's own rule documentation mentions
+/// the marker constantly. Only plain comments carry waivers. (Caveat:
+/// continuation lines of a multi-line block doc comment lose the leader
+/// during sanitization and are not recognized — the workspace convention
+/// is line doc comments, where this cannot arise.)
 fn extract_waivers(comment: &str) -> Vec<String> {
+    let t = comment.trim_start();
+    if t.starts_with("///") || t.starts_with("//!") || t.starts_with("/**") || t.starts_with("/*!")
+    {
+        return Vec::new();
+    }
     let mut out = Vec::new();
     let mut rest = comment;
     while let Some(pos) = rest.find("audit:allow(") {
@@ -310,6 +322,20 @@ mod tests {
         assert!(f.waived(1, "float-eq"));
         assert!(!f.waived(1, "nan-guard"));
         assert!(f.waived(2, "nan-guard"), "same-line waiver applies");
+    }
+
+    #[test]
+    fn doc_comments_do_not_declare_waivers() {
+        let src = "\
+/// Findings can be waived with `audit:allow(no-panic)` comments.
+//! Module prose mentioning audit:allow(float-eq) is not a waiver.
+fn f() {}
+let x = y.unwrap(); // audit:allow(no-panic)
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.lines[0].waivers.is_empty(), "/// prose is not a waiver");
+        assert!(f.lines[1].waivers.is_empty(), "//! prose is not a waiver");
+        assert_eq!(f.lines[3].waivers, vec!["no-panic"], "plain comments still waive");
     }
 
     #[test]

@@ -166,6 +166,28 @@ impl RunVisitor for Atomics<'_> {
     }
 }
 
+/// 1-based lines holding a genuine atomic operation (an atomic-vocabulary
+/// method with an `Ordering` in its arguments), *including* test lines.
+/// The hygiene pass uses this to spot `audit:atomic` annotations that no
+/// longer sit next to any atomic op.
+pub(crate) fn op_lines(ast: &Ast) -> Vec<usize> {
+    struct Ops(Vec<usize>);
+    impl RunVisitor for Ops {
+        fn run(&mut self, nodes: &[Node], _depth: usize) {
+            for call in find_method_calls(nodes) {
+                if ATOMIC_METHODS.contains(&call.name)
+                    && mentions_ordering(&call.args.children)
+                {
+                    self.0.push(call.line);
+                }
+            }
+        }
+    }
+    let mut v = Ops(Vec::new());
+    crate::ast::visit::walk_runs(&ast.nodes, &mut v);
+    v.0
+}
+
 /// Runs the rule over one parsed file.
 pub fn check(file: &SourceFile, ast: &Ast, report: &mut Report) {
     let mut v = Atomics { file, ast, findings: Vec::new() };

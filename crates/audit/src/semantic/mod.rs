@@ -70,6 +70,7 @@ pub(crate) fn emit(
         rule,
         message,
         waived: file.waived(line.saturating_sub(1), rule),
+        related: Vec::new(),
     });
 }
 

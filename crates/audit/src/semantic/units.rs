@@ -44,7 +44,8 @@ pub enum Unit {
 }
 
 impl Unit {
-    fn label(self) -> &'static str {
+    /// Human-facing label used in messages.
+    pub(crate) fn label(self) -> &'static str {
         match self {
             Unit::Kwh => "kWh",
             Unit::Kw => "kW",
@@ -52,7 +53,8 @@ impl Unit {
         }
     }
 
-    fn from_tag(tag: &str) -> Option<Self> {
+    /// Parses an `audit:unit(<tag>)` tag.
+    pub(crate) fn from_tag(tag: &str) -> Option<Self> {
         match tag {
             "kwh" => Some(Unit::Kwh),
             "kw" => Some(Unit::Kw),
@@ -72,7 +74,7 @@ const TYPE_UNITS: &[(&str, Unit)] = &[
 ];
 
 /// Unit of a bare identifier by suffix convention.
-fn suffix_unit(name: &str) -> Option<Unit> {
+pub(crate) fn suffix_unit(name: &str) -> Option<Unit> {
     if name.contains("_per_") {
         return None; // ratio: dimension already divided out of the name
     }
@@ -91,7 +93,9 @@ fn suffix_unit(name: &str) -> Option<Unit> {
 const SAME_DIM_OPS: &[&str] = &["+", "-", "+=", "-=", "<", ">", "<=", ">=", "==", "!="];
 
 /// Per-file binding environment: names tagged by annotation or ascription.
-struct Env {
+/// Shared with the interprocedural unit-flow analysis, which seeds
+/// parameter and return summaries from the same environment.
+pub(crate) struct Env {
     /// Explicitly tagged names (annotation or known-type ascription).
     tagged: HashMap<String, Unit>,
     /// Names annotated `dimensionless`: suppress suffix inference.
@@ -99,7 +103,9 @@ struct Env {
 }
 
 impl Env {
-    fn unit_of(&self, key: &str) -> Option<Unit> {
+    /// Unit of a term key: explicit tag, then dimensionless suppression,
+    /// then suffix convention.
+    pub(crate) fn unit_of(&self, key: &str) -> Option<Unit> {
         if let Some(u) = self.tagged.get(key) {
             return Some(*u);
         }
@@ -120,17 +126,33 @@ fn leaf_tokens<'a>(nodes: &'a [Node], out: &mut Vec<&'a crate::ast::Token>) {
     }
 }
 
+/// A defect found while building the environment. Unknown tags are
+/// reported here under `unit-mix`; unbound annotations belong to the
+/// workspace-wide hygiene pass (`stale-waiver`), which also checks
+/// whether they bind a *function* line instead of a local.
+pub(crate) struct EnvIssue {
+    /// 1-based line of the annotation comment.
+    pub(crate) line: usize,
+    /// The tag text inside `audit:unit(…)`.
+    pub(crate) tag: String,
+    /// True when the tag is not a recognized unit name; false when the
+    /// annotation failed to cover any binding identifier.
+    pub(crate) unknown_tag: bool,
+}
+
 /// Builds the binding environment: for each `audit:unit(<tag>)` comment,
 /// binds the identifier declared on the covered line; plus known-type
-/// ascriptions anywhere in the file.
-fn build_env(file: &SourceFile, ast: &Ast, report: &mut Report) -> Env {
+/// ascriptions anywhere in the file. Pure — defects come back as
+/// [`EnvIssue`]s for the caller to report under the right rule.
+pub(crate) fn build_env(ast: &Ast) -> (Env, Vec<EnvIssue>) {
     let mut env = Env { tagged: HashMap::new(), dimensionless: Vec::new() };
+    let mut issues = Vec::new();
     let mut toks = Vec::new();
     leaf_tokens(&ast.nodes, &mut toks);
 
     // Keywords that precede the bound name on a binding/field line.
     const SKIP: &[&str] =
-        &["let", "pub", "mut", "const", "static", "ref", "crate", "self", "in", "super"];
+        &["let", "pub", "mut", "const", "static", "ref", "crate", "self", "in", "super", "fn"];
 
     for c in &ast.comments {
         // Marker-start only (like hot-path markers): prose that merely
@@ -149,13 +171,7 @@ fn build_env(file: &SourceFile, ast: &Ast, report: &mut Report) -> Env {
             .map(|t| t.text.as_str())
             .find(|t| !SKIP.contains(t))
         else {
-            emit(
-                file,
-                c.line,
-                UNIT_MIX,
-                format!("`audit:unit({tag})` does not cover any binding"),
-                report,
-            );
+            issues.push(EnvIssue { line: c.line, tag, unknown_tag: false });
             continue;
         };
         if tag == "dimensionless" {
@@ -163,16 +179,7 @@ fn build_env(file: &SourceFile, ast: &Ast, report: &mut Report) -> Env {
         } else if let Some(u) = Unit::from_tag(&tag) {
             env.tagged.insert(name.to_string(), u);
         } else {
-            emit(
-                file,
-                c.line,
-                UNIT_MIX,
-                format!(
-                    "unknown unit tag `{tag}` in `audit:unit(…)`; \
-                     expected kwh, kw, usd, or dimensionless"
-                ),
-                report,
-            );
+            issues.push(EnvIssue { line: c.line, tag, unknown_tag: true });
         }
     }
 
@@ -185,7 +192,7 @@ fn build_env(file: &SourceFile, ast: &Ast, report: &mut Report) -> Env {
             }
         }
     }
-    env
+    (env, issues)
 }
 
 /// Visitor that flags mixed-unit same-dimension operators in every run.
@@ -248,7 +255,20 @@ impl RunVisitor for Mix<'_> {
 
 /// Runs the rule over one parsed file.
 pub fn check(file: &SourceFile, ast: &Ast, report: &mut Report) {
-    let env = build_env(file, ast, report);
+    let (env, issues) = build_env(ast);
+    for i in issues.iter().filter(|i| i.unknown_tag) {
+        emit(
+            file,
+            i.line,
+            UNIT_MIX,
+            format!(
+                "unknown unit tag `{}` in `audit:unit(…)`; \
+                 expected kwh, kw, usd, or dimensionless",
+                i.tag
+            ),
+            report,
+        );
+    }
     let mut v = Mix { file, env: &env, findings: Vec::new() };
     crate::ast::visit::walk_runs(&ast.nodes, &mut v);
     for (line, msg) in v.findings {

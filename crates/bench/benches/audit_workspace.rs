@@ -1,0 +1,28 @@
+//! Whole-workspace audit pass: scan + parse + per-file rules + the
+//! interprocedural dataflow analyses (symbol table, call graph, fixpoint
+//! solves) over every linted crate. The CI timing gate holds the
+//! end-to-end release run under 10 s; this bench tracks where the margin
+//! goes as the workspace grows.
+
+use std::hint::black_box;
+use std::path::Path;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_audit(c: &mut Criterion) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut group = c.benchmark_group("audit");
+    // A full pass reads and parses every linted source; keep the sample
+    // count low so the bench suite stays tractable.
+    group.sample_size(10);
+    group.bench_function("workspace_lint", |b| {
+        b.iter(|| {
+            let report = coca_audit::run_lint(black_box(&root)).expect("workspace lint");
+            black_box((report.violations.len(), report.unwaived_count()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_audit);
+criterion_main!(benches);

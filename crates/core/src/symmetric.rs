@@ -500,7 +500,7 @@ mod tests {
         let a = s.solve(&p1).unwrap();
         let b = clone.solve(&p1).unwrap();
         assert_eq!(a.levels, b.levels);
-        assert_eq!(a.outcome.objective, b.outcome.objective); // audit:allow(float-eq)
+        assert_eq!(a.outcome.objective, b.outcome.objective);
 
         // Null restores to cold; malformed snapshots are rejected.
         clone.restore_state(&serde::Value::Null).unwrap();

@@ -69,7 +69,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
-            // audit:allow(no-panic) chunks_exact guarantees 8-byte slices.
+            // chunks_exact guarantees 8-byte slices.
             self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
         }
         let rest = chunks.remainder();

@@ -103,19 +103,23 @@ pub fn illinois_increasing<F: FnMut(f64) -> f64>(
     mut f: F,
     opts: BisectOptions,
 ) -> Result<f64> {
+    // Structured, allocation-free errors throughout: these searches are
+    // reachable from `audit:hot-path` regions, where even an error-path
+    // `format!` trips `hot-path-reach`. Formatting is deferred to
+    // `Display`.
     if !(lo.is_finite() && hi.is_finite()) || lo > hi {
-        return Err(OptError::InvalidInput(format!("bad bracket [{lo}, {hi}]")));
+        return Err(OptError::BadBracket { lo, hi, flo: f64::NAN, fhi: f64::NAN });
     }
     let flo = f(lo);
     if !flo.is_finite() {
-        return Err(OptError::NonFinite(format!("f({lo}) = {flo}")));
+        return Err(OptError::NonFiniteEval { x: lo, fx: flo });
     }
     if flo >= 0.0 {
         return Ok(lo);
     }
     let fhi = f(hi);
     if !fhi.is_finite() {
-        return Err(OptError::NonFinite(format!("f({hi}) = {fhi}")));
+        return Err(OptError::NonFiniteEval { x: hi, fx: fhi });
     }
     if fhi <= 0.0 {
         return Ok(hi);
@@ -145,9 +149,7 @@ pub fn illinois_seeded<F: FnMut(f64) -> f64>(
     opts: BisectOptions,
 ) -> Result<f64> {
     if !(lo.is_finite() && hi.is_finite()) || lo > hi || !(flo <= 0.0 && fhi >= 0.0) {
-        return Err(OptError::InvalidInput(format!(
-            "bad seeded bracket f({lo}) = {flo}, f({hi}) = {fhi}"
-        )));
+        return Err(OptError::BadBracket { lo, hi, flo, fhi });
     }
     // Exact-zero seeds mean the endpoint IS the root even at f_tol = 0;
     // the compare is intended. audit:allow(float-eq)
@@ -174,7 +176,7 @@ pub fn illinois_seeded<F: FnMut(f64) -> f64>(
         }
         let fx = f(x);
         if !fx.is_finite() {
-            return Err(OptError::NonFinite(format!("f({x}) = {fx}")));
+            return Err(OptError::NonFiniteEval { x, fx });
         }
         if fx.abs() <= opts.f_tol {
             return Ok(x);
@@ -221,13 +223,15 @@ pub fn grow_upper_bracket<F: FnMut(f64) -> f64>(
     max_doublings: usize,
 ) -> Result<f64> {
     if !(start.is_finite() && start > 0.0) {
-        return Err(OptError::InvalidInput(format!("start must be positive, got {start}")));
+        // Degenerate [start, start] bracket: the growth start left its
+        // documented positive domain.
+        return Err(OptError::BadBracket { lo: start, hi: start, flo: f64::NAN, fhi: f64::NAN });
     }
     let mut hi = start;
     for _ in 0..max_doublings {
         let v = f(hi);
         if !v.is_finite() {
-            return Err(OptError::NonFinite(format!("f({hi}) = {v}")));
+            return Err(OptError::NonFiniteEval { x: hi, fx: v });
         }
         if v >= 0.0 {
             return Ok(hi);
@@ -329,11 +333,11 @@ mod tests {
         assert_eq!(illinois_increasing(-10.0, -5.0, |x| x, opts).unwrap(), -5.0);
         assert!(matches!(
             illinois_increasing(3.0, 1.0, |x| x, opts),
-            Err(OptError::InvalidInput(_))
+            Err(OptError::BadBracket { .. })
         ));
         assert!(matches!(
             illinois_increasing(-1.0, 1.0, |_| f64::NAN, opts),
-            Err(OptError::NonFinite(_))
+            Err(OptError::NonFiniteEval { .. })
         ));
     }
 

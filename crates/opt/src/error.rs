@@ -18,6 +18,30 @@ pub enum OptError {
     },
     /// A numerical operation produced a non-finite value.
     NonFinite(String),
+    /// A bracketing argument violated its documented sign/ordering
+    /// contract. Carries the raw endpoints (and their residuals, NaN when
+    /// never evaluated) instead of a formatted message, so the root
+    /// searches on solver hot paths can construct it without allocating;
+    /// formatting happens lazily in `Display`, off the hot path.
+    BadBracket {
+        /// Lower endpoint (or the starting guess for bracket growth).
+        lo: f64,
+        /// Upper endpoint.
+        hi: f64,
+        /// `f(lo)` when known; NaN when the function was never evaluated.
+        flo: f64,
+        /// `f(hi)` when known; NaN when the function was never evaluated.
+        fhi: f64,
+    },
+    /// A function evaluation produced a non-finite value at a known
+    /// point. Allocation-free counterpart of [`OptError::NonFinite`] for
+    /// the hot-path root searches.
+    NonFiniteEval {
+        /// Evaluation point.
+        x: f64,
+        /// The non-finite value `f(x)`.
+        fx: f64,
+    },
 }
 
 impl fmt::Display for OptError {
@@ -30,6 +54,16 @@ impl fmt::Display for OptError {
                 "no convergence after {iterations} iterations (residual {residual:.3e})"
             ),
             OptError::NonFinite(msg) => write!(f, "non-finite value encountered: {msg}"),
+            OptError::BadBracket { lo, hi, flo, fhi } => {
+                if flo.is_nan() && fhi.is_nan() {
+                    write!(f, "invalid bracket [{lo}, {hi}]")
+                } else {
+                    write!(f, "invalid bracket: f({lo}) = {flo}, f({hi}) = {fhi}")
+                }
+            }
+            OptError::NonFiniteEval { x, fx } => {
+                write!(f, "non-finite value encountered: f({x}) = {fx}")
+            }
         }
     }
 }
@@ -46,6 +80,12 @@ mod tests {
         assert!(e.to_string().contains("load 5 > capacity 3"));
         let e = OptError::NoConvergence { iterations: 7, residual: 1e-3 };
         assert!(e.to_string().contains('7'));
+        let e = OptError::BadBracket { lo: 3.0, hi: 1.0, flo: f64::NAN, fhi: f64::NAN };
+        assert_eq!(e.to_string(), "invalid bracket [3, 1]");
+        let e = OptError::BadBracket { lo: 0.0, hi: 1.0, flo: 2.0, fhi: 5.0 };
+        assert!(e.to_string().contains("f(0) = 2"));
+        let e = OptError::NonFiniteEval { x: 2.0, fx: f64::INFINITY };
+        assert!(e.to_string().contains("f(2) = inf"));
     }
 
     #[test]
