@@ -38,6 +38,7 @@ fn opts(iterations: usize, seed: u64) -> GsdOptions {
         seed,
         warm_start: false,
         incremental: true,
+        batched: false,
     }
 }
 

@@ -87,6 +87,17 @@ fn bench_cold_vs_incremental(c: &mut Criterion) {
         let _ = s.solve(&p).expect("warm-up");
         b.iter(|| black_box(s.solve(&p).expect("solve")))
     });
+    group.bench_function("gsd500_batched", |b| {
+        let mut s = GsdSolver::new(GsdOptions {
+            iterations: 500,
+            schedule: TemperatureSchedule::Constant(1e6),
+            incremental: true,
+            batched: true,
+            ..Default::default()
+        });
+        let _ = s.solve(&p).expect("warm-up");
+        b.iter(|| black_box(s.solve(&p).expect("solve")))
+    });
     // The slot-context primitives in isolation: one single-flip proposal
     // evaluated incrementally vs one cold dispatch of the same state.
     group.bench_function("single_proposal_incremental", |b| {
@@ -118,6 +129,45 @@ fn bench_cold_vs_incremental(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batched struct-of-arrays kernel primitives in isolation: one full
+/// candidate sweep of a sampled group (every level priced off the shared
+/// aggregates), one single batched candidate, and the committed-state
+/// batched solve — the building blocks behind `gsd500_batched`.
+fn bench_batched_kernel(c: &mut Criterion) {
+    let cluster = Cluster::paper_datacenter();
+    let p = problem(&cluster);
+    let initial = cluster.full_speed_vector();
+    let mut group = c.benchmark_group("p3_batched");
+    group.sample_size(10);
+    group.bench_function("candidate_sweep_one_group", |b| {
+        let mut ctx = SlotEvalContext::new(p, &initial).expect("context");
+        let mut costs = Vec::new();
+        let mut g = 0usize;
+        b.iter(|| {
+            ctx.evaluate_candidates(g, &mut costs);
+            g = (g + 1) % initial.len();
+            black_box(costs.last().copied())
+        })
+    });
+    group.bench_function("single_candidate_batched", |b| {
+        let mut ctx = SlotEvalContext::new(p, &initial).expect("context");
+        let mut g = 0usize;
+        let mut level = 0usize;
+        b.iter(|| {
+            // Cycle fresh (group, level) pairs so warm starts stay honest.
+            let cost = ctx.evaluate_candidate(g, 1 + level % 4);
+            g = (g + 1) % initial.len();
+            level += 1;
+            black_box(cost)
+        })
+    });
+    group.bench_function("current_state_batched", |b| {
+        let mut ctx = SlotEvalContext::new(p, &initial).expect("context");
+        b.iter(|| black_box(ctx.evaluate_current_batched()))
+    });
+    group.finish();
+}
+
 fn bench_exhaustive_reference(c: &mut Criterion) {
     // Tiny fleet where the ground-truth enumeration is feasible: shows why
     // exhaustive search cannot be the production path (5^6 states).
@@ -137,5 +187,11 @@ fn bench_exhaustive_reference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_slot_decision, bench_cold_vs_incremental, bench_exhaustive_reference);
+criterion_group!(
+    benches,
+    bench_slot_decision,
+    bench_cold_vs_incremental,
+    bench_batched_kernel,
+    bench_exhaustive_reference
+);
 criterion_main!(benches);

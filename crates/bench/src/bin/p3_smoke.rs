@@ -1,0 +1,82 @@
+//! `p3_smoke` — release-mode perf regression gate for the batched kernel.
+//!
+//! Runs the `p3_gsd500_paper_scale` scenario (the ISSUE acceptance
+//! benchmark: a 500-iteration GSD solve at the paper's fleet scale)
+//! through the incremental engine and through the struct-of-arrays batched
+//! kernel, and fails unless the batched path is at least as fast. CI runs
+//! this after the criterion smoke so a regression in the batched kernel
+//! cannot land silently; the full statistics stay with `cargo bench -p
+//! coca-bench p3`.
+//!
+//! The two chains share the seed and must agree on the returned speed
+//! vector (identical RNG stream + ≤1e-9 kernel agreement), so this is a
+//! correctness gate as well as a timing one.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use coca_core::gsd::{GsdOptions, GsdSolver};
+use coca_core::solver::P3Solver;
+use coca_dcsim::dispatch::SlotProblem;
+use coca_dcsim::Cluster;
+use coca_opt::schedule::TemperatureSchedule;
+
+/// Measured solves per engine (after one warm-up solve each).
+const ROUNDS: usize = 20;
+
+/// Noise allowance on the timing comparison: the gate asserts
+/// `batched ≤ NOISE_MARGIN · incremental`, not strict inequality, so a
+/// loaded CI box cannot flake a genuinely-equal result. The batched
+/// kernel's target is ≥3×, so any real regression still trips this.
+const NOISE_MARGIN: f64 = 1.05;
+
+fn time_solver(opts: GsdOptions, p: &SlotProblem<'_>) -> (std::time::Duration, Vec<usize>) {
+    let mut s = GsdSolver::new(opts);
+    let mut levels = s.solve(p).expect("warm-up solve").levels;
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        levels = s.solve(p).expect("measured solve").levels;
+    }
+    (t0.elapsed(), levels)
+}
+
+fn main() -> ExitCode {
+    let cluster = Cluster::paper_datacenter();
+    // Identical instance to the `p3_gsd500_paper_scale` criterion group.
+    let p = SlotProblem {
+        cluster: &cluster,
+        arrival_rate: 0.5 * cluster.max_capacity(),
+        onsite: 0.05 * cluster.peak_power(),
+        energy_weight: 300.0,
+        delay_weight: 1000.0,
+        gamma: 0.95,
+        pue: 1.0,
+    };
+    let base = GsdOptions {
+        iterations: 500,
+        schedule: TemperatureSchedule::Constant(1e6),
+        ..Default::default()
+    };
+    let (inc_time, inc_levels) = time_solver(base.clone(), &p);
+    let (bat_time, bat_levels) = time_solver(GsdOptions { batched: true, ..base }, &p);
+
+    let inc_ns = inc_time.as_nanos() as f64 / ROUNDS as f64;
+    let bat_ns = bat_time.as_nanos() as f64 / ROUNDS as f64;
+    println!("p3_gsd500_paper_scale ({ROUNDS} solves averaged):");
+    println!("  gsd500_incremental : {inc_ns:>12.0} ns/solve");
+    println!("  gsd500_batched     : {bat_ns:>12.0} ns/solve  ({:.2}x)", inc_ns / bat_ns);
+
+    if inc_levels != bat_levels {
+        eprintln!("FAIL: batched chain diverged from the incremental chain");
+        return ExitCode::from(1);
+    }
+    if bat_ns > inc_ns * NOISE_MARGIN {
+        eprintln!(
+            "FAIL: batched ({bat_ns:.0} ns) slower than incremental ({inc_ns:.0} ns) \
+             beyond the {NOISE_MARGIN}x noise margin"
+        );
+        return ExitCode::from(1);
+    }
+    println!("OK: batched >= incremental");
+    ExitCode::SUCCESS
+}

@@ -20,10 +20,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use coca_dcsim::dispatch::{optimal_dispatch, SlotProblem};
-use coca_dcsim::incremental::SlotEvalContext;
+use coca_dcsim::incremental::{SlotContextSeed, SlotEvalContext};
 use coca_dcsim::SimError;
 use coca_obs::SolverObserver;
-use coca_opt::gibbs::{run_gibbs, GibbsOptions};
+use coca_opt::gibbs::{run_gibbs, run_gibbs_batched, CandidateOracle, GibbsOptions};
 use coca_opt::schedule::TemperatureSchedule;
 
 use crate::solver::{P3Solution, P3Solver, SolveStats};
@@ -61,6 +61,16 @@ pub struct GsdOptions {
     /// relative error (see the differential property test); the final
     /// reported outcome is always re-solved cold.
     pub incremental: bool,
+    /// Drive the chain through the struct-of-arrays batched candidate
+    /// kernel ([`SlotEvalContext::evaluate_candidate`]) instead of the
+    /// state-vector closure: proposals are priced by delta-adjusting the
+    /// shared multiset aggregates, with no sync walk, no state hashing and
+    /// no restore pass on rejection. Requires `incremental` (ignored on
+    /// the cold path); the RNG stream is identical, so a batched chain
+    /// visits the same states as the incremental one whenever the two
+    /// kernels agree on costs (they do, to ≤ 1e-9 — see the batched
+    /// differential property test).
+    pub batched: bool,
 }
 
 impl Default for GsdOptions {
@@ -73,7 +83,36 @@ impl Default for GsdOptions {
             seed: 0xC0CA,
             warm_start: true,
             incremental: true,
+            batched: false,
         }
+    }
+}
+
+/// [`CandidateOracle`] adapter over the slot-scoped incremental context:
+/// applies GSD's strictly-positive shift / infeasibility penalty on top of
+/// the batched kernel's objectives.
+struct ContextOracle<'c, 'p> {
+    ctx: &'c mut SlotEvalContext<'p>,
+}
+
+impl ContextOracle<'_, '_> {
+    #[inline]
+    fn shift(obj: f64) -> f64 {
+        if obj.is_finite() { obj + COST_EPSILON } else { INFEASIBLE_COST }
+    }
+}
+
+impl CandidateOracle for ContextOracle<'_, '_> {
+    fn current_cost(&mut self) -> f64 {
+        Self::shift(self.ctx.evaluate_current_batched())
+    }
+
+    fn candidate_cost(&mut self, site: usize, level: usize) -> f64 {
+        Self::shift(self.ctx.evaluate_candidate(site, level))
+    }
+
+    fn commit(&mut self, site: usize, level: usize) {
+        self.ctx.set_level(site, level);
     }
 }
 
@@ -108,6 +147,11 @@ pub struct GsdSolver {
     /// to the proposal counts.
     #[deprecated(since = "0.1.0", note = "use `stats().bisection_evals`")]
     pub last_bisection_iters: u64,
+    /// Cross-slot context seed: the collapsed type tables and Zobrist keys
+    /// are cluster/γ/PUE-derived, so consecutive solves on the same fleet
+    /// reuse them (exact-verified, bit-for-bit transparent) instead of
+    /// rebuilding the dedup map every slot.
+    seed: SlotContextSeed,
 }
 
 #[allow(deprecated)] // keeps the deprecated mirror fields populated
@@ -127,6 +171,7 @@ impl GsdSolver {
             last_cache_hits: 0,
             last_cache_misses: 0,
             last_bisection_iters: 0,
+            seed: SlotContextSeed::default(),
         }
     }
 
@@ -208,12 +253,28 @@ impl P3Solver for GsdSolver {
             patience: self.opts.patience,
             record_trace: self.opts.record_trace,
         };
-        let (outcome, eval_stats) = if self.opts.incremental {
+        let (outcome, eval_stats, mut batched_ctx) = if self.opts.incremental && self.opts.batched
+        {
+            // Struct-of-arrays batched kernel: proposals are priced by
+            // delta-adjusting the shared multiset aggregates — no sync
+            // walk, no state hashing, no restore pass on rejection. The
+            // context outlives the chain so the final solution can be
+            // extracted from the same warm kernel instead of a cold
+            // from-scratch dispatch.
+            let mut ctx = SlotEvalContext::new_seeded(*problem, &initial, &mut self.seed)?;
+            let outcome = {
+                let mut oracle = ContextOracle { ctx: &mut ctx };
+                run_gibbs_batched(&counts, &initial, &mut oracle, &gibbs_opts, &mut self.rng)
+                    .map_err(SimError::Opt)?
+            };
+            let stats = ctx.stats;
+            (outcome, stats, Some(ctx))
+        } else if self.opts.incremental {
             // Slot-scoped incremental oracle: delta-updated type multiset,
             // warm-started water levels, state-cost cache. The context dies
             // with this solve — its cache is only valid for this slot's
             // (λ, r, A, W).
-            let mut ctx = SlotEvalContext::new(*problem, &initial)?;
+            let mut ctx = SlotEvalContext::new_seeded(*problem, &initial, &mut self.seed)?;
             let outcome = run_gibbs(
                 &counts,
                 &initial,
@@ -225,7 +286,8 @@ impl P3Solver for GsdSolver {
                 &mut self.rng,
             )
             .map_err(SimError::Opt)?;
-            (outcome, (ctx.stats.cache_hits, ctx.stats.cache_misses, ctx.stats.bisection_evals))
+            let stats = ctx.stats;
+            (outcome, stats, None)
         } else {
             let outcome = run_gibbs(
                 &counts,
@@ -235,15 +297,17 @@ impl P3Solver for GsdSolver {
                 &mut self.rng,
             )
             .map_err(SimError::Opt)?;
-            (outcome, (0, 0, 0))
+            (outcome, coca_dcsim::incremental::EvalStats::default(), None)
         };
         self.last_trace = outcome.trace;
         self.finish_solve(SolveStats {
             iterations: outcome.iterations_run,
             accepted: outcome.accepted,
-            cache_hits: eval_stats.0,
-            cache_misses: eval_stats.1,
-            bisection_evals: eval_stats.2,
+            cache_hits: eval_stats.cache_hits,
+            cache_misses: eval_stats.cache_misses,
+            bisection_evals: eval_stats.bisection_evals,
+            candidate_batches: eval_stats.candidate_batches,
+            batched_candidates: eval_stats.batched_candidates,
         });
 
         let levels = outcome.best_state;
@@ -252,7 +316,22 @@ impl P3Solver for GsdSolver {
             // and even it failed — guarded above, so this is defensive.
             return Err(SimError::InvalidDecision("GSD ended on an infeasible state".into()));
         }
-        let out = optimal_dispatch(problem, &levels)?;
+        // Batched path: extract the final solution from the chain's own
+        // warm kernel (one more SoA solve) rather than a cold dispatch —
+        // the extraction agrees with `optimal_dispatch` to ≤ 1e-9 (the
+        // shared stopping tolerances) and skips its from-scratch type
+        // compression. Cold dispatch remains the fallback for the
+        // defensive solver-failure case.
+        let out = match batched_ctx.as_mut() {
+            Some(ctx) => {
+                ctx.sync(&levels);
+                match ctx.extract_outcome() {
+                    Some(out) => out,
+                    None => optimal_dispatch(problem, &levels)?,
+                }
+            }
+            None => optimal_dispatch(problem, &levels)?,
+        };
         if self.opts.warm_start {
             self.warm = Some(levels.clone());
         }
@@ -451,6 +530,55 @@ mod tests {
             assert_eq!(inc.last_cache_hits, inc.stats().cache_hits);
             assert_eq!(inc.last_bisection_iters, inc.stats().bisection_evals);
         }
+    }
+
+    #[test]
+    fn batched_matches_incremental_chain() {
+        // Same seed, agreeing kernels → identical chain, identical answer.
+        // The batched path bypasses the state-cost cache entirely and
+        // reports its work through the candidate-batch counters instead.
+        let cluster = Cluster::homogeneous(3, 4);
+        for &(lam, a, w) in &[(40.0, 5.0, 5.0), (90.0, 20.0, 2.0), (15.0, 0.5, 10.0)] {
+            let p = problem(&cluster, lam, a, w);
+            let mut inc =
+                GsdSolver::new(GsdOptions { iterations: 400, seed: 21, ..Default::default() });
+            let mut bat = GsdSolver::new(GsdOptions {
+                iterations: 400,
+                seed: 21,
+                batched: true,
+                ..Default::default()
+            });
+            let a_sol = inc.solve(&p).unwrap();
+            let b_sol = bat.solve(&p).unwrap();
+            assert_eq!(a_sol.levels, b_sol.levels, "λ={lam}, A={a}, W={w}");
+            assert!((a_sol.outcome.objective - b_sol.outcome.objective).abs() < 1e-9);
+            assert!(bat.stats().candidate_batches > 0, "batched kernel was exercised");
+            assert_eq!(
+                bat.stats().candidate_batches,
+                bat.stats().batched_candidates,
+                "single-proposal driver prices one candidate per batch"
+            );
+            assert_eq!(bat.stats().cache_hits, 0, "batched path bypasses the cache");
+            assert_eq!(bat.stats().cache_misses, 0);
+            assert!(bat.stats().bisection_evals > 0);
+            assert_eq!(inc.stats().candidate_batches, 0, "scalar path never batches");
+        }
+    }
+
+    #[test]
+    fn batched_reset_restores_determinism() {
+        let cluster = Cluster::homogeneous(3, 4);
+        let p = problem(&cluster, 40.0, 5.0, 5.0);
+        let mut gsd = GsdSolver::new(GsdOptions {
+            iterations: 300,
+            seed: 11,
+            batched: true,
+            ..Default::default()
+        });
+        let a = gsd.solve(&p).unwrap();
+        gsd.reset();
+        let b = gsd.solve(&p).unwrap();
+        assert_eq!(a.levels, b.levels, "same seed after reset → same chain");
     }
 
     #[test]

@@ -52,7 +52,7 @@ use coca_dcsim::dispatch::{optimal_dispatch, SlotProblem};
 use coca_dcsim::incremental::{EvalStats, StateCostCache, ZobristTable};
 use coca_dcsim::{ServerGroup, SimError};
 use coca_opt::bisect::{grow_upper_bracket, illinois_increasing, BisectOptions};
-use coca_opt::gibbs::{run_gibbs, GibbsOptions};
+use coca_opt::gibbs::{run_gibbs, run_gibbs_batched, CandidateOracle, GibbsOptions};
 use coca_opt::waterfill::WARM_BRACKET_SPAN;
 
 use coca_obs::SolverObserver;
@@ -578,6 +578,39 @@ impl<'a> Coordinator<'a> {
     }
 }
 
+/// [`CandidateOracle`] adapter over the coordinator for the batched Gibbs
+/// driver: the committed state lives in `state`, candidates are priced by
+/// flipping one entry and letting [`Coordinator::sync`]'s diff against the
+/// mirror ship exactly the changed-group messages. A rejected candidate is
+/// not messaged back eagerly — the next sync diffs it away, so rejection
+/// costs at most the same messages as the closure driver's revert.
+struct CoordinatorOracle<'c, 'a> {
+    coord: &'c mut Coordinator<'a>,
+    state: Vec<usize>,
+}
+
+impl CandidateOracle for CoordinatorOracle<'_, '_> {
+    fn current_cost(&mut self) -> f64 {
+        self.coord.cost(&self.state)
+    }
+
+    fn candidate_cost(&mut self, site: usize, level: usize) -> f64 {
+        self.coord.stats.candidate_batches += 1;
+        self.coord.stats.batched_candidates += 1;
+        let old = self.state[site];
+        self.state[site] = level;
+        let c = self.coord.cost(&self.state);
+        self.state[site] = old;
+        c
+    }
+
+    fn commit(&mut self, site: usize, level: usize) {
+        // The mirror already holds `level` from the candidate evaluation;
+        // keeping it in `state` makes the next diff-sync a no-op.
+        self.state[site] = level;
+    }
+}
+
 /// GSD running over message-passing server agents.
 #[derive(Debug)]
 pub struct DistributedGsdSolver {
@@ -699,8 +732,14 @@ impl P3Solver for DistributedGsdSolver {
             let pool = AgentPool { txs, rxs, owner };
             let mut coord = Coordinator::new(pool, *problem, initial.clone());
 
-            let outcome = run_gibbs(&counts, &initial, |state| coord.cost(state), &opts, &mut rng)
-                .map_err(SimError::Opt);
+            let outcome = if self.opts.batched {
+                let mut oracle = CoordinatorOracle { coord: &mut coord, state: initial.clone() };
+                run_gibbs_batched(&counts, &initial, &mut oracle, &opts, &mut rng)
+                    .map_err(SimError::Opt)
+            } else {
+                run_gibbs(&counts, &initial, |state| coord.cost(state), &opts, &mut rng)
+                    .map_err(SimError::Opt)
+            };
             for tx in &coord.pool.txs {
                 let _ = tx.send(Request::Stop);
             }
@@ -716,6 +755,8 @@ impl P3Solver for DistributedGsdSolver {
             cache_hits: stats.cache_hits,
             cache_misses: stats.cache_misses,
             bisection_evals: stats.bisection_evals,
+            candidate_batches: stats.candidate_batches,
+            batched_candidates: stats.batched_candidates,
         });
 
         let levels = result.best_state;
@@ -892,6 +933,34 @@ mod tests {
             sol.outcome.objective,
             exact.outcome.objective
         );
+    }
+
+    #[test]
+    fn batched_driver_matches_closure_chain() {
+        // The batched oracle prices candidates through the same coordinator
+        // evaluation (cache included), so with the same seed the two
+        // drivers must walk the identical chain, bit for bit.
+        let cluster = Cluster::homogeneous(3, 4);
+        let p = problem(&cluster, 40.0, 5.0, 5.0, 2.0);
+        let mut plain = DistributedGsdSolver::new(
+            GsdOptions { iterations: 300, seed: 7, ..Default::default() },
+            2,
+        );
+        let mut batched = DistributedGsdSolver::new(
+            GsdOptions { iterations: 300, seed: 7, batched: true, ..Default::default() },
+            2,
+        );
+        let a = plain.solve(&p).unwrap();
+        let b = batched.solve(&p).unwrap();
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.outcome.objective.to_bits(), b.outcome.objective.to_bits());
+        assert!(batched.stats().candidate_batches > 0);
+        assert_eq!(
+            batched.stats().candidate_batches,
+            batched.stats().batched_candidates,
+            "one candidate per batch in the single-proposal driver"
+        );
+        assert_eq!(plain.stats().candidate_batches, 0);
     }
 
     #[test]

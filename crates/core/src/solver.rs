@@ -49,6 +49,12 @@ pub struct SolveStats {
     pub cache_misses: u64,
     /// Water-level evaluations spent inside bisections.
     pub bisection_evals: u64,
+    /// Candidate batches priced by the struct-of-arrays kernel (one per
+    /// `evaluate_candidates` / `evaluate_candidate` call; 0 on the scalar
+    /// and cold paths).
+    pub candidate_batches: u64,
+    /// Individual candidates priced across those batches.
+    pub batched_candidates: u64,
 }
 
 impl SolveStats {
@@ -61,6 +67,8 @@ impl SolveStats {
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             bisection_evals: self.bisection_evals,
+            candidate_batches: self.candidate_batches,
+            batched_candidates: self.batched_candidates,
         }
     }
 }

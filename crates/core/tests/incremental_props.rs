@@ -133,6 +133,91 @@ proptest! {
         prop_assert!(ctx.stats.delta_updates > 0);
         prop_assert!(ctx.stats.evaluations > 0);
     }
+
+    /// Batched-vs-scalar differential: along the same random flip walks,
+    /// every candidate cost priced by the struct-of-arrays kernel
+    /// (`evaluate_candidates` — shared aggregates, ±1 multiplicity deltas)
+    /// must agree with the cold `optimal_dispatch` to ≤ 1e-9, feasible or
+    /// not, and the sweep must leave the committed state untouched. Runs
+    /// strict, so every batched solve also passes the load-conservation and
+    /// KKT certificates.
+    #[test]
+    fn batched_candidates_match_cold_along_random_flip_walks(
+        groups in 2usize..7,
+        servers in 1usize..20,
+        classes in 1usize..4,
+        load_frac in 0.05..0.9_f64,
+        onsite_frac in 0.0..1.4_f64,
+        a in 0.0..80.0_f64,
+        w in 0.01..50.0_f64,
+        pue in 1.0..1.5_f64,
+        flips in proptest::collection::vec((0usize..64, 0usize..8), 1..12),
+    ) {
+        ensure_strict();
+        let cluster = random_cluster(groups, servers, classes);
+        let full = cluster.full_speed_vector();
+        let gamma = 0.95;
+        let lam = load_frac * gamma * cluster.capacity_of(&full);
+        let probe = SlotProblem {
+            cluster: &cluster,
+            arrival_rate: lam,
+            onsite: 0.0,
+            energy_weight: a,
+            delay_weight: w,
+            gamma,
+            pue,
+        };
+        let ref_power = optimal_dispatch(&probe, &full).unwrap().facility_power;
+        let p = SlotProblem { onsite: onsite_frac * ref_power, ..probe };
+
+        let mut ctx = SlotEvalContext::new(p, &full).unwrap();
+        let mut state = full.clone();
+        let mut costs = Vec::new();
+        for &(gsel, lsel) in &flips {
+            let g = gsel % state.len();
+            state[g] = lsel % cluster.groups()[g].num_choices();
+            ctx.sync(&state);
+
+            // Batch-price every level of the flipped group and compare each
+            // candidate against the cold oracle on the deviated state.
+            ctx.evaluate_candidates(g, &mut costs);
+            prop_assert_eq!(costs.len(), cluster.groups()[g].num_choices());
+            let mut cand = state.clone();
+            for (level, &batched) in costs.iter().enumerate() {
+                cand[g] = level;
+                if p.is_feasible(&cand) {
+                    let cold = optimal_dispatch(&p, &cand).unwrap().objective;
+                    prop_assert!(
+                        (batched - cold).abs() <= cold.abs() * 1e-9 + 1e-9,
+                        "candidate (g={}, level={}): batched {} vs cold {}",
+                        g, level, batched, cold
+                    );
+                } else {
+                    prop_assert!(
+                        batched.is_infinite(),
+                        "infeasible candidate (g={}, level={}) priced {}",
+                        g, level, batched
+                    );
+                }
+            }
+
+            // The sweep commits nothing: the committed state still prices
+            // like the cold oracle on `state` itself.
+            let current = ctx.evaluate_current_batched();
+            if p.is_feasible(&state) {
+                let cold = optimal_dispatch(&p, &state).unwrap().objective;
+                prop_assert!(
+                    (current - cold).abs() <= cold.abs() * 1e-9 + 1e-9,
+                    "current state after sweep: batched {} vs cold {}",
+                    current, cold
+                );
+            } else {
+                prop_assert!(current.is_infinite());
+            }
+        }
+        prop_assert!(ctx.stats.candidate_batches > 0);
+        prop_assert!(ctx.stats.batched_candidates >= ctx.stats.candidate_batches);
+    }
 }
 
 #[test]

@@ -22,6 +22,15 @@
 //! * A [`StateCostCache`] keyed by the full speed vector short-circuits
 //!   revisited states — Gibbs chains are revert-heavy, so the same vectors
 //!   recur constantly.
+//! * The type multiset is mirrored into a struct-of-arrays
+//!   [`coca_opt::waterfill::QueueBank`] (parallel capacity / util_cap /
+//!   energy_slope / static_power / multiplicity lanes), and
+//!   [`Self::evaluate_candidates`](SlotEvalContext::evaluate_candidates)
+//!   scores **every** level choice of a sampled group in one batched call:
+//!   each candidate is a ±1.0 multiplicity delta on two bank rows (exact on
+//!   integer-valued lanes) plus a chunked
+//!   [`coca_opt::waterfill::SoaWaterfill`] solve — no `sync`/cache
+//!   round-trip per proposal.
 //!
 //! **Cache invalidation story:** a context is *slot-scoped*. Its cache and
 //! warm brackets are only valid for fixed slot parameters — any change to
@@ -40,7 +49,9 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
-use coca_opt::waterfill::{LoadDistProblem, QueueSpec, WarmWaterfill};
+use coca_opt::waterfill::{
+    BankProblem, LoadDistProblem, QueueBank, QueueSpec, SoaWaterfill, WarmWaterfill,
+};
 
 /// Multiplicative word hasher (FxHash-style) for the state-cost cache.
 ///
@@ -96,7 +107,7 @@ impl Hasher for FxHasher {
     }
 }
 
-use crate::dispatch::SlotProblem;
+use crate::dispatch::{DispatchOutcome, SlotProblem};
 
 /// One distinct per-level queue row: everything the oracle needs to know
 /// about a `(group, speed level)` pair, PUE- and γ-scaled exactly like
@@ -124,7 +135,7 @@ struct TypeSpec {
 /// from a fixed-seed SplitMix64 stream, so two tables built from the same
 /// `choice_counts` (e.g. the sequential context and the distributed
 /// coordinator) agree.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ZobristTable {
     /// Start of group `g`'s keys (one per level, level 0 included).
     offsets: Vec<usize>,
@@ -170,6 +181,113 @@ impl ZobristTable {
     }
 }
 
+/// Reusable cross-slot skeleton of a [`SlotEvalContext`]: the collapsed
+/// type table, the `(group, level) → type` maps, and the Zobrist keys.
+///
+/// These depend only on the cluster topology and the γ/PUE scalars — not
+/// on the per-slot arrival rate, renewable supply, or objective weights —
+/// so a solver that prices one slot after another on the same fleet
+/// ([`SlotEvalContext::new_seeded`]) verifies the seed with one linear
+/// key-stream compare and clones it, instead of re-deduplicating every
+/// `(group, level)` row through a hash map at each solve. Verification is
+/// exact (full bit compare of the derived keys, not a fingerprint): a seed
+/// built for a different cluster, γ, or PUE is detected and rebuilt, so
+/// reuse is bit-for-bit transparent.
+#[derive(Debug, Default)]
+pub struct SlotContextSeed {
+    /// Bit-pattern key of every `(group, level ≥ 1)` row in scan order —
+    /// the exact dedup keys [`Self::rebuild`] fed to the type map.
+    keys: Vec<(u64, u64, u64)>,
+    /// γ the seed was built for (`util_cap = γ·capacity` is derived from
+    /// the key, so it must be pinned separately).
+    gamma: u64,
+    types: Vec<TypeSpec>,
+    type_ids: Vec<usize>,
+    type_offsets: Vec<usize>,
+    zobrist: Option<ZobristTable>,
+}
+
+impl SlotContextSeed {
+    /// Empty (always-rebuilding) seed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the seed's tables are exactly the ones `rebuild` would
+    /// derive for `problem`: same group structure, same per-row spec bits,
+    /// same γ. One pass over the `(group, level)` rows, no hashing.
+    fn matches(&self, problem: &SlotProblem<'_>) -> bool {
+        if self.zobrist.is_none() || self.gamma != problem.gamma.to_bits() {
+            return false;
+        }
+        let groups = problem.cluster.groups();
+        if self.type_offsets.len() != groups.len() {
+            return false;
+        }
+        let mut idx = 0;
+        for (g, grp) in groups.iter().enumerate() {
+            if self.type_offsets[g] != idx {
+                return false;
+            }
+            for c in 1..grp.num_choices() {
+                let key = (
+                    grp.capacity(c).to_bits(),
+                    (grp.energy_slope(c) * problem.pue).to_bits(),
+                    (grp.static_power(c) * problem.pue).to_bits(),
+                );
+                if idx >= self.keys.len() || self.keys[idx] != key {
+                    return false;
+                }
+                idx += 1;
+            }
+        }
+        idx == self.keys.len()
+    }
+
+    /// Re-derives every table from `problem` (the slow path `matches`
+    /// guards). FxHash rather than SipHash for the dedup map: one insert
+    /// per `(group, level)` pair, and the keys are trusted bit patterns,
+    /// not attacker input.
+    fn rebuild(&mut self, problem: &SlotProblem<'_>) {
+        let groups = problem.cluster.groups();
+        let mut key_to_type: HashMap<(u64, u64, u64), usize, BuildHasherDefault<FxHasher>> =
+            HashMap::default();
+        self.keys.clear();
+        self.types.clear();
+        self.type_ids.clear();
+        self.type_offsets.clear();
+        for g in groups {
+            self.type_offsets.push(self.type_ids.len());
+            for c in 1..g.num_choices() {
+                let capacity = g.capacity(c);
+                let spec = TypeSpec {
+                    capacity,
+                    util_cap: problem.gamma * capacity,
+                    energy_slope: g.energy_slope(c) * problem.pue,
+                    static_power: g.static_power(c) * problem.pue,
+                };
+                // Bit-pattern key: rows merge only when exactly equal, so
+                // the collapsed problem is equivalent to the expanded one.
+                // (util_cap is γ·capacity, a function of the key.)
+                let key = (
+                    spec.capacity.to_bits(),
+                    spec.energy_slope.to_bits(),
+                    spec.static_power.to_bits(),
+                );
+                self.keys.push(key);
+                let types = &mut self.types;
+                let idx = *key_to_type.entry(key).or_insert_with(|| {
+                    types.push(spec);
+                    types.len() - 1
+                });
+                self.type_ids.push(idx);
+            }
+        }
+        self.zobrist = Some(ZobristTable::new(&problem.cluster.choice_counts()));
+        self.gamma = problem.gamma.to_bits();
+    }
+}
+
 /// Hit/miss-counting state-cost cache keyed by a Zobrist hash of the full
 /// speed vector.
 ///
@@ -181,6 +299,12 @@ impl ZobristTable {
 #[derive(Debug, Default)]
 pub struct StateCostCache {
     map: HashMap<u64, (Vec<usize>, f64), BuildHasherDefault<FxHasher>>,
+    /// Maximum number of states retained (`None` = unbounded, the
+    /// historical default; `Some(0)` = caching off). When full, new states
+    /// are simply not inserted — Gibbs revisits cluster around the chain's
+    /// recent past, which enters the cache first, so dropping the overflow
+    /// keeps the useful prefix without eviction bookkeeping.
+    limit: Option<usize>,
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that fell through to a full evaluation.
@@ -188,6 +312,24 @@ pub struct StateCostCache {
 }
 
 impl StateCostCache {
+    /// Cache bounded to at most `limit` states (`0` disables caching
+    /// entirely — every lookup misses and nothing is stored).
+    pub fn bounded(limit: usize) -> Self {
+        Self { limit: Some(limit), ..Self::default() }
+    }
+
+    /// Changes the retention bound (`None` = unbounded). Already-cached
+    /// states above a new lower bound are kept — only future inserts are
+    /// gated.
+    pub fn set_limit(&mut self, limit: Option<usize>) {
+        self.limit = limit;
+    }
+
+    /// Current retention bound (`None` = unbounded).
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
+    }
+
     /// Returns the cached cost of `levels` (whose Zobrist hash is `hash`),
     /// counting the hit or miss.
     pub fn get(&mut self, hash: u64, levels: &[usize]) -> Option<f64> {
@@ -204,8 +346,15 @@ impl StateCostCache {
     }
 
     /// Stores the cost of `levels` (clones the key; insert is the cold
-    /// path by construction).
+    /// path by construction). A full or disabled cache drops the entry —
+    /// except that a hash already present is always updated, so a 64-bit
+    /// collision can still be repaired.
     pub fn insert(&mut self, hash: u64, levels: &[usize], cost: f64) {
+        if let Some(limit) = self.limit {
+            if self.map.len() >= limit && !self.map.contains_key(&hash) {
+                return;
+            }
+        }
         self.map.insert(hash, (levels.to_vec(), cost));
     }
 
@@ -234,6 +383,12 @@ pub struct EvalStats {
     pub bisection_evals: u64,
     /// Single-group O(1) delta updates applied to the type multiset.
     pub delta_updates: u64,
+    /// Batched candidate-sweep kernel calls
+    /// ([`SlotEvalContext::evaluate_candidates`]).
+    pub candidate_batches: u64,
+    /// Candidates scored inside those batched sweeps (each is a ±1.0
+    /// multiplicity delta plus one SoA water-filling solve).
+    pub batched_candidates: u64,
 }
 
 /// Slot-scoped incremental evaluator for the P3 cost oracle.
@@ -266,6 +421,24 @@ pub struct SlotEvalContext<'a> {
     spec_of_type: Vec<usize>,
     /// Warm-started water-filling solver (carries ν/μ across proposals).
     solver: WarmWaterfill,
+    /// SoA mirror of the type multiset: one bank row per type, the
+    /// multiplicity lane tracking `counts` (set from the integer counts on
+    /// every flip, so it cannot drift). Drives the batched candidate path.
+    bank: QueueBank,
+    /// Running `Σ m·u` over the bank rows, maintained by exact per-unit
+    /// deltas in [`Self::set_level`] so the batched candidate path reads
+    /// its batch aggregates in O(1) instead of re-walking the lanes per
+    /// proposal. Each flip adds/subtracts one row's `util_cap` verbatim,
+    /// so the only deviation from a fresh [`QueueBank::aggregates`] walk
+    /// is summation-order rounding — ≤ ~1e-15 relative over a context
+    /// lifetime (contexts are slot-scoped), far inside the 1e-12
+    /// feasibility-guard band and the 1e-9 differential band.
+    agg_cap: f64,
+    /// Running `Σ m·s` (static power), same maintenance as `agg_cap`.
+    agg_base: f64,
+    /// Chunked batched solver over `bank` (its own warm ν/μ state, carried
+    /// across candidates and batches).
+    soa: SoaWaterfill,
     /// Per-(group, level) keys for the incremental state hash.
     zobrist: ZobristTable,
     /// Zobrist hash of `levels`, maintained by [`Self::set_level`].
@@ -282,41 +455,45 @@ impl<'a> SlotEvalContext<'a> {
     /// # Errors
     /// Propagates invalid slot parameters or an out-of-range level vector.
     pub fn new(problem: SlotProblem<'a>, initial: &[usize]) -> crate::Result<Self> {
+        Self::new_seeded(problem, initial, &mut SlotContextSeed::default())
+    }
+
+    /// [`Self::new`] with a reusable [`SlotContextSeed`]: when `seed` still
+    /// matches `problem` (same cluster topology, γ, PUE — verified by an
+    /// exact key compare), the collapsed type tables and Zobrist keys are
+    /// cloned from it instead of re-derived, skipping the hash-map dedup
+    /// that dominates a cold context build. A stale or empty seed is
+    /// rebuilt in place. Either way the resulting context is bit-for-bit
+    /// identical to a [`Self::new`] build.
+    ///
+    /// # Errors
+    /// Propagates invalid slot parameters or an out-of-range level vector.
+    pub fn new_seeded(
+        problem: SlotProblem<'a>,
+        initial: &[usize],
+        seed: &mut SlotContextSeed,
+    ) -> crate::Result<Self> {
         problem.validate()?;
         problem.cluster.validate_levels(initial)?;
         let groups = problem.cluster.groups();
-        let mut key_to_type: HashMap<(u64, u64, u64), usize> = HashMap::new();
-        let mut types: Vec<TypeSpec> = Vec::new();
-        let mut type_ids = Vec::new();
-        let mut type_offsets = Vec::with_capacity(groups.len());
-        for g in groups {
-            type_offsets.push(type_ids.len());
-            for c in 1..g.num_choices() {
-                let capacity = g.capacity(c);
-                let spec = TypeSpec {
-                    capacity,
-                    util_cap: problem.gamma * capacity,
-                    energy_slope: g.energy_slope(c) * problem.pue,
-                    static_power: g.static_power(c) * problem.pue,
-                };
-                // Bit-pattern key: rows merge only when exactly equal, so
-                // the collapsed problem is equivalent to the expanded one.
-                // (util_cap is γ·capacity, a function of the key.)
-                let key = (
-                    spec.capacity.to_bits(),
-                    spec.energy_slope.to_bits(),
-                    spec.static_power.to_bits(),
-                );
-                let idx = *key_to_type.entry(key).or_insert_with(|| {
-                    types.push(spec);
-                    types.len() - 1
-                });
-                type_ids.push(idx);
-            }
+        if !seed.matches(&problem) {
+            seed.rebuild(&problem);
         }
+        let types = seed.types.clone();
+        let type_ids = seed.type_ids.clone();
+        let type_offsets = seed.type_offsets.clone();
+        let zobrist = seed.zobrist.clone().expect("rebuild always sets the table");
         let num_types = types.len();
-        let zobrist = ZobristTable::new(&problem.cluster.choice_counts());
         let state_hash = zobrist.hash_of(&vec![0; groups.len()]);
+        // SoA mirror: one bank row per type, all retracted (m = 0) until
+        // the seeding below raises the counts. Rows are validated once
+        // here — the batched solver relies on that instead of per-solve
+        // re-validation.
+        let mut bank = QueueBank::new();
+        for t in &types {
+            bank.push_type(t.capacity, t.util_cap, t.energy_slope, t.static_power, 0.0);
+        }
+        debug_assert!(bank.validate().is_ok(), "cluster-derived rows satisfy the bank contract");
         let mut ctx = Self {
             problem,
             types,
@@ -328,6 +505,10 @@ impl<'a> SlotEvalContext<'a> {
             spec_types: Vec::with_capacity(num_types),
             spec_of_type: vec![usize::MAX; num_types],
             solver: WarmWaterfill::new(),
+            bank,
+            agg_cap: 0.0,
+            agg_base: 0.0,
+            soa: SoaWaterfill::new(),
             zobrist,
             state_hash,
             cache: StateCostCache::default(),
@@ -371,10 +552,19 @@ impl<'a> SlotEvalContext<'a> {
         }
         let off = self.type_offsets[group];
         if old > 0 {
-            self.counts[self.type_ids[off + old - 1]] -= 1;
+            let t = self.type_ids[off + old - 1];
+            self.counts[t] -= 1;
+            // u32 → f64 is exact, so the lane always equals the count.
+            self.bank.set_multiplicity(t, f64::from(self.counts[t]));
+            self.agg_cap -= self.bank.util_cap_of(t);
+            self.agg_base -= self.bank.static_power_of(t);
         }
         if level > 0 {
-            self.counts[self.type_ids[off + level - 1]] += 1;
+            let t = self.type_ids[off + level - 1];
+            self.counts[t] += 1;
+            self.bank.set_multiplicity(t, f64::from(self.counts[t]));
+            self.agg_cap += self.bank.util_cap_of(t);
+            self.agg_base += self.bank.static_power_of(t);
         }
         self.state_hash ^= self.zobrist.flip(group, old, level);
         self.levels[group] = level;
@@ -425,6 +615,123 @@ impl<'a> SlotEvalContext<'a> {
         &self.cache
     }
 
+    /// Bounds (or disables, with `Some(0)`) the state-cost cache. The
+    /// batched candidate path bypasses the cache entirely; this knob only
+    /// affects the scalar [`Self::evaluate`] path.
+    pub fn set_cache_limit(&mut self, limit: Option<usize>) {
+        self.cache.set_limit(limit);
+    }
+
+    /// Batched cost of the state the multiset currently describes, via the
+    /// SoA kernel (cache bypassed — the batched path's costs all come from
+    /// one solver so candidate comparisons are internally consistent).
+    pub fn evaluate_current_batched(&mut self) -> f64 {
+        let (cap, base_power) = (self.agg_cap, self.agg_base);
+        self.bank_cost(cap, base_power)
+    }
+
+    /// Scores **every** level choice of `group` in one batched kernel
+    /// call, writing `costs[level]` for `level ∈ 0..num_choices(group)`
+    /// (`f64::INFINITY` marks an infeasible candidate). The current level's
+    /// cost is included, so the Gibbs driver reads both sides of an
+    /// acceptance test from one sweep.
+    ///
+    /// Each candidate delta-adjusts the shared multiset aggregates — two
+    /// ±1.0 multiplicity-lane writes plus capped-capacity / base-power
+    /// deltas — runs a warm chunked [`SoaWaterfill`] solve, and restores
+    /// the lanes; nothing is committed. Costs agree with the scalar oracle
+    /// to the water-filling stopping tolerance (≤ 1e-9 relative — pinned by
+    /// the batched differential property test in `coca-core`), though not
+    /// bit-for-bit: the chunked kernel sums lanes in a different order.
+    pub fn evaluate_candidates(&mut self, group: usize, costs: &mut Vec<f64>) {
+        let choices = self.problem.cluster.groups()[group].num_choices();
+        costs.clear();
+        costs.resize(choices, 0.0);
+        let (cap, base_power) = (self.agg_cap, self.agg_base);
+        self.stats.candidate_batches += 1;
+        self.stats.batched_candidates += choices as u64;
+        for (level, cost) in costs.iter_mut().enumerate() {
+            *cost = self.candidate_cost(group, level, cap, base_power);
+        }
+    }
+
+    /// Batched cost of flipping `group` to `level`, without committing the
+    /// flip. Single-candidate form of [`Self::evaluate_candidates`] (same
+    /// delta math, same counters minus the batch increment).
+    pub fn evaluate_candidate(&mut self, group: usize, level: usize) -> f64 {
+        let (cap, base_power) = (self.agg_cap, self.agg_base);
+        self.stats.candidate_batches += 1;
+        self.stats.batched_candidates += 1;
+        self.candidate_cost(group, level, cap, base_power)
+    }
+
+    /// Candidate scoring core: ±1.0 multiplicity deltas on the (≤ 2) bank
+    /// rows the flip touches, aggregate deltas on top of the batch-level
+    /// `(cap, base_power)`, one SoA solve, then an exact restore.
+    fn candidate_cost(&mut self, group: usize, level: usize, cap: f64, base_power: f64) -> f64 {
+        let old = self.levels[group];
+        if level == old {
+            return self.bank_cost(cap, base_power);
+        }
+        let off = self.type_offsets[group];
+        let t_old = (old > 0).then(|| self.type_ids[off + old - 1]);
+        let t_new = (level > 0).then(|| self.type_ids[off + level - 1]);
+        // The candidate delta path runs per proposal and must stay
+        // allocation-free (±1.0 on integer-valued f64 lanes is exact, so
+        // apply + restore round-trips bit-for-bit).
+        // audit:hot-path: begin
+        let mut cand_cap = cap;
+        let mut cand_base = base_power;
+        if let Some(t) = t_old {
+            self.bank.add_multiplicity(t, -1.0);
+            cand_cap -= self.bank.util_cap_of(t);
+            cand_base -= self.bank.static_power_of(t);
+        }
+        if let Some(t) = t_new {
+            self.bank.add_multiplicity(t, 1.0);
+            cand_cap += self.bank.util_cap_of(t);
+            cand_base += self.bank.static_power_of(t);
+        }
+        // audit:hot-path: end
+        let cost = self.bank_cost(cand_cap, cand_base);
+        // audit:hot-path: begin
+        if let Some(t) = t_old {
+            self.bank.add_multiplicity(t, 1.0);
+        }
+        if let Some(t) = t_new {
+            self.bank.add_multiplicity(t, -1.0);
+        }
+        // audit:hot-path: end
+        cost
+    }
+
+    /// Prices the bank's current multiset: Algorithm 2's feasibility guard
+    /// (same tolerance as the scalar path), then a warm SoA solve.
+    /// Infeasible or failed solves price to `f64::INFINITY`, exactly like
+    /// [`Self::evaluate_current`].
+    fn bank_cost(&mut self, cap: f64, base_power: f64) -> f64 {
+        self.stats.evaluations += 1;
+        let lam = self.problem.arrival_rate;
+        if lam > cap * (1.0 + 1e-12) {
+            return f64::INFINITY;
+        }
+        let bp = BankProblem {
+            bank: &self.bank,
+            total_load: lam,
+            energy_weight: self.problem.energy_weight,
+            delay_weight: self.problem.delay_weight,
+            base_power,
+            capped_capacity: cap,
+            renewable: self.problem.onsite,
+        };
+        let res = self.soa.solve(&bp);
+        self.stats.bisection_evals += self.soa.last_evals;
+        match res {
+            Ok(out) => out.objective,
+            Err(_) => f64::INFINITY,
+        }
+    }
+
     /// Full *uncached* solve of the current state, additionally writing
     /// the per-group loads (full cluster length; zero for off groups) into
     /// `loads`. Returns `(objective, water_level)`, or `None` when the
@@ -445,6 +752,54 @@ impl<'a> SlotEvalContext<'a> {
             loads[g] = lambdas[row];
         }
         Some(out)
+    }
+
+    /// Full [`DispatchOutcome`] extraction for the state the multiset
+    /// currently describes, via the batched SoA kernel: one warm solve,
+    /// with the per-row loads expanded back to per-group loads. This is
+    /// the batched engine's final-solution path — it replaces the cold
+    /// [`crate::dispatch::optimal_dispatch`] exit solve, whose from-scratch
+    /// type compression costs more than the whole extraction. Agrees with
+    /// the cold dispatch to the shared stopping tolerances (≤ 1e-9
+    /// relative, pinned by the differential property test in `coca-core`).
+    /// Returns `None` when the state is infeasible or the solve fails
+    /// (both priced `INFINITY` on the proposal path).
+    pub fn extract_outcome(&mut self) -> Option<DispatchOutcome> {
+        let (cap, base_power) = (self.agg_cap, self.agg_base);
+        let lam = self.problem.arrival_rate;
+        if lam > cap * (1.0 + 1e-12) {
+            return None;
+        }
+        let bp = BankProblem {
+            bank: &self.bank,
+            total_load: lam,
+            energy_weight: self.problem.energy_weight,
+            delay_weight: self.problem.delay_weight,
+            base_power,
+            capped_capacity: cap,
+            renewable: self.problem.onsite,
+        };
+        let out = self.soa.solve(&bp).ok()?;
+        self.stats.bisection_evals += self.soa.last_evals;
+        let mut loads = vec![0.0; self.levels.len()];
+        let lambdas = self.soa.lambdas();
+        for (g, &c) in self.levels.iter().enumerate() {
+            if c > 0 {
+                loads[g] = lambdas[self.type_ids[self.type_offsets[g] + c - 1]];
+            }
+        }
+        // Mirrors `optimal_dispatch`'s outcome assembly: the bank rows are
+        // PUE-pre-scaled, so the solver's power is facility power.
+        let facility_power = out.power;
+        Some(DispatchOutcome {
+            loads,
+            objective: out.objective,
+            it_power: facility_power / self.problem.pue,
+            facility_power,
+            delay: out.delay,
+            brown: (facility_power - self.problem.onsite).max(0.0),
+            water_level: out.water_level,
+        })
     }
 
     /// Collapses the nonzero types into the scratch spec list and runs the
@@ -592,5 +947,107 @@ mod tests {
         let p = slot(&cluster);
         assert!(SlotEvalContext::new(p, &[9, 9]).is_err());
         assert!(SlotEvalContext::new(p, &[1]).is_err());
+    }
+
+    #[test]
+    fn batched_candidates_match_scalar_oracle() {
+        let cluster = Cluster::scaled_paper_datacenter(4, 6);
+        let p = slot(&cluster);
+        let levels = cluster.full_speed_vector();
+        let mut ctx = SlotEvalContext::new(p, &levels).unwrap();
+        let mut costs = Vec::new();
+        for group in 0..levels.len() {
+            ctx.evaluate_candidates(group, &mut costs);
+            assert_eq!(costs.len(), cluster.groups()[group].num_choices());
+            for (level, &batched) in costs.iter().enumerate() {
+                // Fresh scalar context per candidate state = the cold
+                // reference (no shared warm state with the batched path).
+                let mut probe = levels.clone();
+                probe[group] = level;
+                let mut cold_ctx = SlotEvalContext::new(p, &probe).unwrap();
+                let scalar = cold_ctx.evaluate_current();
+                if scalar.is_infinite() {
+                    assert!(batched.is_infinite(), "group {group} level {level}");
+                } else {
+                    let scale = scalar.abs().max(1.0);
+                    assert!(
+                        (batched - scalar).abs() <= 1e-9 * scale,
+                        "group {group} level {level}: batched {batched} vs scalar {scalar}"
+                    );
+                }
+            }
+            // The sweep must not commit anything.
+            assert_eq!(ctx.levels(), &levels[..]);
+        }
+        assert_eq!(ctx.stats.candidate_batches, levels.len() as u64);
+        assert!(ctx.stats.batched_candidates >= levels.len() as u64);
+    }
+
+    #[test]
+    fn batched_current_state_matches_scalar() {
+        let cluster = Cluster::homogeneous(3, 5);
+        let p = slot(&cluster);
+        let levels = cluster.full_speed_vector();
+        let mut ctx = SlotEvalContext::new(p, &levels).unwrap();
+        let scalar = ctx.evaluate_current();
+        let batched = ctx.evaluate_current_batched();
+        assert!(
+            (batched - scalar).abs() <= 1e-9 * scalar.abs().max(1.0),
+            "batched {batched} vs scalar {scalar}"
+        );
+        // The current level re-scored through the candidate API agrees too.
+        let same = ctx.evaluate_candidate(0, levels[0]);
+        assert!((same - scalar).abs() <= 1e-9 * scalar.abs().max(1.0));
+    }
+
+    #[test]
+    fn batched_candidates_price_infeasible_levels() {
+        let cluster = Cluster::homogeneous(2, 3);
+        let full = cluster.full_speed_vector();
+        let mut p = slot(&cluster);
+        // Load sized so both groups at full speed are feasible (75% of the
+        // capped capacity) but a single group alone is overloaded (150%).
+        p.arrival_rate = 1.5 * p.gamma * cluster.groups()[0].capacity(full[0]);
+        let mut ctx = SlotEvalContext::new(p, &full).unwrap();
+        assert!(ctx.evaluate_current_batched().is_finite());
+        let mut costs = Vec::new();
+        ctx.evaluate_candidates(0, &mut costs);
+        assert!(costs[0].is_infinite(), "turning group 0 off must overload");
+        assert!(costs[full[0]].is_finite(), "keeping full speed stays feasible");
+    }
+
+    #[test]
+    fn bounded_cache_stops_inserting_at_limit() {
+        let mut cache = StateCostCache::bounded(2);
+        cache.insert(1, &[1], 1.0);
+        cache.insert(2, &[2], 2.0);
+        cache.insert(3, &[3], 3.0); // over the bound: dropped
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(1, &[1]), Some(1.0));
+        assert_eq!(cache.get(3, &[3]), None);
+        // An existing hash is still updated (collision repair path).
+        cache.insert(1, &[9], 9.0);
+        assert_eq!(cache.get(1, &[9]), Some(9.0));
+        // Zero = caching off.
+        let mut off = StateCostCache::bounded(0);
+        off.insert(7, &[7], 7.0);
+        assert!(off.is_empty());
+        assert_eq!(off.get(7, &[7]), None);
+        assert_eq!(off.limit(), Some(0));
+    }
+
+    #[test]
+    fn context_cache_limit_is_settable() {
+        let cluster = Cluster::homogeneous(3, 5);
+        let p = slot(&cluster);
+        let levels = cluster.full_speed_vector();
+        let mut ctx = SlotEvalContext::new(p, &levels).unwrap();
+        ctx.set_cache_limit(Some(1));
+        let _ = ctx.evaluate(&levels);
+        let mut flipped = levels.clone();
+        flipped[0] = 2;
+        let _ = ctx.evaluate(&flipped);
+        assert_eq!(ctx.cache().len(), 1, "second state dropped at the bound");
+        assert_eq!(ctx.cache().limit(), Some(1));
     }
 }

@@ -1,7 +1,8 @@
 //! `repro` — regenerates every table and figure of the COCA paper.
 //!
 //! ```text
-//! repro [--scale small|medium|paper] [--out DIR] [--strict] [--resume] <command>
+//! repro [--scale small|medium|paper] [--out DIR] [--strict] [--resume]
+//!       [--workers N] <command>
 //!
 //! commands:
 //!   fig1       workload traces (Fig. 1a/1b)
@@ -30,6 +31,9 @@
 //! ([`coca_core::invariant`]) into unconditional panics, release build
 //! included — use it to certify that a full reproduction run never strays
 //! from the paper's constraints.
+//!
+//! `--workers N` caps every parallel sweep (and the lockstep chunking) at
+//! `N` worker threads; the default remains all available cores.
 //!
 //! Diagnostics go through the span-style [`coca_obs::logger`] on stderr
 //! (`--quiet` drops everything below error level); results stay on stdout.
@@ -91,6 +95,15 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--resume" => resume = true,
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                let n: usize =
+                    v.parse().map_err(|_| format!("--workers expects a number, got {v:?}"))?;
+                if n == 0 {
+                    return Err("--workers must be >= 1 (omit the flag for all cores)".into());
+                }
+                coca_experiments::parallel::set_default_workers(n);
+            }
             "--metrics" => {
                 metrics = Some(PathBuf::from(it.next().ok_or("--metrics needs a value")?));
             }
@@ -342,6 +355,30 @@ fn metrics_probe(setup: &PaperSetup, path: &std::path::Path) -> Result<(), Strin
             );
         }
     }
+    // One batched-kernel GSD solve on a representative slot instance, so
+    // the snapshot also carries the candidate-batch counter family
+    // (`gsd_candidate_batches_total` / `gsd_batched_candidates_total`)
+    // the schema requires.
+    {
+        use coca_core::solver::P3Solver;
+        let mut batched = GsdSolver::new(GsdOptions {
+            iterations: 200,
+            seed: 1500,
+            batched: true,
+            ..Default::default()
+        });
+        batched.set_observer(Arc::clone(&observer) as _);
+        let p = coca_dcsim::dispatch::SlotProblem {
+            cluster: &setup.cluster,
+            arrival_rate: 0.5 * 0.95 * setup.cluster.max_capacity(),
+            onsite: 0.0,
+            energy_weight: 1.0,
+            delay_weight: 1.0,
+            gamma: 0.95,
+            pue: 1.0,
+        };
+        let _ = batched.solve(&p).map_err(|e| format!("batched probe solve: {e}"))?;
+    }
     let json = registry.snapshot().to_json()?;
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
@@ -363,7 +400,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: repro [--scale small|medium|paper] [--out DIR] [--strict] [--resume] \
-                 [--quiet] [--metrics PATH] \
+                 [--workers N] [--quiet] [--metrics PATH] \
                  [fig1|fig2|fig3|fig4|fig5|portfolio|ablation|summary|all]"
             );
             return if e == "help" { ExitCode::SUCCESS } else { ExitCode::from(2) };

@@ -76,8 +76,9 @@ pub fn run_coca(
 }
 
 /// Runs one policy per item over the setup's trace, lockstep within worker
-/// chunks: items are split into `available_parallelism` contiguous chunks
-/// via [`parallel::sweep`], and each chunk's policies advance through a
+/// chunks: items are split into [`parallel::effective_workers`]`(0)`
+/// contiguous chunks (the `repro --workers` default, or all cores) via
+/// [`parallel::sweep`], and each chunk's policies advance through a
 /// **single shared trace pass** in a [`SimEngine`]. Outcomes come back in
 /// item order.
 pub fn lockstep_sweep<T, F>(
@@ -92,8 +93,7 @@ where
     if items.is_empty() {
         return Ok(Vec::new());
     }
-    let workers =
-        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let workers = parallel::effective_workers(0);
     let chunk_size = items.len().div_ceil(workers);
     let mut chunks: Vec<Vec<T>> = Vec::new();
     let mut it = items.into_iter();

@@ -6,11 +6,43 @@
 //! threads with a per-item channel send instead of a shared results lock —
 //! results come back in input order, and a panic in any worker propagates.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default worker count used when a sweep requests `0`
+/// workers. `0` (the initial value) means "use all available cores"; the
+/// `repro --workers N` flag overrides it once at startup.
+static DEFAULT_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count consulted by
+/// [`effective_workers`] (and therefore by every `workers == 0` sweep).
+/// `n == 0` restores the "all available cores" behavior.
+pub fn set_default_workers(n: usize) {
+    // audit:atomic(Relaxed store: config cell written once at startup before any sweep; no other memory published through it)
+    DEFAULT_WORKERS.store(n, Ordering::Relaxed);
+}
+
+/// Resolves a requested worker count: explicit requests pass through,
+/// `0` falls back to the process-wide default set by
+/// [`set_default_workers`], and a zero default means all available cores.
+pub fn effective_workers(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    // audit:atomic(Relaxed load: pairs with the startup-time Relaxed store in set_default_workers; value-only config)
+    let default = DEFAULT_WORKERS.load(Ordering::Relaxed);
+    if default != 0 {
+        return default;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 /// Applies `f` to every item, running up to `workers` items concurrently,
 /// and returns outputs in input order.
 ///
-/// `workers == 0` means "use all available cores"
-/// (`std::thread::available_parallelism()`).
+/// `workers == 0` means "use the process default" — the value set via
+/// [`set_default_workers`] (CLI-reachable as `repro --workers N`), or all
+/// available cores (`std::thread::available_parallelism()`) when no
+/// default was set.
 ///
 /// Each worker sends `(index, output)` pairs over a channel sized to hold
 /// every result, so finished items never contend on a shared lock and sends
@@ -21,11 +53,7 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let workers = if workers == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        workers
-    };
+    let workers = effective_workers(workers);
     let n = items.len();
     if n == 0 {
         return Vec::new();
@@ -110,5 +138,18 @@ mod tests {
     fn zero_workers_defaults_to_available_parallelism() {
         let out = sweep((0..20).collect(), 0, |x: i32| x * 2);
         assert_eq!(out, (0..20).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_workers_override_resolves_zero_requests() {
+        // Serialized with the other tests only through the global cell, so
+        // restore the default before returning either way.
+        set_default_workers(3);
+        assert_eq!(effective_workers(0), 3);
+        assert_eq!(effective_workers(5), 5, "explicit requests win over the default");
+        let out = sweep((0..20).collect(), 0, |x: i32| x + 1);
+        set_default_workers(0);
+        assert_eq!(out, (1..21).collect::<Vec<_>>());
+        assert!(effective_workers(0) >= 1, "zero default falls back to the core count");
     }
 }

@@ -28,6 +28,8 @@ const RATIO_BOUNDS: &[f64] = &[0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9
 /// | `gsd_cache_hits_total` | counter | `on_solve` |
 /// | `gsd_cache_misses_total` | counter | `on_solve` |
 /// | `gsd_bisection_evals_total` | counter | `on_solve` |
+/// | `gsd_candidate_batches_total` | counter | `on_solve` |
+/// | `gsd_batched_candidates_total` | counter | `on_solve` |
 /// | `gsd_acceptance_ratio` | histogram | `on_solve` (accepted/iterations) |
 /// | `coca_deficit_queue_kwh` | gauge + trajectory | `on_deficit` |
 /// | `coca_frame_resets_total` | counter | `on_frame_reset` |
@@ -48,6 +50,8 @@ pub struct MetricsObserver {
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     bisection_evals: Arc<Counter>,
+    candidate_batches: Arc<Counter>,
+    batched_candidates: Arc<Counter>,
     frame_resets: Arc<Counter>,
     acceptance: Arc<Histogram>,
     deficit: Arc<Gauge>,
@@ -72,6 +76,8 @@ impl MetricsObserver {
             cache_hits: registry.counter("gsd_cache_hits_total"),
             cache_misses: registry.counter("gsd_cache_misses_total"),
             bisection_evals: registry.counter("gsd_bisection_evals_total"),
+            candidate_batches: registry.counter("gsd_candidate_batches_total"),
+            batched_candidates: registry.counter("gsd_batched_candidates_total"),
             frame_resets: registry.counter("coca_frame_resets_total"),
             acceptance: hist("gsd_acceptance_ratio", RATIO_BOUNDS),
             deficit: registry.gauge("coca_deficit_queue_kwh"),
@@ -117,6 +123,8 @@ impl SolverObserver for MetricsObserver {
         self.cache_hits.add(ev.cache_hits);
         self.cache_misses.add(ev.cache_misses);
         self.bisection_evals.add(ev.bisection_evals);
+        self.candidate_batches.add(ev.candidate_batches);
+        self.batched_candidates.add(ev.batched_candidates);
         // Acceptance ratios are a Markov-chain concept; only sampling
         // solvers report non-degenerate (accepted, iterations) pairs.
         if ev.iterations > 0 && ev.solver.starts_with("gsd") {
@@ -157,6 +165,18 @@ mod tests {
             cache_hits: 60,
             cache_misses: 440,
             bisection_evals: 2000,
+            candidate_batches: 0,
+            batched_candidates: 0,
+        });
+        obs.on_solve(&SolveEvent {
+            solver: "gsd",
+            iterations: 400,
+            accepted: 100,
+            cache_hits: 0,
+            cache_misses: 0,
+            bisection_evals: 1600,
+            candidate_batches: 380,
+            batched_candidates: 380,
         });
         obs.on_solve(&SolveEvent {
             solver: "symmetric",
@@ -165,6 +185,8 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             bisection_evals: 0,
+            candidate_batches: 0,
+            batched_candidates: 0,
         });
         obs.on_deficit(0, 0.0);
         obs.on_deficit(1, 4.5);
@@ -173,15 +195,17 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("engine_slots_total"), Some(1));
         assert_eq!(snap.counter("engine_checkpoints_total"), Some(1));
-        assert_eq!(snap.counter("solver_solves_total"), Some(2));
+        assert_eq!(snap.counter("solver_solves_total"), Some(3));
         assert_eq!(snap.counter("gsd_cache_hits_total"), Some(60));
         assert_eq!(snap.counter("gsd_cache_misses_total"), Some(440));
-        assert_eq!(snap.counter("gsd_bisection_evals_total"), Some(2000));
+        assert_eq!(snap.counter("gsd_bisection_evals_total"), Some(3600));
+        assert_eq!(snap.counter("gsd_candidate_batches_total"), Some(380));
+        assert_eq!(snap.counter("gsd_batched_candidates_total"), Some(380));
         assert_eq!(snap.counter("coca_frame_resets_total"), Some(1));
-        // Only the GSD solve contributes an acceptance ratio (0.25).
+        // Only the GSD solves contribute acceptance ratios (0.25 each).
         let acc = snap.histogram("gsd_acceptance_ratio").unwrap();
-        assert_eq!(acc.count, 1);
-        assert!((acc.sum - 0.25).abs() < 1e-12);
+        assert_eq!(acc.count, 2);
+        assert!((acc.sum - 0.5).abs() < 1e-12);
         assert_eq!(snap.gauge("coca_deficit_queue_kwh").unwrap().trajectory.len(), 2);
         for name in [
             "engine_phase_env_prep_seconds",

@@ -57,6 +57,11 @@ pub struct SolveEvent {
     pub cache_misses: u64,
     /// Water-level evaluations spent inside bisections.
     pub bisection_evals: u64,
+    /// Candidate batches priced by the struct-of-arrays batched kernel
+    /// (0 on the scalar and cold paths).
+    pub candidate_batches: u64,
+    /// Individual candidates priced across those batches.
+    pub batched_candidates: u64,
 }
 
 /// Observer of the simulation engine's slot loop.
@@ -136,6 +141,8 @@ mod tests {
             cache_hits: 1,
             cache_misses: 9,
             bisection_evals: 40,
+            candidate_batches: 0,
+            batched_candidates: 0,
         };
         SolverObserver::on_solve(&o, &ev);
         SolverObserver::on_deficit(&o, 1, 2.5);

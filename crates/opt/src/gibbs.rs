@@ -159,6 +159,130 @@ where
     })
 }
 
+/// Incremental cost oracle for the batched Gibbs driver.
+///
+/// Unlike the closure oracle of [`run_gibbs`] — which receives the full
+/// mutated state and must internally diff it against its own copy — a
+/// `CandidateOracle` holds the committed state itself and prices single-site
+/// deviations directly. This is the contract the struct-of-arrays batched
+/// kernel exposes (`SlotEvalContext::evaluate_candidate`): the candidate is
+/// scored by delta-adjusting shared multiset aggregates, with no state
+/// vector round-trip, no hash probe, and no restore pass on rejection.
+///
+/// Contract:
+/// * [`current_cost`](CandidateOracle::current_cost) prices the committed
+///   state; the driver calls it once, before the first iteration. The caller
+///   must have synchronized the oracle to the chain's initial state.
+/// * [`candidate_cost`](CandidateOracle::candidate_cost) prices the
+///   committed state with `site` moved to `level`, **without** committing —
+///   the committed state is unchanged when it returns.
+/// * [`commit`](CandidateOracle::commit) makes `site = level` the committed
+///   state; the driver calls it exactly on acceptance.
+///
+/// All costs must be strictly positive and finite, as in [`run_gibbs`].
+pub trait CandidateOracle {
+    /// Cost of the currently committed state.
+    fn current_cost(&mut self) -> f64;
+    /// Cost of the committed state with `site` moved to `level`, without
+    /// committing the move.
+    fn candidate_cost(&mut self, site: usize, level: usize) -> f64;
+    /// Commit `site = level` into the oracle's state.
+    fn commit(&mut self, site: usize, level: usize);
+}
+
+/// Runs the annealed Gibbs sampler against a [`CandidateOracle`].
+///
+/// Semantically identical to [`run_gibbs`] — same proposal law, same
+/// acceptance rule, and the **same RNG consumption order** (site draw,
+/// proposal draw, acceptance draw only for non-self proposals), so a batched
+/// run with the same seed visits the same chain of states as the closure
+/// driver whenever the two oracles agree on costs. The difference is purely
+/// mechanical: rejected proposals never touch the committed state, so there
+/// is no mutate/restore round-trip per iteration.
+pub fn run_gibbs_batched<O, R>(
+    choice_counts: &[usize],
+    initial: &[usize],
+    oracle: &mut O,
+    opts: &GibbsOptions,
+    rng: &mut R,
+) -> Result<GibbsOutcome>
+where
+    O: CandidateOracle + ?Sized,
+    R: Rng + ?Sized,
+{
+    validate_state(choice_counts, initial)?;
+    let mutable_sites: Vec<usize> =
+        (0..choice_counts.len()).filter(|&i| choice_counts[i] > 1).collect();
+
+    let mut kept = initial.to_vec();
+    let mut kept_cost = check_cost(oracle.current_cost(), "current state")?;
+    let mut best = kept.clone();
+    let mut best_cost = kept_cost;
+    let mut accepted = 0;
+    let mut stagnant = 0;
+    let mut trace = Vec::with_capacity(if opts.record_trace { opts.iterations } else { 0 });
+    let mut iterations_run = 0;
+
+    for k in 0..opts.iterations {
+        iterations_run = k + 1;
+        if mutable_sites.is_empty() {
+            break;
+        }
+        let delta = opts.schedule.delta_at(k, opts.iterations);
+        let site = mutable_sites[rng.gen_range(0..mutable_sites.len())];
+        let old_choice = kept[site];
+        // Same proposal law as `run_gibbs`: uniform over the site's choices,
+        // re-proposals included (and skipped without an acceptance draw).
+        let proposal = rng.gen_range(0..choice_counts[site]);
+        if proposal == old_choice {
+            if opts.record_trace {
+                trace.push(kept_cost);
+            }
+            continue;
+        }
+        let explored_cost = check_cost(oracle.candidate_cost(site, proposal), "candidate")?;
+        debug_assert!(
+            explored_cost > 0.0 && kept_cost > 0.0,
+            "check_cost rejects non-positive objectives"
+        );
+        let u = sigmoid(delta * (1.0 / explored_cost - 1.0 / kept_cost));
+        crate::invariant::global().acceptance_probability(u);
+        if rng.gen::<f64>() < u {
+            oracle.commit(site, proposal);
+            kept[site] = proposal;
+            kept_cost = explored_cost;
+            accepted += 1;
+            if kept_cost < best_cost {
+                best_cost = kept_cost;
+                best.copy_from_slice(&kept);
+                stagnant = 0;
+            } else {
+                stagnant += 1;
+            }
+        } else {
+            stagnant += 1;
+        }
+        if opts.record_trace {
+            trace.push(kept_cost);
+        }
+        if let Some(p) = opts.patience {
+            if stagnant >= p {
+                break;
+            }
+        }
+    }
+
+    Ok(GibbsOutcome {
+        best_state: best,
+        best_cost,
+        final_state: kept,
+        final_cost: kept_cost,
+        iterations_run,
+        accepted,
+        trace,
+    })
+}
+
 fn validate_state(choice_counts: &[usize], state: &[usize]) -> Result<()> {
     if choice_counts.len() != state.len() {
         return Err(OptError::InvalidInput(format!(
@@ -188,6 +312,18 @@ fn eval_cost<C: FnMut(&[usize]) -> f64>(cost: &mut C, state: &[usize]) -> Result
     if g <= 0.0 {
         return Err(OptError::InvalidInput(format!(
             "Gibbs cost must be strictly positive (got {g}); shift the objective if needed"
+        )));
+    }
+    Ok(g)
+}
+
+fn check_cost(g: f64, what: &str) -> Result<f64> {
+    if !g.is_finite() {
+        return Err(OptError::NonFinite(format!("batched oracle cost of {what} = {g}")));
+    }
+    if g <= 0.0 {
+        return Err(OptError::InvalidInput(format!(
+            "Gibbs cost must be strictly positive (got {g} for {what}); shift the objective if needed"
         )));
     }
     Ok(g)
@@ -331,6 +467,74 @@ mod tests {
         let out = run_gibbs(&[3, 3], &[0, 0], toy_cost, &opts, &mut rng).unwrap();
         assert_eq!(out.trace.len(), 100);
         assert_eq!(*out.trace.last().unwrap(), out.final_cost);
+    }
+
+    /// Table-backed [`CandidateOracle`] over the same toy cost surface.
+    struct ToyOracle {
+        state: Vec<usize>,
+        evals: usize,
+    }
+
+    impl CandidateOracle for ToyOracle {
+        fn current_cost(&mut self) -> f64 {
+            toy_cost(&self.state)
+        }
+        fn candidate_cost(&mut self, site: usize, level: usize) -> f64 {
+            self.evals += 1;
+            let old = self.state[site];
+            self.state[site] = level;
+            let c = toy_cost(&self.state);
+            self.state[site] = old;
+            c
+        }
+        fn commit(&mut self, site: usize, level: usize) {
+            self.state[site] = level;
+        }
+    }
+
+    #[test]
+    fn batched_driver_replays_the_closure_chain() {
+        // Same seed + agreeing oracles ⇒ the batched driver must consume the
+        // RNG identically and visit the exact same chain of states.
+        for seed in [7u64, 11, 123] {
+            let opts = GibbsOptions {
+                iterations: 2000,
+                schedule: TemperatureSchedule::Constant(25.0),
+                patience: None,
+                record_trace: true,
+            };
+            let mut rng_a = rand::rngs::StdRng::seed_from_u64(seed);
+            let scalar = run_gibbs(&[3, 3], &[0, 0], toy_cost, &opts, &mut rng_a).unwrap();
+            let mut rng_b = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut oracle = ToyOracle { state: vec![0, 0], evals: 0 };
+            let batched =
+                run_gibbs_batched(&[3, 3], &[0, 0], &mut oracle, &opts, &mut rng_b).unwrap();
+            assert_eq!(batched.final_state, scalar.final_state);
+            assert_eq!(batched.best_state, scalar.best_state);
+            assert_eq!(batched.best_cost, scalar.best_cost);
+            assert_eq!(batched.accepted, scalar.accepted);
+            assert_eq!(batched.trace, scalar.trace);
+            assert_eq!(oracle.state, batched.final_state, "commits track the kept state");
+            assert!(oracle.evals <= opts.iterations, "one candidate eval per proposal at most");
+        }
+    }
+
+    #[test]
+    fn batched_driver_rejects_non_positive_candidate() {
+        struct BadOracle;
+        impl CandidateOracle for BadOracle {
+            fn current_cost(&mut self) -> f64 {
+                1.0
+            }
+            fn candidate_cost(&mut self, _site: usize, _level: usize) -> f64 {
+                -2.0
+            }
+            fn commit(&mut self, _site: usize, _level: usize) {}
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let opts = GibbsOptions { iterations: 50, ..GibbsOptions::default() };
+        let r = run_gibbs_batched(&[4], &[0], &mut BadOracle, &opts, &mut rng);
+        assert!(matches!(r, Err(OptError::InvalidInput(_))));
     }
 
     #[test]

@@ -960,6 +960,985 @@ impl WarmWaterfill {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Struct-of-arrays batched kernel (ROADMAP item 3)
+// ---------------------------------------------------------------------------
+
+/// Fixed lane width of the chunked SoA kernels: rows are processed in
+/// `[f64; LANE_WIDTH]` blocks with a scalar tail. Eight doubles span one
+/// AVX-512 register (two AVX2 / four NEON), which is the portable-SIMD
+/// sweet spot on stable Rust — wide enough that LLVM autovectorizes the
+/// branch-free row math, narrow enough that the tail stays cheap for the
+/// collapsed type multisets (≤ 16 rows at paper scale).
+pub const LANE_WIDTH: usize = 8;
+
+/// Struct-of-arrays twin of a `[QueueSpec]` slice, plus a static-power lane:
+/// each queue type is a row across five parallel `f64` lanes
+/// (capacity / util_cap / energy_slope / static_power / multiplicity).
+///
+/// Two properties distinguish it from the AoS `QueueSpec` layout:
+///
+/// * **Vector shape.** The water-filling residual `g(ν)` touches one lane
+///   per operand, so the chunked kernels below stream contiguous doubles —
+///   the autovectorizable form the scalar `lambda_at` loop is not.
+/// * **Retractable rows.** `multiplicity` may be **zero**: a row whose type
+///   is currently unused stays in place (keeping row indices stable across
+///   Gibbs flips, so a candidate evaluation is a ±1.0 multiplicity delta,
+///   not a compaction) and is arithmetically inert — every aggregate weighs
+///   it by `m = 0`.
+///
+/// Rows are validated once at construction ([`Self::validate`]); the solver
+/// does not re-validate per solve. Callers mutating lanes afterwards must
+/// preserve the row invariants.
+#[derive(Debug, Default, Clone)]
+pub struct QueueBank {
+    /// Service capacity `Xᵢ` lane (per queue of the type).
+    capacity: Vec<f64>,
+    /// Utilization cap `uᵢ = γ·Xᵢ` lane.
+    util_cap: Vec<f64>,
+    /// Marginal power `cᵢ` lane (kW per req/s, per queue).
+    energy_slope: Vec<f64>,
+    /// Static power lane (kW per queue of the type, PUE-scaled).
+    static_power: Vec<f64>,
+    /// Queue count lane `mᵢ ≥ 0` (0 = retracted row).
+    multiplicity: Vec<f64>,
+}
+
+impl QueueBank {
+    /// Empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows (including retracted `m = 0` rows).
+    pub fn len(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// True when the bank holds no rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.capacity.is_empty()
+    }
+
+    /// Removes all rows (lane capacity is retained).
+    pub fn clear(&mut self) {
+        self.capacity.clear();
+        self.util_cap.clear();
+        self.energy_slope.clear();
+        self.static_power.clear();
+        self.multiplicity.clear();
+    }
+
+    /// Appends one queue-type row; returns its row index.
+    pub fn push_type(
+        &mut self,
+        capacity: f64,
+        util_cap: f64,
+        energy_slope: f64,
+        static_power: f64,
+        multiplicity: f64,
+    ) -> usize {
+        self.capacity.push(capacity);
+        self.util_cap.push(util_cap);
+        self.energy_slope.push(energy_slope);
+        self.static_power.push(static_power);
+        self.multiplicity.push(multiplicity);
+        self.capacity.len() - 1
+    }
+
+    /// Capacity `Xᵢ` of row `row`.
+    pub fn capacity_of(&self, row: usize) -> f64 {
+        self.capacity[row]
+    }
+
+    /// Utilization cap `uᵢ` of row `row`.
+    pub fn util_cap_of(&self, row: usize) -> f64 {
+        self.util_cap[row]
+    }
+
+    /// Energy slope `cᵢ` of row `row`.
+    pub fn energy_slope_of(&self, row: usize) -> f64 {
+        self.energy_slope[row]
+    }
+
+    /// Static power of row `row` (per queue).
+    pub fn static_power_of(&self, row: usize) -> f64 {
+        self.static_power[row]
+    }
+
+    /// Current multiplicity `mᵢ` of row `row`.
+    pub fn multiplicity_of(&self, row: usize) -> f64 {
+        self.multiplicity[row]
+    }
+
+    /// Sets row `row`'s multiplicity. Integer-valued deltas are exact in
+    /// `f64`, so repeated `±1.0` adjustments never drift.
+    pub fn set_multiplicity(&mut self, row: usize, m: f64) {
+        self.multiplicity[row] = m;
+    }
+
+    /// Adds `dm` to row `row`'s multiplicity (the Gibbs-flip delta path).
+    pub fn add_multiplicity(&mut self, row: usize, dm: f64) {
+        self.multiplicity[row] += dm;
+    }
+
+    /// Aggregate `(Σ mᵢ·uᵢ, Σ mᵢ·staticᵢ)` — the capped capacity and base
+    /// power of the current multiset. O(rows); callers on the candidate
+    /// path maintain these incrementally via per-row deltas instead.
+    pub fn aggregates(&self) -> (f64, f64) {
+        let mut cap = 0.0;
+        let mut base = 0.0;
+        for ((&m, &u), &s) in self.multiplicity.iter().zip(&self.util_cap).zip(&self.static_power) {
+            cap += m * u;
+            base += m * s;
+        }
+        (cap, base)
+    }
+
+    /// Validates every row's invariants (same rules as
+    /// [`QueueSpec::validate`], except `multiplicity ≥ 0` — zero marks a
+    /// retracted row). Run once at construction; the batched solver relies
+    /// on it instead of re-validating per solve.
+    pub fn validate(&self) -> Result<()> {
+        for row in 0..self.len() {
+            let spec = QueueSpec {
+                capacity: self.capacity[row],
+                util_cap: self.util_cap[row],
+                energy_slope: self.energy_slope[row],
+                multiplicity: 1.0,
+            };
+            spec.validate()?;
+            let (s, m) = (self.static_power[row], self.multiplicity[row]);
+            if !(s.is_finite() && s >= 0.0) {
+                return Err(OptError::InvalidInput(format!(
+                    "static_power must be non-negative, got {s} at row {row}"
+                )));
+            }
+            if !(m.is_finite() && m >= 0.0) {
+                return Err(OptError::InvalidInput(format!(
+                    "multiplicity must be ≥ 0, got {m} at row {row}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Load-distribution problem over a [`QueueBank`] — the SoA counterpart of
+/// [`LoadDistProblem`]. `base_power` is passed in (the incremental engine
+/// maintains it by delta) rather than derived from the static-power lane,
+/// mirroring how the AoS problem carries `P₀` separately.
+#[derive(Debug, Clone, Copy)]
+pub struct BankProblem<'a> {
+    /// Queue-type rows (retracted `m = 0` rows allowed and inert).
+    pub bank: &'a QueueBank,
+    /// Total arrival rate `λ` to distribute.
+    pub total_load: f64,
+    /// Electricity weight `A = V·w + q ≥ 0`.
+    pub energy_weight: f64,
+    /// Delay weight `W = V·β ≥ 0`.
+    pub delay_weight: f64,
+    /// Static power of all active servers, `P₀ ≥ 0`.
+    pub base_power: f64,
+    /// Aggregate utilization-capped capacity `Σ mᵢ·uᵢ` of the rows as
+    /// currently set. Caller-maintained by delta, exactly like
+    /// `base_power` — the solver trusts it for the feasibility and
+    /// saturation tests instead of re-walking the lanes on every solve
+    /// (the incremental engine prices hundreds of candidates per batch
+    /// against one bank). [`QueueBank::aggregates`] is the ground-truth
+    /// recompute; `validate` debug-asserts agreement.
+    pub capped_capacity: f64,
+    /// On-site renewable supply `r ≥ 0`.
+    pub renewable: f64,
+}
+
+impl BankProblem<'_> {
+    /// Validates the scalar fields. Bank rows are validated once at
+    /// construction via [`QueueBank::validate`] (debug-asserted here), not
+    /// per solve — that is the SoA path's contract.
+    pub fn validate(&self) -> Result<()> {
+        debug_assert!(self.bank.validate().is_ok(), "bank rows must be validated at build");
+        debug_assert!(
+            {
+                let lanes = self.bank.aggregates().0;
+                (self.capped_capacity - lanes).abs() <= 1e-6 * lanes.abs().max(1.0)
+            },
+            "capped_capacity {} out of sync with the bank lanes ({})",
+            self.capped_capacity,
+            self.bank.aggregates().0
+        );
+        for (name, v) in [
+            ("total_load", self.total_load),
+            ("energy_weight", self.energy_weight),
+            ("delay_weight", self.delay_weight),
+            ("base_power", self.base_power),
+            ("capped_capacity", self.capped_capacity),
+            ("renewable", self.renewable),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(OptError::InvalidInput(format!(
+                    "{name} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total dispatched load `Σ mᵢ·λᵢ`.
+    pub fn dispatched(&self, lambdas: &[f64]) -> f64 {
+        bank_dispatched(self.bank, lambdas)
+    }
+
+    /// Total power `P₀ + Σ mᵢ·cᵢ·λᵢ`.
+    pub fn power(&self, lambdas: &[f64]) -> f64 {
+        bank_power(self.bank, self.base_power, lambdas)
+    }
+
+    /// Total unweighted delay cost `Σ mᵢ·λᵢ/(Xᵢ − λᵢ)`.
+    pub fn delay(&self, lambdas: &[f64]) -> f64 {
+        bank_delay(self.bank, lambdas)
+    }
+
+    /// True (kinked) objective value for a distribution.
+    pub fn objective(&self, lambdas: &[f64]) -> f64 {
+        self.energy_weight * pos(self.power(lambdas) - self.renewable)
+            + self.delay_weight * self.delay(lambdas)
+    }
+}
+
+// The bank kernels below are the data-parallel counterparts of `lambda_at`,
+// `total_slope_into` and `rescale_interior`: every per-row branch is turned
+// into a select so the `[f64; LANE_WIDTH]` chunks autovectorize, and all
+// results land in caller-provided slices. They run once per water-level
+// evaluation inside the batched Gibbs candidate sweep and must stay
+// allocation-free.
+// audit:hot-path: begin
+
+/// Branch-free twin of [`lambda_at`]: identical arithmetic, with the
+/// activation branch expressed as a select (`safe_gap` keeps the inactive
+/// lanes' division well-defined) so lanes stay independent.
+#[inline(always)]
+fn bank_row_load(x: f64, u: f64, c: f64, nu: f64, a_eff: f64, wox: f64, wx: f64) -> f64 {
+    let gap = nu - a_eff * c;
+    // The activity branch stays a branch on purpose: which rows are active
+    // is stable across the Newton/bisection evaluations of one solve, so
+    // the predictor is essentially free, while a branch-free mask form
+    // costs extra multiplies per lane (measured slower — the chunked
+    // callers end up scalar either way under the no-unsafe constraint).
+    if gap > wox {
+        debug_assert!(gap > 0.0, "active rows have gap > W/x > 0");
+        (x - (wx / gap).sqrt()).clamp(0.0, u)
+    } else {
+        0.0
+    }
+}
+
+/// Row load **and** ν-slope, mirroring the per-row math of
+/// [`total_slope_into`] (the unclipped load is written when interior, the
+/// cap when saturated, zero when inactive; only interior rows carry slope).
+///
+/// This is the Newton workhorse — it runs once per row per water-level
+/// evaluation — so the gap division is hoisted into a single reciprocal
+/// shared by the load and the slope (one divide per row instead of three).
+/// The reciprocal form differs from the divide form by ≲ 1 ulp, far inside
+/// every stopping tolerance and the ≤ 1e-9 differential band.
+#[inline(always)]
+fn bank_row_load_slope(x: f64, u: f64, c: f64, nu: f64, a_eff: f64, wox: f64, wx: f64) -> (f64, f64) {
+    let gap = nu - a_eff * c;
+    // Same stable-branch rationale as `bank_row_load` (see there).
+    if gap <= wox {
+        return (0.0, 0.0);
+    }
+    debug_assert!(gap > 0.0, "active rows have gap > W/x > 0");
+    let inv_gap = 1.0 / gap;
+    let root = (wx * inv_gap).sqrt();
+    let raw = x - root;
+    if raw < u { (raw, 0.5 * root * inv_gap) } else { (u, 0.0) }
+}
+
+/// Chunked aggregate load `Σ mᵢ·λᵢ(ν)` — the water-filling residual's
+/// workhorse, evaluating every row in `[f64; LANE_WIDTH]` blocks with a
+/// scalar tail. Lane accumulators change the summation *order* relative to
+/// the scalar path, so totals agree to rounding (≪ the 1e-12·λ stopping
+/// tolerance), not bit-for-bit.
+fn bank_total_at(bank: &QueueBank, nu: f64, a_eff: f64, wox: &[f64], wx: &[f64]) -> f64 {
+    let n = bank.capacity.len();
+    let xs = &bank.capacity[..n];
+    let us = &bank.util_cap[..n];
+    let cs = &bank.energy_slope[..n];
+    let ms = &bank.multiplicity[..n];
+    let (wox, wx) = (&wox[..n], &wx[..n]);
+    let mut acc = [0.0_f64; LANE_WIDTH];
+    let split = n - n % LANE_WIDTH;
+    for base in (0..split).step_by(LANE_WIDTH) {
+        for (j, a) in acc.iter_mut().enumerate() {
+            let k = base + j;
+            *a += ms[k] * bank_row_load(xs[k], us[k], cs[k], nu, a_eff, wox[k], wx[k]);
+        }
+    }
+    let mut total = acc.iter().sum::<f64>();
+    for k in split..n {
+        total += ms[k] * bank_row_load(xs[k], us[k], cs[k], nu, a_eff, wox[k], wx[k]);
+    }
+    total
+}
+
+/// Chunked aggregate load and ν-slope in one pass, writing each row's load
+/// into `out` (the batched counterpart of [`total_slope_into`]; the
+/// accepting Newton evaluation doubles as the final fill).
+fn bank_total_slope_into(
+    bank: &QueueBank,
+    nu: f64,
+    a_eff: f64,
+    wox: &[f64],
+    wx: &[f64],
+    out: &mut [f64],
+) -> (f64, f64) {
+    let n = bank.capacity.len();
+    let xs = &bank.capacity[..n];
+    let us = &bank.util_cap[..n];
+    let cs = &bank.energy_slope[..n];
+    let ms = &bank.multiplicity[..n];
+    let (wox, wx) = (&wox[..n], &wx[..n]);
+    // Re-slicing `out` (not just asserting) removes the bounds-check panic
+    // path from the chunk loop, which would otherwise block vectorization.
+    let out = &mut out[..n];
+    let mut acc_t = [0.0_f64; LANE_WIDTH];
+    let mut acc_s = [0.0_f64; LANE_WIDTH];
+    let split = n - n % LANE_WIDTH;
+    // Per-lane accumulators fix the summation tree (stable totals however
+    // the compiler unrolls the chunk), and the re-sliced inputs keep the
+    // body free of bounds checks.
+    for base in (0..split).step_by(LANE_WIDTH) {
+        for (j, (t, s)) in acc_t.iter_mut().zip(acc_s.iter_mut()).enumerate() {
+            let k = base + j;
+            let (l, ds) = bank_row_load_slope(xs[k], us[k], cs[k], nu, a_eff, wox[k], wx[k]);
+            out[k] = l;
+            *t += ms[k] * l;
+            *s += ms[k] * ds;
+        }
+    }
+    let mut total = acc_t.iter().sum::<f64>();
+    let mut slope = acc_s.iter().sum::<f64>();
+    for k in split..n {
+        let (l, ds) = bank_row_load_slope(xs[k], us[k], cs[k], nu, a_eff, wox[k], wx[k]);
+        out[k] = l;
+        total += ms[k] * l;
+        slope += ms[k] * ds;
+    }
+    (total, slope)
+}
+
+/// Writes every row's clipped load at water level `nu` into `out` (the
+/// batched [`lambda_at`] fill pass).
+fn bank_fill_into(bank: &QueueBank, nu: f64, a_eff: f64, wox: &[f64], wx: &[f64], out: &mut [f64]) {
+    let n = bank.capacity.len();
+    debug_assert_eq!(out.len(), n, "out must be pre-sized to the bank");
+    for (((((o, &x), &u), &c), &ox), &px) in out
+        .iter_mut()
+        .zip(&bank.capacity)
+        .zip(&bank.util_cap)
+        .zip(&bank.energy_slope)
+        .zip(wox)
+        .zip(wx)
+    {
+        *o = bank_row_load(x, u, c, nu, a_eff, ox, px);
+    }
+}
+
+/// Total dispatched load `Σ mᵢ·λᵢ`.
+fn bank_dispatched(bank: &QueueBank, lambdas: &[f64]) -> f64 {
+    lambdas.iter().zip(&bank.multiplicity).map(|(&l, &m)| m * l).sum()
+}
+
+/// Total power `base + Σ mᵢ·cᵢ·λᵢ`.
+fn bank_power(bank: &QueueBank, base_power: f64, lambdas: &[f64]) -> f64 {
+    let mut p = base_power;
+    for ((&l, &m), &c) in lambdas.iter().zip(&bank.multiplicity).zip(&bank.energy_slope) {
+        p += m * c * l;
+    }
+    p
+}
+
+/// [`bank_power`] and [`bank_delay`] in one pass — the regime selection
+/// always consumes both (the kink test needs the power, the objective the
+/// delay), so the separate walks would just re-stream the same lanes.
+fn bank_power_delay(bank: &QueueBank, base_power: f64, lambdas: &[f64]) -> (f64, f64) {
+    let mut p = base_power;
+    let mut d = 0.0;
+    for (((&l, &m), &c), &x) in lambdas
+        .iter()
+        .zip(&bank.multiplicity)
+        .zip(&bank.energy_slope)
+        .zip(&bank.capacity)
+    {
+        p += m * c * l;
+        d += if l > 0.0 { m * l / (x - l) } else { 0.0 };
+    }
+    (p, d)
+}
+
+/// Total unweighted delay cost `Σ mᵢ·λᵢ/(Xᵢ − λᵢ)` (zero-load rows and
+/// retracted rows contribute nothing).
+fn bank_delay(bank: &QueueBank, lambdas: &[f64]) -> f64 {
+    let mut d = 0.0;
+    for ((&l, &m), &x) in lambdas.iter().zip(&bank.multiplicity).zip(&bank.capacity) {
+        d += if l > 0.0 { m * l / (x - l) } else { 0.0 };
+    }
+    d
+}
+
+/// Lower bisection bracket over the *live* rows (retracted `m = 0` rows
+/// must not pull the bracket — their marginal cost is meaningless).
+fn bank_nu_lower_bound(bank: &QueueBank, a_eff: f64, wox: &[f64]) -> f64 {
+    let mut lo = f64::INFINITY;
+    for ((&m, &c), &ox) in bank.multiplicity.iter().zip(&bank.energy_slope).zip(wox) {
+        let t = if m > 0.0 { a_eff * c + ox } else { f64::INFINITY };
+        lo = lo.min(t);
+    }
+    lo
+}
+
+/// Batched [`rescale_interior`]: interior rows absorb the bisection slack
+/// in proportion to their load. Retracted rows carry zero weight, so they
+/// neither contribute to nor consume the slack.
+fn bank_rescale_interior(lambdas: &mut [f64], bank: &QueueBank, lam: f64) {
+    // One fused pass for the dispatched total and the interior mass — the
+    // slack test needs both, and separate walks would re-stream the lanes.
+    let mut total = 0.0;
+    let mut interior = 0.0;
+    for ((&l, &u), &m) in lambdas.iter().zip(&bank.util_cap).zip(&bank.multiplicity) {
+        total += m * l;
+        if l > 0.0 && l < u {
+            interior += m * l;
+        }
+    }
+    let slack = lam - total;
+    if slack.abs() > 0.0 {
+        if interior > 0.0 {
+            for (l, &u) in lambdas.iter_mut().zip(&bank.util_cap) {
+                if *l > 0.0 && *l < u {
+                    *l = (*l + (slack / interior) * *l).clamp(0.0, u);
+                }
+            }
+        } else if slack > 0.0 {
+            bank_distribute_remainder(lambdas, bank, slack);
+        }
+    }
+}
+
+/// Batched [`distribute_remainder`] (retracted rows skipped: they have no
+/// headroom and dividing the zero take by `m = 0` would poison the row).
+fn bank_distribute_remainder(lambdas: &mut [f64], bank: &QueueBank, mut slack: f64) {
+    for ((l, &u), &m) in lambdas.iter_mut().zip(&bank.util_cap).zip(&bank.multiplicity) {
+        if slack <= 0.0 {
+            break;
+        }
+        if m <= 0.0 {
+            continue;
+        }
+        let headroom = (u - *l) * m;
+        let take = headroom.min(slack);
+        debug_assert!(m > 0.0, "retracted rows are skipped above");
+        *l += take / m;
+        slack -= take;
+    }
+}
+
+// audit:hot-path: end
+
+/// Warm-started batched solver over a [`QueueBank`] — the SoA counterpart
+/// of [`WarmWaterfill`], and the cost oracle of the batched Gibbs candidate
+/// sweep. Same three-regime analysis, same warm-bracket/Newton seeding,
+/// same stopping tolerances ([`nu_bisect_options`], the `1e-13` kink
+/// `f_tol`, [`KINK_TOL`], [`WARM_BRACKET_SPAN`]), so its objectives agree
+/// with the cold [`solve`] to the identical ≤ 1e-9 band — pinned by the
+/// batched differential property test in `coca-core`. Only the inner
+/// residual evaluation differs: one chunked pass over the bank lanes
+/// instead of a per-`QueueSpec` branchy loop.
+///
+/// Invariant hooks: load conservation fires on every solve, exactly like
+/// the scalar paths. The O(n) KKT certificate is recomputed in debug builds
+/// and in strict mode (`COCA_STRICT_INVARIANTS=1`) via a compact AoS view
+/// of the live rows; plain release builds skip it — that re-derivation was
+/// a measurable share of the scalar per-solve cost and is covered by the
+/// differential tests.
+#[derive(Debug, Default)]
+pub struct SoaWaterfill {
+    /// Previous water level of the electricity-active regime (`a_eff = A`).
+    nu_active: Option<f64>,
+    /// Previous water level of the renewable-slack regime (`a_eff = 0`).
+    nu_slack: Option<f64>,
+    /// Previous water level seen inside the kink μ-search trials.
+    nu_kink: Option<f64>,
+    /// Previous boundary weight μ* of the kink regime.
+    mu: Option<f64>,
+    /// Per-row loads of the winning candidate after [`Self::solve`].
+    lambdas: Vec<f64>,
+    /// Candidate buffer for the regime comparison (swapped, never cloned).
+    scratch: Vec<f64>,
+    /// Compact AoS mirror of the live rows for the debug/strict KKT
+    /// certificate and the cold `W = 0` greedy delegation.
+    aos_specs: Vec<QueueSpec>,
+    /// Loads matching `aos_specs` row-for-row.
+    aos_lambdas: Vec<f64>,
+    /// Per-row activation thresholds `W/xᵢ`, derived once per (delay
+    /// weight, capacity-lane) pair and reused by every residual evaluation
+    /// — the per-row divides were a measurable share of the Newton pass.
+    wox: Vec<f64>,
+    /// Per-row sqrt numerators `W·xᵢ` (same caching rule as `wox`).
+    wx: Vec<f64>,
+    /// Capacity lanes the aux vectors were built from; compared each solve
+    /// so a solver moved to a different bank rebuilds instead of reusing
+    /// stale thresholds.
+    aux_cap: Vec<f64>,
+    /// Delay weight the aux vectors were built for.
+    aux_w: f64,
+    /// Water-level function evaluations spent in the most recent solve.
+    pub last_evals: u64,
+}
+
+impl SoaWaterfill {
+    /// Fresh solver with no warm-start state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all warm brackets (e.g. when the slot parameters change so the
+    /// previous water level is no longer informative).
+    pub fn reset(&mut self) {
+        self.nu_active = None;
+        self.nu_slack = None;
+        self.nu_kink = None;
+        self.mu = None;
+        self.last_evals = 0;
+    }
+
+    /// Per-row loads of the most recent [`Self::solve`] (same order as the
+    /// bank rows; retracted rows may hold phantom values — weigh by the
+    /// multiplicity lane when aggregating).
+    pub fn lambdas(&self) -> &[f64] {
+        &self.lambdas
+    }
+
+    /// Solves the bank load-distribution problem, reusing warm-start state
+    /// from the previous call.
+    ///
+    /// # Errors
+    /// Same contract as [`solve`]: invalid scalars, infeasible load, or a
+    /// bisection that fails to converge.
+    pub fn solve(&mut self, problem: &BankProblem<'_>) -> Result<WarmOutcome> {
+        self.last_evals = 0;
+        let out = self.solve_inner(problem)?;
+        let inv = crate::invariant::global();
+        inv.load_conserved(bank_dispatched(problem.bank, &self.lambdas), problem.total_load);
+        if cfg!(debug_assertions) || inv.is_strict() {
+            self.check_kkt(problem);
+        }
+        Ok(out)
+    }
+
+    /// Recomputes the KKT certificate on a compact AoS view of the live
+    /// rows (debug/strict only — see the type docs).
+    #[cold]
+    fn check_kkt(&mut self, problem: &BankProblem<'_>) {
+        self.compact_live_rows(problem.bank);
+        let view = LoadDistProblem {
+            queues: &self.aos_specs,
+            total_load: problem.total_load,
+            energy_weight: problem.energy_weight,
+            delay_weight: problem.delay_weight,
+            base_power: problem.base_power,
+            renewable: problem.renewable,
+        };
+        crate::invariant::global().kkt(&view, &self.aos_lambdas);
+    }
+
+    /// Rebuilds `aos_specs`/`aos_lambdas` from the bank's `m > 0` rows.
+    fn compact_live_rows(&mut self, bank: &QueueBank) {
+        self.aos_specs.clear();
+        self.aos_lambdas.clear();
+        for row in 0..bank.len() {
+            let m = bank.multiplicity[row];
+            if m > 0.0 {
+                self.aos_specs.push(QueueSpec {
+                    capacity: bank.capacity[row],
+                    util_cap: bank.util_cap[row],
+                    energy_slope: bank.energy_slope[row],
+                    multiplicity: m,
+                });
+                self.aos_lambdas.push(self.lambdas[row]);
+            }
+        }
+    }
+
+    /// Scalar summary of the loads currently held in `self.lambdas` (one
+    /// fused power+delay pass).
+    fn outcome_of(&self, problem: &BankProblem<'_>, water_level: Option<f64>) -> WarmOutcome {
+        let (power, delay) = bank_power_delay(problem.bank, problem.base_power, &self.lambdas);
+        Self::outcome_parts(problem, power, delay, water_level)
+    }
+
+    /// Outcome assembly when the caller already holds the power and delay
+    /// totals (the regime selection computes both along the way).
+    fn outcome_parts(
+        problem: &BankProblem<'_>,
+        power: f64,
+        delay: f64,
+        water_level: Option<f64>,
+    ) -> WarmOutcome {
+        let objective = problem.energy_weight * pos(power - problem.renewable)
+            + problem.delay_weight * delay;
+        WarmOutcome { objective, power, delay, water_level }
+    }
+
+    /// Mirrors [`WarmWaterfill::solve_inner`] branch for branch on the bank
+    /// lanes.
+    fn solve_inner(&mut self, problem: &BankProblem<'_>) -> Result<WarmOutcome> {
+        problem.validate()?;
+        let bank = problem.bank;
+        let n = bank.len();
+        let lam = problem.total_load;
+        // Both buffers are fully overwritten by every path below that
+        // reads them, so resizing (a memset) only happens when the bank
+        // grows or shrinks — not once per candidate solve.
+        if self.lambdas.len() != n {
+            self.lambdas.resize(n, 0.0);
+        }
+        if self.scratch.len() != n {
+            self.scratch.resize(n, 0.0);
+        }
+        // validate() guarantees lam >= 0, so `<=` is the exact-zero test.
+        if lam <= 0.0 {
+            self.lambdas.fill(0.0);
+            return Ok(Self::outcome_parts(problem, problem.base_power, 0.0, None));
+        }
+        if n == 0 {
+            return Err(OptError::Infeasible("positive load but no active queues".into()));
+        }
+        let cap = problem.capped_capacity;
+        if lam > cap * (1.0 + 1e-12) {
+            return Err(OptError::Infeasible(format!(
+                "total load {lam} exceeds capped capacity {cap}"
+            )));
+        }
+        // Saturated case: every row pinned at (a fraction of) its cap.
+        if lam >= cap * (1.0 - 1e-12) {
+            for (l, &u) in self.lambdas.iter_mut().zip(&bank.util_cap) {
+                *l = u * (lam / cap);
+            }
+            return Ok(self.outcome_of(problem, None));
+        }
+        // W = 0 degenerates to the greedy LP; it needs a sort permutation,
+        // so delegate to the cold path over a compact AoS view (the per-slot
+        // oracle always has W = V·β > 0, so this never runs per candidate).
+        if problem.delay_weight <= 0.0 {
+            return self.solve_greedy_cold(problem);
+        }
+        self.ensure_aux(bank, problem.delay_weight);
+
+        let r = problem.renewable;
+
+        // Regime 1: electricity-active (penalty weight = A everywhere).
+        let nu_active =
+            self.penalty_into_scratch(problem, problem.energy_weight, self.nu_active)?;
+        self.nu_active = Some(nu_active);
+        std::mem::swap(&mut self.lambdas, &mut self.scratch);
+        let (p_active, d_active) = bank_power_delay(bank, problem.base_power, &self.lambdas);
+        if p_active >= r * (1.0 - KINK_TOL) || problem.energy_weight <= 0.0 {
+            return Ok(Self::outcome_parts(problem, p_active, d_active, Some(nu_active)));
+        }
+        let mut best_obj =
+            problem.energy_weight * pos(p_active - r) + problem.delay_weight * d_active;
+        let mut best = (p_active, d_active, nu_active);
+
+        // Regime 2: renewable-slack (penalty weight = 0).
+        let nu_slack = self.penalty_into_scratch(problem, 0.0, self.nu_slack)?;
+        self.nu_slack = Some(nu_slack);
+        let (p_slack, d_slack) = bank_power_delay(bank, problem.base_power, &self.scratch);
+        if p_slack <= r * (1.0 + KINK_TOL) {
+            std::mem::swap(&mut self.lambdas, &mut self.scratch);
+            return Ok(Self::outcome_parts(problem, p_slack, d_slack, Some(nu_slack)));
+        }
+        let obj_slack =
+            problem.energy_weight * pos(p_slack - r) + problem.delay_weight * d_slack;
+        if obj_slack < best_obj {
+            std::mem::swap(&mut self.lambdas, &mut self.scratch);
+            best_obj = obj_slack;
+            best = (p_slack, d_slack, nu_slack);
+        }
+
+        // Regime 3: the optimum pins total power to r; bisect μ ∈ [0, A]
+        // with the bracket seeded from the previous μ*.
+        let mu = self.bisect_mu(problem)?;
+        self.mu = Some(mu);
+        let nu_kink = self.penalty_into_scratch(problem, mu, self.nu_kink)?;
+        self.nu_kink = Some(nu_kink);
+        let (p_kink, d_kink) = bank_power_delay(bank, problem.base_power, &self.scratch);
+        let obj_kink =
+            problem.energy_weight * pos(p_kink - r) + problem.delay_weight * d_kink;
+        if !best_obj.is_finite() || !obj_kink.is_finite() {
+            return Err(OptError::NonFinite(format!(
+                "candidate objectives {best_obj}/{obj_kink} in batched regime selection"
+            )));
+        }
+        if obj_kink < best_obj {
+            std::mem::swap(&mut self.lambdas, &mut self.scratch);
+            best = (p_kink, d_kink, nu_kink);
+        }
+        // The winner's totals were measured when its regime was scored, so
+        // no extra lane walk here.
+        Ok(Self::outcome_parts(problem, best.0, best.1, Some(best.2)))
+    }
+
+    /// Cold `W = 0` greedy delegation over a compact AoS view, scattering
+    /// the result back to bank row order.
+    fn solve_greedy_cold(&mut self, problem: &BankProblem<'_>) -> Result<WarmOutcome> {
+        let bank = problem.bank;
+        self.aos_specs.clear();
+        for row in 0..bank.len() {
+            let m = bank.multiplicity[row];
+            if m > 0.0 {
+                self.aos_specs.push(QueueSpec {
+                    capacity: bank.capacity[row],
+                    util_cap: bank.util_cap[row],
+                    energy_slope: bank.energy_slope[row],
+                    multiplicity: m,
+                });
+            }
+        }
+        let view = LoadDistProblem {
+            queues: &self.aos_specs,
+            total_load: problem.total_load,
+            energy_weight: problem.energy_weight,
+            delay_weight: problem.delay_weight,
+            base_power: problem.base_power,
+            renewable: problem.renewable,
+        };
+        let sol = solve_linear_greedy(&view)?;
+        let mut live = 0;
+        for row in 0..bank.len() {
+            if bank.multiplicity[row] > 0.0 {
+                self.lambdas[row] = sol.lambdas[live];
+                live += 1;
+            } else {
+                self.lambdas[row] = 0.0;
+            }
+        }
+        Ok(WarmOutcome {
+            objective: sol.objective,
+            power: sol.power,
+            delay: sol.delay,
+            water_level: None,
+        })
+    }
+
+    /// Kink-regime μ-search, identical in structure and tolerances to
+    /// [`WarmWaterfill::bisect_mu`].
+    fn bisect_mu(&mut self, problem: &BankProblem<'_>) -> Result<f64> {
+        let r = problem.renewable;
+        let a = problem.energy_weight;
+        let opts = BisectOptions { x_tol: 0.0, f_tol: r.abs().max(1.0) * 1e-13, max_iter: 200 };
+        let power_gap = |this: &mut Self, mu: f64| -> f64 {
+            match this.penalty_into_scratch(problem, mu, this.nu_kink) {
+                Ok(nu) => {
+                    this.nu_kink = Some(nu);
+                    r - bank_power(problem.bank, problem.base_power, &this.scratch)
+                }
+                Err(_) => f64::NAN,
+            }
+        };
+        if let Some(prev) = self.mu {
+            if prev.is_finite() {
+                let half = WARM_BRACKET_SPAN * a;
+                let wlo = (prev - half).max(0.0);
+                let whi = (prev + half).min(a);
+                if wlo < whi {
+                    let glo = power_gap(self, wlo);
+                    if glo.is_finite() {
+                        if glo > 0.0 {
+                            let g0 = power_gap(self, 0.0);
+                            if g0.is_finite() && g0 <= 0.0 {
+                                return illinois_seeded(
+                                    0.0,
+                                    wlo,
+                                    g0,
+                                    glo,
+                                    |mu| power_gap(self, mu),
+                                    opts,
+                                );
+                            }
+                        } else {
+                            let ghi = power_gap(self, whi);
+                            if ghi.is_finite() && ghi >= 0.0 {
+                                return illinois_seeded(
+                                    wlo,
+                                    whi,
+                                    glo,
+                                    ghi,
+                                    |mu| power_gap(self, mu),
+                                    opts,
+                                );
+                            }
+                            if ghi.is_finite() && whi < a {
+                                let ga = power_gap(self, a);
+                                if ga.is_finite() && ga >= 0.0 {
+                                    return illinois_seeded(
+                                        whi,
+                                        a,
+                                        ghi,
+                                        ga,
+                                        |mu| power_gap(self, mu),
+                                        opts,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        illinois_increasing(0.0, a, |mu| power_gap(self, mu), opts)
+    }
+
+    /// Warm-bracketed penalty solve on the bank lanes — the batched
+    /// [`WarmWaterfill::penalty_into_scratch`], with every residual
+    /// evaluation a single chunked [`bank_total_at`] /
+    /// [`bank_total_slope_into`] pass.
+    /// Rebuilds the derived `W/xᵢ` / `W·xᵢ` lanes when the delay weight or
+    /// the capacity lanes changed since the last solve (a slice compare —
+    /// capacities are immutable for a bank's lifetime, so this is a no-op
+    /// on the candidate-sweep hot path).
+    fn ensure_aux(&mut self, bank: &QueueBank, w: f64) {
+        let n = bank.len();
+        if self.aux_w.to_bits() == w.to_bits()
+            && self.aux_cap.len() == n
+            && self.aux_cap == bank.capacity
+        {
+            return;
+        }
+        self.aux_cap.clear();
+        self.aux_cap.extend_from_slice(&bank.capacity);
+        self.wox.clear();
+        self.wx.clear();
+        for &x in &bank.capacity {
+            debug_assert!(x > 0.0, "bank rows are validated at build: capacity > 0");
+            self.wox.push(w / x);
+            self.wx.push(w * x);
+        }
+        self.aux_w = w;
+    }
+
+    fn penalty_into_scratch(
+        &mut self,
+        problem: &BankProblem<'_>,
+        a_eff: f64,
+        warm: Option<f64>,
+    ) -> Result<f64> {
+        let lam = problem.total_load;
+        let bank = problem.bank;
+        let (wox, wx) = (self.wox.as_slice(), self.wx.as_slice());
+        let evals = std::cell::Cell::new(0u64);
+
+        // audit:hot-path: begin
+        let total_of = |nu: f64| -> f64 {
+            evals.set(evals.get() + 1);
+            bank_total_at(bank, nu, a_eff, wox, wx)
+        };
+        let nu_lo = bank_nu_lower_bound(bank, a_eff, wox);
+        let opts = nu_bisect_options(lam);
+        // Newton from the previous water level; the accepting evaluation's
+        // rows ARE the final fill (see `WarmWaterfill` for the rationale —
+        // the stopping rule is identical, so agreement carries over).
+        if let Some(prev) = warm {
+            if prev.is_finite() && prev > nu_lo {
+                let mut nu = prev;
+                for _ in 0..8 {
+                    evals.set(evals.get() + 1);
+                    let (total, slope) =
+                        bank_total_slope_into(bank, nu, a_eff, wox, wx, &mut self.scratch);
+                    let g = total - lam;
+                    if !g.is_finite() {
+                        break;
+                    }
+                    if g.abs() <= opts.f_tol {
+                        bank_rescale_interior(&mut self.scratch, bank, lam);
+                        self.last_evals += evals.get();
+                        return Ok(nu);
+                    }
+                    if slope.is_nan() || slope <= 0.0 {
+                        break;
+                    }
+                    let next = nu - g / slope;
+                    if !next.is_finite() || next <= nu_lo {
+                        break;
+                    }
+                    nu = next;
+                }
+            }
+        }
+        // Sign-verified warm bracket handed to the seeded search; misses
+        // keep their sign information (see `WarmWaterfill` for the full
+        // derivation — `f(nu_lo) = −λ` brackets any root below for free).
+        let nu = 'search: {
+            if let Some(prev) = warm {
+                if prev.is_finite() && prev > nu_lo {
+                    let lo = (prev * (1.0 - WARM_BRACKET_SPAN)).max(nu_lo);
+                    let hi = prev * (1.0 + WARM_BRACKET_SPAN);
+                    let glo = total_of(lo) - lam;
+                    if !glo.is_finite() {
+                        return Err(OptError::NonFiniteEval { x: lo, fx: glo });
+                    }
+                    if glo > 0.0 {
+                        break 'search illinois_seeded(
+                            nu_lo,
+                            lo,
+                            -lam,
+                            glo,
+                            |nu| total_of(nu) - lam,
+                            opts,
+                        )?;
+                    }
+                    let ghi = total_of(hi) - lam;
+                    if !ghi.is_finite() {
+                        return Err(OptError::NonFiniteEval { x: hi, fx: ghi });
+                    }
+                    if ghi >= 0.0 {
+                        break 'search illinois_seeded(
+                            lo,
+                            hi,
+                            glo,
+                            ghi,
+                            |nu| total_of(nu) - lam,
+                            opts,
+                        )?;
+                    }
+                    let nu_hi = grow_upper_bracket(hi * 2.0, |nu| total_of(nu) - lam, 200)?;
+                    break 'search illinois_seeded(
+                        hi,
+                        nu_hi,
+                        ghi,
+                        total_of(nu_hi) - lam,
+                        |nu| total_of(nu) - lam,
+                        opts,
+                    )?;
+                }
+            }
+            // Cold path (no usable previous level): grow the upper bracket
+            // by doubling, exactly like `solve_linear_penalty`.
+            let start = (nu_lo.abs().max(1.0)) * 2.0;
+            let nu_hi = grow_upper_bracket(start, |nu| total_of(nu) - lam, 200)?;
+            illinois_increasing(nu_lo, nu_hi, |nu| total_of(nu) - lam, opts)?
+        };
+
+        bank_fill_into(bank, nu, a_eff, wox, wx, &mut self.scratch);
+        bank_rescale_interior(&mut self.scratch, bank, lam);
+        // audit:hot-path: end
+        self.last_evals += evals.get();
+        Ok(nu)
+    }
+}
+
 /// Greedy fill by ascending marginal energy cost for the `W = 0` LP.
 fn solve_linear_greedy(problem: &LoadDistProblem<'_>) -> Result<LoadDistSolution> {
     if let Some(q) = problem.queues.iter().find(|q| !q.energy_slope.is_finite()) {
@@ -1387,5 +2366,225 @@ mod tests {
         let p = problem(&qs, 1.0, 1.0, 1.0, 0.0);
         assert!(solve_with_power_cap(&p, f64::NAN).is_err());
         assert!(solve_with_power_cap(&p, -1.0).is_err());
+    }
+
+    // --- SoA bank kernels -------------------------------------------------
+
+    /// `n` heterogeneous queue types with deterministic parameter spread.
+    fn varied_specs(n: usize) -> Vec<QueueSpec> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                QueueSpec {
+                    capacity: 8.0 + 1.5 * (f % 5.0),
+                    util_cap: (8.0 + 1.5 * (f % 5.0)) * 0.9,
+                    energy_slope: 0.1 + 0.35 * (f % 4.0),
+                    multiplicity: 1.0 + (f % 3.0),
+                }
+            })
+            .collect()
+    }
+
+    fn bank_of(specs: &[QueueSpec]) -> QueueBank {
+        let mut b = QueueBank::new();
+        for q in specs {
+            b.push_type(q.capacity, q.util_cap, q.energy_slope, 0.0, q.multiplicity);
+        }
+        b
+    }
+
+    fn bank_problem<'a>(
+        bank: &'a QueueBank,
+        lam: f64,
+        a: f64,
+        w: f64,
+        r: f64,
+    ) -> BankProblem<'a> {
+        BankProblem {
+            bank,
+            total_load: lam,
+            energy_weight: a,
+            delay_weight: w,
+            base_power: 0.0,
+            capped_capacity: bank.aggregates().0,
+            renewable: r,
+        }
+    }
+
+    /// Lane-remainder coverage: type counts around the `[f64; 8]` chunk
+    /// boundary (1, 7, 8, 9, 17 → 0/0/1/1/2 full chunks plus 1/7/0/1/1
+    /// tail rows) must all agree with the cold AoS solver.
+    #[test]
+    fn bank_matches_cold_across_lane_remainders() {
+        for &n in &[1usize, 7, 8, 9, 17] {
+            let specs = varied_specs(n);
+            let bank = bank_of(&specs);
+            bank.validate().unwrap();
+            let cap: f64 = specs.iter().map(|q| q.multiplicity * q.util_cap).sum();
+            let mut soa = SoaWaterfill::new();
+            // Load fractions and renewable settings that exercise all
+            // three regimes (r = 0 active, huge r slack, mid r kink).
+            for &(frac, a, w, r_frac) in &[
+                (0.45, 20.0, 1.0, 0.0),
+                (0.6, 20.0, 1.0, 0.35),
+                (0.5, 20.0, 1.0, 1e6),
+                (0.75, 5.0, 2.0, 0.5),
+            ] {
+                let lam = cap * frac;
+                let r = if r_frac > 1.0 { r_frac } else { cap * r_frac };
+                let p_aos = problem(&specs, lam, a, w, r);
+                let p_soa = bank_problem(&bank, lam, a, w, r);
+                let cold = solve(&p_aos).unwrap();
+                let out = soa.solve(&p_soa).unwrap();
+                let scale = cold.objective.abs().max(1.0);
+                assert!(
+                    (out.objective - cold.objective).abs() <= 1e-9 * scale,
+                    "n={n}: objective soa {} vs cold {} at (λ={lam}, A={a}, W={w}, r={r})",
+                    out.objective,
+                    cold.objective
+                );
+                for (sl, cl) in soa.lambdas().iter().zip(&cold.lambdas) {
+                    assert!(
+                        (sl - cl).abs() <= 1e-9 * cl.abs().max(1.0),
+                        "n={n}: λ soa {sl} vs cold {cl}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A retracted (`m = 0`) row must be arithmetically inert: the solve
+    /// matches the same problem with the row absent entirely.
+    #[test]
+    fn bank_retracted_rows_are_inert() {
+        let live = varied_specs(5);
+        let mut bank = bank_of(&live);
+        // Interleave two retracted rows (one mid-bank, one at the end).
+        let mid = bank.push_type(9.0, 8.1, 0.7, 0.0, 0.0);
+        let end = bank.push_type(11.0, 9.9, 0.2, 0.0, 0.0);
+        assert_eq!(bank.multiplicity_of(mid), 0.0);
+        assert_eq!(bank.multiplicity_of(end), 0.0);
+        let cap: f64 = live.iter().map(|q| q.multiplicity * q.util_cap).sum();
+        let mut soa = SoaWaterfill::new();
+        for &(frac, r_frac) in &[(0.5, 0.0), (0.65, 0.4), (0.5, 1e6_f64)] {
+            let lam = cap * frac;
+            let r = if r_frac > 1.0 { r_frac } else { cap * r_frac };
+            let p_aos = problem(&live, lam, 20.0, 1.0, r);
+            let p_soa = bank_problem(&bank, lam, 20.0, 1.0, r);
+            let cold = solve(&p_aos).unwrap();
+            let out = soa.solve(&p_soa).unwrap();
+            let scale = cold.objective.abs().max(1.0);
+            assert!(
+                (out.objective - cold.objective).abs() <= 1e-9 * scale,
+                "objective soa {} vs cold {} (r={r})",
+                out.objective,
+                cold.objective
+            );
+            // Load conservation must hold with the retracted rows carrying
+            // zero weight.
+            assert!((p_soa.dispatched(soa.lambdas()) - lam).abs() <= 1e-6 * lam.max(1.0));
+        }
+    }
+
+    /// Multiplicity round-trips through the delta API (`±1.0` is exact for
+    /// integer-valued lanes) and the aggregates follow.
+    #[test]
+    fn bank_multiplicity_deltas_are_exact() {
+        let specs = varied_specs(4);
+        let mut bank = bank_of(&specs);
+        let (cap0, base0) = bank.aggregates();
+        bank.add_multiplicity(2, 1.0);
+        bank.add_multiplicity(2, -1.0);
+        let (cap1, base1) = bank.aggregates();
+        assert_eq!(cap0, cap1, "±1.0 deltas must round-trip bit-exactly");
+        assert_eq!(base0, base1);
+        bank.set_multiplicity(1, 0.0);
+        let (cap2, _) = bank.aggregates();
+        assert!(cap2 < cap1);
+        assert_eq!(bank.multiplicity_of(1), 0.0);
+    }
+
+    #[test]
+    fn soa_solver_handles_degenerate_paths() {
+        let specs = homogeneous(3, 10.0, 0.9, 0.1);
+        let bank = bank_of(&specs);
+        let mut soa = SoaWaterfill::new();
+        // Zero load.
+        let out = soa.solve(&bank_problem(&bank, 0.0, 1.0, 1.0, 0.0)).unwrap();
+        assert_eq!(out.objective, 0.0);
+        assert!(soa.lambdas().iter().all(|&l| l == 0.0));
+        assert!(out.water_level.is_none());
+        // Saturated.
+        let _ = soa.solve(&bank_problem(&bank, 27.0, 1.0, 1.0, 0.0)).unwrap();
+        assert!(soa.lambdas().iter().all(|&l| (l - 9.0).abs() < 1e-9));
+        // W = 0 greedy delegation matches the cold path.
+        let p_aos = problem(&specs, 6.0, 1.0, 0.0, 0.0);
+        let out_greedy = soa.solve(&bank_problem(&bank, 6.0, 1.0, 0.0, 0.0)).unwrap();
+        let cold = solve(&p_aos).unwrap();
+        assert!((out_greedy.objective - cold.objective).abs() < 1e-12);
+        // Infeasible load.
+        assert!(matches!(
+            soa.solve(&bank_problem(&bank, 28.0, 1.0, 1.0, 0.0)),
+            Err(OptError::Infeasible(_))
+        ));
+        // Bad scalar rejected.
+        let mut p = bank_problem(&bank, 1.0, 1.0, 1.0, 0.0);
+        p.renewable = -1.0;
+        assert!(matches!(soa.solve(&p), Err(OptError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn bank_validate_rejects_bad_rows() {
+        let mut bank = QueueBank::new();
+        bank.push_type(10.0, 9.0, 0.1, 1.0, 2.0);
+        assert!(bank.validate().is_ok());
+        bank.push_type(10.0, 10.0, 0.1, 1.0, 1.0); // util_cap == capacity
+        assert!(bank.validate().is_err());
+        bank.clear();
+        bank.push_type(10.0, 9.0, 0.1, -1.0, 1.0); // negative static power
+        assert!(bank.validate().is_err());
+        bank.clear();
+        bank.push_type(10.0, 9.0, 0.1, 1.0, -1.0); // negative multiplicity
+        assert!(bank.validate().is_err());
+        bank.clear();
+        bank.push_type(10.0, 9.0, 0.1, 1.0, 0.0); // retracted row is fine
+        assert!(bank.validate().is_ok());
+    }
+
+    /// Warm-started SoA resolves across regime transitions, mirroring
+    /// `warm_solver_matches_cold_across_regime_transitions`.
+    #[test]
+    fn soa_solver_matches_cold_across_regime_transitions() {
+        let specs = vec![
+            QueueSpec::single(10.0, 9.0, 1.0),
+            QueueSpec { capacity: 10.0, util_cap: 9.0, energy_slope: 3.0, multiplicity: 2.0 },
+        ];
+        let bank = bank_of(&specs);
+        let mut soa = SoaWaterfill::new();
+        for &(lam, a, w, r) in &[
+            (10.0, 50.0, 1.0, 0.0),  // electricity-active
+            (16.0, 50.0, 1.0, 16.0), // boundary kink
+            (10.0, 50.0, 1.0, 1e9),  // renewable-slack
+            (16.5, 50.0, 1.0, 16.0), // kink revisited with drifted load
+            (10.1, 50.0, 1.0, 0.0),  // back to active
+        ] {
+            let p_aos = problem(&specs, lam, a, w, r);
+            let cold = solve(&p_aos).unwrap();
+            let out = soa.solve(&bank_problem(&bank, lam, a, w, r)).unwrap();
+            let scale = cold.objective.abs().max(1.0);
+            assert!(
+                (out.objective - cold.objective).abs() <= 1e-9 * scale,
+                "objective soa {} vs cold {} at (λ={lam}, A={a}, W={w}, r={r})",
+                out.objective,
+                cold.objective
+            );
+            for (sl, cl) in soa.lambdas().iter().zip(&cold.lambdas) {
+                assert!((sl - cl).abs() <= 1e-9 * cl.abs().max(1.0), "{sl} vs {cl}");
+            }
+            let (Some(sn), Some(cn)) = (out.water_level, cold.water_level) else {
+                panic!("both paths should report a water level");
+            };
+            assert!((sn - cn).abs() <= 1e-6 * cn.abs().max(1.0), "ν soa {sn} vs cold {cn}");
+        }
     }
 }

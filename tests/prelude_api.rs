@@ -178,6 +178,8 @@ fn deficit_queue_and_gsd_options_exported() {
         cache_hits: 0,
         cache_misses: 1,
         bisection_evals: 4,
+        candidate_batches: 1,
+        batched_candidates: 5,
     };
     SolverObserver::on_solve(&NoopObserver, &ev);
     assert!(!EngineObserver::timing_enabled(&NoopObserver));
