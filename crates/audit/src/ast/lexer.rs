@@ -77,6 +77,9 @@ const GLUED: &[&str] = &[
 ];
 
 /// Lexes `text` into tokens plus comment trivia. Never fails.
+// One flat scan loop on purpose: splitting it would thread the line/col
+// bookkeeping and the shared cursor through every helper.
+#[allow(clippy::cognitive_complexity)]
 pub fn lex(text: &str) -> (Vec<Token>, Vec<Comment>) {
     let chars: Vec<char> = text.chars().collect();
     let mut toks = Vec::new();

@@ -104,24 +104,27 @@ impl Node {
     }
 }
 
+/// Open-group frame: header (`None` only for the bottom-level forest)
+/// plus the children collected so far.
+type Frame = (Option<(Delim, usize, usize)>, Vec<Node>);
+
 /// Builds the token forest from a flat token stream.
 pub fn build(tokens: Vec<Token>) -> Vec<Node> {
     // Stack of open groups; the bottom Vec is the top-level forest.
-    let mut stack: Vec<(Option<(Delim, usize, usize)>, Vec<Node>)> = vec![(None, Vec::new())];
+    let mut stack: Vec<Frame> = vec![(None, Vec::new())];
     for tok in tokens {
         if tok.kind == TokKind::Punct {
             if let Some(d) = Delim::open(&tok.text) {
                 stack.push((Some((d, tok.line, tok.col)), Vec::new()));
                 continue;
             }
-            if let Some(d) = Delim::close(&tok.text) {
-                // Close the innermost matching group; on mismatch close
-                // the top anyway (recovery), on empty stack drop the
+            if Delim::close(&tok.text).is_some() {
+                // Close the innermost group, keeping its opening delim
+                // even on mismatch (recovery); on empty stack drop the
                 // stray closer.
                 if stack.len() > 1 {
                     let (header, children) = stack.pop().expect("len checked");
                     let (delim, line, col) = header.expect("non-bottom frame has a header");
-                    let delim = if delim == d { delim } else { delim };
                     stack
                         .last_mut()
                         .expect("bottom frame remains")

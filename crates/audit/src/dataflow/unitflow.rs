@@ -274,6 +274,10 @@ impl<'a> Flow<'a> {
     }
 }
 
+/// Contributing call site for an undeclared parameter:
+/// (file index, line, inferred unit, argument text).
+type ArgSite = (usize, usize, Unit, String);
+
 /// Runs the analysis and reports `unit-flow` findings.
 pub fn check(files: &[(SourceFile, Ast)], symbols: &SymbolTable, report: &mut Report) {
     let mut flow = Flow::build(files, symbols);
@@ -331,7 +335,7 @@ pub fn check(files: &[(SourceFile, Ast)], symbols: &SymbolTable, report: &mut Re
 
     // Check 2: undeclared parameters inferred to conflicting units.
     // Recollect contributing sites so each one becomes a related location.
-    let mut sites: HashMap<(FnId, usize), Vec<(usize, usize, Unit, String)>> = HashMap::new();
+    let mut sites: HashMap<(FnId, usize), Vec<ArgSite>> = HashMap::new();
     for c in 0..n {
         let fi = flow.file_of[symbols.fns[c].file.as_str()];
         for call in &flow.calls[c] {
@@ -350,7 +354,7 @@ pub fn check(files: &[(SourceFile, Ast)], symbols: &SymbolTable, report: &mut Re
             }
         }
     }
-    let mut conflicts: Vec<(&(FnId, usize), &Vec<(usize, usize, Unit, String)>)> =
+    let mut conflicts: Vec<(&(FnId, usize), &Vec<ArgSite>)> =
         sites.iter().filter(|((k, pi), v)| {
             flow.declared[*k].get(*pi).copied().flatten().is_none()
                 && !symbols.fns[*k].in_test

@@ -47,7 +47,7 @@ const SLOT_LOOP_ALLOWED: &[&str] = &["crates/dcsim/src/engine.rs", "crates/trace
 /// stderr emitter), and the audit CLI itself. Everything else must route
 /// diagnostics through `coca_obs::logger`.
 const PRINT_ALLOWED: &[&str] = &[
-    "crates/experiments/src/bin/",
+    "crates/scenarios/src/bin/",
     "crates/obs/src/",
     "crates/audit/src/main.rs",
     "crates/audit/src/bin/",
@@ -713,7 +713,7 @@ fn delta(&mut self) {
         let lib = lint("crates/experiments/src/runtime.rs", src);
         assert_eq!(lib.unwaived().filter(|v| v.rule == NO_PRINT).count(), 1);
         for allowed in [
-            "crates/experiments/src/bin/repro.rs",
+            "crates/scenarios/src/bin/repro.rs",
             "crates/obs/src/logger.rs",
             "crates/audit/src/main.rs",
         ] {

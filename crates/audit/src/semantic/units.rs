@@ -218,7 +218,7 @@ impl RunVisitor for Mix<'_> {
                 let spaced_left = nodes.get(i.wrapping_sub(1)).and_then(Node::tok).is_none_or(
                     |p| p.line != op.line || p.end_col() < op.col,
                 );
-                let spaced_right = nodes.get(i + 1).map_or(true, |nx| {
+                let spaced_right = nodes.get(i + 1).is_none_or(|nx| {
                     let (l, c) = match nx {
                         Node::Tok(t) => (t.line, t.col),
                         Node::Group(g) => (g.line, g.col),

@@ -172,7 +172,7 @@ fn no_print_fixture_flags_each_print_site() {
 #[test]
 fn no_print_fixture_is_quiet_on_designated_print_surfaces() {
     for allowed in [
-        "crates/experiments/src/bin/repro.rs",
+        "crates/scenarios/src/bin/repro.rs",
         "crates/obs/src/logger.rs",
         "crates/audit/src/main.rs",
     ] {

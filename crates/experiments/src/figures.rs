@@ -40,6 +40,11 @@ impl Figure {
     }
 }
 
+/// Moving-average window scaled to the horizon (paper: 45 days of 365).
+pub fn movavg_window(hours: usize) -> usize {
+    (hours * 45 / 365).max(4)
+}
+
 /// Builds a symmetric-solver COCA controller for the setup's scenario.
 pub fn coca_policy(
     setup: &PaperSetup,
@@ -224,6 +229,26 @@ pub fn fig2_constant_v(setup: &PaperSetup, vs: &[f64]) -> Result<(Figure, Figure
     Ok((a, b))
 }
 
+/// Trims the setup's trace to `frames` whole frames (J = R·T like the
+/// paper) and returns the trimmed setup plus the frame length `T`.
+/// `rec_total` is left untouched — callers that want neutrality pressure
+/// rescaled to the shorter horizon (the frame-reset ablation) do that
+/// explicitly on top.
+pub fn trim_to_frames(setup: &PaperSetup, frames: usize) -> (PaperSetup, usize) {
+    assert!(frames >= 1);
+    let horizon = setup.trace.len();
+    let frame = (horizon / frames).max(1);
+    let trimmed = frame * frames;
+    let s = if trimmed == horizon {
+        setup.clone()
+    } else {
+        let mut s = setup.clone();
+        s.trace = s.trace.window(0, trimmed);
+        s
+    };
+    (s, frame)
+}
+
 /// Fig. 2(c)(d): 45-day moving averages under quarterly-varying V.
 ///
 /// `window` is in slots (paper: 45 days = 1080 h); pass a smaller value at
@@ -234,17 +259,8 @@ pub fn fig2_varying_v(
     constant: f64,
     window: usize,
 ) -> Result<(Figure, Figure), SimError> {
-    let horizon = setup.trace.len();
-    let frame = (horizon / 4).max(1);
     // Horizon may not divide by 4 exactly; trim to R·T like the paper (J = RT).
-    let trimmed = frame * 4;
-    let setup = if trimmed == horizon {
-        setup.clone()
-    } else {
-        let mut s = setup.clone();
-        s.trace = s.trace.window(0, trimmed);
-        s
-    };
+    let (setup, frame) = trim_to_frames(setup, 4);
     // Both schedules share one lockstep trace pass.
     let schedules = vec![
         VSchedule::quarterly(increasing.0, increasing.1, increasing.2, increasing.3),
@@ -327,6 +343,57 @@ pub fn fig3_vs_perfect_hp(
     Ok((a, b, saving))
 }
 
+/// One GSD convergence trace on the P3 snapshot of `slot`: the kept-state
+/// objective per iteration at temperature `delta`, optionally from a fixed
+/// initial point. Returns `None` when the requested initial point is
+/// infeasible for the snapshot (Fig. 4(b) skips those), `Some(trace)`
+/// otherwise. Seeded like the paper figures (1500, cold start).
+pub fn gsd_trace_point(
+    setup: &PaperSetup,
+    slot: usize,
+    v: f64,
+    delta: f64,
+    iterations: usize,
+    initial: Option<Vec<usize>>,
+) -> Result<Option<Vec<f64>>, SimError> {
+    let problem = snapshot_problem(setup, slot, v);
+    if let Some(init) = &initial {
+        if !problem.is_feasible(init) {
+            return Ok(None);
+        }
+    }
+    let mut gsd = GsdSolver::new(GsdOptions {
+        iterations,
+        schedule: TemperatureSchedule::Constant(delta),
+        record_trace: true,
+        warm_start: false,
+        seed: 1500,
+        ..Default::default()
+    });
+    if let Some(init) = initial {
+        gsd.set_initial(init);
+    }
+    // Only the recorded trace matters here; the solution is discarded.
+    let _ = gsd.solve(&problem)?;
+    Ok(Some(gsd.last_trace.clone()))
+}
+
+/// The named GSD initial-point presets of Fig. 4(b), as speed-level
+/// vectors for the setup's cluster. Unknown names return `None`.
+pub fn gsd_initial_levels(setup: &PaperSetup, name: &str) -> Option<Vec<usize>> {
+    let n = setup.cluster.num_groups();
+    let top = setup.cluster.full_speed_vector();
+    match name {
+        "full-speed" => Some(top),
+        "slowest-on" => Some(vec![1; n]),
+        "mixed" => {
+            Some((0..n).map(|i| 1 + (i % (setup.cluster.choice_counts()[i] - 1))).collect())
+        }
+        "half-top" => Some((0..n).map(|i| if i % 2 == 0 { top[i] } else { 1 }).collect()),
+        _ => None,
+    }
+}
+
 /// Fig. 4(a): GSD kept-state cost vs iteration for several temperatures δ,
 /// on the P3 snapshot of `slot` (queue length excluded, as in the paper).
 pub fn fig4_gsd_deltas(
@@ -336,20 +403,11 @@ pub fn fig4_gsd_deltas(
     deltas: &[f64],
     iterations: usize,
 ) -> Result<Figure, SimError> {
-    let problem = snapshot_problem(setup, slot, v);
     let mut series = Vec::new();
     for &delta in deltas {
-        let mut gsd = GsdSolver::new(GsdOptions {
-            iterations,
-            schedule: TemperatureSchedule::Constant(delta),
-            record_trace: true,
-            warm_start: false,
-            seed: 1500,
-            ..Default::default()
-        });
-        // Only the recorded trace matters here; the solution is discarded.
-        let _ = gsd.solve(&problem)?;
-        series.push(Series::indexed(format!("delta={delta:.0}"), gsd.last_trace.clone()));
+        let trace = gsd_trace_point(setup, slot, v, delta, iterations, None)?
+            .ok_or_else(|| SimError::Internal("default GSD start must be feasible".into()))?;
+        series.push(Series::indexed(format!("delta={delta:.0}"), trace));
     }
     Ok(Figure::new("Fig. 4(a) GSD cost vs iteration, temperature sweep", "iteration", series))
 }
@@ -363,32 +421,12 @@ pub fn fig4_gsd_initial_points(
     delta: f64,
     iterations: usize,
 ) -> Result<Figure, SimError> {
-    let problem = snapshot_problem(setup, slot, v);
-    let n = setup.cluster.num_groups();
-    let top = setup.cluster.full_speed_vector();
-    let initials: Vec<(String, Vec<usize>)> = vec![
-        ("full-speed".into(), top.clone()),
-        ("slowest-on".into(), vec![1; n]),
-        ("mixed".into(), (0..n).map(|i| 1 + (i % (setup.cluster.choice_counts()[i] - 1))).collect()),
-        ("half-top".into(), (0..n).map(|i| if i % 2 == 0 { top[i] } else { 1 }).collect()),
-    ];
     let mut series = Vec::new();
-    for (name, init) in initials {
-        if !problem.is_feasible(&init) {
-            continue;
+    for name in ["full-speed", "slowest-on", "mixed", "half-top"] {
+        let init = gsd_initial_levels(setup, name).expect("preset name");
+        if let Some(trace) = gsd_trace_point(setup, slot, v, delta, iterations, Some(init))? {
+            series.push(Series::indexed(name, trace));
         }
-        let mut gsd = GsdSolver::new(GsdOptions {
-            iterations,
-            schedule: TemperatureSchedule::Constant(delta),
-            record_trace: true,
-            warm_start: false,
-            seed: 1500,
-            ..Default::default()
-        });
-        gsd.set_initial(init);
-        // Only the recorded trace matters here; the solution is discarded.
-        let _ = gsd.solve(&problem)?;
-        series.push(Series::indexed(name, gsd.last_trace.clone()));
     }
     Ok(Figure::new("Fig. 4(b) GSD cost vs iteration, initial points", "iteration", series))
 }
@@ -431,6 +469,32 @@ pub struct BudgetSweepRow {
     pub v_used: f64,
 }
 
+/// One Fig. 5(a)/(b) budget point: re-calibrates V against the rescaled
+/// budget, runs COCA and the OPT plan, and normalizes both by the
+/// caller-supplied carbon-unaware reference cost (computed once per sweep
+/// via [`unaware_reference`] on the base setup).
+pub fn budget_point(
+    base: &PaperSetup,
+    frac: f64,
+    calib_probes: usize,
+    unaware_cost: f64,
+) -> Result<BudgetSweepRow, SimError> {
+    let setup = base.with_budget_fraction(frac);
+    let v = calibrate_v(&setup, calib_probes)?;
+    let coca_out = run_coca(&setup, VSchedule::Constant(v), setup.trace.len())?;
+    let mut solver = SymmetricSolver::new();
+    let opt =
+        OfflineOpt::plan(&setup.cluster, setup.cost, &setup.trace, setup.budget_kwh, &mut solver)?;
+    let opt_cost = opt.total_planned_cost() / setup.trace.len() as f64;
+    Ok(BudgetSweepRow {
+        budget_fraction: frac,
+        coca: coca_out.avg_hourly_cost() / unaware_cost,
+        opt: opt_cost / unaware_cost,
+        coca_neutral: coca_out.total_brown_energy() <= setup.budget_kwh * 1.005,
+        v_used: v,
+    })
+}
+
 /// Fig. 5(a)/(b): normalized cost vs carbon budget for COCA, OPT, and the
 /// carbon-unaware reference (always 1.0 by normalization, shown for
 /// context). `calib_probes` controls V-calibration effort per budget.
@@ -444,20 +508,8 @@ pub fn fig5_budget_sweep(
 
     // Budget points are independent (each re-calibrates V against its own
     // budget), so the sweep fans them out across worker threads.
-    let results = parallel::sweep(fractions.to_vec(), 0, |frac: f64| -> Result<BudgetSweepRow, SimError> {
-        let setup = base.with_budget_fraction(frac);
-        let v = calibrate_v(&setup, calib_probes)?;
-        let coca_out = run_coca(&setup, VSchedule::Constant(v), setup.trace.len())?;
-        let mut solver = SymmetricSolver::new();
-        let opt = OfflineOpt::plan(&setup.cluster, setup.cost, &setup.trace, setup.budget_kwh, &mut solver)?;
-        let opt_cost = opt.total_planned_cost() / setup.trace.len() as f64;
-        Ok(BudgetSweepRow {
-            budget_fraction: frac,
-            coca: coca_out.avg_hourly_cost() / unaware_cost,
-            opt: opt_cost / unaware_cost,
-            coca_neutral: coca_out.total_brown_energy() <= setup.budget_kwh * 1.005,
-            v_used: v,
-        })
+    let results = parallel::sweep(fractions.to_vec(), 0, |frac: f64| {
+        budget_point(base, frac, calib_probes, unaware_cost)
     });
     let rows = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     let fig = Figure::new(
@@ -508,33 +560,22 @@ pub fn fig5_overestimation(setup: &PaperSetup, v: f64, phis: &[f64]) -> Result<F
     ))
 }
 
+/// The setup with the per-server switching energy overridden — engine and
+/// controller both see the modified cost (Fig. 5(d)).
+pub fn switching_setup(setup: &PaperSetup, switch_kwh: f64) -> PaperSetup {
+    let mut s = setup.clone();
+    s.cost.switch_energy_kwh = switch_kwh;
+    s
+}
+
 /// Fig. 5(d): total cost vs per-server switching energy (kWh), normalized
 /// to zero switching cost.
 pub fn fig5_switching(setup: &PaperSetup, v: f64, switch_kwh: &[f64]) -> Result<Figure, SimError> {
     // Switching energy enters the engine's cost accounting, so each point
     // is its own engine run; the points fan out across worker threads.
     let results = parallel::sweep(switch_kwh.to_vec(), 0, |sw: f64| -> Result<f64, SimError> {
-        let mut cost = setup.cost;
-        cost.switch_energy_kwh = sw;
-        let cfg = CocaConfig {
-            v: VSchedule::Constant(v),
-            frame_length: setup.trace.len(),
-            horizon: setup.trace.len(),
-            alpha: 1.0,
-            rec_total: setup.rec_total,
-        };
-        let coca =
-            CocaController::new(Arc::clone(&setup.cluster), cost, cfg, SymmetricSolver::new());
-        let out = run_lockstep(
-            Arc::clone(&setup.cluster),
-            &setup.trace,
-            cost,
-            setup.rec_total,
-            vec![Box::new(coca)],
-        )?
-        .pop()
-        .ok_or_else(|| SimError::Internal("engine produced no outcome".into()))?;
-        Ok(out.avg_hourly_cost())
+        let s = switching_setup(setup, sw);
+        Ok(run_coca(&s, VSchedule::Constant(v), s.trace.len())?.avg_hourly_cost())
     });
     let costs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     let base = costs[0];
@@ -569,44 +610,62 @@ pub fn ablation_frame_reset(
     v: f64,
     frame_counts: &[usize],
 ) -> Result<Vec<AblationRow>, SimError> {
-    let mut rows = Vec::new();
-    for &frames in frame_counts {
-        assert!(frames >= 1);
-        let frame = (setup.trace.len() / frames).max(1);
-        let trimmed = frame * frames;
-        let mut s = setup.clone();
-        if trimmed != setup.trace.len() {
-            s.trace = s.trace.window(0, trimmed);
-        }
-        let cfg = CocaConfig {
-            v: VSchedule::Constant(v),
-            frame_length: frame,
-            horizon: trimmed,
-            alpha: 1.0,
-            rec_total: s.rec_total * trimmed as f64 / setup.trace.len() as f64,
-        };
-        let mut coca =
-            CocaController::new(Arc::clone(&s.cluster), s.cost, cfg, SymmetricSolver::new());
-        // `&mut coca` as the lane keeps the controller borrowed, not moved,
-        // so its peak deficit stays readable after the run.
-        let out = run_lockstep(
-            Arc::clone(&s.cluster),
-            &s.trace,
-            s.cost,
-            s.rec_total,
-            vec![Box::new(&mut coca) as Box<dyn Policy + '_>],
-        )?
-        .pop()
-        .ok_or_else(|| SimError::Internal("engine produced no outcome".into()))?;
-        let budget = s.budget_kwh * trimmed as f64 / setup.trace.len() as f64;
-        rows.push(AblationRow {
-            frames,
-            cost: out.avg_hourly_cost(),
-            brown_over_budget: out.total_brown_energy() / budget,
-            peak_queue: coca.max_deficit(),
-        });
-    }
-    Ok(rows)
+    frame_counts.iter().map(|&frames| frame_reset_point(setup, v, frames)).collect()
+}
+
+/// One frame-reset ablation point (see [`ablation_frame_reset`]): COCA at
+/// constant `v` with the horizon split into `frames` frames, the trace
+/// trimmed to J = R·T, and the controller's REC allotment (but not the
+/// engine's) prorated to the trimmed horizon.
+pub fn frame_reset_point(
+    setup: &PaperSetup,
+    v: f64,
+    frames: usize,
+) -> Result<AblationRow, SimError> {
+    let (s, frame) = trim_to_frames(setup, frames);
+    let trimmed = frame * frames;
+    let cfg = CocaConfig {
+        v: VSchedule::Constant(v),
+        frame_length: frame,
+        horizon: trimmed,
+        alpha: 1.0,
+        rec_total: s.rec_total * trimmed as f64 / setup.trace.len() as f64,
+    };
+    let mut coca = CocaController::new(Arc::clone(&s.cluster), s.cost, cfg, SymmetricSolver::new());
+    // `&mut coca` as the lane keeps the controller borrowed, not moved,
+    // so its peak deficit stays readable after the run.
+    let out = run_lockstep(
+        Arc::clone(&s.cluster),
+        &s.trace,
+        s.cost,
+        s.rec_total,
+        vec![Box::new(&mut coca) as Box<dyn Policy + '_>],
+    )?
+    .pop()
+    .ok_or_else(|| SimError::Internal("engine produced no outcome".into()))?;
+    let budget = s.budget_kwh * trimmed as f64 / setup.trace.len() as f64;
+    Ok(AblationRow {
+        frames,
+        cost: out.avg_hourly_cost(),
+        brown_over_budget: out.total_brown_energy() / budget,
+        peak_queue: coca.max_deficit(),
+    })
+}
+
+/// The setup with the renewable portfolio re-split: `share` of the budget
+/// as regenerated off-site supply, the rest as RECs (Sec. 5.2.4 remark).
+pub fn portfolio_setup(setup: &PaperSetup, share: f64) -> PaperSetup {
+    let mut s = setup.clone();
+    s.trace.offsite = coca_traces::renewable::generate(
+        &coca_traces::renewable::RenewableConfig {
+            solar_share: 0.4,
+            annual_energy_kwh: share * s.budget_kwh,
+            seed: s.scale.seed.wrapping_add(2),
+        },
+        s.trace.len(),
+    );
+    s.rec_total = (1.0 - share) * s.budget_kwh;
+    s
 }
 
 /// Renewable-portfolio sensitivity (paper Sec. 5.2.4 closing remark): the
@@ -620,18 +679,8 @@ pub fn portfolio_sensitivity(
     // Each mix reshapes the off-site trace, so each point is its own
     // engine run; the points fan out across worker threads.
     let results = parallel::sweep(offsite_shares.to_vec(), 0, |share: f64| -> Result<f64, SimError> {
-        let mut s = setup.clone();
-        s.trace.offsite = coca_traces::renewable::generate(
-            &coca_traces::renewable::RenewableConfig {
-                solar_share: 0.4,
-                annual_energy_kwh: share * s.budget_kwh,
-                seed: s.scale.seed.wrapping_add(2),
-            },
-            s.trace.len(),
-        );
-        s.rec_total = (1.0 - share) * s.budget_kwh;
-        let out = run_coca(&s, VSchedule::Constant(v), s.trace.len())?;
-        Ok(out.avg_hourly_cost())
+        let s = portfolio_setup(setup, share);
+        Ok(run_coca(&s, VSchedule::Constant(v), s.trace.len())?.avg_hourly_cost())
     });
     let costs = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     let base = costs[0];

