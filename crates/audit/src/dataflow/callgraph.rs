@@ -227,6 +227,31 @@ fn driver(s: &S) -> f64 {
     }
 
     #[test]
+    fn std_colliding_method_names_resolve_only_when_qualified() {
+        let src = "\
+struct Q;
+impl Q {
+    fn push(&self, x: u8) -> u8 { x }
+}
+fn driver(q: &Q, v: &mut Vec<u8>) {
+    v.push(1);
+    q.push(2);
+    Q::push(q, 3);
+}
+";
+        let (sym, g) = graph(src);
+        let ids = name_index(&sym);
+        let edges = &g.calls[ids["driver"]];
+        assert_eq!(
+            edges.len(),
+            1,
+            "bare `.push(…)` must not alias the workspace method: {edges:?}"
+        );
+        assert_eq!(edges[0].callee, ids["push"]);
+        assert_eq!(edges[0].line, 8, "only the qualified `Q::push` call resolves");
+    }
+
+    #[test]
     fn recursion_forms_a_cycle() {
         let src = "fn a(n: u8) { b(n) }\nfn b(n: u8) { a(n) }\n";
         let (sym, g) = graph(src);

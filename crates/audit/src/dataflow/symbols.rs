@@ -98,7 +98,18 @@ impl SymbolTable {
     /// (3) otherwise every remaining candidate (tolerant fallback), so a
     /// default-argument-style wrapper mismatch degrades to over-reporting
     /// edges rather than silently dropping them.
+    ///
+    /// Exception to the tolerance: a bare `recv.name(…)` whose name
+    /// collides with a ubiquitous std container method
+    /// ([`STD_COLLIDING_METHODS`]) resolves to nothing — receiver-blind
+    /// matching would attribute every `vec.push(x)` in the workspace to
+    /// any workspace method that happens to be called `push`. Qualified
+    /// calls (`Type::name(recv, …)`) still resolve, so such methods stay
+    /// reachable when spelled unambiguously.
     pub fn resolve(&self, name: &str, argc: usize, qualifier: Option<&str>, kind: CallKind) -> Vec<FnId> {
+        if kind == CallKind::Method && STD_COLLIDING_METHODS.contains(&name) {
+            return Vec::new();
+        }
         let Some(all) = self.by_name.get(name) else { return Vec::new() };
         let mut set: Vec<FnId> = all.clone();
         if let Some(q) = qualifier {
@@ -141,6 +152,16 @@ impl SymbolTable {
         self.by_name.get(name).map_or(&[], Vec::as_slice)
     }
 }
+
+/// Method names that collide with ubiquitous std container / iterator
+/// methods (`Vec::push`, `HashMap::insert`, `Option::take`, …). A bare
+/// `recv.name(…)` call with one of these names is overwhelmingly the std
+/// method, so method-call resolution skips them (see
+/// [`SymbolTable::resolve`]).
+pub(crate) const STD_COLLIDING_METHODS: &[&str] = &[
+    "push", "pop", "insert", "remove", "append", "extend", "clear", "contains", "get", "take",
+    "next",
+];
 
 /// Keywords that can be followed by a parenthesized expression and must
 /// never be read as a callee or a function name.

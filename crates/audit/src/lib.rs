@@ -72,6 +72,7 @@ const LINTED_CRATES: &[&str] = &[
     "crates/experiments",
     "crates/obs",
     "crates/opt",
+    "crates/serve",
     "crates/traces",
 ];
 

@@ -51,6 +51,7 @@ const PRINT_ALLOWED: &[&str] = &[
     "crates/obs/src/",
     "crates/audit/src/main.rs",
     "crates/audit/src/bin/",
+    "crates/serve/src/bin/",
 ];
 
 /// How many preceding lines count as "nearby" when looking for a guard

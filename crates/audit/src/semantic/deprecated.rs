@@ -18,10 +18,11 @@
 //!    test" becomes a reviewed, greppable label rather than a habit.
 //!
 //! Matching is by name, not by resolved path — this linter has no name
-//! resolution. The deprecated surface of this workspace (`SlotSimulator`,
-//! the `last_*` solver mirrors) is distinctive enough that name matching
-//! is exact in practice; a clash with an unrelated local name would be
-//! waived at the use site with a comment saying so.
+//! resolution. Deprecated surfaces in this workspace (historically the
+//! `SlotSimulator` facade and the `last_*` solver mirrors, both since
+//! removed) have distinctive names, so name matching is exact in
+//! practice; a clash with an unrelated local name would be waived at the
+//! use site with a comment saying so.
 
 use std::collections::HashMap;
 

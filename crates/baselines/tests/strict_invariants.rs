@@ -8,7 +8,6 @@
 //! `COCA_STRICT_INVARIANTS=1`) that must be set before the first check runs;
 //! a shared test binary would race its unit tests against the switch.
 
-#![allow(deprecated)] // exercises the deprecated SlotSimulator facade
 
 use std::sync::Arc;
 
@@ -18,7 +17,7 @@ use coca_core::gsd::{GsdOptions, GsdSolver};
 use coca_core::invariant;
 use coca_core::symmetric::SymmetricSolver;
 use coca_core::{CocaConfig, CocaController, VSchedule};
-use coca_dcsim::{Cluster, CostParams, SlotObservation, SlotSimulator};
+use coca_dcsim::{run_single, Cluster, CostParams, SlotObservation};
 use coca_opt::schedule::TemperatureSchedule;
 use coca_traces::{EnvironmentTrace, TraceConfig, WorkloadKind};
 
@@ -52,9 +51,9 @@ fn strict_run_exercises_every_invariant_check() {
         alpha: 1.0,
         rec_total: 10.0,
     };
-    let sim = SlotSimulator::new(&cluster, &env, cost, 10.0);
     let mut coca = CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
-    let _ = sim.run(&mut coca).expect("strict COCA run");
+    let _ = run_single(Arc::clone(&cluster), &env, cost, 10.0, 1.0, Box::new(&mut coca))
+        .expect("strict COCA run");
 
     // A GSD-backed controller: Gibbs acceptance probabilities.
     let short = trace(6);
@@ -71,27 +70,31 @@ fn strict_run_exercises_every_invariant_check() {
         seed: 17,
         ..Default::default()
     });
-    let gsd_sim = SlotSimulator::new(&cluster, &short, cost, 5.0);
     let mut gsd_coca = CocaController::new(Arc::clone(&cluster), cost, gsd_cfg, gsd);
-    let _ = gsd_sim.run(&mut gsd_coca).expect("strict GSD run");
+    let _ = run_single(Arc::clone(&cluster), &short, cost, 5.0, 1.0, Box::new(&mut gsd_coca))
+        .expect("strict GSD run");
 
     // All four baselines: carbon-unaware, PerfectHP, OPT, and the budgeted
     // primitive they share. The carbon-unaware reference consumption now
     // comes from a plain engine run (the bespoke `annual_consumption`
     // shortcut was removed with the `SimEngine` refactor).
     let mut unaware = CarbonUnaware::new(Arc::clone(&cluster), cost, SymmetricSolver::new());
-    let unaware_out = sim.run(&mut unaware).expect("strict carbon-unaware run");
+    let unaware_out =
+        run_single(Arc::clone(&cluster), &env, cost, 10.0, 1.0, Box::new(&mut unaware))
+            .expect("strict carbon-unaware run");
     let brown = unaware_out.total_brown_energy();
 
     let mut hp =
         PerfectHp::<SymmetricSolver>::new(Arc::clone(&cluster), cost, &env, brown * 0.8, 48)
             .expect("PerfectHP plans");
-    let _ = sim.run(&mut hp).expect("strict PerfectHP run");
+    let _ = run_single(Arc::clone(&cluster), &env, cost, 10.0, 1.0, Box::new(&mut hp))
+        .expect("strict PerfectHP run");
 
     let mut solver = SymmetricSolver::new();
     let mut opt =
         OfflineOpt::plan(&cluster, cost, &env, brown * 0.9, &mut solver).expect("OPT plans");
-    let _ = sim.run(&mut opt).expect("strict OPT run");
+    let _ = run_single(Arc::clone(&cluster), &env, cost, 10.0, 1.0, Box::new(&mut opt))
+        .expect("strict OPT run");
 
     let obs = SlotObservation { t: 0, arrival_rate: 300.0, onsite: 2.0, price: 0.08 };
     let capped = solve_capped(&mut solver, &cluster, &cost, &obs, 10.0, 1e-6)

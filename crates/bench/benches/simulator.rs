@@ -1,7 +1,5 @@
-//! Slot-simulator throughput: how fast a full COCA year runs — the number
+//! Slot-engine throughput: how fast a full COCA year runs — the number
 //! that bounds every figure sweep in the experiment harness.
-
-#![allow(deprecated)] // benches the deprecated SlotSimulator facade too
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -10,7 +8,7 @@ use std::sync::Arc;
 use coca_baselines::CarbonUnaware;
 use coca_core::symmetric::SymmetricSolver;
 use coca_core::{CocaConfig, CocaController, VSchedule};
-use coca_dcsim::{Cluster, CostParams, SlotSimulator};
+use coca_dcsim::{run_single, Cluster, CostParams};
 use coca_traces::{TraceConfig, WorkloadKind};
 
 fn setup(hours: usize, groups: usize) -> (Arc<Cluster>, coca_traces::EnvironmentTrace) {
@@ -46,16 +44,20 @@ fn bench_coca_month(c: &mut Criterion) {
             };
             let mut coca =
                 CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
-            let sim = SlotSimulator::new(&cluster, &trace, cost, 5_000.0);
-            black_box(sim.run(&mut coca).expect("run"))
+            black_box(
+                run_single(Arc::clone(&cluster), &trace, cost, 5_000.0, 1.0, Box::new(&mut coca))
+                    .expect("run"),
+            )
         })
     });
     group.bench_function("carbon_unaware_month_40groups", |b| {
         b.iter(|| {
             let mut unaware =
                 CarbonUnaware::new(Arc::clone(&cluster), cost, SymmetricSolver::new());
-            let sim = SlotSimulator::new(&cluster, &trace, cost, 0.0);
-            black_box(sim.run(&mut unaware).expect("run"))
+            black_box(
+                run_single(Arc::clone(&cluster), &trace, cost, 0.0, 1.0, Box::new(&mut unaware))
+                    .expect("run"),
+            )
         })
     });
     group.finish();
@@ -81,8 +83,17 @@ fn bench_switching_accounting(c: &mut Criterion) {
                 };
                 let mut coca =
                     CocaController::new(Arc::clone(&cluster), cost, cfg, SymmetricSolver::new());
-                let sim = SlotSimulator::new(&cluster, &trace, cost, 1_000.0);
-                black_box(sim.run(&mut coca).expect("run"))
+                black_box(
+                    run_single(
+                        Arc::clone(&cluster),
+                        &trace,
+                        cost,
+                        1_000.0,
+                        1.0,
+                        Box::new(&mut coca),
+                    )
+                    .expect("run"),
+                )
             })
         });
     }

@@ -18,7 +18,10 @@
 use std::sync::Arc;
 
 use coca_dcsim::dispatch::SlotProblem;
-use coca_dcsim::{Cluster, CostParams, Decision, Policy, SimError, SlotFeedback, SlotObservation};
+use coca_dcsim::{
+    Cluster, CostParams, Decision, Policy, PolicyTelemetry, SimError, SlotFeedback,
+    SlotObservation,
+};
 use coca_obs::SolverObserver;
 use serde::{Deserialize, Serialize, Value};
 
@@ -89,6 +92,8 @@ pub struct CocaController<S> {
     solver: S,
     deficit: DeficitQueue,
     observer: Option<Arc<dyn SolverObserver + Send + Sync>>,
+    /// Slot index of the most recent decision (backs [`Policy::telemetry`]).
+    last_t: usize,
     /// q(t) observed at each decision epoch (diagnostics; Theorem 2 relates
     /// its peak to the neutrality deviation).
     pub q_history: Vec<f64>,
@@ -102,7 +107,7 @@ impl<S: P3Solver> CocaController<S> {
         cfg.validate().expect("valid CocaConfig");
         cost.validate().expect("valid CostParams");
         let deficit = DeficitQueue::new(cfg.alpha, cfg.rec_total, cfg.horizon);
-        Self { cluster, cost, cfg, solver, deficit, observer: None, q_history: Vec::new() }
+        Self { cluster, cost, cfg, solver, deficit, observer: None, last_t: 0, q_history: Vec::new() }
     }
 
     /// Attaches a solver observer: the controller reports frame resets and
@@ -151,6 +156,7 @@ impl<S: P3Solver> Policy for CocaController<S> {
     }
 
     fn decide(&mut self, obs: &SlotObservation) -> coca_dcsim::Result<Decision> {
+        self.last_t = obs.t;
         // Frame boundary: reset the queue so V can be retuned without the
         // previous frame's deficit bleeding over (Algorithm 1 lines 2–4).
         if obs.t.is_multiple_of(self.cfg.frame_length) {
@@ -197,7 +203,20 @@ impl<S: P3Solver> Policy for CocaController<S> {
     fn reset(&mut self) {
         self.deficit = DeficitQueue::new(self.cfg.alpha, self.cfg.rec_total, self.cfg.horizon);
         self.q_history.clear();
+        self.last_t = 0;
         self.solver.reset();
+    }
+
+    /// COCA's controller internals at the most recent decision: the
+    /// deficit-queue length q(t) the solve used (the post-slot feedback
+    /// update has not been applied yet when the engine reads this), the
+    /// position within the current frame, and the V in effect.
+    fn telemetry(&self) -> Option<PolicyTelemetry> {
+        Some(PolicyTelemetry {
+            deficit_kwh: self.deficit.len(),
+            frame_pos: self.last_t % self.cfg.frame_length,
+            v: self.v_at(self.last_t),
+        })
     }
 
     /// Captures everything decision-relevant: the carbon-deficit queue,
@@ -244,7 +263,7 @@ mod tests {
     use coca_dcsim::{run_lockstep, Policy, SimOutcome};
     use coca_traces::{TraceConfig, WorkloadKind};
 
-    /// Single-lane engine pass (the `SlotSimulator` facade is deprecated).
+    /// Single-lane engine pass.
     fn run_sim(
         cluster: &Arc<Cluster>,
         trace: &coca_traces::EnvironmentTrace,

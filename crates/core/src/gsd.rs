@@ -127,26 +127,6 @@ pub struct GsdSolver {
     /// Kept-state cost after every iteration of the most recent solve
     /// (empty unless `record_trace` is set).
     pub last_trace: Vec<f64>,
-    /// Iterations actually run in the most recent solve.
-    #[deprecated(since = "0.1.0", note = "use `stats().iterations`")]
-    pub last_iterations: usize,
-    /// Accepted proposals in the most recent solve.
-    #[deprecated(since = "0.1.0", note = "use `stats().accepted`")]
-    pub last_accepted: usize,
-    /// Proposal evaluations answered by the state-cost cache in the most
-    /// recent solve (0 on the cold path).
-    #[deprecated(since = "0.1.0", note = "use `stats().cache_hits`")]
-    pub last_cache_hits: u64,
-    /// Proposal evaluations that ran a full water-filling solve in the
-    /// most recent solve (0 on the cold path).
-    #[deprecated(since = "0.1.0", note = "use `stats().cache_misses`")]
-    pub last_cache_misses: u64,
-    /// Water-level function evaluations spent inside bisections in the
-    /// most recent solve (0 on the cold path) — the actual numeric work
-    /// behind the proposals, which benches and Fig. 4 traces report next
-    /// to the proposal counts.
-    #[deprecated(since = "0.1.0", note = "use `stats().bisection_evals`")]
-    pub last_bisection_iters: u64,
     /// Cross-slot context seed: the collapsed type tables and Zobrist keys
     /// are cluster/γ/PUE-derived, so consecutive solves on the same fleet
     /// reuse them (exact-verified, bit-for-bit transparent) instead of
@@ -154,7 +134,6 @@ pub struct GsdSolver {
     seed: SlotContextSeed,
 }
 
-#[allow(deprecated)] // keeps the deprecated mirror fields populated
 impl GsdSolver {
     /// Creates a solver with the given options.
     pub fn new(opts: GsdOptions) -> Self {
@@ -166,11 +145,6 @@ impl GsdSolver {
             stats: SolveStats::default(),
             observer: None,
             last_trace: Vec::new(),
-            last_iterations: 0,
-            last_accepted: 0,
-            last_cache_hits: 0,
-            last_cache_misses: 0,
-            last_bisection_iters: 0,
             seed: SlotContextSeed::default(),
         }
     }
@@ -186,16 +160,10 @@ impl GsdSolver {
         self.observer = Some(observer);
     }
 
-    /// Records the counters for the solve that just completed: the single
-    /// source of truth is `stats`; the deprecated `last_*` fields mirror
-    /// it until they are removed.
+    /// Records the counters for the solve that just completed; `stats` is
+    /// the single source of truth.
     fn finish_solve(&mut self, stats: SolveStats) {
         self.stats = stats;
-        self.last_iterations = stats.iterations;
-        self.last_accepted = stats.accepted;
-        self.last_cache_hits = stats.cache_hits;
-        self.last_cache_misses = stats.cache_misses;
-        self.last_bisection_iters = stats.bisection_evals;
         if let Some(o) = &self.observer {
             o.on_solve(&stats.to_event("gsd"));
         }
@@ -338,17 +306,11 @@ impl P3Solver for GsdSolver {
         Ok(P3Solution { loads: out.loads.clone(), levels, outcome: out })
     }
 
-    #[allow(deprecated)] // zeroes the deprecated mirror fields too
     fn reset(&mut self) {
         self.warm = None;
         self.rng = StdRng::seed_from_u64(self.opts.seed);
         self.last_trace.clear();
         self.stats = SolveStats::default();
-        self.last_iterations = 0;
-        self.last_accepted = 0;
-        self.last_cache_hits = 0;
-        self.last_cache_misses = 0;
-        self.last_bisection_iters = 0;
     }
 
     fn name(&self) -> &'static str {
@@ -524,12 +486,6 @@ mod tests {
         assert!(inc.stats().bisection_evals > 0);
         assert_eq!(cold.stats().cache_hits, 0);
         assert_eq!(cold.stats().bisection_evals, 0);
-        // The deprecated mirror fields stay in sync until removal.
-        #[allow(deprecated)]
-        {
-            assert_eq!(inc.last_cache_hits, inc.stats().cache_hits);
-            assert_eq!(inc.last_bisection_iters, inc.stats().bisection_evals);
-        }
     }
 
     #[test]

@@ -617,24 +617,11 @@ pub struct DistributedGsdSolver {
     opts: GsdOptions,
     /// Number of server-agent threads.
     pub num_workers: usize,
-    /// Oracle calls answered by the coordinator's state-cost cache in the
-    /// last `solve` (no messaging at all on a hit).
-    #[deprecated(since = "0.1.0", note = "use `stats().cache_hits`")]
-    pub last_cache_hits: u64,
-    /// Oracle calls that ran full broadcast/reduce rounds in the last
-    /// `solve`.
-    #[deprecated(since = "0.1.0", note = "use `stats().cache_misses`")]
-    pub last_cache_misses: u64,
-    /// `TotalAt` broadcast rounds spent inside ν-bisections in the last
-    /// `solve` — the dominant messaging cost of an evaluation.
-    #[deprecated(since = "0.1.0", note = "use `stats().bisection_evals`")]
-    pub last_bisection_iters: u64,
     stats: SolveStats,
     observer: Option<Arc<dyn SolverObserver + Send + Sync>>,
     warm: Option<Vec<usize>>,
 }
 
-#[allow(deprecated)] // keeps the deprecated mirror fields populated
 impl DistributedGsdSolver {
     /// Creates a solver with the given GSD options and worker count.
     pub fn new(opts: GsdOptions, num_workers: usize) -> Self {
@@ -642,9 +629,6 @@ impl DistributedGsdSolver {
         Self {
             opts,
             num_workers,
-            last_cache_hits: 0,
-            last_cache_misses: 0,
-            last_bisection_iters: 0,
             stats: SolveStats::default(),
             observer: None,
             warm: None,
@@ -663,12 +647,9 @@ impl DistributedGsdSolver {
     }
 
     /// Records the counters for the solve that just completed (`stats` is
-    /// the source of truth; the deprecated `last_*` fields mirror it).
+    /// the source of truth).
     fn finish_solve(&mut self, stats: SolveStats) {
         self.stats = stats;
-        self.last_cache_hits = stats.cache_hits;
-        self.last_cache_misses = stats.cache_misses;
-        self.last_bisection_iters = stats.bisection_evals;
         if let Some(o) = &self.observer {
             o.on_solve(&stats.to_event("gsd-distributed"));
         }
@@ -772,13 +753,9 @@ impl P3Solver for DistributedGsdSolver {
         Ok(P3Solution { loads: out.loads.clone(), levels, outcome: out })
     }
 
-    #[allow(deprecated)] // zeroes the deprecated mirror fields too
     fn reset(&mut self) {
         self.warm = None;
         self.stats = SolveStats::default();
-        self.last_cache_hits = 0;
-        self.last_cache_misses = 0;
-        self.last_bisection_iters = 0;
     }
 
     fn name(&self) -> &'static str {

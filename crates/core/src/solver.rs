@@ -31,8 +31,8 @@ pub struct P3Solution {
 
 /// Work counters for the most recent [`P3Solver::solve`] call, returned
 /// by reference from the concrete solvers' `stats()` accessors (this
-/// replaces the scattered `last_cache_hits` / `last_cache_misses` /
-/// `last_bisection_iters` fields, which are deprecated).
+/// replaced the old scattered `last_cache_hits` / `last_cache_misses` /
+/// `last_bisection_iters` fields, since removed).
 ///
 /// The fields mirror [`coca_obs::SolveEvent`]; [`SolveStats::to_event`]
 /// is the bridge the solvers use to notify their

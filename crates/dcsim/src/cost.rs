@@ -1,0 +1,67 @@
+//! Model-level cost parameters shared by policies, the engine, and the
+//! dispatch layer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// Model-level cost parameters shared by policies and the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Delay weight β in `g = e + β·d` (paper: 10).
+    pub beta: f64,
+    /// Maximum utilization γ ∈ (0, 1) (paper constraint 7).
+    pub gamma: f64,
+    /// Power usage effectiveness (facility power = PUE × server power).
+    pub pue: f64,
+    /// Energy charged per server power-on transition (kWh). The paper's
+    /// Fig. 5(d) sweeps this from 0 to 10 % of a server's maximum hourly
+    /// energy (0.0231 kWh).
+    pub switch_energy_kwh: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self { beta: 10.0, gamma: 0.95, pue: 1.0, switch_energy_kwh: 0.0 }
+    }
+}
+
+impl CostParams {
+    /// Validates ranges.
+    pub fn validate(&self) -> crate::Result<()> {
+        if !(self.beta.is_finite() && self.beta >= 0.0) {
+            return Err(SimError::InvalidConfig(format!("beta {} invalid", self.beta)));
+        }
+        if !(self.gamma > 0.0 && self.gamma < 1.0) {
+            return Err(SimError::InvalidConfig(format!("gamma {} invalid", self.gamma)));
+        }
+        if !(self.pue.is_finite() && self.pue >= 1.0) {
+            return Err(SimError::InvalidConfig(format!("pue {} invalid", self.pue)));
+        }
+        if !(self.switch_energy_kwh.is_finite() && self.switch_energy_kwh >= 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "switch energy {} invalid",
+                self.switch_energy_kwh
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        let bad = CostParams { gamma: 1.5, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = CostParams { pue: 0.5, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = CostParams { beta: f64::NAN, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = CostParams { switch_energy_kwh: -0.1, ..Default::default() };
+        assert!(bad.validate().is_err());
+        assert!(CostParams::default().validate().is_ok());
+    }
+}

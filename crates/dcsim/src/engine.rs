@@ -1,18 +1,32 @@
 //! The unified simulation runtime: a streaming slot engine that drives N
-//! policies in lockstep over a single trace pass and checkpoints at any
+//! policies in lockstep over a single slot stream and checkpoints at any
 //! slot boundary.
 //!
-//! This replaces the monolithic `SlotSimulator::run` loop (which re-walked
-//! the trace once per policy) with three composable pieces:
+//! Three composable pieces:
 //!
 //! * [`SlotSource`] — where slots come from. A materialized
 //!   [`EnvironmentTrace`] is one impl; [`FnSource`] generates slots on the
-//!   fly so unbounded synthetic traces never have to be materialized.
-//! * [`SimEngine`] — advances slot-by-slot via [`SimEngine::step`]. Each
-//!   step prepares the slot environment once (overestimation, overload
-//!   check, observation) and then runs every registered policy lane over
-//!   it, so an N-policy comparison costs one trace pass instead of N.
+//!   fly so unbounded synthetic traces never have to be materialized; a
+//!   [`PushSource`](crate::push::PushSource) receives slots pushed by
+//!   ingestion threads (sockets, replay drivers). Sources answer a poll
+//!   with a typed [`PollSlot`]: `Ready` (here is slot `t`), `Pending` (not
+//!   arrived *yet*), or `Closed` (the stream has ended) — so "no more
+//!   slots" and "not yet available" are distinct outcomes.
+//! * [`SimEngine`] — advances slot-by-slot via [`SimEngine::step`] (or
+//!   [`SimEngine::step_wait`], which parks on the source instead of
+//!   busy-waiting). Each step prepares the slot environment once
+//!   (overestimation, overload check, observation) and then runs every
+//!   registered policy lane over it, so an N-policy comparison costs one
+//!   pass. For resident processes, [`SimEngine::run_service`] is the
+//!   run-forever loop: it drains the source until closed, honors an
+//!   external stop flag (e.g. a SIGTERM handler), and emits checkpoints on
+//!   a slot cadence and at shutdown.
 //! * [`RecordSink`] — where per-slot records go (one stream per lane).
+//!   Sinks that need the control decision itself — the wire protocol
+//!   served by `coca-serve` — implement
+//!   [`RecordSink::record_decision`] and also see the speed vector, the
+//!   dispatched load split, and the policy's
+//!   [`PolicyTelemetry`](crate::policy::PolicyTelemetry).
 //!
 //! ## Checkpoint format
 //!
@@ -40,6 +54,7 @@
 //! unobserved hot path pays only a virtual call to an empty method per
 //! event (the zero-allocation test pins that it allocates nothing).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -48,20 +63,46 @@ use coca_traces::{EnvironmentTrace, SlotEnv};
 use serde::{Deserialize, Serialize, Value};
 
 use crate::cluster::Cluster;
+use crate::cost::CostParams;
 use crate::dispatch::{evaluate_dispatch, SlotProblem};
-use crate::metrics::{RecordSink, SimOutcome, SlotRecord, VecSink};
+use crate::metrics::{DecisionContext, RecordSink, SimOutcome, SlotRecord, VecSink};
 use crate::policy::{Policy, SlotFeedback, SlotObservation};
-use crate::slot_sim::CostParams;
 use crate::SimError;
+
+/// Outcome of asking a [`SlotSource`] for slot `t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PollSlot {
+    /// The environment for slot `t`.
+    Ready(SlotEnv),
+    /// Slot `t` has not arrived yet; the stream is still open. Poll (or
+    /// [`wait`](SlotSource::wait_slot)) again later.
+    Pending,
+    /// The stream has ended; slot `t` (and everything after it) will never
+    /// arrive.
+    Closed,
+}
 
 /// A stream of slot environments, addressed by slot index.
 ///
-/// The engine pulls slots strictly in order (`0, 1, 2, …`); returning
-/// `None` ends the run. Sources may therefore generate slots lazily and
-/// never materialize the full trace.
+/// The engine polls slots strictly in order (`0, 1, 2, …`). Pull-style
+/// sources (traces, generators) answer `Ready` or `Closed` immediately;
+/// push-style sources may answer [`PollSlot::Pending`] while the slot is
+/// in flight. The engine never busy-waits on `Pending`: blocking callers
+/// go through [`wait_slot`](SlotSource::wait_slot), which a push source
+/// overrides to park on its queue.
 pub trait SlotSource {
-    /// The environment for slot `t`, or `None` past the end of the stream.
-    fn slot(&mut self, t: usize) -> Option<SlotEnv>;
+    /// Non-blocking: the current status of slot `t`.
+    fn poll_slot(&mut self, t: usize) -> PollSlot;
+
+    /// Blocking poll: waits until slot `t` is `Ready` or `Closed`, or
+    /// until `timeout` lapses (then `Pending`). `None` waits indefinitely.
+    ///
+    /// Default: a single [`poll_slot`](Self::poll_slot) — correct for
+    /// pull-style sources, which never answer `Pending`.
+    fn wait_slot(&mut self, t: usize, timeout: Option<Duration>) -> PollSlot {
+        let _ = timeout;
+        self.poll_slot(t)
+    }
 
     /// Number of slots, when known up front (used only for preallocation).
     fn len_hint(&self) -> Option<usize> {
@@ -76,8 +117,12 @@ pub trait SlotSource {
 }
 
 impl SlotSource for &EnvironmentTrace {
-    fn slot(&mut self, t: usize) -> Option<SlotEnv> {
-        (t < self.len()).then(|| EnvironmentTrace::slot(self, t))
+    fn poll_slot(&mut self, t: usize) -> PollSlot {
+        if t < self.len() {
+            PollSlot::Ready(EnvironmentTrace::slot(self, t))
+        } else {
+            PollSlot::Closed
+        }
     }
     fn len_hint(&self) -> Option<usize> {
         Some(self.len())
@@ -101,8 +146,12 @@ impl TraceSource {
 }
 
 impl SlotSource for TraceSource {
-    fn slot(&mut self, t: usize) -> Option<SlotEnv> {
-        (t < self.trace.len()).then(|| self.trace.slot(t))
+    fn poll_slot(&mut self, t: usize) -> PollSlot {
+        if t < self.trace.len() {
+            PollSlot::Ready(self.trace.slot(t))
+        } else {
+            PollSlot::Closed
+        }
     }
     fn len_hint(&self) -> Option<usize> {
         Some(self.trace.len())
@@ -115,6 +164,11 @@ impl SlotSource for TraceSource {
 /// A generator-backed source: slots are produced on demand by a closure,
 /// so arbitrarily long synthetic traces run in O(1) memory (pair with
 /// [`crate::metrics::SummarySink`] to keep the whole run O(1)).
+///
+/// The closure returns `Option<SlotEnv>`; `None` maps to the *typed*
+/// end-of-stream outcome [`PollSlot::Closed`]. A generator that needs to
+/// signal "not yet available" should instead return [`PollSlot`] directly
+/// via [`PollFnSource`].
 pub struct FnSource<F> {
     generate: F,
     len: Option<usize>,
@@ -134,14 +188,37 @@ impl<F: FnMut(usize) -> Option<SlotEnv>> FnSource<F> {
 }
 
 impl<F: FnMut(usize) -> Option<SlotEnv>> SlotSource for FnSource<F> {
-    fn slot(&mut self, t: usize) -> Option<SlotEnv> {
+    fn poll_slot(&mut self, t: usize) -> PollSlot {
         if self.len.is_some_and(|n| t >= n) {
-            return None;
+            return PollSlot::Closed;
         }
-        (self.generate)(t)
+        match (self.generate)(t) {
+            Some(env) => PollSlot::Ready(env),
+            None => PollSlot::Closed,
+        }
     }
     fn len_hint(&self) -> Option<usize> {
         self.len
+    }
+}
+
+/// A generator source whose closure answers with the full typed
+/// [`PollSlot`] — for generators that distinguish "not yet available"
+/// from "ended" (e.g. adapters over a partially-downloaded feed).
+pub struct PollFnSource<F> {
+    generate: F,
+}
+
+impl<F: FnMut(usize) -> PollSlot> PollFnSource<F> {
+    /// Wraps the generator closure.
+    pub fn new(generate: F) -> Self {
+        Self { generate }
+    }
+}
+
+impl<F: FnMut(usize) -> PollSlot> SlotSource for PollFnSource<F> {
+    fn poll_slot(&mut self, t: usize) -> PollSlot {
+        (self.generate)(t)
     }
 }
 
@@ -150,7 +227,11 @@ impl<F: FnMut(usize) -> Option<SlotEnv>> SlotSource for FnSource<F> {
 pub enum StepStatus {
     /// One slot was simulated across all lanes.
     Advanced,
-    /// The source is exhausted; nothing was simulated.
+    /// The next slot has not arrived yet (the source answered
+    /// [`PollSlot::Pending`]); nothing was simulated and the engine did
+    /// not advance. Try again, or use [`SimEngine::step_wait`].
+    Pending,
+    /// The source has ended; nothing was simulated.
     Finished,
 }
 
@@ -188,12 +269,40 @@ pub struct EngineState {
     pub lanes: Vec<LaneState>,
 }
 
+/// Configuration for [`SimEngine::run_service`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Emit a checkpoint every `n` simulated slots (`None`: only at
+    /// shutdown). Must be nonzero.
+    pub checkpoint_every: Option<usize>,
+    /// How long one [`SimEngine::step_wait`] parks on a quiet source
+    /// before the loop rechecks the stop flag. Bounds shutdown latency.
+    pub poll_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self { checkpoint_every: None, poll_timeout: Duration::from_millis(100) }
+    }
+}
+
+/// Why [`SimEngine::run_service`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceExit {
+    /// The slot source closed; every delivered slot was simulated.
+    Closed,
+    /// The stop flag was raised (e.g. SIGTERM); the run halted at a slot
+    /// boundary after a final checkpoint.
+    Stopped,
+}
+
 /// The streaming multi-policy slot engine.
 ///
 /// Construction fixes the fleet, the source, and the cost model; lanes are
 /// then added with [`SimEngine::add_policy`] and the run advances with
-/// [`SimEngine::step`] / [`SimEngine::run_to_end`]. Lanes see identical
-/// observations, so one engine pass replaces N `SlotSimulator` passes.
+/// [`SimEngine::step`] / [`SimEngine::run_to_end`] (batch) or
+/// [`SimEngine::run_service`] (resident). Lanes see identical
+/// observations, so one engine pass replaces N single-policy passes.
 pub struct SimEngine<'p, Src> {
     cluster: Arc<Cluster>,
     source: Src,
@@ -291,7 +400,7 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
         &self.cluster
     }
 
-    /// Simulates the next slot across all lanes.
+    /// Simulates the next slot across all lanes, without blocking.
     ///
     /// Per slot the engine prepares the environment once — applies φ to
     /// the observed arrival rate, rejects overload against `γ·Σ capacity`
@@ -299,17 +408,45 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
     /// (constraints 7–9 plus the paper-invariant hooks), re-dispatches the
     /// planned shares onto the realized rate, accounts energy/switching/
     /// cost into a [`SlotRecord`], and feeds realized values back to the
-    /// policy. Semantics are identical to the historical
-    /// `SlotSimulator::run` loop body.
+    /// policy.
+    ///
+    /// If the source answers [`PollSlot::Pending`], nothing is simulated
+    /// and [`StepStatus::Pending`] is returned; the engine position is
+    /// unchanged. Use [`step_wait`](Self::step_wait) to park instead.
     pub fn step(&mut self) -> crate::Result<StepStatus> {
         let t = self.t;
         // Timing is opt-in (observer.timing_enabled()): unobserved runs
-        // never touch Instant. The source pull below is part of env prep,
+        // never touch Instant. The source poll below is part of env prep,
         // so its timer starts before on_slot_start fires.
         let env_start = if self.timing { Some(Instant::now()) } else { None };
-        let Some(env) = self.source.slot(t) else {
-            return Ok(StepStatus::Finished);
-        };
+        match self.source.poll_slot(t) {
+            PollSlot::Ready(env) => {
+                self.advance_slot(env, env_start)?;
+                Ok(StepStatus::Advanced)
+            }
+            PollSlot::Pending => Ok(StepStatus::Pending),
+            PollSlot::Closed => Ok(StepStatus::Finished),
+        }
+    }
+
+    /// Like [`step`](Self::step), but parks on the source until the next
+    /// slot is ready, the stream closes, or `timeout` lapses (then
+    /// [`StepStatus::Pending`]). `None` waits indefinitely.
+    pub fn step_wait(&mut self, timeout: Option<Duration>) -> crate::Result<StepStatus> {
+        let t = self.t;
+        let env_start = if self.timing { Some(Instant::now()) } else { None };
+        match self.source.wait_slot(t, timeout) {
+            PollSlot::Ready(env) => {
+                self.advance_slot(env, env_start)?;
+                Ok(StepStatus::Advanced)
+            }
+            PollSlot::Pending => Ok(StepStatus::Pending),
+            PollSlot::Closed => Ok(StepStatus::Finished),
+        }
+    }
+
+    fn advance_slot(&mut self, env: SlotEnv, env_start: Option<Instant>) -> crate::Result<()> {
+        let t = self.t;
         self.observer.on_slot_start(t);
         let planned_rate = env.arrival_rate * self.overestimation;
         if planned_rate > self.max_servable {
@@ -387,23 +524,27 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
             let delay_cost = self.cost.beta * outcome.delay;
             let total_cost = electricity_cost + delay_cost;
 
-            lane.sink
-                .record(&SlotRecord {
-                    t,
-                    arrival_rate: env.arrival_rate,
-                    price: env.price,
-                    onsite: env.onsite,
-                    offsite: env.offsite,
-                    facility_energy,
-                    brown_energy,
-                    switching_energy,
-                    electricity_cost,
-                    delay_cost,
-                    total_cost,
-                    delay: outcome.delay,
-                    servers_on: self.cluster.servers_on(&decision.levels),
-                })
-                .map_err(SimError::Internal)?;
+            let record = SlotRecord {
+                t,
+                arrival_rate: env.arrival_rate,
+                price: env.price,
+                onsite: env.onsite,
+                offsite: env.offsite,
+                facility_energy,
+                brown_energy,
+                switching_energy,
+                electricity_cost,
+                delay_cost,
+                total_cost,
+                delay: outcome.delay,
+                servers_on: self.cluster.servers_on(&decision.levels),
+            };
+            let ctx = DecisionContext {
+                levels: &decision.levels,
+                loads: &actual_loads,
+                telemetry: lane.policy.telemetry(),
+            };
+            lane.sink.record_decision(&record, &ctx).map_err(SimError::Internal)?;
 
             lane.policy.feedback(&SlotFeedback {
                 t,
@@ -423,17 +564,71 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
         }
         self.t += 1;
         self.observer.on_slot_end(t, self.lanes.len());
-        Ok(StepStatus::Advanced)
+        Ok(())
     }
 
-    /// Steps until the source is exhausted; returns the number of slots
-    /// simulated by this call.
+    /// Steps until the source closes; returns the number of slots
+    /// simulated by this call. Blocks (via [`SlotSource::wait_slot`] with
+    /// no timeout) while slots are in flight; a source that answers
+    /// `Pending` from an unbounded wait cannot make progress and is
+    /// reported as a configuration error rather than spun on.
     pub fn run_to_end(&mut self) -> crate::Result<usize> {
         let mut advanced = 0;
-        while self.step()? == StepStatus::Advanced {
-            advanced += 1;
+        loop {
+            match self.step_wait(None)? {
+                StepStatus::Advanced => advanced += 1,
+                StepStatus::Pending => {
+                    return Err(SimError::InvalidConfig(
+                        "slot source answered Pending from an unbounded wait; \
+                         drive this source with step_wait(timeout) or run_service"
+                            .to_string(),
+                    ))
+                }
+                StepStatus::Finished => return Ok(advanced),
+            }
         }
-        Ok(advanced)
+    }
+
+    /// The resident-process loop: drains the source until it closes,
+    /// checkpointing every [`ServiceConfig::checkpoint_every`] slots and
+    /// once more at shutdown, and halting at the next slot boundary when
+    /// `stop` is raised (a SIGTERM handler flips that flag).
+    ///
+    /// `on_checkpoint` receives every emitted [`EngineState`]; persist it
+    /// atomically (write + rename) to make restarts crash-consistent. All
+    /// lanes must use materializing sinks (checkpoint requirement).
+    pub fn run_service(
+        &mut self,
+        cfg: &ServiceConfig,
+        stop: &AtomicBool,
+        mut on_checkpoint: impl FnMut(&EngineState) -> crate::Result<()>,
+    ) -> crate::Result<ServiceExit> {
+        if cfg.checkpoint_every == Some(0) {
+            return Err(SimError::InvalidConfig(
+                "checkpoint_every must be nonzero".to_string(),
+            ));
+        }
+        loop {
+            // audit:atomic(signal-handler flag; SeqCst read pairs with the handler's store)
+            if stop.load(Ordering::SeqCst) {
+                on_checkpoint(&self.checkpoint()?)?;
+                return Ok(ServiceExit::Stopped);
+            }
+            match self.step_wait(Some(cfg.poll_timeout))? {
+                StepStatus::Advanced => {
+                    if let Some(n) = cfg.checkpoint_every {
+                        if self.t.is_multiple_of(n) {
+                            on_checkpoint(&self.checkpoint()?)?;
+                        }
+                    }
+                }
+                StepStatus::Pending => {}
+                StepStatus::Finished => {
+                    on_checkpoint(&self.checkpoint()?)?;
+                    return Ok(ServiceExit::Closed);
+                }
+            }
+        }
     }
 
     /// Runs to the end of the source and returns one [`SimOutcome`] per
@@ -541,7 +736,9 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
 /// Fluent constructor for [`SimEngine`]: collects the run configuration
 /// (φ, RECs, observer, lanes) and assembles the engine in one
 /// [`build`](EngineBuilder::build) call, so adding a knob never grows the
-/// positional `SimEngine::new` signature again.
+/// positional `SimEngine::new` signature again. The same builder serves
+/// batch runs (`build(&trace)` + `run_to_end`) and resident services
+/// (`build(push_source)` + `run_service`).
 ///
 /// ```
 /// # use std::sync::Arc;
@@ -647,11 +844,32 @@ pub fn run_lockstep<'p>(
     engine.into_outcomes()
 }
 
+/// Convenience: runs one policy over a trace with an overestimation factor
+/// and returns its outcome (the old single-policy simulator's semantics).
+pub fn run_single<'p>(
+    cluster: Arc<Cluster>,
+    trace: &EnvironmentTrace,
+    cost: CostParams,
+    rec_total: f64,
+    overestimation: f64,
+    policy: Box<dyn Policy + 'p>,
+) -> crate::Result<SimOutcome> {
+    let mut engine = SimEngine::new(cluster, trace, cost, rec_total)?;
+    engine.set_overestimation(overestimation)?;
+    engine.add_policy(policy);
+    engine.run_to_end()?;
+    engine
+        .into_outcomes()?
+        .pop()
+        .ok_or_else(|| SimError::Internal("engine produced no outcome".to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::metrics::SummarySink;
-    use crate::policy::StaticLevels;
+    use crate::policy::{Decision, StaticLevels};
+    use crate::push::push_source;
     use coca_traces::TraceConfig;
 
     fn small() -> (Arc<Cluster>, EnvironmentTrace, CostParams) {
@@ -733,6 +951,140 @@ mod tests {
         // A summary lane cannot produce a SimOutcome or a checkpoint.
         assert!(engine.checkpoint().is_err());
         assert!(engine.into_outcomes().is_err());
+    }
+
+    /// Regression for the old `Option<SlotEnv>` API, which conflated "no
+    /// more slots" with "not yet available": a pending push stream must
+    /// *not* finish the run, and the engine must not advance past it.
+    #[test]
+    fn pending_source_is_not_end_of_stream() {
+        let (cluster, trace, cost) = small();
+        let (handle, source) = push_source(8);
+        let mut engine = SimEngine::new(Arc::clone(&cluster), source, cost, 0.0).unwrap();
+        engine.add_policy(Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)));
+
+        // Empty-but-open: Pending, no advance — repeatedly.
+        assert_eq!(engine.step().unwrap(), StepStatus::Pending);
+        assert_eq!(engine.step().unwrap(), StepStatus::Pending);
+        assert_eq!(engine.t(), 0);
+
+        handle.push(trace.slot(0)).unwrap();
+        assert_eq!(engine.step().unwrap(), StepStatus::Advanced);
+        assert_eq!(engine.t(), 1);
+        assert_eq!(engine.step().unwrap(), StepStatus::Pending, "drained but open");
+
+        // Only an explicit close ends the stream.
+        handle.close();
+        assert_eq!(engine.step().unwrap(), StepStatus::Finished);
+        assert_eq!(engine.t(), 1);
+    }
+
+    #[test]
+    fn pushed_slots_match_batch_run_bit_exact() {
+        let (cluster, trace, cost) = small();
+        let reference = run_lockstep(
+            Arc::clone(&cluster),
+            &trace,
+            cost,
+            10.0,
+            vec![Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost))],
+        )
+        .unwrap();
+
+        let (handle, source) = push_source(4);
+        let mut engine = SimEngine::new(Arc::clone(&cluster), source, cost, 10.0).unwrap();
+        engine.add_policy(Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)));
+        let feeder = {
+            let trace = trace.clone();
+            std::thread::spawn(move || {
+                for t in 0..trace.len() {
+                    handle.push(trace.slot(t)).unwrap();
+                }
+                // Dropping the handle closes the stream.
+            })
+        };
+        engine.run_to_end().unwrap();
+        feeder.join().unwrap();
+        let outs = engine.into_outcomes().unwrap();
+        assert_eq!(outs[0], reference[0], "pushed run must equal the batch run");
+    }
+
+    #[test]
+    fn run_service_checkpoints_on_cadence_and_exits_on_close() {
+        let (cluster, trace, cost) = small();
+        let (handle, source) = push_source(64);
+        let mut engine = SimEngine::new(Arc::clone(&cluster), source, cost, 0.0).unwrap();
+        engine.add_policy(Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)));
+        for t in 0..10 {
+            handle.push(trace.slot(t)).unwrap();
+        }
+        handle.close();
+
+        let stop = AtomicBool::new(false);
+        let mut checkpoints = Vec::new();
+        let cfg = ServiceConfig { checkpoint_every: Some(4), ..Default::default() };
+        let exit = engine
+            .run_service(&cfg, &stop, |st| {
+                checkpoints.push(st.t);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(exit, ServiceExit::Closed);
+        assert_eq!(engine.t(), 10);
+        // Cadence at t = 4, 8, plus the final checkpoint at close.
+        assert_eq!(checkpoints, vec![4, 8, 10]);
+
+        // Zero cadence is rejected.
+        let bad = ServiceConfig { checkpoint_every: Some(0), ..Default::default() };
+        let (_h, source) = push_source(1);
+        let mut engine = SimEngine::new(Arc::clone(&cluster), source, cost, 0.0).unwrap();
+        assert!(engine.run_service(&bad, &stop, |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn run_service_stop_flag_halts_at_boundary_with_checkpoint() {
+        let (cluster, trace, cost) = small();
+        let (handle, source) = push_source(64);
+        let mut engine = SimEngine::new(Arc::clone(&cluster), source, cost, 0.0).unwrap();
+        engine.add_policy(Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)));
+        for t in 0..5 {
+            handle.push(trace.slot(t)).unwrap();
+        }
+        // Stream stays open: without the stop flag the loop would park
+        // forever on the quiet source.
+        let stop = AtomicBool::new(false);
+        let mut final_state = None;
+        let cfg = ServiceConfig {
+            poll_timeout: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let exit = std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(50));
+                stop.store(true, Ordering::SeqCst);
+            });
+            engine.run_service(&cfg, &stop, |st| {
+                final_state = Some(st.clone());
+                Ok(())
+            })
+        })
+        .unwrap();
+        assert_eq!(exit, ServiceExit::Stopped);
+        let st = final_state.expect("stop must emit a final checkpoint");
+        assert_eq!(st.t, 5, "all queued slots drained before the stop");
+        assert_eq!(st.lanes[0].records.len(), 5);
+        drop(handle);
+    }
+
+    #[test]
+    fn run_to_end_rejects_nonblocking_pending_source() {
+        let (cluster, _, cost) = small();
+        // A PollFnSource that answers Pending cannot block, so an
+        // unbounded wait would spin; the engine reports it instead.
+        let source = PollFnSource::new(|_| PollSlot::Pending);
+        let mut engine = SimEngine::new(Arc::clone(&cluster), source, cost, 0.0).unwrap();
+        engine.add_policy(Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)));
+        assert!(matches!(engine.run_to_end(), Err(SimError::InvalidConfig(_))));
     }
 
     #[test]
@@ -822,5 +1174,128 @@ mod tests {
             SimEngine::new(Arc::clone(&cluster), &trace, CostParams::default(), 0.0).unwrap();
         assert!(ok.set_overestimation(0.5).is_err());
         assert!(ok.set_overestimation(1.2).is_ok());
+    }
+
+    // ——— ported from the retired `SlotSimulator` facade ———
+
+    #[test]
+    fn run_produces_one_record_per_slot() {
+        let (cluster, trace, cost) = small();
+        let out = run_single(
+            Arc::clone(&cluster),
+            &trace,
+            cost,
+            10.0,
+            1.0,
+            Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 48);
+        assert_eq!(out.policy, "static-levels");
+        for r in &out.records {
+            assert!(r.total_cost > 0.0);
+            assert!(r.facility_energy > 0.0);
+            assert!((r.total_cost - r.electricity_cost - r.delay_cost).abs() < 1e-9);
+            assert_eq!(r.servers_on, 80);
+        }
+    }
+
+    #[test]
+    fn switching_cost_charged_on_power_up() {
+        let (cluster, trace, _) = small();
+        let cost = CostParams { switch_energy_kwh: 0.0231, ..Default::default() };
+        let out = run_single(
+            Arc::clone(&cluster),
+            &trace,
+            cost,
+            10.0,
+            1.0,
+            Box::new(StaticLevels::full_speed(Arc::clone(&cluster), cost)),
+        )
+        .unwrap();
+        // All 80 servers power on in slot 0, then stay on.
+        assert!((out.records[0].switching_energy - 80.0 * 0.0231).abs() < 1e-9);
+        assert_eq!(out.records[1].switching_energy, 0.0);
+    }
+
+    #[test]
+    fn overestimation_scales_observation_not_reality() {
+        let (cluster, trace, cost) = small();
+        /// Wraps the canonical static-levels policy and records what it saw.
+        struct Probe {
+            inner: StaticLevels,
+            seen: Vec<f64>,
+        }
+        impl Policy for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn decide(&mut self, obs: &SlotObservation) -> crate::Result<Decision> {
+                self.seen.push(obs.arrival_rate);
+                self.inner.decide(obs)
+            }
+        }
+        let mut policy =
+            Probe { inner: StaticLevels::full_speed(Arc::clone(&cluster), cost), seen: vec![] };
+        let out = run_single(
+            Arc::clone(&cluster),
+            &trace,
+            cost,
+            10.0,
+            1.2,
+            Box::new(&mut policy as &mut dyn Policy),
+        )
+        .unwrap();
+        for (seen, r) in policy.seen.iter().zip(&out.records) {
+            assert!((seen - r.arrival_rate * 1.2).abs() < 1e-6, "observation inflated by φ");
+        }
+    }
+
+    #[test]
+    fn invalid_decisions_are_rejected() {
+        let (cluster, trace, cost) = small();
+        struct Dropper;
+        impl Policy for Dropper {
+            fn name(&self) -> &str {
+                "dropper"
+            }
+            fn decide(&mut self, obs: &SlotObservation) -> crate::Result<Decision> {
+                // Drops half the workload: forbidden by constraint (8).
+                Ok(Decision { levels: vec![4; 4], loads: vec![obs.arrival_rate / 8.0; 4] })
+            }
+        }
+        let got = run_single(Arc::clone(&cluster), &trace, cost, 10.0, 1.0, Box::new(Dropper));
+        assert!(matches!(got, Err(SimError::InvalidDecision(_))));
+    }
+
+    #[test]
+    fn overload_detected_upfront() {
+        let cluster = Arc::new(Cluster::homogeneous(1, 1)); // 10 req/s max
+        let trace = TraceConfig {
+            hours: 4,
+            peak_arrival_rate: 100.0,
+            onsite_energy_kwh: 0.0,
+            offsite_energy_kwh: 0.0,
+            ..Default::default()
+        }
+        .generate();
+        struct Any;
+        impl Policy for Any {
+            fn name(&self) -> &str {
+                "any"
+            }
+            fn decide(&mut self, _: &SlotObservation) -> crate::Result<Decision> {
+                unreachable!("engine must detect overload before asking")
+            }
+        }
+        let got = run_single(
+            Arc::clone(&cluster),
+            &trace,
+            CostParams::default(),
+            0.0,
+            1.0,
+            Box::new(Any),
+        );
+        assert!(matches!(got, Err(SimError::Overload { .. })));
     }
 }

@@ -22,12 +22,15 @@
 //!   baselines, plus the per-slot observation/feedback types and the
 //!   snapshot/restore hooks behind engine checkpoints.
 //! * [`engine`] — the unified simulation runtime: [`SimEngine`] advances
-//!   slot-by-slot from a [`SlotSource`], drives N policies in lockstep
-//!   over one trace pass, streams records into [`RecordSink`]s, and
-//!   checkpoints/restores via a serializable [`EngineState`].
-//! * [`slot_sim`] — the single-policy convenience wrapper over the engine
-//!   (cost/energy/deficit accounting, switching costs, workload
-//!   overestimation).
+//!   slot-by-slot from a [`SlotSource`] (typed [`PollSlot`] outcomes:
+//!   ready / pending / closed), drives N policies in lockstep over one
+//!   pass, streams records into [`RecordSink`]s, checkpoints/restores via
+//!   a serializable [`EngineState`], and runs resident via
+//!   [`SimEngine::run_service`].
+//! * [`push`] — the push-capable slot channel behind live ingestion:
+//!   bounded queue, blocking backpressure, in-order validation, typed
+//!   close semantics.
+//! * [`cost`] — the shared [`CostParams`] model (β, γ, PUE, switching).
 //! * [`eventsim`] — a discrete-event M/G/1/PS simulator (virtual-time
 //!   processor sharing) used to validate the analytic delay model at small
 //!   scale; this is the "event-based simulation" of Sec. 5.1.
@@ -41,6 +44,7 @@
 
 pub mod batch;
 pub mod cluster;
+pub mod cost;
 pub mod dispatch;
 pub mod engine;
 pub mod eventsim;
@@ -48,28 +52,26 @@ pub mod group;
 pub mod incremental;
 pub mod metrics;
 pub mod policy;
+pub mod push;
 pub mod queueing;
 pub mod server;
-pub mod slot_sim;
 
 mod error;
 
 pub use cluster::{Cluster, ClusterBuilder};
 pub use dispatch::{optimal_dispatch, DispatchOutcome, SlotProblem};
+pub use cost::CostParams;
 pub use engine::{
-    run_lockstep, EngineBuilder, EngineState, FnSource, LaneState, SimEngine, SlotSource,
-    StepStatus, TraceSource,
+    run_lockstep, run_single, EngineBuilder, EngineState, FnSource, LaneState, PollFnSource,
+    PollSlot, ServiceConfig, ServiceExit, SimEngine, SlotSource, StepStatus, TraceSource,
 };
 pub use error::SimError;
 pub use group::ServerGroup;
 pub use incremental::{EvalStats, SlotEvalContext, StateCostCache, ZobristTable};
-pub use metrics::{RecordSink, SimOutcome, SlotRecord, SummarySink, VecSink};
-pub use policy::{Decision, Policy, SlotFeedback, SlotObservation, StaticLevels};
+pub use metrics::{DecisionContext, RecordSink, SimOutcome, SlotRecord, SummarySink, VecSink};
+pub use policy::{Decision, Policy, PolicyTelemetry, SlotFeedback, SlotObservation, StaticLevels};
+pub use push::{push_source, push_source_at, PushError, PushHandle, PushSource};
 pub use server::{ServerClass, SpeedLevel};
-pub use slot_sim::CostParams;
-#[allow(deprecated)]
-// audit:allow(deprecated-api) — the compat re-export itself; it goes away last, once external callers are on `SimEngine`
-pub use slot_sim::SlotSimulator;
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, SimError>;

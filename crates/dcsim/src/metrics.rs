@@ -158,17 +158,50 @@ impl SimOutcome {
     }
 }
 
+/// The control decision behind a [`SlotRecord`], as seen by a sink.
+///
+/// The record carries the *accounting* of a slot; protocol sinks (the
+/// `coca-serve` wire writer) also need the *decision itself* — the speed
+/// vector, the dispatched load split, and whatever telemetry the policy
+/// exposes (COCA: deficit queue, frame position, V). Borrowed from the
+/// engine for the duration of one [`RecordSink::record_decision`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionContext<'a> {
+    /// Per-group speed indices the policy chose (0 = off).
+    pub levels: &'a [usize],
+    /// Per-group dispatched arrival rates after re-dispatch onto the
+    /// realized workload (req/s).
+    pub loads: &'a [f64],
+    /// Controller internals, when the policy exposes them
+    /// ([`Policy::telemetry`](crate::policy::Policy::telemetry)).
+    pub telemetry: Option<crate::policy::PolicyTelemetry>,
+}
+
 /// Consumer of the engine's per-slot record stream.
 ///
 /// Figures, reports, and tests all read the same [`SlotRecord`] stream; a
 /// sink decides what to keep. [`VecSink`] materializes every record (the
 /// default, and the only sink that supports checkpointing and
 /// [`SimOutcome`] extraction); [`SummarySink`] keeps O(1) running totals
-/// for unbounded generator traces that must not be materialized.
+/// for unbounded generator traces that must not be materialized; protocol
+/// sinks override [`record_decision`](Self::record_decision) to also see
+/// the control decision they must serialize.
 pub trait RecordSink {
     /// Receives the record for one completed slot. Records arrive in slot
     /// order, exactly once per slot.
     fn record(&mut self, rec: &SlotRecord) -> Result<(), String>;
+
+    /// Receives the record *plus* the decision context. This is what the
+    /// engine actually calls; the default discards the context and
+    /// forwards to [`record`](Self::record), so existing sinks are
+    /// unaffected.
+    fn record_decision(
+        &mut self,
+        rec: &SlotRecord,
+        _ctx: &DecisionContext<'_>,
+    ) -> Result<(), String> {
+        self.record(rec)
+    }
 
     /// Borrows the materialized records, if this sink keeps them.
     /// Sinks that aggregate (or forward elsewhere) return `None`; such

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use crate::SimError;
-use serde::Value;
+use serde::{Deserialize, Serialize, Value};
 
 /// What a policy observes at the start of a slot.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +39,20 @@ pub struct SlotFeedback {
     pub facility_energy: f64,
     /// Realized total cost g(t) ($).
     pub cost: f64,
+}
+
+/// Controller internals a policy may expose per slot, published on the
+/// serve wire protocol alongside the decision. All values describe the
+/// state *used for the current decision* (i.e. before the post-slot
+/// feedback update).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyTelemetry {
+    /// Carbon-deficit queue length q(t) (kWh) at decision time.
+    pub deficit_kwh: f64,
+    /// Position within the current frame (`t mod T`).
+    pub frame_pos: usize,
+    /// The Lyapunov weight V in effect for this slot.
+    pub v: f64,
 }
 
 /// A capacity-provisioning and load-distribution decision: one speed choice
@@ -90,6 +104,14 @@ pub trait Policy {
     /// Default: ignore.
     fn feedback(&mut self, _fb: &SlotFeedback) {}
 
+    /// Controller internals for the most recent decision, published on the
+    /// serve wire protocol. Default: none (policies without interesting
+    /// state stay silent). Read by the engine between
+    /// [`decide`](Self::decide) and [`feedback`](Self::feedback).
+    fn telemetry(&self) -> Option<PolicyTelemetry> {
+        None
+    }
+
     /// Resets internal state so the policy can be reused on a fresh run.
     /// Default: no state.
     fn reset(&mut self) {}
@@ -130,7 +152,7 @@ pub trait Policy {
 /// is `Send + 'static` and usable from sweep workers and lockstep lanes.
 pub struct StaticLevels {
     cluster: Arc<crate::cluster::Cluster>,
-    cost: crate::slot_sim::CostParams,
+    cost: crate::cost::CostParams,
     levels: Vec<usize>,
 }
 
@@ -138,7 +160,7 @@ impl StaticLevels {
     /// Creates the policy; the speed vector is validated against the fleet.
     pub fn new(
         cluster: Arc<crate::cluster::Cluster>,
-        cost: crate::slot_sim::CostParams,
+        cost: crate::cost::CostParams,
         levels: Vec<usize>,
     ) -> crate::Result<Self> {
         cost.validate()?;
@@ -149,7 +171,7 @@ impl StaticLevels {
     /// Everything at top speed.
     pub fn full_speed(
         cluster: Arc<crate::cluster::Cluster>,
-        cost: crate::slot_sim::CostParams,
+        cost: crate::cost::CostParams,
     ) -> Self {
         let levels = cluster.full_speed_vector();
         Self { cluster, cost, levels }
@@ -191,6 +213,9 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
     fn feedback(&mut self, fb: &SlotFeedback) {
         (**self).feedback(fb)
     }
+    fn telemetry(&self) -> Option<PolicyTelemetry> {
+        (**self).telemetry()
+    }
     fn reset(&mut self) {
         (**self).reset()
     }
@@ -211,6 +236,9 @@ impl<P: Policy + ?Sized> Policy for &mut P {
     }
     fn feedback(&mut self, fb: &SlotFeedback) {
         (**self).feedback(fb)
+    }
+    fn telemetry(&self) -> Option<PolicyTelemetry> {
+        (**self).telemetry()
     }
     fn reset(&mut self) {
         (**self).reset()
@@ -252,7 +280,7 @@ mod tests {
     fn static_levels_runs_over_a_trace() {
         use crate::cluster::Cluster;
         use crate::engine::run_lockstep;
-        use crate::slot_sim::CostParams;
+        use crate::cost::CostParams;
         let cluster = Arc::new(Cluster::homogeneous(3, 10));
         let cost = CostParams::default();
         let trace = coca_traces::TraceConfig {

@@ -1,0 +1,55 @@
+//! `validate-serve` — checks a serve wire stream against the checked-in
+//! schema.
+//!
+//! ```text
+//! validate-serve <stream.ndjson> <schema.json>
+//! ```
+//!
+//! Exits 0 when every line conforms (with a one-line summary), 1 with the
+//! first offending line otherwise, and 2 on usage or I/O errors. CI runs
+//! this over the smoke test's captured decision stream so wire-format
+//! drift fails the build instead of breaking subscribers.
+
+use std::process::ExitCode;
+
+use coca_serve::schema::WireSchema;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(stream_path), Some(schema_path), None) = (args.next(), args.next(), args.next())
+    else {
+        eprintln!("usage: validate-serve <stream.ndjson> <schema.json>");
+        return ExitCode::from(2);
+    };
+    let schema = match std::fs::read_to_string(&schema_path)
+        .map_err(|e| format!("cannot read {schema_path}: {e}"))
+        .and_then(|s| WireSchema::from_json(&s))
+    {
+        Ok(schema) => schema,
+        Err(e) => {
+            eprintln!("validate-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let stream = match std::fs::File::open(&stream_path) {
+        Ok(f) => std::io::BufReader::new(f),
+        Err(e) => {
+            eprintln!("validate-serve: cannot open {stream_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match schema.validate_stream(stream) {
+        Ok(report) => {
+            println!(
+                "validate-serve: {stream_path} satisfies {schema_path} \
+                 ({} lines, {} slots, {} decisions)",
+                report.lines, report.slots, report.decisions
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate-serve: {stream_path} fails {schema_path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Minimal in-tree HTTP endpoint for metrics scraping.
+//!
+//! Serves three read-only routes over HTTP/1.1, enough for a Prometheus
+//! scraper or a curl-wielding operator and nothing more (no keep-alive,
+//! no TLS, no request bodies):
+//!
+//! * `GET /metrics` — the registry snapshot in Prometheus text format,
+//! * `GET /metrics.json` — the same snapshot as JSON,
+//! * `GET /healthz` — `ok`, for liveness probes.
+//!
+//! [`http_get`] is the matching one-shot client, used by the `scrape`
+//! subcommand and the integration tests so the smoke path needs no
+//! external HTTP tooling.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use coca_obs::MetricsRegistry;
+
+/// Spawns the scrape endpoint on `listener`; one thread, one request per
+/// connection. The thread exits when the listener errors (process
+/// shutdown).
+pub fn spawn_metrics_server(
+    listener: TcpListener,
+    registry: Arc<MetricsRegistry>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { break };
+            // A broken scraper connection must not take the server down.
+            let _ = handle_request(stream, &registry);
+        }
+    })
+}
+
+fn handle_request(stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients do not see a reset.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain", "only GET is supported\n".to_string())
+    } else {
+        match path {
+            "/metrics" => {
+                ("200 OK", "text/plain; version=0.0.4", registry.snapshot().to_prometheus())
+            }
+            "/metrics.json" => match registry.snapshot().to_json() {
+                Ok(json) => ("200 OK", "application/json", json),
+                Err(e) => ("500 Internal Server Error", "text/plain", format!("{e}\n")),
+            },
+            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+            _ => ("404 Not Found", "text/plain", format!("no route for {path}\n")),
+        }
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// One-shot HTTP GET: returns `(status_code, body)`.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: coca-serve\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header/body split"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> (std::net::SocketAddr, Arc<MetricsRegistry>) {
+        let registry = Arc::new(MetricsRegistry::new());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        spawn_metrics_server(listener, Arc::clone(&registry));
+        (addr, registry)
+    }
+
+    #[test]
+    fn serves_prometheus_json_and_healthz() {
+        let (addr, registry) = server();
+        registry.counter("serve_slots_total").add(72);
+        registry.gauge("serve_deficit_kwh").set(1.5);
+
+        let (status, body) = http_get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("serve_slots_total 72"), "{body}");
+
+        let (status, body) = http_get(addr, "/metrics.json").unwrap();
+        assert_eq!(status, 200);
+        let snap = coca_obs::MetricsSnapshot::from_json(&body).expect("parseable json");
+        assert_eq!(snap.counter("serve_slots_total"), Some(72));
+
+        let (status, body) = http_get(addr, "/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let (addr, _registry) = server();
+        let (status, _) = http_get(addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+    }
+}

@@ -1,0 +1,121 @@
+//! Ingestion: NDJSON slot lines → the engine's push channel.
+//!
+//! [`run_ingest`] is the body of the reader thread: it parses each line as
+//! an [`InMsg`] and pushes slots through the [`PushHandle`], inheriting
+//! the channel's guarantees — blocking backpressure when the engine falls
+//! behind, in-order validation, typed close. A malformed line or an
+//! out-of-order slot aborts ingestion with an error (a control stream
+//! that garbles is a stream you stop trusting); the engine side then
+//! finishes whatever was already queued and exits cleanly.
+
+use std::io::BufRead;
+
+use coca_dcsim::{PushError, PushHandle};
+
+use crate::proto::InMsg;
+
+/// What ingestion saw before it returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Slots successfully pushed to the engine.
+    pub slots: usize,
+    /// True when the stream ended with an explicit `{"type":"end"}`
+    /// (false: EOF, or the engine shut down mid-stream).
+    pub explicit_end: bool,
+}
+
+/// Reads NDJSON from `input` and pushes slots until `end`, EOF, an error,
+/// or engine shutdown. The channel is always closed on return, so the
+/// engine never waits on a dead reader.
+pub fn run_ingest<R: BufRead>(input: R, handle: &PushHandle) -> std::io::Result<IngestStats> {
+    let mut stats = IngestStats { slots: 0, explicit_end: false };
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let msg = InMsg::parse(trimmed).map_err(|e| {
+            handle.close();
+            bad_data(format!("ingest line {}: {e}", i + 1))
+        })?;
+        match msg {
+            InMsg::End => {
+                stats.explicit_end = true;
+                break;
+            }
+            InMsg::Slot(env) => match handle.push(env) {
+                Ok(()) => stats.slots += 1,
+                // Engine gone (shutdown raced the stream): not an error.
+                Err(PushError::Closed) => break,
+                Err(e @ (PushError::OutOfOrder { .. } | PushError::Invalid(_))) => {
+                    handle.close();
+                    return Err(bad_data(format!("ingest line {}: {e}", i + 1)));
+                }
+            },
+        }
+    }
+    handle.close();
+    Ok(stats)
+}
+
+fn bad_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coca_dcsim::{push_source, PollSlot, SlotSource};
+    use coca_traces::SlotEnv;
+
+    fn slot_line(t: usize) -> String {
+        InMsg::Slot(SlotEnv { t, arrival_rate: 10.0, onsite: 1.0, price: 0.05, offsite: 2.0 })
+            .to_line()
+    }
+
+    #[test]
+    fn pushes_slots_then_closes_on_end() {
+        let (handle, mut source) = push_source(8);
+        let input = format!("{}\n{}\n\n{}\n", slot_line(0), slot_line(1), InMsg::End.to_line());
+        let stats = run_ingest(input.as_bytes(), &handle).unwrap();
+        assert_eq!(stats, IngestStats { slots: 2, explicit_end: true });
+        assert!(matches!(source.poll_slot(0), PollSlot::Ready(_)));
+        assert!(matches!(source.poll_slot(1), PollSlot::Ready(_)));
+        assert_eq!(source.poll_slot(2), PollSlot::Closed);
+    }
+
+    #[test]
+    fn eof_without_end_still_closes() {
+        let (handle, mut source) = push_source(8);
+        let input = slot_line(0);
+        let stats = run_ingest(input.as_bytes(), &handle).unwrap();
+        assert_eq!(stats, IngestStats { slots: 1, explicit_end: false });
+        assert!(matches!(source.poll_slot(0), PollSlot::Ready(_)));
+        assert_eq!(source.poll_slot(1), PollSlot::Closed);
+    }
+
+    #[test]
+    fn malformed_and_out_of_order_lines_abort() {
+        let (handle, mut source) = push_source(8);
+        let input = format!("{}\nnot json\n", slot_line(0));
+        assert!(run_ingest(input.as_bytes(), &handle).is_err());
+        assert!(matches!(source.poll_slot(0), PollSlot::Ready(_)));
+        assert_eq!(source.poll_slot(1), PollSlot::Closed, "channel closed on abort");
+
+        let (handle, _source) = push_source(8);
+        let input = format!("{}\n{}\n", slot_line(0), slot_line(5));
+        let err = run_ingest(input.as_bytes(), &handle).unwrap_err();
+        assert!(err.to_string().contains("out-of-order"), "{err}");
+    }
+
+    #[test]
+    fn engine_shutdown_mid_stream_is_clean() {
+        let (handle, source) = push_source(8);
+        drop(source);
+        let input = format!("{}\n{}\n", slot_line(0), slot_line(1));
+        let stats = run_ingest(input.as_bytes(), &handle).unwrap();
+        assert_eq!(stats.slots, 0, "engine was already gone");
+        assert!(!stats.explicit_end);
+    }
+}

@@ -1,0 +1,321 @@
+//! The serve wire protocol: newline-delimited JSON, one message per line.
+//!
+//! Two directions share the `"type"`-tagged envelope:
+//!
+//! * **Ingest** (operator → service): [`InMsg`] —
+//!   `{"type":"slot","t":0,"workload":…,"onsite":…,"price":…,"offsite":…}`
+//!   per slot, then `{"type":"end"}` when the stream is complete.
+//! * **Publish** (service → subscribers): [`OutMsg`] — one
+//!   `{"type":"hello",…}` banner per connection, a
+//!   `{"type":"decision",…}` per simulated slot carrying the speed
+//!   vector, load split and controller telemetry, and a final
+//!   `{"type":"end","slots":N}`.
+//!
+//! Messages are hand-encoded onto the vendored serde [`Value`] tree rather
+//! than derived: the derive shim emits externally-tagged enums, and the
+//! wire format pins an *internally*-tagged shape (the `"type"` field lives
+//! beside the payload) so `schemas/serve.schema.json` stays the single
+//! description of what is on the wire. Floats are serialized with the
+//! shortest round-tripping representation, which is what makes the
+//! byte-identity checks in the resume tests sound.
+
+use coca_dcsim::PolicyTelemetry;
+use coca_traces::SlotEnv;
+use serde::Value;
+
+/// Wire protocol version, carried in every hello banner.
+pub const PROTO_VERSION: i64 = 1;
+
+/// A message on the ingest stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InMsg {
+    /// One environment slot, in order.
+    Slot(SlotEnv),
+    /// The stream is complete; no more slots will arrive.
+    End,
+}
+
+/// Decision payload published after each simulated slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionMsg {
+    /// Slot index `t`.
+    pub t: usize,
+    /// Policy that produced the decision.
+    pub policy: String,
+    /// Per-group speed indices (0 = off).
+    pub levels: Vec<usize>,
+    /// Per-group dispatched arrival rates (req/s).
+    pub loads: Vec<f64>,
+    /// Servers powered on during the slot.
+    pub servers_on: usize,
+    /// Realized total cost g(t) ($).
+    pub total_cost: f64,
+    /// Realized brown-energy draw (kWh).
+    pub brown_energy: f64,
+    /// Controller internals (deficit queue, frame position, V), when the
+    /// policy exposes them.
+    pub telemetry: Option<PolicyTelemetry>,
+}
+
+/// A message on the publish stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutMsg {
+    /// Per-connection banner: protocol version, policy name, group count.
+    Hello {
+        /// Policy that will produce the decisions.
+        policy: String,
+        /// Number of server groups (length of `levels`/`loads`).
+        groups: usize,
+    },
+    /// One decision per simulated slot.
+    Decision(DecisionMsg),
+    /// The run ended after `slots` simulated slots.
+    End {
+        /// Number of slots simulated.
+        slots: usize,
+    },
+}
+
+fn int_field(v: &Value, name: &str) -> Result<i64, String> {
+    match v.get_field(name) {
+        Some(Value::Int(i)) => Ok(*i),
+        Some(other) => Err(format!("field `{name}` is not an integer: {other:?}")),
+        None => Err(format!("missing field `{name}`")),
+    }
+}
+
+fn usize_field(v: &Value, name: &str) -> Result<usize, String> {
+    let i = int_field(v, name)?;
+    usize::try_from(i).map_err(|_| format!("field `{name}` = {i} is negative"))
+}
+
+fn float_field(v: &Value, name: &str) -> Result<f64, String> {
+    match v.get_field(name) {
+        Some(Value::Float(x)) => Ok(*x),
+        Some(Value::Int(i)) => Ok(*i as f64),
+        Some(other) => Err(format!("field `{name}` is not a number: {other:?}")),
+        None => Err(format!("missing field `{name}`")),
+    }
+}
+
+fn str_field<'v>(v: &'v Value, name: &str) -> Result<&'v str, String> {
+    match v.get_field(name) {
+        Some(Value::Str(s)) => Ok(s),
+        Some(other) => Err(format!("field `{name}` is not a string: {other:?}")),
+        None => Err(format!("missing field `{name}`")),
+    }
+}
+
+fn msg_type(v: &Value) -> Result<&str, String> {
+    str_field(v, "type")
+}
+
+fn encode(entries: Vec<(&str, Value)>) -> String {
+    let v = Value::Map(entries.into_iter().map(|(k, x)| (k.to_string(), x)).collect());
+    serde_json::to_string(&v).expect("wire value trees always serialize")
+}
+
+fn float(x: f64) -> Value {
+    Value::Float(x)
+}
+
+fn int(x: usize) -> Value {
+    Value::Int(x as i64)
+}
+
+impl InMsg {
+    /// Encodes one ingest line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            InMsg::Slot(env) => encode(vec![
+                ("type", Value::Str("slot".into())),
+                ("t", int(env.t)),
+                ("workload", float(env.arrival_rate)),
+                ("onsite", float(env.onsite)),
+                ("price", float(env.price)),
+                ("offsite", float(env.offsite)),
+            ]),
+            InMsg::End => encode(vec![("type", Value::Str("end".into()))]),
+        }
+    }
+
+    /// Parses one ingest line.
+    pub fn parse(line: &str) -> Result<InMsg, String> {
+        let v: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        match msg_type(&v)? {
+            "slot" => Ok(InMsg::Slot(SlotEnv {
+                t: usize_field(&v, "t")?,
+                arrival_rate: float_field(&v, "workload")?,
+                onsite: float_field(&v, "onsite")?,
+                price: float_field(&v, "price")?,
+                offsite: float_field(&v, "offsite")?,
+            })),
+            "end" => Ok(InMsg::End),
+            other => Err(format!("unknown ingest message type `{other}`")),
+        }
+    }
+}
+
+impl OutMsg {
+    /// Encodes one publish line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            OutMsg::Hello { policy, groups } => encode(vec![
+                ("type", Value::Str("hello".into())),
+                ("proto", Value::Int(PROTO_VERSION)),
+                ("policy", Value::Str(policy.clone())),
+                ("groups", int(*groups)),
+            ]),
+            OutMsg::Decision(d) => {
+                let mut entries = vec![
+                    ("type", Value::Str("decision".into())),
+                    ("t", int(d.t)),
+                    ("policy", Value::Str(d.policy.clone())),
+                    ("levels", Value::Seq(d.levels.iter().map(|&l| int(l)).collect())),
+                    ("loads", Value::Seq(d.loads.iter().map(|&l| float(l)).collect())),
+                    ("servers_on", int(d.servers_on)),
+                    ("total_cost", float(d.total_cost)),
+                    ("brown_energy", float(d.brown_energy)),
+                ];
+                if let Some(tele) = &d.telemetry {
+                    entries.push((
+                        "telemetry",
+                        Value::Map(vec![
+                            ("deficit_kwh".into(), float(tele.deficit_kwh)),
+                            ("frame_pos".into(), int(tele.frame_pos)),
+                            ("v".into(), float(tele.v)),
+                        ]),
+                    ));
+                }
+                encode(entries)
+            }
+            OutMsg::End { slots } => {
+                encode(vec![("type", Value::Str("end".into())), ("slots", int(*slots))])
+            }
+        }
+    }
+
+    /// Parses one publish line.
+    pub fn parse(line: &str) -> Result<OutMsg, String> {
+        let v: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        match msg_type(&v)? {
+            "hello" => {
+                let proto = int_field(&v, "proto")?;
+                if proto != PROTO_VERSION {
+                    return Err(format!("protocol version {proto}, this build speaks {PROTO_VERSION}"));
+                }
+                Ok(OutMsg::Hello {
+                    policy: str_field(&v, "policy")?.to_string(),
+                    groups: usize_field(&v, "groups")?,
+                })
+            }
+            "decision" => {
+                let levels = match v.get_field("levels") {
+                    Some(Value::Seq(items)) => items
+                        .iter()
+                        .map(|x| match x {
+                            Value::Int(i) => usize::try_from(*i)
+                                .map_err(|_| format!("negative level {i}")),
+                            other => Err(format!("level is not an integer: {other:?}")),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err("missing/invalid field `levels`".into()),
+                };
+                let loads = match v.get_field("loads") {
+                    Some(Value::Seq(items)) => items
+                        .iter()
+                        .map(|x| match x {
+                            Value::Float(f) => Ok(*f),
+                            Value::Int(i) => Ok(*i as f64),
+                            other => Err(format!("load is not a number: {other:?}")),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err("missing/invalid field `loads`".into()),
+                };
+                let telemetry = match v.get_field("telemetry") {
+                    None | Some(Value::Null) => None,
+                    Some(tele) => Some(PolicyTelemetry {
+                        deficit_kwh: float_field(tele, "deficit_kwh")?,
+                        frame_pos: usize_field(tele, "frame_pos")?,
+                        v: float_field(tele, "v")?,
+                    }),
+                };
+                Ok(OutMsg::Decision(DecisionMsg {
+                    t: usize_field(&v, "t")?,
+                    policy: str_field(&v, "policy")?.to_string(),
+                    levels,
+                    loads,
+                    servers_on: usize_field(&v, "servers_on")?,
+                    total_cost: float_field(&v, "total_cost")?,
+                    brown_energy: float_field(&v, "brown_energy")?,
+                    telemetry,
+                }))
+            }
+            "end" => Ok(OutMsg::End { slots: usize_field(&v, "slots")? }),
+            other => Err(format!("unknown publish message type `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(t: usize) -> SlotEnv {
+        SlotEnv { t, arrival_rate: 120.5, onsite: 3.25, price: 0.05, offsite: 4.5 }
+    }
+
+    #[test]
+    fn ingest_roundtrip() {
+        let m = InMsg::Slot(env(7));
+        assert_eq!(InMsg::parse(&m.to_line()).unwrap(), m);
+        assert_eq!(InMsg::parse(&InMsg::End.to_line()).unwrap(), InMsg::End);
+    }
+
+    #[test]
+    fn publish_roundtrip_with_and_without_telemetry() {
+        let hello = OutMsg::Hello { policy: "coca".into(), groups: 3 };
+        assert_eq!(OutMsg::parse(&hello.to_line()).unwrap(), hello);
+
+        let mut d = DecisionMsg {
+            t: 4,
+            policy: "coca".into(),
+            levels: vec![2, 0, 1],
+            loads: vec![60.0, 0.0, 60.5],
+            servers_on: 20,
+            total_cost: 1.25,
+            brown_energy: 0.5,
+            telemetry: Some(PolicyTelemetry { deficit_kwh: 1.5, frame_pos: 4, v: 100.0 }),
+        };
+        let m = OutMsg::Decision(d.clone());
+        assert_eq!(OutMsg::parse(&m.to_line()).unwrap(), m);
+        d.telemetry = None;
+        let m = OutMsg::Decision(d);
+        let line = m.to_line();
+        assert!(!line.contains("telemetry"));
+        assert_eq!(OutMsg::parse(&line).unwrap(), m);
+
+        let end = OutMsg::End { slots: 72 };
+        assert_eq!(OutMsg::parse(&end.to_line()).unwrap(), end);
+    }
+
+    #[test]
+    fn lines_carry_the_type_tag_inline() {
+        let line = InMsg::Slot(env(0)).to_line();
+        assert!(line.starts_with("{\"type\":\"slot\","), "{line}");
+        let line = OutMsg::End { slots: 3 }.to_line();
+        assert_eq!(line, "{\"type\":\"end\",\"slots\":3}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(InMsg::parse("not json").is_err());
+        assert!(InMsg::parse("{\"type\":\"mystery\"}").is_err());
+        assert!(InMsg::parse("{\"t\":0}").is_err(), "missing type tag");
+        assert!(OutMsg::parse("{\"type\":\"decision\",\"t\":0}").is_err(), "missing fields");
+        let wrong_proto = "{\"type\":\"hello\",\"proto\":99,\"policy\":\"x\",\"groups\":1}";
+        assert!(OutMsg::parse(wrong_proto).is_err());
+        let neg_t = "{\"type\":\"slot\",\"t\":-1,\"workload\":1,\"onsite\":0,\"price\":0.1,\"offsite\":0}";
+        assert!(InMsg::parse(neg_t).is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! Wire-schema validation: checks an NDJSON stream (ingest or publish
+//! direction) against `schemas/serve.schema.json`.
+//!
+//! The schema pins, per `"type"` tag, which fields are required and which
+//! are optional; anything undeclared is rejected, so a field added to the
+//! wire without a schema update fails CI instead of shipping silently.
+//! Beyond per-line shape the validator enforces the two stream-level
+//! invariants subscribers rely on: `slot`/`decision` indices are strictly
+//! consecutive, and a `hello` banner carries the protocol version this
+//! schema describes.
+
+use std::io::BufRead;
+
+use serde::Value;
+
+/// Field rules for one message type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageSpec {
+    /// Fields that must be present.
+    pub required: Vec<String>,
+    /// Fields that may be present.
+    pub optional: Vec<String>,
+}
+
+/// The parsed wire schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSchema {
+    /// Protocol version the schema describes.
+    pub proto: i64,
+    /// Message specs by `"type"` tag.
+    pub messages: Vec<(String, MessageSpec)>,
+}
+
+/// What a validated stream contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamReport {
+    /// Non-empty lines checked.
+    pub lines: usize,
+    /// `decision` messages seen.
+    pub decisions: usize,
+    /// `slot` messages seen.
+    pub slots: usize,
+}
+
+fn str_list(v: &Value, name: &str) -> Result<Vec<String>, String> {
+    match v.get_field(name) {
+        Some(Value::Seq(items)) => items
+            .iter()
+            .map(|x| match x {
+                Value::Str(s) => Ok(s.clone()),
+                other => Err(format!("`{name}` entry is not a string: {other:?}")),
+            })
+            .collect(),
+        None => Ok(Vec::new()),
+        Some(other) => Err(format!("`{name}` is not a list: {other:?}")),
+    }
+}
+
+impl WireSchema {
+    /// Parses the schema from its JSON text.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let proto = match v.get_field("proto") {
+            Some(Value::Int(i)) => *i,
+            _ => return Err("schema missing integer `proto`".into()),
+        };
+        let Some(Value::Map(entries)) = v.get_field("messages") else {
+            return Err("schema missing object `messages`".into());
+        };
+        let messages = entries
+            .iter()
+            .map(|(tag, spec)| {
+                Ok((
+                    tag.clone(),
+                    MessageSpec {
+                        required: str_list(spec, "required")?,
+                        optional: str_list(spec, "optional")?,
+                    },
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        if messages.is_empty() {
+            return Err("schema declares no message types".into());
+        }
+        Ok(Self { proto, messages })
+    }
+
+    fn spec(&self, tag: &str) -> Option<&MessageSpec> {
+        self.messages.iter().find(|(t, _)| t == tag).map(|(_, s)| s)
+    }
+
+    fn check_line(&self, line: &str, next_t: &mut Option<usize>) -> Result<String, String> {
+        let v: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        let map = v.as_map().ok_or("message is not an object")?;
+        let Some(Value::Str(tag)) = v.get_field("type") else {
+            return Err("missing string field `type`".into());
+        };
+        let spec = self
+            .spec(tag)
+            .ok_or_else(|| format!("unknown message type `{tag}`"))?;
+        for req in &spec.required {
+            if v.get_field(req).is_none() {
+                return Err(format!("`{tag}` is missing required field `{req}`"));
+            }
+        }
+        for (field, _) in map {
+            if field != "type"
+                && !spec.required.contains(field)
+                && !spec.optional.contains(field)
+            {
+                return Err(format!("`{tag}` carries undeclared field `{field}`"));
+            }
+        }
+        if tag == "hello" {
+            match v.get_field("proto") {
+                Some(Value::Int(p)) if *p == self.proto => {}
+                Some(Value::Int(p)) => {
+                    return Err(format!("hello speaks proto {p}, schema is {}", self.proto))
+                }
+                _ => return Err("hello `proto` is not an integer".into()),
+            }
+        }
+        if tag == "slot" || tag == "decision" {
+            let t = match v.get_field("t") {
+                Some(Value::Int(i)) if *i >= 0 => *i as usize,
+                _ => return Err(format!("`{tag}` field `t` is not a non-negative integer")),
+            };
+            match next_t {
+                Some(expected) if t != *expected => {
+                    return Err(format!("`{tag}` at t={t}, expected t={expected}"))
+                }
+                _ => *next_t = Some(t + 1),
+            }
+        }
+        Ok(tag.clone())
+    }
+
+    /// Validates a whole NDJSON stream; blank lines are skipped. Errors
+    /// carry the 1-based line number.
+    pub fn validate_stream<R: BufRead>(&self, input: R) -> Result<StreamReport, String> {
+        let mut report = StreamReport::default();
+        let mut next_t: Option<usize> = None;
+        for (i, line) in input.lines().enumerate() {
+            let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let tag = self
+                .check_line(trimmed, &mut next_t)
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            report.lines += 1;
+            match tag.as_str() {
+                "decision" => report.decisions += 1,
+                "slot" => report.slots += 1,
+                _ => {}
+            }
+        }
+        if report.lines == 0 {
+            return Err("stream is empty".into());
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{DecisionMsg, InMsg, OutMsg};
+    use coca_traces::SlotEnv;
+
+    fn schema() -> WireSchema {
+        let json = include_str!("../../../schemas/serve.schema.json");
+        WireSchema::from_json(json).expect("checked-in schema parses")
+    }
+
+    fn decision(t: usize) -> String {
+        OutMsg::Decision(DecisionMsg {
+            t,
+            policy: "coca".into(),
+            levels: vec![1],
+            loads: vec![5.0],
+            servers_on: 5,
+            total_cost: 1.0,
+            brown_energy: 0.5,
+            telemetry: None,
+        })
+        .to_line()
+    }
+
+    #[test]
+    fn accepts_what_the_service_emits() {
+        let stream = format!(
+            "{}\n{}\n{}\n{}\n",
+            OutMsg::Hello { policy: "coca".into(), groups: 1 }.to_line(),
+            decision(0),
+            decision(1),
+            OutMsg::End { slots: 2 }.to_line()
+        );
+        let report = schema().validate_stream(stream.as_bytes()).unwrap();
+        assert_eq!(report, StreamReport { lines: 4, decisions: 2, slots: 0 });
+    }
+
+    #[test]
+    fn accepts_what_replay_emits() {
+        let stream = format!(
+            "{}\n{}\n",
+            InMsg::Slot(SlotEnv { t: 0, arrival_rate: 1.0, onsite: 0.0, price: 0.1, offsite: 0.0 })
+                .to_line(),
+            InMsg::End.to_line()
+        );
+        let report = schema().validate_stream(stream.as_bytes()).unwrap();
+        assert_eq!(report, StreamReport { lines: 2, decisions: 0, slots: 1 });
+    }
+
+    #[test]
+    fn rejects_gaps_missing_fields_and_undeclared_fields() {
+        let s = schema();
+        let gap = format!("{}\n{}\n", decision(0), decision(2));
+        assert!(s.validate_stream(gap.as_bytes()).unwrap_err().contains("expected t=1"));
+
+        let missing = "{\"type\":\"decision\",\"t\":0}\n";
+        assert!(s
+            .validate_stream(missing.as_bytes())
+            .unwrap_err()
+            .contains("missing required field"));
+
+        let extra = decision(0).replace(",\"brown_energy\"", ",\"surprise\":1,\"brown_energy\"");
+        assert!(s
+            .validate_stream(extra.as_bytes())
+            .unwrap_err()
+            .contains("undeclared field `surprise`"));
+
+        let wrong_proto =
+            "{\"type\":\"hello\",\"proto\":9,\"policy\":\"coca\",\"groups\":1}\n";
+        assert!(s.validate_stream(wrong_proto.as_bytes()).unwrap_err().contains("proto 9"));
+
+        assert!(s.validate_stream(&b""[..]).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn schema_parse_rejects_malformed() {
+        assert!(WireSchema::from_json("{}").is_err());
+        assert!(WireSchema::from_json("{\"proto\":1,\"messages\":{}}").is_err());
+        assert!(WireSchema::from_json("nope").is_err());
+    }
+}

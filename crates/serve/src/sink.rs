@@ -1,0 +1,134 @@
+//! [`WireSink`]: the [`RecordSink`] that turns completed slots into wire
+//! messages.
+//!
+//! It wraps a materializing [`VecSink`] (so checkpoints and
+//! [`SimOutcome`](coca_dcsim::SimOutcome) extraction keep working) and
+//! overrides [`RecordSink::record_decision`] — the context-carrying hook
+//! added for exactly this purpose — to publish a
+//! [`DecisionMsg`](crate::proto::DecisionMsg) per slot: record fields for
+//! the realized costs, [`DecisionContext`] for the speed vector and the
+//! actually-dispatched load split, and the policy's
+//! [`telemetry`](coca_dcsim::Policy::telemetry) for controller internals.
+
+use std::sync::Arc;
+
+use coca_dcsim::{DecisionContext, RecordSink, SlotRecord, VecSink};
+
+use crate::proto::{DecisionMsg, OutMsg};
+use crate::publish::Publisher;
+
+/// Record sink that publishes each slot's decision to a [`Publisher`].
+pub struct WireSink {
+    inner: VecSink,
+    policy: String,
+    publisher: Arc<Publisher>,
+}
+
+impl WireSink {
+    /// Creates a sink publishing decisions under `policy`'s name.
+    pub fn new(policy: impl Into<String>, publisher: Arc<Publisher>) -> Self {
+        Self { inner: VecSink::new(), policy: policy.into(), publisher }
+    }
+}
+
+impl RecordSink for WireSink {
+    fn record(&mut self, rec: &SlotRecord) -> Result<(), String> {
+        self.inner.record(rec)
+    }
+
+    fn record_decision(
+        &mut self,
+        rec: &SlotRecord,
+        ctx: &DecisionContext<'_>,
+    ) -> Result<(), String> {
+        self.inner.record(rec)?;
+        self.publisher.publish(&OutMsg::Decision(DecisionMsg {
+            t: rec.t,
+            policy: self.policy.clone(),
+            levels: ctx.levels.to_vec(),
+            loads: ctx.loads.to_vec(),
+            servers_on: rec.servers_on,
+            total_cost: rec.total_cost,
+            brown_energy: rec.brown_energy,
+            telemetry: ctx.telemetry,
+        }));
+        Ok(())
+    }
+
+    fn collected(&self) -> Option<&[SlotRecord]> {
+        self.inner.collected()
+    }
+
+    fn take_records(&mut self) -> Option<Vec<SlotRecord>> {
+        self.inner.take_records()
+    }
+
+    fn restore_records(&mut self, records: &[SlotRecord]) -> Result<(), String> {
+        self.inner.restore_records(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::sync::Mutex;
+
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn record(t: usize) -> SlotRecord {
+        SlotRecord {
+            t,
+            arrival_rate: 10.0,
+            price: 0.05,
+            onsite: 1.0,
+            offsite: 2.0,
+            facility_energy: 3.0,
+            brown_energy: 2.5,
+            switching_energy: 0.0,
+            electricity_cost: 0.125,
+            delay_cost: 0.5,
+            total_cost: 0.625,
+            delay: 0.05,
+            servers_on: 8,
+        }
+    }
+
+    #[test]
+    fn publishes_one_decision_per_slot_and_stays_materializing() {
+        let publisher = Publisher::new();
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        publisher.subscribe(Box::new(SharedBuf(Arc::clone(&buf))));
+        let mut sink = WireSink::new("coca", Arc::clone(&publisher));
+
+        let levels = [2usize, 0];
+        let loads = [10.0, 0.0];
+        let ctx = DecisionContext { levels: &levels, loads: &loads, telemetry: None };
+        sink.record_decision(&record(0), &ctx).unwrap();
+        sink.record_decision(&record(1), &ctx).unwrap();
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let msgs: Vec<OutMsg> =
+            text.lines().map(|l| OutMsg::parse(l).unwrap()).collect();
+        assert_eq!(msgs.len(), 2);
+        let OutMsg::Decision(d) = &msgs[0] else { panic!("not a decision: {:?}", msgs[0]) };
+        assert_eq!(d.t, 0);
+        assert_eq!(d.levels, vec![2, 0]);
+        assert_eq!(d.loads, vec![10.0, 0.0]);
+        assert_eq!(d.servers_on, 8);
+
+        // Checkpoint surface still works through the wrapper.
+        assert_eq!(sink.collected().unwrap().len(), 2);
+        sink.restore_records(&[record(0)]).unwrap();
+        assert_eq!(sink.take_records().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Reader for Azure-Public-Dataset-shaped VM CPU readings.
+//!
+//! Expected CSV shape (header required):
+//!
+//! ```text
+//! timestamp,vm_id,min_cpu,max_cpu,avg_cpu
+//! 0,vm-001,1.2,9.8,4.5
+//! 300,vm-001,1.0,8.1,3.9
+//! ```
+//!
+//! `timestamp` is seconds from trace start (the dataset samples every
+//! 300 s), `avg_cpu` is the VM's average CPU over the reading window. The
+//! adapter sums `avg_cpu` across all VMs per hourly bucket and divides by
+//! the number of readings that landed in the bucket per VM-slot, yielding
+//! a fleet-aggregate demand proxy in "CPU units"; callers rescale it to
+//! req/s with [`super::normalize_to_peak`].
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+
+use super::{add_to_bucket, bad_data, parse_field, SLOT_SECS};
+
+/// Header line expected by [`read_vm_cpu`].
+pub const HEADER: &str = "timestamp,vm_id,min_cpu,max_cpu,avg_cpu";
+
+/// Reads Azure-shaped VM CPU readings into an hourly fleet-demand series.
+///
+/// Per hour bucket the result is `Σ_vm mean(avg_cpu readings of that vm in
+/// the hour)` — i.e. each VM contributes its mean utilization for the
+/// hour, and VMs absent from an hour contribute nothing. Readings may
+/// arrive in any order. Negative timestamps, non-finite or negative CPU
+/// values, and malformed rows are rejected.
+pub fn read_vm_cpu<R: Read>(input: R) -> std::io::Result<Vec<f64>> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines();
+    let header = lines.next().ok_or_else(|| bad_data("empty input"))??;
+    if header.trim() != HEADER {
+        return Err(bad_data(format!("unexpected header {header:?}, want {HEADER:?}")));
+    }
+    // (vm, hour) → (sum of avg_cpu, reading count); vm ids are interned so
+    // a year of 300 s readings doesn't clone the id string per row.
+    let mut per_vm_hour: HashMap<(u32, usize), (f64, u32)> = HashMap::new();
+    let mut vm_ids: HashMap<String, u32> = HashMap::new();
+    for (i, line) in lines.enumerate() {
+        let lineno = i + 2;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 5 {
+            return Err(bad_data(format!("line {lineno}: want 5 fields, got {}", fields.len())));
+        }
+        let ts = parse_field(fields[0], "timestamp", lineno)?;
+        if ts < 0.0 {
+            return Err(bad_data(format!("line {lineno}: negative timestamp {ts}")));
+        }
+        let avg_cpu = parse_field(fields[4], "avg_cpu", lineno)?;
+        if !avg_cpu.is_finite() || avg_cpu < 0.0 {
+            return Err(bad_data(format!("line {lineno}: bad avg_cpu {avg_cpu}")));
+        }
+        let next_id = vm_ids.len() as u32;
+        let vm = *vm_ids.entry(fields[1].trim().to_string()).or_insert(next_id);
+        let hour = (ts / SLOT_SECS as f64).floor() as usize;
+        let cell = per_vm_hour.entry((vm, hour)).or_insert((0.0, 0));
+        cell.0 += avg_cpu;
+        cell.1 += 1;
+    }
+    if per_vm_hour.is_empty() {
+        return Err(bad_data("no readings"));
+    }
+    let mut series = Vec::new();
+    for (&(_, hour), &(sum, count)) in &per_vm_hour {
+        add_to_bucket(&mut series, (hour * SLOT_SECS as usize) as f64, sum / count as f64);
+    }
+    Ok(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_per_vm_means_per_hour() {
+        // vm-a: two readings in hour 0 (mean 3.0); vm-b: one reading in
+        // hour 0 (5.0) and one in hour 2 (7.0). Hour 1 is an empty gap.
+        let data = format!(
+            "{HEADER}\n0,vm-a,0,0,2.0\n300,vm-a,0,0,4.0\n600,vm-b,0,0,5.0\n7500,vm-b,0,0,7.0\n"
+        );
+        let s = read_vm_cpu(data.as_bytes()).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!((s[0] - 8.0).abs() < 1e-12);
+        assert_eq!(s[1], 0.0);
+        assert!((s[2] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_independent() {
+        let fwd = format!("{HEADER}\n0,a,0,0,1.0\n3600,b,0,0,2.0\n");
+        let rev = format!("{HEADER}\n3600,b,0,0,2.0\n0,a,0,0,1.0\n");
+        assert_eq!(read_vm_cpu(fwd.as_bytes()).unwrap(), read_vm_cpu(rev.as_bytes()).unwrap());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_vm_cpu(&b""[..]).is_err(), "empty");
+        assert!(read_vm_cpu(b"wrong,header\n".as_slice()).is_err(), "header");
+        let short = format!("{HEADER}\n0,a,0,0\n");
+        assert!(read_vm_cpu(short.as_bytes()).is_err(), "field count");
+        let neg_ts = format!("{HEADER}\n-5,a,0,0,1.0\n");
+        assert!(read_vm_cpu(neg_ts.as_bytes()).is_err(), "negative timestamp");
+        let bad_cpu = format!("{HEADER}\n0,a,0,0,-1.0\n");
+        assert!(read_vm_cpu(bad_cpu.as_bytes()).is_err(), "negative cpu");
+        let only_header = format!("{HEADER}\n");
+        assert!(read_vm_cpu(only_header.as_bytes()).is_err(), "no readings");
+    }
+}

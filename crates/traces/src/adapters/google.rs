@@ -1,0 +1,121 @@
+//! Reader for Google-cluster-data-shaped task-usage records.
+//!
+//! Expected CSV shape (header required):
+//!
+//! ```text
+//! start_time,end_time,job_id,task_index,mean_cpu_usage
+//! 600000000,900000000,6253771429,0,0.0251
+//! ```
+//!
+//! `start_time`/`end_time` are **microseconds** from trace start (the
+//! cluster-data convention); `mean_cpu_usage` is the task's mean CPU rate
+//! over that window in normalized core units. Unlike the Azure point
+//! samples, a usage record spans an interval, so its demand is spread
+//! over every hourly bucket it overlaps, weighted by overlap fraction.
+
+use std::io::{BufRead, BufReader, Read};
+
+use super::{add_to_bucket, bad_data, parse_field, SLOT_SECS};
+
+/// Header line expected by [`read_task_usage`].
+pub const HEADER: &str = "start_time,end_time,job_id,task_index,mean_cpu_usage";
+
+/// Microseconds per second (cluster-data timestamps are µs).
+const MICROS: f64 = 1e6;
+
+/// Reads Google-shaped task-usage records into an hourly fleet-demand
+/// series: per bucket, `Σ_records mean_cpu_usage × overlap_fraction`,
+/// where `overlap_fraction` is the share of the record's `[start, end)`
+/// window falling in the bucket. Records may arrive in any order; empty
+/// windows (`end ≤ start`), negative times and non-finite usage are
+/// rejected.
+pub fn read_task_usage<R: Read>(input: R) -> std::io::Result<Vec<f64>> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines();
+    let header = lines.next().ok_or_else(|| bad_data("empty input"))??;
+    if header.trim() != HEADER {
+        return Err(bad_data(format!("unexpected header {header:?}, want {HEADER:?}")));
+    }
+    let mut series = Vec::new();
+    let mut rows = 0usize;
+    for (i, line) in lines.enumerate() {
+        let lineno = i + 2;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 5 {
+            return Err(bad_data(format!("line {lineno}: want 5 fields, got {}", fields.len())));
+        }
+        let start = parse_field(fields[0], "start_time", lineno)? / MICROS;
+        let end = parse_field(fields[1], "end_time", lineno)? / MICROS;
+        let usage = parse_field(fields[4], "mean_cpu_usage", lineno)?;
+        if start < 0.0 || end <= start {
+            return Err(bad_data(format!(
+                "line {lineno}: bad window [{start} s, {end} s)"
+            )));
+        }
+        if !usage.is_finite() || usage < 0.0 {
+            return Err(bad_data(format!("line {lineno}: bad mean_cpu_usage {usage}")));
+        }
+        // Walk the hourly buckets the window overlaps.
+        let span = end - start;
+        let mut cursor = start;
+        while cursor < end {
+            let bucket_end = ((cursor / SLOT_SECS as f64).floor() + 1.0) * SLOT_SECS as f64;
+            let seg_end = bucket_end.min(end);
+            add_to_bucket(&mut series, cursor, usage * (seg_end - cursor) / span);
+            cursor = seg_end;
+        }
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err(bad_data("no records"));
+    }
+    Ok(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spreads_usage_by_overlap() {
+        // One record spanning 30 min of hour 0 and 90 min of hours 1–2:
+        // [1800 s, 9000 s) at usage 1.0 → 1/4 in hour 0, 1/2 in hour 1,
+        // 1/4 in hour 2.
+        let data = format!("{HEADER}\n1800000000,9000000000,1,0,1.0\n");
+        let s = read_task_usage(data.as_bytes()).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!((s[0] - 0.25).abs() < 1e-12);
+        assert!((s[1] - 0.50).abs() < 1e-12);
+        assert!((s[2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn records_accumulate_across_tasks() {
+        let data = format!(
+            "{HEADER}\n0,3600000000,1,0,0.5\n0,3600000000,1,1,0.25\n3600000000,7200000000,2,0,1.0\n"
+        );
+        let s = read_task_usage(data.as_bytes()).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!((s[0] - 0.75).abs() < 1e-12);
+        assert!((s[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_task_usage(&b""[..]).is_err(), "empty");
+        assert!(read_task_usage(b"x,y\n".as_slice()).is_err(), "header");
+        let inverted = format!("{HEADER}\n900000000,600000000,1,0,0.1\n");
+        assert!(read_task_usage(inverted.as_bytes()).is_err(), "inverted window");
+        let zero_len = format!("{HEADER}\n600000000,600000000,1,0,0.1\n");
+        assert!(read_task_usage(zero_len.as_bytes()).is_err(), "empty window");
+        let nan = format!("{HEADER}\n0,600000000,1,0,NaN\n");
+        assert!(read_task_usage(nan.as_bytes()).is_err(), "NaN usage");
+        let only_header = format!("{HEADER}\n");
+        assert!(read_task_usage(only_header.as_bytes()).is_err(), "no records");
+    }
+}

@@ -25,6 +25,7 @@
 
 #![deny(missing_docs, unsafe_code)]
 
+pub mod adapters;
 pub mod csv;
 pub mod price;
 pub mod renewable;

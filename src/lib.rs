@@ -19,6 +19,9 @@
 //!   sampling, Lagrangian duals).
 //! * [`baselines`] — PerfectHP, the carbon-unaware minimizer and the offline
 //!   OPT benchmarks from the paper's evaluation.
+//! * [`serve`] — the resident control service: NDJSON wire protocol,
+//!   stream ingestion over the push-capable source, decision publishing,
+//!   Prometheus-over-HTTP, and SIGTERM-safe checkpoint/resume.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every reproduced figure.
@@ -30,6 +33,7 @@ pub use coca_core as core;
 pub use coca_dcsim as dcsim;
 pub use coca_obs as obs;
 pub use coca_opt as opt;
+pub use coca_serve as serve;
 pub use coca_traces as traces;
 
 /// Commonly used items, importable with `use coca::prelude::*`.
@@ -37,11 +41,14 @@ pub use coca_traces as traces;
 /// The canonical run surface is the streaming engine —
 /// [`EngineBuilder`](coca_dcsim::EngineBuilder) →
 /// [`SimEngine`](coca_dcsim::SimEngine) → [`SimOutcome`](coca_dcsim::SimOutcome)
-/// — with observability attached through the
-/// [`coca_obs`] observer/metrics types. The legacy
-/// [`SlotSimulator`](coca_dcsim::SlotSimulator) facade remains exported
-/// (and deprecated) for one release so downstream code migrates on a
-/// warning, not a break.
+/// — driven either from a batch trace ([`run_single`](coca_dcsim::run_single),
+/// [`run_lockstep`](coca_dcsim::run_lockstep)) or from a live stream through
+/// the push-capable source API ([`push_source`](coca_dcsim::push_source) →
+/// [`PollSlot`](coca_dcsim::PollSlot) →
+/// [`SimEngine::run_service`](coca_dcsim::SimEngine::run_service)).
+/// Observability attaches through the [`coca_obs`] metrics types; solver-level
+/// tracing hooks (`SolverObserver` and friends) stay out of the prelude —
+/// import them from [`coca_obs`] directly.
 pub mod prelude {
     pub use coca_baselines::{CarbonUnaware, OfflineOpt, PerfectHp};
     pub use coca_core::{
@@ -49,15 +56,14 @@ pub mod prelude {
         SymmetricSolver, VSchedule,
     };
     pub use coca_dcsim::{
-        run_lockstep, Cluster, ClusterBuilder, CostParams, EngineBuilder, EngineState, Policy,
-        RecordSink, ServerClass, SimEngine, SimOutcome, SlotObservation, SlotSource, StepStatus,
-        SummarySink, VecSink,
+        push_source, run_lockstep, run_single, Cluster, ClusterBuilder, CostParams,
+        DecisionContext, EngineBuilder, EngineState, Policy, PolicyTelemetry, PollSlot, PushError,
+        PushHandle, PushSource, RecordSink, ServerClass, ServiceConfig, ServiceExit, SimEngine,
+        SimOutcome, SlotObservation, SlotRecord, SlotSource, StepStatus, SummarySink, VecSink,
     };
-    #[allow(deprecated)] // the deprecation warning must fire at *use* sites, not here
-    pub use coca_dcsim::SlotSimulator;
     pub use coca_obs::{
-        EngineObserver, MetricsObserver, MetricsRegistry, MetricsSnapshot, NoopObserver, Phase,
-        SolveEvent, SolverObserver,
+        EngineObserver, MetricsObserver, MetricsRegistry, MetricsSnapshot, NoopObserver,
     };
-    pub use coca_traces::{EnvironmentTrace, TraceConfig};
+    pub use coca_serve::{DecisionMsg, InMsg, OutMsg, ServeConfig, ServeReport, WireSink};
+    pub use coca_traces::{EnvironmentTrace, SlotEnv, TraceConfig};
 }

@@ -2,14 +2,12 @@
 //! all four policies, and the cost/neutrality orderings the paper's
 //! evaluation relies on.
 
-#![allow(deprecated)] // pins the deprecated SlotSimulator facade end to end
-
 use std::sync::Arc;
 
 use coca::baselines::{OfflineOpt, PerfectHp};
 use coca::core::symmetric::SymmetricSolver;
 use coca::core::VSchedule;
-use coca::dcsim::SlotSimulator;
+use coca::dcsim::run_single;
 use coca::traces::WorkloadKind;
 use coca_experiments::figures::{calibrate_v, run_coca};
 use coca_experiments::setup::{unaware_reference, ExperimentScale, PaperSetup};
@@ -77,9 +75,15 @@ fn coca_beats_perfect_hp_while_being_more_neutral() {
     let mut hp: PerfectHp<SymmetricSolver> =
         PerfectHp::new(Arc::clone(&setup.cluster), setup.cost, &setup.trace, setup.rec_total, 48)
             .expect("perfect-hp");
-    let hp_out = SlotSimulator::new(&setup.cluster, &setup.trace, setup.cost, setup.rec_total)
-        .run(&mut hp)
-        .expect("hp run");
+    let hp_out = run_single(
+        Arc::clone(&setup.cluster),
+        &setup.trace,
+        setup.cost,
+        setup.rec_total,
+        1.0,
+        Box::new(&mut hp),
+    )
+    .expect("hp run");
     // The paper's headline: COCA is cheaper (Fig. 3(a)) — at this reduced
     // scale we only require a strict win, the magnitude is recorded in
     // EXPERIMENTS.md at the full scale.

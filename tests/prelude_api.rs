@@ -77,10 +77,9 @@ fn prelude_covers_the_whole_pipeline() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_slot_simulator_facade_still_works() {
-    // SlotSimulator stays exported (deprecated) for one release; the facade
-    // must keep producing the same numbers as a single-lane engine pass.
+fn run_single_replaces_the_old_facade() {
+    // run_single is the one-policy batch entry point; it must produce the
+    // same numbers as a single-lane lockstep pass.
     let cluster = Arc::new(Cluster::homogeneous(2, 5));
     let trace = TraceConfig {
         hours: 12,
@@ -91,11 +90,11 @@ fn deprecated_slot_simulator_facade_still_works() {
     }
     .generate();
     let cost = CostParams::default();
-    let sim = SlotSimulator::new(&cluster, &trace, cost, 10.0);
     let mut policy = CarbonUnaware::new(Arc::clone(&cluster), cost, SymmetricSolver::new());
-    let legacy = sim.run(&mut policy).expect("facade run");
+    let single = run_single(Arc::clone(&cluster), &trace, cost, 10.0, 1.0, Box::new(&mut policy))
+        .expect("run_single");
 
-    let modern = run_lockstep(
+    let lockstep = run_lockstep(
         Arc::clone(&cluster),
         &trace,
         cost,
@@ -104,7 +103,7 @@ fn deprecated_slot_simulator_facade_still_works() {
             as Box<dyn Policy>],
     )
     .expect("lockstep");
-    assert_eq!(legacy, modern[0]);
+    assert_eq!(single, lockstep[0]);
 }
 
 #[test]
@@ -156,6 +155,114 @@ fn engine_api_reachable_from_prelude() {
 }
 
 #[test]
+fn push_api_reachable_from_prelude() {
+    // The live-stream surface: push_source, PollSlot, ServiceConfig /
+    // ServiceExit, PolicyTelemetry and DecisionContext are prelude items.
+    let cluster = Arc::new(Cluster::homogeneous(2, 5));
+    let trace = TraceConfig {
+        hours: 6,
+        peak_arrival_rate: 0.4 * cluster.max_capacity(),
+        onsite_energy_kwh: 5.0,
+        offsite_energy_kwh: 5.0,
+        ..Default::default()
+    }
+    .generate();
+    let cost = CostParams::default();
+
+    let (handle, source): (PushHandle, PushSource) = push_source(8);
+    for env in trace.slots() {
+        handle.push(env).expect("push");
+    }
+    assert!(matches!(handle.push(trace.slots().next().unwrap()), Err(PushError::OutOfOrder { .. })));
+    handle.close();
+
+    let mut engine =
+        SimEngine::new(Arc::clone(&cluster), source, cost, 10.0).expect("engine");
+    engine.add_policy(Box::new(CarbonUnaware::new(
+        Arc::clone(&cluster),
+        cost,
+        SymmetricSolver::new(),
+    )));
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let mut checkpoints: Vec<EngineState> = Vec::new();
+    let exit = engine
+        .run_service(&ServiceConfig { checkpoint_every: Some(3), ..Default::default() }, &stop, |s| {
+            checkpoints.push(s.clone());
+            Ok(())
+        })
+        .expect("service");
+    assert_eq!(exit, ServiceExit::Closed);
+    assert!(!checkpoints.is_empty());
+    let outcomes = engine.into_outcomes().expect("outcomes");
+    assert_eq!(outcomes[0].len(), 6);
+
+    // Telemetry + decision-context types are constructible downstream.
+    let tele = PolicyTelemetry { deficit_kwh: 0.0, frame_pos: 0, v: 1.0 };
+    let levels = [1usize];
+    let loads = [0.5f64];
+    let ctx = DecisionContext { levels: &levels, loads: &loads, telemetry: Some(tele) };
+    assert_eq!(ctx.levels.len(), ctx.loads.len());
+    let _closed: PollSlot = PollSlot::Closed;
+}
+
+#[test]
+fn serve_wire_surface_reachable_from_prelude() {
+    // The service's wire vocabulary — InMsg/OutMsg/DecisionMsg, SlotEnv,
+    // ServeConfig/ServeReport, WireSink — is prelude-importable, and a
+    // whole in-memory service run is drivable from it.
+    let env = SlotEnv { t: 0, arrival_rate: 2.0, onsite: 0.5, price: 0.08, offsite: 0.25 };
+    let line = InMsg::Slot(env).to_line();
+    assert!(matches!(InMsg::parse(&line), Ok(InMsg::Slot(back)) if back == env));
+
+    let msg = OutMsg::Decision(DecisionMsg {
+        t: 0,
+        policy: "coca".into(),
+        levels: vec![1, 2],
+        loads: vec![1.0, 1.0],
+        servers_on: 10,
+        total_cost: 3.5,
+        brown_energy: 0.2,
+        telemetry: Some(PolicyTelemetry { deficit_kwh: 0.1, frame_pos: 0, v: 100.0 }),
+    });
+    let parsed = OutMsg::parse(&msg.to_line()).expect("round-trip");
+    assert_eq!(parsed, msg);
+
+    // run_batch over an NDJSON stream, configured entirely through
+    // prelude types.
+    let cfg = ServeConfig {
+        groups: 2,
+        servers_per_group: 5,
+        rec_total: 10.0,
+        ..Default::default()
+    };
+    let trace = TraceConfig {
+        hours: 6,
+        peak_arrival_rate: 8.0,
+        onsite_energy_kwh: 5.0,
+        offsite_energy_kwh: 5.0,
+        ..Default::default()
+    }
+    .generate();
+    let mut ndjson = String::new();
+    for env in trace.slots() {
+        ndjson.push_str(&InMsg::Slot(env).to_line());
+        ndjson.push('\n');
+    }
+    ndjson.push_str(&InMsg::End.to_line());
+    let publisher = coca::serve::Publisher::new();
+    let report: ServeReport = coca::serve::run_batch(
+        &cfg,
+        Box::new(std::io::Cursor::new(ndjson.into_bytes())),
+        Arc::clone(&publisher),
+        Arc::new(MetricsRegistry::new()),
+    )
+    .expect("batch service run");
+    assert_eq!(report.slots, 6);
+    assert_eq!(report.outcome.len(), 6);
+    let _sink_ty = std::marker::PhantomData::<WireSink>;
+}
+
+#[test]
 fn deficit_queue_and_gsd_options_exported() {
     let mut q = DeficitQueue::new(1.0, 100.0, 100);
     q.update(5.0, 1.0);
@@ -169,18 +276,8 @@ fn deficit_queue_and_gsd_options_exported() {
     // A policy observation can be constructed by library users.
     let obs = SlotObservation { t: 0, arrival_rate: 1.0, onsite: 0.0, price: 0.05 };
     assert_eq!(obs.t, 0);
-    // Observer vocabulary is prelude-reachable.
-    assert_eq!(Phase::Solve.name(), "solve");
-    let ev = SolveEvent {
-        solver: "gsd",
-        iterations: 1,
-        accepted: 1,
-        cache_hits: 0,
-        cache_misses: 1,
-        bisection_evals: 4,
-        candidate_batches: 1,
-        batched_candidates: 5,
-    };
-    SolverObserver::on_solve(&NoopObserver, &ev);
+    // Solver-level tracing vocabulary is deliberately *not* in the prelude;
+    // it remains importable from the obs crate directly.
+    assert_eq!(coca::obs::Phase::Solve.name(), "solve");
     assert!(!EngineObserver::timing_enabled(&NoopObserver));
 }

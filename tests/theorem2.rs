@@ -1,15 +1,13 @@
 //! Empirical validation of Theorem 2: the Lyapunov performance bounds of
 //! COCA hold on simulated runs, and the qualitative V trade-off matches.
 
-#![allow(deprecated)] // pins the deprecated SlotSimulator facade
-
 use coca::core::lyapunov::{
     cost_upper_bound, neutrality_slack_bound, queue_length_bound, DriftConstants, EnvBounds,
 };
 use coca::core::symmetric::SymmetricSolver;
 use coca::core::{CocaConfig, CocaController, VSchedule};
 use coca::baselines::OfflineOpt;
-use coca::dcsim::SlotSimulator;
+use coca::dcsim::run_single;
 use coca::traces::WorkloadKind;
 use coca_experiments::setup::{ExperimentScale, PaperSetup};
 
@@ -36,9 +34,15 @@ fn run(s: &PaperSetup, v: f64, frame: usize) -> (f64, f64, f64) {
     };
     let mut coca =
         CocaController::new(std::sync::Arc::clone(&s.cluster), s.cost, cfg, SymmetricSolver::new());
-    let out = SlotSimulator::new(&s.cluster, &s.trace, s.cost, s.rec_total)
-        .run(&mut coca)
-        .expect("run");
+    let out = run_single(
+        std::sync::Arc::clone(&s.cluster),
+        &s.trace,
+        s.cost,
+        s.rec_total,
+        1.0,
+        Box::new(&mut coca),
+    )
+    .expect("run");
     (
         out.avg_hourly_cost(),
         out.total_brown_energy() / out.len() as f64,
@@ -150,9 +154,15 @@ fn frame_resets_bound_each_frame_independently() {
     let trace = s.trace.window(0, t * 4);
     let mut coca =
         CocaController::new(std::sync::Arc::clone(&s.cluster), s.cost, cfg, SymmetricSolver::new());
-    let out = SlotSimulator::new(&s.cluster, &trace, s.cost, rec_per_slot * (t * 4) as f64)
-        .run(&mut coca)
-        .expect("run");
+    let out = run_single(
+        std::sync::Arc::clone(&s.cluster),
+        &trace,
+        s.cost,
+        rec_per_slot * (t * 4) as f64,
+        1.0,
+        Box::new(&mut coca),
+    )
+    .expect("run");
     // Reconstruct per-frame totals and verify the telescoped inequality
     // using the recorded queue history (q at each decision epoch).
     for r in 0..4 {

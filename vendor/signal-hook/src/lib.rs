@@ -1,0 +1,151 @@
+//! Offline shim of the `signal-hook` crate: flag-style Unix signal
+//! registration, implementing exactly the subset this workspace uses —
+//! `signal_hook::flag::register(SIGTERM, flag)` so a resident service can
+//! notice a termination request and shut down gracefully.
+//!
+//! The shim talks to libc's `sigaction` directly (Rust's std already links
+//! libc on every supported target here, so no extra dependency). The
+//! installed handler is async-signal-safe: it only walks a fixed table of
+//! atomics and stores `true` into the registered flags — no allocation, no
+//! locking, no syscalls.
+//!
+//! Like the rest of `vendor/`, this crate lives outside the workspace so
+//! the workspace-wide `unsafe_code = "deny"` wall does not apply; the
+//! `unsafe` here is confined to the two FFI calls and the handler's
+//! pointer chase over leaked `Arc`s.
+
+#![cfg(unix)]
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// Signal numbers (Linux-universal values; this shim targets Linux).
+pub mod consts {
+    /// Termination request (`kill <pid>` default, container runtimes' stop).
+    pub const SIGTERM: i32 = 15;
+    /// Interactive interrupt (Ctrl-C).
+    pub const SIGINT: i32 = 2;
+    /// User-defined signal 1 (used by the shim's own tests).
+    pub const SIGUSR1: i32 = 10;
+}
+
+/// Flag-style registration, mirroring `signal_hook::flag`.
+pub mod flag {
+    use super::*;
+
+    /// Registers `flag` to be set to `true` whenever `signal` is
+    /// delivered. Multiple flags may be registered for the same signal;
+    /// all of them are set. Registrations last for the process lifetime
+    /// (the real crate's `SigId` unregistration is not needed here).
+    pub fn register(signal: i32, flag: Arc<AtomicBool>) -> io::Result<()> {
+        super::register_flag(signal, flag)
+    }
+}
+
+const MAX_HOOKS: usize = 64;
+
+// Slot i pairs HOOK_SIGNALS[i] (0 = free) with a leaked Arc<AtomicBool> in
+// HOOK_FLAGS[i]. The handler reads both with acquire loads; registration
+// publishes the pointer before the signal number, so the handler never
+// sees a claimed slot with a null flag.
+static HOOK_SIGNALS: [AtomicI32; MAX_HOOKS] = [const { AtomicI32::new(0) }; MAX_HOOKS];
+static HOOK_FLAGS: [AtomicPtr<AtomicBool>; MAX_HOOKS] =
+    [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_HOOKS];
+
+extern "C" fn handler(signal: i32) {
+    for i in 0..MAX_HOOKS {
+        if HOOK_SIGNALS[i].load(Ordering::Acquire) == signal {
+            let p = HOOK_FLAGS[i].load(Ordering::Acquire);
+            if !p.is_null() {
+                // Safety: a non-null pointer in HOOK_FLAGS is a leaked
+                // Arc<AtomicBool> that is never freed.
+                unsafe { (*p).store(true, Ordering::SeqCst) };
+            }
+        }
+    }
+}
+
+// glibc/musl `struct sigaction` layout on Linux (x86_64 and aarch64):
+// handler pointer, 128-byte signal mask, flags, restorer.
+#[repr(C)]
+struct SigAction {
+    sa_handler: usize,
+    sa_mask: [u64; 16],
+    sa_flags: i32,
+    sa_restorer: usize,
+}
+
+const SA_RESTART: i32 = 0x1000_0000;
+
+extern "C" {
+    fn sigaction(signum: i32, act: *const SigAction, oldact: *mut SigAction) -> i32;
+}
+
+fn register_flag(signal: i32, flag: Arc<AtomicBool>) -> io::Result<()> {
+    if signal <= 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "bad signal number"));
+    }
+    // Claim a free slot: publish the flag pointer first, the signal last.
+    let ptr = Arc::into_raw(flag) as *mut AtomicBool;
+    let mut claimed = false;
+    for i in 0..MAX_HOOKS {
+        if HOOK_SIGNALS[i].load(Ordering::Acquire) == 0 {
+            HOOK_FLAGS[i].store(ptr, Ordering::Release);
+            if HOOK_SIGNALS[i]
+                .compare_exchange(0, signal, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                claimed = true;
+                break;
+            }
+            // Lost the race for this slot; try the next one.
+            HOOK_FLAGS[i].store(std::ptr::null_mut(), Ordering::Release);
+        }
+    }
+    if !claimed {
+        // Safety: reconstitute the Arc we just leaked so it is dropped.
+        drop(unsafe { Arc::from_raw(ptr as *const AtomicBool) });
+        return Err(io::Error::new(io::ErrorKind::Other, "signal hook table full"));
+    }
+    let act = SigAction {
+        sa_handler: handler as *const () as usize,
+        sa_mask: [0; 16],
+        sa_flags: SA_RESTART,
+        sa_restorer: 0,
+    };
+    // Safety: `act` matches the platform `struct sigaction` layout and the
+    // handler only performs async-signal-safe atomic operations.
+    let rc = unsafe { sigaction(signal, &act, std::ptr::null_mut()) };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn raise(signal: i32) -> i32;
+    }
+
+    #[test]
+    fn registered_flag_is_set_on_delivery() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let other = Arc::new(AtomicBool::new(false));
+        flag::register(consts::SIGUSR1, Arc::clone(&flag)).expect("register");
+        flag::register(consts::SIGUSR1, Arc::clone(&other)).expect("register second");
+        assert!(!flag.load(Ordering::SeqCst));
+        assert_eq!(unsafe { raise(consts::SIGUSR1) }, 0);
+        assert!(flag.load(Ordering::SeqCst), "flag set by handler");
+        assert!(other.load(Ordering::SeqCst), "all registrations fire");
+    }
+
+    #[test]
+    fn rejects_bad_signal_numbers() {
+        assert!(flag::register(0, Arc::new(AtomicBool::new(false))).is_err());
+        assert!(flag::register(-3, Arc::new(AtomicBool::new(false))).is_err());
+    }
+}
