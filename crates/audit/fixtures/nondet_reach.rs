@@ -1,0 +1,71 @@
+//! Fixture: nondeterminism reachable from state-affecting roots —
+//! hash-ordered iteration (direct, two-hop, through a cycle), wall-clock
+//! reads, suppression by sorting, and waiver/staleness interplay.
+
+use std::collections::HashMap;
+
+/// Direct: a root iterating a hash map into its serialized output.
+pub fn to_json(index: &HashMap<String, u32>) -> String {
+    let mut out = String::new();
+    for (k, v) in index {
+        out.push_str(k);
+        let _ = v;
+    }
+    out
+}
+
+/// Two-hop: the sink sits in a helper the root calls.
+pub fn encode(m: &HashMap<String, u32>) -> usize {
+    walk(m)
+}
+
+fn walk(m: &HashMap<String, u32>) -> usize {
+    m.iter().count()
+}
+
+/// Cycle: ping/pong recursion must terminate, sink reported once.
+pub fn run_id(m: &HashMap<String, u32>, depth: usize) -> usize {
+    ping(m, depth)
+}
+
+fn ping(m: &HashMap<String, u32>, depth: usize) -> usize {
+    if depth == 0 {
+        return m.keys().count();
+    }
+    pong(m, depth)
+}
+
+fn pong(m: &HashMap<String, u32>, depth: usize) -> usize {
+    ping(m, depth - 1)
+}
+
+/// Wall-clock read directly in a root.
+pub fn sweep(n: usize) -> usize {
+    let t0 = std::time::Instant::now();
+    let _ = t0;
+    n
+}
+
+/// Suppressed: collected and sorted before order can matter.
+pub fn materialize(m: &HashMap<String, u32>) -> Vec<String> {
+    let mut keys: Vec<String> = m.keys().cloned().collect();
+    keys.sort();
+    keys
+}
+
+/// Waived: order provably cannot reach the output.
+pub fn to_line(m: &HashMap<String, u32>) -> usize {
+    // audit:ordered(count is order-independent)
+    m.values().count()
+}
+
+/// Stale: the annotation below excuses nothing.
+pub fn helper_only() -> usize {
+    // audit:ordered(left over after the map iteration was removed)
+    1 + 1
+}
+
+/// Not reachable from any root: no finding despite the iteration.
+fn offline(m: &HashMap<String, u32>) -> usize {
+    m.iter().count()
+}

@@ -1,0 +1,25 @@
+//! Fixture: snapshot/restore field-coverage defects.
+//!
+/// Checkpointed controller with deliberate coverage gaps.
+pub struct Ctl {
+    gain: f64,
+    lost: f64,
+    // audit:transient(scratch buffer rebuilt on first use)
+    scratch: Vec<f64>,
+    // audit:transient()
+    half: f64,
+    // audit:transient(stale: snapshot and restore both carry this)
+    carried: f64,
+    snap_only: f64,
+}
+
+impl Ctl {
+    pub fn snapshot(&self) -> Vec<f64> {
+        vec![self.gain, self.carried, self.snap_only]
+    }
+
+    pub fn restore(&mut self, s: &[f64]) {
+        self.gain = s[0];
+        self.carried = s[1];
+    }
+}

@@ -11,7 +11,12 @@
 //! - an `audit:allow(<rule>)` naming a rule id the pass does not have;
 //! - an `audit:unit(<tag>)` annotation that binds no identifier;
 //! - an `audit:atomic(<contract>)` annotation with no atomic operation on
-//!   its line or the line below.
+//!   its line or the line below;
+//! - an `audit:transient(<reason>)` annotation with no `snapshot-complete`
+//!   finding on its line or the line below — the field it once excused is
+//!   now covered (or was never part of an indexed snapshot type);
+//! - an `audit:ordered(<contract>)` annotation with no `nondet-reach`
+//!   finding on its line or the line below.
 //!
 //! Staleness is itself waivable — `audit:allow(stale-waiver)` on a waiver
 //! kept deliberately (e.g. documenting a rule that fires only on some
@@ -88,6 +93,37 @@ pub fn check(files: &[(SourceFile, Ast)], known_rules: &[&str], report: &mut Rep
                      or the line below"
                         .to_string(),
                 ));
+            }
+        }
+        // Field-coverage and ordering annotations are earned by the
+        // findings they waive: an annotation with no finding of its rule
+        // on its line or the line below excuses nothing and is stale.
+        // (The covered finding may itself be unwaived — an empty-reason
+        // annotation — in which case that finding already carries the
+        // signal and staleness stays quiet.)
+        for (needle, rule, syntax) in [
+            ("audit:transient(", super::SNAPSHOT_COMPLETE, "audit:transient(…)"),
+            ("audit:ordered(", super::NONDET_REACH, "audit:ordered(…)"),
+        ] {
+            for c in &ast.comments {
+                if crate::ast::annotation_payload(&c.text, needle).is_none() {
+                    continue;
+                }
+                let covers = report.violations.iter().any(|v| {
+                    v.rule == rule
+                        && v.file == file.path
+                        && (v.line == c.line || v.line == c.line + 1)
+                });
+                if !covers {
+                    base.push(finding(
+                        file,
+                        c.line,
+                        format!(
+                            "`{syntax}` annotation with no `{rule}` finding on its line \
+                             or the line below; delete the stale annotation"
+                        ),
+                    ));
+                }
             }
         }
     }

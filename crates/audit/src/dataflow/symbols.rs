@@ -33,6 +33,9 @@ pub struct FnDef {
     /// Parameter names in order, excluding any `self` receiver. A
     /// parameter bound by a destructuring pattern gets an empty name.
     pub params: Vec<String>,
+    /// Declared parameter types, parallel to `params`, rendered via
+    /// [`type_text`] (container detection only).
+    pub param_tys: Vec<String>,
     /// True for methods taking `self` (by value or reference).
     pub has_self: bool,
     /// The `impl` type this method belongs to, when directly inside an
@@ -51,10 +54,41 @@ impl FnDef {
     }
 }
 
+/// One named field of a struct declaration.
+#[derive(Debug)]
+pub struct FieldDef {
+    /// Field name as written.
+    pub name: String,
+    /// 1-based line of the field-name token.
+    pub line: usize,
+    /// Declared type rendered as space-joined tokens (groups flattened) —
+    /// enough for container detection, not a parseable type.
+    pub ty: String,
+}
+
+/// One `struct Name { … }` declaration with named fields. Tuple structs,
+/// unit structs, and enums are not collected: the field-coverage analyses
+/// need named fields to cross-check against `self.<field>` accesses.
+#[derive(Debug)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Workspace-relative path of the declaring file.
+    pub file: String,
+    /// 1-based line of the struct-name token.
+    pub line: usize,
+    /// Declared fields in order.
+    pub fields: Vec<FieldDef>,
+    /// True when the declaration sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
 /// All function definitions across the linted file set, indexed by name.
 pub struct SymbolTable {
     /// Every collected definition; a [`FnId`] indexes this vector.
     pub fns: Vec<FnDef>,
+    /// Every named-field struct declaration across the file set.
+    pub structs: Vec<StructDef>,
     by_name: HashMap<String, Vec<FnId>>,
 }
 
@@ -73,14 +107,35 @@ impl SymbolTable {
     /// Builds the table over every parsed file.
     pub fn build(files: &[(SourceFile, Ast)]) -> Self {
         let mut fns = Vec::new();
+        let mut structs = Vec::new();
         for (file, ast) in files {
             collect(&ast.nodes, file, None, &mut fns);
+            collect_structs(&ast.nodes, file, &mut structs);
         }
         let mut by_name: HashMap<String, Vec<FnId>> = HashMap::new();
         for (id, f) in fns.iter().enumerate() {
             by_name.entry(f.name.clone()).or_default().push(id);
         }
-        SymbolTable { fns, by_name }
+        SymbolTable { fns, structs, by_name }
+    }
+
+    /// The non-test struct declaration named `name`, preferring one in
+    /// `prefer_file` (the file its methods were found in). Returns `None`
+    /// when the name is unknown, or ambiguous across files with no
+    /// same-file candidate — analyses must skip rather than guess.
+    pub fn struct_named(&self, name: &str, prefer_file: &str) -> Option<&StructDef> {
+        let mut candidates = self
+            .structs
+            .iter()
+            .filter(|s| s.name == name && !s.in_test);
+        let first = candidates.next()?;
+        match candidates.next() {
+            None => Some(first),
+            Some(_) => self
+                .structs
+                .iter()
+                .find(|s| s.name == name && !s.in_test && s.file == prefer_file),
+        }
     }
 
     /// Resolves a call to its candidate definitions, most specific tier
@@ -260,13 +315,14 @@ fn parse_fn(run: &[Node], at: usize, file: &SourceFile, owner: Option<&str>) -> 
             }
             Node::Group(g) if g.delim == Delim::Brace && angle == 0 => {
                 let p = params?;
-                let (names, has_self) = param_names(p);
+                let (names, tys, has_self) = param_names(p);
                 let line = name_tok.line;
                 return Some(FnDef {
                     name: name_tok.text.clone(),
                     file: file.path.clone(),
                     line,
                     params: names,
+                    param_tys: tys,
                     has_self,
                     owner: owner.map(str::to_string),
                     in_test: file
@@ -282,12 +338,154 @@ fn parse_fn(run: &[Node], at: usize, file: &SourceFile, owner: Option<&str>) -> 
     None
 }
 
+/// Walks one run collecting `struct Name { … }` declarations, recursing
+/// into every child group (modules; structs inside fn bodies too).
+fn collect_structs(run: &[Node], file: &SourceFile, out: &mut Vec<StructDef>) {
+    for (i, n) in run.iter().enumerate() {
+        if let Node::Group(g) = n {
+            collect_structs(&g.children, file, out);
+        } else if n.is_ident("struct") {
+            if let Some(def) = parse_struct(run, i, file) {
+                out.push(def);
+            }
+        }
+    }
+}
+
+/// Parses the struct whose `struct` keyword sits at `run[at]`. Returns
+/// `None` for tuple structs (`struct P(f64);`), unit structs, and
+/// recovery junk. Generic parameters and `where` clauses are skipped via
+/// angle-depth tracking (the lexer never glues `>>`, so depth bookkeeping
+/// is exact in type position).
+fn parse_struct(run: &[Node], at: usize, file: &SourceFile) -> Option<StructDef> {
+    let name_tok = run.get(at + 1)?.tok()?;
+    if name_tok.kind != TokKind::Ident || KEYWORDS.contains(&name_tok.text.as_str()) {
+        return None;
+    }
+    let mut angle = 0i32;
+    let mut in_where = false;
+    for node in run.iter().skip(at + 2) {
+        match node {
+            Node::Tok(t) if t.is_punct("<") => angle += 1,
+            Node::Tok(t) if t.is_punct(">") => angle -= 1,
+            Node::Tok(t) if t.is_ident("where") && angle == 0 => in_where = true,
+            Node::Tok(t) if t.is_punct(";") && angle == 0 => return None, // unit struct
+            // A paren group in head position is a tuple struct; inside a
+            // `where` clause it is an `Fn(…)` bound and decides nothing.
+            Node::Group(g) if g.delim == Delim::Paren && angle == 0 && !in_where => return None,
+            Node::Group(g) if g.delim == Delim::Brace && angle == 0 => {
+                return Some(StructDef {
+                    name: name_tok.text.clone(),
+                    file: file.path.clone(),
+                    line: name_tok.line,
+                    fields: parse_struct_fields(g),
+                    in_test: file
+                        .lines
+                        .get(name_tok.line.saturating_sub(1))
+                        .is_some_and(|l| l.in_test),
+                });
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits on commas at angle depth 0 — a plain
+/// [`crate::ast::visit::split_commas`] would split inside `HashMap<K, V>`
+/// generics. The lexer never glues `>>`, so single-`>` depth tracking is
+/// exact.
+fn split_commas_outside_generics(children: &[Node]) -> Vec<&[Node]> {
+    let mut slices: Vec<&[Node]> = Vec::new();
+    let mut angle = 0i32;
+    let mut start = 0;
+    for (i, n) in children.iter().enumerate() {
+        if n.is_punct("<") {
+            angle += 1;
+        } else if n.is_punct(">") {
+            angle -= 1;
+        } else if n.is_punct(",") && angle == 0 {
+            slices.push(&children[start..i]);
+            start = i + 1;
+        }
+    }
+    slices.push(&children[start..]);
+    slices
+}
+
+/// Splits a struct body on commas outside generics and extracts
+/// `[pub] name: Type` fields.
+fn parse_struct_fields(body: &Group) -> Vec<FieldDef> {
+    let mut fields = Vec::new();
+    for slice in split_commas_outside_generics(&body.children) {
+        let mut k = 0;
+        // Skip `#[…]` attributes and the optional `pub` / `pub(crate)`.
+        while slice.get(k).is_some_and(|n| n.is_punct("#"))
+            && slice.get(k + 1).and_then(Node::group).is_some_and(|g| g.delim == Delim::Bracket)
+        {
+            k += 2;
+        }
+        if slice.get(k).is_some_and(|n| n.is_ident("pub")) {
+            k += 1;
+            if slice.get(k).and_then(Node::group).is_some_and(|g| g.delim == Delim::Paren) {
+                k += 1;
+            }
+        }
+        let Some(name_tok) = slice.get(k).and_then(Node::tok) else { continue };
+        if name_tok.kind != TokKind::Ident || !slice.get(k + 1).is_some_and(|n| n.is_punct(":")) {
+            continue;
+        }
+        fields.push(FieldDef {
+            name: name_tok.text.clone(),
+            line: name_tok.line,
+            ty: type_text(&slice[k + 2..]),
+        });
+    }
+    fields
+}
+
+/// Renders a type slice as space-joined token texts, flattening groups —
+/// `Mutex<HashMap<(u32, usize), f64>>` → `"Mutex < HashMap < ( u32 ,
+/// usize ) , f64 > >"`. Container detection substring-matches this.
+pub(crate) fn type_text(nodes: &[Node]) -> String {
+    let mut out = String::new();
+    fn push(nodes: &[Node], out: &mut String) {
+        for n in nodes {
+            match n {
+                Node::Tok(t) => {
+                    if !out.is_empty() {
+                        out.push(' ');
+                    }
+                    out.push_str(&t.text);
+                }
+                Node::Group(g) => {
+                    let (o, c) = match g.delim {
+                        Delim::Paren => ("(", ")"),
+                        Delim::Bracket => ("[", "]"),
+                        Delim::Brace => ("{", "}"),
+                    };
+                    if !out.is_empty() {
+                        out.push(' ');
+                    }
+                    out.push_str(o);
+                    push(&g.children, out);
+                    out.push(' ');
+                    out.push_str(c);
+                }
+            }
+        }
+    }
+    push(nodes, &mut out);
+    out
+}
+
 /// Extracts parameter names from a params group. `self` (with optional
 /// `&`/`mut` prefixes) is reported separately, not as a parameter.
-fn param_names(params: &Group) -> (Vec<String>, bool) {
+fn param_names(params: &Group) -> (Vec<String>, Vec<String>, bool) {
     let mut names = Vec::new();
+    let mut tys = Vec::new();
     let mut has_self = false;
-    for (idx, slice) in crate::ast::visit::split_commas(params).iter().enumerate() {
+    for (idx, slice) in split_commas_outside_generics(&params.children).iter().enumerate() {
         if slice.is_empty() {
             continue;
         }
@@ -306,8 +504,9 @@ fn param_names(params: &Group) -> (Vec<String>, bool) {
             .filter(|n| !matches!(*n, "mut" | "ref"))
             .unwrap_or_default();
         names.push(name.to_string());
+        tys.push(colon.map_or_else(String::new, |c| type_text(&slice[c + 1..])));
     }
-    (names, has_self)
+    (names, tys, has_self)
 }
 
 #[cfg(test)]
@@ -404,5 +603,61 @@ mod tests {
         let t = table("fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n");
         assert!(!t.fns[t.by_name("real")[0]].in_test);
         assert!(t.fns[t.by_name("helper")[0]].in_test);
+    }
+
+    #[test]
+    fn struct_fields_collected_with_types() {
+        let t = table(
+            "pub struct Engine {\n    pub t: usize,\n    #[allow(dead_code)]\n    \
+             index: std::collections::HashMap<String, u32>,\n    \
+             lanes: Vec<(usize, f64)>,\n}\n",
+        );
+        let s = t.struct_named("Engine", "crates/core/src/x.rs").expect("Engine indexed");
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["t", "index", "lanes"]);
+        assert!(s.fields[1].ty.contains("HashMap"), "{:?}", s.fields[1]);
+        assert!(s.fields[2].ty.contains("Vec"), "{:?}", s.fields[2]);
+        assert_eq!(s.fields[0].line, 2);
+    }
+
+    #[test]
+    fn unit_tuple_and_where_structs_are_not_field_structs() {
+        let t = table(
+            "struct Unit;\nstruct Pair(f64, f64);\n\
+             struct Bound<F> where F: Fn(u8) -> u8 { f: F }\n",
+        );
+        assert!(t.struct_named("Unit", "crates/core/src/x.rs").is_none());
+        assert!(t.struct_named("Pair", "crates/core/src/x.rs").is_none());
+        // The where-clause `Fn(u8)` parens must not read as a tuple struct.
+        let b = t.struct_named("Bound", "crates/core/src/x.rs").expect("Bound indexed");
+        assert_eq!(b.fields.len(), 1);
+        assert_eq!(b.fields[0].name, "f");
+    }
+
+    #[test]
+    fn ambiguous_struct_names_resolve_same_file_or_not_at_all() {
+        let a = SourceFile::parse("crates/core/src/a.rs", "struct S { x: f64 }\n");
+        let a_ast = Ast::parse("crates/core/src/a.rs", "struct S { x: f64 }\n");
+        let b = SourceFile::parse("crates/core/src/b.rs", "struct S { y: f64 }\n");
+        let b_ast = Ast::parse("crates/core/src/b.rs", "struct S { y: f64 }\n");
+        let t = SymbolTable::build(&[(a, a_ast), (b, b_ast)]);
+        let same = t.struct_named("S", "crates/core/src/b.rs").expect("same-file candidate");
+        assert_eq!(same.fields[0].name, "y");
+        assert!(t.struct_named("S", "crates/core/src/other.rs").is_none());
+    }
+
+    #[test]
+    fn param_types_recorded_alongside_names() {
+        let t = table(
+            "fn f(m: &std::collections::HashMap<u32, u32>, n: usize) -> usize { n }\n\
+             struct K;\nimpl K {\n    fn g(&self, xs: Vec<f64>) {}\n}\n",
+        );
+        let f = &t.fns[t.by_name("f")[0]];
+        assert_eq!(f.params, vec!["m", "n"]);
+        assert!(f.param_tys[0].contains("HashMap"), "{:?}", f.param_tys);
+        assert_eq!(f.param_tys[1], "usize");
+        let g = &t.fns[t.by_name("g")[0]];
+        assert!(g.has_self);
+        assert!(g.param_tys[0].contains("Vec"), "{:?}", g.param_tys);
     }
 }

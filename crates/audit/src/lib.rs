@@ -37,11 +37,33 @@
 //!   explicitly waived compat tests. (This rule is cross-file: the
 //!   driver indexes the whole workspace before linting.)
 //!
+//! **Interprocedural rules** ([`dataflow`], over a workspace symbol
+//! table and call graph; multi-file driver only):
+//!
+//! - `unit-flow` — kWh / kW / USD tags propagated through parameters and
+//!   returns to a fixpoint; a mis-unitted argument is caught any number
+//!   of calls from the annotation that tagged it.
+//! - `hot-path-reach` — allocation, locking, or IO transitively
+//!   reachable from calls on `audit:hot-path` lines, with the call chain
+//!   attached as related locations.
+//! - `snapshot-complete` — every struct with a snapshot/restore pair
+//!   accounts for each declared field; non-checkpointed state is
+//!   declared `// audit:transient(<reason>)`.
+//! - `nondet-reach` — hash-ordered iteration, wall-clock reads, and
+//!   channel receives reachable from state-affecting roots (engine
+//!   stepping, checkpointing, serializers, batch orchestration); waived
+//!   sink-by-sink with `// audit:ordered(<contract>)`.
+//! - `stale-waiver` — waivers and annotations that no longer suppress or
+//!   tag anything must be deleted; iterated to a fixpoint since
+//!   staleness is itself waivable.
+//!
 //! Any finding can be waived with `// audit:allow(<rule>)` on the
 //! offending line or the line above; waivers are reported and counted but
 //! do not fail the run. The `coca-audit` binary
 //! (`cargo run -p coca-audit -- lint [--format text|json|sarif]`) exits
-//! non-zero on unwaived violations; `schemas/audit.schema.json` pins the
+//! non-zero on unwaived violations, and `coca-audit explain <rule-id>`
+//! ([`explain`]) prints any rule's contract, annotation syntax, and a
+//! minimal example; `schemas/audit.schema.json` pins the
 //! JSON format and the `validate-audit` binary ([`schema`]) checks it in
 //! CI. The lint engines are dependency-free; the machine formats reuse
 //! the workspace's vendored serde/serde_json shims.
@@ -50,6 +72,7 @@
 
 pub mod ast;
 pub mod dataflow;
+pub mod explain;
 pub mod report;
 pub mod rules;
 pub mod scan;
@@ -72,6 +95,7 @@ const LINTED_CRATES: &[&str] = &[
     "crates/experiments",
     "crates/obs",
     "crates/opt",
+    "crates/scenarios",
     "crates/serve",
     "crates/traces",
 ];
@@ -91,6 +115,8 @@ pub const ALL_RULES: &[&str] = &[
     semantic::DEPRECATED_API,
     dataflow::UNIT_FLOW,
     dataflow::HOT_PATH_REACH,
+    dataflow::SNAPSHOT_COMPLETE,
+    dataflow::NONDET_REACH,
     dataflow::STALE_WAIVER,
 ];
 

@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! cargo run -p coca-audit -- lint [--root <workspace-root>] [--format text|json|sarif]
+//! cargo run -p coca-audit -- explain [<rule-id>]
 //! ```
 //!
 //! `text` (default) prints every finding with waived ones marked; `json`
 //! emits the v2 report format pinned by `schemas/audit.schema.json`;
 //! `sarif` emits a SARIF 2.1.0 log suitable for GitHub code-scanning
 //! annotations. All formats exit non-zero when any unwaived violation
-//! remains. See the crate docs of `coca_audit` for the rule set and the
+//! remains. `explain` prints a rule's contract, its annotation syntax,
+//! and a minimal example (bare `explain` lists every rule id). See the
+//! crate docs of `coca_audit` for the rule set and the
 //! `// audit:allow(<rule>)` waiver convention.
 
 //! Invoking the binary with no arguments is equivalent to `lint` with the
@@ -25,13 +28,45 @@ enum Format {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: coca-audit lint [--root <workspace-root>] [--format text|json|sarif]");
+    eprintln!(
+        "usage: coca-audit lint [--root <workspace-root>] [--format text|json|sarif]\n\
+         \x20      coca-audit explain [<rule-id>]"
+    );
     ExitCode::from(2)
+}
+
+/// `explain [<rule-id>]`: rule contract + annotation syntax + example.
+/// Unknown ids exit 2 with the listing on stderr.
+fn explain(rule: Option<&str>) -> ExitCode {
+    match rule {
+        None => {
+            println!("{}", coca_audit::explain::listing());
+            ExitCode::SUCCESS
+        }
+        Some(rule) => match coca_audit::explain::explain(rule) {
+            Some(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("coca-audit: unknown rule id `{rule}`\n");
+                eprintln!("{}", coca_audit::explain::listing());
+                ExitCode::from(2)
+            }
+        },
+    }
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     if let Some(cmd) = args.next() {
+        if cmd == "explain" {
+            let rule = args.next();
+            if args.next().is_some() {
+                return usage();
+            }
+            return explain(rule.as_deref());
+        }
         if cmd != "lint" {
             return usage();
         }

@@ -130,3 +130,79 @@ fn stale_waiver_fixture_flags_each_hygiene_gap() {
         "{r}"
     );
 }
+
+const SNAP_FIX: &str = "crates/core/src/snap_fixture.rs";
+const NONDET_FIX: &str = "crates/core/src/nondet_fixture.rs";
+
+#[test]
+fn snapshot_complete_fixture_flags_each_coverage_gap() {
+    let r = lint(&[(SNAP_FIX, include_str!("../fixtures/snapshot_complete.rs"))]);
+    assert_eq!(
+        tuples(&r),
+        vec![
+            ("snapshot-complete", SNAP_FIX, 6, false), // `lost`: neither side
+            ("snapshot-complete", SNAP_FIX, 8, true),  // `scratch`: reasoned transient
+            ("snapshot-complete", SNAP_FIX, 10, false), // `half`: empty reason never waives
+            ("stale-waiver", SNAP_FIX, 11, false), // transient on a fully covered field
+            ("snapshot-complete", SNAP_FIX, 21, false), // `snap_only`: restore never writes it
+        ],
+        "{r}"
+    );
+}
+
+#[test]
+fn snapshot_complete_findings_name_the_field() {
+    let r = lint(&[(SNAP_FIX, include_str!("../fixtures/snapshot_complete.rs"))]);
+    let missing = r
+        .violations
+        .iter()
+        .find(|v| v.rule == "snapshot-complete" && v.line == 6)
+        .expect("neither-side finding");
+    assert!(missing.message.contains("`lost`"), "{}", missing.message);
+    assert!(missing.message.contains("`Ctl`"), "{}", missing.message);
+    // The restore-side asymmetry lands on the restore definition and
+    // points back at the field declaration.
+    let asym = r
+        .violations
+        .iter()
+        .find(|v| v.rule == "snapshot-complete" && v.line == 21)
+        .expect("snap-only finding");
+    assert!(asym.message.contains("`snap_only`"), "{}", asym.message);
+    assert!(asym.message.contains("never writes"), "{}", asym.message);
+    assert_eq!(asym.related.len(), 1, "{asym:?}");
+    assert_eq!((asym.related[0].file.as_str(), asym.related[0].line), (SNAP_FIX, 13));
+}
+
+#[test]
+fn nondet_reach_fixture_flags_each_sink_once() {
+    let r = lint(&[(NONDET_FIX, include_str!("../fixtures/nondet_reach.rs"))]);
+    assert_eq!(
+        tuples(&r),
+        vec![
+            ("nondet-reach", NONDET_FIX, 10, false), // for-loop over hash map in to_json
+            ("nondet-reach", NONDET_FIX, 23, false), // two-hop: encode → walk → .iter()
+            ("nondet-reach", NONDET_FIX, 33, false), // through the ping/pong cycle, once
+            ("nondet-reach", NONDET_FIX, 44, false), // Instant::now in sweep
+            ("nondet-reach", NONDET_FIX, 59, true),  // waived via audit:ordered(…)
+            ("stale-waiver", NONDET_FIX, 64, false), // ordered annotation excusing nothing
+        ],
+        "{r}"
+    );
+}
+
+#[test]
+fn nondet_reach_chain_is_rendered_hop_by_hop() {
+    let r = lint(&[(NONDET_FIX, include_str!("../fixtures/nondet_reach.rs"))]);
+    let v = r
+        .violations
+        .iter()
+        .find(|v| v.rule == "nondet-reach" && v.line == 23)
+        .expect("two-hop finding");
+    assert!(v.message.contains("2 fns deep"), "{}", v.message);
+    assert!(v.message.contains("`encode`"), "{}", v.message);
+    // encode's def, walk's def, then the sink line itself.
+    let hops: Vec<usize> = v.related.iter().map(|rl| rl.line).collect();
+    assert_eq!(hops, vec![18, 22, 23], "{v:?}");
+    assert!(v.related[0].message.contains("state-affecting root"), "{v:?}");
+    assert!(v.related[2].message.contains("hash-ordered iteration"), "{v:?}");
+}

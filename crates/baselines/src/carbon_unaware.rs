@@ -19,7 +19,9 @@ use serde::Value;
 
 /// Per-slot cost minimizer without carbon awareness.
 pub struct CarbonUnaware<S> {
+    // audit:transient(fixed at construction; the host rebuilds the policy before restore)
     cluster: Arc<Cluster>,
+    // audit:transient(immutable cost model, part of the construction config)
     cost: CostParams,
     solver: S,
 }

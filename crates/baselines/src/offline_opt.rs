@@ -25,15 +25,20 @@ use crate::budgeted::solve_penalized;
 
 /// A precomputed offline-optimal schedule, replayable as a [`Policy`].
 pub struct OfflineOpt {
+    // audit:transient(immutable precomputed plan; only the replay cursor is run state)
     decisions: Vec<Decision>,
     /// Speed-set sizes of the cluster the plan was made for (constraint-9
     /// invariant checks at replay time).
+    // audit:transient(immutable precomputed plan; only the replay cursor is run state)
     choice_counts: Vec<usize>,
     /// The multiplier(s) found by the dual search, one per planned frame.
+    // audit:transient(immutable precomputed plan; only the replay cursor is run state)
     pub multipliers: Vec<f64>,
     /// Plain cost of every planned slot.
+    // audit:transient(immutable precomputed plan; only the replay cursor is run state)
     pub planned_costs: Vec<f64>,
     /// Brown energy of every planned slot.
+    // audit:transient(immutable precomputed plan; only the replay cursor is run state)
     pub planned_brown: Vec<f64>,
     cursor: usize,
 }

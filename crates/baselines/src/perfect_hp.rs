@@ -27,12 +27,16 @@ use crate::budgeted::solve_capped;
 
 /// The PerfectHP policy.
 pub struct PerfectHp<S> {
+    // audit:transient(fixed at construction; the host rebuilds the policy before restore)
     cluster: Arc<Cluster>,
+    // audit:transient(immutable cost model, part of the construction config)
     cost: CostParams,
     solver: S,
     /// Per-hour carbon budgets, precomputed for the whole horizon.
+    // audit:transient(precomputed from the trace at construction, never mutated)
     hourly_budget: Vec<f64>,
     /// Window length (48 h in the paper).
+    // audit:transient(construction config, never mutated)
     window: usize,
     /// Hours whose budget had to be abandoned (diagnostics).
     pub abandoned_hours: usize,

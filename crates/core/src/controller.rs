@@ -86,13 +86,18 @@ impl CocaConfig {
 /// lanes and sweep workers share the cluster instead of re-borrowing
 /// per-run setup state.
 pub struct CocaController<S> {
+    // audit:transient(fixed at construction; the host rebuilds the controller before restore)
     cluster: Arc<Cluster>,
+    // audit:transient(immutable cost model, part of the construction config)
     cost: CostParams,
+    // audit:transient(immutable COCA config, part of the construction config)
     cfg: CocaConfig,
     solver: S,
     deficit: DeficitQueue,
+    // audit:transient(host-injected callback, re-attached via with_observer)
     observer: Option<Arc<dyn SolverObserver + Send + Sync>>,
     /// Slot index of the most recent decision (backs [`Policy::telemetry`]).
+    // audit:transient(overwritten by the next observe() before any read)
     last_t: usize,
     /// q(t) observed at each decision epoch (diagnostics; Theorem 2 relates
     /// its peak to the neutrality deviation).

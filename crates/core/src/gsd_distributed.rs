@@ -220,6 +220,7 @@ fn lambda_of(nu: f64, a_eff: f64, w: f64, cap: f64, util_cap: f64, slope: f64) -
 }
 
 fn agent_loop(shard: &mut AgentShard, rx: &Receiver<Request>, tx: &Sender<Reply>) {
+    // audit:ordered(dedicated per-shard channel; the coordinator sends one request and awaits one reply, so arrival order is the request order)
     while let Ok(req) = rx.recv() {
         let reply = match req {
             Request::SetLevel { local, level } => {
@@ -266,6 +267,7 @@ impl AgentPool {
         for tx in &self.txs {
             tx.send(req.clone()).expect("agent alive"); // audit:allow(no-panic) contained by the thread scope in solve()
         }
+        // audit:ordered(replies drain in shard-index order from dedicated per-shard channels, one reply per request)
         self.rxs.iter().map(|rx| rx.recv().expect("agent replies")).collect() // audit:allow(no-panic) contained by the thread scope in solve()
     }
 
@@ -276,6 +278,7 @@ impl AgentPool {
     fn set_level(&self, group: usize, level: usize) {
         let (w, local) = self.owner[group];
         self.txs[w].send(Request::SetLevel { local, level }).expect("agent alive"); // audit:allow(no-panic) contained by the thread scope in solve()
+        // audit:ordered(dedicated per-shard channel; strictly paired request/reply, so the ack is the one just requested)
         match self.rxs[w].recv().expect("ack") { // audit:allow(no-panic) contained by the thread scope in solve()
             Reply::Ack => {}
             other => panic!("expected Ack, got {other:?}"), // audit:allow(no-panic) contained by the thread scope in solve()
@@ -285,6 +288,7 @@ impl AgentPool {
     /// Queries a single shard's aggregates (dirty-shard refresh path).
     fn shard_aggregates(&self, w: usize) -> (f64, f64) {
         self.txs[w].send(Request::Aggregates).expect("agent alive"); // audit:allow(no-panic) contained by the thread scope in solve()
+        // audit:ordered(dedicated per-shard channel; strictly paired request/reply, so the reply is the one just requested)
         match self.rxs[w].recv().expect("agent replies") { // audit:allow(no-panic) contained by the thread scope in solve()
             Reply::Aggregates(c, s) => (c, s),
             other => panic!("expected Aggregates, got {other:?}"), // audit:allow(no-panic) contained by the thread scope in solve()

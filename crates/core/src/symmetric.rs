@@ -48,9 +48,12 @@ struct Partition {
 #[derive(Debug)]
 pub struct SymmetricSolver {
     /// Maximum coordinate-descent rounds (each round sweeps all partitions).
+    // audit:transient(construction config, not run state; the host rebuilds the solver before restore)
     pub max_rounds: usize,
     warm: Option<Vec<PartState>>,
+    // audit:transient(per-solve diagnostics, overwritten by the next solve)
     stats: SolveStats,
+    // audit:transient(host-injected callback, re-attached via with_observer)
     observer: Option<Arc<dyn SolverObserver + Send + Sync>>,
 }
 

@@ -305,17 +305,22 @@ pub enum ServiceExit {
 /// observations, so one engine pass replaces N single-policy passes.
 pub struct SimEngine<'p, Src> {
     cluster: Arc<Cluster>,
+    // audit:transient(slot stream handle; resume re-attaches a source positioned at the restored t)
     source: Src,
+    // audit:transient(immutable cost model, part of the construction config)
     cost: CostParams,
     rec_total: f64,
     overestimation: f64,
+    // audit:transient(derived once from the cluster at construction)
     max_servable: f64,
+    // audit:transient(derived once from the cluster at construction)
     choice_counts: Vec<usize>,
     t: usize,
     lanes: Vec<Lane<'p>>,
     observer: Arc<dyn EngineObserver + Send + Sync>,
     /// Cached `observer.timing_enabled()` so the hot path checks a bool
     /// instead of making a virtual call before every `Instant::now()`.
+    // audit:transient(cache of an observer flag; recomputed when the observer is attached)
     timing: bool,
 }
 
@@ -418,6 +423,7 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
         // Timing is opt-in (observer.timing_enabled()): unobserved runs
         // never touch Instant. The source poll below is part of env prep,
         // so its timer starts before on_slot_start fires.
+        // audit:ordered(timing-only: durations feed observer timing stats, never decisions or serialized state)
         let env_start = if self.timing { Some(Instant::now()) } else { None };
         match self.source.poll_slot(t) {
             PollSlot::Ready(env) => {
@@ -434,6 +440,7 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
     /// [`StepStatus::Pending`]). `None` waits indefinitely.
     pub fn step_wait(&mut self, timeout: Option<Duration>) -> crate::Result<StepStatus> {
         let t = self.t;
+        // audit:ordered(timing-only: durations feed observer timing stats, never decisions or serialized state)
         let env_start = if self.timing { Some(Instant::now()) } else { None };
         match self.source.wait_slot(t, timeout) {
             PollSlot::Ready(env) => {
@@ -473,6 +480,7 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
         let mut record_time = Duration::ZERO;
         for lane in &mut self.lanes {
             let decision = if self.timing {
+                // audit:ordered(timing-only: durations feed observer timing stats, never decisions or serialized state)
                 let start = Instant::now();
                 let d = lane.policy.decide(&obs)?;
                 solve_time += start.elapsed();
@@ -480,6 +488,7 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
             } else {
                 lane.policy.decide(&obs)?
             };
+            // audit:ordered(timing-only: durations feed observer timing stats, never decisions or serialized state)
             let record_start = if self.timing { Some(Instant::now()) } else { None };
             self.cluster.validate_levels(&decision.levels)?;
             decision.validate_totals(planned_rate)?;
@@ -694,6 +703,7 @@ impl<'p, Src: SlotSource> SimEngine<'p, Src> {
     /// Restores a checkpoint into this engine. The engine must have been
     /// constructed with the same cluster/source/cost configuration and the
     /// same lanes (same policies, same order) as the checkpointed one.
+    // audit:allow(snapshot-complete) checkpoint only *notifies* self.observer; it is injected at construction, not restored state
     pub fn restore(&mut self, state: &EngineState) -> crate::Result<()> {
         if state.lanes.len() != self.lanes.len() {
             return Err(SimError::InvalidConfig(format!(

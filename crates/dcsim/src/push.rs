@@ -247,6 +247,7 @@ impl SlotSource for PushSource {
     }
 
     fn wait_slot(&mut self, t: usize, timeout: Option<Duration>) -> PollSlot {
+        // audit:ordered(wall clock bounds the wait only; slot payloads arrive in slot order — see the debug_assert below)
         let deadline = timeout.map(|d| Instant::now() + d);
         let mut st = self.shared.lock();
         loop {
@@ -263,6 +264,7 @@ impl SlotSource for PushSource {
                     st = self.shared.can_poll.wait(st).expect("push-source mutex poisoned");
                 }
                 Some(deadline) => {
+                    // audit:ordered(wall clock bounds the wait only; a lapsed deadline yields Pending, never a different slot)
                     let now = Instant::now();
                     if now >= deadline {
                         return PollSlot::Pending;

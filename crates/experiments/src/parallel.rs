@@ -86,6 +86,7 @@ where
     .expect("sweep worker panicked");
     drop(tx);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    // audit:ordered(every message carries its item index and lands in its slot; arrival order cannot reach the result vector)
     while let Ok((idx, out)) = rx.try_recv() {
         slots[idx] = Some(out);
     }

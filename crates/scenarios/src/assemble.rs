@@ -58,6 +58,7 @@ fn lane_series(lane: &Value, name: &str) -> Option<Vec<f64>> {
 /// Formats a numeric placeholder value the way the hand-coded figure
 /// labels did: integral floats print without a fractional part.
 fn format_num(v: f64) -> String {
+    // audit:allow(float-eq) exact integrality test: fract() of an integral f64 is exactly 0.0
     if v.fract() == 0.0 && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {

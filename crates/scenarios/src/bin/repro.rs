@@ -179,6 +179,7 @@ fn print_narratives(
                         "  budget {:.2}: coca {:.4} (neutral: {}, V={:.1}) opt {:.4}",
                         g("budget_frac"),
                         g("coca_norm"),
+                        // audit:allow(float-eq) boolean scalar serialized as exactly 0.0/1.0
                         g("coca_neutral") != 0.0,
                         g("v_used"),
                         g("opt_norm"),
@@ -238,6 +239,7 @@ fn print_narratives(
                             stdout,
                             "COCA brown energy / budget    : {:.4} (neutral: {})",
                             g("brown_over_budget"),
+                            // audit:allow(float-eq) boolean scalar serialized as exactly 0.0/1.0
                             g("carbon_neutral") != 0.0
                         )
                         .ok();

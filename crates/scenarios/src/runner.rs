@@ -124,6 +124,7 @@ impl Ctx {
         if let Some(s) = guard.as_ref() {
             return Ok(Arc::clone(s));
         }
+        // audit:ordered(timing-only: the duration feeds a log line, never results or run identity)
         let t0 = Instant::now();
         let setup = PaperSetup::build(self.scale, self.workload, self.budget_fraction)
             .map_err(|e| format!("setup build: {e}"))?;
@@ -149,6 +150,7 @@ impl Ctx {
         if let Some(v) = guard.get(&probes) {
             return Ok(*v);
         }
+        // audit:ordered(timing-only: the duration feeds a log line, never results or run identity)
         let t0 = Instant::now();
         let v = figures::calibrate_v(&setup, probes).map_err(|e| format!("calibrate: {e}"))?;
         logger::info(
@@ -688,6 +690,7 @@ impl<'m> BatchRunner<'m> {
                 record_state(i, "skipped".into());
                 return RunState::Skipped;
             }
+            // audit:atomic(SeqCst; crash-injection test hook counting completed runs — monotonic counter, an off-by-one kill point is harmless)
             if self.opts.kill_after.is_some_and(|k| completed_count.load(Ordering::SeqCst) >= k)
             {
                 record_state(i, "pending".into());
@@ -701,6 +704,7 @@ impl<'m> BatchRunner<'m> {
                 }
             }
             let span = Span::new("run").lane(&entry.group);
+            // audit:ordered(timing-only: the duration feeds logs and prometheus metrics, never result files)
             let t0 = Instant::now();
             let outcome = execute_run(
                 &ctx,
@@ -716,6 +720,7 @@ impl<'m> BatchRunner<'m> {
                         m.completed.inc();
                         m.run_seconds.observe(t0.elapsed().as_secs_f64());
                     }
+                    // audit:atomic(SeqCst; crash-injection test hook counting completed runs — monotonic counter, an off-by-one kill point is harmless)
                     completed_count.fetch_add(1, Ordering::SeqCst);
                     logger::info(&span, &format!("{} done ({:.1?})", entry.id, t0.elapsed()));
                     record_state(i, if resumed { "resumed" } else { "completed" }.into());

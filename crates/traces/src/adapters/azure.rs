@@ -41,6 +41,7 @@ pub fn read_vm_cpu<R: Read>(input: R) -> std::io::Result<Vec<f64>> {
     // a year of 300 s readings doesn't clone the id string per row.
     let mut per_vm_hour: HashMap<(u32, usize), (f64, u32)> = HashMap::new();
     let mut vm_ids: HashMap<String, u32> = HashMap::new();
+    let mut vm_names: Vec<String> = Vec::new();
     for (i, line) in lines.enumerate() {
         let lineno = i + 2;
         let line = line?;
@@ -60,8 +61,14 @@ pub fn read_vm_cpu<R: Read>(input: R) -> std::io::Result<Vec<f64>> {
         if !avg_cpu.is_finite() || avg_cpu < 0.0 {
             return Err(bad_data(format!("line {lineno}: bad avg_cpu {avg_cpu}")));
         }
-        let next_id = vm_ids.len() as u32;
-        let vm = *vm_ids.entry(fields[1].trim().to_string()).or_insert(next_id);
+        let vm = match vm_ids.entry(fields[1].trim().to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let id = vm_names.len() as u32;
+                vm_names.push(e.key().clone());
+                *e.insert(id)
+            }
+        };
         let hour = (ts / SLOT_SECS as f64).floor() as usize;
         let cell = per_vm_hour.entry((vm, hour)).or_insert((0.0, 0));
         cell.0 += avg_cpu;
@@ -71,7 +78,14 @@ pub fn read_vm_cpu<R: Read>(input: R) -> std::io::Result<Vec<f64>> {
         return Err(bad_data("no readings"));
     }
     let mut series = Vec::new();
-    for (&(_, hour), &(sum, count)) in &per_vm_hour {
+    // Per-bucket accumulation order is part of the output: f64 addition is
+    // not associative, so iterating the map directly would leak hash order
+    // into the series bytes run-to-run. Sorting by (hour, vm *name*) —
+    // interned ids follow first-appearance order — also keeps the doc
+    // contract that readings may arrive in any order, bit-exactly.
+    let mut cells: Vec<((u32, usize), (f64, u32))> = per_vm_hour.into_iter().collect();
+    cells.sort_unstable_by_key(|&((vm, hour), _)| (hour, vm_names[vm as usize].as_str()));
+    for ((_, hour), (sum, count)) in cells {
         add_to_bucket(&mut series, (hour * SLOT_SECS as usize) as f64, sum / count as f64);
     }
     Ok(series)
@@ -100,6 +114,29 @@ mod tests {
         let fwd = format!("{HEADER}\n0,a,0,0,1.0\n3600,b,0,0,2.0\n");
         let rev = format!("{HEADER}\n3600,b,0,0,2.0\n0,a,0,0,1.0\n");
         assert_eq!(read_vm_cpu(fwd.as_bytes()).unwrap(), read_vm_cpu(rev.as_bytes()).unwrap());
+    }
+
+    #[test]
+    fn accumulation_order_is_bit_exact_under_row_permutation() {
+        // Three VMs share hour 0 with rounding-order-sensitive means: the
+        // ulp at 1e16 is 2.0, so (1e16 + 1.0) + 1.0 == 1e16 while
+        // (1.0 + 1.0) + 1e16 == 1e16 + 2. Any leak of arrival (or hash)
+        // order into the per-bucket accumulation changes the output
+        // *bits*. Every row permutation must produce the same bytes.
+        let rows = ["0,a,0,0,10000000000000000.0", "60,b,0,0,1.0", "120,c,0,0,1.0"];
+        let perms = [
+            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ];
+        let baseline: Vec<u64> = {
+            let data = format!("{HEADER}\n{}\n{}\n{}\n", rows[0], rows[1], rows[2]);
+            read_vm_cpu(data.as_bytes()).unwrap().iter().map(|v| v.to_bits()).collect()
+        };
+        for p in perms {
+            let data = format!("{HEADER}\n{}\n{}\n{}\n", rows[p[0]], rows[p[1]], rows[p[2]]);
+            let bits: Vec<u64> =
+                read_vm_cpu(data.as_bytes()).unwrap().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, baseline, "permutation {p:?} changed output bits");
+        }
     }
 
     #[test]
